@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench suite examples fuzz
+
+all: vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# The full benchmark harness: one BenchmarkEXP_* per experiment plus engine
+# micro-benchmarks.
+bench:
+	go test -bench=. -benchmem ./...
+
+# The reproduction suite tables (EXPERIMENTS.md records a run of this).
+suite:
+	go run ./cmd/spaa-bench
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/adversarial
+	go run ./examples/mapreduce
+	go run ./examples/profitdecay
+	go run ./examples/hpc
+	go run ./examples/realtime
+
+# Short fuzz passes over the serialization surfaces.
+fuzz:
+	go test -fuzz=FuzzDAGUnmarshal -fuzztime=10s ./internal/dag/
+	go test -fuzz=FuzzInstanceUnmarshal -fuzztime=10s ./internal/workload/

@@ -1,0 +1,109 @@
+// Command dag-gen generates a synthetic workload instance and writes it as
+// JSON (to stdout or -o). The output feeds spaa-sim -instance.
+//
+// Usage:
+//
+//	dag-gen [-n 40] [-m 8] [-seed 1] [-eps 1.0] [-load 1.5] [-slack 0.4]
+//	        [-profit step|linear|exp] [-scale 2] [-figure1 m:L:count] [-o out.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/experiments"
+	"dagsched/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 40, "number of jobs")
+		m       = flag.Int("m", 8, "processors")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		eps     = flag.Float64("eps", 1.0, "deadline slack condition epsilon")
+		load    = flag.Float64("load", 1.5, "target machine load")
+		slack   = flag.Float64("slack", 0.4, "extra deadline spread")
+		profSel = flag.String("profit", "step", "profit family: step, linear, exp")
+		scale   = flag.Float64("scale", 2, "job size scale")
+		fig1    = flag.String("figure1", "", "generate the Theorem 1 instance instead: m:L:count")
+		adv     = flag.Int("adversarial", 0, "generate the ADV adversarial stream with this many phases instead")
+		dotJob  = flag.Int("dot", -1, "emit Graphviz DOT for job with this index instead of JSON")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var inst *workload.Instance
+	var err error
+	if *adv > 0 {
+		inst, err = experiments.AdversarialInstance(*adv)
+	} else {
+		inst, err = build(*fig1, *n, *m, *seed, *eps, *load, *slack, *profSel, *scale)
+	}
+	fail(err)
+
+	var data []byte
+	if *dotJob >= 0 {
+		if *dotJob >= len(inst.Jobs) {
+			fail(fmt.Errorf("-dot %d out of range (have %d jobs)", *dotJob, len(inst.Jobs)))
+		}
+		var buf bytes.Buffer
+		fail(dag.WriteDOT(&buf, fmt.Sprintf("job%d", *dotJob), inst.Jobs[*dotJob].Graph))
+		data = buf.Bytes()
+	} else {
+		var err error
+		data, err = json.MarshalIndent(inst, "", "  ")
+		fail(err)
+		data = append(data, '\n')
+	}
+
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	fail(err)
+}
+
+func build(fig1 string, n, m int, seed int64, eps, load, slack float64, prof string, scale float64) (*workload.Instance, error) {
+	if fig1 != "" {
+		parts := strings.Split(fig1, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-figure1 wants m:L:count, got %q", fig1)
+		}
+		fm, err1 := strconv.Atoi(parts[0])
+		fl, err2 := strconv.ParseInt(parts[1], 10, 64)
+		fc, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("-figure1 wants integers m:L:count, got %q", fig1)
+		}
+		return workload.Figure1Batch(fm, fl, fc, 1)
+	}
+	var kind workload.ProfitKind
+	switch prof {
+	case "step":
+		kind = workload.ProfitStep
+	case "linear":
+		kind = workload.ProfitLinear
+	case "exp":
+		kind = workload.ProfitExp
+	default:
+		return nil, fmt.Errorf("unknown profit family %q", prof)
+	}
+	return workload.Generate(workload.Config{
+		Seed: seed, N: n, M: m, Eps: eps, SlackSpread: slack, Load: load,
+		Scale: scale, Profit: kind,
+	})
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dag-gen: %v\n", err)
+		os.Exit(1)
+	}
+}

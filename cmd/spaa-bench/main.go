@@ -1,0 +1,76 @@
+// Command spaa-bench runs the reproduction suite and prints one table per
+// paper artifact (Figures 1–2, Theorems 1–3, Corollaries 1–2, baselines,
+// ablations, OPT-bound quality). EXPERIMENTS.md records its output.
+//
+// Usage:
+//
+//	spaa-bench [-exp FIG1,THM2|all] [-seeds N] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dagsched/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' ("+strings.Join(experiments.IDs(), ",")+")")
+		seeds   = flag.Int("seeds", 0, "workload seeds per cell (0 = default)")
+		quick   = flag.Bool("quick", false, "shrink instances for a fast smoke run")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		md      = flag.Bool("md", false, "emit markdown tables")
+		outPath = flag.String("o", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spaa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seeds: *seeds}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spaa-bench: unknown experiment %q (have %s)\n", id, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spaa-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "### %s — %s  (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		for _, tb := range tables {
+			switch {
+			case *csv:
+				fmt.Fprintln(out, tb.CSV())
+			case *md:
+				fmt.Fprintln(out, tb.Markdown())
+			default:
+				fmt.Fprintln(out, tb.Render())
+			}
+		}
+	}
+}

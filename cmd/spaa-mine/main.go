@@ -1,0 +1,112 @@
+// Command spaa-mine runs the adversary miner: a hill-climbing search over
+// workload perturbations that maximizes a scheduler's empirical competitive
+// ratio UB(OPT)/profit. Use -slack 1 to constrain the search to instances
+// satisfying the Theorem 2 condition (the regime where the paper's
+// guarantee applies).
+//
+// Usage:
+//
+//	spaa-mine [-sched s|swc|nc|edf|llf|fifo|hdf|federated] [-iters 300]
+//	          [-seed 7] [-n 12] [-m 4] [-slack 0] [-o mined.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dagsched/internal/adversary"
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+func main() {
+	var (
+		schedSel = flag.String("sched", "edf", "target scheduler: s, swc, nc, edf, llf, fifo, hdf, federated")
+		iters    = flag.Int("iters", 300, "mutation attempts")
+		seed     = flag.Int64("seed", 7, "search seed")
+		n        = flag.Int("n", 12, "jobs in the start instance")
+		m        = flag.Int("m", 4, "processors")
+		slack    = flag.Float64("slack", 0, "preserve the Theorem 2 slack condition with this epsilon (0 = unrestricted)")
+		out      = flag.String("o", "", "write the mined instance as JSON")
+	)
+	flag.Parse()
+
+	mk, err := schedulerFactory(*schedSel)
+	fail(err)
+
+	start, err := workload.Generate(workload.Config{
+		Seed: *seed, N: *n, M: *m, Eps: 1, SlackSpread: 0.4, Load: 1.5, Scale: 1,
+	})
+	fail(err)
+
+	res, err := adversary.Mine(adversary.Config{
+		Seed: *seed, Iterations: *iters, Scheduler: mk, MaxJobs: 3 * *n, MinSlack: *slack,
+	}, start)
+	fail(err)
+
+	fmt.Printf("target     %s\n", mk().Name())
+	fmt.Printf("search     %d iterations, %d accepted mutations\n", *iters, res.Accepted)
+	fmt.Printf("ratio      %.3f → %s\n", res.StartRatio, fmtRatio(res.Ratio))
+	fmt.Printf("instance   %d jobs (started with %d)\n", len(res.Instance.Jobs), *n)
+	if len(res.History) > 1 {
+		fmt.Printf("trajectory")
+		for _, r := range res.History {
+			fmt.Printf(" %.2f", r)
+		}
+		fmt.Println()
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(res.Instance, "", "  ")
+		fail(err)
+		fail(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Printf("written    %s (replay: spaa-sim -instance %s -sched %s -ub)\n", *out, *out, *schedSel)
+	}
+}
+
+func fmtRatio(r float64) string {
+	if math.IsInf(r, 1) {
+		return "inf (profit driven to zero)"
+	}
+	return fmt.Sprintf("%.3f", r)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spaa-mine: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func schedulerFactory(sel string) (func() sim.Scheduler, error) {
+	params, err := core.NewParams(1)
+	if err != nil {
+		return nil, err
+	}
+	switch sel {
+	case "s":
+		return func() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: params}) }, nil
+	case "swc":
+		return func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true})
+		}, nil
+	case "nc":
+		return func() sim.Scheduler { return core.NewSchedulerNC(core.Options{Params: params}) }, nil
+	case "edf":
+		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} }, nil
+	case "llf":
+		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderLLF} }, nil
+	case "fifo":
+		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderFIFO} }, nil
+	case "hdf":
+		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} }, nil
+	case "federated":
+		return func() sim.Scheduler { return &baselines.Federated{} }, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", sel)
+	}
+}

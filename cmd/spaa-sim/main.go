@@ -1,0 +1,220 @@
+// Command spaa-sim runs one simulation and prints a result summary and an
+// optional ASCII Gantt chart. The workload comes either from a JSON instance
+// file (written by dag-gen) or from the synthetic generator flags.
+//
+// Usage:
+//
+//	spaa-sim [-instance file.json] [-sched s|swc|nc|gp|edf|llf|fifo|hdf|federated]
+//	         [-eps 1.0] [-speed p/q] [-policy id|random|unlucky|cp]
+//	         [-m 8] [-n 40] [-seed 1] [-load 1.5] [-profit step|linear|exp]
+//	         [-gantt] [-ub] [-verify] [-evented]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/dag"
+	"dagsched/internal/opt"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/trace"
+	"dagsched/internal/workload"
+)
+
+func main() {
+	var (
+		instPath = flag.String("instance", "", "JSON instance file (from dag-gen); empty = generate")
+		schedSel = flag.String("sched", "s", "scheduler: s, swc, nc, gp, edf, llf, fifo, hdf, federated")
+		eps      = flag.Float64("eps", 1.0, "epsilon for the paper schedulers")
+		speedStr = flag.String("speed", "1", "machine speed as integer or p/q")
+		polSel   = flag.String("policy", "id", "ready-node pick policy: id, random, unlucky, cp")
+		m        = flag.Int("m", 8, "processors (generator only)")
+		n        = flag.Int("n", 40, "jobs (generator only)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		load     = flag.Float64("load", 1.5, "target load (generator only)")
+		profSel  = flag.String("profit", "step", "profit family: step, linear, exp (generator only)")
+		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		showUB   = flag.Bool("ub", false, "also compute the OPT upper bound")
+		verify   = flag.Bool("verify", false, "re-validate the recorded schedule with the independent trace checker")
+		jsonOut  = flag.Bool("json", false, "emit the full result as JSON instead of the summary")
+		stats    = flag.Bool("stats", false, "print instance statistics before running")
+		evented  = flag.Bool("evented", false, "use the event-driven engine (event-stationary schedulers only)")
+	)
+	flag.Parse()
+
+	inst, err := loadInstance(*instPath, *m, *n, *seed, *load, *profSel, *eps)
+	fail(err)
+
+	speed, err := parseSpeed(*speedStr)
+	fail(err)
+
+	sched, err := makeScheduler(*schedSel, *eps)
+	fail(err)
+
+	pol, err := makePolicy(*polSel, *seed)
+	fail(err)
+
+	simCfg := sim.Config{M: inst.M, Speed: speed, Policy: pol, Record: *gantt || *verify}
+	var res *sim.Result
+	if *evented {
+		switch *schedSel {
+		case "gp", "llf", "nc":
+			fmt.Fprintf(os.Stderr, "spaa-sim: warning: %s is not event-stationary; the event-driven engine may diverge from tick-exact results\n", *schedSel)
+		}
+		res, err = sim.RunEvented(simCfg, inst.Jobs, sched)
+	} else {
+		res, err = sim.Run(simCfg, inst.Jobs, sched)
+	}
+	fail(err)
+
+	if *jsonOut {
+		res.Trace = nil // traces are large; use -gantt/-verify for those paths
+		data, err := json.MarshalIndent(res, "", "  ")
+		fail(err)
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Printf("instance   %s (%d jobs, m=%d, total work %d)\n", inst.Name, len(inst.Jobs), inst.M, inst.TotalWork())
+	if *stats {
+		fmt.Print(workload.Describe(inst).Table().Render())
+	}
+	fmt.Printf("scheduler  %s  speed %s  policy %s\n", sched.Name(), speed, pol.Name())
+	fmt.Printf("profit     %.2f of %.2f offered (%.1f%%)\n", res.TotalProfit, res.OfferedProfit, 100*res.ProfitFraction())
+	fmt.Printf("completed  %d/%d jobs  (%d expired)\n", res.Completed, len(inst.Jobs), res.Expired)
+	fmt.Printf("machine    %d ticks, utilization %.1f%%\n", res.Ticks, 100*res.Utilization())
+	if *showUB {
+		ub := opt.Bound(opt.TasksFromJobs(inst.Jobs, inst.M, 1), inst.M, 1)
+		fmt.Printf("OPT bound  %.2f  → empirical ratio %.2f\n", ub, safeRatio(ub, res.TotalProfit))
+	}
+	if *verify {
+		if err := trace.Validate(res.Trace, inst.Jobs, speed); err != nil {
+			fail(fmt.Errorf("schedule INVALID: %w", err))
+		}
+		if err := trace.VerifyCompletions(res, inst.Jobs); err != nil {
+			fail(fmt.Errorf("completions INVALID: %w", err))
+		}
+		fmt.Println("verified   schedule valid: capacity, precedence, releases, completions")
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(res.Trace, inst.Jobs, 100))
+		fmt.Print(trace.Utilization(res.Trace, 100))
+	}
+}
+
+func safeRatio(ub, p float64) float64 {
+	if p == 0 {
+		return 0
+	}
+	return ub / p
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spaa-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func loadInstance(path string, m, n int, seed int64, load float64, prof string, eps float64) (*workload.Instance, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var inst workload.Instance
+		if err := json.Unmarshal(data, &inst); err != nil {
+			return nil, err
+		}
+		return &inst, nil
+	}
+	kind, err := parseProfitKind(prof)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(workload.Config{
+		Seed: seed, N: n, M: m, Eps: eps, SlackSpread: 0.4, Load: load, Scale: 2, Profit: kind,
+	})
+}
+
+func parseProfitKind(s string) (workload.ProfitKind, error) {
+	switch s {
+	case "step":
+		return workload.ProfitStep, nil
+	case "linear":
+		return workload.ProfitLinear, nil
+	case "exp":
+		return workload.ProfitExp, nil
+	default:
+		return 0, fmt.Errorf("unknown profit family %q", s)
+	}
+}
+
+func parseSpeed(s string) (rational.Rat, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		p, err1 := strconv.ParseInt(num, 10, 64)
+		q, err2 := strconv.ParseInt(den, 10, 64)
+		if err1 != nil || err2 != nil || q == 0 {
+			return rational.Rat{}, fmt.Errorf("bad speed %q", s)
+		}
+		return rational.New(p, q), nil
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return rational.FromInt(v), nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return rational.FromFloat(v, 64), nil
+	}
+	return rational.Rat{}, fmt.Errorf("bad speed %q", s)
+}
+
+func makeScheduler(sel string, eps float64) (sim.Scheduler, error) {
+	params, err := core.NewParams(eps)
+	if err != nil {
+		return nil, err
+	}
+	switch sel {
+	case "s":
+		return core.NewSchedulerS(core.Options{Params: params}), nil
+	case "swc":
+		return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true}), nil
+	case "nc":
+		return core.NewSchedulerNC(core.Options{Params: params}), nil
+	case "gp":
+		return core.NewSchedulerGP(core.Options{Params: params}), nil
+	case "edf":
+		return &baselines.ListScheduler{Order: baselines.OrderEDF}, nil
+	case "llf":
+		return &baselines.ListScheduler{Order: baselines.OrderLLF}, nil
+	case "fifo":
+		return &baselines.ListScheduler{Order: baselines.OrderFIFO}, nil
+	case "hdf":
+		return &baselines.ListScheduler{Order: baselines.OrderHDF}, nil
+	case "federated":
+		return &baselines.Federated{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", sel)
+	}
+}
+
+func makePolicy(sel string, seed int64) (dag.PickPolicy, error) {
+	switch sel {
+	case "id":
+		return dag.ByID{}, nil
+	case "random":
+		return dag.Random{Rng: newRand(seed)}, nil
+	case "unlucky":
+		return dag.Unlucky{}, nil
+	case "cp":
+		return dag.CriticalPathFirst{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", sel)
+	}
+}

@@ -1,0 +1,6 @@
+package main
+
+import "math/rand"
+
+// newRand builds a deterministic source for the random pick policy.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

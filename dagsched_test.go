@@ -1,0 +1,166 @@
+package dagsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: build jobs, run S, check profit.
+	fn := func(v float64, d int64) ProfitFn {
+		p, err := StepProfit(v, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	jobs := []*Job{
+		{ID: 1, Graph: ForkJoin(2, 6, 1), Release: 0, Profit: fn(10, 60)},
+		{ID: 2, Graph: Chain(8, 1), Release: 3, Profit: fn(4, 40)},
+		{ID: 3, Graph: Block(12, 1), Release: 5, Profit: fn(6, 30)},
+	}
+	s, err := NewSchedulerS(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(SimConfig{M: 4}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 || res.TotalProfit != 20 {
+		t.Errorf("completed=%d profit=%v", res.Completed, res.TotalProfit)
+	}
+	ub := OptUpperBound(jobs, 4, 1)
+	if ub < res.TotalProfit {
+		t.Errorf("UB %v below achieved profit %v", ub, res.TotalProfit)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	fn, err := StepProfit(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*Job{{ID: 1, Graph: Block(8, 1), Release: 0, Profit: fn}}
+	for _, sched := range []Scheduler{NewEDF(), NewLLF(), NewFIFO(), NewHDF(), NewFederated()} {
+		res, err := Run(SimConfig{M: 4}, jobs, sched)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if res.Completed != 1 {
+			t.Errorf("%s: completed=%d", sched.Name(), res.Completed)
+		}
+	}
+}
+
+func TestFacadeSchedulerGP(t *testing.T) {
+	fn, err := LinearDecayProfit(10, 20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*Job{{ID: 1, Graph: Block(8, 2), Release: 0, Profit: fn}}
+	gp, err := NewSchedulerGP(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(SimConfig{M: 4}, jobs, gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.TotalProfit < 9 {
+		t.Errorf("completed=%d profit=%v", res.Completed, res.TotalProfit)
+	}
+}
+
+func TestFacadeSpeedAndAdversary(t *testing.T) {
+	// The Theorem 1 story through the public API. Node work 7 (divisible by
+	// the speed numerator below) so fractional speed is not lost to node
+	// granularity: chain of 4 nodes (L=28) plus 12 block nodes → W = 4L,
+	// D = L = W/m.
+	b := NewDAGBuilder()
+	prev := b.AddNode(7)
+	for i := 1; i < 4; i++ {
+		v := b.AddNode(7)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	for i := 0; i < 12; i++ {
+		b.AddNode(7)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := StepProfit(1, g.Span())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*Job{{ID: 1, Graph: g, Release: 0, Profit: fn}}
+	unlucky, err := Run(SimConfig{M: 4, Policy: PickUnlucky}, jobs, NewEDF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clair, err := Run(SimConfig{M: 4, Policy: PickCriticalPath}, jobs, NewEDF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlucky.TotalProfit != 0 {
+		t.Errorf("unlucky profit = %v, want 0 (misses D = L)", unlucky.TotalProfit)
+	}
+	if clair.TotalProfit != 1 {
+		t.Errorf("clairvoyant profit = %v, want 1", clair.TotalProfit)
+	}
+	// At speed 2−1/m = 7/4 the unlucky run finishes exactly on time.
+	boosted, err := Run(SimConfig{M: 4, Policy: PickUnlucky, Speed: NewSpeed(7, 4)}, jobs, NewEDF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.TotalProfit != 1 {
+		t.Errorf("speed-7/4 unlucky profit = %v, want 1", boosted.TotalProfit)
+	}
+}
+
+func TestFacadeWorkloadAndGantt(t *testing.T) {
+	inst, err := GenerateWorkload(WorkloadConfig{Seed: 1, N: 10, M: 4, Eps: 1, Load: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSchedulerS(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(SimConfig{M: inst.M, Record: true}, inst.Jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(res, inst.Jobs, 80)
+	if !strings.Contains(out, "gantt") {
+		t.Errorf("Gantt output: %q", out)
+	}
+	if Gantt(nil, nil, 0) == "" {
+		t.Error("Gantt(nil) empty")
+	}
+}
+
+func TestFacadeCustomDAG(t *testing.T) {
+	b := NewDAGBuilder()
+	src := b.AddNode(2)
+	mid := b.AddNode(3)
+	b.AddEdge(src, mid)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalWork() != 5 || g.Span() != 5 {
+		t.Errorf("W=%d L=%d", g.TotalWork(), g.Span())
+	}
+}
+
+func TestFacadeRejectsBadEps(t *testing.T) {
+	if _, err := NewSchedulerS(0); err == nil {
+		t.Error("NewSchedulerS(0) accepted")
+	}
+	if _, err := NewSchedulerGP(-1); err == nil {
+		t.Error("NewSchedulerGP(-1) accepted")
+	}
+}

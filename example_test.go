@@ -1,0 +1,141 @@
+package dagsched_test
+
+import (
+	"fmt"
+	"log"
+
+	"dagsched"
+)
+
+// Example runs the paper's scheduler S on three hand-built jobs and prints
+// the outcome — the README quickstart.
+func Example() {
+	pay := func(v float64, d int64) dagsched.ProfitFn {
+		fn, err := dagsched.StepProfit(v, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fn
+	}
+	jobs := []*dagsched.Job{
+		{ID: 1, Graph: dagsched.ForkJoin(2, 6, 1), Release: 0, Profit: pay(10, 60)},
+		{ID: 2, Graph: dagsched.Chain(8, 1), Release: 3, Profit: pay(4, 40)},
+		{ID: 3, Graph: dagsched.Block(12, 1), Release: 5, Profit: pay(6, 30)},
+	}
+	sched, err := dagsched.NewSchedulerS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dagsched.Run(dagsched.SimConfig{M: 4}, jobs, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profit %.0f of %.0f, %d/%d jobs completed\n",
+		res.TotalProfit, res.OfferedProfit, res.Completed, len(jobs))
+	// Output:
+	// profit 20 of 20, 3/3 jobs completed
+}
+
+// ExampleFigure1 reproduces the Theorem 1 separation: the unlucky node order
+// needs (W−L)/m + L ticks where the clairvoyant one needs W/m.
+func ExampleFigure1() {
+	g := dagsched.Figure1(4, 16) // m=4, L=16 → W=64
+	fn, err := dagsched.StepProfit(1, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pol := range []dagsched.PickPolicy{dagsched.PickUnlucky, dagsched.PickCriticalPath} {
+		jobs := []*dagsched.Job{{ID: 1, Graph: g, Release: 0, Profit: fn}}
+		res, err := dagsched.Run(dagsched.SimConfig{M: 4, Policy: pol}, jobs, dagsched.NewFIFO())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d ticks\n", pol.Name(), res.Jobs[0].CompletedAt)
+	}
+	// Output:
+	// unlucky: 28 ticks
+	// critical-path-first: 16 ticks
+}
+
+// ExampleSchedulerS_Plan shows the arrival-time quantities S derives from
+// (W, L, D): the allotment n, the execution bound x, and δ-goodness.
+func ExampleSchedulerS_Plan() {
+	s, err := dagsched.NewSchedulerS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Init(dagsched.Env{M: 8, Speed: 1})
+	fn, err := dagsched.StepProfit(12, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := s.Plan(dagsched.JobView{ID: 1, W: 64, L: 8, Profit: fn})
+	fmt.Printf("n=%.3f alloc=%d x=%.1f good=%v\n", plan.NReal, plan.Alloc, plan.X, plan.Good)
+	// Output:
+	// n=4.667 alloc=5 x=19.2 good=true
+}
+
+// ExampleOptUpperBound bounds the offline optimum for a small instance.
+func ExampleOptUpperBound() {
+	fn, err := dagsched.StepProfit(5, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []*dagsched.Job{
+		{ID: 1, Graph: dagsched.Block(8, 1), Release: 0, Profit: fn},
+		{ID: 2, Graph: dagsched.Block(8, 1), Release: 0, Profit: fn},
+	}
+	// On one processor only one of the two 8-work jobs fits before t=10.
+	fmt.Printf("m=1: %.0f  m=2: %.0f\n",
+		dagsched.OptUpperBound(jobs, 1, 1), dagsched.OptUpperBound(jobs, 2, 1))
+	// Output:
+	// m=1: 5  m=2: 10
+}
+
+// ExampleGenerateWorkload builds a reproducible synthetic instance whose
+// deadlines satisfy the Theorem 2 slack condition.
+func ExampleGenerateWorkload() {
+	inst, err := dagsched.GenerateWorkload(dagsched.WorkloadConfig{
+		Seed: 7, N: 5, M: 4, Eps: 1, Load: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d jobs, total work %d\n", len(inst.Jobs), inst.TotalWork())
+	// Output:
+	// 5 jobs, total work 109
+}
+
+// ExampleNewSchedulerGP shows the Section 5 scheduler assigning a minimal
+// valid deadline inside a decaying profit's flat prefix.
+func ExampleNewSchedulerGP() {
+	fn, err := dagsched.LinearDecayProfit(10, 20, 60) // flat 20, zero at 60
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []*dagsched.Job{
+		{ID: 1, Graph: dagsched.Block(8, 2), Release: 0, Profit: fn},
+	}
+	gp, err := dagsched.NewSchedulerGP(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dagsched.Run(dagsched.SimConfig{M: 4}, jobs, gp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed at t=%d, profit %.0f of peak 10\n",
+		res.Jobs[0].CompletedAt, res.TotalProfit)
+	// Output:
+	// completed at t=8, profit 10 of peak 10
+}
+
+// ExampleSerial composes verified DAG pieces into a pipeline job.
+func ExampleSerial() {
+	stage1 := dagsched.Block(6, 1)         // parallel ingest
+	stage2 := dagsched.ReductionTree(6, 1) // combine
+	g := dagsched.Serial(stage1, stage2)
+	fmt.Printf("W=%d L=%d\n", g.TotalWork(), g.Span())
+	// Output:
+	// W=17 L=5
+}

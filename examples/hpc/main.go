@@ -1,0 +1,111 @@
+// HPC: scheduling a queue of numerical-kernel jobs on a shared cluster
+// partition. Users submit tiled Cholesky factorizations, stencil sweeps, FFT
+// batches, and reductions — the canonical irregular task graphs of runtimes
+// like PLASMA, StarPU, and OpenMP tasks — each with a completion deadline
+// (after which the allocation expires) and a priority weight.
+//
+// The Cholesky profile is the interesting one for the paper's allotment
+// formula: parallelism starts at 1 (the first panel), widens to Θ(N²), and
+// collapses again, so any fixed per-job processor count either wastes the
+// middle or starves the ends. The demo prints each job's paper plan
+// (n_i, x_i) and the schedule outcome for S, its work-conserving extension,
+// and EDF.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"dagsched"
+)
+
+const (
+	m   = 16
+	eps = 1.0
+)
+
+func buildQueue(seed int64) []*dagsched.Job {
+	rng := rand.New(rand.NewSource(seed))
+	var jobs []*dagsched.Job
+	clock := int64(0)
+	for i := 0; i < 24; i++ {
+		var g *dagsched.DAG
+		var kind string
+		switch i % 4 {
+		case 0:
+			n := 4 + rng.Intn(4)
+			g = dagsched.Cholesky(n, 1)
+			kind = fmt.Sprintf("cholesky %dx%d tiles", n, n)
+		case 1:
+			n := 6 + rng.Intn(6)
+			g = dagsched.Wavefront(n, 2)
+			kind = fmt.Sprintf("stencil %dx%d", n, n)
+		case 2:
+			g = dagsched.FFT(32<<rng.Intn(2), 1)
+			kind = "fft batch"
+		default:
+			g = dagsched.ReductionTree(24+rng.Intn(16), 1)
+			kind = "reduction"
+		}
+		w, l := float64(g.TotalWork()), float64(g.Span())
+		d := int64(math.Ceil((1 + eps) * ((w-l)/m + l) * (1 + rng.Float64()*0.5)))
+		weight := 1 + float64(rng.Intn(9))
+		fn, err := dagsched.StepProfit(weight, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, &dagsched.Job{ID: i, Graph: g, Release: clock, Profit: fn})
+		if i < 4 {
+			fmt.Printf("  job %-2d %-22s W=%-5d L=%-4d D=%-5d weight=%.0f\n",
+				i, kind, g.TotalWork(), g.Span(), d, weight)
+		}
+		clock += rng.Int63n(20)
+	}
+	fmt.Printf("  ... and %d more\n\n", len(jobs)-4)
+	return jobs
+}
+
+func main() {
+	fmt.Printf("HPC partition: m=%d processors\nsubmitted kernels (first few):\n", m)
+	jobs := buildQueue(3)
+
+	s, err := dagsched.NewSchedulerS(eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	swc, err := dagsched.NewWorkConservingS(eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the paper's arrival-time plan for the first Cholesky job, using
+	// a scratch scheduler instance (Run re-initializes its own).
+	probe, err := dagsched.NewSchedulerS(eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe.Init(dagsched.Env{M: m, Speed: 1})
+	v := dagsched.JobView{ID: 0, Release: jobs[0].Release,
+		W: jobs[0].Graph.TotalWork(), L: jobs[0].Graph.Span(), Profit: jobs[0].Profit}
+	plan := probe.Plan(v)
+	fmt.Printf("paper plan for job 0: n=%.2f → alloc %d processors, x=%.1f ticks, δ-good=%v\n\n",
+		plan.NReal, plan.Alloc, plan.X, plan.Good)
+
+	ub := dagsched.OptUpperBound(jobs, m, 1)
+	fmt.Printf("%-20s  %8s  %9s  %7s  %6s\n", "scheduler", "earned", "of bound", "done", "util")
+	for _, sched := range []dagsched.Scheduler{s, swc, dagsched.NewEDF(), dagsched.NewHDF()} {
+		res, err := dagsched.Run(dagsched.SimConfig{M: m}, jobs, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s  %8.0f  %8.0f%%  %3d/%-3d  %4.0f%%\n",
+			sched.Name(), res.TotalProfit, 100*res.TotalProfit/ub,
+			res.Completed, len(jobs), 100*res.Utilization())
+	}
+	fmt.Println("\nOn a moderately loaded queue the work-conserving heuristics win — the")
+	fmt.Println("fixed allotment n_i cannot track Cholesky's widening-then-collapsing")
+	fmt.Println("parallelism. The +wc extension recovers part of the gap; S's advantage")
+	fmt.Println("is worst-case robustness (run examples/mapreduce scenario B).")
+}

@@ -1,0 +1,99 @@
+// Profitdecay: the Section 5 general-profit model, in the regime where its
+// machinery matters. A recurring batch-analytics job is worth its full value
+// only if it finishes inside a flat window (x* ticks); afterwards the value
+// decays exponentially — stale results are nearly worthless, but never
+// formally "due". A stream of cheap interactive queries with short value
+// windows arrives alongside.
+//
+// Deadline-driven policies (EDF) chase the queries, whose support ends
+// sooner, and deliver the big results after several half-lives. Scheduler S
+// treats the end of the profit support as the deadline, computes a tiny
+// allotment from that generous horizon, and also delivers late. The
+// general-profit scheduler GP instead assigns the *minimal valid deadline* —
+// it reserves enough time slots to finish inside the flat window — and
+// collects near-peak value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dagsched"
+)
+
+const (
+	m      = 8
+	phases = 5
+	phaseT = 200
+)
+
+func buildWorkload() []*dagsched.Job {
+	var jobs []*dagsched.Job
+	id := 0
+	add := func(g *dagsched.DAG, rel int64, fn dagsched.ProfitFn) {
+		jobs = append(jobs, &dagsched.Job{ID: id, Graph: g, Release: rel, Profit: fn})
+		id++
+	}
+	for k := 0; k < phases; k++ {
+		base := int64(k * phaseT)
+		// The big batch job: W=720, L=10. Flat value 300 until x* = 198
+		// (the Theorem 3 floor (1+ε)((W−L)/m + L) at ε = 1), then halving
+		// every 100 ticks.
+		big, err := dagsched.ExpDecayProfit(300, 198, 100, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		add(dagsched.Block(72, 10), base, big)
+		// Interactive queries every 10 ticks: worth 1 for ~30 ticks.
+		for j := int64(0); j < phaseT; j += 10 {
+			q, err := dagsched.LinearDecayProfit(1, 30, 60)
+			if err != nil {
+				log.Fatal(err)
+			}
+			add(dagsched.Block(8, 8), base+j, q)
+		}
+	}
+	return jobs
+}
+
+func main() {
+	jobs := buildWorkload()
+	fmt.Printf("batch+interactive service: m=%d, %d jobs over %d phases\n\n", m, len(jobs), phases)
+
+	gp, err := dagsched.NewSchedulerGP(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := dagsched.NewSchedulerS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s  %10s  %10s  %16s\n", "scheduler", "earned", "done", "big-job latency")
+	for _, sched := range []dagsched.Scheduler{gp, s, dagsched.NewEDF(), dagsched.NewHDF()} {
+		res, err := dagsched.Run(dagsched.SimConfig{M: m}, jobs, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Average completion latency of the big jobs (IDs divisible by 21:
+		// first job of each phase).
+		var latSum, latN float64
+		for _, js := range res.Jobs {
+			if js.W == 720 && js.Completed {
+				latSum += float64(js.Latency)
+				latN++
+			}
+		}
+		lat := "never"
+		if latN > 0 {
+			lat = fmt.Sprintf("%.0f ticks", latSum/latN)
+		}
+		fmt.Printf("%-18s  %10.0f  %5d/%-4d  %16s\n",
+			sched.Name(), res.TotalProfit, res.Completed, len(jobs), lat)
+	}
+
+	fmt.Println("\nGP reserves slots to land inside each big job's flat window (x*),")
+	fmt.Println("sacrificing cheap queries; the others deliver big results half-lives late.")
+	fmt.Println("On benign low-load mixes the ordering reverses — see the THM3 table")
+	fmt.Println("(spaa-bench -exp THM3): work-conserving EDF wins when nothing contends.")
+}

@@ -1,0 +1,97 @@
+// Realtime: the paper's DAG job model meets the real-time literature it
+// cites. A periodic task system (sensor fusion, control loop, logging —
+// each a recurring DAG) is first checked with the classical federated
+// schedulability test; the accepted system is then simulated for two
+// hyperperiods under the partitioned federated runtime, global EDF, and the
+// paper's scheduler S, showing the objective contrast: a hard-real-time
+// runtime meets every deadline or rejects the system outright, while S
+// maximizes throughput and will drop instances under pressure instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dagsched"
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/realtime"
+	"dagsched/internal/sim"
+)
+
+func main() {
+	sys := realtime.System{
+		M: 8,
+		Tasks: []realtime.Task{
+			// Sensor fusion: wide fork-join every 24 ticks, heavy (C=52 > D=20).
+			{ID: 1, Graph: dagsched.ForkJoin(1, 24, 2), Period: 24, Deadline: 20},
+			// Control loop: small chain, tight period.
+			{ID: 2, Graph: dagsched.Chain(4, 1), Period: 8, Deadline: 6},
+			// Telemetry reduction every 48 ticks.
+			{ID: 3, Graph: dagsched.ReductionTree(16, 1), Period: 48, Deadline: 32},
+			// Logging: light block.
+			{ID: 4, Graph: dagsched.Block(6, 1), Period: 12, Deadline: 12},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("periodic system on m=%d, total utilization %.2f\n\n", sys.M, sys.TotalUtilization())
+
+	alloc := realtime.Federated(sys)
+	fmt.Println("--- analytic admission ---")
+	fmt.Printf("federated test:     schedulable=%v", alloc.Schedulable)
+	if !alloc.Schedulable {
+		fmt.Printf(" (%s)", alloc.Reason)
+	}
+	fmt.Println()
+	for id, cores := range alloc.HeavyCores {
+		fmt.Printf("  heavy task %d: %d dedicated processors\n", id, cores)
+	}
+	fmt.Printf("  light tasks share %d processors: %v\n", alloc.LightCores, alloc.LightAssignment)
+	fmt.Printf("capacity-bound-2:   %v (ΣU=%.2f vs m/2=%d; needs L ≤ D/2 too)\n\n",
+		realtime.CapacityBound2(sys), sys.TotalUtilization(), sys.M/2)
+
+	h, err := realtime.Hyperperiod(sys, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := 2 * h
+	jobs, _, err := realtime.Expand(sys, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- simulation: %d instances over %d ticks (2 hyperperiods) ---\n", len(jobs), horizon)
+
+	runtimes := []dagsched.Scheduler{
+		mustPartitioned(sys, horizon),
+		&baselines.ListScheduler{Order: baselines.OrderEDF},
+		core.NewSchedulerS(core.Options{Params: core.MustParams(1)}),
+	}
+	for _, sched := range runtimes {
+		res, err := dagsched.Run(dagsched.SimConfig{M: sys.M}, jobs, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ALL DEADLINES MET"
+		if res.Completed != len(jobs) {
+			verdict = fmt.Sprintf("%d/%d instances met", res.Completed, len(jobs))
+		}
+		fmt.Printf("  %-18s %s (utilization %.0f%%)\n", sched.Name(), verdict, 100*res.Utilization())
+	}
+	fmt.Println("\nThe partitioned runtime realizes exactly what the test admits; S trades")
+	fmt.Println("individual instances for aggregate throughput — the paper's objective.")
+}
+
+func mustPartitioned(sys realtime.System, horizon int64) sim.Scheduler {
+	alloc := realtime.Federated(sys)
+	_, taskOf, err := realtime.Expand(sys, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := realtime.NewPartitioned(sys, alloc, taskOf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,199 @@
+// Package adversary searches for bad inputs: a randomized hill-climber that
+// perturbs workload instances to maximize a target scheduler's empirical
+// competitive ratio UB(OPT)/profit. The paper proves S's ratio is bounded by
+// a constant whenever deadlines have slack; the miner probes how large the
+// ratio can actually be driven for each scheduler — it rediscovers
+// EDF-domino-style instances automatically and quantifies how much harder S
+// is to attack (the MINE experiment).
+//
+// Only step (deadline) profits are mutated; the DAGs themselves are reused
+// across mutations (they are immutable).
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dagsched/internal/opt"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// Config parameterizes Mine.
+type Config struct {
+	// Seed drives all mutation randomness.
+	Seed int64
+	// Iterations is the number of candidate mutations to try.
+	Iterations int
+	// Scheduler builds a fresh instance of the target algorithm per run.
+	Scheduler func() sim.Scheduler
+	// MaxJobs caps instance growth under duplication mutations.
+	MaxJobs int
+	// MinSlack, when positive, constrains the deadline-tightening mutation
+	// to preserve the Theorem 2 condition D ≥ (1+MinSlack)((W−L)/m + L):
+	// the adversary must play by the theorem's rules. Zero allows
+	// tightening all the way to the span (the regime Theorem 1 shows is
+	// hopeless without speed augmentation).
+	MinSlack float64
+}
+
+// Result reports the mined instance and its ratio trajectory.
+type Result struct {
+	Instance   *workload.Instance
+	StartRatio float64
+	Ratio      float64   // final UB/profit (math.Inf(1) when profit hit zero)
+	History    []float64 // accepted ratios, non-decreasing
+	Accepted   int       // mutations that improved the ratio
+}
+
+// Mine hill-climbs from the start instance. It returns an error for invalid
+// configuration or an unusable start instance.
+func Mine(cfg Config, start *workload.Instance) (*Result, error) {
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("adversary: Iterations = %d", cfg.Iterations)
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("adversary: nil Scheduler factory")
+	}
+	if err := start.Validate(); err != nil {
+		return nil, err
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 2 * len(start.Jobs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := cloneInstance(start)
+	curRatio, err := ratio(cfg, cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Instance: cur, StartRatio: curRatio, Ratio: curRatio, History: []float64{curRatio}}
+	for it := 0; it < cfg.Iterations; it++ {
+		cand := cloneInstance(cur)
+		if !mutate(rng, cand, maxJobs, cfg.MinSlack) {
+			continue
+		}
+		if cand.Validate() != nil {
+			continue
+		}
+		r, err := ratio(cfg, cand)
+		if err != nil {
+			continue // mutation produced an instance the scheduler rejects; skip
+		}
+		if r > curRatio {
+			cur, curRatio = cand, r
+			res.Accepted++
+			res.History = append(res.History, r)
+			if math.IsInf(r, 1) {
+				break // profit driven to zero with positive UB: maximal gap
+			}
+		}
+	}
+	res.Instance = cur
+	res.Ratio = curRatio
+	return res, nil
+}
+
+// ratio computes UB/profit for the target scheduler on inst. Instances
+// where the bound itself is zero yield ratio 0 (useless for the adversary).
+func ratio(cfg Config, inst *workload.Instance) (float64, error) {
+	ub := opt.IntervalKnapsackBound(opt.TasksFromJobs(inst.Jobs, inst.M, 1), inst.M, 1)
+	if ub <= 0 {
+		return 0, nil
+	}
+	res, err := sim.Run(sim.Config{M: inst.M}, inst.Jobs, cfg.Scheduler())
+	if err != nil {
+		return 0, err
+	}
+	if res.TotalProfit == 0 {
+		return math.Inf(1), nil
+	}
+	return ub / res.TotalProfit, nil
+}
+
+// mutate applies one random perturbation in place; false means the chosen
+// mutation was inapplicable this round.
+func mutate(rng *rand.Rand, inst *workload.Instance, maxJobs int, minSlack float64) bool {
+	if len(inst.Jobs) == 0 {
+		return false
+	}
+	i := rng.Intn(len(inst.Jobs))
+	j := inst.Jobs[i]
+	fn, ok := j.Profit.(profit.Step)
+	if !ok {
+		return false
+	}
+	switch rng.Intn(5) {
+	case 0: // tighten the deadline (toward, but not below, the floor)
+		floor := j.Graph.Span()
+		if minSlack > 0 {
+			w, l := float64(j.Graph.TotalWork()), float64(j.Graph.Span())
+			cond := int64(math.Ceil((1 + minSlack) * ((w-l)/float64(inst.M) + l)))
+			if cond > floor {
+				floor = cond
+			}
+		}
+		if fn.Deadline <= floor {
+			return false
+		}
+		nd := floor + rng.Int63n(fn.Deadline-floor)
+		nf, err := profit.NewStep(fn.Value, nd)
+		if err != nil {
+			return false
+		}
+		j.Profit = nf
+	case 1: // rescale the profit
+		factor := []float64{0.5, 2, 4}[rng.Intn(3)]
+		nf, err := profit.NewStep(fn.Value*factor, fn.Deadline)
+		if err != nil {
+			return false
+		}
+		j.Profit = nf
+	case 2: // shift the release
+		shift := rng.Int63n(2*fn.Deadline+2) - fn.Deadline
+		nr := j.Release + shift
+		if nr < 0 {
+			nr = 0
+		}
+		j.Release = nr
+	case 3: // duplicate with a nearby release
+		if len(inst.Jobs) >= maxJobs {
+			return false
+		}
+		maxID := 0
+		for _, x := range inst.Jobs {
+			if x.ID > maxID {
+				maxID = x.ID
+			}
+		}
+		dup := &sim.Job{ID: maxID + 1, Graph: j.Graph, Release: j.Release + rng.Int63n(fn.Deadline+1), Profit: j.Profit}
+		inst.Jobs = append(inst.Jobs, dup)
+	default: // delete
+		if len(inst.Jobs) <= 2 {
+			return false
+		}
+		inst.Jobs = append(inst.Jobs[:i], inst.Jobs[i+1:]...)
+	}
+	return true
+}
+
+// cloneInstance deep-copies the mutable parts of an instance (jobs reuse
+// the immutable graphs and profit values).
+func cloneInstance(in *workload.Instance) *workload.Instance {
+	out := &workload.Instance{Name: in.Name, M: in.M, Seed: in.Seed}
+	out.Jobs = make([]*sim.Job, len(in.Jobs))
+	for i, j := range in.Jobs {
+		cp := *j
+		out.Jobs[i] = &cp
+	}
+	return out
+}
+
+// Baseline convenience: ratio of a scheduler on an untouched instance.
+func Ratio(inst *workload.Instance, mk func() sim.Scheduler) (float64, error) {
+	return ratio(Config{Scheduler: mk}, inst)
+}

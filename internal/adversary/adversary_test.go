@@ -1,0 +1,132 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+func startInstance(t *testing.T) *workload.Instance {
+	t.Helper()
+	inst, err := workload.Generate(workload.Config{
+		Seed: 9, N: 12, M: 4, Eps: 1, SlackSpread: 0.4, Load: 1.5, Scale: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func edf() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} }
+
+func paperS() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: core.MustParams(1)}) }
+
+func TestMineImprovesRatioMonotonically(t *testing.T) {
+	res, err := Mine(Config{Seed: 1, Iterations: 80, Scheduler: edf}, startInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < res.StartRatio {
+		t.Errorf("final ratio %v below start %v", res.Ratio, res.StartRatio)
+	}
+	prev := 0.0
+	for _, r := range res.History {
+		if r < prev {
+			t.Fatalf("history not non-decreasing: %v", res.History)
+		}
+		prev = r
+	}
+	if err := res.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineFindsWorseInstancesForEDF(t *testing.T) {
+	res, err := Mine(Config{Seed: 2, Iterations: 150, Scheduler: edf}, startInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted == 0 {
+		t.Error("miner accepted no improving mutation in 150 tries (suspicious)")
+	}
+	if !(res.Ratio > res.StartRatio) && !math.IsInf(res.Ratio, 1) {
+		t.Errorf("no improvement: start %v, final %v", res.StartRatio, res.Ratio)
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	a, err := Mine(Config{Seed: 3, Iterations: 40, Scheduler: paperS}, startInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(Config{Seed: 3, Iterations: 40, Scheduler: paperS}, startInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratio != b.Ratio || a.Accepted != b.Accepted {
+		t.Errorf("not deterministic: (%v,%d) vs (%v,%d)", a.Ratio, a.Accepted, b.Ratio, b.Accepted)
+	}
+}
+
+func TestMineDoesNotMutateStart(t *testing.T) {
+	inst := startInstance(t)
+	before := inst.TotalWork()
+	nBefore := len(inst.Jobs)
+	releases := make([]int64, nBefore)
+	for i, j := range inst.Jobs {
+		releases[i] = j.Release
+	}
+	if _, err := Mine(Config{Seed: 4, Iterations: 60, Scheduler: edf}, inst); err != nil {
+		t.Fatal(err)
+	}
+	if inst.TotalWork() != before || len(inst.Jobs) != nBefore {
+		t.Error("start instance mutated")
+	}
+	for i, j := range inst.Jobs {
+		if j.Release != releases[i] {
+			t.Fatalf("job %d release mutated", i)
+		}
+	}
+}
+
+func TestMineRejectsBadConfig(t *testing.T) {
+	inst := startInstance(t)
+	if _, err := Mine(Config{Iterations: 0, Scheduler: edf}, inst); err == nil {
+		t.Error("accepted 0 iterations")
+	}
+	if _, err := Mine(Config{Iterations: 5}, inst); err == nil {
+		t.Error("accepted nil scheduler")
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	inst := startInstance(t)
+	r, err := Ratio(inst, edf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 1-1e-9 {
+		t.Errorf("ratio %v below 1 (UB must dominate any schedule)", r)
+	}
+}
+
+func TestMineSlackPreservingKeepsCondition(t *testing.T) {
+	inst := startInstance(t)
+	res, err := Mine(Config{Seed: 5, Iterations: 120, Scheduler: paperS, MinSlack: 1}, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Instance.Jobs {
+		w := float64(j.Graph.TotalWork())
+		l := float64(j.Graph.Span())
+		minD := 2 * ((w-l)/float64(res.Instance.M) + l)
+		if float64(j.RelDeadline()) < minD-1e-9 {
+			t.Fatalf("job %d deadline %d violates the slack condition floor %v",
+				j.ID, j.RelDeadline(), minD)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package baselines implements the comparator schedulers the experiments
+// run against the paper's algorithm: classical real-time policies (EDF,
+// least-laxity-first), greedy profit policies (highest density first), naive
+// policies (FIFO, work-conserving greedy), and a federated-style allocator.
+// All are semi-non-clairvoyant and work-conserving unless noted; they share
+// scheduler S's engine and differ only in ordering and allotment decisions.
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"dagsched/internal/sim"
+)
+
+// Order ranks live jobs each tick; smaller keys run first.
+type Order int
+
+const (
+	// OrderEDF runs the earliest absolute deadline first.
+	OrderEDF Order = iota
+	// OrderLLF runs the least laxity (deadline − now − remaining critical
+	// estimate) first. Without DAG knowledge the laxity estimate uses
+	// remaining work over the full machine, a common practical surrogate.
+	OrderLLF
+	// OrderFIFO runs the earliest arrival first.
+	OrderFIFO
+	// OrderHDF runs the highest profit density (p_i / W_i) first.
+	OrderHDF
+	// OrderProfit runs the largest absolute profit first.
+	OrderProfit
+)
+
+// String names the order for reports.
+func (o Order) String() string {
+	switch o {
+	case OrderEDF:
+		return "edf"
+	case OrderLLF:
+		return "llf"
+	case OrderFIFO:
+		return "fifo"
+	case OrderHDF:
+		return "hdf"
+	case OrderProfit:
+		return "profit"
+	default:
+		return "order?"
+	}
+}
+
+// ListScheduler is a work-conserving global list scheduler: each tick it
+// ranks live jobs by the configured Order and hands out processors greedily,
+// giving each job as many processors as it has ready nodes until the machine
+// is full. With OrderEDF this is global EDF for DAG tasks; with OrderHDF it
+// is the greedy density heuristic the paper's admission control improves on.
+type ListScheduler struct {
+	Order Order
+	// AbandonHopeless, when set, stops running jobs that cannot possibly
+	// finish: remaining work exceeds machine capacity before the deadline,
+	// or the critical path alone exceeds the time left. Processors go to
+	// the next job instead.
+	AbandonHopeless bool
+
+	m     int
+	speed float64
+	live  map[int]sim.JobView
+	seq   []int // arrival order
+}
+
+// Name implements sim.Scheduler.
+func (l *ListScheduler) Name() string {
+	n := l.Order.String()
+	if l.AbandonHopeless {
+		n += "+abandon"
+	}
+	return n
+}
+
+// Init implements sim.Scheduler.
+func (l *ListScheduler) Init(env sim.Env) {
+	l.m = env.M
+	l.speed = env.Speed
+	l.live = make(map[int]sim.JobView)
+	l.seq = nil
+}
+
+// OnArrival implements sim.Scheduler.
+func (l *ListScheduler) OnArrival(t int64, v sim.JobView) {
+	l.live[v.ID] = v
+	l.seq = append(l.seq, v.ID)
+}
+
+// OnExpire implements sim.Scheduler.
+func (l *ListScheduler) OnExpire(t int64, jobID int) { delete(l.live, jobID) }
+
+// OnCompletion implements sim.Scheduler.
+func (l *ListScheduler) OnCompletion(t int64, jobID int) { delete(l.live, jobID) }
+
+// key returns the ranking key for a job at time t (smaller runs first).
+func (l *ListScheduler) key(t int64, v sim.JobView, view sim.AssignView) float64 {
+	switch l.Order {
+	case OrderEDF:
+		return float64(v.AbsDeadline())
+	case OrderLLF:
+		remaining := float64(v.W-view.ExecutedWork(v.ID)) / (l.speed * float64(l.m))
+		return float64(v.AbsDeadline()-t) - remaining
+	case OrderFIFO:
+		return float64(v.Release)
+	case OrderHDF:
+		return -v.Profit.At(v.RelDeadline()) / float64(v.W)
+	case OrderProfit:
+		return -v.Profit.At(v.RelDeadline())
+	default:
+		return 0
+	}
+}
+
+// Assign implements sim.Scheduler.
+func (l *ListScheduler) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.Alloc {
+	type ranked struct {
+		id  int
+		key float64
+	}
+	order := make([]ranked, 0, len(l.live))
+	for _, id := range l.seq {
+		v, ok := l.live[id]
+		if !ok {
+			continue
+		}
+		if l.AbandonHopeless {
+			left := float64(v.AbsDeadline() - t)
+			remain := float64(v.W - view.ExecutedWork(id))
+			if remain > left*l.speed*float64(l.m) {
+				continue // volume-infeasible
+			}
+			if float64(v.L)/l.speed > left+float64(t-v.Release) {
+				continue // span-infeasible even if executed from release
+			}
+		}
+		order = append(order, ranked{id: id, key: l.key(t, v, view)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].key != order[j].key {
+			return order[i].key < order[j].key
+		}
+		return order[i].id < order[j].id
+	})
+	free := l.m
+	for _, r := range order {
+		if free == 0 {
+			break
+		}
+		k := view.ReadyCount(r.id)
+		if k > free {
+			k = free
+		}
+		if k > 0 {
+			dst = append(dst, sim.Alloc{JobID: r.id, Procs: k})
+			free -= k
+		}
+	}
+	return dst
+}
+
+var _ sim.Scheduler = (*ListScheduler)(nil)
+
+// Federated allocates each admitted job a fixed dedicated share of
+// processors, in the spirit of federated scheduling for parallel real-time
+// tasks (Li et al., ECRTS'14): heavy jobs (W > D) get ceil((W−L)/(D−L))
+// dedicated processors; light jobs get one. A job is admitted only if its
+// share is free for its whole window estimate; otherwise it is dropped.
+type Federated struct {
+	m     int
+	speed float64
+	used  int
+	share map[int]int
+	order []int
+	live  map[int]sim.JobView
+}
+
+// Name implements sim.Scheduler.
+func (f *Federated) Name() string { return "federated" }
+
+// Init implements sim.Scheduler.
+func (f *Federated) Init(env sim.Env) {
+	f.m = env.M
+	f.speed = env.Speed
+	f.used = 0
+	f.share = make(map[int]int)
+	f.live = make(map[int]sim.JobView)
+	f.order = nil
+}
+
+// OnArrival implements sim.Scheduler: compute the federated share and admit
+// if it fits in the remaining processors.
+func (f *Federated) OnArrival(t int64, v sim.JobView) {
+	w := float64(v.W) / f.speed
+	l := float64(v.L) / f.speed
+	d := float64(v.RelDeadline())
+	var need int
+	switch {
+	case d <= l: // infeasible even on infinitely many processors
+		return
+	case w == l:
+		need = 1
+	default:
+		need = int(math.Ceil((w - l) / (d - l)))
+		if need < 1 {
+			need = 1
+		}
+	}
+	if need > f.m-f.used {
+		return // dropped: federated admission is all-or-nothing
+	}
+	f.used += need
+	f.share[v.ID] = need
+	f.live[v.ID] = v
+	f.order = append(f.order, v.ID)
+}
+
+// OnExpire implements sim.Scheduler.
+func (f *Federated) OnExpire(t int64, jobID int) { f.release(jobID) }
+
+// OnCompletion implements sim.Scheduler.
+func (f *Federated) OnCompletion(t int64, jobID int) { f.release(jobID) }
+
+func (f *Federated) release(jobID int) {
+	if share, ok := f.share[jobID]; ok {
+		f.used -= share
+		delete(f.share, jobID)
+		delete(f.live, jobID)
+	}
+}
+
+// Assign implements sim.Scheduler: every admitted job always runs on its
+// dedicated share.
+func (f *Federated) Assign(t int64, _ sim.AssignView, dst []sim.Alloc) []sim.Alloc {
+	for _, id := range f.order {
+		share, ok := f.share[id]
+		if !ok {
+			continue
+		}
+		dst = append(dst, sim.Alloc{JobID: id, Procs: share})
+	}
+	return dst
+}
+
+var _ sim.Scheduler = (*Federated)(nil)

@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+)
+
+func stepFn(t *testing.T, value float64, deadline int64) profit.Fn {
+	t.Helper()
+	s, err := profit.NewStep(value, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func allOrders() []Order {
+	return []Order{OrderEDF, OrderLLF, OrderFIFO, OrderHDF, OrderProfit}
+}
+
+func TestListSchedulerSingleJobAllOrders(t *testing.T) {
+	for _, o := range allOrders() {
+		j := &sim.Job{ID: 1, Graph: dag.ForkJoin(2, 3, 1), Release: 0, Profit: stepFn(t, 5, 50)}
+		res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{j}, &ListScheduler{Order: o})
+		if err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+		if res.Completed != 1 || res.TotalProfit != 5 {
+			t.Errorf("%v: completed=%d profit=%v", o, res.Completed, res.TotalProfit)
+		}
+	}
+}
+
+func TestEDFPrefersEarlierDeadline(t *testing.T) {
+	// Two chains on one processor: only one can finish. EDF must pick the
+	// earlier deadline (job 2).
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Chain(6, 1), Release: 0, Profit: stepFn(t, 1, 20)},
+		{ID: 2, Graph: dag.Chain(6, 1), Release: 0, Profit: stepFn(t, 1, 7)},
+	}
+	res, err := sim.Run(sim.Config{M: 1}, jobs, &ListScheduler{Order: OrderEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 2 && !js.Completed {
+			t.Error("EDF failed the tight-deadline job")
+		}
+	}
+	if res.Completed < 1 {
+		t.Error("EDF completed nothing")
+	}
+}
+
+func TestHDFPrefersDenserJob(t *testing.T) {
+	// Same shape, job 2 pays 10×: HDF must run it first.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Chain(6, 1), Release: 0, Profit: stepFn(t, 1, 6)},
+		{ID: 2, Graph: dag.Chain(6, 1), Release: 0, Profit: stepFn(t, 10, 6)},
+	}
+	res, err := sim.Run(sim.Config{M: 1}, jobs, &ListScheduler{Order: OrderHDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProfit != 10 {
+		t.Errorf("profit = %v, want 10", res.TotalProfit)
+	}
+}
+
+func TestFIFOPrefersEarlierArrival(t *testing.T) {
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Chain(6, 1), Release: 1, Profit: stepFn(t, 10, 6)},
+		{ID: 2, Graph: dag.Chain(6, 1), Release: 0, Profit: stepFn(t, 1, 8)},
+	}
+	res, err := sim.Run(sim.Config{M: 1}, jobs, &ListScheduler{Order: OrderFIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 2 && !js.Completed {
+			t.Error("FIFO did not finish the first arrival")
+		}
+	}
+}
+
+func TestAbandonHopelessSkipsInfeasible(t *testing.T) {
+	// Job 1's remaining work can never finish by its deadline on m=1;
+	// with AbandonHopeless the processor goes to job 2 instead.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Chain(100, 1), Release: 0, Profit: stepFn(t, 100, 10)},
+		{ID: 2, Graph: dag.Chain(8, 1), Release: 0, Profit: stepFn(t, 1, 10)},
+	}
+	plain, err := sim.Run(sim.Config{M: 1}, jobs, &ListScheduler{Order: OrderProfit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abandon, err := sim.Run(sim.Config{M: 1}, jobs, &ListScheduler{Order: OrderProfit, AbandonHopeless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalProfit != 0 {
+		t.Errorf("plain profit = %v, want 0 (wasted on hopeless job)", plain.TotalProfit)
+	}
+	if abandon.TotalProfit != 1 {
+		t.Errorf("abandon profit = %v, want 1", abandon.TotalProfit)
+	}
+}
+
+func TestListSchedulerWorkConserving(t *testing.T) {
+	// A single wide job must receive all processors it can use.
+	j := &sim.Job{ID: 1, Graph: dag.Block(16, 1), Release: 0, Profit: stepFn(t, 1, 100)}
+	res, err := sim.Run(sim.Config{M: 8}, []*sim.Job{j}, &ListScheduler{Order: OrderEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].CompletedAt != 2 {
+		t.Errorf("completed at %d, want 2", res.Jobs[0].CompletedAt)
+	}
+	if res.IdleProcTicks != 0 {
+		t.Errorf("idle = %d, want 0 (work conserving)", res.IdleProcTicks)
+	}
+}
+
+func TestFederatedSharesAndAdmission(t *testing.T) {
+	// m=4. Job 1: W=16, L=2, D=9 → share = ceil(14/7) = 2.
+	// Job 2 same → share 2, admitted (4 used).
+	// Job 3 same → rejected (no processors left).
+	mk := func(id int) *sim.Job {
+		return &sim.Job{ID: id, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 1, 9)}
+	}
+	res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{mk(1), mk(2), mk(3)}, &Federated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Errorf("completed = %d, want 2 (third rejected)", res.Completed)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 3 && js.Completed {
+			t.Error("job 3 should have been rejected")
+		}
+	}
+}
+
+func TestFederatedReleasesShareOnCompletion(t *testing.T) {
+	// Job 3 arrives after job 1 completes; its share is free again.
+	mk := func(id int, rel int64) *sim.Job {
+		return &sim.Job{ID: id, Graph: dag.Block(8, 2), Release: rel, Profit: stepFn(t, 1, 9)}
+	}
+	res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{mk(1, 0), mk(2, 0), mk(3, 9)}, &Federated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Errorf("completed = %d, want 3", res.Completed)
+	}
+}
+
+func TestFederatedRejectsInfeasibleDeadline(t *testing.T) {
+	// D ≤ L: no share can help; must be dropped, not hog processors.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Chain(10, 1), Release: 0, Profit: stepFn(t, 1, 5)},
+		{ID: 2, Graph: dag.Chain(5, 1), Release: 0, Profit: stepFn(t, 1, 10)},
+	}
+	res, err := sim.Run(sim.Config{M: 1}, jobs, &Federated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 2 && !js.Completed {
+			t.Error("feasible job starved by infeasible one")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := (&ListScheduler{Order: OrderEDF}).Name(); got != "edf" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (&ListScheduler{Order: OrderHDF, AbandonHopeless: true}).Name(); got != "hdf+abandon" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (&Federated{}).Name(); got != "federated" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagsched/internal/queue"
+	"dagsched/internal/sim"
+)
+
+// SchedulerGP is the paper's Section 5 algorithm for general non-increasing
+// profit functions. On arrival it computes the allotment n_i from the
+// profit's flat prefix x*, then searches for the minimal valid deadline D_i:
+// a deadline is valid when at least (1+δ)·x_i time steps in [r_i, r_i+D_i)
+// pass the per-step band condition against the jobs already assigned to
+// those steps. The chosen steps become the job's slot set I_i, the only
+// steps where it may execute. Each tick, the jobs assigned to that tick run
+// in density order, each granted its full allotment while processors remain.
+//
+// Deviation from the paper (documented in DESIGN.md): the paper searches
+// every potential deadline; for profit families that change value at every
+// integer tick (linear or exponential decay) that is Θ(horizon²) per job, so
+// after each failed constant-value segment this implementation advances the
+// candidate deadline geometrically by (1+δ/2). The assigned deadline is
+// therefore minimal up to a (1+δ/2) factor, which perturbs the obtained
+// profit by at most the profit drop across that factor.
+type SchedulerGP struct {
+	opts  Options
+	m     int
+	speed float64
+
+	jobs  map[int]*gpJob
+	slots map[int64][]queue.Item // J(t): assignments per time step, density-descending
+	tick  int64                  // last Assign tick (for pruning)
+
+	assigned   int     // jobs that received a slot assignment
+	assignedPr float64 // Σ p_i(D_i) over assigned jobs
+}
+
+// gpJob is SchedulerGP's per-job bookkeeping.
+type gpJob struct {
+	view    sim.JobView
+	alloc   int
+	x       float64
+	weight  float64 // band weight: alloc·x·(1+2δ)/x* = the paper's n_i when exact
+	density float64 // v_i = p_i(D_i)/(x_i·alloc)
+	deadln  int64   // assigned relative deadline D_i (0 when unschedulable)
+	slots   []int64 // assigned absolute time steps, ascending
+}
+
+// NewSchedulerGP returns a configured general-profit scheduler. It panics on
+// invalid parameters.
+func NewSchedulerGP(opts Options) *SchedulerGP {
+	if err := opts.Params.Validate(); err != nil {
+		panic(err)
+	}
+	return &SchedulerGP{opts: opts}
+}
+
+// Name implements sim.Scheduler.
+func (s *SchedulerGP) Name() string {
+	n := fmt.Sprintf("paper-GP(eps=%g)", s.opts.Params.Epsilon)
+	if s.opts.WorkConserving {
+		n += "+wc"
+	}
+	return n
+}
+
+// Init implements sim.Scheduler.
+func (s *SchedulerGP) Init(env sim.Env) {
+	s.m = env.M
+	s.speed = env.Speed
+	s.jobs = make(map[int]*gpJob)
+	s.slots = make(map[int64][]queue.Item)
+	s.tick = 0
+	s.assigned = 0
+	s.assignedPr = 0
+}
+
+// Assigned returns how many jobs received slot assignments and the total
+// profit S would earn by meeting every assigned deadline (the ||J|| of
+// Lemma 17's right-hand side).
+func (s *SchedulerGP) Assigned() (count int, totalProfit float64) {
+	return s.assigned, s.assignedPr
+}
+
+// AssignedDeadline returns the relative deadline S assigned to a job, or
+// false if the job is unknown or received no assignment.
+func (s *SchedulerGP) AssignedDeadline(jobID int) (int64, bool) {
+	j, ok := s.jobs[jobID]
+	if !ok || j.deadln == 0 {
+		return 0, false
+	}
+	return j.deadln, true
+}
+
+// OnArrival implements sim.Scheduler: compute the allotment from the flat
+// prefix, search the minimal valid deadline, and claim its slot set.
+func (s *SchedulerGP) OnArrival(now int64, v sim.JobView) {
+	par := s.opts.Params
+	w := float64(v.W) / s.speed
+	l := float64(v.L) / s.speed
+	xStar := float64(v.Profit.FlatUntil())
+
+	j := &gpJob{view: v}
+	s.jobs[v.ID] = j
+
+	// Allotment from x*: n_i = (W−L)/(x*/(1+2δ) − L).
+	denom := xStar/(1+2*par.Delta) - l
+	switch {
+	case w == l:
+		j.alloc = 1
+	case denom <= 0:
+		// x* violates the Theorem 3 assumption margin; the job cannot be
+		// δ-good at any allotment. Leave it unscheduled.
+		return
+	default:
+		a := int(math.Ceil((w - l) / denom))
+		if a < 1 {
+			a = 1
+		}
+		if a > s.m {
+			a = s.m
+		}
+		j.alloc = a
+	}
+	j.x = (w-l)/float64(j.alloc) + l
+	// Time-averaged processor demand over the x*/(1+2δ) window; equals the
+	// paper's real-valued n_i whenever no integral rounding was needed (see
+	// SchedulerS.computeInfo for the rationale).
+	j.weight = float64(j.alloc) * j.x * (1 + 2*par.Delta) / xStar
+
+	d, slots, ok := s.findAssignment(now, v, j)
+	if !ok {
+		return
+	}
+	j.deadln = d
+	j.slots = slots
+	j.density = v.Profit.At(d) / (j.x * float64(j.alloc))
+	it := queue.Item{ID: v.ID, Density: j.density, Weight: j.weight}
+	for _, t := range slots {
+		s.insertSlot(t, it)
+	}
+	s.assigned++
+	s.assignedPr += v.Profit.At(d)
+}
+
+// findAssignment searches candidate deadlines for the minimal valid one and
+// returns it with the first ceil((1+δ)x) admissible steps in its window.
+func (s *SchedulerGP) findAssignment(now int64, v sim.JobView, j *gpJob) (int64, []int64, bool) {
+	par := s.opts.Params
+	l := float64(v.L) / s.speed
+	need := int64(math.Ceil((1 + par.Delta) * j.x))
+	if need < 1 {
+		need = 1
+	}
+	xa := j.x * float64(j.alloc)
+
+	dMin := int64(math.Floor((1+par.Epsilon)*l)) + 1
+	if dMin < 1 {
+		dMin = 1
+	}
+	maxD := v.Profit.SupportEnd() - 1 // last deadline with positive profit
+
+	for segStart := dMin; segStart <= maxD; {
+		val := v.Profit.At(segStart)
+		if val <= 0 {
+			return 0, nil, false
+		}
+		segEnd := s.segmentEnd(v, segStart, maxD, val)
+		dens := val / xa
+		// Scan steps in [now, now+segEnd) for admissibility under dens.
+		var picked []int64
+		for t := now; t < now+segEnd && int64(len(picked)) < need; t++ {
+			if s.slotAdmissible(t, dens, j.weight) {
+				picked = append(picked, t)
+			}
+		}
+		if int64(len(picked)) == need {
+			d := picked[need-1] - now + 1
+			if d < segStart {
+				d = segStart
+			}
+			return d, picked, true
+		}
+		// Failed segment: advance. ExactSearch moves to the next value
+		// segment (the paper's full scan); otherwise skip geometrically to
+		// bound the search on continuously-decaying profits.
+		next := segEnd + 1
+		if !s.opts.ExactSearch {
+			if skip := int64(math.Ceil(float64(segStart) * (1 + par.Delta/2))); skip > next {
+				next = skip
+			}
+		}
+		segStart = next
+	}
+	return 0, nil, false
+}
+
+// segmentEnd returns the largest D in [segStart, maxD] with
+// v.Profit.At(D) == val, by galloping + binary search (the function is
+// non-increasing, so the equal-value region is contiguous).
+func (s *SchedulerGP) segmentEnd(v sim.JobView, segStart, maxD int64, val float64) int64 {
+	lo, hi := segStart, segStart
+	step := int64(1)
+	for hi < maxD && v.Profit.At(hi+step) == val {
+		hi += step
+		step *= 2
+		if hi+step > maxD {
+			step = maxD - hi
+			if step == 0 {
+				break
+			}
+		}
+	}
+	// Invariant: At(hi) == val; find the boundary in (hi, min(hi+step, maxD)].
+	end := hi + step
+	if end > maxD {
+		end = maxD
+	}
+	for hi < end {
+		mid := (hi + end + 1) / 2
+		if v.Profit.At(mid) == val {
+			hi = mid
+		} else {
+			end = mid - 1
+		}
+	}
+	_ = lo
+	return hi
+}
+
+// slotAdmissible checks the per-step band condition for adding a job with
+// the given density and band weight to time step t: for every job J_j
+// already assigned to t (and the candidate), the total weight with density
+// in [v_j, c·v_j) must stay ≤ b·m.
+func (s *SchedulerGP) slotAdmissible(t int64, dens, weight float64) bool {
+	par := s.opts.Params
+	bm := par.B() * float64(s.m)
+	items := s.slots[t]
+	// Candidate's own band.
+	sum := weight
+	for _, it := range items {
+		if it.Density >= dens && it.Density < par.C*dens {
+			sum += it.Weight
+		}
+	}
+	if sum > bm {
+		return false
+	}
+	// Bands of assigned jobs whose band contains the candidate's density.
+	for _, it := range items {
+		if !(it.Density <= dens && dens < par.C*it.Density) {
+			continue
+		}
+		bandSum := weight
+		for _, other := range items {
+			if other.Density >= it.Density && other.Density < par.C*it.Density {
+				bandSum += other.Weight
+			}
+		}
+		if bandSum > bm {
+			return false
+		}
+	}
+	return true
+}
+
+// insertSlot adds an item to J(t), keeping density-descending order.
+func (s *SchedulerGP) insertSlot(t int64, it queue.Item) {
+	items := s.slots[t]
+	i := sort.Search(len(items), func(i int) bool {
+		if items[i].Density != it.Density {
+			return items[i].Density < it.Density
+		}
+		return items[i].ID > it.ID
+	})
+	items = append(items, queue.Item{})
+	copy(items[i+1:], items[i:])
+	items[i] = it
+	s.slots[t] = items
+}
+
+// removeFromFutureSlots erases a finished or expired job's claims at steps
+// ≥ from, freeing band capacity for later arrivals.
+func (s *SchedulerGP) removeFromFutureSlots(j *gpJob, from int64) {
+	for _, t := range j.slots {
+		if t < from {
+			continue
+		}
+		items := s.slots[t]
+		for i, it := range items {
+			if it.ID == j.view.ID {
+				s.slots[t] = append(items[:i], items[i+1:]...)
+				break
+			}
+		}
+		if len(s.slots[t]) == 0 {
+			delete(s.slots, t)
+		}
+	}
+}
+
+// OnCompletion implements sim.Scheduler.
+func (s *SchedulerGP) OnCompletion(now int64, jobID int) {
+	if j, ok := s.jobs[jobID]; ok {
+		s.removeFromFutureSlots(j, now+1)
+		delete(s.jobs, jobID)
+	}
+}
+
+// OnExpire implements sim.Scheduler.
+func (s *SchedulerGP) OnExpire(now int64, jobID int) {
+	if j, ok := s.jobs[jobID]; ok {
+		s.removeFromFutureSlots(j, now)
+		delete(s.jobs, jobID)
+	}
+}
+
+// Assign implements sim.Scheduler: run the jobs assigned to this tick in
+// density order, granting each its allotment while processors remain. With
+// Options.WorkConserving, leftover processors then go to any live assigned
+// job with spare ready nodes (density order) — the slot structure still
+// decides admission and priority, but capacity is never parked.
+func (s *SchedulerGP) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.Alloc {
+	s.pruneBefore(t)
+	free := s.m
+	base := len(dst)
+	for _, it := range s.slots[t] {
+		if free == 0 {
+			break
+		}
+		j, ok := s.jobs[it.ID]
+		if !ok {
+			continue
+		}
+		if free >= j.alloc {
+			dst = append(dst, sim.Alloc{JobID: it.ID, Procs: j.alloc})
+			free -= j.alloc
+		}
+	}
+	if s.opts.WorkConserving && free > 0 {
+		dst = s.topUp(view, dst, base, free)
+	}
+	return dst
+}
+
+// topUp distributes leftover processors across all live assigned jobs in
+// density order, up to each job's ready-node count.
+func (s *SchedulerGP) topUp(view sim.AssignView, dst []sim.Alloc, base, free int) []sim.Alloc {
+	granted := make(map[int]int, len(dst)-base)
+	for _, a := range dst[base:] {
+		g := a.Procs
+		if r := view.ReadyCount(a.JobID); r < g {
+			g = r
+			free += a.Procs - r
+		}
+		granted[a.JobID] = g
+	}
+	// Live assigned jobs in density-descending order (deterministic: ties
+	// by ID).
+	live := make([]*gpJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.deadln > 0 {
+			live = append(live, j)
+		}
+	}
+	sort.Slice(live, func(i, k int) bool {
+		if live[i].density != live[k].density {
+			return live[i].density > live[k].density
+		}
+		return live[i].view.ID < live[k].view.ID
+	})
+	for _, j := range live {
+		if free == 0 {
+			break
+		}
+		extra := view.ReadyCount(j.view.ID) - granted[j.view.ID]
+		if extra > free {
+			extra = free
+		}
+		if extra > 0 {
+			granted[j.view.ID] += extra
+			free -= extra
+		}
+	}
+	dst = dst[:base]
+	for _, j := range live {
+		if p := granted[j.view.ID]; p > 0 {
+			dst = append(dst, sim.Alloc{JobID: j.view.ID, Procs: p})
+		}
+	}
+	return dst
+}
+
+// pruneBefore drops slot sets for ticks that have passed. Ticks advance
+// monotonically, so each key is deleted once.
+func (s *SchedulerGP) pruneBefore(t int64) {
+	if t <= s.tick {
+		return
+	}
+	for k := s.tick; k < t; k++ {
+		delete(s.slots, k)
+	}
+	s.tick = t
+}
+
+// CheckSlotInvariants verifies Lemma 15 by recomputation: at every assigned
+// future step, every band of J(t) holds at most b·m + tol allotment.
+func (s *SchedulerGP) CheckSlotInvariants() error {
+	par := s.opts.Params
+	bm := par.B()*float64(s.m) + 1e-9
+	for t, items := range s.slots {
+		for _, ji := range items {
+			var sum float64
+			for _, jj := range items {
+				if jj.Density >= ji.Density && jj.Density < par.C*ji.Density {
+					sum += jj.Weight
+				}
+			}
+			if sum > bm {
+				return fmt.Errorf("core: slot %d band [%g, %g) holds %g > b·m = %g",
+					t, ji.Density, par.C*ji.Density, sum, bm)
+			}
+		}
+	}
+	return nil
+}
+
+var _ sim.Scheduler = (*SchedulerGP)(nil)

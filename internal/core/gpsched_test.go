@@ -1,0 +1,434 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+)
+
+func newGP(t *testing.T, eps float64) *SchedulerGP {
+	t.Helper()
+	return NewSchedulerGP(Options{Params: MustParams(eps)})
+}
+
+func pw(t *testing.T, until []int64, values []float64) profit.Fn {
+	t.Helper()
+	p, err := profit.NewPiecewiseConstant(until, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGPSingleStepJobAssignedMinimalDeadline(t *testing.T) {
+	// Block(8,2): W=16, L=2, m=4, eps=1, delta=0.25. Step(5, 30):
+	// x* = 30 → n = 14/(20−2) = 0.78 → alloc 1, x = 16,
+	// need = ceil(1.25·16) = 20 slots, all free → D = 20.
+	j := &sim.Job{ID: 1, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 5, 30)}
+	s := newGP(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{j}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.TotalProfit != 5 {
+		t.Fatalf("completed=%d profit=%v", res.Completed, res.TotalProfit)
+	}
+	if res.Jobs[0].Latency > 20 {
+		t.Errorf("latency %d exceeds assigned deadline 20", res.Jobs[0].Latency)
+	}
+}
+
+func TestGPDeadlineSearchSkipsOccupiedSlots(t *testing.T) {
+	// Block(19,2): W=38, L=2, flat prefix x*=21 → n = 36/(14−2) = 3,
+	// alloc 3, x = 14, band weight 3·14·1.5/21 = 3.0 > b·m/2, so the two
+	// jobs cannot share any time step. Job 1 takes slots 0..17 (need =
+	// ceil(1.25·14) = 18) → D = 18, value 5. Job 2 is pushed to slots
+	// 18..35 → D = 36, landing in the value-4 piece; it runs 18..31 and
+	// completes at 32.
+	fn := func() profit.Fn { return pw(t, []int64{21, 40}, []float64{5, 4}) }
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(19, 2), Release: 0, Profit: fn()},
+		{ID: 2, Graph: dag.Block(19, 2), Release: 0, Profit: fn()},
+	}
+	s := newGP(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d, want 2 (stats %+v)", res.Completed, res.Jobs)
+	}
+	if res.TotalProfit != 9 {
+		t.Errorf("profit = %v, want 5 + 4 = 9 (stats %+v)", res.TotalProfit, res.Jobs)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 2 && js.CompletedAt != 32 {
+			t.Errorf("job 2 completed at %d, want 32 (slots 18..31)", js.CompletedAt)
+		}
+	}
+}
+
+func TestGPAssignedDeadlineQuery(t *testing.T) {
+	s := newGP(t, 1.0)
+	s.Init(sim.Env{M: 4, Speed: 1})
+	v := sim.JobView{ID: 7, Release: 0, W: 16, L: 2, Profit: stepFn(t, 5, 30)}
+	s.OnArrival(0, v)
+	d, ok := s.AssignedDeadline(7)
+	if !ok || d != 20 {
+		t.Errorf("AssignedDeadline = %d, %v; want 20, true", d, ok)
+	}
+	if n, pr := s.Assigned(); n != 1 || pr != 5 {
+		t.Errorf("Assigned = %d, %v", n, pr)
+	}
+	if _, ok := s.AssignedDeadline(99); ok {
+		t.Error("AssignedDeadline found phantom job")
+	}
+}
+
+func TestGPLemma14XBound(t *testing.T) {
+	// x(1+2δ) ≤ x* for assigned jobs.
+	rng := rand.New(rand.NewSource(8))
+	eps := 1.0
+	par := MustParams(eps)
+	m := 8
+	s := NewSchedulerGP(Options{Params: par})
+	s.Init(sim.Env{M: m, Speed: 1})
+	for i := 0; i < 200; i++ {
+		w := 2 + rng.Int63n(300)
+		l := 1 + rng.Int63n(w)
+		xStarMin := (1 + eps) * (float64(w-l)/float64(m) + float64(l))
+		xStar := int64(math.Ceil(xStarMin)) + rng.Int63n(40)
+		v := sim.JobView{ID: i, Release: 0, W: w, L: l,
+			Profit: pw(t, []int64{xStar, xStar + 100}, []float64{10, 5})}
+		s.OnArrival(0, v)
+		j := s.jobs[i]
+		if j.deadln == 0 {
+			continue // band-congested; fine
+		}
+		if j.x*(1+2*par.Delta) > float64(xStar)+1e-9 {
+			t.Fatalf("W=%d L=%d x*=%d: x(1+2δ) = %v > x*", w, l, xStar, j.x*(1+2*par.Delta))
+		}
+	}
+}
+
+func TestGPUnschedulableTightFlatPrefix(t *testing.T) {
+	// x* barely above L violates the δ margin: x*/(1+2δ) − L ≤ 0 → no
+	// assignment, job expires with zero profit.
+	s := newGP(t, 1.0)
+	j := &sim.Job{ID: 1, Graph: dag.Block(8, 2), Release: 0,
+		Profit: pw(t, []int64{2, 50}, []float64{5, 4})} // x* = 2 = L
+	res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{j}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Errorf("unschedulable job completed (%+v)", res.Jobs)
+	}
+}
+
+func TestGPLinearDecayEarnsDecayedProfit(t *testing.T) {
+	// Linear decay: flat 20 at peak 10, zero at 60. Uncontended job gets a
+	// minimal deadline near ceil(1.25·x) and earns close to peak.
+	lin, err := profit.NewLinearDecay(10, 20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &sim.Job{ID: 1, Graph: dag.Block(8, 2), Release: 0, Profit: lin}
+	s := newGP(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{j}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatal("job did not complete")
+	}
+	if res.TotalProfit < 9 {
+		t.Errorf("profit = %v, want near peak 10 (flat prefix covers the assignment)", res.TotalProfit)
+	}
+}
+
+// gpChecker verifies Lemma 15 slot invariants after every event.
+type gpChecker struct {
+	*SchedulerGP
+	t *testing.T
+}
+
+func (c *gpChecker) check() {
+	c.t.Helper()
+	if err := c.SchedulerGP.CheckSlotInvariants(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *gpChecker) OnArrival(t int64, v sim.JobView) {
+	c.SchedulerGP.OnArrival(t, v)
+	c.check()
+}
+
+func (c *gpChecker) OnCompletion(t int64, id int) {
+	c.SchedulerGP.OnCompletion(t, id)
+	c.check()
+}
+
+func (c *gpChecker) OnExpire(t int64, id int) {
+	c.SchedulerGP.OnExpire(t, id)
+	c.check()
+}
+
+func TestGPLemma15SlotInvariantUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := 8
+	var jobs []*sim.Job
+	clock := int64(0)
+	for i := 0; i < 40; i++ {
+		g := dag.Layered(rng, 1+rng.Intn(4), 1+rng.Intn(5), 1+rng.Int63n(3), 0.5)
+		w, l := g.TotalWork(), g.Span()
+		xStarMin := 2 * (float64(w-l)/float64(m) + float64(l))
+		xStar := int64(math.Ceil(xStarMin)) + rng.Int63n(20)
+		fn, err := profit.NewLinearDecay(1+float64(rng.Intn(10)), xStar, xStar+60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, &sim.Job{ID: i, Graph: g, Release: clock, Profit: fn})
+		clock += rng.Int63n(4)
+	}
+	c := &gpChecker{SchedulerGP: newGP(t, 1.0), t: t}
+	res, err := sim.Run(sim.Config{M: m}, jobs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Error("GP completed nothing under load")
+	}
+}
+
+func TestGPCompletionFreesFutureSlots(t *testing.T) {
+	// The Block(19,2) blocker claims slots 0..17 but finishes at t=14; its
+	// claim on 14..17 is released during tick 13's completion handling. A
+	// second job arriving at t=14 can therefore claim slots 14..31
+	// (D = 18, value 5) instead of starting behind the stale claim at 18
+	// (D = 22, value 4).
+	fn := func() profit.Fn { return pw(t, []int64{21, 40}, []float64{5, 4}) }
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(19, 2), Release: 0, Profit: fn()},
+		{ID: 2, Graph: dag.Block(19, 2), Release: 14, Profit: fn()},
+	}
+	s := newGP(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d (stats %+v)", res.Completed, res.Jobs)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 2 {
+			if js.CompletedAt != 28 {
+				t.Errorf("job 2 completed at %d, want 28 (slots 14..27 free after job 1 finished)", js.CompletedAt)
+			}
+			if js.Profit != 5 {
+				t.Errorf("job 2 profit = %v, want 5 (D=18 within flat prefix)", js.Profit)
+			}
+		}
+	}
+}
+
+func TestGPNamePanicsAndBasics(t *testing.T) {
+	s := newGP(t, 0.5)
+	if s.Name() != "paper-GP(eps=0.5)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad params")
+		}
+	}()
+	NewSchedulerGP(Options{Params: Params{Epsilon: 0}})
+}
+
+func newGPWC(t *testing.T, eps float64) *SchedulerGP {
+	t.Helper()
+	return NewSchedulerGP(Options{Params: MustParams(eps), WorkConserving: true})
+}
+
+func TestGPWCNameSuffix(t *testing.T) {
+	if got := newGPWC(t, 1).Name(); got != "paper-GP(eps=1)+wc" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestGPWCFloodsIdleProcessors(t *testing.T) {
+	// A single wide job with a generous flat prefix: plain GP grants only
+	// its allotment; GP+wc floods the machine and finishes much earlier.
+	mk := func() []*sim.Job {
+		return []*sim.Job{{ID: 1, Graph: dag.Block(32, 1), Release: 0, Profit: stepFn(t, 5, 200)}}
+	}
+	plain, err := sim.Run(sim.Config{M: 8}, mk(), newGP(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := sim.Run(sim.Config{M: 8}, mk(), newGPWC(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Jobs[0].CompletedAt != 4 {
+		t.Errorf("GP+wc completed at %d, want 4", wc.Jobs[0].CompletedAt)
+	}
+	if wc.Jobs[0].CompletedAt >= plain.Jobs[0].CompletedAt {
+		t.Errorf("GP+wc (%d) not faster than GP (%d)", wc.Jobs[0].CompletedAt, plain.Jobs[0].CompletedAt)
+	}
+}
+
+func TestGPWCRunsOutsideSlotsWhenIdle(t *testing.T) {
+	// Two heavy jobs whose slot sets are disjoint: plain GP leaves job 2
+	// idle during job 1's window even when processors are free; GP+wc runs
+	// both. Total profit must not decrease.
+	fn := func() profit.Fn { return pw(t, []int64{21, 40}, []float64{5, 4}) }
+	mk := func() []*sim.Job {
+		return []*sim.Job{
+			{ID: 1, Graph: dag.Block(19, 2), Release: 0, Profit: fn()},
+			{ID: 2, Graph: dag.Block(19, 2), Release: 0, Profit: fn()},
+		}
+	}
+	plain, err := sim.Run(sim.Config{M: 4}, mk(), newGP(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := sim.Run(sim.Config{M: 4}, mk(), newGPWC(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.TotalProfit <= plain.TotalProfit {
+		t.Errorf("GP+wc profit %v not above GP %v (early progress should land job 2 in the value-5 piece)",
+			wc.TotalProfit, plain.TotalProfit)
+	}
+	at := func(res *sim.Result, id int) int64 {
+		for _, js := range res.Jobs {
+			if js.ID == id {
+				return js.CompletedAt
+			}
+		}
+		return 0
+	}
+	if at(wc, 2) >= at(plain, 2) {
+		t.Errorf("GP+wc job 2 at %d, plain at %d: no speedup", at(wc, 2), at(plain, 2))
+	}
+}
+
+func TestSegmentEndMatchesLinearScan(t *testing.T) {
+	// segmentEnd (galloping + binary search) must agree with a brute-force
+	// scan on every profit family and every starting point.
+	s := newGP(t, 1.0)
+	s.Init(sim.Env{M: 4, Speed: 1})
+	lin, err := profit.NewLinearDecay(9, 7, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := profit.NewExpDecay(16, 5, 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := []profit.Fn{
+		stepFn(t, 5, 12),
+		lin,
+		exp,
+		pw(t, []int64{4, 9, 20}, []float64{6, 6, 2}),
+	}
+	for _, fn := range fns {
+		v := sim.JobView{ID: 1, W: 10, L: 2, Profit: fn}
+		maxD := fn.SupportEnd() - 1
+		for start := int64(1); start <= maxD; start++ {
+			val := fn.At(start)
+			got := s.segmentEnd(v, start, maxD, val)
+			want := start
+			for want < maxD && fn.At(want+1) == val {
+				want++
+			}
+			if got != want {
+				t.Fatalf("%s: segmentEnd(start=%d) = %d, want %d", fn.Name(), start, got, want)
+			}
+		}
+	}
+}
+
+func TestGPAssignedSlotsAreWithinWindowAndSorted(t *testing.T) {
+	s := newGP(t, 1.0)
+	s.Init(sim.Env{M: 4, Speed: 1})
+	for i := 0; i < 10; i++ {
+		v := sim.JobView{ID: i, Release: int64(i * 3), W: 16, L: 2, Profit: stepFn(t, 5, 40)}
+		s.OnArrival(v.Release, v)
+		j := s.jobs[i]
+		if j.deadln == 0 {
+			continue
+		}
+		prev := int64(-1)
+		for _, slot := range j.slots {
+			if slot <= prev {
+				t.Fatalf("job %d slots not strictly increasing: %v", i, j.slots)
+			}
+			prev = slot
+			if slot < v.Release || slot >= v.Release+j.deadln {
+				t.Fatalf("job %d slot %d outside window [%d, %d)", i, slot, v.Release, v.Release+j.deadln)
+			}
+		}
+	}
+}
+
+func TestGPExactSearchFindsMinimalDeadline(t *testing.T) {
+	// Linear decay changes value every tick, so the geometric skip may
+	// overshoot the minimal valid deadline once slots are congested; the
+	// exact search must never assign a later deadline than the geometric
+	// one, and both must agree on step profits.
+	lin := func() profit.Fn {
+		fn, err := profit.NewLinearDecay(10, 30, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fn
+	}
+	mkJobs := func() []*sim.Job {
+		var jobs []*sim.Job
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, &sim.Job{ID: i, Graph: dag.Block(19, 2), Release: 0, Profit: lin()})
+		}
+		return jobs
+	}
+	geo := NewSchedulerGP(Options{Params: MustParams(1)})
+	exact := NewSchedulerGP(Options{Params: MustParams(1), ExactSearch: true})
+	resGeo, err := sim.Run(sim.Config{M: 4}, mkJobs(), geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resExact, err := sim.Run(sim.Config{M: 4}, mkJobs(), exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resExact.TotalProfit < resGeo.TotalProfit-1e-9 {
+		t.Errorf("exact search earned %v < geometric %v", resExact.TotalProfit, resGeo.TotalProfit)
+	}
+
+	// On step profits the two must behave identically (single segment).
+	stepJobs := func() []*sim.Job {
+		var jobs []*sim.Job
+		for i := 0; i < 4; i++ {
+			jobs = append(jobs, &sim.Job{ID: i, Graph: dag.Block(8, 2), Release: int64(2 * i), Profit: stepFn(t, 5, 40)})
+		}
+		return jobs
+	}
+	a, err := sim.Run(sim.Config{M: 4}, stepJobs(), NewSchedulerGP(Options{Params: MustParams(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sim.Config{M: 4}, stepJobs(), NewSchedulerGP(Options{Params: MustParams(1), ExactSearch: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalProfit != b.TotalProfit || a.Completed != b.Completed {
+		t.Errorf("step profits: geometric (%v,%d) vs exact (%v,%d)",
+			a.TotalProfit, a.Completed, b.TotalProfit, b.Completed)
+	}
+}

@@ -1,0 +1,108 @@
+// Package core implements the paper's contribution: scheduler S for jobs
+// with deadlines (Section 3, Theorem 2) and its generalization to arbitrary
+// non-increasing profit functions (Section 5, Theorem 3).
+//
+// Scheduler S is semi-non-clairvoyant: on arrival it sees only a job's total
+// work W_i, span L_i, and deadline/profit. It precomputes a processor
+// allotment n_i — roughly the minimum number of dedicated processors that
+// completes the job by D_i/(1+2δ) regardless of DAG structure — and a
+// density v_i = p_i/(x_i·n_i), the profit per processor step. Jobs are kept
+// in two density-ordered queues: Q (started) and P (waiting). A job enters Q
+// only if it is δ-good and the admission band condition (2) holds: for every
+// job J_j in Q∪{J_i}, the total allotment of jobs with density in
+// [v_j, c·v_j) stays at most b·m. Each tick, S executes jobs of Q from
+// highest to lowest density, granting each its full allotment if enough
+// processors remain.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params carries the constants of the paper's Table 1 for a chosen ε:
+// δ < ε/2, c ≥ 1 + 1/(δε), b = sqrt((1+2δ)/(1+ε)) < 1, and
+// a = 1 + (1+2δ)/(ε−2δ).
+type Params struct {
+	Epsilon float64
+	Delta   float64
+	C       float64
+}
+
+// NewParams returns parameters for ε with δ = ε/4 and the smallest c that
+// both satisfies the paper's requirement c ≥ 1 + 1/(δε) and keeps the
+// Lemma 5 charging margin (1−b)/b − 1/((c−1)δ) strictly positive with a
+// factor-two slack. (At the paper's equality choice the margin can reach
+// zero; the brief announcement's arithmetic treats (1−b)/b as ε, which is
+// only an approximation.)
+func NewParams(eps float64) (Params, error) {
+	delta := eps / 4
+	b := math.Sqrt((1 + 2*delta) / (1 + eps))
+	cPaper := 1 + 1/(delta*eps)
+	cMargin := 1 + 2*b/((1-b)*delta)
+	p := Params{
+		Epsilon: eps,
+		Delta:   delta,
+		C:       math.Max(cPaper, cMargin),
+	}
+	return p, p.Validate()
+}
+
+// MustParams is NewParams that panics on error, for statically-valid ε.
+func MustParams(eps float64) Params {
+	p, err := NewParams(eps)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate checks the constraints the analysis requires.
+func (p Params) Validate() error {
+	if !(p.Epsilon > 0) || math.IsInf(p.Epsilon, 0) || math.IsNaN(p.Epsilon) {
+		return fmt.Errorf("core: epsilon %v must be positive and finite", p.Epsilon)
+	}
+	if !(p.Delta > 0) || p.Delta >= p.Epsilon/2 {
+		return fmt.Errorf("core: delta %v must be in (0, eps/2) = (0, %v)", p.Delta, p.Epsilon/2)
+	}
+	if p.C < 1+1/(p.Delta*p.Epsilon) {
+		return fmt.Errorf("core: c %v must be at least 1 + 1/(delta*eps) = %v", p.C, 1+1/(p.Delta*p.Epsilon))
+	}
+	return nil
+}
+
+// B returns b = sqrt((1+2δ)/(1+ε)) < 1, the admission capacity fraction.
+func (p Params) B() float64 {
+	return math.Sqrt((1 + 2*p.Delta) / (1 + p.Epsilon))
+}
+
+// A returns a = 1 + (1+2δ)/(ε−2δ), the processor-step inflation bound of
+// Lemma 3 (x_i·n_i ≤ a·W_i).
+func (p Params) A() float64 {
+	return 1 + (1+2*p.Delta)/(p.Epsilon-2*p.Delta)
+}
+
+// CompetitiveBound returns the upper bound on OPT/ALG proven in Lemma 10
+// with the exact Lemma 5 margin (1−b)/b − 1/((c−1)δ) in the denominator:
+//
+//	(1 + a·(1 + 1/(εδ))·(1+2δ)/(δ·b·(1−b))) / ((1−b)/b − 1/((c−1)δ)).
+//
+// It is the Θ(1/ε⁶) constant of Theorem 2 for this parameterization — useful
+// to display next to measured ratios (the analysis is far from tight). It
+// returns +Inf when the margin is non-positive.
+func (p Params) CompetitiveBound() float64 {
+	b := p.B()
+	num := 1 + p.A()*(1+1/(p.Epsilon*p.Delta))*(1+2*p.Delta)/(p.Delta*b*(1-b))
+	den := (1-b)/b - 1/((p.C-1)*p.Delta)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// DeadlineSlackOK reports whether a job with effective work w, span l (both
+// in ticks at the scheduler's speed) and relative deadline d satisfies the
+// Theorem 2 condition (1+ε)((w−l)/m + l) ≤ d.
+func (p Params) DeadlineSlackOK(w, l, d float64, m int) bool {
+	return (1+p.Epsilon)*((w-l)/float64(m)+l) <= d
+}

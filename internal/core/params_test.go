@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewParamsDefaults(t *testing.T) {
+	p, err := NewParams(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delta != 0.25 {
+		t.Errorf("Delta = %v, want eps/4", p.Delta)
+	}
+	if p.C < 1+1/(p.Delta*p.Epsilon) {
+		t.Errorf("C = %v below the paper's floor %v", p.C, 1+1/(p.Delta*p.Epsilon))
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Epsilon: 0, Delta: 0.1, C: 100},
+		{Epsilon: -1, Delta: 0.1, C: 100},
+		{Epsilon: 1, Delta: 0.5, C: 100},  // delta == eps/2
+		{Epsilon: 1, Delta: 0, C: 100},    // delta == 0
+		{Epsilon: 1, Delta: 0.25, C: 1.5}, // c below 1+1/(delta·eps) = 5
+		{Epsilon: math.Inf(1), Delta: 1, C: 100},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestBDerivation(t *testing.T) {
+	p := MustParams(1.0) // delta = 0.25
+	want := math.Sqrt(1.5 / 2.0)
+	if got := p.B(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("B = %v, want %v", got, want)
+	}
+	if p.B() >= 1 {
+		t.Error("b must be < 1")
+	}
+}
+
+func TestADerivation(t *testing.T) {
+	p := MustParams(1.0) // a = 1 + 1.5/0.5 = 4
+	if got := p.A(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("A = %v, want 4", got)
+	}
+}
+
+func TestCompetitiveBoundFinitePositive(t *testing.T) {
+	for _, eps := range []float64{0.25, 0.5, 1, 2, 4} {
+		p := MustParams(eps)
+		bound := p.CompetitiveBound()
+		if math.IsInf(bound, 0) || bound <= 0 {
+			t.Errorf("eps=%v: CompetitiveBound = %v", eps, bound)
+		}
+	}
+}
+
+func TestCompetitiveBoundGrowsAsEpsShrinks(t *testing.T) {
+	b1 := MustParams(0.25).CompetitiveBound()
+	b2 := MustParams(1.0).CompetitiveBound()
+	if b1 <= b2 {
+		t.Errorf("bound(eps=0.25)=%v should exceed bound(eps=1)=%v", b1, b2)
+	}
+}
+
+func TestDeadlineSlackOK(t *testing.T) {
+	p := MustParams(1.0)
+	// (1+1)((64−8)/8 + 8) = 30
+	if !p.DeadlineSlackOK(64, 8, 30, 8) {
+		t.Error("rejected exactly-feasible deadline")
+	}
+	if p.DeadlineSlackOK(64, 8, 29, 8) {
+		t.Error("accepted infeasible deadline")
+	}
+}
+
+func TestPropParamsAlwaysConsistent(t *testing.T) {
+	f := func(seed uint16) bool {
+		eps := 0.05 + float64(seed%400)/100.0 // [0.05, 4.04]
+		p, err := NewParams(eps)
+		if err != nil {
+			return false
+		}
+		b := p.B()
+		if !(b > 0 && b < 1) {
+			return false
+		}
+		if !(p.A() > 1) {
+			return false
+		}
+		// The Lemma 5 margin must be strictly positive by construction.
+		margin := (1-b)/b - 1/((p.C-1)*p.Delta)
+		return margin > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParams(-1) did not panic")
+		}
+	}()
+	MustParams(-1)
+}

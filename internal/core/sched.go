@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dagsched/internal/queue"
+	"dagsched/internal/sim"
+)
+
+// Ablation selects deliberately-weakened variants of scheduler S for the
+// ablation experiments; AblationNone is the paper's algorithm.
+type Ablation int
+
+const (
+	// AblationNone runs the paper's algorithm unmodified.
+	AblationNone Ablation = iota
+	// AblationNoBandCheck admits every δ-good job to Q immediately,
+	// removing condition (2). This voids the Observation 3 invariant that
+	// the whole analysis rests on; empirically (ABL1) it trades the
+	// worst-case guarantee for extra profit on stochastic workloads, since
+	// density-ordered execution self-limits dilution there.
+	AblationNoBandCheck
+	// AblationNoFreshness admits jobs from P without the δ-fresh test,
+	// spending processor steps on jobs that can no longer finish (ABL3).
+	AblationNoFreshness
+	// AblationAllotOne forces n_i = 1 regardless of the formula (ABL2).
+	AblationAllotOne
+	// AblationAllotAll forces n_i = m regardless of the formula (ABL2).
+	AblationAllotAll
+)
+
+// String names the ablation for reports.
+func (a Ablation) String() string {
+	switch a {
+	case AblationNone:
+		return "none"
+	case AblationNoBandCheck:
+		return "no-band-check"
+	case AblationNoFreshness:
+		return "no-freshness"
+	case AblationAllotOne:
+		return "allot-1"
+	case AblationAllotAll:
+		return "allot-m"
+	default:
+		return fmt.Sprintf("ablation(%d)", int(a))
+	}
+}
+
+// Options configures a SchedulerS instance.
+type Options struct {
+	// Params are the ε-derived constants; required.
+	Params Params
+	// NewBand constructs the band index used for condition (2). Nil means
+	// queue.NewTreapBand with a fixed seed.
+	NewBand func() queue.BandIndex
+	// Ablation optionally weakens the algorithm for ablation studies.
+	Ablation Ablation
+	// WorkConserving enables the paper's "future work" extension: after the
+	// paper's allocation pass, leftover processors are distributed to
+	// admitted jobs in density order, up to each job's ready-node count.
+	// Admission (δ-good, δ-fresh, condition (2)) is unchanged, so the
+	// worst-case analysis is unaffected — extra processors only ever add
+	// progress.
+	WorkConserving bool
+	// ExactSearch makes SchedulerGP scan every candidate deadline as the
+	// paper specifies, instead of advancing geometrically after a failed
+	// constant-value segment. Exact on any profit family; Θ(horizon²) worst
+	// case on continuously-decaying profits.
+	ExactSearch bool
+}
+
+// jobInfo is S's per-job bookkeeping, computed once on arrival (Remark in
+// Section 3.1: the allotment is deliberately fixed at arrival).
+type jobInfo struct {
+	view sim.JobView
+
+	alloc   int     // A_i = min(m, max(1, ceil(n_i))): processors granted when run
+	nReal   float64 // the paper's real-valued n_i (for diagnostics)
+	x       float64 // x_i = (W_eff−L_eff)/A_i + L_eff in ticks
+	weight  float64 // band weight: A_i·x_i·(1+2δ)/D_i = the paper's n_i when exact
+	density float64 // v_i = p_i / (x_i·A_i)
+	profit  float64 // p_i = profit if completed by the deadline
+	good    bool    // δ-good: (1+2δ)·x_i ≤ D_i
+}
+
+// SchedulerS is the paper's Section 3 algorithm for jobs with deadlines and
+// profits. It implements sim.Scheduler.
+type SchedulerS struct {
+	opts  Options
+	m     int
+	speed float64
+
+	q    queue.DensityList // started jobs, density-descending
+	p    queue.DensityList // waiting jobs, density-descending
+	band queue.BandIndex   // allotments of Q by density
+	info map[int]*jobInfo
+
+	started   int     // |R|: jobs ever admitted to Q
+	startedPr float64 // ||R||: their total profit
+}
+
+// NewSchedulerS returns a configured scheduler S. It panics on invalid
+// parameters (programmer error).
+func NewSchedulerS(opts Options) *SchedulerS {
+	if err := opts.Params.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.NewBand == nil {
+		opts.NewBand = func() queue.BandIndex { return queue.NewTreapBand(0x5eed) }
+	}
+	return &SchedulerS{opts: opts}
+}
+
+// Name implements sim.Scheduler.
+func (s *SchedulerS) Name() string {
+	n := fmt.Sprintf("paper-S(eps=%g)", s.opts.Params.Epsilon)
+	if s.opts.Ablation != AblationNone {
+		n += "/" + s.opts.Ablation.String()
+	}
+	if s.opts.WorkConserving {
+		n += "+wc"
+	}
+	return n
+}
+
+// Init implements sim.Scheduler.
+func (s *SchedulerS) Init(env sim.Env) {
+	s.m = env.M
+	s.speed = env.Speed
+	s.q = queue.DensityList{}
+	s.p = queue.DensityList{}
+	s.band = s.opts.NewBand()
+	s.info = make(map[int]*jobInfo)
+	s.started = 0
+	s.startedPr = 0
+}
+
+// Started returns |R| and ||R||: how many jobs S ever admitted to Q and
+// their total profit. The analysis bounds both ||C|| and ||OPT|| against
+// ||R||; experiments report it.
+func (s *SchedulerS) Started() (count int, totalProfit float64) {
+	return s.started, s.startedPr
+}
+
+// computeInfo evaluates the arrival-time formulas of Section 3.1 for a job.
+// All times are "effective ticks": work and span divided by the machine
+// speed, so the same code serves speed-augmented runs.
+func (s *SchedulerS) computeInfo(v sim.JobView) *jobInfo {
+	par := s.opts.Params
+	w := float64(v.W) / s.speed
+	l := float64(v.L) / s.speed
+	d := float64(v.RelDeadline())
+	profitVal := v.Profit.At(v.RelDeadline())
+
+	info := &jobInfo{view: v, profit: profitVal}
+
+	denom := d/(1+2*par.Delta) - l
+	switch {
+	case w == l: // pure chain: one processor suffices, x = L
+		info.nReal = 0
+		info.alloc = 1
+	case denom <= 0: // cannot be δ-good at any allotment
+		info.nReal = math.Inf(1)
+		info.alloc = s.m
+	default:
+		info.nReal = (w - l) / denom
+		a := int(math.Ceil(info.nReal))
+		if a < 1 {
+			a = 1
+		}
+		if a > s.m {
+			a = s.m
+		}
+		info.alloc = a
+	}
+	switch s.opts.Ablation {
+	case AblationAllotOne:
+		info.alloc = 1
+	case AblationAllotAll:
+		info.alloc = s.m
+	}
+	info.x = (w-l)/float64(info.alloc) + l
+	den := info.x * float64(info.alloc)
+	if den > 0 {
+		info.density = info.profit / den
+	}
+	// Band weight: the job's time-averaged processor demand within its
+	// scheduling window, A_i·x_i/(D_i/(1+2δ)). With the paper's exact
+	// real-valued n_i this is n_i itself (x_i·n_i spread over the window);
+	// rounding A_i up shrinks x_i by the same factor, so the product stays
+	// faithful — unlike summing integral A_i, which over-counts jobs whose
+	// n_i < 1 and starves admission.
+	if d > 0 && !math.IsInf(info.x, 1) {
+		info.weight = float64(info.alloc) * info.x * (1 + 2*par.Delta) / d
+	} else {
+		info.weight = float64(info.alloc)
+	}
+	info.good = (1+2*par.Delta)*info.x <= d && !math.IsInf(info.x, 1)
+	return info
+}
+
+// Plan describes the arrival-time decisions S would take for a job: its
+// allotment, maximum execution time, density, and δ-goodness. It is exposed
+// for experiments, examples, and tests; Init must have been called.
+type Plan struct {
+	Alloc   int     // A_i: processors granted when the job runs
+	NReal   float64 // the paper's real-valued n_i
+	X       float64 // x_i in ticks
+	Weight  float64 // band weight (time-averaged processor demand)
+	Density float64 // v_i
+	Good    bool    // δ-good
+	Profit  float64 // p_i
+}
+
+// Plan returns the arrival-time plan for a job view.
+func (s *SchedulerS) Plan(v sim.JobView) Plan {
+	info := s.computeInfo(v)
+	return Plan{
+		Alloc:   info.alloc,
+		NReal:   info.nReal,
+		X:       info.x,
+		Weight:  info.weight,
+		Density: info.density,
+		Good:    info.good,
+		Profit:  info.profit,
+	}
+}
+
+// bandOK checks condition (2) for admitting cand into Q: for every job J_j
+// in Q∪{cand}, the total allotment with density in [v_j, c·v_j) must stay
+// ≤ b·m. Only bands containing cand's density can change, so it suffices to
+// check cand's own band plus the bands of queued jobs J_j with
+// v_j ∈ (v_cand/c, v_cand].
+func (s *SchedulerS) bandOK(cand *jobInfo) bool {
+	par := s.opts.Params
+	bm := par.B() * float64(s.m)
+	v := cand.density
+	add := cand.weight
+
+	if s.band.SumRange(v, par.C*v)+add > bm {
+		return false
+	}
+	ok := true
+	s.q.ForEach(func(it queue.Item) bool {
+		if it.Density > v {
+			return true // too dense: band [v_j, c v_j) excludes v... unless v_j ≤ v; keep scanning
+		}
+		if it.Density*par.C <= v {
+			return false // from here on all bands end below v
+		}
+		extra := 0.0
+		if v >= it.Density && v < it.Density*par.C {
+			extra = add
+		}
+		if s.band.SumRange(it.Density, par.C*it.Density)+extra > bm {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// admit moves a job into Q (it is "started").
+func (s *SchedulerS) admit(info *jobInfo) {
+	it := queue.Item{ID: info.view.ID, Density: info.density, Weight: info.weight}
+	s.q.Insert(it)
+	s.band.Insert(it)
+	s.started++
+	s.startedPr += info.profit
+}
+
+// dropFromQ removes a job from Q and the band index if present.
+func (s *SchedulerS) dropFromQ(id int) {
+	if it, ok := s.q.Get(id); ok {
+		s.q.Remove(id)
+		s.band.Remove(id, it.Density)
+	}
+}
+
+// OnArrival implements sim.Scheduler: compute the allotment, then admit to Q
+// if the job is δ-good and condition (2) holds, else park in P.
+func (s *SchedulerS) OnArrival(t int64, v sim.JobView) {
+	info := s.computeInfo(v)
+	s.info[v.ID] = info
+	if info.good && (s.opts.Ablation == AblationNoBandCheck || s.bandOK(info)) {
+		s.admit(info)
+		return
+	}
+	s.p.Insert(queue.Item{ID: v.ID, Density: info.density, Weight: info.weight})
+}
+
+// OnExpire implements sim.Scheduler.
+func (s *SchedulerS) OnExpire(t int64, jobID int) {
+	s.dropFromQ(jobID)
+	s.p.Remove(jobID)
+	delete(s.info, jobID)
+}
+
+// OnCompletion implements sim.Scheduler: free the finished job's band, then
+// scan P from highest to lowest density, admitting every job that is δ-fresh
+// and passes condition (2). Jobs past their deadline are discarded.
+func (s *SchedulerS) OnCompletion(t int64, jobID int) {
+	s.dropFromQ(jobID)
+	delete(s.info, jobID)
+
+	// The completion takes effect for the next tick.
+	now := t + 1
+	par := s.opts.Params
+	var admitted, stale []int
+	s.p.ForEach(func(it queue.Item) bool {
+		info := s.info[it.ID]
+		if float64(info.view.AbsDeadline()) <= float64(now) {
+			stale = append(stale, it.ID)
+			return true
+		}
+		fresh := float64(info.view.AbsDeadline()-now) >= (1+par.Delta)*info.x
+		if s.opts.Ablation == AblationNoFreshness {
+			fresh = info.good
+		}
+		if fresh && s.bandOK(info) {
+			s.admit(info)
+			admitted = append(admitted, it.ID)
+		}
+		return true
+	})
+	for _, id := range admitted {
+		s.p.Remove(id)
+	}
+	for _, id := range stale {
+		s.p.Remove(id)
+		delete(s.info, id)
+	}
+}
+
+// Assign implements sim.Scheduler: walk Q from highest to lowest density,
+// granting each job its full allotment when enough processors remain;
+// otherwise skip it and continue. With Options.WorkConserving, leftover
+// processors are then topped up onto admitted jobs in density order.
+func (s *SchedulerS) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.Alloc {
+	free := s.m
+	base := len(dst)
+	var expired []int
+	s.q.ForEach(func(it queue.Item) bool {
+		info := s.info[it.ID]
+		if info.view.AbsDeadline() <= t {
+			expired = append(expired, it.ID)
+			return true
+		}
+		if free >= info.alloc {
+			dst = append(dst, sim.Alloc{JobID: it.ID, Procs: info.alloc})
+			free -= info.alloc
+		}
+		return free > 0 || s.opts.WorkConserving
+	})
+	for _, id := range expired {
+		s.dropFromQ(id)
+		delete(s.info, id)
+	}
+	if s.opts.WorkConserving && free > 0 {
+		dst = s.topUp(t, view, dst, base, free)
+	}
+	return dst
+}
+
+// topUp makes the schedule work-conserving: base grants are first trimmed
+// to each job's ready-node count (processors beyond that are provably idle
+// this tick), then the pooled leftovers go to admitted jobs in density
+// order, up to their ready counts.
+func (s *SchedulerS) topUp(t int64, view sim.AssignView, dst []sim.Alloc, base, free int) []sim.Alloc {
+	granted := make(map[int]int, len(dst)-base)
+	for _, a := range dst[base:] {
+		g := a.Procs
+		if r := view.ReadyCount(a.JobID); r < g {
+			g = r
+			free += a.Procs - r
+		}
+		granted[a.JobID] = g
+	}
+	s.q.ForEach(func(it queue.Item) bool {
+		if free == 0 {
+			return false
+		}
+		info := s.info[it.ID]
+		if info.view.AbsDeadline() <= t {
+			return true
+		}
+		extra := view.ReadyCount(it.ID) - granted[it.ID]
+		if extra > free {
+			extra = free
+		}
+		if extra > 0 {
+			granted[it.ID] += extra
+			free -= extra
+		}
+		return true
+	})
+	// Re-emit merged allocations in density order.
+	dst = dst[:base]
+	s.q.ForEach(func(it queue.Item) bool {
+		if p := granted[it.ID]; p > 0 {
+			dst = append(dst, sim.Alloc{JobID: it.ID, Procs: p})
+		}
+		return true
+	})
+	return dst
+}
+
+// CheckInvariants verifies, by exhaustive recomputation, that every band of
+// Q satisfies N(Q, v_j, c·v_j) ≤ b·m + tol (Observation 3). Tests call it
+// after every event. The paper's invariant is exact; tol absorbs float
+// rounding only.
+func (s *SchedulerS) CheckInvariants() error {
+	par := s.opts.Params
+	bm := par.B()*float64(s.m) + 1e-9
+	var items []queue.Item
+	items = s.q.Snapshot(items)
+	for _, ji := range items {
+		var sum float64
+		for _, jj := range items {
+			if jj.Density >= ji.Density && jj.Density < par.C*ji.Density {
+				sum += jj.Weight
+			}
+		}
+		if sum > bm {
+			return fmt.Errorf("core: band [%g, %g) holds %g > b·m = %g",
+				ji.Density, par.C*ji.Density, sum, bm)
+		}
+	}
+	return nil
+}
+
+// QueueSizes returns |Q| and |P| for diagnostics.
+func (s *SchedulerS) QueueSizes() (q, p int) { return s.q.Len(), s.p.Len() }
+
+var _ sim.Scheduler = (*SchedulerS)(nil)

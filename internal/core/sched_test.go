@@ -1,0 +1,454 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/queue"
+	"dagsched/internal/sim"
+)
+
+func stepFn(t *testing.T, value float64, deadline int64) profit.Fn {
+	t.Helper()
+	s, err := profit.NewStep(value, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newS(t *testing.T, eps float64) *SchedulerS {
+	t.Helper()
+	return NewSchedulerS(Options{Params: MustParams(eps)})
+}
+
+// view builds a JobView directly for plan-level tests.
+func view(t *testing.T, id int, w, l, release, deadline int64, p float64) sim.JobView {
+	t.Helper()
+	return sim.JobView{ID: id, Release: release, W: w, L: l, Profit: stepFn(t, p, deadline)}
+}
+
+func TestPlanHandComputed(t *testing.T) {
+	// m=8, eps=1 (delta=0.25): job W=64, L=8, D=30.
+	// n = (64−8)/(30/1.5 − 8) = 56/12 ≈ 4.667 → alloc 5.
+	// x = 56/5 + 8 = 19.2; δ-good since 1.5·19.2 = 28.8 ≤ 30.
+	s := newS(t, 1.0)
+	s.Init(sim.Env{M: 8, Speed: 1})
+	plan := s.Plan(view(t, 1, 64, 8, 0, 30, 12))
+	if math.Abs(plan.NReal-56.0/12.0) > 1e-12 {
+		t.Errorf("NReal = %v, want %v", plan.NReal, 56.0/12.0)
+	}
+	if plan.Alloc != 5 {
+		t.Errorf("Alloc = %d, want 5", plan.Alloc)
+	}
+	if math.Abs(plan.X-19.2) > 1e-12 {
+		t.Errorf("X = %v, want 19.2", plan.X)
+	}
+	if !plan.Good {
+		t.Error("job should be δ-good")
+	}
+	if math.Abs(plan.Density-12.0/(19.2*5)) > 1e-12 {
+		t.Errorf("Density = %v", plan.Density)
+	}
+}
+
+func TestPlanPureChain(t *testing.T) {
+	s := newS(t, 1.0)
+	s.Init(sim.Env{M: 4, Speed: 1})
+	plan := s.Plan(view(t, 1, 10, 10, 0, 40, 1))
+	if plan.Alloc != 1 {
+		t.Errorf("chain Alloc = %d, want 1", plan.Alloc)
+	}
+	if plan.X != 10 {
+		t.Errorf("chain X = %v, want L = 10", plan.X)
+	}
+	if !plan.Good {
+		t.Error("chain with slack 4x should be δ-good")
+	}
+}
+
+func TestPlanTightDeadlineNotGood(t *testing.T) {
+	// D barely above L: D/(1+2δ) − L < 0 → inadmissible.
+	s := newS(t, 1.0)
+	s.Init(sim.Env{M: 4, Speed: 1})
+	plan := s.Plan(view(t, 1, 40, 10, 0, 11, 1))
+	if plan.Good {
+		t.Error("job with D ≈ L should not be δ-good")
+	}
+}
+
+func TestPlanSpeedScalesEffectiveTimes(t *testing.T) {
+	// At speed 2 the effective work halves, so a deadline infeasible at
+	// speed 1 becomes δ-good.
+	s1 := newS(t, 1.0)
+	s1.Init(sim.Env{M: 4, Speed: 1})
+	s2 := newS(t, 1.0)
+	s2.Init(sim.Env{M: 4, Speed: 2})
+	v := view(t, 1, 40, 8, 0, 14, 1)
+	if s1.Plan(v).Good {
+		t.Error("speed 1: expected not δ-good")
+	}
+	if !s2.Plan(v).Good {
+		t.Error("speed 2: expected δ-good")
+	}
+}
+
+func TestLemma1AllotmentBound(t *testing.T) {
+	// For jobs satisfying the Theorem 2 condition, n ≤ b²m (Lemma 1) and
+	// the integral allotment is at most ceil(b²m).
+	rng := rand.New(rand.NewSource(3))
+	for _, eps := range []float64{0.5, 1, 2} {
+		p := MustParams(eps)
+		m := 16
+		s := NewSchedulerS(Options{Params: p})
+		s.Init(sim.Env{M: m, Speed: 1})
+		for i := 0; i < 300; i++ {
+			w := 1 + rng.Int63n(500)
+			l := 1 + rng.Int63n(w)
+			minD := (1 + eps) * (float64(w-l)/float64(m) + float64(l))
+			d := int64(math.Ceil(minD)) + rng.Int63n(100)
+			plan := s.Plan(view(t, i, w, l, 0, d, 1))
+			if plan.NReal > p.B()*p.B()*float64(m)+1e-9 {
+				t.Fatalf("eps=%v W=%d L=%d D=%d: n=%v > b²m=%v",
+					eps, w, l, d, plan.NReal, p.B()*p.B()*float64(m))
+			}
+			if float64(plan.Alloc) > math.Ceil(p.B()*p.B()*float64(m)) {
+				t.Fatalf("alloc %d exceeds ceil(b²m)", plan.Alloc)
+			}
+		}
+	}
+}
+
+func TestLemma2EveryConditionJobIsGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, eps := range []float64{0.5, 1, 2} {
+		m := 8
+		s := NewSchedulerS(Options{Params: MustParams(eps)})
+		s.Init(sim.Env{M: m, Speed: 1})
+		for i := 0; i < 300; i++ {
+			w := 1 + rng.Int63n(500)
+			l := 1 + rng.Int63n(w)
+			minD := (1 + eps) * (float64(w-l)/float64(m) + float64(l))
+			d := int64(math.Ceil(minD)) + rng.Int63n(50)
+			if plan := s.Plan(view(t, i, w, l, 0, d, 1)); !plan.Good {
+				t.Fatalf("eps=%v W=%d L=%d D=%d not δ-good (x=%v)", eps, w, l, d, plan.X)
+			}
+		}
+	}
+}
+
+func TestLemma3ProcessorStepBound(t *testing.T) {
+	// x_i·n_i ≤ a·W_i for the real allotment; the integral allotment adds
+	// at most one extra L_i of slack.
+	rng := rand.New(rand.NewSource(5))
+	eps := 1.0
+	p := MustParams(eps)
+	m := 8
+	s := NewSchedulerS(Options{Params: p})
+	s.Init(sim.Env{M: m, Speed: 1})
+	for i := 0; i < 300; i++ {
+		w := 2 + rng.Int63n(500)
+		l := 1 + rng.Int63n(w-1)
+		minD := (1 + eps) * (float64(w-l)/float64(m) + float64(l))
+		d := int64(math.Ceil(minD)) + rng.Int63n(50)
+		plan := s.Plan(view(t, i, w, l, 0, d, 1))
+		bound := p.A()*float64(w) + float64(l)
+		if plan.X*float64(plan.Alloc) > bound+1e-9 {
+			t.Fatalf("W=%d L=%d D=%d: x·A = %v > a·W + L = %v",
+				w, l, d, plan.X*float64(plan.Alloc), bound)
+		}
+	}
+}
+
+func TestSingleJobAdmittedAndMeetsDeadline(t *testing.T) {
+	// Block(8,2): W=16, L=2, m=4. Condition: 2·(14/4+2) = 11 ≤ D.
+	j := &sim.Job{ID: 1, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 5, 14)}
+	s := newS(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{j}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.TotalProfit != 5 {
+		t.Fatalf("completed=%d profit=%v", res.Completed, res.TotalProfit)
+	}
+	if n, pr := s.Started(); n != 1 || pr != 5 {
+		t.Errorf("Started = %d, %v", n, pr)
+	}
+}
+
+func TestObservation2CompletionWithinX(t *testing.T) {
+	// A δ-good admitted job alone in the system finishes within ceil(x)
+	// ticks of arrival.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		g := dag.Layered(rng, 1+rng.Intn(4), 1+rng.Intn(6), 1+rng.Int63n(4), 0.5)
+		w, l := g.TotalWork(), g.Span()
+		m := 4
+		minD := 2 * (float64(w-l)/float64(m) + float64(l))
+		d := int64(math.Ceil(minD)) + 5
+		s := newS(t, 1.0)
+		s.Init(sim.Env{M: m, Speed: 1})
+		plan := s.Plan(sim.JobView{ID: 1, W: w, L: l, Profit: stepFn(t, 1, d)})
+		if !plan.Good {
+			t.Fatalf("trial %d: job not δ-good", trial)
+		}
+		j := &sim.Job{ID: 1, Graph: g, Release: 0, Profit: stepFn(t, 1, d)}
+		s2 := newS(t, 1.0)
+		res, err := sim.Run(sim.Config{M: m}, []*sim.Job{j}, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != 1 {
+			t.Fatalf("trial %d: job missed deadline %d (W=%d L=%d)", trial, d, w, l)
+		}
+		if res.Jobs[0].Latency > int64(math.Ceil(plan.X)) {
+			t.Errorf("trial %d: latency %d > ceil(x)=%v", trial, res.Jobs[0].Latency, math.Ceil(plan.X))
+		}
+	}
+}
+
+// invariantChecker wraps SchedulerS, verifying Observation 3 after every
+// scheduler event.
+type invariantChecker struct {
+	*SchedulerS
+	t *testing.T
+}
+
+func (ic *invariantChecker) check() {
+	ic.t.Helper()
+	if err := ic.SchedulerS.CheckInvariants(); err != nil {
+		ic.t.Fatal(err)
+	}
+}
+
+func (ic *invariantChecker) OnArrival(t int64, v sim.JobView) {
+	ic.SchedulerS.OnArrival(t, v)
+	ic.check()
+}
+
+func (ic *invariantChecker) OnCompletion(t int64, id int) {
+	ic.SchedulerS.OnCompletion(t, id)
+	ic.check()
+}
+
+func (ic *invariantChecker) OnExpire(t int64, id int) {
+	ic.SchedulerS.OnExpire(t, id)
+	ic.check()
+}
+
+func TestObservation3BandInvariantUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := 8
+	var jobs []*sim.Job
+	clock := int64(0)
+	for i := 0; i < 60; i++ {
+		g := dag.Layered(rng, 1+rng.Intn(4), 1+rng.Intn(5), 1+rng.Int63n(3), 0.5)
+		w, l := g.TotalWork(), g.Span()
+		minD := 2 * (float64(w-l)/float64(m) + float64(l))
+		d := int64(math.Ceil(minD)) + rng.Int63n(20)
+		jobs = append(jobs, &sim.Job{
+			ID:      i,
+			Graph:   g,
+			Release: clock,
+			Profit:  stepFn(t, 1+float64(rng.Intn(10)), d),
+		})
+		clock += rng.Int63n(3) // bursty arrivals → overload
+	}
+	ic := &invariantChecker{SchedulerS: newS(t, 1.0), t: t}
+	res, err := sim.Run(sim.Config{M: m}, jobs, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Error("overloaded run completed nothing")
+	}
+}
+
+func TestOverloadSendsJobsToP(t *testing.T) {
+	// Identical heavy jobs at t=0: only the first few fit under b·m.
+	m := 4
+	var jobs []*sim.Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, &sim.Job{ID: i, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 1, 14)})
+	}
+	s := newS(t, 1.0)
+	res, err := sim.Run(sim.Config{M: m}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started, _ := s.Started()
+	if started >= 6 {
+		t.Errorf("all %d jobs admitted despite band limit", started)
+	}
+	if res.Completed == 0 {
+		t.Error("nothing completed")
+	}
+}
+
+func TestAdmissionFromPAfterCompletion(t *testing.T) {
+	// m=4, eps=1: b·m ≈ 3.464.
+	// Blocker: Block(19,2) (W=38, L=2), D=21 → n=3, alloc 3, x=14,
+	//   band weight 3·14·1.5/21 = 3.0, density 42/42 = 1.
+	// Probe: Block(8,2) (W=16, L=2), D=40 → alloc 1, x=16,
+	//   weight 16·1.5/40 = 0.6, density 8/16 = 0.5: its band [0.5, c·0.5)
+	//   contains the blocker → 3.6 > 3.464 → parked in P at arrival.
+	// Blocker completes at t=14; at now=14, 40−14 = 26 ≥ 1.25·16 = 20 →
+	// fresh → admitted → completes at 30 ≤ 40.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(19, 2), Release: 0, Profit: stepFn(t, 42, 21)},
+		{ID: 2, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 8, 40)},
+	}
+	s := newS(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d, want both (stats: %+v)", res.Completed, res.Jobs)
+	}
+	if n, _ := s.Started(); n != 2 {
+		t.Errorf("started = %d, want 2", n)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 2 && js.CompletedAt <= 14 {
+			t.Errorf("job 2 completed at %d, should start only after the blocker's completion", js.CompletedAt)
+		}
+	}
+}
+
+func TestStaleJobNotAdmitted(t *testing.T) {
+	// Same blocker, but the probe's deadline 30 is too close at the
+	// completion event (30−14 = 16 < 1.25·16 = 20): not δ-fresh, so it
+	// stays in P and expires.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(19, 2), Release: 0, Profit: stepFn(t, 42, 21)},
+		{ID: 2, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 8, 30)},
+	}
+	s := newS(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d, want 1 (stats: %+v)", res.Completed, res.Jobs)
+	}
+	if n, _ := s.Started(); n != 1 {
+		t.Errorf("started = %d, want 1 (probe stale)", n)
+	}
+}
+
+func TestArrivalDoesNotDisplaceStartedJob(t *testing.T) {
+	// A denser job arriving after a sparser one has started parks in P:
+	// the paper's S never preempts admission (condition (2) counts the
+	// arriving job against the started job's band).
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 1, 14)},
+		{ID: 2, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 10, 14)},
+	}
+	s := newS(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Started(); n != 1 {
+		t.Errorf("started = %d, want 1 (dense arrival must not displace)", n)
+	}
+	if res.TotalProfit != 1 {
+		t.Errorf("profit = %v, want 1 (only the started job completes)", res.TotalProfit)
+	}
+}
+
+func TestExecutionPrefersDensityWithinQ(t *testing.T) {
+	// Three jobs whose densities differ by more than c, so their bands are
+	// disjoint and all are admitted, but Σ alloc = 6 > m = 4: each tick only
+	// the two densest run. The cheapest job starts after a completion and
+	// misses its deadline.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 1, 14)},
+		{ID: 2, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 100, 14)},
+		{ID: 3, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 10000, 14)},
+	}
+	s := newS(t, 1.0)
+	res, err := sim.Run(sim.Config{M: 4}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Started(); n != 3 {
+		t.Fatalf("started = %d, want 3 (disjoint bands admit all)", n)
+	}
+	if res.TotalProfit != 10100 {
+		t.Errorf("profit = %v, want 10100 (two densest complete)", res.TotalProfit)
+	}
+}
+
+func TestAblationNoBandCheckAdmitsAll(t *testing.T) {
+	m := 4
+	var jobs []*sim.Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, &sim.Job{ID: i, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 1, 14)})
+	}
+	s := NewSchedulerS(Options{Params: MustParams(1.0), Ablation: AblationNoBandCheck})
+	if _, err := sim.Run(sim.Config{M: m}, jobs, s); err != nil {
+		t.Fatal(err)
+	}
+	if started, _ := s.Started(); started != 6 {
+		t.Errorf("ablated scheduler started %d, want all 6", started)
+	}
+}
+
+func TestSchedulerNameEncodesVariant(t *testing.T) {
+	s := NewSchedulerS(Options{Params: MustParams(0.5), Ablation: AblationAllotOne})
+	if got := s.Name(); got != "paper-S(eps=0.5)/allot-1" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestNewSchedulerSPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid params")
+		}
+	}()
+	NewSchedulerS(Options{Params: Params{Epsilon: -1}})
+}
+
+// TestBandIndexImplementationsAgree: S must behave identically whether the
+// band index is the naive scan or the treap — the structures are
+// interchangeable by contract.
+func TestBandIndexImplementationsAgree(t *testing.T) {
+	mkJobs := func() []*sim.Job {
+		var jobs []*sim.Job
+		rng := rand.New(rand.NewSource(31))
+		clock := int64(0)
+		for i := 0; i < 50; i++ {
+			g := dag.Layered(rng, 1+rng.Intn(4), 1+rng.Intn(5), 1+rng.Int63n(3), 0.5)
+			w, l := g.TotalWork(), g.Span()
+			d := int64(math.Ceil(2*(float64(w-l)/8+float64(l)))) + rng.Int63n(30)
+			jobs = append(jobs, &sim.Job{ID: i, Graph: g, Release: clock, Profit: stepFn(t, float64(1+rng.Intn(9)), d)})
+			clock += rng.Int63n(5)
+		}
+		return jobs
+	}
+	naive := NewSchedulerS(Options{Params: MustParams(1), NewBand: func() queue.BandIndex { return queue.NewNaiveBand() }})
+	treap := NewSchedulerS(Options{Params: MustParams(1)})
+	a, err := sim.Run(sim.Config{M: 8}, mkJobs(), naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sim.Config{M: 8}, mkJobs(), treap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalProfit != b.TotalProfit || a.Completed != b.Completed || a.BusyProcTicks != b.BusyProcTicks {
+		t.Errorf("band implementations diverge: naive (%v,%d,%d) vs treap (%v,%d,%d)",
+			a.TotalProfit, a.Completed, a.BusyProcTicks, b.TotalProfit, b.Completed, b.BusyProcTicks)
+	}
+	na, _ := naive.Started()
+	nb, _ := treap.Started()
+	if na != nb {
+		t.Errorf("admission counts diverge: %d vs %d", na, nb)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sim"
+)
+
+func newSWC(t *testing.T, eps float64) *SchedulerS {
+	t.Helper()
+	return NewSchedulerS(Options{Params: MustParams(eps), WorkConserving: true})
+}
+
+func TestWCNameSuffix(t *testing.T) {
+	if got := newSWC(t, 1).Name(); got != "paper-S(eps=1)+wc" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestWCSingleWideJobUsesWholeMachine(t *testing.T) {
+	// Block(32,1) with a lazy deadline: the paper allotment is small, but
+	// the work-conserving variant should flood all 8 processors and finish
+	// in ~4 ticks instead of ~32/alloc.
+	j := func() *sim.Job {
+		return &sim.Job{ID: 1, Graph: dag.Block(32, 1), Release: 0, Profit: stepFn(t, 1, 200)}
+	}
+	plain, err := sim.Run(sim.Config{M: 8}, []*sim.Job{j()}, newS(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := sim.Run(sim.Config{M: 8}, []*sim.Job{j()}, newSWC(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Jobs[0].CompletedAt != 4 {
+		t.Errorf("wc completed at %d, want 4 (32 unit nodes / 8 procs)", wc.Jobs[0].CompletedAt)
+	}
+	if wc.Jobs[0].CompletedAt >= plain.Jobs[0].CompletedAt {
+		t.Errorf("wc (%d) not faster than plain (%d)", wc.Jobs[0].CompletedAt, plain.Jobs[0].CompletedAt)
+	}
+	if wc.IdleProcTicks != 0 {
+		t.Errorf("wc idled %d proc-ticks on a wide ready set", wc.IdleProcTicks)
+	}
+}
+
+func TestWCNeverWorseOnProfit(t *testing.T) {
+	// Same admission decisions, strictly more progress: on a batch of
+	// identical jobs the work-conserving variant must earn at least as much.
+	var jobs []*sim.Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, &sim.Job{ID: i, Graph: dag.Block(8, 2), Release: int64(3 * i), Profit: stepFn(t, 1, 14)})
+	}
+	plain, err := sim.Run(sim.Config{M: 4}, jobs, newS(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := sim.Run(sim.Config{M: 4}, jobs, newSWC(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.TotalProfit < plain.TotalProfit {
+		t.Errorf("wc profit %v < plain %v", wc.TotalProfit, plain.TotalProfit)
+	}
+}
+
+func TestWCLeftoverProcessorsGoToDensestJob(t *testing.T) {
+	// Two jobs with alloc 2 on m=5: the paper pass leaves one processor
+	// idle every tick; wc tops up the denser job. Idle time must drop (the
+	// tail, where fewer ready nodes than processors remain, still idles).
+	mk := func() []*sim.Job {
+		return []*sim.Job{
+			{ID: 1, Graph: dag.Block(16, 1), Release: 0, Profit: stepFn(t, 1, 14)},
+			{ID: 2, Graph: dag.Block(16, 1), Release: 0, Profit: stepFn(t, 100, 14)},
+		}
+	}
+	plain, err := sim.Run(sim.Config{M: 5}, mk(), newS(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := sim.Run(sim.Config{M: 5}, mk(), newSWC(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.IdleProcTicks >= plain.IdleProcTicks {
+		t.Errorf("wc idle %d not below plain idle %d", wc.IdleProcTicks, plain.IdleProcTicks)
+	}
+	if wc.Ticks >= plain.Ticks {
+		t.Errorf("wc makespan %d not below plain %d", wc.Ticks, plain.Ticks)
+	}
+}
+
+func TestWCAdmissionRulesUnchanged(t *testing.T) {
+	// The wc variant changes only execution, not admission *rules*: a job
+	// that cannot be δ-good (span exceeds the deadline window) must never
+	// start under either variant.
+	trap := dag.Chain(30, 1) // L = W = 30
+	jobs := []*sim.Job{
+		{ID: 1, Graph: trap, Release: 0, Profit: stepFn(t, 99, 20)}, // D < L
+		{ID: 2, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 1, 30)},
+	}
+	for _, sched := range []*SchedulerS{newS(t, 1), newSWC(t, 1)} {
+		res, err := sim.Run(sim.Config{M: 4}, jobs, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := sched.Started(); n != 1 {
+			t.Errorf("%s: started %d, want 1 (trap must stay out)", sched.Name(), n)
+		}
+		if res.TotalProfit != 1 {
+			t.Errorf("%s: profit %v, want 1", sched.Name(), res.TotalProfit)
+		}
+	}
+}
+
+func TestWCCompletesEarlierCanAdmitMore(t *testing.T) {
+	// Faster completion can flip a δ-fresh decision: the probe that is
+	// stale under plain S (blocker finishes at 14, 30−14 < 20) becomes
+	// fresh under wc (blocker finishes at 10, 30−10 ≥ 20). This is the
+	// intended benefit of the extension, pinned as behaviour.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(19, 2), Release: 0, Profit: stepFn(t, 42, 21)},
+		{ID: 2, Graph: dag.Block(8, 2), Release: 0, Profit: stepFn(t, 8, 30)},
+	}
+	plain := newS(t, 1)
+	if _, err := sim.Run(sim.Config{M: 4}, jobs, plain); err != nil {
+		t.Fatal(err)
+	}
+	wc := newSWC(t, 1)
+	res, err := sim.Run(sim.Config{M: 4}, jobs, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := plain.Started()
+	nw, _ := wc.Started()
+	if np != 1 || nw != 2 {
+		t.Errorf("started: plain %d (want 1), wc %d (want 2)", np, nw)
+	}
+	if res.TotalProfit != 50 {
+		t.Errorf("wc profit = %v, want 50", res.TotalProfit)
+	}
+}
+
+func TestWCInvariantStillHolds(t *testing.T) {
+	var jobs []*sim.Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, &sim.Job{ID: i, Graph: dag.Block(8, 2), Release: int64(i), Profit: stepFn(t, float64(1+i%5), 14)})
+	}
+	ic := &invariantChecker{SchedulerS: newSWC(t, 1), t: t}
+	if _, err := sim.Run(sim.Config{M: 8}, jobs, ic); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package dag
+
+// Composition combinators: build large jobs from verified pieces. Serial
+// and Parallel form the series–parallel algebra over arbitrary DAGs
+// (sources and sinks are connected pairwise in Serial), so any SP structure
+// — and mixtures with the HPC kernels — can be assembled programmatically.
+
+// Parallel returns the disjoint union of the given graphs: no edges between
+// components, W = ΣW_i, L = max L_i. It panics on an empty argument list
+// (programmer error).
+func Parallel(gs ...*DAG) *DAG {
+	if len(gs) == 0 {
+		panic("dag: Parallel of nothing")
+	}
+	b := NewBuilder()
+	for _, g := range gs {
+		appendGraph(b, g)
+	}
+	return b.MustBuild()
+}
+
+// Serial chains the given graphs: every sink of g_i precedes every source
+// of g_{i+1}, so W = ΣW_i and L = ΣL_i. It panics on an empty argument
+// list.
+func Serial(gs ...*DAG) *DAG {
+	if len(gs) == 0 {
+		panic("dag: Serial of nothing")
+	}
+	b := NewBuilder()
+	var prevSinks []NodeID
+	for _, g := range gs {
+		offset := appendGraph(b, g)
+		var sources, sinks []NodeID
+		for v := 0; v < g.NumNodes(); v++ {
+			if len(g.Predecessors(NodeID(v))) == 0 {
+				sources = append(sources, offset+NodeID(v))
+			}
+			if len(g.Successors(NodeID(v))) == 0 {
+				sinks = append(sinks, offset+NodeID(v))
+			}
+		}
+		for _, u := range prevSinks {
+			for _, v := range sources {
+				b.AddEdge(u, v)
+			}
+		}
+		prevSinks = sinks
+	}
+	return b.MustBuild()
+}
+
+// Repeat returns g chained serially k times.
+func Repeat(g *DAG, k int) *DAG {
+	if k < 1 {
+		panic("dag: Repeat with k < 1")
+	}
+	gs := make([]*DAG, k)
+	for i := range gs {
+		gs[i] = g
+	}
+	return Serial(gs...)
+}
+
+// appendGraph copies g's nodes and edges into b and returns the node-ID
+// offset of the copy.
+func appendGraph(b *Builder, g *DAG) NodeID {
+	offset := NodeID(len(b.work))
+	for v := 0; v < g.NumNodes(); v++ {
+		b.AddNode(g.Work(NodeID(v)))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Successors(NodeID(v)) {
+			b.AddEdge(offset+NodeID(v), offset+u)
+		}
+	}
+	return offset
+}

@@ -1,0 +1,111 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelUnion(t *testing.T) {
+	g := Parallel(Chain(3, 2), Block(4, 1), Wavefront(3, 1))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantW := int64(6 + 4 + 9)
+	if g.TotalWork() != wantW {
+		t.Errorf("W = %d, want %d", g.TotalWork(), wantW)
+	}
+	// L = max(6, 1, 5) = 6.
+	if g.Span() != 6 {
+		t.Errorf("L = %d, want 6", g.Span())
+	}
+}
+
+func TestSerialChain(t *testing.T) {
+	g := Serial(Block(4, 1), Chain(2, 3), Block(2, 2))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalWork() != 4+6+4 {
+		t.Errorf("W = %d", g.TotalWork())
+	}
+	// L = 1 + 6 + 2 = 9.
+	if g.Span() != 9 {
+		t.Errorf("L = %d, want 9", g.Span())
+	}
+	// Nothing from stage 3 can be ready before stage 1 completes.
+	s := NewState(g)
+	if s.ReadyCount() != 4 {
+		t.Errorf("initial ready = %d, want the 4 stage-1 nodes", s.ReadyCount())
+	}
+}
+
+func TestSerialRunsInOrder(t *testing.T) {
+	g := Serial(Block(3, 1), Block(3, 1))
+	ticks := runGreedy(t, g, 3, ByID{})
+	if ticks != 2 {
+		t.Errorf("two serial blocks on 3 procs took %d ticks, want 2", ticks)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	g := Repeat(ForkJoin(1, 3, 1), 3)
+	base := ForkJoin(1, 3, 1)
+	if g.TotalWork() != 3*base.TotalWork() {
+		t.Errorf("W = %d", g.TotalWork())
+	}
+	if g.Span() != 3*base.Span() {
+		t.Errorf("L = %d", g.Span())
+	}
+}
+
+func TestComposePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Parallel() },
+		func() { Serial() },
+		func() { Repeat(Chain(1, 1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPropComposeAlgebra(t *testing.T) {
+	// W and L obey the algebra on random components: Parallel sums W and
+	// maxes L; Serial sums both.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *DAG {
+			switch rng.Intn(4) {
+			case 0:
+				return Chain(1+rng.Intn(4), 1+rng.Int63n(3))
+			case 1:
+				return Block(1+rng.Intn(5), 1+rng.Int63n(3))
+			case 2:
+				return ForkJoin(1+rng.Intn(2), 1+rng.Intn(4), 1+rng.Int63n(2))
+			default:
+				return ReductionTree(1+rng.Intn(6), 1)
+			}
+		}
+		a, b := mk(), mk()
+		par := Parallel(a, b)
+		ser := Serial(a, b)
+		if par.TotalWork() != a.TotalWork()+b.TotalWork() || ser.TotalWork() != par.TotalWork() {
+			return false
+		}
+		maxL := a.Span()
+		if b.Span() > maxL {
+			maxL = b.Span()
+		}
+		return par.Span() == maxL && ser.Span() == a.Span()+b.Span()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

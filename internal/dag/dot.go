@@ -1,0 +1,32 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders g in Graphviz DOT format, one node per task labeled with
+// its ID and work. Useful for inspecting generated shapes
+// (`go run ./cmd/dag-gen ... | dot -Tsvg`-style workflows and docs).
+func WriteDOT(w io.Writer, name string, g *DAG) error {
+	if g == nil || g.NumNodes() == 0 {
+		return fmt.Errorf("dag: WriteDOT on empty graph")
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%d\\nw=%d\"];\n", v, v, g.Work(NodeID(v))); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Successors(NodeID(v)) {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,53 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDAGUnmarshal: arbitrary JSON must never panic; accepted graphs must
+// be structurally valid with consistent W/L.
+func FuzzDAGUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"work":[1,2],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"work":[1,1],"edges":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{"work":[],"edges":[]}`))
+	f.Add([]byte(`{"work":[3],"edges":[[0,5]]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"work":[1,1,1,1],"edges":[[0,1],[1,2],[2,3],[0,3]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g DAG
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var sum int64
+		for v := 0; v < g.NumNodes(); v++ {
+			sum += g.Work(NodeID(v))
+		}
+		if g.TotalWork() != sum {
+			t.Fatalf("W=%d but node works sum to %d", g.TotalWork(), sum)
+		}
+		if g.Span() < 1 || g.Span() > sum {
+			t.Fatalf("span %d outside [1, %d]", g.Span(), sum)
+		}
+		// Execution must terminate with all nodes done.
+		s := NewState(&g)
+		steps := 0
+		var buf []NodeID
+		for !s.Done() {
+			buf = (ByID{}).Pick(s, 4, buf[:0])
+			if len(buf) == 0 {
+				t.Fatal("stuck: no ready nodes on incomplete graph")
+			}
+			for _, v := range buf {
+				s.Apply(v, 1)
+			}
+			steps++
+			if int64(steps) > sum+1 {
+				t.Fatal("execution did not terminate in W steps")
+			}
+		}
+	})
+}

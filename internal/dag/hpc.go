@@ -1,0 +1,180 @@
+package dag
+
+import "fmt"
+
+// This file provides the task graphs of classic HPC kernels — the job
+// shapes DAG-scheduling systems are evaluated on in practice. Each
+// constructor documents its W (total work) and, where closed-form, L (span)
+// so tests can pin them.
+
+// Wavefront returns the n×n stencil wavefront DAG: node (i,j) depends on
+// (i−1,j) and (i,j−1), every node with the given work. This is the shape of
+// Smith–Waterman, Gauss–Seidel sweeps, and dynamic-programming tables.
+// W = n²·work, L = (2n−1)·work.
+func Wavefront(n int, work int64) *DAG {
+	if n <= 0 {
+		panic(fmt.Sprintf("dag: Wavefront with n=%d", n))
+	}
+	b := NewBuilder()
+	idx := func(i, j int) NodeID { return NodeID(i*n + j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.AddNode(work)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i > 0 {
+				b.AddEdge(idx(i-1, j), idx(i, j))
+			}
+			if j > 0 {
+				b.AddEdge(idx(i, j-1), idx(i, j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// ReductionTree returns a binary reduction over n leaves (n ≥ 1): leaves
+// feed pairwise combine nodes up to a single root; odd elements pass
+// through to the next level. Every node has the given work.
+// For n = 2^h: W = (2n−1)·work, L = (h+1)·work.
+func ReductionTree(n int, work int64) *DAG {
+	if n <= 0 {
+		panic(fmt.Sprintf("dag: ReductionTree with n=%d", n))
+	}
+	b := NewBuilder()
+	level := make([]NodeID, n)
+	for i := range level {
+		level[i] = b.AddNode(work)
+	}
+	for len(level) > 1 {
+		var next []NodeID
+		for i := 0; i+1 < len(level); i += 2 {
+			v := b.AddNode(work)
+			b.AddEdge(level[i], v)
+			b.AddEdge(level[i+1], v)
+			next = append(next, v)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return b.MustBuild()
+}
+
+// FFT returns the radix-2 butterfly DAG over n = 2^h points: h stages of
+// n/2 butterfly nodes; the butterfly at stage s for pair (a, b) depends on
+// the stage-(s−1) butterflies that produced a and b. Every node has the
+// given work. W = h·(n/2)·work, L = h·work.
+func FFT(n int, work int64) *DAG {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("dag: FFT needs a power-of-two n ≥ 2, got %d", n))
+	}
+	b := NewBuilder()
+	// producer[i] = node that last wrote point i (−1 before stage 0).
+	producer := make([]NodeID, n)
+	for i := range producer {
+		producer[i] = -1
+	}
+	for span := 1; span < n; span *= 2 {
+		next := make([]NodeID, n)
+		copy(next, producer)
+		for base := 0; base < n; base += 2 * span {
+			for off := 0; off < span; off++ {
+				a, c := base+off, base+off+span
+				v := b.AddNode(work)
+				if producer[a] >= 0 {
+					b.AddEdge(producer[a], v)
+				}
+				if producer[c] >= 0 {
+					b.AddEdge(producer[c], v)
+				}
+				next[a], next[c] = v, v
+			}
+		}
+		producer = next
+	}
+	return b.MustBuild()
+}
+
+// CholeskyWorks sets the per-kernel tile costs of a tiled Cholesky
+// factorization. Typical relative costs are POTRF : TRSM : SYRK ≈ 1 : 3 : 6
+// for equal tile sizes (cubic kernels), but any positive values work.
+type CholeskyWorks struct {
+	Potrf int64 // diagonal factorization
+	Trsm  int64 // triangular solve
+	Syrk  int64 // symmetric rank-k update (includes GEMM updates)
+}
+
+// DefaultCholeskyWorks returns the 1:3:6 cost profile at the given unit.
+func DefaultCholeskyWorks(unit int64) CholeskyWorks {
+	return CholeskyWorks{Potrf: unit, Trsm: 3 * unit, Syrk: 6 * unit}
+}
+
+// Cholesky returns the task graph of a right-looking tiled Cholesky
+// factorization of an N×N tile matrix — the canonical irregular DAG of
+// task-based runtimes (PLASMA, StarPU, OpenMP tasks):
+//
+//	for k:        POTRF(k)                 after UPDATE(k,k,k−1)
+//	for i>k:      TRSM(i,k)                after POTRF(k), UPDATE(i,k,k−1)
+//	for i≥j>k:    UPDATE(i,j,k)            after TRSM(i,k), TRSM(j,k), UPDATE(i,j,k−1)
+//
+// Node counts: N potrf, N(N−1)/2 trsm, N(N²−1)/6 update, so
+// W = N·wp + N(N−1)/2·wt + N(N²−1)/6·ws. Parallelism starts near zero,
+// widens to Θ(N²), and collapses again — exactly the profile that makes
+// fixed allotments interesting.
+func Cholesky(n int, works CholeskyWorks) *DAG {
+	if n <= 0 {
+		panic(fmt.Sprintf("dag: Cholesky with n=%d", n))
+	}
+	if works.Potrf <= 0 || works.Trsm <= 0 || works.Syrk <= 0 {
+		panic(fmt.Sprintf("dag: Cholesky with non-positive works %+v", works))
+	}
+	b := NewBuilder()
+	// lastWriter[i][j] = node that last updated tile (i,j), or −1.
+	lastWriter := make([][]NodeID, n)
+	for i := range lastWriter {
+		lastWriter[i] = make([]NodeID, n)
+		for j := range lastWriter[i] {
+			lastWriter[i][j] = -1
+		}
+	}
+	dep := func(v NodeID, i, j int) {
+		if lastWriter[i][j] >= 0 {
+			b.AddEdge(lastWriter[i][j], v)
+		}
+	}
+	for k := 0; k < n; k++ {
+		potrf := b.AddNode(works.Potrf)
+		dep(potrf, k, k)
+		lastWriter[k][k] = potrf
+		trsm := make([]NodeID, n)
+		for i := k + 1; i < n; i++ {
+			v := b.AddNode(works.Trsm)
+			b.AddEdge(potrf, v)
+			dep(v, i, k)
+			lastWriter[i][k] = v
+			trsm[i] = v
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				v := b.AddNode(works.Syrk)
+				b.AddEdge(trsm[i], v)
+				if j != i {
+					b.AddEdge(trsm[j], v)
+				}
+				dep(v, i, j)
+				lastWriter[i][j] = v
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// CholeskyNodeCount returns the number of tasks in Cholesky(n, ·):
+// N + N(N−1)/2 + N(N²−1)/6.
+func CholeskyNodeCount(n int) int {
+	return n + n*(n-1)/2 + n*(n*n-1)/6
+}

@@ -1,0 +1,195 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWavefrontShape(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		g := Wavefront(n, 3)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		wantW := int64(n*n) * 3
+		wantL := int64(2*n-1) * 3
+		if g.TotalWork() != wantW || g.Span() != wantL {
+			t.Errorf("Wavefront(%d): W=%d L=%d, want %d/%d", n, g.TotalWork(), g.Span(), wantW, wantL)
+		}
+	}
+}
+
+func TestWavefrontDiagonalParallelism(t *testing.T) {
+	// On n processors a wavefront completes in exactly 2n−1 steps (one
+	// anti-diagonal per step).
+	n := 6
+	g := Wavefront(n, 1)
+	ticks := runGreedy(t, g, n, ByID{})
+	if ticks != int64(2*n-1) {
+		t.Errorf("wavefront on %d procs took %d ticks, want %d", n, ticks, 2*n-1)
+	}
+}
+
+func TestReductionTreePowerOfTwo(t *testing.T) {
+	g := ReductionTree(8, 2) // h = 3
+	if g.TotalWork() != 15*2 {
+		t.Errorf("W = %d, want 30", g.TotalWork())
+	}
+	if g.Span() != 4*2 {
+		t.Errorf("L = %d, want 8", g.Span())
+	}
+}
+
+func TestReductionTreeOddSizes(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7, 9} {
+		g := ReductionTree(n, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Exactly one sink (the root).
+		sinks := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if len(g.Successors(NodeID(v))) == 0 {
+				sinks++
+			}
+		}
+		if sinks != 1 {
+			t.Errorf("n=%d: %d sinks, want 1", n, sinks)
+		}
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	// n=8: h=3 stages × 4 butterflies = 12 nodes; span 3.
+	g := FFT(8, 1)
+	if g.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", g.NumNodes())
+	}
+	if g.TotalWork() != 12 || g.Span() != 3 {
+		t.Errorf("W=%d L=%d, want 12/3", g.TotalWork(), g.Span())
+	}
+}
+
+func TestFFTFullParallelismPerStage(t *testing.T) {
+	// With n/2 processors, each stage is one step: span ticks total.
+	g := FFT(16, 1)
+	ticks := runGreedy(t, g, 8, ByID{})
+	if ticks != g.Span() {
+		t.Errorf("FFT(16) on 8 procs took %d ticks, want %d", ticks, g.Span())
+	}
+}
+
+func TestFFTPanicsOnBadN(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FFT(%d) did not panic", n)
+				}
+			}()
+			FFT(n, 1)
+		}()
+	}
+}
+
+func TestCholeskyNodeCountAndWork(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6} {
+		works := DefaultCholeskyWorks(2)
+		g := Cholesky(n, works)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != CholeskyNodeCount(n) {
+			t.Errorf("n=%d: nodes = %d, want %d", n, g.NumNodes(), CholeskyNodeCount(n))
+		}
+		nn := int64(n)
+		wantW := nn*works.Potrf + nn*(nn-1)/2*works.Trsm + nn*(nn*nn-1)/6*works.Syrk
+		if g.TotalWork() != wantW {
+			t.Errorf("n=%d: W = %d, want %d", n, g.TotalWork(), wantW)
+		}
+	}
+}
+
+func TestCholeskySpanGrowsLinearly(t *testing.T) {
+	// The critical path goes through every POTRF plus a TRSM+SYRK pair per
+	// step: span must grow ~linearly in N while W grows cubically.
+	works := DefaultCholeskyWorks(1)
+	prev := int64(0)
+	for _, n := range []int{2, 4, 8} {
+		g := Cholesky(n, works)
+		if g.Span() <= prev {
+			t.Errorf("span not increasing at n=%d", n)
+		}
+		prev = g.Span()
+		// Span lower bound: the POTRF chain alone.
+		if g.Span() < int64(n)*works.Potrf {
+			t.Errorf("n=%d: span %d below POTRF chain", n, g.Span())
+		}
+		// Parallelism W/L must grow with n (the point of the shape).
+		if n >= 4 {
+			par := float64(g.TotalWork()) / float64(g.Span())
+			if par < float64(n)/2 {
+				t.Errorf("n=%d: parallelism %.1f too small", n, par)
+			}
+		}
+	}
+}
+
+func TestCholeskySingleTileIsOnePotrf(t *testing.T) {
+	g := Cholesky(1, DefaultCholeskyWorks(5))
+	if g.NumNodes() != 1 || g.TotalWork() != 5 {
+		t.Errorf("Cholesky(1): nodes=%d W=%d", g.NumNodes(), g.TotalWork())
+	}
+}
+
+func TestCholeskyPanics(t *testing.T) {
+	cases := []func(){
+		func() { Cholesky(0, DefaultCholeskyWorks(1)) },
+		func() { Cholesky(3, CholeskyWorks{Potrf: 0, Trsm: 1, Syrk: 1}) },
+		func() { Wavefront(0, 1) },
+		func() { ReductionTree(0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPropHPCShapesGreedyBound(t *testing.T) {
+	// All HPC shapes respect the Brent bound under greedy execution.
+	f := func(sel, procSel uint8) bool {
+		procs := 1 + int(procSel%8)
+		var g *DAG
+		switch sel % 4 {
+		case 0:
+			g = Wavefront(2+int(sel%5), 1+int64(sel%3))
+		case 1:
+			g = ReductionTree(1+int(sel%12), 1)
+		case 2:
+			g = FFT(2<<(sel%4), 1)
+		default:
+			g = Cholesky(1+int(sel%5), DefaultCholeskyWorks(1))
+		}
+		s := NewState(g)
+		var ticks int64
+		var buf []NodeID
+		for !s.Done() {
+			buf = (ByID{}).Pick(s, procs, buf[:0])
+			for _, v := range buf {
+				s.Apply(v, 1)
+			}
+			ticks++
+		}
+		w, l, a := g.TotalWork(), g.Span(), int64(procs)
+		return ticks <= (w-l+a-1)/a+l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// dagJSON is the serialized form: node works plus an edge list.
+type dagJSON struct {
+	Work  []int64     `json:"work"`
+	Edges [][2]NodeID `json:"edges"`
+}
+
+// MarshalJSON encodes the DAG as {"work": [...], "edges": [[u,v], ...]}.
+func (g *DAG) MarshalJSON() ([]byte, error) {
+	out := dagJSON{Work: g.work, Edges: make([][2]NodeID, 0, g.NumEdges())}
+	for v := range g.succs {
+		for _, u := range g.succs[v] {
+			out.Edges = append(out.Edges, [2]NodeID{NodeID(v), u})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and validates a DAG, recomputing W, L, and the
+// topological order.
+func (g *DAG) UnmarshalJSON(data []byte) error {
+	var in dagJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("dag: %w", err)
+	}
+	b := NewBuilder()
+	for _, w := range in.Work {
+		b.AddNode(w)
+	}
+	for _, e := range in.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*g = *built
+	return nil
+}

@@ -1,0 +1,103 @@
+package dag
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := ForkJoin(2, 3, 4)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DAG
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumEdges() != orig.NumEdges() {
+		t.Errorf("round trip: nodes %d/%d edges %d/%d",
+			got.NumNodes(), orig.NumNodes(), got.NumEdges(), orig.NumEdges())
+	}
+	if got.TotalWork() != orig.TotalWork() || got.Span() != orig.Span() {
+		t.Errorf("round trip: W %d/%d L %d/%d",
+			got.TotalWork(), orig.TotalWork(), got.Span(), orig.Span())
+	}
+}
+
+func TestJSONRejectsCycle(t *testing.T) {
+	var g DAG
+	err := json.Unmarshal([]byte(`{"work":[1,1],"edges":[[0,1],[1,0]]}`), &g)
+	if err == nil {
+		t.Error("unmarshal accepted cyclic graph")
+	}
+}
+
+func TestJSONRejectsBadWork(t *testing.T) {
+	var g DAG
+	err := json.Unmarshal([]byte(`{"work":[0],"edges":[]}`), &g)
+	if err == nil {
+		t.Error("unmarshal accepted zero work")
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	var g DAG
+	if err := json.Unmarshal([]byte(`{"work": "nope"}`), &g); err == nil {
+		t.Error("unmarshal accepted malformed JSON")
+	}
+}
+
+func TestPropJSONRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := Layered(rng, 1+rng.Intn(5), 1+rng.Intn(4), 1+rng.Int63n(6), rng.Float64())
+		data, err := json.Marshal(orig)
+		if err != nil {
+			return false
+		}
+		var got DAG
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		if got.NumNodes() != orig.NumNodes() ||
+			got.TotalWork() != orig.TotalWork() ||
+			got.Span() != orig.Span() ||
+			got.NumEdges() != orig.NumEdges() {
+			return false
+		}
+		for v := 0; v < got.NumNodes(); v++ {
+			if got.Work(NodeID(v)) != orig.Work(NodeID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Figure2(2, 3)
+	var buf strings.Builder
+	if err := WriteDOT(&buf, "fig2", g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`digraph "fig2"`, "n0 -> n1", "w=1", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count in output matches the graph.
+	if got := strings.Count(out, "->"); got != g.NumEdges() {
+		t.Errorf("DOT has %d edges, want %d", got, g.NumEdges())
+	}
+	if err := WriteDOT(&buf, "nil", nil); err == nil {
+		t.Error("WriteDOT accepted nil graph")
+	}
+}

@@ -1,0 +1,129 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func policies(seed int64) []PickPolicy {
+	return []PickPolicy{
+		ByID{},
+		Random{Rng: rand.New(rand.NewSource(seed))},
+		Unlucky{},
+		CriticalPathFirst{},
+	}
+}
+
+func TestPickReturnsAtMostK(t *testing.T) {
+	g := Block(10, 1)
+	s := NewState(g)
+	for _, pol := range policies(1) {
+		for _, k := range []int{0, 1, 3, 10, 20} {
+			got := pol.Pick(s, k, nil)
+			want := k
+			if want > 10 {
+				want = 10
+			}
+			if len(got) != want {
+				t.Errorf("%s: Pick(k=%d) returned %d nodes, want %d", pol.Name(), k, len(got), want)
+			}
+		}
+	}
+}
+
+func TestPickReturnsReadyDistinctNodes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Layered(rng, 1+rng.Intn(4), 1+rng.Intn(5), 2, 0.5)
+		s := NewState(g)
+		// Advance a few random steps so the ready set is nontrivial.
+		var buf []NodeID
+		for i := 0; i < 3 && !s.Done(); i++ {
+			buf = s.ReadyNodes(buf[:0])
+			s.Apply(buf[rng.Intn(len(buf))], 1)
+		}
+		if s.Done() {
+			return true
+		}
+		for _, pol := range policies(seed) {
+			got := pol.Pick(s, 3, nil)
+			seen := map[NodeID]bool{}
+			for _, v := range got {
+				if seen[v] || !s.IsReady(v) {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByIDPrefersLowIDs(t *testing.T) {
+	g := Block(5, 1)
+	s := NewState(g)
+	got := (ByID{}).Pick(s, 2, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ByID picked %v, want [0 1]", got)
+	}
+}
+
+func TestUnluckyAvoidsCriticalPathOnFigure1(t *testing.T) {
+	// Figure 1: chain nodes have the lowest IDs and the longest downward
+	// paths. Unlucky must pick block nodes (short paths) first.
+	g := Figure1(4, 6)
+	s := NewState(g)
+	got := (Unlucky{}).Pick(s, 3, nil)
+	for _, v := range got {
+		if s.DownLength(v) != 1 {
+			t.Errorf("Unlucky picked node %d with down-length %d, want block node (1)", v, s.DownLength(v))
+		}
+	}
+}
+
+func TestCriticalPathFirstPicksChainOnFigure1(t *testing.T) {
+	g := Figure1(4, 6)
+	s := NewState(g)
+	got := (CriticalPathFirst{}).Pick(s, 1, nil)
+	if len(got) != 1 || s.DownLength(got[0]) != g.Span() {
+		t.Errorf("CriticalPathFirst picked %v (down %d), want chain head (down %d)",
+			got, s.DownLength(got[0]), g.Span())
+	}
+}
+
+func TestRandomPickDeterministicPerSeed(t *testing.T) {
+	g := Block(20, 1)
+	pick := func(seed int64) []NodeID {
+		s := NewState(g)
+		return Random{Rng: rand.New(rand.NewSource(seed))}.Pick(s, 5, nil)
+	}
+	a, b := pick(3), pick(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Random pick not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPickAppendsToDst(t *testing.T) {
+	g := Block(4, 1)
+	s := NewState(g)
+	pre := []NodeID{99}
+	got := (ByID{}).Pick(s, 2, pre)
+	if len(got) != 3 || got[0] != 99 {
+		t.Errorf("Pick did not append to dst: %v", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]bool{"by-id": true, "random": true, "unlucky": true, "critical-path-first": true}
+	for _, pol := range policies(1) {
+		if !want[pol.Name()] {
+			t.Errorf("unexpected policy name %q", pol.Name())
+		}
+	}
+}

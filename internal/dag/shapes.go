@@ -1,0 +1,208 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Chain returns a sequential chain of n nodes, each with the given work.
+// W = n·work, L = n·work.
+func Chain(n int, work int64) *DAG {
+	if n <= 0 {
+		panic(fmt.Sprintf("dag: Chain with n=%d", n))
+	}
+	b := NewBuilder()
+	prev := b.AddNode(work)
+	for i := 1; i < n; i++ {
+		v := b.AddNode(work)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	return b.MustBuild()
+}
+
+// Block returns n fully independent nodes, each with the given work.
+// W = n·work, L = work.
+func Block(n int, work int64) *DAG {
+	if n <= 0 {
+		panic(fmt.Sprintf("dag: Block with n=%d", n))
+	}
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(work)
+	}
+	return b.MustBuild()
+}
+
+// Figure1 returns the paper's Figure 1 adversarial DAG for m processors: one
+// sequential chain of length L (L unit-work nodes) plus a fully parallel
+// block of (m−1)·L unit-work nodes, with no edges between them. The job has
+// W = m·L and span L = W/m.
+//
+// A clairvoyant scheduler co-schedules the chain with the block and finishes
+// in W/m = L steps on m unit-speed processors. A semi-non-clairvoyant
+// scheduler that unluckily drains the block first needs
+// (W−L)/m + L = (2 − 1/m)·L steps, which is the Theorem 1 separation.
+func Figure1(m int, L int64) *DAG {
+	if m < 2 {
+		panic(fmt.Sprintf("dag: Figure1 needs m >= 2, got %d", m))
+	}
+	if L <= 0 {
+		panic(fmt.Sprintf("dag: Figure1 with L=%d", L))
+	}
+	b := NewBuilder()
+	prev := b.AddNode(1)
+	for i := int64(1); i < L; i++ {
+		v := b.AddNode(1)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	block := int64(m-1) * L
+	for i := int64(0); i < block; i++ {
+		b.AddNode(1)
+	}
+	return b.MustBuild()
+}
+
+// Figure2 returns the paper's Figure 2 DAG: a chain of chainLen unit-work
+// nodes followed by a fully parallel block of blockWidth unit-work nodes that
+// all depend on the last chain node. Even a clairvoyant scheduler needs
+// chainLen + ceil(blockWidth/m) steps, approaching (W−L)/m + L as the node
+// granularity shrinks. W = chainLen + blockWidth, L = chainLen + 1.
+func Figure2(chainLen, blockWidth int) *DAG {
+	if chainLen <= 0 || blockWidth <= 0 {
+		panic(fmt.Sprintf("dag: Figure2 with chainLen=%d blockWidth=%d", chainLen, blockWidth))
+	}
+	b := NewBuilder()
+	prev := b.AddNode(1)
+	for i := 1; i < chainLen; i++ {
+		v := b.AddNode(1)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	for i := 0; i < blockWidth; i++ {
+		v := b.AddNode(1)
+		b.AddEdge(prev, v)
+	}
+	return b.MustBuild()
+}
+
+// ForkJoin returns stages sequential fork–join phases: each phase is a
+// source node, width parallel nodes, and a join node, with consecutive
+// phases chained. Every node has the given work. This is the shape of
+// map-reduce rounds and of parallel-for programs in Cilk/OpenMP/TBB.
+func ForkJoin(stages, width int, work int64) *DAG {
+	if stages <= 0 || width <= 0 {
+		panic(fmt.Sprintf("dag: ForkJoin with stages=%d width=%d", stages, width))
+	}
+	b := NewBuilder()
+	var prevJoin NodeID = -1
+	for s := 0; s < stages; s++ {
+		src := b.AddNode(work)
+		if prevJoin >= 0 {
+			b.AddEdge(prevJoin, src)
+		}
+		join := b.AddNode(work)
+		for i := 0; i < width; i++ {
+			v := b.AddNode(work)
+			b.AddEdge(src, v)
+			b.AddEdge(v, join)
+		}
+		prevJoin = join
+	}
+	return b.MustBuild()
+}
+
+// Layered returns a random layered DAG: layers of random width in
+// [1, maxWidth], node work uniform in [1, maxWork], and each pair of nodes in
+// adjacent layers connected with probability edgeProb. Every node in layer
+// i>0 receives at least one incoming edge so the layer structure is real.
+// The generator is deterministic given rng.
+func Layered(rng *rand.Rand, layers, maxWidth int, maxWork int64, edgeProb float64) *DAG {
+	if layers <= 0 || maxWidth <= 0 || maxWork <= 0 {
+		panic(fmt.Sprintf("dag: Layered with layers=%d maxWidth=%d maxWork=%d", layers, maxWidth, maxWork))
+	}
+	b := NewBuilder()
+	var prev []NodeID
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(maxWidth)
+		cur := make([]NodeID, width)
+		for i := range cur {
+			cur[i] = b.AddNode(1 + rng.Int63n(maxWork))
+		}
+		if l > 0 {
+			for _, v := range cur {
+				linked := false
+				for _, u := range prev {
+					if rng.Float64() < edgeProb {
+						b.AddEdge(u, v)
+						linked = true
+					}
+				}
+				if !linked {
+					b.AddEdge(prev[rng.Intn(len(prev))], v)
+				}
+			}
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// SeriesParallel returns a random series–parallel DAG built by recursive
+// composition to the given depth: at each level the generator either chains
+// two sub-graphs (series) or runs them independently between a fork and a
+// join (parallel). Leaves are single nodes with work uniform in [1, maxWork].
+func SeriesParallel(rng *rand.Rand, depth int, maxWork int64) *DAG {
+	if depth < 0 || maxWork <= 0 {
+		panic(fmt.Sprintf("dag: SeriesParallel with depth=%d maxWork=%d", depth, maxWork))
+	}
+	b := NewBuilder()
+	var build func(d int) (src, sink NodeID)
+	build = func(d int) (NodeID, NodeID) {
+		if d == 0 {
+			v := b.AddNode(1 + rng.Int63n(maxWork))
+			return v, v
+		}
+		if rng.Intn(2) == 0 { // series
+			s1, t1 := build(d - 1)
+			s2, t2 := build(d - 1)
+			b.AddEdge(t1, s2)
+			return s1, t2
+		}
+		// parallel between a fresh fork and join
+		fork := b.AddNode(1 + rng.Int63n(maxWork))
+		join := b.AddNode(1 + rng.Int63n(maxWork))
+		for i := 0; i < 2; i++ {
+			s, t := build(d - 1)
+			b.AddEdge(fork, s)
+			b.AddEdge(t, join)
+		}
+		return fork, join
+	}
+	build(depth)
+	return b.MustBuild()
+}
+
+// WideChain returns a chain of segments where each segment is a parallel
+// band of width nodes followed by a single synchronization node — a
+// bulk-synchronous-parallel (BSP) program shape.
+func WideChain(segments, width int, work int64) *DAG {
+	if segments <= 0 || width <= 0 {
+		panic(fmt.Sprintf("dag: WideChain with segments=%d width=%d", segments, width))
+	}
+	b := NewBuilder()
+	var prevSync NodeID = -1
+	for s := 0; s < segments; s++ {
+		sync := b.AddNode(work)
+		for i := 0; i < width; i++ {
+			v := b.AddNode(work)
+			if prevSync >= 0 {
+				b.AddEdge(prevSync, v)
+			}
+			b.AddEdge(v, sync)
+		}
+		prevSync = sync
+	}
+	return b.MustBuild()
+}

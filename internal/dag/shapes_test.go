@@ -1,0 +1,146 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestChainShape(t *testing.T) {
+	g := Chain(5, 3)
+	if g.TotalWork() != 15 || g.Span() != 15 {
+		t.Errorf("Chain W=%d L=%d, want 15/15", g.TotalWork(), g.Span())
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Errorf("Chain nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestBlockShape(t *testing.T) {
+	g := Block(6, 4)
+	if g.TotalWork() != 24 || g.Span() != 4 {
+		t.Errorf("Block W=%d L=%d, want 24/4", g.TotalWork(), g.Span())
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("Block edges=%d", g.NumEdges())
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	for _, m := range []int{2, 4, 8} {
+		L := int64(12)
+		g := Figure1(m, L)
+		if g.Span() != L {
+			t.Errorf("Figure1(m=%d) L=%d, want %d", m, g.Span(), L)
+		}
+		if g.TotalWork() != int64(m)*L {
+			t.Errorf("Figure1(m=%d) W=%d, want %d", m, g.TotalWork(), int64(m)*L)
+		}
+	}
+}
+
+func TestFigure1TheoremSeparation(t *testing.T) {
+	// The Theorem 1 gap: unlucky needs (W−L)/m + L = (2−1/m)L, clairvoyant
+	// needs W/m = L.
+	m, L := 4, int64(8)
+	g := Figure1(m, L)
+	unlucky := runGreedy(t, g, m, Unlucky{})
+	clair := runGreedy(t, g, m, CriticalPathFirst{})
+	wantUnlucky := (g.TotalWork()-L)/int64(m) + L // (m−1)L/m + L, exact when m | L
+	if unlucky != wantUnlucky {
+		t.Errorf("unlucky completion = %d, want %d", unlucky, wantUnlucky)
+	}
+	if clair != L {
+		t.Errorf("clairvoyant completion = %d, want %d", clair, L)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	g := Figure2(5, 9)
+	if g.Span() != 6 { // chain 5 + one block node
+		t.Errorf("Figure2 L=%d, want 6", g.Span())
+	}
+	if g.TotalWork() != 14 {
+		t.Errorf("Figure2 W=%d, want 14", g.TotalWork())
+	}
+}
+
+func TestFigure2EvenClairvoyantIsSlow(t *testing.T) {
+	// Figure 2: chain must finish before the block exists, so even the
+	// clairvoyant policy needs chainLen + ceil(blockWidth/m).
+	chain, width, m := 6, 12, 4
+	g := Figure2(chain, width)
+	got := runGreedy(t, g, m, CriticalPathFirst{})
+	want := int64(chain) + int64((width+m-1)/m)
+	if got != want {
+		t.Errorf("clairvoyant on Figure2 = %d ticks, want %d", got, want)
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin(2, 3, 2)
+	// per stage: src + join + 3 parallel = 5 nodes of work 2 → W = 20.
+	if g.TotalWork() != 20 {
+		t.Errorf("ForkJoin W=%d, want 20", g.TotalWork())
+	}
+	// span per stage: src + one parallel + join = 6; two stages chained = 12.
+	if g.Span() != 12 {
+		t.Errorf("ForkJoin L=%d, want 12", g.Span())
+	}
+}
+
+func TestWideChainShape(t *testing.T) {
+	g := WideChain(2, 3, 1)
+	// per segment: 3 band + 1 sync = 4 nodes → W = 8.
+	if g.TotalWork() != 8 {
+		t.Errorf("WideChain W=%d, want 8", g.TotalWork())
+	}
+	// span: band + sync per segment = 2, chained ×2 = 4.
+	if g.Span() != 4 {
+		t.Errorf("WideChain L=%d, want 4", g.Span())
+	}
+}
+
+func TestSeriesParallelValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		g := SeriesParallel(rng, 4, 5)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("SeriesParallel invalid: %v", err)
+		}
+		if g.Span() > g.TotalWork() {
+			t.Errorf("L=%d > W=%d", g.Span(), g.TotalWork())
+		}
+	}
+}
+
+func TestLayeredDeterministic(t *testing.T) {
+	g1 := Layered(rand.New(rand.NewSource(9)), 4, 3, 5, 0.4)
+	g2 := Layered(rand.New(rand.NewSource(9)), 4, 3, 5, 0.4)
+	if g1.NumNodes() != g2.NumNodes() || g1.TotalWork() != g2.TotalWork() || g1.Span() != g2.Span() {
+		t.Error("Layered not deterministic for equal seeds")
+	}
+}
+
+func TestShapePanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { Chain(0, 1) },
+		func() { Block(-1, 1) },
+		func() { Figure1(1, 5) },
+		func() { Figure1(2, 0) },
+		func() { Figure2(0, 1) },
+		func() { ForkJoin(0, 1, 1) },
+		func() { WideChain(1, 0, 1) },
+		func() { Layered(rand.New(rand.NewSource(1)), 0, 1, 1, 0.5) },
+		func() { SeriesParallel(rand.New(rand.NewSource(1)), -1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

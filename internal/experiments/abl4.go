@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"dagsched/internal/metrics"
+	"dagsched/internal/queue"
+)
+
+// RunABL4 measures the band-index substrate choice: the naive O(n) scan
+// versus the treap with subtree sums, at the queue sizes condition (2)
+// actually sees. The treap wins asymptotically; at the |Q| ≈ tens the
+// scheduler usually holds, the difference is irrelevant — which is why the
+// index is pluggable rather than mandatory.
+func RunABL4(cfg Config) ([]*metrics.Table, error) {
+	sizes := []int{16, 128, 1024}
+	if cfg.Quick {
+		sizes = []int{16, 256}
+	}
+	tb := metrics.NewTable("ABL4: band index SumRange cost (ns/op)",
+		"items", "naive", "treap", "speedup")
+	for _, n := range sizes {
+		naive := benchBand(func() queue.BandIndex { return queue.NewNaiveBand() }, n)
+		treap := benchBand(func() queue.BandIndex { return queue.NewTreapBand(1) }, n)
+		tb.AddRow(n, float64(naive), float64(treap), float64(naive)/float64(treap))
+	}
+	return []*metrics.Table{tb}, nil
+}
+
+// benchBand times SumRange queries over an index with n items using a
+// self-calibrating loop (testing.Benchmark cannot be nested inside the
+// BenchmarkEXP_* harness).
+func benchBand(mk func() queue.BandIndex, n int) int64 {
+	rng := rand.New(rand.NewSource(7))
+	idx := mk()
+	for i := 0; i < n; i++ {
+		idx.Insert(queue.Item{ID: i, Density: rng.Float64() * 100, Weight: 1 + rng.Float64()})
+	}
+	run := func(iters int) time.Duration {
+		r := rand.New(rand.NewSource(9))
+		var sink float64
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			lo := r.Float64() * 100
+			sink += idx.SumRange(lo, lo*1.5)
+		}
+		_ = sink
+		return time.Since(start)
+	}
+	run(64) // warmup
+	iters := 256
+	for {
+		el := run(iters)
+		if el >= 10*time.Millisecond || iters >= 1<<22 {
+			return el.Nanoseconds() / int64(iters)
+		}
+		iters *= 4
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/metrics"
+	"dagsched/internal/profit"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// AdversarialInstance builds the adversarial stream that realizes the paper's
+// motivation for admission control. Per phase of T = 200 ticks, on m = 8:
+//
+//   - one "big" SLA job: Block(72,10) (W=720, L=10), deadline 200 — exactly
+//     the Theorem 2 slack at ε = 1 — worth 100;
+//   - "trap" jobs every 10 ticks: WideChain(6,8,2) (W=108, span 24) with
+//     deadline 20 < span: infeasible for any scheduler, but volume-feasible
+//     and very dense (profit 324), so density-greedy and deadline-greedy
+//     policies burn processors on them. Scheduler S discards them at
+//     arrival: they cannot be δ-good;
+//   - "bait" jobs every 20 ticks: Block(8,8) (W=64, L=8) with deadline 30
+//     and profit 1: earlier deadlines than the big job, so EDF and LLF
+//     starve the big job for a stream of near-worthless work. Condition (2)
+//     rejects them — their density band is already full of the big job.
+func AdversarialInstance(phases int) (*workload.Instance, error) {
+	const (
+		T         = 200
+		m         = 8
+		trapEvery = 10
+		baitEvery = 20
+	)
+	inst := &workload.Instance{Name: fmt.Sprintf("adversarial-%dphases", phases), M: m}
+	id := 0
+	add := func(g *dag.DAG, release int64, value float64, deadline int64) error {
+		fn, err := profit.NewStep(value, deadline)
+		if err != nil {
+			return err
+		}
+		inst.Jobs = append(inst.Jobs, &sim.Job{ID: id, Graph: g, Release: release, Profit: fn})
+		id++
+		return nil
+	}
+	for k := 0; k < phases; k++ {
+		base := int64(k * T)
+		if err := add(dag.Block(72, 10), base, 100, T); err != nil {
+			return nil, err
+		}
+		for j := int64(0); j < T; j += trapEvery {
+			if err := add(dag.WideChain(6, 8, 2), base+j, 324, trapEvery); err != nil {
+				return nil, err
+			}
+		}
+		for j := int64(0); j < T; j += baitEvery {
+			if err := add(dag.Block(8, 8), base+j, 1, 30); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, inst.Validate()
+}
+
+// RunADV runs every scheduler on the adversarial stream and on a
+// same-size random mix, showing the contrast the theory predicts: greedy
+// heuristics are fine on stochastic inputs but collapse on the adversarial
+// one, while S's admission control holds its constant fraction.
+func RunADV(cfg Config) ([]*metrics.Table, error) {
+	phases := 5
+	if cfg.Quick {
+		phases = 2
+	}
+	adv, err := AdversarialInstance(phases)
+	if err != nil {
+		return nil, err
+	}
+	rnd, err := workload.Generate(workload.Config{
+		Seed: 1000, N: len(adv.Jobs), M: adv.M,
+		Eps: 1, SlackSpread: 0.5, Load: 2, Scale: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	roster := schedulerRoster()
+	tb := metrics.NewTable("ADV: profit/UB on an adversarial stream vs a random mix (m=8)",
+		"scheduler", "adversarial", "random")
+	ubAdv := upperBound(adv)
+	ubRnd := upperBound(rnd)
+	for _, mk := range roster {
+		pa, err := runProfit(adv, mk(), rational.One(), nil)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := runProfit(rnd, mk(), rational.One(), nil)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(mk().Name(), pa/ubAdv, pr/ubRnd)
+	}
+	return []*metrics.Table{tb}, nil
+}

@@ -1,0 +1,134 @@
+// Package experiments defines the reproduction suite: one experiment per
+// paper artifact (Figures 1–2, Theorems 1–3, Corollaries 1–2) plus the
+// baseline comparison and the ablations called out in DESIGN.md. Both
+// cmd/spaa-bench and the root bench_test.go run these; EXPERIMENTS.md
+// records the resulting tables next to the paper's claims.
+package experiments
+
+import (
+	"fmt"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/dag"
+	"dagsched/internal/metrics"
+	"dagsched/internal/opt"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// Config tunes suite cost. Quick shrinks instances and seed counts so the
+// whole suite runs in seconds (used by tests); the default sizes are for the
+// recorded experiment tables.
+type Config struct {
+	Quick bool
+	Seeds int // number of workload seeds per cell (0 → 5, or 2 in Quick mode)
+}
+
+func (c Config) seeds() int {
+	if c.Seeds > 0 {
+		return c.Seeds
+	}
+	if c.Quick {
+		return 2
+	}
+	return 8
+}
+
+func (c Config) jobs() int {
+	if c.Quick {
+		return 16
+	}
+	return 36
+}
+
+// Experiment is one reproducible unit of the suite.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) ([]*metrics.Table, error)
+}
+
+// All returns the suite in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "FIG1", Title: "Figure 1 / Theorem 1 separation: unlucky vs clairvoyant completion", Run: RunFIG1},
+		{ID: "FIG2", Title: "Figure 2: even clairvoyant needs (W−L)/m + L as granularity shrinks", Run: RunFIG2},
+		{ID: "THM1", Title: "Theorem 1: throughput jumps at speed 2−1/m on Figure-1 jobs", Run: RunTHM1},
+		{ID: "THM2", Title: "Theorem 2: S is O(1)-competitive under the (1+ε) slack condition", Run: RunTHM2},
+		{ID: "COR1", Title: "Corollary 1: (2+ε)-speed suffices on unrestricted deadlines", Run: RunCOR1},
+		{ID: "COR2", Title: "Corollary 2: (1+ε)-speed suffices for reasonable deadlines", Run: RunCOR2},
+		{ID: "THM3", Title: "Theorem 3: general-profit scheduler under decaying profits", Run: RunTHM3},
+		{ID: "BASE", Title: "Baselines: S vs EDF/LLF/FIFO/HDF/federated across load", Run: RunBASE},
+		{ID: "ADV", Title: "Adversarial stream: where admission control matters", Run: RunADV},
+		{ID: "ABL1", Title: "Ablation: admission band condition (2) removed", Run: RunABL1},
+		{ID: "ABL2", Title: "Ablation: allotment n_i forced to 1 or m", Run: RunABL2},
+		{ID: "ABL3", Title: "Ablation: δ-fresh admission test removed", Run: RunABL3},
+		{ID: "ABL4", Title: "Ablation: band-index substrate (naive scan vs treap)", Run: RunABL4},
+		{ID: "OPTQ", Title: "OPT bound quality: exact vs LP vs knapsack vs trivial", Run: RunOPTQ},
+		{ID: "EXT", Title: "Extensions: work-conserving S and preemption counts (paper future work)", Run: RunEXT},
+		{ID: "LEM", Title: "Lemma verification: analysis quantities on live runs", Run: RunLEM},
+		{ID: "HPCW", Title: "HPC kernel workloads: Cholesky/wavefront/FFT/reduction mixes", Run: RunHPCW},
+		{ID: "MINE", Title: "Adversary miner: hill-climbed competitive ratios per scheduler", Run: RunMINE},
+		{ID: "RT", Title: "Real-time bridge: schedulability tests vs simulated deadlines", Run: RunRT},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// runProfit executes one scheduler on an instance and returns earned profit.
+func runProfit(inst *workload.Instance, sched sim.Scheduler, speed rational.Rat, pol dag.PickPolicy) (float64, error) {
+	res, err := sim.Run(sim.Config{M: inst.M, Speed: speed, Policy: pol}, inst.Jobs, sched)
+	if err != nil {
+		return 0, err
+	}
+	return res.TotalProfit, nil
+}
+
+// upperBound returns the OPT upper bound for an instance at unit speed.
+func upperBound(inst *workload.Instance) float64 {
+	return opt.Bound(opt.TasksFromJobs(inst.Jobs, inst.M, 1), inst.M, 1)
+}
+
+// ratioCell formats "mean ± ci" for a series.
+func ratioCell(s *metrics.Series) string {
+	return fmt.Sprintf("%s ± %s", metrics.FormatFloat(s.Mean()), metrics.FormatFloat(s.CI95()))
+}
+
+// freshS builds a new paper scheduler for ε.
+func freshS(eps float64) *core.SchedulerS {
+	return core.NewSchedulerS(core.Options{Params: core.MustParams(eps)})
+}
+
+// schedulerRoster returns the baseline set used by BASE and the ablations.
+func schedulerRoster() []func() sim.Scheduler {
+	return []func() sim.Scheduler{
+		func() sim.Scheduler { return freshS(1) },
+		func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} },
+		func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderEDF, AbandonHopeless: true}
+		},
+		func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderLLF} },
+		func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderFIFO} },
+		func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} },
+		func() sim.Scheduler { return &baselines.Federated{} },
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seeds: 2} }
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("suite has %d experiments, want 19", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if got, ok := ByID(e.ID); !ok || got.ID != e.ID {
+			t.Errorf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("NOPE"); ok {
+		t.Error("ByID accepted unknown ID")
+	}
+	if len(IDs()) != len(all) {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// checks tables are produced with data rows.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("table %q has no rows", tb.Title)
+				}
+				out := tb.Render()
+				if !strings.Contains(out, tb.Columns[0]) {
+					t.Errorf("render missing header:\n%s", out)
+				}
+			}
+		})
+	}
+}
+
+func TestFIG1RatioApproachesTwo(t *testing.T) {
+	tables, err := RunFIG1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tables[0].CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	// Each data row: m,W,L,tu,tc,ratio,threshold → ratio must equal threshold
+	// exactly for the constructed instance (m | L).
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		ratio, err1 := strconv.ParseFloat(f[5], 64)
+		thr, err2 := strconv.ParseFloat(f[6], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %q", line)
+		}
+		if ratio < thr-1e-9 || ratio > thr+1e-9 {
+			t.Errorf("row %q: ratio %v != threshold %v", line, ratio, thr)
+		}
+	}
+}
+
+func TestTHM1ThresholdSharp(t *testing.T) {
+	tables, err := RunTHM1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tables[0].CSV()), "\n")
+	// rows: speed, unluckyFrac, clairFrac
+	want := map[string][2]float64{
+		"1":   {0, 1},
+		"5/4": {0, 1},
+		"3/2": {0, 1},
+		"7/4": {1, 1},
+		"2":   {1, 1},
+	}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		exp, ok := want[f[0]]
+		if !ok {
+			t.Fatalf("unexpected speed row %q", f[0])
+		}
+		u, _ := strconv.ParseFloat(f[1], 64)
+		c, _ := strconv.ParseFloat(f[2], 64)
+		if u != exp[0] || c != exp[1] {
+			t.Errorf("speed %s: got (%v, %v), want %v", f[0], u, c, exp)
+		}
+	}
+}
+
+func TestTHM2RatiosBoundedByPaperConstant(t *testing.T) {
+	tables, err := RunTHM2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tables[0].CSV()), "\n")
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		// ratio(S) cell is "mean ± ci"; take the mean.
+		ratio, err := strconv.ParseFloat(strings.Fields(f[3])[0], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", f[3])
+		}
+		paperConst, err := strconv.ParseFloat(f[5], 64)
+		if err != nil {
+			t.Fatalf("bad const cell %q", f[5])
+		}
+		if ratio <= 0 {
+			t.Errorf("eps=%s: non-positive measured ratio %v", f[0], ratio)
+		}
+		if ratio > paperConst {
+			t.Errorf("eps=%s: measured ratio %v exceeds the proven bound %v", f[0], ratio, paperConst)
+		}
+	}
+}
+
+func TestOPTQBoundsDominateExact(t *testing.T) {
+	tables, err := RunOPTQ(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tables[0].CSV()), "\n")
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		mean, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			t.Fatalf("bad row %q", line)
+		}
+		if strings.Contains(f[0], "heuristic") {
+			if mean > 1+1e-9 {
+				t.Errorf("heuristic lower bound exceeds exact: %v", mean)
+			}
+		} else if mean < 1-1e-9 {
+			t.Errorf("%s below exact: %v", f[0], mean)
+		}
+	}
+}
+
+func TestLEMBoundsHold(t *testing.T) {
+	tables, err := RunLEM(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tables[0].CSV()), "\n")
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		maxN, _ := strconv.ParseFloat(f[1], 64)
+		goodFrac, _ := strconv.ParseFloat(f[2], 64)
+		maxXA, _ := strconv.ParseFloat(f[3], 64)
+		margin, _ := strconv.ParseFloat(f[4], 64)
+		minCR, _ := strconv.ParseFloat(f[5], 64)
+		if maxN > 1+1e-9 {
+			t.Errorf("eps=%s: Lemma 1 violated: max n/(b²m) = %v", f[0], maxN)
+		}
+		if goodFrac != 1 {
+			t.Errorf("eps=%s: Lemma 2 violated: δ-good fraction %v", f[0], goodFrac)
+		}
+		if maxXA > 1+1e-9 {
+			t.Errorf("eps=%s: Lemma 3 violated: max xA/(aW+L) = %v", f[0], maxXA)
+		}
+		if minCR < margin {
+			t.Errorf("eps=%s: Lemma 5 violated: ||C||/||R|| = %v < margin %v", f[0], minCR, margin)
+		}
+	}
+}
+
+func TestAssertPositiveHelper(t *testing.T) {
+	if err := assertPositive(1, "x"); err != nil {
+		t.Error(err)
+	}
+	if err := assertPositive(0, "x"); err == nil {
+		t.Error("accepted 0")
+	}
+}

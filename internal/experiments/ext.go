@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/metrics"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// RunEXT evaluates the paper's stated future-work directions:
+//
+//  1. A work-conserving variant of S ("S+wc") that hands leftover
+//     processors to admitted jobs in density order, with admission
+//     unchanged. It recovers most of the gap to the greedy heuristics on
+//     stochastic workloads while keeping the admission structure (and thus
+//     the adversarial robustness) intact.
+//  2. A fully non-clairvoyant variant ("NC", the paper's third open
+//     question) that runs S's machinery on doubling work guesses — the
+//     measured gap to S is the empirical price of losing the (W, L)
+//     knowledge.
+//  3. Preemption behaviour: completed jobs per preemption for each
+//     scheduler — S barely preempts (a job keeps its allotment until it
+//     finishes or expires), whereas EDF/LLF reshuffle constantly.
+func RunEXT(cfg Config) ([]*metrics.Table, error) {
+	loads := []float64{1, 2, 4}
+	if cfg.Quick {
+		loads = []float64{2}
+	}
+	mkS := func() sim.Scheduler {
+		return core.NewSchedulerS(core.Options{Params: core.MustParams(1)})
+	}
+	mkSWC := func() sim.Scheduler {
+		return core.NewSchedulerS(core.Options{Params: core.MustParams(1), WorkConserving: true})
+	}
+	mkNC := func() sim.Scheduler {
+		return core.NewSchedulerNC(core.Options{Params: core.MustParams(1)})
+	}
+	mkEDF := func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} }
+	mkHDF := func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} }
+
+	profitTb := metrics.NewTable("EXT1: future-work variants (profit/UB, m=8)",
+		"load", "S", "S+wc", "NC", "edf", "hdf")
+	preemptTb := metrics.NewTable("EXT2: preemptions per completed job (m=8)",
+		"load", "S", "S+wc", "NC", "edf", "hdf")
+	makers := []func() sim.Scheduler{mkS, mkSWC, mkNC, mkEDF, mkHDF}
+	for _, load := range loads {
+		profits := make([]metrics.Series, len(makers))
+		preempts := make([]metrics.Series, len(makers))
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(1100 + seed), N: cfg.jobs(), M: 8,
+				Eps: 1, SlackSpread: 0.5, Load: load, Scale: 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			bound := upperBound(inst)
+			if bound == 0 {
+				continue
+			}
+			for i, mk := range makers {
+				res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, mk())
+				if err != nil {
+					return nil, err
+				}
+				profits[i].Add(res.TotalProfit / bound)
+				var pre int64
+				for _, js := range res.Jobs {
+					pre += js.Preemptions
+				}
+				if res.Completed > 0 {
+					preempts[i].Add(float64(pre) / float64(res.Completed))
+				}
+			}
+		}
+		profitRow := []any{load}
+		preemptRow := []any{load}
+		for i := range makers {
+			profitRow = append(profitRow, profits[i].Mean())
+			preemptRow = append(preemptRow, preempts[i].Mean())
+		}
+		profitTb.AddRow(profitRow...)
+		preemptTb.AddRow(preemptRow...)
+	}
+	return []*metrics.Table{profitTb, preemptTb}, nil
+}

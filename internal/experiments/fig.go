@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/dag"
+	"dagsched/internal/metrics"
+	"dagsched/internal/profit"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// figure1Scaled builds the Figure 1 DAG with chainNodes chain nodes and
+// (m−1)·chainNodes block nodes, each of the given work, so W = m·L exactly
+// and node granularity divides speed-scaled work evenly.
+func figure1Scaled(m, chainNodes int, work int64) *dag.DAG {
+	b := dag.NewBuilder()
+	prev := b.AddNode(work)
+	for i := 1; i < chainNodes; i++ {
+		v := b.AddNode(work)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	for i := 0; i < (m-1)*chainNodes; i++ {
+		b.AddNode(work)
+	}
+	return b.MustBuild()
+}
+
+// completionOn runs a single job alone on m processors under the policy and
+// returns its completion time (or 0 if it never completed).
+func completionOn(g *dag.DAG, m int, pol dag.PickPolicy, speed rational.Rat) (int64, error) {
+	fn, err := profit.NewStep(1, g.TotalWork()+g.Span()+10)
+	if err != nil {
+		return 0, err
+	}
+	job := &sim.Job{ID: 1, Graph: g, Release: 0, Profit: fn}
+	res, err := sim.Run(sim.Config{M: m, Speed: speed, Policy: pol},
+		[]*sim.Job{job}, &baselines.ListScheduler{Order: baselines.OrderFIFO})
+	if err != nil {
+		return 0, err
+	}
+	if res.Completed != 1 {
+		return 0, fmt.Errorf("experiments: job did not complete")
+	}
+	return res.Jobs[0].CompletedAt, nil
+}
+
+// RunFIG1 reproduces Figure 1 / the Theorem 1 separation: on the Figure-1
+// DAG, an unlucky semi-non-clairvoyant execution takes (W−L)/m + L while a
+// clairvoyant one takes W/m = L, so the required speed ratio approaches
+// 2 − 1/m.
+func RunFIG1(cfg Config) ([]*metrics.Table, error) {
+	ms := []int{2, 4, 8, 16, 32, 64}
+	if cfg.Quick {
+		ms = []int{2, 4, 8}
+	}
+	tb := metrics.NewTable("FIG1: Figure-1 DAG, single job on m processors",
+		"m", "W", "L", "t(unlucky)", "t(clairvoyant)", "ratio", "2-1/m")
+	for _, m := range ms {
+		L := int64(4 * m) // m | L → exact block waves
+		g := dag.Figure1(m, L)
+		tu, err := completionOn(g, m, dag.Unlucky{}, rational.One())
+		if err != nil {
+			return nil, err
+		}
+		tc, err := completionOn(g, m, dag.CriticalPathFirst{}, rational.One())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(m, g.TotalWork(), g.Span(), tu, tc,
+			float64(tu)/float64(tc), 2-1/float64(m))
+	}
+	return []*metrics.Table{tb}, nil
+}
+
+// RunFIG2 reproduces Figure 2: a chain followed by a parallel block. Even
+// the clairvoyant policy needs ≈ (W−L)/m + L − w(1−1/m) where w is the node
+// granularity, approaching (W−L)/m + L as w shrinks — justifying the
+// deadline assumption of Corollary 2.
+func RunFIG2(cfg Config) ([]*metrics.Table, error) {
+	const m = 4
+	W, L := int64(64), int64(16)
+	if !cfg.Quick {
+		W, L = 256, 64
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("FIG2: chain-then-block, W=%d L=%d on m=%d, clairvoyant policy", W, L, m),
+		"node-work", "t(measured)", "(W-L)/m+L", "formula", "W/m")
+	for _, w := range []int64{8, 4, 2, 1} {
+		chainNodes := int((L - w) / w)
+		blockNodes := int((W - L + w) / w)
+		b := dag.NewBuilder()
+		prev := b.AddNode(w)
+		for i := 1; i < chainNodes; i++ {
+			v := b.AddNode(w)
+			b.AddEdge(prev, v)
+			prev = v
+		}
+		for i := 0; i < blockNodes; i++ {
+			v := b.AddNode(w)
+			b.AddEdge(prev, v)
+		}
+		g := b.MustBuild()
+		tc, err := completionOn(g, m, dag.CriticalPathFirst{}, rational.One())
+		if err != nil {
+			return nil, err
+		}
+		ideal := float64(W-L)/m + float64(L)
+		formula := ideal - float64(w)*(1-1.0/m)
+		tb.AddRow(w, tc, ideal, formula, float64(W)/m)
+	}
+	return []*metrics.Table{tb}, nil
+}
+
+// RunTHM1 reproduces Theorem 1 as a throughput experiment: Figure-1 jobs
+// with deadline D = L = W/m. An unlucky semi-non-clairvoyant execution earns
+// nothing below speed 2 − 1/m and everything at it; a clairvoyant execution
+// earns everything already at speed 1.
+func RunTHM1(cfg Config) ([]*metrics.Table, error) {
+	const m = 4
+	const chainNodes = 4
+	const nodeWork = 420 // divisible by the q of every speed below
+	count := 3
+	if cfg.Quick {
+		count = 2
+	}
+	g := figure1Scaled(m, chainNodes, nodeWork)
+	L := g.Span()
+	speeds := []rational.Rat{
+		rational.One(),
+		rational.New(5, 4),
+		rational.New(3, 2),
+		rational.New(7, 4), // = 2 − 1/m for m = 4
+		rational.New(2, 1),
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("THM1: %d Figure-1 jobs, W=%d L=D=%d, m=%d (threshold 2-1/m = 7/4)", count, g.TotalWork(), L, m),
+		"speed", "profit(unlucky)/offered", "profit(clairvoyant)/offered")
+	for _, s := range speeds {
+		inst := &workload.Instance{Name: "thm1", M: m}
+		for i := 0; i < count; i++ {
+			fn, err := profit.NewStep(1, L)
+			if err != nil {
+				return nil, err
+			}
+			inst.Jobs = append(inst.Jobs, &sim.Job{ID: i, Graph: g, Release: int64(i) * L, Profit: fn})
+		}
+		row := []any{s.String()}
+		for _, pol := range []dag.PickPolicy{dag.Unlucky{}, dag.CriticalPathFirst{}} {
+			res, err := sim.Run(sim.Config{M: m, Speed: s, Policy: pol},
+				inst.Jobs, &baselines.ListScheduler{Order: baselines.OrderEDF})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.TotalProfit/res.OfferedProfit)
+		}
+		tb.AddRow(row...)
+	}
+	return []*metrics.Table{tb}, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"dagsched/internal/metrics"
+	"dagsched/internal/rational"
+	"dagsched/internal/workload"
+)
+
+// RunHPCW evaluates the schedulers on HPC kernel task graphs — tiled
+// Cholesky, stencil wavefronts, FFT butterflies, and reductions — whose
+// parallelism profiles are irregular (Cholesky widens then collapses;
+// wavefronts ramp along anti-diagonals). This is the workload family the
+// DAG model exists for; the BASE conclusions carry over, with the fixed
+// allotment hurting most on Cholesky's varying width.
+func RunHPCW(cfg Config) ([]*metrics.Table, error) {
+	loads := []float64{1, 2}
+	if cfg.Quick {
+		loads = []float64{1.5}
+	}
+	roster := schedulerRoster()
+	names := make([]string, 0, len(roster))
+	for _, mk := range roster {
+		names = append(names, mk().Name())
+	}
+	tb := metrics.NewTable("HPCW: profit/UB on HPC kernel mixes (m=8, eps_D = 1)",
+		append([]string{"load"}, names...)...)
+	for _, load := range loads {
+		series := make([]metrics.Series, len(roster))
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(1500 + seed), N: cfg.jobs(), M: 8,
+				Eps: 1, SlackSpread: 0.4, Load: load, Scale: 2,
+				Shapes: workload.HPCMix(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			bound := upperBound(inst)
+			if bound == 0 {
+				continue
+			}
+			for i, mk := range roster {
+				p, err := runProfit(inst, mk(), rational.One(), nil)
+				if err != nil {
+					return nil, err
+				}
+				series[i].Add(p / bound)
+			}
+		}
+		row := []any{load}
+		for i := range series {
+			row = append(row, series[i].Mean())
+		}
+		tb.AddRow(row...)
+	}
+	return []*metrics.Table{tb}, nil
+}

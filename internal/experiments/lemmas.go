@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+
+	"dagsched/internal/core"
+	"dagsched/internal/metrics"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// RunLEM verifies the analysis quantities of Section 3 empirically on live
+// runs of scheduler S over condition-satisfying workloads:
+//
+//   - Lemma 1: n_i ≤ b²m for every job (reported as max n_i/(b²m));
+//   - Lemma 2: every job is δ-good (reported as a fraction);
+//   - Lemma 3: x_i·n_i ≤ a·W_i, up to the +L_i slack of integral allotments
+//     (reported as max x_i·A_i/(a·W_i + L_i));
+//   - Lemma 5: ||C|| ≥ ((1−b)/b − 1/((c−1)δ))·||R|| — the completed profit
+//     of S against everything it ever started must beat the charging
+//     margin (reported as min measured ||C||/||R|| next to the margin).
+//
+// These are theorems: violations would indicate implementation bugs, so the
+// experiment doubles as a deep end-to-end correctness check.
+func RunLEM(cfg Config) ([]*metrics.Table, error) {
+	epsList := []float64{0.5, 1, 2}
+	if cfg.Quick {
+		epsList = []float64{1}
+	}
+	tb := metrics.NewTable("LEM: analysis quantities measured on live runs (m=8, 4x overload, tight slack)",
+		"eps", "max n/(b²m)", "δ-good frac", "max xA/(aW+L)", "Lemma5 margin", "min ||C||/||R||")
+	for _, eps := range epsList {
+		par := core.MustParams(eps)
+		b := par.B()
+		margin := (1-b)/b - 1/((par.C-1)*par.Delta)
+
+		maxN, maxXA := 0.0, 0.0
+		goodCount, total := 0, 0
+		minCR := math.Inf(1)
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(1300 + seed), N: cfg.jobs(), M: 8,
+				Eps: eps, SlackSpread: 0, Load: 4, Scale: 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			probe := core.NewSchedulerS(core.Options{Params: par})
+			probe.Init(sim.Env{M: inst.M, Speed: 1})
+			for _, j := range inst.Jobs {
+				v := sim.JobView{ID: j.ID, Release: j.Release,
+					W: j.Graph.TotalWork(), L: j.Graph.Span(), Profit: j.Profit}
+				plan := probe.Plan(v)
+				total++
+				if plan.Good {
+					goodCount++
+				}
+				if r := plan.NReal / (b * b * float64(inst.M)); r > maxN {
+					maxN = r
+				}
+				w, l := float64(v.W), float64(v.L)
+				if r := plan.X * float64(plan.Alloc) / (par.A()*w + l); r > maxXA {
+					maxXA = r
+				}
+			}
+			s := core.NewSchedulerS(core.Options{Params: par})
+			res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, s)
+			if err != nil {
+				return nil, err
+			}
+			_, startedPr := s.Started()
+			if startedPr > 0 {
+				if r := res.TotalProfit / startedPr; r < minCR {
+					minCR = r
+				}
+			}
+		}
+		tb.AddRow(eps, maxN, float64(goodCount)/float64(total), maxXA, margin, minCR)
+	}
+	return []*metrics.Table{tb}, nil
+}

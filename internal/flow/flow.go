@@ -1,0 +1,143 @@
+// Package flow implements Dinic's maximum-flow algorithm on integer
+// capacities. It is the substrate behind the exact feasibility test for
+// preemptive malleable scheduling in internal/opt: jobs feed time intervals
+// through a bipartite network and the set is schedulable iff the max flow
+// saturates every job's work. The interval-capacity condition used by the
+// branch-and-bound solver is provably equivalent for malleable jobs; the
+// flow network is the independent implementation that property tests check
+// it against.
+package flow
+
+import "fmt"
+
+// Network is a flow network under construction. Nodes are dense integers
+// from AddNode; edges carry integer capacities.
+type Network struct {
+	arcs  []arc
+	heads [][]int32 // per-node indices into arcs
+	n     int
+}
+
+type arc struct {
+	to   int32
+	cap  int64
+	flow int64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddNode adds a node and returns its ID.
+func (g *Network) AddNode() int {
+	g.heads = append(g.heads, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddNodes adds k nodes and returns the first ID.
+func (g *Network) AddNodes(k int) int {
+	first := g.n
+	for i := 0; i < k; i++ {
+		g.AddNode()
+	}
+	return first
+}
+
+// NumNodes returns the node count.
+func (g *Network) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity (and its
+// residual reverse edge). It panics on out-of-range nodes or negative
+// capacity — both programmer errors.
+func (g *Network) AddEdge(u, v int, capacity int64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range (n=%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %d", capacity))
+	}
+	g.heads[u] = append(g.heads[u], int32(len(g.arcs)))
+	g.arcs = append(g.arcs, arc{to: int32(v), cap: capacity})
+	g.heads[v] = append(g.heads[v], int32(len(g.arcs)))
+	g.arcs = append(g.arcs, arc{to: int32(u), cap: 0})
+}
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm
+// (O(V²E) worst case, far better on the unit-ish bipartite networks used
+// here). It may be called once per network; flows accumulate.
+func (g *Network) MaxFlow(s, t int) int64 {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		panic(fmt.Sprintf("flow: source/sink (%d,%d) out of range", s, t))
+	}
+	if s == t {
+		return 0
+	}
+	var total int64
+	level := make([]int32, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int32, 0, g.n)
+	for g.bfs(s, t, level, &queue) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := g.dfs(s, t, int64(1)<<62, level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// bfs builds the level graph; returns whether t is reachable.
+func (g *Network) bfs(s, t int, level []int32, queue *[]int32) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	q := (*queue)[:0]
+	level[s] = 0
+	q = append(q, int32(s))
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, ai := range g.heads[u] {
+			a := &g.arcs[ai]
+			if a.cap-a.flow > 0 && level[a.to] < 0 {
+				level[a.to] = level[u] + 1
+				q = append(q, a.to)
+			}
+		}
+	}
+	*queue = q
+	return level[t] >= 0
+}
+
+// dfs sends blocking flow along the level graph.
+func (g *Network) dfs(u, t int, limit int64, level []int32, iter []int) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(g.heads[u]); iter[u]++ {
+		ai := g.heads[u][iter[u]]
+		a := &g.arcs[ai]
+		if a.cap-a.flow <= 0 || level[a.to] != level[u]+1 {
+			continue
+		}
+		avail := a.cap - a.flow
+		if avail > limit {
+			avail = limit
+		}
+		pushed := g.dfs(int(a.to), t, avail, level, iter)
+		if pushed > 0 {
+			a.flow += pushed
+			g.arcs[ai^1].flow -= pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// EdgeFlow returns the flow on the i-th added edge (in AddEdge order).
+func (g *Network) EdgeFlow(i int) int64 { return g.arcs[2*i].flow }

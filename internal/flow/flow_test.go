@@ -1,0 +1,209 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := NewNetwork()
+	s, a, tt := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(s, a, 5)
+	g.AddEdge(a, tt, 3)
+	if got := g.MaxFlow(s, tt); got != 3 {
+		t.Errorf("MaxFlow = %d, want 3", got)
+	}
+}
+
+func TestClassicDiamond(t *testing.T) {
+	// s→a(10), s→b(10), a→b(1), a→t(10), b→t(10): max flow 20.
+	g := NewNetwork()
+	s := g.AddNode()
+	a := g.AddNode()
+	b := g.AddNode()
+	tt := g.AddNode()
+	g.AddEdge(s, a, 10)
+	g.AddEdge(s, b, 10)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, tt, 10)
+	g.AddEdge(b, tt, 10)
+	if got := g.MaxFlow(s, tt); got != 20 {
+		t.Errorf("MaxFlow = %d, want 20", got)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	// CLRS-style: the min cut limits the flow.
+	g := NewNetwork()
+	s := g.AddNode()
+	v1, v2, v3, v4 := g.AddNode(), g.AddNode(), g.AddNode(), g.AddNode()
+	tt := g.AddNode()
+	g.AddEdge(s, v1, 16)
+	g.AddEdge(s, v2, 13)
+	g.AddEdge(v1, v3, 12)
+	g.AddEdge(v2, v1, 4)
+	g.AddEdge(v2, v4, 14)
+	g.AddEdge(v3, v2, 9)
+	g.AddEdge(v3, tt, 20)
+	g.AddEdge(v4, v3, 7)
+	g.AddEdge(v4, tt, 4)
+	if got := g.MaxFlow(s, tt); got != 23 {
+		t.Errorf("MaxFlow = %d, want 23 (CLRS figure 26.6)", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewNetwork()
+	s, tt := g.AddNode(), g.AddNode()
+	if got := g.MaxFlow(s, tt); got != 0 {
+		t.Errorf("MaxFlow = %d, want 0", got)
+	}
+}
+
+func TestSameSourceSink(t *testing.T) {
+	g := NewNetwork()
+	s := g.AddNode()
+	if got := g.MaxFlow(s, s); got != 0 {
+		t.Errorf("MaxFlow(s,s) = %d", got)
+	}
+}
+
+func TestZeroCapacityEdge(t *testing.T) {
+	g := NewNetwork()
+	s, tt := g.AddNode(), g.AddNode()
+	g.AddEdge(s, tt, 0)
+	if got := g.MaxFlow(s, tt); got != 0 {
+		t.Errorf("MaxFlow = %d, want 0", got)
+	}
+}
+
+func TestEdgeFlowAccounting(t *testing.T) {
+	g := NewNetwork()
+	s, a, tt := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(s, a, 5)  // edge 0
+	g.AddEdge(a, tt, 3) // edge 1
+	g.MaxFlow(s, tt)
+	if g.EdgeFlow(0) != 3 || g.EdgeFlow(1) != 3 {
+		t.Errorf("edge flows = %d, %d; want 3, 3", g.EdgeFlow(0), g.EdgeFlow(1))
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { g := NewNetwork(); g.AddNode(); g.AddEdge(0, 1, 1) },
+		func() { g := NewNetwork(); g.AddNode(); g.AddNode(); g.AddEdge(0, 1, -1) },
+		func() { g := NewNetwork(); g.AddNode(); g.MaxFlow(0, 7) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPropBipartiteMatchesGreedyBound: on random bipartite unit networks the
+// max flow equals the maximum matching, which must be ≤ min(|L|,|R|) and ≥
+// any greedy matching.
+func TestPropBipartiteMatchesGreedyBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(8), 1+rng.Intn(8)
+		g := NewNetwork()
+		s := g.AddNode()
+		left := g.AddNodes(nl)
+		right := g.AddNodes(nr)
+		tt := g.AddNode()
+		adj := make([][]bool, nl)
+		for i := 0; i < nl; i++ {
+			g.AddEdge(s, left+i, 1)
+			adj[i] = make([]bool, nr)
+		}
+		for j := 0; j < nr; j++ {
+			g.AddEdge(right+j, tt, 1)
+		}
+		for i := 0; i < nl; i++ {
+			for j := 0; j < nr; j++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(left+i, right+j, 1)
+					adj[i][j] = true
+				}
+			}
+		}
+		flowVal := g.MaxFlow(s, tt)
+		// Greedy matching lower bound.
+		usedR := make([]bool, nr)
+		greedy := int64(0)
+		for i := 0; i < nl; i++ {
+			for j := 0; j < nr; j++ {
+				if adj[i][j] && !usedR[j] {
+					usedR[j] = true
+					greedy++
+					break
+				}
+			}
+		}
+		upper := int64(nl)
+		if int64(nr) < upper {
+			upper = int64(nr)
+		}
+		return flowVal >= greedy && flowVal <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFlowConservation: total out-flow of the source equals total
+// in-flow of the sink and every edge respects its capacity.
+func TestPropFlowConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := NewNetwork()
+		g.AddNodes(n)
+		type e struct {
+			u, v int
+			c    int64
+		}
+		var edges []e
+		for k := 0; k < 3*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(10))
+			g.AddEdge(u, v, c)
+			edges = append(edges, e{u, v, c})
+		}
+		total := g.MaxFlow(0, n-1)
+		var outS, inT int64
+		for i, ed := range edges {
+			fl := g.EdgeFlow(i)
+			if fl < 0 || fl > ed.c {
+				return false
+			}
+			if ed.u == 0 {
+				outS += fl
+			}
+			if ed.v == 0 {
+				outS -= fl
+			}
+			if ed.v == n-1 {
+				inT += fl
+			}
+			if ed.u == n-1 {
+				inT -= fl
+			}
+		}
+		return outS == total && inT == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package lp implements a dense-tableau primal simplex solver for linear
+// programs of the form
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,  x ≥ 0,  b ≥ 0.
+//
+// The non-negative right-hand side makes the all-slack basis feasible, so no
+// phase-1 is needed; this covers the scheduling relaxations in internal/opt
+// (capacities are non-negative by construction). Bland's rule guarantees
+// termination on degenerate problems.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is max c·x s.t. A·x ≤ b, x ≥ 0 with b ≥ 0.
+type Problem struct {
+	C []float64   // objective coefficients, length n
+	A [][]float64 // constraint matrix, m rows of length n
+	B []float64   // right-hand side, length m, non-negative
+}
+
+// Status reports how solving ended.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal values, length n (valid when Optimal)
+	Objective float64   // c·X (valid when Optimal)
+	Pivots    int       // simplex pivots performed
+}
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+const eps = 1e-9
+
+// Validate checks dimensions and the b ≥ 0 requirement.
+func (p Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("%w: %d rows vs %d rhs entries", ErrBadProblem, len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("%w: row %d has %d entries, want %d", ErrBadProblem, i, len(row), n)
+		}
+	}
+	for i, bi := range p.B {
+		if bi < 0 || math.IsNaN(bi) || math.IsInf(bi, 0) {
+			return fmt.Errorf("%w: b[%d] = %v (must be finite and ≥ 0)", ErrBadProblem, i, bi)
+		}
+	}
+	for j, cj := range p.C {
+		if math.IsNaN(cj) || math.IsInf(cj, 0) {
+			return fmt.Errorf("%w: c[%d] = %v", ErrBadProblem, j, cj)
+		}
+	}
+	return nil
+}
+
+// Solve runs primal simplex with Bland's anti-cycling rule. The iteration
+// cap (quadratic in the tableau size) exists purely as a defensive backstop;
+// Bland's rule makes cycling impossible.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Tableau: rows 0..m-1 are constraints over [x | slacks | rhs];
+	// row m is the objective in reduced-cost form (negated c).
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		row := make([]float64, width)
+		copy(row, p.A[i])
+		row[n+i] = 1
+		row[width-1] = p.B[i]
+		tab[i] = row
+	}
+	obj := make([]float64, width)
+	for j, cj := range p.C {
+		obj[j] = -cj
+	}
+	tab[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxPivots := 50 * (m + n + 10)
+	pivots := 0
+	for {
+		// Bland: entering variable = lowest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if tab[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Leaving variable: min ratio, ties by lowest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a <= eps {
+				continue
+			}
+			ratio := tab[i][width-1] / a
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || basis[i] < basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Solution{Status: Unbounded, Pivots: pivots}, nil
+		}
+		pivot(tab, leave, enter)
+		basis[leave] = enter
+		pivots++
+		if pivots > maxPivots {
+			return Solution{}, fmt.Errorf("lp: pivot limit %d exceeded (m=%d n=%d)", maxPivots, m, n)
+		}
+	}
+
+	sol := Solution{Status: Optimal, X: make([]float64, n), Pivots: pivots}
+	for i, bv := range basis {
+		if bv < n {
+			sol.X[bv] = tab[i][width-1]
+		}
+	}
+	for j, cj := range p.C {
+		sol.Objective += cj * sol.X[j]
+	}
+	return sol, nil
+}
+
+// pivot performs a Gauss-Jordan pivot on tab[row][col].
+func pivot(tab [][]float64, row, col int) {
+	width := len(tab[row])
+	pv := tab[row][col]
+	for j := 0; j < width; j++ {
+		tab[row][j] /= pv
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+		tab[i][col] = 0 // kill residual rounding
+	}
+}

@@ -1,0 +1,188 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	return sol
+}
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	sol := solveOK(t, Problem{
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	})
+	if math.Abs(sol.Objective-36) > 1e-6 {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-6) > 1e-6 {
+		t.Errorf("X = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestSolveKnapsackRelaxation(t *testing.T) {
+	// Fractional knapsack: max 10a + 6b + 4c, a+b+c ≤ 1 each ≤ 1... with
+	// weights 5a + 4b + 3c ≤ 10, a,b,c ≤ 1 → a=1, b=1, c=1/3 → 10+6+4/3.
+	sol := solveOK(t, Problem{
+		C: []float64{10, 6, 4},
+		A: [][]float64{
+			{5, 4, 3},
+			{1, 0, 0},
+			{0, 1, 0},
+			{0, 0, 1},
+		},
+		B: []float64{10, 1, 1, 1},
+	})
+	want := 10 + 6 + 4.0/3.0
+	if math.Abs(sol.Objective-want) > 1e-6 {
+		t.Errorf("objective = %v, want %v", sol.Objective, want)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	sol, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, -1}},
+		B: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveZeroObjective(t *testing.T) {
+	sol := solveOK(t, Problem{
+		C: []float64{-1, -2}, // all-negative c → origin optimal
+		A: [][]float64{{1, 1}},
+		B: []float64{5},
+	})
+	if sol.Objective != 0 {
+		t.Errorf("objective = %v, want 0", sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex (redundant constraints through the optimum).
+	sol := solveOK(t, Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}, {1, 1}},
+		B: []float64{1, 1, 2, 2},
+	})
+	if math.Abs(sol.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveTightCapacityZero(t *testing.T) {
+	// b = 0 forces x = 0 when the constraint covers every variable.
+	sol := solveOK(t, Problem{
+		C: []float64{5, 7},
+		A: [][]float64{{1, 1}},
+		B: []float64{0},
+	})
+	if sol.Objective != 0 {
+		t.Errorf("objective = %v, want 0", sol.Objective)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Problem{
+		{C: nil, A: nil, B: nil},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}},
+		{C: []float64{math.NaN()}, A: nil, B: nil},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestPropOptimalIsFeasibleAndBeatsGreedy: on random bounded problems the
+// solution must satisfy all constraints and dominate a feasible greedy point.
+func TestPropOptimalIsFeasibleAndBeatsGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := range p.C {
+			p.C[j] = rng.Float64() * 10
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, n)
+			for j := range p.A[i] {
+				p.A[i][j] = rng.Float64() * 5
+			}
+			p.B[i] = rng.Float64() * 20
+		}
+		// Add box constraints x_j ≤ 1 to guarantee boundedness.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, 1)
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Feasibility.
+		for i, row := range p.A {
+			var lhs float64
+			for j := range row {
+				lhs += row[j] * sol.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// Dominates the zero point and a single-coordinate greedy point.
+		if sol.Objective < -1e-9 {
+			return false
+		}
+		best := 0
+		for j := range p.C {
+			if p.C[j] > p.C[best] {
+				best = j
+			}
+		}
+		// Largest feasible step along e_best.
+		step := 1.0
+		for i, row := range p.A {
+			if row[best] > 1e-12 {
+				if s := p.B[i] / row[best]; s < step {
+					step = s
+				}
+			}
+		}
+		return sol.Objective >= p.C[best]*step-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

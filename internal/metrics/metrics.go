@@ -1,0 +1,258 @@
+// Package metrics aggregates simulation results across seeds and renders
+// the experiment tables. It is deliberately dependency-light: experiments
+// produce float samples keyed by metric name; tables render aligned text
+// (the form the benchmark harness prints) and CSV.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series accumulates samples of one metric.
+type Series struct {
+	values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.values) }
+
+// Mean returns the sample mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Std returns the sample standard deviation (n−1 denominator; 0 when n < 2).
+func (s *Series) Std() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval on the mean.
+func (s *Series) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(n))
+}
+
+// Min returns the smallest sample (+Inf for an empty series).
+func (s *Series) Min() float64 {
+	out := math.Inf(1)
+	for _, v := range s.values {
+		if v < out {
+			out = v
+		}
+	}
+	return out
+}
+
+// Max returns the largest sample (−Inf for an empty series).
+func (s *Series) Max() float64 {
+	out := math.Inf(-1)
+	for _, v := range s.values {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// Collector groups series by metric name.
+type Collector struct {
+	byName map[string]*Series
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{byName: make(map[string]*Series)} }
+
+// Add records a sample for a named metric.
+func (c *Collector) Add(name string, v float64) {
+	s, ok := c.byName[name]
+	if !ok {
+		s = &Series{}
+		c.byName[name] = s
+	}
+	s.Add(v)
+}
+
+// Get returns the series for name (empty series if absent).
+func (c *Collector) Get(name string) *Series {
+	if s, ok := c.byName[name]; ok {
+		return s
+	}
+	return &Series{}
+}
+
+// Names returns the metric names in sorted order.
+func (c *Collector) Names() []string {
+	out := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table is a rendered experiment table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v unless already strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to compare.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values (no quoting; cells must
+// not contain commas — experiment output never does).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Markdown returns the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation over
+// the sorted samples; 0 for an empty series. The series itself is not
+// reordered.
+func (s *Series) Quantile(q float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

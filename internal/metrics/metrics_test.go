@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Std = %v, want ≈2.138", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.CI95() <= 0 {
+		t.Errorf("CI95 = %v", s.CI95())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.CI95() != 0 {
+		t.Error("empty series should return zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestSeriesSingleSample(t *testing.T) {
+	var s Series
+	s.Add(3)
+	if s.Mean() != 3 || s.Std() != 0 {
+		t.Errorf("single sample: mean=%v std=%v", s.Mean(), s.Std())
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Add("profit", 10)
+	c.Add("profit", 20)
+	c.Add("ratio", 1.5)
+	if got := c.Get("profit").Mean(); got != 15 {
+		t.Errorf("profit mean = %v", got)
+	}
+	if got := c.Get("missing").N(); got != 0 {
+		t.Errorf("missing series N = %d", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "profit" || names[1] != "ratio" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42.0)
+	out := tb.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "42") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x", 1.0)
+	csv := tb.CSV()
+	want := "a,b\nx,1\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"},
+		{1.5, "1.500"},
+		{123.456, "123.5"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{math.NaN(), "nan"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropMeanWithinMinMax(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Series
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue // avoid float overflow in the sum; not the property under test
+			}
+			s.Add(v)
+			ok = false
+		}
+		if ok || s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x", 1.0)
+	md := tb.Markdown()
+	for _, want := range []string{"**demo**", "| a | b |", "|---|---|", "| x | 1 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Series
+	for _, v := range []float64{4, 1, 3, 2} { // unsorted on purpose
+		s.Add(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3.0, 2},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q clamps; empty series returns 0.
+	if s.Quantile(-1) != 1 || s.Quantile(2) != 4 {
+		t.Error("q clamping wrong")
+	}
+	var empty Series
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile != 0")
+	}
+	// Original order preserved.
+	if s.values[0] != 4 {
+		t.Error("Quantile reordered the series")
+	}
+}
+
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		a, b := math.Abs(q1)-math.Floor(math.Abs(q1)), math.Abs(q2)-math.Floor(math.Abs(q2))
+		if a > b {
+			a, b = b, a
+		}
+		return s.Quantile(a) <= s.Quantile(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package opt
+
+import "sort"
+
+// ExactSmall computes the exact optimum of the malleable relaxation by
+// branch-and-bound over task subsets: the most profitable subset that passes
+// the interval-capacity feasibility test. For the true DAG problem this is
+// an upper bound (the test is necessary, not sufficient). Cost is
+// exponential in the number of profitable tasks; keep instances ≤ ~20.
+func ExactSmall(tasks []Task, m int, speed float64) float64 {
+	var vars []Task
+	for _, t := range tasks {
+		if t.Profit > 0 {
+			vars = append(vars, t)
+		}
+	}
+	if len(vars) == 0 {
+		return 0
+	}
+	// High profit first: good incumbents early → aggressive pruning.
+	sort.Slice(vars, func(i, j int) bool {
+		if vars[i].Profit != vars[j].Profit {
+			return vars[i].Profit > vars[j].Profit
+		}
+		return vars[i].ID < vars[j].ID
+	})
+	suffix := make([]float64, len(vars)+1)
+	for i := len(vars) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + vars[i].Profit
+	}
+	bb := &bbState{vars: vars, suffix: suffix, m: m, speed: speed}
+	bb.search(0, 0)
+	return bb.best
+}
+
+type bbState struct {
+	vars   []Task
+	suffix []float64
+	m      int
+	speed  float64
+
+	chosen []Task
+	best   float64
+}
+
+func (b *bbState) search(i int, profit float64) {
+	if profit > b.best {
+		b.best = profit
+	}
+	if i == len(b.vars) || profit+b.suffix[i] <= b.best {
+		return
+	}
+	// Branch 1: take vars[i] if the set stays feasible.
+	b.chosen = append(b.chosen, b.vars[i])
+	if feasibleSet(b.chosen, b.m, b.speed) {
+		b.search(i+1, profit+b.vars[i].Profit)
+	}
+	b.chosen = b.chosen[:len(b.chosen)-1]
+	// Branch 2: skip it.
+	b.search(i+1, profit)
+}
+
+// feasibleSet checks the interval-capacity condition: for every window
+// [a, b] built from the set's releases and deadlines, the total work of
+// tasks whose windows lie inside must fit in m·s·(b−a) processor-ticks.
+func feasibleSet(set []Task, m int, speed float64) bool {
+	for _, t := range set {
+		if !t.Feasible(m, speed) {
+			return false
+		}
+	}
+	for _, w := range windows(set) {
+		a, b := w[0], w[1]
+		var load float64
+		for _, t := range set {
+			if t.Release >= a && t.Deadline <= b {
+				load += float64(t.Work)
+			}
+		}
+		if load > float64(m)*speed*float64(b-a)+1e-9 {
+			return false
+		}
+	}
+	return true
+}

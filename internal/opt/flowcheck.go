@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"sort"
+
+	"dagsched/internal/flow"
+)
+
+// FlowFeasible is the exact schedulability test for a set of preemptive
+// malleable tasks on m unit-speed processors, implemented as a max-flow
+// saturation check: source → task (capacity W), task → elementary interval
+// within its window (capacity W), interval → sink (capacity m·length). The
+// set is feasible iff the max flow equals ΣW. For malleable tasks this is
+// equivalent to the interval-capacity condition used by ExactSmall
+// (feasibleSet); property tests verify the equivalence, giving two
+// independent implementations of the bound's core predicate.
+//
+// Individual latency floors (span/elongation) are checked separately, as in
+// feasibleSet.
+func FlowFeasible(set []Task, m int) bool {
+	if len(set) == 0 {
+		return true
+	}
+	for _, t := range set {
+		if !t.Feasible(m, 1) {
+			return false
+		}
+	}
+	// Elementary intervals between consecutive event points.
+	points := make([]int64, 0, 2*len(set))
+	for _, t := range set {
+		points = append(points, t.Release, t.Deadline)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	points = dedupe(points)
+
+	g := flow.NewNetwork()
+	src := g.AddNode()
+	sink := g.AddNode()
+	taskNode := g.AddNodes(len(set))
+	ivNode := g.AddNodes(len(points) - 1)
+
+	var totalWork int64
+	for i, t := range set {
+		g.AddEdge(src, taskNode+i, t.Work)
+		totalWork += t.Work
+	}
+	for k := 0; k+1 < len(points); k++ {
+		length := points[k+1] - points[k]
+		g.AddEdge(ivNode+k, sink, int64(m)*length)
+		for i, t := range set {
+			if t.Release <= points[k] && points[k+1] <= t.Deadline {
+				g.AddEdge(taskNode+i, ivNode+k, t.Work)
+			}
+		}
+	}
+	return g.MaxFlow(src, sink) == totalWork
+}
+
+func dedupe(sorted []int64) []int64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

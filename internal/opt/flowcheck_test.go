@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowFeasibleBasics(t *testing.T) {
+	// Two tasks of work 8 in window [0,10] on m=1: capacity 10 < 16.
+	over := []Task{
+		task(1, 0, 10, 8, 1, 1),
+		task(2, 0, 10, 8, 1, 1),
+	}
+	if FlowFeasible(over, 1) {
+		t.Error("accepted overloaded set")
+	}
+	if !FlowFeasible(over[:1], 1) {
+		t.Error("rejected single feasible task")
+	}
+	if !FlowFeasible(over, 2) {
+		t.Error("rejected set feasible on 2 processors")
+	}
+}
+
+func TestFlowFeasibleDisjointWindows(t *testing.T) {
+	set := []Task{
+		task(1, 0, 10, 10, 1, 1),
+		task(2, 10, 20, 10, 1, 1),
+	}
+	if !FlowFeasible(set, 1) {
+		t.Error("rejected back-to-back feasible set")
+	}
+}
+
+func TestFlowFeasibleNestedWindows(t *testing.T) {
+	// Inner task steals the middle of the outer task's window.
+	set := []Task{
+		task(1, 0, 10, 8, 1, 1), // outer: needs 8 of 10
+		task(2, 4, 6, 2, 1, 1),  // inner: needs all of [4,6]
+	}
+	if !FlowFeasible(set, 1) {
+		t.Error("rejected feasible nested set (8+2 = 10 exactly)")
+	}
+	set[0].Work = 9 // now 11 > 10
+	if FlowFeasible(set, 1) {
+		t.Error("accepted infeasible nested set")
+	}
+}
+
+func TestFlowFeasibleSpanGate(t *testing.T) {
+	// Volume fits but the span exceeds the window: individually infeasible.
+	set := []Task{task(1, 0, 10, 5, 20, 1)}
+	if FlowFeasible(set, 4) {
+		t.Error("accepted span-infeasible task")
+	}
+}
+
+func TestFlowFeasibleEmpty(t *testing.T) {
+	if !FlowFeasible(nil, 1) {
+		t.Error("empty set must be feasible")
+	}
+}
+
+// TestPropFlowMatchesIntervalCondition: for malleable tasks the max-flow
+// test and the interval-capacity test are the same predicate. Two
+// independent implementations must agree on random sets.
+func TestPropFlowMatchesIntervalCondition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		m := 1 + rng.Intn(3)
+		set := make([]Task, 0, n)
+		for i := 0; i < n; i++ {
+			r := rng.Int63n(12)
+			d := r + 1 + rng.Int63n(12)
+			w := 1 + rng.Int63n(12)
+			l := 1 + rng.Int63n(w)
+			set = append(set, task(i, r, d, w, l, 1))
+		}
+		return FlowFeasible(set, m) == feasibleSet(set, m, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

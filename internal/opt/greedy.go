@@ -1,0 +1,66 @@
+package opt
+
+import "sort"
+
+// GreedyLowerBound computes a feasible (hence lower-bound) profit for the
+// malleable relaxation: tasks are considered in profit-density order and
+// added whenever the set stays interval-capacity feasible, then improved by
+// one pass of single-swap local search (try replacing each rejected task
+// for each accepted one). It complements ExactSmall on instances too large
+// for branch-and-bound: the true malleable optimum lies between
+// GreedyLowerBound and the LP/knapsack upper bounds.
+func GreedyLowerBound(tasks []Task, m int, speed float64) float64 {
+	var cands []Task
+	for _, t := range tasks {
+		if t.Profit > 0 && t.Feasible(m, speed) {
+			cands = append(cands, t)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		di := cands[i].Profit * float64(cands[j].Work)
+		dj := cands[j].Profit * float64(cands[i].Work)
+		if di != dj {
+			return di > dj
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	var chosen []Task
+	var rejected []Task
+	var value float64
+	for _, t := range cands {
+		trial := append(append([]Task(nil), chosen...), t)
+		if feasibleSet(trial, m, speed) {
+			chosen = trial
+			value += t.Profit
+		} else {
+			rejected = append(rejected, t)
+		}
+	}
+	// One round of single swaps: replace a chosen task with a rejected one
+	// when that increases profit and stays feasible.
+	improved := true
+	for improved {
+		improved = false
+		for ri, r := range rejected {
+			for ci, c := range chosen {
+				if r.Profit <= c.Profit {
+					continue
+				}
+				trial := append([]Task(nil), chosen[:ci]...)
+				trial = append(trial, chosen[ci+1:]...)
+				trial = append(trial, r)
+				if feasibleSet(trial, m, speed) {
+					value += r.Profit - c.Profit
+					rejected[ri] = c
+					chosen = trial
+					improved = true
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+	}
+	return value
+}

@@ -1,0 +1,248 @@
+// Package opt computes upper bounds on the offline optimal profit — the
+// denominator of every empirical competitive ratio in the experiments.
+//
+// A DAG job is relaxed to a malleable task: W_i units of preemptible work to
+// place in the window [r_i, d_i] on m speed-s processors, with the
+// information-theoretic latency floor max(L_i, W_i/m)/s. Every constraint
+// used here is necessary for the true DAG problem, so each bound is a
+// genuine upper bound on OPT and competitive ratios reported against them
+// never flatter the algorithm:
+//
+//   - Trivial: Σ best-case profit of individually feasible tasks.
+//   - IntervalKnapsackBound: tasks whose windows lie inside [a,b] share
+//     capacity m·s·(b−a); relax to one fractional knapsack per window and
+//     take the minimum over windows.
+//   - LPBound: all interval-capacity constraints at once, solved exactly
+//     with the internal/lp simplex.
+//   - ExactSmall: branch-and-bound over task subsets with the full
+//     interval-capacity feasibility test — the exact optimum of the
+//     malleable relaxation (intractable beyond ~20 tasks).
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagsched/internal/lp"
+	"dagsched/internal/sim"
+)
+
+// Task is the malleable relaxation of one job.
+type Task struct {
+	ID       int
+	Release  int64
+	Deadline int64 // absolute: last completion time with positive profit
+	Work     int64
+	Span     int64
+	Profit   float64 // best obtainable profit (at the latency floor)
+}
+
+// Feasible reports whether the task can complete in time even alone on the
+// whole machine: latency floor ≤ relative deadline.
+func (t Task) Feasible(m int, speed float64) bool {
+	return t.latencyFloor(m, speed) <= float64(t.Deadline-t.Release)
+}
+
+// latencyFloor returns max(L, W/m)/speed.
+func (t Task) latencyFloor(m int, speed float64) float64 {
+	lb := float64(t.Span)
+	if w := float64(t.Work) / float64(m); w > lb {
+		lb = w
+	}
+	return lb / speed
+}
+
+// TasksFromJobs relaxes sim jobs to tasks for an m-processor speed-s
+// machine. Infeasible tasks keep Profit 0 so every bound ignores them.
+func TasksFromJobs(jobs []*sim.Job, m int, speed float64) []Task {
+	tasks := make([]Task, 0, len(jobs))
+	for _, j := range jobs {
+		t := Task{
+			ID:       j.ID,
+			Release:  j.Release,
+			Deadline: j.AbsDeadline(),
+			Work:     j.Graph.TotalWork(),
+			Span:     j.Graph.Span(),
+		}
+		if t.Feasible(m, speed) {
+			lb := int64(math.Ceil(t.latencyFloor(m, speed)))
+			if lb < 1 {
+				lb = 1
+			}
+			t.Profit = j.Profit.At(lb)
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks
+}
+
+// Trivial returns Σ Profit over all (feasible) tasks: the weakest valid
+// upper bound.
+func Trivial(tasks []Task) float64 {
+	var s float64
+	for _, t := range tasks {
+		s += t.Profit
+	}
+	return s
+}
+
+// windows enumerates the candidate capacity windows: every (release a,
+// deadline b) pair with a < b drawn from the tasks' event points.
+func windows(tasks []Task) [][2]int64 {
+	relSet := map[int64]bool{}
+	dlSet := map[int64]bool{}
+	for _, t := range tasks {
+		if t.Profit > 0 {
+			relSet[t.Release] = true
+			dlSet[t.Deadline] = true
+		}
+	}
+	rels := make([]int64, 0, len(relSet))
+	for r := range relSet {
+		rels = append(rels, r)
+	}
+	dls := make([]int64, 0, len(dlSet))
+	for d := range dlSet {
+		dls = append(dls, d)
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
+	sort.Slice(dls, func(i, j int) bool { return dls[i] < dls[j] })
+	var out [][2]int64
+	for _, a := range rels {
+		for _, b := range dls {
+			if a < b {
+				out = append(out, [2]int64{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// IntervalKnapsackBound returns min over windows [a,b] of
+//
+//	knapsack(tasks inside [a,b], capacity m·s·(b−a)) + Σ profit outside,
+//
+// where the knapsack is fractional (an upper bound on any integral choice).
+func IntervalKnapsackBound(tasks []Task, m int, speed float64) float64 {
+	best := Trivial(tasks)
+	type wp struct {
+		work   float64
+		profit float64
+	}
+	for _, w := range windows(tasks) {
+		a, b := w[0], w[1]
+		capacity := float64(m) * speed * float64(b-a)
+		var inside []wp
+		outside := 0.0
+		for _, t := range tasks {
+			if t.Profit == 0 {
+				continue
+			}
+			if t.Release >= a && t.Deadline <= b {
+				inside = append(inside, wp{work: float64(t.Work), profit: t.Profit})
+			} else {
+				outside += t.Profit
+			}
+		}
+		// Fractional knapsack by profit density.
+		sort.Slice(inside, func(i, j int) bool {
+			return inside[i].profit*inside[j].work > inside[j].profit*inside[i].work
+		})
+		var got float64
+		for _, x := range inside {
+			if capacity <= 0 {
+				break
+			}
+			if x.work <= capacity {
+				got += x.profit
+				capacity -= x.work
+			} else {
+				got += x.profit * capacity / x.work
+				capacity = 0
+			}
+		}
+		if got+outside < best {
+			best = got + outside
+		}
+	}
+	return best
+}
+
+// LPBound solves the full fractional relaxation:
+//
+//	max Σ p_i·y_i   s.t.  y_i ∈ [0,1],
+//	                      Σ_{[r_i,d_i] ⊆ [a,b]} W_i·y_i ≤ m·s·(b−a)  ∀ windows.
+//
+// The constraint matrix is dense and quadratic in the number of distinct
+// event points, so this is intended for instances up to a few dozen jobs.
+func LPBound(tasks []Task, m int, speed float64) (float64, error) {
+	var vars []Task
+	for _, t := range tasks {
+		if t.Profit > 0 {
+			vars = append(vars, t)
+		}
+	}
+	if len(vars) == 0 {
+		return 0, nil
+	}
+	n := len(vars)
+	p := lp.Problem{C: make([]float64, n)}
+	for i, t := range vars {
+		p.C[i] = t.Profit
+	}
+	for i := 0; i < n; i++ { // y_i ≤ 1
+		row := make([]float64, n)
+		row[i] = 1
+		p.A = append(p.A, row)
+		p.B = append(p.B, 1)
+	}
+	for _, w := range windows(vars) {
+		a, b := w[0], w[1]
+		row := make([]float64, n)
+		any := false
+		for i, t := range vars {
+			if t.Release >= a && t.Deadline <= b {
+				row[i] = float64(t.Work)
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, float64(m)*speed*float64(b-a))
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0, fmt.Errorf("opt: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("opt: LP status %v", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// Bound computes the tightest affordable upper bound: ExactSmall when the
+// instance is small enough, otherwise min(LPBound, IntervalKnapsackBound)
+// when the LP is affordable, otherwise IntervalKnapsackBound.
+func Bound(tasks []Task, m int, speed float64) float64 {
+	const exactLimit = 16
+	const lpLimit = 60
+	positive := 0
+	for _, t := range tasks {
+		if t.Profit > 0 {
+			positive++
+		}
+	}
+	if positive <= exactLimit {
+		return ExactSmall(tasks, m, speed)
+	}
+	best := IntervalKnapsackBound(tasks, m, speed)
+	if positive <= lpLimit {
+		if v, err := LPBound(tasks, m, speed); err == nil && v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,266 @@
+// Package profit models the paper's job valuations. In the throughput
+// problem (Section 3) a job is worth a fixed profit if it completes by its
+// deadline; in the general profit problem (Section 5) each job J_i carries an
+// arbitrary non-negative, non-increasing function p_i(t) giving the profit
+// for finishing t time steps after arrival.
+//
+// Theorem 3 additionally assumes a "flat prefix": p_i(t) = p_i(x*) for all
+// 0 < t ≤ x*, where x* ≥ (1+ε)((W−L)/m + L) — completing earlier than x*
+// brings no extra profit. Every function here exposes its flat-prefix length.
+package profit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fn is a non-negative, non-increasing profit function over completion
+// latency in ticks. Implementations must be immutable after construction.
+type Fn interface {
+	// At returns the profit for completing t ticks after arrival, t ≥ 1.
+	At(t int64) float64
+	// FlatUntil returns x*: the largest x ≥ 1 such that At(t) == At(x) for
+	// all 1 ≤ t ≤ x. For a pure deadline function this is the relative
+	// deadline.
+	FlatUntil() int64
+	// SupportEnd returns the first t at which the profit is (and stays)
+	// zero, or math.MaxInt64 if the profit never reaches zero. OPT bounds
+	// use this as the effective deadline horizon.
+	SupportEnd() int64
+	// Name identifies the function family in reports.
+	Name() string
+}
+
+// Step is the throughput-problem profit: Value if the job finishes within
+// Deadline ticks of arrival, zero afterwards.
+type Step struct {
+	Value    float64
+	Deadline int64
+}
+
+// NewStep returns a Step profit, validating Value ≥ 0 and Deadline ≥ 1.
+func NewStep(value float64, deadline int64) (Step, error) {
+	s := Step{Value: value, Deadline: deadline}
+	return s, s.validate()
+}
+
+func (s Step) validate() error {
+	if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+		return fmt.Errorf("profit: step value %v invalid", s.Value)
+	}
+	if s.Deadline < 1 {
+		return fmt.Errorf("profit: step deadline %d < 1", s.Deadline)
+	}
+	return nil
+}
+
+// At implements Fn.
+func (s Step) At(t int64) float64 {
+	if t <= s.Deadline {
+		return s.Value
+	}
+	return 0
+}
+
+// FlatUntil implements Fn.
+func (s Step) FlatUntil() int64 { return s.Deadline }
+
+// SupportEnd implements Fn.
+func (s Step) SupportEnd() int64 { return s.Deadline + 1 }
+
+// Name implements Fn.
+func (s Step) Name() string { return "step" }
+
+// LinearDecay is flat at Peak until Flat, then decreases linearly to zero at
+// ZeroAt, and is zero afterwards.
+type LinearDecay struct {
+	Peak   float64
+	Flat   int64
+	ZeroAt int64
+}
+
+// NewLinearDecay validates and returns a LinearDecay profit function.
+func NewLinearDecay(peak float64, flat, zeroAt int64) (LinearDecay, error) {
+	l := LinearDecay{Peak: peak, Flat: flat, ZeroAt: zeroAt}
+	if peak < 0 || math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return l, fmt.Errorf("profit: linear peak %v invalid", peak)
+	}
+	if flat < 1 {
+		return l, fmt.Errorf("profit: linear flat %d < 1", flat)
+	}
+	if zeroAt <= flat {
+		return l, fmt.Errorf("profit: linear zeroAt %d ≤ flat %d", zeroAt, flat)
+	}
+	return l, nil
+}
+
+// At implements Fn.
+func (l LinearDecay) At(t int64) float64 {
+	switch {
+	case t <= l.Flat:
+		return l.Peak
+	case t >= l.ZeroAt:
+		return 0
+	default:
+		return l.Peak * float64(l.ZeroAt-t) / float64(l.ZeroAt-l.Flat)
+	}
+}
+
+// FlatUntil implements Fn.
+func (l LinearDecay) FlatUntil() int64 { return l.Flat }
+
+// SupportEnd implements Fn.
+func (l LinearDecay) SupportEnd() int64 { return l.ZeroAt }
+
+// Name implements Fn.
+func (l LinearDecay) Name() string { return "linear-decay" }
+
+// ExpDecay is flat at Peak until Flat, then halves every HalfLife ticks. A
+// hard Cutoff (exclusive) bounds the support so offline bounds terminate;
+// profit is zero at and after Cutoff.
+type ExpDecay struct {
+	Peak     float64
+	Flat     int64
+	HalfLife int64
+	Cutoff   int64
+}
+
+// NewExpDecay validates and returns an ExpDecay profit function.
+func NewExpDecay(peak float64, flat, halfLife, cutoff int64) (ExpDecay, error) {
+	e := ExpDecay{Peak: peak, Flat: flat, HalfLife: halfLife, Cutoff: cutoff}
+	if peak < 0 || math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return e, fmt.Errorf("profit: exp peak %v invalid", peak)
+	}
+	if flat < 1 {
+		return e, fmt.Errorf("profit: exp flat %d < 1", flat)
+	}
+	if halfLife < 1 {
+		return e, fmt.Errorf("profit: exp half-life %d < 1", halfLife)
+	}
+	if cutoff <= flat {
+		return e, fmt.Errorf("profit: exp cutoff %d ≤ flat %d", cutoff, flat)
+	}
+	return e, nil
+}
+
+// At implements Fn.
+func (e ExpDecay) At(t int64) float64 {
+	switch {
+	case t <= e.Flat:
+		return e.Peak
+	case t >= e.Cutoff:
+		return 0
+	default:
+		return e.Peak * math.Exp2(-float64(t-e.Flat)/float64(e.HalfLife))
+	}
+}
+
+// FlatUntil implements Fn.
+func (e ExpDecay) FlatUntil() int64 { return e.Flat }
+
+// SupportEnd implements Fn.
+func (e ExpDecay) SupportEnd() int64 { return e.Cutoff }
+
+// Name implements Fn.
+func (e ExpDecay) Name() string { return "exp-decay" }
+
+// PiecewiseConstant is a right-continuous staircase: Values[i] applies for
+// t in (Until[i−1], Until[i]] (with Until[-1] = 0), and the profit is zero
+// after the last breakpoint. Values must be non-increasing and non-negative.
+type PiecewiseConstant struct {
+	Until  []int64
+	Values []float64
+}
+
+// NewPiecewiseConstant validates and returns a staircase profit function.
+func NewPiecewiseConstant(until []int64, values []float64) (PiecewiseConstant, error) {
+	p := PiecewiseConstant{Until: until, Values: values}
+	if len(until) == 0 || len(until) != len(values) {
+		return p, errors.New("profit: piecewise needs equal, nonzero breakpoints and values")
+	}
+	prev := int64(0)
+	for i, u := range until {
+		if u <= prev {
+			return p, fmt.Errorf("profit: piecewise breakpoints not increasing at %d", i)
+		}
+		prev = u
+		v := values[i]
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return p, fmt.Errorf("profit: piecewise value %v invalid at %d", v, i)
+		}
+		if i > 0 && v > values[i-1] {
+			return p, fmt.Errorf("profit: piecewise values increase at %d", i)
+		}
+	}
+	return p, nil
+}
+
+// At implements Fn.
+func (p PiecewiseConstant) At(t int64) float64 {
+	for i, u := range p.Until {
+		if t <= u {
+			return p.Values[i]
+		}
+	}
+	return 0
+}
+
+// FlatUntil implements Fn.
+func (p PiecewiseConstant) FlatUntil() int64 {
+	flat := p.Until[0]
+	for i := 1; i < len(p.Values); i++ {
+		if p.Values[i] != p.Values[0] {
+			break
+		}
+		flat = p.Until[i]
+	}
+	return flat
+}
+
+// SupportEnd implements Fn.
+func (p PiecewiseConstant) SupportEnd() int64 {
+	// Profit is zero after the last breakpoint, and possibly earlier if
+	// trailing values are zero.
+	for i := range p.Values {
+		if p.Values[i] == 0 {
+			if i == 0 {
+				return 1
+			}
+			return p.Until[i-1] + 1
+		}
+	}
+	return p.Until[len(p.Until)-1] + 1
+}
+
+// Name implements Fn.
+func (p PiecewiseConstant) Name() string { return "piecewise-constant" }
+
+// Validate checks that fn is non-increasing and non-negative on [1, horizon]
+// and that FlatUntil and SupportEnd are consistent with At. It is O(horizon)
+// and intended for tests and input validation, not hot paths.
+func Validate(fn Fn, horizon int64) error {
+	if horizon < 1 {
+		return errors.New("profit: horizon < 1")
+	}
+	prev := math.Inf(1)
+	flat := fn.FlatUntil()
+	first := fn.At(1)
+	for t := int64(1); t <= horizon; t++ {
+		v := fn.At(t)
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("profit: %s negative/NaN at t=%d", fn.Name(), t)
+		}
+		if v > prev {
+			return fmt.Errorf("profit: %s increases at t=%d (%v -> %v)", fn.Name(), t, prev, v)
+		}
+		if t <= flat && v != first {
+			return fmt.Errorf("profit: %s not flat at t=%d ≤ FlatUntil=%d", fn.Name(), t, flat)
+		}
+		if se := fn.SupportEnd(); t >= se && v != 0 {
+			return fmt.Errorf("profit: %s nonzero at t=%d ≥ SupportEnd=%d", fn.Name(), t, se)
+		}
+		prev = v
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package profit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStepBasics(t *testing.T) {
+	s, err := NewStep(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1) != 10 || s.At(5) != 10 {
+		t.Error("step not flat before deadline")
+	}
+	if s.At(6) != 0 {
+		t.Error("step nonzero after deadline")
+	}
+	if s.FlatUntil() != 5 {
+		t.Errorf("FlatUntil = %d", s.FlatUntil())
+	}
+	if s.SupportEnd() != 6 {
+		t.Errorf("SupportEnd = %d", s.SupportEnd())
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	if _, err := NewStep(-1, 5); err == nil {
+		t.Error("accepted negative value")
+	}
+	if _, err := NewStep(1, 0); err == nil {
+		t.Error("accepted deadline 0")
+	}
+	if _, err := NewStep(math.NaN(), 5); err == nil {
+		t.Error("accepted NaN")
+	}
+}
+
+func TestLinearDecay(t *testing.T) {
+	l, err := NewLinearDecay(8, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.At(4) != 8 {
+		t.Errorf("At(4) = %v", l.At(4))
+	}
+	if got := l.At(6); got != 4 {
+		t.Errorf("At(6) = %v, want 4 (halfway down)", got)
+	}
+	if l.At(8) != 0 || l.At(100) != 0 {
+		t.Error("nonzero past ZeroAt")
+	}
+	if l.FlatUntil() != 4 || l.SupportEnd() != 8 {
+		t.Errorf("FlatUntil=%d SupportEnd=%d", l.FlatUntil(), l.SupportEnd())
+	}
+}
+
+func TestLinearDecayValidation(t *testing.T) {
+	if _, err := NewLinearDecay(1, 5, 5); err == nil {
+		t.Error("accepted zeroAt == flat")
+	}
+	if _, err := NewLinearDecay(1, 0, 5); err == nil {
+		t.Error("accepted flat 0")
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	e, err := NewExpDecay(16, 2, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.At(2) != 16 {
+		t.Errorf("At(2) = %v", e.At(2))
+	}
+	if got := e.At(5); math.Abs(got-8) > 1e-9 {
+		t.Errorf("At(5) = %v, want 8 (one half-life)", got)
+	}
+	if e.At(100) != 0 {
+		t.Error("nonzero at cutoff")
+	}
+}
+
+func TestExpDecayValidation(t *testing.T) {
+	if _, err := NewExpDecay(1, 2, 0, 10); err == nil {
+		t.Error("accepted half-life 0")
+	}
+	if _, err := NewExpDecay(1, 5, 1, 5); err == nil {
+		t.Error("accepted cutoff == flat")
+	}
+}
+
+func TestPiecewiseConstant(t *testing.T) {
+	p, err := NewPiecewiseConstant([]int64{3, 6, 9}, []float64{10, 10, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(3) != 10 || p.At(6) != 10 || p.At(7) != 4 {
+		t.Errorf("values: %v %v %v", p.At(3), p.At(6), p.At(7))
+	}
+	if p.At(10) != 0 {
+		t.Error("nonzero after last breakpoint")
+	}
+	if p.FlatUntil() != 6 {
+		t.Errorf("FlatUntil = %d, want 6 (two equal pieces)", p.FlatUntil())
+	}
+	if p.SupportEnd() != 10 {
+		t.Errorf("SupportEnd = %d, want 10", p.SupportEnd())
+	}
+}
+
+func TestPiecewiseConstantTrailingZero(t *testing.T) {
+	p, err := NewPiecewiseConstant([]int64{3, 6}, []float64{5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SupportEnd(); got != 4 {
+		t.Errorf("SupportEnd = %d, want 4 (zero piece starts at 4)", got)
+	}
+}
+
+func TestPiecewiseConstantValidation(t *testing.T) {
+	if _, err := NewPiecewiseConstant(nil, nil); err == nil {
+		t.Error("accepted empty")
+	}
+	if _, err := NewPiecewiseConstant([]int64{3, 2}, []float64{2, 1}); err == nil {
+		t.Error("accepted non-increasing breakpoints")
+	}
+	if _, err := NewPiecewiseConstant([]int64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("accepted increasing values")
+	}
+	if _, err := NewPiecewiseConstant([]int64{1}, []float64{1, 2}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}
+
+func TestValidateCatchesConsistency(t *testing.T) {
+	fns := []Fn{
+		Step{Value: 3, Deadline: 7},
+		LinearDecay{Peak: 5, Flat: 3, ZeroAt: 11},
+		ExpDecay{Peak: 4, Flat: 2, HalfLife: 2, Cutoff: 30},
+		PiecewiseConstant{Until: []int64{2, 8}, Values: []float64{6, 1}},
+	}
+	for _, fn := range fns {
+		if err := Validate(fn, 50); err != nil {
+			t.Errorf("%s: %v", fn.Name(), err)
+		}
+	}
+}
+
+type increasing struct{ Step }
+
+func (increasing) At(t int64) float64 { return float64(t) }
+
+func (increasing) Name() string { return "increasing" }
+
+func TestValidateRejectsIncreasing(t *testing.T) {
+	if err := Validate(increasing{}, 10); err == nil {
+		t.Error("Validate accepted an increasing function")
+	}
+}
+
+func TestPropAllFamiliesNonIncreasing(t *testing.T) {
+	f := func(peakSeed uint32, flatSeed, spanSeed uint16) bool {
+		peak := float64(peakSeed%1000) + 1
+		flat := int64(flatSeed%50) + 1
+		span := int64(spanSeed%50) + 1
+		fns := []Fn{
+			Step{Value: peak, Deadline: flat},
+			LinearDecay{Peak: peak, Flat: flat, ZeroAt: flat + span},
+			ExpDecay{Peak: peak, Flat: flat, HalfLife: span, Cutoff: flat + 4*span},
+		}
+		for _, fn := range fns {
+			if Validate(fn, flat+5*span) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

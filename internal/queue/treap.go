@@ -1,0 +1,141 @@
+package queue
+
+import "math/rand"
+
+// TreapBand is a BandIndex backed by a randomized treap keyed by
+// (density, ID) and augmented with subtree weight sums, giving O(log n)
+// expected insert, remove, and range-sum. Rotation-free split/merge keeps
+// the augmentation simple to maintain.
+type TreapBand struct {
+	root *treapNode
+	rng  *rand.Rand
+	size int
+}
+
+type treapNode struct {
+	it          Item
+	prio        int64
+	left, right *treapNode
+	sum         float64 // total weight of this subtree
+}
+
+// NewTreapBand returns an empty TreapBand using the given seed for heap
+// priorities (deterministic runs need deterministic structure).
+func NewTreapBand(seed int64) *TreapBand {
+	return &TreapBand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// keyLess orders by (density, ID) ascending.
+func keyLess(d1 float64, id1 int, d2 float64, id2 int) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return id1 < id2
+}
+
+func (n *treapNode) recalc() {
+	n.sum = n.it.Weight
+	if n.left != nil {
+		n.sum += n.left.sum
+	}
+	if n.right != nil {
+		n.sum += n.right.sum
+	}
+}
+
+func nodeSum(n *treapNode) float64 {
+	if n == nil {
+		return 0
+	}
+	return n.sum
+}
+
+// split partitions t into (< key, ≥ key) by (density, id).
+func split(t *treapNode, d float64, id int) (lt, ge *treapNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if keyLess(t.it.Density, t.it.ID, d, id) {
+		l, r := split(t.right, d, id)
+		t.right = l
+		t.recalc()
+		return t, r
+	}
+	l, r := split(t.left, d, id)
+	t.left = r
+	t.recalc()
+	return l, t
+}
+
+// merge joins l and r where every key in l precedes every key in r.
+func merge(l, r *treapNode) *treapNode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		l.recalc()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.recalc()
+		return r
+	}
+}
+
+// Insert implements BandIndex. It panics on a duplicate (density, ID) key.
+func (t *TreapBand) Insert(it Item) {
+	l, r := split(t.root, it.Density, it.ID)
+	// Check the smallest key of r for an exact duplicate.
+	probe := r
+	for probe != nil && probe.left != nil {
+		probe = probe.left
+	}
+	if probe != nil && probe.it.ID == it.ID && probe.it.Density == it.Density {
+		t.root = merge(l, r)
+		panic("queue: duplicate key inserted into TreapBand")
+	}
+	n := &treapNode{it: it, prio: t.rng.Int63()}
+	n.recalc()
+	t.root = merge(merge(l, n), r)
+	t.size++
+}
+
+// Remove implements BandIndex.
+func (t *TreapBand) Remove(id int, density float64) bool {
+	l, rest := split(t.root, density, id)
+	mid, r := split(rest, density, id+1)
+	found := mid != nil
+	if found {
+		// mid holds exactly the single (density, id) key.
+		t.size--
+		mid = merge(mid.left, mid.right)
+	}
+	t.root = merge(merge(l, mid), r)
+	return found
+}
+
+// SumRange implements BandIndex: total weight of densities in [lo, hi).
+func (t *TreapBand) SumRange(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	l, rest := split(t.root, lo, -1<<62)
+	mid, r := split(rest, hi, -1<<62)
+	s := nodeSum(mid)
+	t.root = merge(merge(l, mid), r)
+	return s
+}
+
+// SumFrom implements BandIndex: total weight of densities ≥ lo.
+func (t *TreapBand) SumFrom(lo float64) float64 {
+	l, r := split(t.root, lo, -1<<62)
+	s := nodeSum(r)
+	t.root = merge(l, r)
+	return s
+}
+
+// Len implements BandIndex.
+func (t *TreapBand) Len() int { return t.size }

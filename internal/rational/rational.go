@@ -1,0 +1,213 @@
+// Package rational provides small exact rational arithmetic used to express
+// speed-augmentation factors precisely. The simulation engine never touches
+// floating point on its execution path: a speed s = Num/Den is realized by
+// scaling all work by Den and processing Num units per processor-tick, and
+// this package supplies the exact fractions those transformations need.
+package rational
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rat is an exact rational number Num/Den with Den > 0.
+// The zero value is 0/1 (i.e. zero), ready to use.
+type Rat struct {
+	Num int64
+	Den int64
+}
+
+// New returns the rational num/den reduced to lowest terms with a positive
+// denominator. It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("rational: zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd(abs(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rat{Num: num, Den: den}
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{Num: n, Den: 1} }
+
+// One is the rational 1/1.
+func One() Rat { return Rat{Num: 1, Den: 1} }
+
+// FromFloat approximates f as a rational with denominator at most maxDen
+// using the Stern–Brocot (continued fraction) expansion. It panics if f is
+// NaN or infinite, or if maxDen < 1.
+func FromFloat(f float64, maxDen int64) Rat {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic("rational: cannot convert NaN/Inf")
+	}
+	if maxDen < 1 {
+		panic("rational: maxDen < 1")
+	}
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	// Continued fraction expansion with convergents p/q.
+	var p0, q0, p1, q1 int64 = 0, 1, 1, 0
+	x := f
+	for i := 0; i < 64; i++ {
+		a := int64(math.Floor(x))
+		p2 := a*p1 + p0
+		q2 := a*q1 + q0
+		if q2 > maxDen || p2 < 0 || q2 < 0 {
+			break
+		}
+		p0, q0, p1, q1 = p1, q1, p2, q2
+		frac := x - math.Floor(x)
+		if frac < 1e-12 {
+			break
+		}
+		x = 1 / frac
+	}
+	if q1 == 0 {
+		p1, q1 = p0, q0
+	}
+	if neg {
+		p1 = -p1
+	}
+	return New(p1, q1)
+}
+
+func abs(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// Reduced reports r in lowest terms with positive denominator.
+func (r Rat) Reduced() Rat {
+	if r.Den == 0 {
+		return Rat{Num: 0, Den: 1}
+	}
+	return New(r.Num, r.Den)
+}
+
+// Float returns the float64 value of r.
+func (r Rat) Float() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// IsZero reports whether r equals zero.
+func (r Rat) IsZero() bool { return r.Num == 0 }
+
+// IsPositive reports whether r > 0.
+func (r Rat) IsPositive() bool { return r.Num > 0 == (r.Den > 0) && r.Num != 0 }
+
+// Add returns r + o in lowest terms.
+func (r Rat) Add(o Rat) Rat {
+	r, o = r.norm(), o.norm()
+	return New(r.Num*o.Den+o.Num*r.Den, r.Den*o.Den)
+}
+
+// Sub returns r − o in lowest terms.
+func (r Rat) Sub(o Rat) Rat {
+	r, o = r.norm(), o.norm()
+	return New(r.Num*o.Den-o.Num*r.Den, r.Den*o.Den)
+}
+
+// Mul returns r × o in lowest terms.
+func (r Rat) Mul(o Rat) Rat {
+	r, o = r.norm(), o.norm()
+	// Cross-reduce first to limit overflow.
+	g1 := gcd(abs(r.Num), o.Den)
+	g2 := gcd(abs(o.Num), r.Den)
+	return New((r.Num/g1)*(o.Num/g2), (r.Den/g2)*(o.Den/g1))
+}
+
+// Div returns r ÷ o in lowest terms. It panics if o is zero.
+func (r Rat) Div(o Rat) Rat {
+	if o.IsZero() {
+		panic("rational: division by zero")
+	}
+	o = o.norm()
+	return r.Mul(Rat{Num: o.Den, Den: o.Num}.Reduced())
+}
+
+// Cmp returns −1, 0, or +1 according to whether r < o, r == o, or r > o.
+func (r Rat) Cmp(o Rat) int {
+	d := r.Sub(o)
+	switch {
+	case d.Num < 0:
+		return -1
+	case d.Num > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether r < o.
+func (r Rat) Less(o Rat) bool { return r.Cmp(o) < 0 }
+
+// Equal reports whether r and o denote the same rational.
+func (r Rat) Equal(o Rat) bool { return r.Cmp(o) == 0 }
+
+// MulInt returns r × n in lowest terms.
+func (r Rat) MulInt(n int64) Rat { return r.Mul(FromInt(n)) }
+
+// CeilInt returns the least integer ≥ r.
+func (r Rat) CeilInt() int64 {
+	r = r.norm()
+	q := r.Num / r.Den
+	if r.Num%r.Den != 0 && r.Num > 0 {
+		q++
+	}
+	return q
+}
+
+// FloorInt returns the greatest integer ≤ r.
+func (r Rat) FloorInt() int64 {
+	r = r.norm()
+	q := r.Num / r.Den
+	if r.Num%r.Den != 0 && r.Num < 0 {
+		q--
+	}
+	return q
+}
+
+// String renders r as "num/den", or "num" when the denominator is one.
+func (r Rat) String() string {
+	r = r.norm()
+	if r.Den == 1 {
+		return fmt.Sprintf("%d", r.Num)
+	}
+	return fmt.Sprintf("%d/%d", r.Num, r.Den)
+}
+
+// norm returns a value with a valid (nonzero, positive) denominator so the
+// zero struct behaves as 0/1.
+func (r Rat) norm() Rat {
+	if r.Den == 0 {
+		return Rat{Num: 0, Den: 1}
+	}
+	if r.Den < 0 {
+		return Rat{Num: -r.Num, Den: -r.Den}
+	}
+	return r
+}

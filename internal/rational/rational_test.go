@@ -1,0 +1,252 @@
+package rational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReduces(t *testing.T) {
+	cases := []struct {
+		num, den     int64
+		wantN, wantD int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{6, 3, 2, 1},
+		{7, 7, 1, 1},
+	}
+	for _, c := range cases {
+		got := New(c.num, c.den)
+		if got.Num != c.wantN || got.Den != c.wantD {
+			t.Errorf("New(%d,%d) = %v, want %d/%d", c.num, c.den, got, c.wantN, c.wantD)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueBehaves(t *testing.T) {
+	var z Rat
+	if !z.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if got := z.Add(New(1, 2)); !got.Equal(New(1, 2)) {
+		t.Errorf("0 + 1/2 = %v", got)
+	}
+	if z.Float() != 0 {
+		t.Errorf("zero Float = %v", z.Float())
+	}
+	if z.String() != "0" {
+		t.Errorf("zero String = %q", z.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 3)
+	if got := a.Add(b); !got.Equal(New(5, 6)) {
+		t.Errorf("1/2+1/3 = %v", got)
+	}
+	if got := a.Sub(b); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2-1/3 = %v", got)
+	}
+	if got := a.Mul(b); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2*1/3 = %v", got)
+	}
+	if got := a.Div(b); !got.Equal(New(3, 2)) {
+		t.Errorf("(1/2)/(1/3) = %v", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	New(1, 2).Div(Rat{})
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{New(1, 2), New(1, 3), 1},
+		{New(1, 3), New(1, 2), -1},
+		{New(2, 4), New(1, 2), 0},
+		{New(-1, 2), New(1, 2), -1},
+		{FromInt(0), Rat{}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilFloor(t *testing.T) {
+	cases := []struct {
+		r         Rat
+		ceil, flr int64
+	}{
+		{New(7, 2), 4, 3},
+		{New(-7, 2), -3, -4},
+		{New(4, 2), 2, 2},
+		{New(0, 5), 0, 0},
+		{New(1, 100), 1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.CeilInt(); got != c.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.ceil)
+		}
+		if got := c.r.FloorInt(); got != c.flr {
+			t.Errorf("Floor(%v) = %d, want %d", c.r, got, c.flr)
+		}
+	}
+}
+
+func TestFromFloat(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Rat
+	}{
+		{0.5, New(1, 2)},
+		{1.5, New(3, 2)},
+		{2.0, New(2, 1)},
+		{-0.25, New(-1, 4)},
+		{1.0 / 3.0, New(1, 3)},
+		{2.5, New(5, 2)},
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.f, 1000); !got.Equal(c.want) {
+			t.Errorf("FromFloat(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFromFloatApproximation(t *testing.T) {
+	got := FromFloat(math.Pi, 1000)
+	if math.Abs(got.Float()-math.Pi) > 1e-5 {
+		t.Errorf("FromFloat(pi) = %v (%.7f), too far from pi", got, got.Float())
+	}
+	if got.Den > 1000 {
+		t.Errorf("FromFloat denominator %d exceeds bound", got.Den)
+	}
+}
+
+func TestFromFloatPanics(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() { recover() }()
+			FromFloat(f, 10)
+			t.Errorf("FromFloat(%v) did not panic", f)
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 2).String(); got != "3/2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := FromInt(5).String(); got != "5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// small draws bounded rationals for property tests, keeping intermediate
+// products far from overflow.
+func small(a, b int64) Rat {
+	a = a % 1000
+	b = b % 1000
+	if b == 0 {
+		b = 1
+	}
+	return New(a, b)
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		x, y := small(a1, a2), small(b1, b2)
+		return x.Add(y).Equal(y.Add(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulDistributesOverAdd(t *testing.T) {
+	f := func(a1, a2, b1, b2, c1, c2 int64) bool {
+		x, y, z := small(a1, a2), small(b1, b2), small(c1, c2)
+		return x.Mul(y.Add(z)).Equal(x.Mul(y).Add(x.Mul(z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSubInverse(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		x, y := small(a1, a2), small(b1, b2)
+		return x.Add(y).Sub(y).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDivInverse(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		x, y := small(a1, a2), small(b1, b2)
+		if y.IsZero() {
+			return true
+		}
+		return x.Mul(y).Div(y).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCeilFloorBracket(t *testing.T) {
+	f := func(a1, a2 int64) bool {
+		x := small(a1, a2)
+		c, fl := x.CeilInt(), x.FloorInt()
+		if fl > c || c-fl > 1 {
+			return false
+		}
+		return !FromInt(c).Less(x) && !x.Less(FromInt(fl))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropReducedLowestTerms(t *testing.T) {
+	f := func(a1, a2 int64) bool {
+		x := small(a1, a2)
+		if x.Den <= 0 {
+			return false
+		}
+		// gcd(|num|, den) must be 1 (or num == 0 with den == 1).
+		if x.Num == 0 {
+			return x.Den == 1
+		}
+		return gcd(abs(x.Num), x.Den) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

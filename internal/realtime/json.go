@@ -1,0 +1,48 @@
+package realtime
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dagsched/internal/dag"
+)
+
+// Wire format for periodic task systems, consumed by cmd/spaa-rt.
+
+type systemJSON struct {
+	M     int        `json:"m"`
+	Tasks []taskJSON `json:"tasks"`
+}
+
+type taskJSON struct {
+	ID       int      `json:"id"`
+	Graph    *dag.DAG `json:"graph"`
+	Period   int64    `json:"period"`
+	Deadline int64    `json:"deadline"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s System) MarshalJSON() ([]byte, error) {
+	out := systemJSON{M: s.M}
+	for _, t := range s.Tasks {
+		out.Tasks = append(out.Tasks, taskJSON{ID: t.ID, Graph: t.Graph, Period: t.Period, Deadline: t.Deadline})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result.
+func (s *System) UnmarshalJSON(data []byte) error {
+	var raw systemJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("realtime: %w", err)
+	}
+	out := System{M: raw.M}
+	for _, t := range raw.Tasks {
+		out.Tasks = append(out.Tasks, Task{ID: t.ID, Graph: t.Graph, Period: t.Period, Deadline: t.Deadline})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}

@@ -1,0 +1,95 @@
+package realtime
+
+import (
+	"fmt"
+	"sort"
+
+	"dagsched/internal/sim"
+)
+
+// Partitioned is the runtime the federated test promises a schedule for:
+// every heavy task owns its dedicated processors, and light tasks are
+// pinned to single light processors (per the test's first-fit partition)
+// where each processor runs its own tasks under single-core EDF. It
+// implements sim.Scheduler for job sets produced by Expand.
+type Partitioned struct {
+	sys    System
+	alloc  FederatedAllocation
+	taskOf map[int]int // job ID → task ID
+
+	m    int
+	live map[int]sim.JobView
+}
+
+// NewPartitioned builds the runtime from a schedulable allocation and the
+// job→task mapping returned by Expand. It returns an error if the
+// allocation is not schedulable (there is nothing to run).
+func NewPartitioned(sys System, alloc FederatedAllocation, taskOf map[int]int) (*Partitioned, error) {
+	if !alloc.Schedulable {
+		return nil, fmt.Errorf("realtime: allocation not schedulable: %s", alloc.Reason)
+	}
+	return &Partitioned{sys: sys, alloc: alloc, taskOf: taskOf}, nil
+}
+
+// Name implements sim.Scheduler.
+func (p *Partitioned) Name() string { return "rt-partitioned" }
+
+// Init implements sim.Scheduler.
+func (p *Partitioned) Init(env sim.Env) {
+	p.m = env.M
+	p.live = make(map[int]sim.JobView)
+}
+
+// OnArrival implements sim.Scheduler.
+func (p *Partitioned) OnArrival(t int64, v sim.JobView) { p.live[v.ID] = v }
+
+// OnExpire implements sim.Scheduler.
+func (p *Partitioned) OnExpire(t int64, id int) { delete(p.live, id) }
+
+// OnCompletion implements sim.Scheduler.
+func (p *Partitioned) OnCompletion(t int64, id int) { delete(p.live, id) }
+
+// Assign implements sim.Scheduler: heavy jobs get their dedicated
+// allotment; each light processor runs the earliest-deadline live job among
+// the tasks pinned to it.
+func (p *Partitioned) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.Alloc {
+	// Earliest-deadline live job per light core.
+	type pick struct {
+		id int
+		d  int64
+	}
+	lightPick := make(map[int]pick)
+	// Deterministic iteration: scan jobs by ascending ID.
+	ids := make([]int, 0, len(p.live))
+	for id := range p.live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		v := p.live[id]
+		task, ok := p.taskOf[id]
+		if !ok {
+			continue
+		}
+		if cores, heavy := p.alloc.HeavyCores[task]; heavy {
+			dst = append(dst, sim.Alloc{JobID: id, Procs: cores})
+			continue
+		}
+		core, ok := p.alloc.LightAssignment[task]
+		if !ok {
+			continue
+		}
+		d := v.AbsDeadline()
+		if cur, ok := lightPick[core]; !ok || d < cur.d || (d == cur.d && id < cur.id) {
+			lightPick[core] = pick{id: id, d: d}
+		}
+	}
+	for core := 0; core < p.alloc.LightCores; core++ {
+		if sel, ok := lightPick[core]; ok {
+			dst = append(dst, sim.Alloc{JobID: sel.id, Procs: 1})
+		}
+	}
+	return dst
+}
+
+var _ sim.Scheduler = (*Partitioned)(nil)

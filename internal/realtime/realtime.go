@@ -1,0 +1,281 @@
+// Package realtime implements the recurrent DAG task model of the
+// real-time-systems literature the paper builds on (Saifullah et al., Li et
+// al., Baruah, Bonifaci et al.): each task releases a job instance — a DAG
+// with work C and span L — every Period ticks, due Deadline ticks later
+// (constrained: D ≤ T). It provides the classical schedulability tests that
+// the paper's Section 1 contrasts with the throughput objective, plus a
+// hyperperiod expansion that turns a task system into a sim job set so the
+// tests can be checked against actual schedules.
+//
+// The tests are implemented in the spirit of the cited results, adapted to
+// this repository's integer-tick model:
+//
+//   - Federated (Li et al., ECRTS'14): heavy tasks (C > D) get
+//     n_i = ceil((C−L)/(D−L)) dedicated processors; light tasks are
+//     partitioned first-fit by density C/D onto the remaining processors
+//     with per-processor density ≤ 1.
+//   - CapacityBound2 (same work): any system with total utilization
+//     ≤ m/2 and every span ≤ D/2 is federated-schedulable — the capacity
+//     augmentation bound of 2.
+package realtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+)
+
+// Task is one recurrent DAG task.
+type Task struct {
+	ID       int
+	Graph    *dag.DAG
+	Period   int64
+	Deadline int64 // relative, ≤ Period
+}
+
+// Work returns C, the task's total work per instance.
+func (t Task) Work() int64 { return t.Graph.TotalWork() }
+
+// Span returns L, the critical-path length per instance.
+func (t Task) Span() int64 { return t.Graph.Span() }
+
+// Utilization returns C/T.
+func (t Task) Utilization() float64 { return float64(t.Work()) / float64(t.Period) }
+
+// Density returns C/D (for constrained deadlines density ≥ utilization).
+func (t Task) Density() float64 { return float64(t.Work()) / float64(t.Deadline) }
+
+// Heavy reports whether the task needs more than one processor (C > D).
+func (t Task) Heavy() bool { return t.Work() > t.Deadline }
+
+// Validate checks the task's structure and timing parameters.
+func (t Task) Validate() error {
+	if t.Graph == nil {
+		return fmt.Errorf("realtime: task %d has nil graph", t.ID)
+	}
+	if err := t.Graph.Validate(); err != nil {
+		return fmt.Errorf("realtime: task %d: %w", t.ID, err)
+	}
+	if t.Period < 1 {
+		return fmt.Errorf("realtime: task %d period %d", t.ID, t.Period)
+	}
+	if t.Deadline < 1 || t.Deadline > t.Period {
+		return fmt.Errorf("realtime: task %d deadline %d not in [1, period %d]", t.ID, t.Deadline, t.Period)
+	}
+	return nil
+}
+
+// System is a set of recurrent tasks on m processors.
+type System struct {
+	M     int
+	Tasks []Task
+}
+
+// Validate checks the system.
+func (s System) Validate() error {
+	if s.M < 1 {
+		return fmt.Errorf("realtime: M = %d", s.M)
+	}
+	seen := map[int]bool{}
+	for _, t := range s.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("realtime: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// TotalUtilization returns Σ C_i/T_i.
+func (s System) TotalUtilization() float64 {
+	var u float64
+	for _, t := range s.Tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// FederatedAllocation is the outcome of the federated schedulability test.
+type FederatedAllocation struct {
+	Schedulable bool
+	// HeavyCores maps heavy task IDs to their dedicated core counts.
+	HeavyCores map[int]int
+	// LightCores is the number of processors left for light tasks.
+	LightCores int
+	// LightAssignment maps light task IDs to their light-core index in
+	// [0, LightCores) from the first-fit partition.
+	LightAssignment map[int]int
+	// Reason explains a rejection.
+	Reason string
+}
+
+// Federated runs the federated schedulability test.
+func Federated(s System) FederatedAllocation {
+	out := FederatedAllocation{HeavyCores: map[int]int{}, LightAssignment: map[int]int{}}
+	used := 0
+	var light []Task
+	for _, t := range s.Tasks {
+		if t.Heavy() {
+			if t.Deadline <= t.Span() {
+				out.Reason = fmt.Sprintf("task %d: span %d ≥ deadline %d", t.ID, t.Span(), t.Deadline)
+				return out
+			}
+			n := int(math.Ceil(float64(t.Work()-t.Span()) / float64(t.Deadline-t.Span())))
+			if n < 1 {
+				n = 1
+			}
+			out.HeavyCores[t.ID] = n
+			used += n
+		} else {
+			light = append(light, t)
+		}
+	}
+	if used > s.M {
+		out.Reason = fmt.Sprintf("heavy tasks need %d > %d processors", used, s.M)
+		return out
+	}
+	out.LightCores = s.M - used
+	// First-fit partition of light tasks by density onto the remaining
+	// processors, one task sequentialized per bin slot (density ≤ 1 each).
+	sort.Slice(light, func(i, j int) bool { return light[i].Density() > light[j].Density() })
+	bins := make([]float64, out.LightCores)
+	for _, t := range light {
+		placed := false
+		for b := range bins {
+			if bins[b]+t.Density() <= 1+1e-12 {
+				bins[b] += t.Density()
+				out.LightAssignment[t.ID] = b
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out.Reason = fmt.Sprintf("light task %d (density %.3f) does not fit on %d light processors", t.ID, t.Density(), out.LightCores)
+			return out
+		}
+	}
+	out.Schedulable = true
+	return out
+}
+
+// CapacityBound2 is the sufficient test from the capacity-augmentation
+// bound 2 of federated scheduling: ΣU ≤ m/2 and L_i ≤ D_i/2 for all i.
+func CapacityBound2(s System) bool {
+	if s.TotalUtilization() > float64(s.M)/2+1e-12 {
+		return false
+	}
+	for _, t := range s.Tasks {
+		if 2*t.Span() > t.Deadline {
+			return false
+		}
+	}
+	return true
+}
+
+// Hyperperiod returns the LCM of all task periods (capped; an error is
+// returned if it exceeds maxHyper, which guards pathological period sets).
+func Hyperperiod(s System, maxHyper int64) (int64, error) {
+	h := int64(1)
+	for _, t := range s.Tasks {
+		h = lcm(h, t.Period)
+		if h > maxHyper || h < 1 {
+			return 0, fmt.Errorf("realtime: hyperperiod exceeds %d", maxHyper)
+		}
+	}
+	return h, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+// Expand releases every task instance over `horizon` ticks as sim jobs with
+// unit profit and the task's relative deadline — the bridge from the
+// recurrent model to the throughput simulator. The second return value maps
+// each job ID back to its task ID (for partition-aware runtimes).
+func Expand(s System, horizon int64) ([]*sim.Job, map[int]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if horizon < 1 {
+		return nil, nil, fmt.Errorf("realtime: horizon %d", horizon)
+	}
+	// Stride must exceed any instance count.
+	stride := int64(1)
+	for _, t := range s.Tasks {
+		if k := horizon/t.Period + 1; k >= stride {
+			stride = k + 1
+		}
+	}
+	var jobs []*sim.Job
+	taskOf := make(map[int]int)
+	for _, t := range s.Tasks {
+		inst := int64(0)
+		for rel := int64(0); rel < horizon; rel += t.Period {
+			fn, err := profit.NewStep(1, t.Deadline)
+			if err != nil {
+				return nil, nil, err
+			}
+			id := int(int64(t.ID)*stride + inst)
+			jobs = append(jobs, &sim.Job{
+				ID:      id,
+				Graph:   t.Graph,
+				Release: rel,
+				Profit:  fn,
+			})
+			taskOf[id] = t.ID
+			inst++
+		}
+	}
+	return jobs, taskOf, nil
+}
+
+// AllDeadlinesMet simulates the expanded system under a scheduler and
+// reports whether every instance completed by its deadline.
+func AllDeadlinesMet(s System, horizon int64, sched sim.Scheduler) (bool, error) {
+	jobs, _, err := Expand(s, horizon)
+	if err != nil {
+		return false, err
+	}
+	res, err := sim.Run(sim.Config{M: s.M}, jobs, sched)
+	if err != nil {
+		return false, err
+	}
+	return res.Completed == len(jobs), nil
+}
+
+// PartitionedDeadlinesMet runs the partitioned federated runtime promised
+// by the Federated test and reports whether every instance met its
+// deadline. The test being sufficient means this must return true for every
+// accepted system (property-tested).
+func PartitionedDeadlinesMet(s System, horizon int64) (bool, error) {
+	alloc := Federated(s)
+	if !alloc.Schedulable {
+		return false, fmt.Errorf("realtime: system rejected: %s", alloc.Reason)
+	}
+	jobs, taskOf, err := Expand(s, horizon)
+	if err != nil {
+		return false, err
+	}
+	sched, err := NewPartitioned(s, alloc, taskOf)
+	if err != nil {
+		return false, err
+	}
+	res, err := sim.Run(sim.Config{M: s.M}, jobs, sched)
+	if err != nil {
+		return false, err
+	}
+	return res.Completed == len(jobs), nil
+}

@@ -1,0 +1,309 @@
+package realtime
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/dag"
+)
+
+func lightTask(id int, width int, period int64) Task {
+	return Task{ID: id, Graph: dag.Block(width, 1), Period: period, Deadline: period}
+}
+
+func TestTaskDerivedQuantities(t *testing.T) {
+	tk := Task{ID: 1, Graph: dag.Block(8, 2), Period: 10, Deadline: 8}
+	if tk.Work() != 16 || tk.Span() != 2 {
+		t.Errorf("C=%d L=%d", tk.Work(), tk.Span())
+	}
+	if tk.Utilization() != 1.6 || tk.Density() != 2.0 {
+		t.Errorf("U=%v d=%v", tk.Utilization(), tk.Density())
+	}
+	if !tk.Heavy() {
+		t.Error("C=16 > D=8 should be heavy")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Task{
+		{ID: 1, Graph: nil, Period: 10, Deadline: 5},
+		{ID: 1, Graph: dag.Block(2, 1), Period: 0, Deadline: 1},
+		{ID: 1, Graph: dag.Block(2, 1), Period: 5, Deadline: 9}, // D > T
+		{ID: 1, Graph: dag.Block(2, 1), Period: 5, Deadline: 0},
+	}
+	for i, tk := range bad {
+		if tk.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	sys := System{M: 0, Tasks: []Task{lightTask(1, 2, 10)}}
+	if sys.Validate() == nil {
+		t.Error("accepted M=0")
+	}
+	dup := System{M: 2, Tasks: []Task{lightTask(1, 2, 10), lightTask(1, 2, 10)}}
+	if dup.Validate() == nil {
+		t.Error("accepted duplicate IDs")
+	}
+}
+
+func TestFederatedHeavyAllocation(t *testing.T) {
+	// Heavy task: C=16, L=2, D=9 → n = ceil(14/7) = 2.
+	heavy := Task{ID: 1, Graph: dag.Block(8, 2), Period: 12, Deadline: 9}
+	sys := System{M: 4, Tasks: []Task{heavy, lightTask(2, 3, 12)}}
+	out := Federated(sys)
+	if !out.Schedulable {
+		t.Fatalf("rejected: %s", out.Reason)
+	}
+	if out.HeavyCores[1] != 2 || out.LightCores != 2 {
+		t.Errorf("alloc = %+v", out)
+	}
+}
+
+func TestFederatedRejectsOverload(t *testing.T) {
+	heavy := Task{ID: 1, Graph: dag.Block(16, 2), Period: 12, Deadline: 9} // n = ceil(30/7) = 5 > 4
+	sys := System{M: 4, Tasks: []Task{heavy}}
+	if out := Federated(sys); out.Schedulable {
+		t.Error("accepted infeasible heavy task")
+	}
+}
+
+func TestFederatedRejectsSpanBoundViolation(t *testing.T) {
+	chain := Task{ID: 1, Graph: dag.Chain(10, 1), Period: 12, Deadline: 8} // L=10 ≥ D=8, heavy since C=10>8
+	sys := System{M: 4, Tasks: []Task{chain}}
+	if out := Federated(sys); out.Schedulable {
+		t.Error("accepted span-infeasible heavy task")
+	}
+}
+
+func TestFederatedLightPartition(t *testing.T) {
+	// Four light tasks with density 0.5 fit on 2 processors, not on 1.
+	tasks := []Task{
+		{ID: 1, Graph: dag.Block(5, 1), Period: 10, Deadline: 10},
+		{ID: 2, Graph: dag.Block(5, 1), Period: 10, Deadline: 10},
+		{ID: 3, Graph: dag.Block(5, 1), Period: 10, Deadline: 10},
+		{ID: 4, Graph: dag.Block(5, 1), Period: 10, Deadline: 10},
+	}
+	if out := Federated(System{M: 2, Tasks: tasks}); !out.Schedulable {
+		t.Errorf("rejected 2 procs: %s", out.Reason)
+	}
+	if out := Federated(System{M: 1, Tasks: tasks}); out.Schedulable {
+		t.Error("accepted 1 proc for density 2.0")
+	}
+}
+
+func TestCapacityBound2(t *testing.T) {
+	ok := System{M: 4, Tasks: []Task{
+		{ID: 1, Graph: dag.Block(8, 1), Period: 8, Deadline: 8}, // U=1, L=1 ≤ 4
+		{ID: 2, Graph: dag.Block(4, 1), Period: 8, Deadline: 6}, // U=0.5
+	}}
+	if !CapacityBound2(ok) {
+		t.Error("rejected system with U=1.5 ≤ 2 and small spans")
+	}
+	tooMuchU := System{M: 2, Tasks: []Task{
+		{ID: 1, Graph: dag.Block(12, 1), Period: 8, Deadline: 8}, // U = 1.5 > 1
+	}}
+	if CapacityBound2(tooMuchU) {
+		t.Error("accepted U > m/2")
+	}
+	longSpan := System{M: 4, Tasks: []Task{
+		{ID: 1, Graph: dag.Chain(6, 1), Period: 12, Deadline: 10}, // L=6 > 5
+	}}
+	if CapacityBound2(longSpan) {
+		t.Error("accepted L > D/2")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	sys := System{M: 2, Tasks: []Task{
+		lightTask(1, 2, 4), lightTask(2, 2, 6), lightTask(3, 2, 10),
+	}}
+	h, err := Hyperperiod(sys, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 60 {
+		t.Errorf("hyperperiod = %d, want 60", h)
+	}
+	if _, err := Hyperperiod(sys, 30); err == nil {
+		t.Error("accepted hyperperiod over cap")
+	}
+}
+
+func TestExpandReleasesAllInstances(t *testing.T) {
+	sys := System{M: 2, Tasks: []Task{
+		lightTask(1, 2, 5),
+		lightTask(2, 3, 10),
+	}}
+	jobs, taskOf, err := Expand(sys, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taskOf) != len(jobs) {
+		t.Fatalf("taskOf has %d entries for %d jobs", len(taskOf), len(jobs))
+	}
+	// Task 1: releases 0,5,10,15 → 4; task 2: 0,10 → 2.
+	if len(jobs) != 6 {
+		t.Fatalf("expanded %d jobs, want 6", len(jobs))
+	}
+	ids := map[int]bool{}
+	for _, j := range jobs {
+		if ids[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		ids[j.ID] = true
+	}
+}
+
+func TestAllDeadlinesMetEasySystem(t *testing.T) {
+	sys := System{M: 4, Tasks: []Task{
+		lightTask(1, 4, 10),
+		lightTask(2, 4, 10),
+	}}
+	ok, err := AllDeadlinesMet(sys, 40, &baselines.ListScheduler{Order: baselines.OrderEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("EDF missed deadlines on a trivially feasible system")
+	}
+}
+
+func TestAllDeadlinesMetOverloadedSystem(t *testing.T) {
+	// Utilization 3 on m=2: impossible.
+	sys := System{M: 2, Tasks: []Task{
+		{ID: 1, Graph: dag.Block(30, 1), Period: 10, Deadline: 10},
+		{ID: 2, Graph: dag.Block(30, 1), Period: 10, Deadline: 10},
+	}}
+	ok, err := AllDeadlinesMet(sys, 40, &baselines.ListScheduler{Order: baselines.OrderEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("overloaded system reported schedulable")
+	}
+}
+
+// TestFederatedTestIsSafe: on random constrained-deadline systems accepted
+// by the federated test, the partitioned runtime the test promises must
+// actually meet every deadline in simulation — sufficiency, checked.
+func TestFederatedTestIsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 12; trial++ {
+		var tasks []Task
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			period := int64(8 << rng.Intn(2)) // 8 or 16 → small hyperperiod
+			g := dag.Block(1+rng.Intn(6), 1+rng.Int63n(2))
+			d := period - rng.Int63n(period/4+1)
+			tasks = append(tasks, Task{ID: i, Graph: g, Period: period, Deadline: d})
+		}
+		sys := System{M: 2 + rng.Intn(3), Tasks: tasks}
+		if sys.Validate() != nil {
+			continue
+		}
+		if !Federated(sys).Schedulable {
+			continue
+		}
+		h, err := Hyperperiod(sys, 100000)
+		if err != nil {
+			continue
+		}
+		ok, err := PartitionedDeadlinesMet(sys, 2*h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: federated test accepted a system its partitioned runtime misses (sys=%+v)", trial, sys)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d accepted systems exercised; loosen the generator", checked)
+	}
+}
+
+func TestPartitionedDeterministic(t *testing.T) {
+	sys := System{M: 4, Tasks: []Task{
+		{ID: 1, Graph: dag.Block(8, 2), Period: 12, Deadline: 9}, // heavy
+		lightTask(2, 3, 12),
+		lightTask(3, 2, 6),
+	}}
+	run := func() (float64, int) {
+		ok, err := PartitionedDeadlinesMet(sys, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("accepted system missed deadlines")
+		}
+		return 0, 0
+	}
+	run()
+	run() // second run must behave identically (no state leakage)
+}
+
+func TestPartitionedRejectsUnschedulableAllocation(t *testing.T) {
+	sys := System{M: 1, Tasks: []Task{
+		{ID: 1, Graph: dag.Block(16, 2), Period: 12, Deadline: 9},
+	}}
+	if _, err := PartitionedDeadlinesMet(sys, 24); err == nil {
+		t.Error("accepted an unschedulable system")
+	}
+	alloc := Federated(sys)
+	if _, err := NewPartitioned(sys, alloc, nil); err == nil {
+		t.Error("NewPartitioned accepted a rejected allocation")
+	}
+}
+
+func TestHeavyTaskMeetsDeadlineOnItsCores(t *testing.T) {
+	// A single heavy task on exactly its dedicated cores: the federated
+	// formula guarantees (C−L)/n + L ≤ D.
+	sys := System{M: 2, Tasks: []Task{
+		{ID: 1, Graph: dag.Block(8, 2), Period: 12, Deadline: 9}, // n = 2
+	}}
+	ok, err := PartitionedDeadlinesMet(sys, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("heavy task missed its deadline on its dedicated allotment")
+	}
+}
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	orig := System{M: 4, Tasks: []Task{
+		{ID: 1, Graph: dag.Block(8, 2), Period: 12, Deadline: 9},
+		lightTask(2, 3, 12),
+	}}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got System
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.M != orig.M || len(got.Tasks) != len(orig.Tasks) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range got.Tasks {
+		a, b := orig.Tasks[i], got.Tasks[i]
+		if a.ID != b.ID || a.Period != b.Period || a.Deadline != b.Deadline ||
+			a.Work() != b.Work() || a.Span() != b.Span() {
+			t.Fatalf("task %d differs", i)
+		}
+	}
+}
+
+func TestSystemJSONRejectsInvalid(t *testing.T) {
+	var s System
+	if err := json.Unmarshal([]byte(`{"m":0,"tasks":[]}`), &s); err == nil {
+		t.Error("accepted M=0")
+	}
+	if err := json.Unmarshal([]byte(`{"m":2,"tasks":[{"id":1,"graph":{"work":[1],"edges":[]},"period":5,"deadline":9}]}`), &s); err == nil {
+		t.Error("accepted D > T")
+	}
+}

@@ -1,0 +1,49 @@
+package schedtest
+
+import (
+	"testing"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/sim"
+)
+
+// TestAllSchedulersConform runs the conformance battery over every
+// scheduler shipped by the repository.
+func TestAllSchedulersConform(t *testing.T) {
+	params := core.MustParams(1)
+	cases := map[string]Factory{
+		"paper-S":     func() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: params}) },
+		"paper-S+wc":  func() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true}) },
+		"paper-GP":    func() sim.Scheduler { return core.NewSchedulerGP(core.Options{Params: params}) },
+		"paper-GP+wc": func() sim.Scheduler { return core.NewSchedulerGP(core.Options{Params: params, WorkConserving: true}) },
+		"paper-NC":    func() sim.Scheduler { return core.NewSchedulerNC(core.Options{Params: params}) },
+		"edf":         func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} },
+		"edf-abandon": func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderEDF, AbandonHopeless: true}
+		},
+		"llf":          func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderLLF} },
+		"fifo":         func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderFIFO} },
+		"hdf":          func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} },
+		"profit-order": func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderProfit} },
+		"federated":    func() sim.Scheduler { return &baselines.Federated{} },
+	}
+	for name, mk := range cases {
+		Battery(t, name, mk)
+	}
+}
+
+// TestAblationsConform: the deliberately weakened variants must still obey
+// every engine contract.
+func TestAblationsConform(t *testing.T) {
+	params := core.MustParams(1)
+	for _, abl := range []core.Ablation{
+		core.AblationNoBandCheck, core.AblationNoFreshness,
+		core.AblationAllotOne, core.AblationAllotAll,
+	} {
+		abl := abl
+		Battery(t, "S/"+abl.String(), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: params, Ablation: abl})
+		})
+	}
+}

@@ -1,0 +1,189 @@
+// Package schedtest provides a conformance battery for sim.Scheduler
+// implementations: every scheduler in this repository — the paper's
+// algorithms, their extensions, and all baselines — must pass the same
+// checks of contract compliance, determinism, schedule validity, and
+// accounting consistency. New schedulers get the battery for one line of
+// test code.
+package schedtest
+
+import (
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/trace"
+	"dagsched/internal/workload"
+)
+
+// Factory builds a fresh scheduler instance per run (schedulers are
+// stateful; Init must reset them, and the battery verifies it does).
+type Factory func() sim.Scheduler
+
+// Battery runs the full conformance suite as subtests.
+func Battery(t *testing.T, name string, mk Factory) {
+	t.Helper()
+	t.Run(name+"/empty", func(t *testing.T) { testEmpty(t, mk) })
+	t.Run(name+"/single", func(t *testing.T) { testSingle(t, mk) })
+	t.Run(name+"/accounting", func(t *testing.T) { testAccounting(t, mk) })
+	t.Run(name+"/determinism", func(t *testing.T) { testDeterminism(t, mk) })
+	t.Run(name+"/trace", func(t *testing.T) { testTrace(t, mk) })
+	t.Run(name+"/reuse", func(t *testing.T) { testReuse(t, mk) })
+	t.Run(name+"/edgecases", func(t *testing.T) { testEdgeCases(t, mk) })
+}
+
+func mustStep(t *testing.T, v float64, d int64) profit.Fn {
+	t.Helper()
+	fn, err := profit.NewStep(v, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func stockInstance(t *testing.T, seed int64) *workload.Instance {
+	t.Helper()
+	inst, err := workload.Generate(workload.Config{
+		Seed: seed, N: 24, M: 6, Eps: 1, SlackSpread: 0.4, Load: 2, Scale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func testEmpty(t *testing.T, mk Factory) {
+	res, err := sim.Run(sim.Config{M: 2}, nil, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProfit != 0 || res.Ticks != 0 || len(res.Jobs) != 0 {
+		t.Errorf("empty run produced %+v", res)
+	}
+}
+
+func testSingle(t *testing.T, mk Factory) {
+	// One small job with an enormous deadline: every reasonable scheduler
+	// must finish it.
+	j := &sim.Job{ID: 1, Graph: dag.Block(4, 1), Release: 0, Profit: mustStep(t, 3, 100000)}
+	res, err := sim.Run(sim.Config{M: 4}, []*sim.Job{j}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.TotalProfit != 3 {
+		t.Errorf("single easy job: completed=%d profit=%v", res.Completed, res.TotalProfit)
+	}
+}
+
+func testAccounting(t *testing.T, mk Factory) {
+	for seed := int64(0); seed < 3; seed++ {
+		inst := stockInstance(t, 3000+seed)
+		res, err := sim.Run(sim.Config{M: inst.M}, inst.Jobs, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalProfit > res.OfferedProfit+1e-9 {
+			t.Errorf("seed %d: profit %v exceeds offered %v", seed, res.TotalProfit, res.OfferedProfit)
+		}
+		if len(res.Jobs) != len(inst.Jobs) {
+			t.Errorf("seed %d: %d job stats for %d jobs", seed, len(res.Jobs), len(inst.Jobs))
+		}
+		if res.Completed+res.Expired != len(inst.Jobs) {
+			t.Errorf("seed %d: completed %d + expired %d != %d", seed, res.Completed, res.Expired, len(inst.Jobs))
+		}
+		if u := res.Utilization(); u < 0 || u > 1 {
+			t.Errorf("seed %d: utilization %v", seed, u)
+		}
+		var sumProfit float64
+		for _, js := range res.Jobs {
+			if js.Completed {
+				if js.Latency <= 0 || js.CompletedAt != js.Released+js.Latency {
+					t.Errorf("seed %d: job %d inconsistent times %+v", seed, js.ID, js)
+				}
+				if js.ProcTicks == 0 {
+					t.Errorf("seed %d: job %d completed with zero allocated time", seed, js.ID)
+				}
+			} else if js.Profit != 0 {
+				t.Errorf("seed %d: job %d earned %v without completing", seed, js.ID, js.Profit)
+			}
+			sumProfit += js.Profit
+		}
+		if diff := sumProfit - res.TotalProfit; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("seed %d: per-job profits sum %v != total %v", seed, sumProfit, res.TotalProfit)
+		}
+	}
+}
+
+func testDeterminism(t *testing.T, mk Factory) {
+	inst := stockInstance(t, 3100)
+	a, err := sim.Run(sim.Config{M: inst.M}, inst.Jobs, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sim.Config{M: inst.M}, inst.Jobs, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalProfit != b.TotalProfit || a.Completed != b.Completed ||
+		a.BusyProcTicks != b.BusyProcTicks || a.Ticks != b.Ticks {
+		t.Errorf("non-deterministic: (%v,%d,%d,%d) vs (%v,%d,%d,%d)",
+			a.TotalProfit, a.Completed, a.BusyProcTicks, a.Ticks,
+			b.TotalProfit, b.Completed, b.BusyProcTicks, b.Ticks)
+	}
+}
+
+func testTrace(t *testing.T, mk Factory) {
+	inst := stockInstance(t, 3200)
+	for _, sp := range []rational.Rat{rational.One(), rational.New(3, 2)} {
+		res, err := sim.Run(sim.Config{M: inst.M, Speed: sp, Record: true}, inst.Jobs, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Validate(res.Trace, inst.Jobs, sp); err != nil {
+			t.Errorf("speed %v: %v", sp, err)
+		}
+		if err := trace.VerifyCompletions(res, inst.Jobs); err != nil {
+			t.Errorf("speed %v: %v", sp, err)
+		}
+	}
+}
+
+func testReuse(t *testing.T, mk Factory) {
+	// The same instance must be reusable across runs: Init resets state.
+	s := mk()
+	inst := stockInstance(t, 3300)
+	a, err := sim.Run(sim.Config{M: inst.M}, inst.Jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sim.Config{M: inst.M}, inst.Jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalProfit != b.TotalProfit || a.Completed != b.Completed {
+		t.Errorf("scheduler state leaked across runs: %v/%d vs %v/%d",
+			a.TotalProfit, a.Completed, b.TotalProfit, b.Completed)
+	}
+}
+
+func testEdgeCases(t *testing.T, mk Factory) {
+	// Zero-profit jobs, identical jobs arriving simultaneously, one-node
+	// jobs, and an impossible deadline — none of it may error.
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Chain(1, 1), Release: 0, Profit: mustStep(t, 0, 10)},
+		{ID: 2, Graph: dag.Block(6, 1), Release: 0, Profit: mustStep(t, 5, 20)},
+		{ID: 3, Graph: dag.Block(6, 1), Release: 0, Profit: mustStep(t, 5, 20)},
+		{ID: 4, Graph: dag.Chain(30, 1), Release: 0, Profit: mustStep(t, 9, 3)}, // hopeless
+		{ID: 5, Graph: dag.Chain(1, 1), Release: 50, Profit: mustStep(t, 1, 5)},
+	}
+	res, err := sim.Run(sim.Config{M: 3}, jobs, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range res.Jobs {
+		if js.ID == 4 && js.Completed {
+			t.Error("hopeless job reported completed")
+		}
+	}
+}

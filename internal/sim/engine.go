@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"fmt"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/rational"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// M is the number of identical processors; must be ≥ 1.
+	M int
+	// Speed is the speed-augmentation factor; the zero value means speed 1.
+	// Speed p/q is realized exactly: node works are scaled by q and each
+	// busy processor applies p work units per tick.
+	Speed rational.Rat
+	// Policy chooses which ready nodes run when a job gets fewer processors
+	// than it has ready nodes. Nil means dag.ByID (deterministic,
+	// structure-oblivious).
+	Policy dag.PickPolicy
+	// Horizon, when positive, hard-stops the simulation at that tick.
+	// Otherwise the run ends when every job has completed or expired.
+	Horizon int64
+	// Record enables full trace capture in the Result.
+	Record bool
+}
+
+// liveJob is the engine's per-job runtime record.
+type liveJob struct {
+	job   *Job
+	view  JobView
+	state *dag.State
+	stat  JobStat
+
+	lastUseful int64 // last tick whose completion still earns profit
+	ranLast    bool  // executed in the previous tick
+	ranNow     bool
+	done       bool
+}
+
+// engine implements AssignView and FullView over the live set.
+type engine struct {
+	cfg      Config
+	perTick  int64 // work units applied per busy processor per tick
+	scale    int64 // work scaling factor (speed denominator)
+	live     map[int]*liveJob
+	liveList []*liveJob // stable iteration order (arrival order)
+}
+
+// ReadyCount implements AssignView.
+func (e *engine) ReadyCount(jobID int) int {
+	lj, ok := e.live[jobID]
+	if !ok || lj.done {
+		return 0
+	}
+	return lj.state.ReadyCount()
+}
+
+// ExecutedWork implements AssignView.
+func (e *engine) ExecutedWork(jobID int) int64 {
+	lj, ok := e.live[jobID]
+	if !ok {
+		return 0
+	}
+	return lj.state.ExecutedWork() / e.scale
+}
+
+// RemainingSpan implements FullView.
+func (e *engine) RemainingSpan(jobID int) int64 {
+	lj, ok := e.live[jobID]
+	if !ok || lj.done {
+		return 0
+	}
+	rem := lj.state.RemainingSpan()
+	return (rem + e.scale - 1) / e.scale
+}
+
+// Run simulates jobs under sched and returns the outcome. It returns an
+// error for invalid configuration, malformed jobs, or a scheduler that
+// violates the allocation contract (oversubscription, unknown or finished
+// jobs, duplicate or non-positive allocations).
+func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("sim: M = %d, need ≥ 1", cfg.M)
+	}
+	speed := cfg.Speed.Reduced()
+	if speed.IsZero() {
+		speed = rational.One()
+	}
+	if !speed.IsPositive() {
+		return nil, fmt.Errorf("sim: speed %v must be positive", cfg.Speed)
+	}
+	if err := ValidateJobs(jobs); err != nil {
+		return nil, err
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = dag.ByID{}
+	}
+
+	e := &engine{
+		cfg:     cfg,
+		perTick: speed.Num,
+		scale:   speed.Den,
+		live:    make(map[int]*liveJob),
+	}
+	res := &Result{
+		Scheduler: sched.Name(),
+		M:         cfg.M,
+		Speed:     speed.Float(),
+	}
+	if cfg.Record {
+		res.Trace = &Trace{M: cfg.M}
+	}
+
+	ordered := sortJobsByRelease(jobs)
+	for _, j := range ordered {
+		res.OfferedProfit += j.Profit.At(1)
+	}
+
+	sched.Init(Env{M: cfg.M, Speed: speed.Float()})
+
+	var (
+		t        int64
+		next     int // index into ordered of the next arrival
+		allocBuf []Alloc
+		nodeBuf  []dag.NodeID
+	)
+	for next < len(ordered) || len(e.live) > 0 {
+		if cfg.Horizon > 0 && t >= cfg.Horizon {
+			break
+		}
+		// Jump over idle gaps.
+		if len(e.live) == 0 && ordered[next].Release > t {
+			t = ordered[next].Release
+		}
+		// Arrivals.
+		for next < len(ordered) && ordered[next].Release <= t {
+			j := ordered[next]
+			next++
+			g := j.Graph
+			if e.scale > 1 {
+				g = scaleGraph(g, e.scale)
+			}
+			lj := &liveJob{
+				job:   j,
+				view:  viewOf(j),
+				state: dag.NewState(g),
+				stat: JobStat{
+					ID:       j.ID,
+					Released: j.Release,
+					W:        j.Graph.TotalWork(),
+					L:        j.Graph.Span(),
+				},
+				lastUseful: j.AbsDeadline() - 1,
+			}
+			e.live[j.ID] = lj
+			e.liveList = append(e.liveList, lj)
+			sched.OnArrival(t, lj.view)
+		}
+		// Expiries: completing after lastUseful earns nothing, so the job
+		// leaves the system.
+		for i := 0; i < len(e.liveList); i++ {
+			lj := e.liveList[i]
+			if !lj.done && t > lj.lastUseful {
+				lj.done = true
+				delete(e.live, lj.job.ID)
+				e.liveList = append(e.liveList[:i], e.liveList[i+1:]...)
+				i--
+				res.Expired++
+				res.Jobs = append(res.Jobs, lj.stat)
+				sched.OnExpire(t, lj.job.ID)
+			}
+		}
+		if len(e.live) == 0 {
+			continue
+		}
+
+		// Allocation.
+		allocBuf = sched.Assign(t, e, allocBuf[:0])
+		totalProcs := 0
+		seen := make(map[int]bool, len(allocBuf))
+		for _, a := range allocBuf {
+			if a.Procs <= 0 {
+				return nil, fmt.Errorf("sim: %s allocated %d procs to job %d at t=%d", sched.Name(), a.Procs, a.JobID, t)
+			}
+			if seen[a.JobID] {
+				return nil, fmt.Errorf("sim: %s allocated job %d twice at t=%d", sched.Name(), a.JobID, t)
+			}
+			seen[a.JobID] = true
+			if _, ok := e.live[a.JobID]; !ok {
+				return nil, fmt.Errorf("sim: %s allocated to unknown/finished job %d at t=%d", sched.Name(), a.JobID, t)
+			}
+			totalProcs += a.Procs
+		}
+		if totalProcs > cfg.M {
+			return nil, fmt.Errorf("sim: %s oversubscribed %d > %d procs at t=%d", sched.Name(), totalProcs, cfg.M, t)
+		}
+
+		// Execution.
+		var tick *TickRecord
+		if res.Trace != nil {
+			res.Trace.Ticks = append(res.Trace.Ticks, TickRecord{T: t})
+			tick = &res.Trace.Ticks[len(res.Trace.Ticks)-1]
+		}
+		busy := 0
+		var completed []*liveJob
+		for _, a := range allocBuf {
+			lj := e.live[a.JobID]
+			nodeBuf = policy.Pick(lj.state, a.Procs, nodeBuf[:0])
+			for _, v := range nodeBuf {
+				lj.state.Apply(v, e.perTick)
+			}
+			busy += len(nodeBuf)
+			lj.stat.ProcTicks += int64(a.Procs)
+			lj.ranNow = true
+			if tick != nil {
+				tick.Allocs = append(tick.Allocs, AllocRecord{
+					JobID: a.JobID,
+					Procs: a.Procs,
+					Nodes: append([]dag.NodeID(nil), nodeBuf...),
+				})
+			}
+			if lj.state.Done() {
+				completed = append(completed, lj)
+			}
+		}
+		res.BusyProcTicks += int64(busy)
+		res.IdleProcTicks += int64(cfg.M - busy)
+
+		// Preemption accounting.
+		for _, lj := range e.liveList {
+			if lj.ranLast && !lj.ranNow && !lj.state.Done() {
+				lj.stat.Preemptions++
+			}
+			lj.ranLast = lj.ranNow
+			lj.ranNow = false
+		}
+
+		// Completions (at time t+1).
+		for _, lj := range completed {
+			lj.done = true
+			lj.stat.Completed = true
+			lj.stat.CompletedAt = t + 1
+			lj.stat.Latency = t + 1 - lj.job.Release
+			lj.stat.Profit = lj.job.Profit.At(lj.stat.Latency)
+			res.TotalProfit += lj.stat.Profit
+			res.Completed++
+			res.Jobs = append(res.Jobs, lj.stat)
+			delete(e.live, lj.job.ID)
+			for i, x := range e.liveList {
+				if x == lj {
+					e.liveList = append(e.liveList[:i], e.liveList[i+1:]...)
+					break
+				}
+			}
+			sched.OnCompletion(t, lj.job.ID)
+		}
+		t++
+	}
+	// Jobs still live at the horizon.
+	for _, lj := range e.liveList {
+		res.Jobs = append(res.Jobs, lj.stat)
+	}
+	res.Ticks = t
+	return res, nil
+}
+
+// scaleGraph returns a copy of g with every node work multiplied by k,
+// preserving structure. Used to realize rational speeds exactly.
+func scaleGraph(g *dag.DAG, k int64) *dag.DAG {
+	b := dag.NewBuilder()
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		b.AddNode(g.Work(dag.NodeID(v)) * k)
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Successors(dag.NodeID(v)) {
+			b.AddEdge(dag.NodeID(v), u)
+		}
+	}
+	return b.MustBuild()
+}

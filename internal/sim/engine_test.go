@@ -1,0 +1,417 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/rational"
+)
+
+// fifoSched is a minimal work-conserving test scheduler: jobs in arrival
+// order, each granted as many processors as it has ready nodes, until the
+// machine is full.
+type fifoSched struct {
+	m     int
+	order []int
+	live  map[int]bool
+}
+
+func (s *fifoSched) Name() string { return "test-fifo" }
+
+func (s *fifoSched) Init(env Env) {
+	s.m = env.M
+	s.live = make(map[int]bool)
+}
+
+func (s *fifoSched) OnArrival(t int64, v JobView) {
+	s.order = append(s.order, v.ID)
+	s.live[v.ID] = true
+}
+
+func (s *fifoSched) OnExpire(t int64, jobID int) { delete(s.live, jobID) }
+
+func (s *fifoSched) OnCompletion(t int64, jobID int) { delete(s.live, jobID) }
+
+func (s *fifoSched) Assign(t int64, view AssignView, dst []Alloc) []Alloc {
+	free := s.m
+	for _, id := range s.order {
+		if free == 0 {
+			break
+		}
+		if !s.live[id] {
+			continue
+		}
+		k := view.ReadyCount(id)
+		if k > free {
+			k = free
+		}
+		if k > 0 {
+			dst = append(dst, Alloc{JobID: id, Procs: k})
+			free -= k
+		}
+	}
+	return dst
+}
+
+func step(t *testing.T, value float64, deadline int64) profit.Fn {
+	t.Helper()
+	s, err := profit.NewStep(value, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunSingleJobCompletes(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Chain(4, 1), Release: 0, Profit: step(t, 10, 10)}
+	res, err := Run(Config{M: 2}, []*Job{j}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.TotalProfit != 10 {
+		t.Errorf("completed=%d profit=%v", res.Completed, res.TotalProfit)
+	}
+	if res.Jobs[0].CompletedAt != 4 {
+		t.Errorf("chain of 4 on 1 proc completed at %d, want 4", res.Jobs[0].CompletedAt)
+	}
+	if res.Jobs[0].Latency != 4 {
+		t.Errorf("latency = %d", res.Jobs[0].Latency)
+	}
+}
+
+func TestRunDeadlineMiss(t *testing.T) {
+	// Chain of 4 with deadline 3: cannot finish in time, expires, zero profit.
+	j := &Job{ID: 1, Graph: dag.Chain(4, 1), Release: 0, Profit: step(t, 10, 3)}
+	res, err := Run(Config{M: 2}, []*Job{j}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || res.TotalProfit != 0 || res.Expired != 1 {
+		t.Errorf("completed=%d profit=%v expired=%d", res.Completed, res.TotalProfit, res.Expired)
+	}
+}
+
+func TestRunExactDeadline(t *testing.T) {
+	// Chain of 3, deadline 3: completes at time 3, exactly on time.
+	j := &Job{ID: 1, Graph: dag.Chain(3, 1), Release: 0, Profit: step(t, 5, 3)}
+	res, err := Run(Config{M: 1}, []*Job{j}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProfit != 5 {
+		t.Errorf("profit = %v, want 5 (exact deadline hit)", res.TotalProfit)
+	}
+}
+
+func TestRunSpeedAugmentationExact(t *testing.T) {
+	// Speed 3/2: chain of 3 unit nodes takes ceil over scaled works:
+	// works ×2 = 6 units, 3 units/tick... but one node at a time: each node
+	// has 2 scaled units, a tick applies 3 → node done in 1 tick (overshoot
+	// lost). So 3 ticks. At speed 2 (works ×1, 2 units/tick) also 3 ticks?
+	// No: speed 2/1 means apply 2 units to a 1-unit node → 1 tick per node.
+	j := func() *Job { return &Job{ID: 1, Graph: dag.Chain(3, 1), Release: 0, Profit: step(t, 1, 100)} }
+
+	res1, err := Run(Config{M: 1, Speed: rational.New(3, 2)}, []*Job{j()}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Jobs[0].CompletedAt != 3 {
+		t.Errorf("speed 3/2 chain(3,1): completed at %d, want 3 (node granularity)", res1.Jobs[0].CompletedAt)
+	}
+
+	// With node work 2 and speed 3/2 (scaled: work 4, 3/tick) each node
+	// takes 2 ticks → 6 ticks total; at speed 1 it is also 6 ticks; at
+	// speed 2 it is 3 ticks.
+	big := &Job{ID: 1, Graph: dag.Chain(3, 2), Release: 0, Profit: step(t, 1, 100)}
+	res2, err := Run(Config{M: 1, Speed: rational.New(3, 2)}, []*Job{big}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Jobs[0].CompletedAt != 6 {
+		t.Errorf("speed 3/2 chain(3,2): completed at %d, want 6", res2.Jobs[0].CompletedAt)
+	}
+	big2 := &Job{ID: 1, Graph: dag.Chain(3, 2), Release: 0, Profit: step(t, 1, 100)}
+	res3, err := Run(Config{M: 1, Speed: rational.FromInt(2)}, []*Job{big2}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Jobs[0].CompletedAt != 3 {
+		t.Errorf("speed 2 chain(3,2): completed at %d, want 3", res3.Jobs[0].CompletedAt)
+	}
+}
+
+func TestRunParallelBlockUsesAllProcs(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Block(8, 1), Release: 0, Profit: step(t, 1, 100)}
+	res, err := Run(Config{M: 4}, []*Job{j}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].CompletedAt != 2 {
+		t.Errorf("block(8) on 4 procs completed at %d, want 2", res.Jobs[0].CompletedAt)
+	}
+	if res.BusyProcTicks != 8 || res.IdleProcTicks != 0 {
+		t.Errorf("busy=%d idle=%d", res.BusyProcTicks, res.IdleProcTicks)
+	}
+}
+
+func TestRunLateArrivalIdleJump(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Chain(1, 1), Release: 1000, Profit: step(t, 1, 5)}
+	res, err := Run(Config{M: 1}, []*Job{j}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].CompletedAt != 1001 {
+		t.Errorf("completed at %d, want 1001", res.Jobs[0].CompletedAt)
+	}
+	if res.IdleProcTicks != 0 {
+		t.Errorf("idle ticks %d accrued during the empty gap", res.IdleProcTicks)
+	}
+}
+
+func TestRunTwoJobsShareMachine(t *testing.T) {
+	jobs := []*Job{
+		{ID: 1, Graph: dag.Block(4, 1), Release: 0, Profit: step(t, 3, 10)},
+		{ID: 2, Graph: dag.Block(4, 1), Release: 0, Profit: step(t, 7, 10)},
+	}
+	res, err := Run(Config{M: 4}, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 || res.TotalProfit != 10 {
+		t.Errorf("completed=%d profit=%v", res.Completed, res.TotalProfit)
+	}
+	if res.Ticks != 2 {
+		t.Errorf("ticks = %d, want 2", res.Ticks)
+	}
+}
+
+func TestRunRejectsOversubscription(t *testing.T) {
+	bad := &hookSched{assign: func(t int64, v AssignView, dst []Alloc) []Alloc {
+		return append(dst, Alloc{JobID: 1, Procs: 99})
+	}}
+	j := &Job{ID: 1, Graph: dag.Chain(1, 1), Release: 0, Profit: step(t, 1, 5)}
+	_, err := Run(Config{M: 2}, []*Job{j}, bad)
+	if err == nil || !strings.Contains(err.Error(), "oversubscribed") {
+		t.Errorf("err = %v, want oversubscription error", err)
+	}
+}
+
+func TestRunRejectsDuplicateAlloc(t *testing.T) {
+	bad := &hookSched{assign: func(t int64, v AssignView, dst []Alloc) []Alloc {
+		return append(dst, Alloc{JobID: 1, Procs: 1}, Alloc{JobID: 1, Procs: 1})
+	}}
+	j := &Job{ID: 1, Graph: dag.Chain(1, 1), Release: 0, Profit: step(t, 1, 5)}
+	_, err := Run(Config{M: 2}, []*Job{j}, bad)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("err = %v, want duplicate-alloc error", err)
+	}
+}
+
+func TestRunRejectsUnknownJob(t *testing.T) {
+	bad := &hookSched{assign: func(t int64, v AssignView, dst []Alloc) []Alloc {
+		return append(dst, Alloc{JobID: 42, Procs: 1})
+	}}
+	j := &Job{ID: 1, Graph: dag.Chain(1, 1), Release: 0, Profit: step(t, 1, 5)}
+	_, err := Run(Config{M: 2}, []*Job{j}, bad)
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("err = %v, want unknown-job error", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Chain(1, 1), Release: 0, Profit: step(t, 1, 5)}
+	if _, err := Run(Config{M: 0}, []*Job{j}, &fifoSched{}); err == nil {
+		t.Error("accepted M=0")
+	}
+	if _, err := Run(Config{M: 1, Speed: rational.New(-1, 2)}, []*Job{j}, &fifoSched{}); err == nil {
+		t.Error("accepted negative speed")
+	}
+}
+
+func TestRunRejectsDuplicateJobIDs(t *testing.T) {
+	jobs := []*Job{
+		{ID: 1, Graph: dag.Chain(1, 1), Release: 0, Profit: step(t, 1, 5)},
+		{ID: 1, Graph: dag.Chain(1, 1), Release: 0, Profit: step(t, 1, 5)},
+	}
+	if _, err := Run(Config{M: 1}, jobs, &fifoSched{}); err == nil {
+		t.Error("accepted duplicate job IDs")
+	}
+}
+
+func TestRunHorizonStops(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Chain(100, 1), Release: 0, Profit: step(t, 1, 1000)}
+	res, err := Run(Config{M: 1, Horizon: 10}, []*Job{j}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 10 || res.Completed != 0 {
+		t.Errorf("ticks=%d completed=%d", res.Ticks, res.Completed)
+	}
+	if len(res.Jobs) != 1 {
+		t.Errorf("unfinished job missing from stats: %d", len(res.Jobs))
+	}
+}
+
+func TestRunTraceRecorded(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Chain(3, 1), Release: 0, Profit: step(t, 1, 10)}
+	res, err := Run(Config{M: 1, Record: true}, []*Job{j}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace.Ticks) != 3 {
+		t.Fatalf("trace = %+v", res.Trace)
+	}
+	for _, tick := range res.Trace.Ticks {
+		if len(tick.Allocs) != 1 || len(tick.Allocs[0].Nodes) != 1 {
+			t.Errorf("tick %d allocs = %+v", tick.T, tick.Allocs)
+		}
+	}
+}
+
+func TestRunPreemptionCounted(t *testing.T) {
+	// Scheduler that runs job 1 at t=0, job 2 at t=1, job 1 again at t=2...
+	alt := &hookSched{assign: func(tk int64, v AssignView, dst []Alloc) []Alloc {
+		id := int(tk%2) + 1
+		if v.ReadyCount(id) > 0 {
+			return append(dst, Alloc{JobID: id, Procs: 1})
+		}
+		other := 3 - id
+		if v.ReadyCount(other) > 0 {
+			return append(dst, Alloc{JobID: other, Procs: 1})
+		}
+		return dst
+	}}
+	jobs := []*Job{
+		{ID: 1, Graph: dag.Chain(2, 1), Release: 0, Profit: step(t, 1, 100)},
+		{ID: 2, Graph: dag.Chain(2, 1), Release: 0, Profit: step(t, 1, 100)},
+	}
+	res, err := Run(Config{M: 1}, jobs, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range res.Jobs {
+		total += s.Preemptions
+	}
+	if total != 2 {
+		t.Errorf("total preemptions = %d, want 2 (each job paused once)", total)
+	}
+}
+
+func TestExecutedWorkObservable(t *testing.T) {
+	var observed int64
+	spy := &hookSched{assign: func(tk int64, v AssignView, dst []Alloc) []Alloc {
+		observed = v.ExecutedWork(1)
+		if v.ReadyCount(1) > 0 {
+			dst = append(dst, Alloc{JobID: 1, Procs: 1})
+		}
+		return dst
+	}}
+	j := &Job{ID: 1, Graph: dag.Chain(4, 2), Release: 0, Profit: step(t, 1, 100)}
+	if _, err := Run(Config{M: 1, Speed: rational.New(1, 2)}, []*Job{j}, spy); err != nil {
+		t.Fatal(err)
+	}
+	// At the final Assign (after 15 of 16 scaled half-units), executed work
+	// in declared units must be 7 (floor of 15/2).
+	if observed != 7 {
+		t.Errorf("last observed ExecutedWork = %d, want 7", observed)
+	}
+}
+
+// hookSched adapts a closure into a Scheduler for contract tests.
+type hookSched struct {
+	assign func(t int64, view AssignView, dst []Alloc) []Alloc
+}
+
+func (h *hookSched) Name() string { return "test-hook" }
+
+func (h *hookSched) Init(Env) {}
+
+func (h *hookSched) OnArrival(int64, JobView) {}
+
+func (h *hookSched) OnExpire(int64, int) {}
+
+func (h *hookSched) OnCompletion(int64, int) {}
+
+func (h *hookSched) Assign(t int64, view AssignView, dst []Alloc) []Alloc {
+	return h.assign(t, view, dst)
+}
+
+// orderSched records the callback sequence to pin the engine's event
+// ordering contract.
+type orderSched struct {
+	fifoSched
+	events []string
+}
+
+func (o *orderSched) OnArrival(t int64, v JobView) {
+	o.events = append(o.events, fmt.Sprintf("arrive(%d)@%d", v.ID, t))
+	o.fifoSched.OnArrival(t, v)
+}
+
+func (o *orderSched) OnExpire(t int64, id int) {
+	o.events = append(o.events, fmt.Sprintf("expire(%d)@%d", id, t))
+	o.fifoSched.OnExpire(t, id)
+}
+
+func (o *orderSched) OnCompletion(t int64, id int) {
+	o.events = append(o.events, fmt.Sprintf("complete(%d)@%d", id, t))
+	o.fifoSched.OnCompletion(t, id)
+}
+
+func TestCallbackOrdering(t *testing.T) {
+	jobs := []*Job{
+		{ID: 1, Graph: dag.Chain(2, 1), Release: 0, Profit: step(t, 1, 10)},
+		{ID: 2, Graph: dag.Chain(50, 1), Release: 0, Profit: step(t, 1, 5)}, // expires
+		{ID: 3, Graph: dag.Chain(1, 1), Release: 4, Profit: step(t, 1, 10)},
+	}
+	o := &orderSched{}
+	if _, err := Run(Config{M: 1}, jobs, o); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"arrive(1)@0", "arrive(2)@0",
+		"complete(1)@1", // runs ticks 0-1 (FIFO, job 1 first)
+		"arrive(3)@4",
+		"expire(2)@5", // deadline 5 passed without completion
+		"complete(3)@5",
+	}
+	if len(o.events) != len(want) {
+		t.Fatalf("events = %v, want %v", o.events, want)
+	}
+	for i := range want {
+		if o.events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, o.events[i], want[i], o.events)
+		}
+	}
+}
+
+func TestSortJobsByReleaseStable(t *testing.T) {
+	jobs := []*Job{
+		{ID: 3, Graph: dag.Chain(1, 1), Release: 5, Profit: step(t, 1, 5)},
+		{ID: 1, Graph: dag.Chain(1, 1), Release: 5, Profit: step(t, 1, 5)},
+		{ID: 2, Graph: dag.Chain(1, 1), Release: 0, Profit: step(t, 1, 5)},
+	}
+	got := sortJobsByRelease(jobs)
+	if got[0].ID != 2 || got[1].ID != 1 || got[2].ID != 3 {
+		t.Errorf("order = %d,%d,%d; want 2,1,3", got[0].ID, got[1].ID, got[2].ID)
+	}
+	// Input untouched.
+	if jobs[0].ID != 3 {
+		t.Error("input slice mutated")
+	}
+}
+
+func TestJobViewHelpers(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Figure2(3, 4), Release: 7, Profit: step(t, 2, 9)}
+	if j.RelDeadline() != 9 || j.AbsDeadline() != 16 {
+		t.Errorf("deadlines: rel %d abs %d", j.RelDeadline(), j.AbsDeadline())
+	}
+	v := viewOf(j)
+	if v.W != j.Graph.TotalWork() || v.L != j.Graph.Span() || v.AbsDeadline() != 16 {
+		t.Errorf("view = %+v", v)
+	}
+}

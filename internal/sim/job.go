@@ -1,0 +1,113 @@
+// Package sim is the discrete-time multiprocessor simulation engine. Time
+// advances in integer ticks; a tick on one processor is exactly the paper's
+// "processor step". Speed augmentation s = p/q is applied exactly: node works
+// are scaled by q when a job's execution state is created and each assigned
+// processor applies p work units per tick, so the execution path never
+// touches floating point.
+//
+// Schedulers interact with the engine through the Scheduler interface and
+// see jobs only through JobView — arrival time, total work W, span L, and the
+// profit function — plus the observable execution quantities of AssignView.
+// This enforces the paper's semi-non-clairvoyant model by construction: the
+// internal DAG structure is invisible, and which ready nodes run is decided
+// by the engine's node-pick policy, not the scheduler.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+)
+
+// Job is one parallel job: an immutable DAG released at a point in time with
+// a profit function over completion latency.
+type Job struct {
+	ID      int
+	Graph   *dag.DAG
+	Release int64
+	Profit  profit.Fn
+}
+
+// Validate checks the job is well formed.
+func (j *Job) Validate() error {
+	if j.Graph == nil {
+		return fmt.Errorf("sim: job %d has nil graph", j.ID)
+	}
+	if err := j.Graph.Validate(); err != nil {
+		return fmt.Errorf("sim: job %d: %w", j.ID, err)
+	}
+	if j.Release < 0 {
+		return fmt.Errorf("sim: job %d released at negative time %d", j.ID, j.Release)
+	}
+	if j.Profit == nil {
+		return fmt.Errorf("sim: job %d has nil profit function", j.ID)
+	}
+	return nil
+}
+
+// RelDeadline returns the job's effective relative deadline: the last
+// completion latency with nonzero profit. For a Step profit this is exactly
+// the paper's D_i.
+func (j *Job) RelDeadline() int64 { return j.Profit.SupportEnd() - 1 }
+
+// AbsDeadline returns release + RelDeadline: the absolute time d_i by which
+// the job must complete to earn profit.
+func (j *Job) AbsDeadline() int64 { return j.Release + j.RelDeadline() }
+
+// JobView is the semi-non-clairvoyant picture of a job given to schedulers:
+// the scalar parameters the paper assumes known on arrival (W_i, L_i, r_i,
+// the profit function) and nothing about the DAG's internal structure.
+type JobView struct {
+	ID      int
+	Release int64
+	W       int64 // total work
+	L       int64 // span / critical-path length
+	Profit  profit.Fn
+}
+
+// RelDeadline mirrors Job.RelDeadline.
+func (v JobView) RelDeadline() int64 { return v.Profit.SupportEnd() - 1 }
+
+// AbsDeadline mirrors Job.AbsDeadline.
+func (v JobView) AbsDeadline() int64 { return v.Release + v.RelDeadline() }
+
+// viewOf derives the scheduler-visible view of j.
+func viewOf(j *Job) JobView {
+	return JobView{
+		ID:      j.ID,
+		Release: j.Release,
+		W:       j.Graph.TotalWork(),
+		L:       j.Graph.Span(),
+		Profit:  j.Profit,
+	}
+}
+
+// ValidateJobs checks a job set: each job well formed, IDs unique.
+func ValidateJobs(jobs []*Job) error {
+	seen := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("sim: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	return nil
+}
+
+// sortJobsByRelease returns the jobs ordered by (release, ID) without
+// mutating the input.
+func sortJobsByRelease(jobs []*Job) []*Job {
+	out := append([]*Job(nil), jobs...)
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Release != out[k].Release {
+			return out[i].Release < out[k].Release
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}

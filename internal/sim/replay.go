@@ -1,0 +1,52 @@
+package sim
+
+// Replay is a scheduler that re-issues the allocations of a recorded trace
+// tick by tick. Re-running a recorded schedule through the engine closes
+// the loop on the execution model: Run(Record) → Replay → identical Result,
+// which tests assert. It also enables schedule post-processing workflows
+// (record once, re-simulate against modified metrics).
+//
+// The replayed run must use the same jobs, machine size, speed, and
+// node-pick policy as the recording; any divergence surfaces as an engine
+// contract error (allocation to a finished job, oversubscription) or a
+// result mismatch.
+type Replay struct {
+	trace *Trace
+	pos   int
+}
+
+// NewReplay returns a scheduler replaying tr.
+func NewReplay(tr *Trace) *Replay { return &Replay{trace: tr} }
+
+// Name implements Scheduler.
+func (r *Replay) Name() string { return "replay" }
+
+// Init implements Scheduler.
+func (r *Replay) Init(Env) { r.pos = 0 }
+
+// OnArrival implements Scheduler.
+func (r *Replay) OnArrival(int64, JobView) {}
+
+// OnExpire implements Scheduler.
+func (r *Replay) OnExpire(int64, int) {}
+
+// OnCompletion implements Scheduler.
+func (r *Replay) OnCompletion(int64, int) {}
+
+// Assign implements Scheduler: emit the recorded allocations for tick t.
+// Ticks absent from the trace (the recording allocated nothing) yield no
+// allocations.
+func (r *Replay) Assign(t int64, _ AssignView, dst []Alloc) []Alloc {
+	for r.pos < len(r.trace.Ticks) && r.trace.Ticks[r.pos].T < t {
+		r.pos++
+	}
+	if r.pos >= len(r.trace.Ticks) || r.trace.Ticks[r.pos].T != t {
+		return dst
+	}
+	for _, a := range r.trace.Ticks[r.pos].Allocs {
+		dst = append(dst, Alloc{JobID: a.JobID, Procs: a.Procs})
+	}
+	return dst
+}
+
+var _ Scheduler = (*Replay)(nil)

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/rational"
+)
+
+func TestReplayReproducesRecording(t *testing.T) {
+	jobs := func() []*Job {
+		return []*Job{
+			{ID: 1, Graph: dag.ForkJoin(2, 3, 2), Release: 0, Profit: step(t, 5, 60)},
+			{ID: 2, Graph: dag.Block(9, 1), Release: 4, Profit: step(t, 3, 30)},
+			{ID: 3, Graph: dag.Chain(40, 1), Release: 0, Profit: step(t, 9, 20)}, // will expire
+		}
+	}
+	for _, sp := range []rational.Rat{rational.One(), rational.New(3, 2)} {
+		cfg := Config{M: 3, Speed: sp, Record: true}
+		orig, err := Run(cfg, jobs(), &fifoSched{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := Run(cfg, jobs(), NewReplay(orig.Trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resultsEqual(t, orig, replayed); err != nil {
+			t.Fatalf("speed %v: replay diverged: %v", sp, err)
+		}
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	j := &Job{ID: 1, Graph: dag.Chain(2, 1), Release: 0, Profit: step(t, 1, 5)}
+	res, err := Run(Config{M: 1}, []*Job{j}, NewReplay(&Trace{M: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || res.Expired != 1 {
+		t.Errorf("empty replay: completed=%d expired=%d", res.Completed, res.Expired)
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "dagsched/internal/dag"
+
+// JobStat is the per-job outcome of a run.
+type JobStat struct {
+	ID          int
+	Released    int64
+	W           int64
+	L           int64
+	Completed   bool
+	CompletedAt int64   // absolute completion time (0 when not completed)
+	Latency     int64   // CompletedAt − Released (0 when not completed)
+	Profit      float64 // profit earned (0 when not completed or too late)
+	ProcTicks   int64   // processor-ticks allocated to the job
+	Preemptions int64   // times the job was paused while unfinished
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Scheduler string
+	M         int
+	Speed     float64
+	Ticks     int64 // ticks simulated (the clock value after the last tick)
+
+	TotalProfit   float64 // Σ profit of completed-in-time jobs
+	OfferedProfit float64 // Σ maximum per-job profit (completion latency 1)
+	Completed     int
+	Expired       int
+
+	BusyProcTicks int64 // processor-ticks spent executing nodes
+	IdleProcTicks int64 // processor-ticks without a node to run
+
+	Jobs  []JobStat
+	Trace *Trace // nil unless Config.Record
+}
+
+// Utilization returns the fraction of processor-ticks spent executing.
+func (r *Result) Utilization() float64 {
+	total := r.BusyProcTicks + r.IdleProcTicks
+	if total == 0 {
+		return 0
+	}
+	return float64(r.BusyProcTicks) / float64(total)
+}
+
+// CompletionRate returns completed jobs over all jobs.
+func (r *Result) CompletionRate() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(len(r.Jobs))
+}
+
+// ProfitFraction returns earned profit over offered profit.
+func (r *Result) ProfitFraction() float64 {
+	if r.OfferedProfit == 0 {
+		return 0
+	}
+	return r.TotalProfit / r.OfferedProfit
+}
+
+// Trace records, tick by tick, which jobs ran on how many processors and
+// which nodes executed. It is the input to Gantt rendering and to the
+// schedule validator.
+type Trace struct {
+	M     int
+	Ticks []TickRecord
+}
+
+// TickRecord is the trace of one tick.
+type TickRecord struct {
+	T      int64
+	Allocs []AllocRecord
+}
+
+// AllocRecord is one job's execution during one tick.
+type AllocRecord struct {
+	JobID int
+	Procs int          // processors granted
+	Nodes []dag.NodeID // nodes actually executed (≤ Procs)
+}

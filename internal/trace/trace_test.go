@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+func stepFn(t *testing.T, value float64, deadline int64) profit.Fn {
+	t.Helper()
+	s, err := profit.NewStep(value, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func recordedRun(t *testing.T, m int, speed rational.Rat, jobs []*sim.Job, sched sim.Scheduler) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{M: m, Speed: speed, Record: true}, jobs, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidateAcceptsEngineTraces(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{Seed: 5, N: 30, M: 8, Eps: 1, Load: 2, SlackSpread: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := []sim.Scheduler{
+		core.NewSchedulerS(core.Options{Params: core.MustParams(1)}),
+		&baselines.ListScheduler{Order: baselines.OrderEDF},
+		&baselines.Federated{},
+	}
+	for _, sched := range scheds {
+		res := recordedRun(t, inst.M, rational.One(), inst.Jobs, sched)
+		if err := Validate(res.Trace, inst.Jobs, rational.One()); err != nil {
+			t.Errorf("%s: %v", sched.Name(), err)
+		}
+		if err := VerifyCompletions(res, inst.Jobs); err != nil {
+			t.Errorf("%s: %v", sched.Name(), err)
+		}
+	}
+}
+
+func TestValidateAcceptsSpeedScaledTraces(t *testing.T) {
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.ForkJoin(2, 3, 2), Release: 0, Profit: stepFn(t, 5, 100)},
+	}
+	speed := rational.New(3, 2)
+	res := recordedRun(t, 4, speed, jobs, &baselines.ListScheduler{Order: baselines.OrderEDF})
+	if err := Validate(res.Trace, jobs, speed); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsOversubscription(t *testing.T) {
+	tr := &sim.Trace{M: 2, Ticks: []sim.TickRecord{
+		{T: 0, Allocs: []sim.AllocRecord{{JobID: 1, Procs: 3, Nodes: []dag.NodeID{0}}}},
+	}}
+	jobs := []*sim.Job{{ID: 1, Graph: dag.Block(4, 1), Release: 0, Profit: stepFn(t, 1, 10)}}
+	if err := Validate(tr, jobs, rational.One()); err == nil || !strings.Contains(err.Error(), "processors") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsPrecedenceViolation(t *testing.T) {
+	// Chain: node 1 depends on node 0; executing node 1 first must fail.
+	tr := &sim.Trace{M: 2, Ticks: []sim.TickRecord{
+		{T: 0, Allocs: []sim.AllocRecord{{JobID: 1, Procs: 1, Nodes: []dag.NodeID{1}}}},
+	}}
+	jobs := []*sim.Job{{ID: 1, Graph: dag.Chain(2, 1), Release: 0, Profit: stepFn(t, 1, 10)}}
+	if err := Validate(tr, jobs, rational.One()); err == nil || !strings.Contains(err.Error(), "precedence") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsEarlyStart(t *testing.T) {
+	tr := &sim.Trace{M: 2, Ticks: []sim.TickRecord{
+		{T: 0, Allocs: []sim.AllocRecord{{JobID: 1, Procs: 1, Nodes: []dag.NodeID{0}}}},
+	}}
+	jobs := []*sim.Job{{ID: 1, Graph: dag.Chain(2, 1), Release: 5, Profit: stepFn(t, 1, 10)}}
+	if err := Validate(tr, jobs, rational.One()); err == nil || !strings.Contains(err.Error(), "release") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownJob(t *testing.T) {
+	tr := &sim.Trace{M: 2, Ticks: []sim.TickRecord{
+		{T: 0, Allocs: []sim.AllocRecord{{JobID: 9, Procs: 1, Nodes: []dag.NodeID{0}}}},
+	}}
+	if err := Validate(tr, nil, rational.One()); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateNode(t *testing.T) {
+	tr := &sim.Trace{M: 4, Ticks: []sim.TickRecord{
+		{T: 0, Allocs: []sim.AllocRecord{{JobID: 1, Procs: 2, Nodes: []dag.NodeID{0, 0}}}},
+	}}
+	jobs := []*sim.Job{{ID: 1, Graph: dag.Block(4, 1), Release: 0, Profit: stepFn(t, 1, 10)}}
+	if err := Validate(tr, jobs, rational.One()); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsNonMonotoneTicks(t *testing.T) {
+	tr := &sim.Trace{M: 2, Ticks: []sim.TickRecord{{T: 3}, {T: 3}}}
+	if err := Validate(tr, nil, rational.One()); err == nil || !strings.Contains(err.Error(), "increasing") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(8, 1), Release: 0, Profit: stepFn(t, 1, 50)},
+		{ID: 2, Graph: dag.Chain(4, 1), Release: 2, Profit: stepFn(t, 1, 50)},
+	}
+	res := recordedRun(t, 4, rational.One(), jobs, &baselines.ListScheduler{Order: baselines.OrderFIFO})
+	out := Gantt(res.Trace, jobs, 80)
+	if !strings.Contains(out, "J1") || !strings.Contains(out, "J2") {
+		t.Errorf("missing job rows:\n%s", out)
+	}
+	if !strings.Contains(out, "m=4") {
+		t.Errorf("missing machine info:\n%s", out)
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	if got := Gantt(&sim.Trace{M: 2}, nil, 80); !strings.Contains(got, "empty") {
+		t.Errorf("Gantt(empty) = %q", got)
+	}
+	if got := Gantt(nil, nil, 80); !strings.Contains(got, "empty") {
+		t.Errorf("Gantt(nil) = %q", got)
+	}
+}
+
+func TestGanttTruncatesWideTraces(t *testing.T) {
+	jobs := []*sim.Job{{ID: 1, Graph: dag.Chain(300, 1), Release: 0, Profit: stepFn(t, 1, 1000)}}
+	res := recordedRun(t, 1, rational.One(), jobs, &baselines.ListScheduler{Order: baselines.OrderFIFO})
+	out := Gantt(res.Trace, jobs, 60)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 120 {
+			t.Errorf("line too wide (%d): %q", len(line), line)
+		}
+	}
+}
+
+func TestProcGlyph(t *testing.T) {
+	cases := map[int]byte{1: '1', 9: '9', 10: 'a', 15: 'f', 30: '#', 0: '?'}
+	for in, want := range cases {
+		if got := procGlyph(in); got != want {
+			t.Errorf("procGlyph(%d) = %c, want %c", in, got, want)
+		}
+	}
+}
+
+func TestUtilizationSparkline(t *testing.T) {
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.Block(16, 1), Release: 0, Profit: stepFn(t, 1, 100)},
+		{ID: 2, Graph: dag.Chain(10, 1), Release: 10, Profit: stepFn(t, 1, 100)},
+	}
+	res := recordedRun(t, 4, rational.One(), jobs, &baselines.ListScheduler{Order: baselines.OrderFIFO})
+	out := Utilization(res.Trace, 60)
+	if !strings.Contains(out, "util t=[0,") || !strings.Contains(out, "m=4") {
+		t.Errorf("sparkline header wrong: %q", out)
+	}
+	// The first phase (block on 4 procs) is fully busy → '@' present; the
+	// chain tail uses 1 of 4 procs → a low-ramp character appears.
+	if !strings.Contains(out, "@") {
+		t.Errorf("expected saturated columns: %q", out)
+	}
+	if Utilization(nil, 10) != "(empty trace)\n" {
+		t.Error("nil trace not handled")
+	}
+}

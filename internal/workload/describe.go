@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"dagsched/internal/metrics"
+)
+
+// Stats summarizes an instance: the distributions a reader needs to judge
+// what a scheduler was up against.
+type Stats struct {
+	Jobs        int
+	M           int
+	TotalWork   int64
+	Span        int64 // last release + max deadline horizon
+	MeanW       float64
+	MeanL       float64
+	MeanPar     float64 // mean W/L (average parallelism)
+	MaxPar      float64
+	MeanSlack   float64 // mean D/((W−L)/m + L), the Theorem 2 slack ratio
+	MinSlack    float64
+	OfferedLoad float64 // ΣW / (m · release span), the offered utilization
+}
+
+// Describe computes instance statistics.
+func Describe(in *Instance) Stats {
+	st := Stats{Jobs: len(in.Jobs), M: in.M, MinSlack: -1}
+	if len(in.Jobs) == 0 {
+		return st
+	}
+	var lastRelease, maxHorizon int64
+	var sumW, sumL, sumPar, sumSlack float64
+	for _, j := range in.Jobs {
+		w, l := j.Graph.TotalWork(), j.Graph.Span()
+		st.TotalWork += w
+		sumW += float64(w)
+		sumL += float64(l)
+		par := float64(w) / float64(l)
+		sumPar += par
+		if par > st.MaxPar {
+			st.MaxPar = par
+		}
+		lower := float64(w-l)/float64(in.M) + float64(l)
+		slack := float64(j.RelDeadline()) / lower
+		sumSlack += slack
+		if st.MinSlack < 0 || slack < st.MinSlack {
+			st.MinSlack = slack
+		}
+		if j.Release > lastRelease {
+			lastRelease = j.Release
+		}
+		if h := j.AbsDeadline(); h > maxHorizon {
+			maxHorizon = h
+		}
+	}
+	n := float64(len(in.Jobs))
+	st.MeanW = sumW / n
+	st.MeanL = sumL / n
+	st.MeanPar = sumPar / n
+	st.MeanSlack = sumSlack / n
+	st.Span = maxHorizon
+	if lastRelease > 0 {
+		st.OfferedLoad = float64(st.TotalWork) / (float64(in.M) * float64(lastRelease))
+	}
+	return st
+}
+
+// Table renders the statistics as a metrics table (one row).
+func (st Stats) Table() *metrics.Table {
+	tb := metrics.NewTable("instance statistics",
+		"jobs", "m", "ΣW", "mean W", "mean L", "mean W/L", "max W/L",
+		"mean slack", "min slack", "offered load")
+	tb.AddRow(st.Jobs, st.M, st.TotalWork, st.MeanW, st.MeanL,
+		st.MeanPar, st.MaxPar, st.MeanSlack, st.MinSlack, st.OfferedLoad)
+	return tb
+}

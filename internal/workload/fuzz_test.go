@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzInstanceUnmarshal: arbitrary bytes must never panic; accepted
+// instances must validate and survive a JSON round trip.
+func FuzzInstanceUnmarshal(f *testing.F) {
+	good, err := Generate(Config{Seed: 1, N: 3, M: 2, Eps: 1, Load: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := json.Marshal(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"m":0,"jobs":[]}`))
+	f.Add([]byte(`{"m":2,"jobs":[{"id":1,"release":-3,"graph":{"work":[1],"edges":[]},"profit":{"kind":"step","value":1,"deadline":5}}]}`))
+	f.Add([]byte(`{"m":2,"jobs":[{"id":1,"graph":{"work":[1]},"profit":{"kind":"exp","value":1,"flat":2,"halfLife":0,"cutoff":9}}]}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var inst Instance
+		if err := json.Unmarshal(data, &inst); err != nil {
+			return
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("accepted invalid instance: %v", err)
+		}
+		// Round trip must preserve validity.
+		out, err := json.Marshal(&inst)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var again Instance
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

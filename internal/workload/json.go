@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+)
+
+// The wire format keeps instances reproducible across runs and tools:
+// cmd/dag-gen writes them, cmd/spaa-sim reads them.
+
+type instanceJSON struct {
+	Name string    `json:"name"`
+	M    int       `json:"m"`
+	Seed int64     `json:"seed"`
+	Jobs []jobJSON `json:"jobs"`
+}
+
+type jobJSON struct {
+	ID      int        `json:"id"`
+	Release int64      `json:"release"`
+	Graph   *dag.DAG   `json:"graph"`
+	Profit  profitJSON `json:"profit"`
+}
+
+// profitJSON is a tagged union over the profit families.
+type profitJSON struct {
+	Kind     string    `json:"kind"`
+	Value    float64   `json:"value,omitempty"`
+	Deadline int64     `json:"deadline,omitempty"`
+	Flat     int64     `json:"flat,omitempty"`
+	ZeroAt   int64     `json:"zeroAt,omitempty"`
+	HalfLife int64     `json:"halfLife,omitempty"`
+	Cutoff   int64     `json:"cutoff,omitempty"`
+	Until    []int64   `json:"until,omitempty"`
+	Values   []float64 `json:"values,omitempty"`
+}
+
+func encodeProfit(fn profit.Fn) (profitJSON, error) {
+	switch p := fn.(type) {
+	case profit.Step:
+		return profitJSON{Kind: "step", Value: p.Value, Deadline: p.Deadline}, nil
+	case profit.LinearDecay:
+		return profitJSON{Kind: "linear", Value: p.Peak, Flat: p.Flat, ZeroAt: p.ZeroAt}, nil
+	case profit.ExpDecay:
+		return profitJSON{Kind: "exp", Value: p.Peak, Flat: p.Flat, HalfLife: p.HalfLife, Cutoff: p.Cutoff}, nil
+	case profit.PiecewiseConstant:
+		return profitJSON{Kind: "piecewise", Until: p.Until, Values: p.Values}, nil
+	default:
+		return profitJSON{}, fmt.Errorf("workload: cannot serialize profit %T", fn)
+	}
+}
+
+func decodeProfit(pj profitJSON) (profit.Fn, error) {
+	switch pj.Kind {
+	case "step":
+		return profit.NewStep(pj.Value, pj.Deadline)
+	case "linear":
+		return profit.NewLinearDecay(pj.Value, pj.Flat, pj.ZeroAt)
+	case "exp":
+		return profit.NewExpDecay(pj.Value, pj.Flat, pj.HalfLife, pj.Cutoff)
+	case "piecewise":
+		return profit.NewPiecewiseConstant(pj.Until, pj.Values)
+	default:
+		return nil, fmt.Errorf("workload: unknown profit kind %q", pj.Kind)
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	out := instanceJSON{Name: in.Name, M: in.M, Seed: in.Seed}
+	for _, j := range in.Jobs {
+		pj, err := encodeProfit(j.Profit)
+		if err != nil {
+			return nil, err
+		}
+		out.Jobs = append(out.Jobs, jobJSON{ID: j.ID, Release: j.Release, Graph: j.Graph, Profit: pj})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var raw instanceJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	out := Instance{Name: raw.Name, M: raw.M, Seed: raw.Seed}
+	for _, jj := range raw.Jobs {
+		fn, err := decodeProfit(jj.Profit)
+		if err != nil {
+			return err
+		}
+		out.Jobs = append(out.Jobs, &sim.Job{ID: jj.ID, Release: jj.Release, Graph: jj.Graph, Profit: fn})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*in = out
+	return nil
+}

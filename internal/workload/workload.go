@@ -1,0 +1,357 @@
+// Package workload generates the synthetic instances the experiments run
+// on: mixes of DAG shapes released over time with deadlines and profits.
+// The paper has no empirical section, so these generators realize the
+// workloads its model describes — parallel programs (fork–join, BSP,
+// layered, series–parallel) arriving online — with deadline slack
+// parameterized around the Theorem 2 condition
+// D_i ≥ (1+ε)((W_i−L_i)/m + L_i). All generation is deterministic given the
+// seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+)
+
+// Instance is a reproducible workload: a machine size plus a job set.
+type Instance struct {
+	Name string
+	M    int
+	Seed int64
+	Jobs []*sim.Job
+}
+
+// TotalWork returns Σ W_i.
+func (in *Instance) TotalWork() int64 {
+	var s int64
+	for _, j := range in.Jobs {
+		s += j.Graph.TotalWork()
+	}
+	return s
+}
+
+// Validate checks the instance.
+func (in *Instance) Validate() error {
+	if in.M < 1 {
+		return fmt.Errorf("workload: M = %d", in.M)
+	}
+	return sim.ValidateJobs(in.Jobs)
+}
+
+// Shape selects a DAG family.
+type Shape int
+
+const (
+	// ShapeChain is a sequential chain (no parallelism).
+	ShapeChain Shape = iota
+	// ShapeBlock is an embarrassingly parallel block.
+	ShapeBlock
+	// ShapeForkJoin is staged fork–join parallelism (map-reduce rounds).
+	ShapeForkJoin
+	// ShapeLayered is a random layered DAG.
+	ShapeLayered
+	// ShapeSeriesParallel is a random series–parallel DAG.
+	ShapeSeriesParallel
+	// ShapeWideChain is bulk-synchronous bands with barriers.
+	ShapeWideChain
+	// ShapeWavefront is an n×n stencil wavefront (Smith–Waterman shape).
+	ShapeWavefront
+	// ShapeReduction is a binary reduction tree.
+	ShapeReduction
+	// ShapeFFT is a radix-2 butterfly network.
+	ShapeFFT
+	// ShapeCholesky is a tiled Cholesky factorization task graph.
+	ShapeCholesky
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ShapeChain:
+		return "chain"
+	case ShapeBlock:
+		return "block"
+	case ShapeForkJoin:
+		return "forkjoin"
+	case ShapeLayered:
+		return "layered"
+	case ShapeSeriesParallel:
+		return "seriesparallel"
+	case ShapeWideChain:
+		return "widechain"
+	case ShapeWavefront:
+		return "wavefront"
+	case ShapeReduction:
+		return "reduction"
+	case ShapeFFT:
+		return "fft"
+	case ShapeCholesky:
+		return "cholesky"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// DefaultMix is the shape mix used by the experiments: mostly structured
+// parallel programs, some chains and blocks as extremes.
+func DefaultMix() []Shape {
+	return []Shape{
+		ShapeForkJoin, ShapeForkJoin, ShapeLayered, ShapeLayered,
+		ShapeSeriesParallel, ShapeWideChain, ShapeBlock, ShapeChain,
+	}
+}
+
+// HPCMix is a mix of classic HPC kernel task graphs: Cholesky panels,
+// stencil wavefronts, FFT butterflies, and reductions.
+func HPCMix() []Shape {
+	return []Shape{
+		ShapeCholesky, ShapeCholesky, ShapeWavefront, ShapeWavefront,
+		ShapeFFT, ShapeReduction, ShapeForkJoin,
+	}
+}
+
+// ProfitKind selects the profit-function family attached to jobs.
+type ProfitKind int
+
+const (
+	// ProfitStep gives step (pure deadline) profits — the Section 3 model.
+	ProfitStep ProfitKind = iota
+	// ProfitLinear gives linear decay after the flat prefix — Section 5.
+	ProfitLinear
+	// ProfitExp gives exponential decay after the flat prefix — Section 5.
+	ProfitExp
+)
+
+// String names the profit kind.
+func (k ProfitKind) String() string {
+	switch k {
+	case ProfitStep:
+		return "step"
+	case ProfitLinear:
+		return "linear"
+	case ProfitExp:
+		return "exp"
+	default:
+		return fmt.Sprintf("profit(%d)", int(k))
+	}
+}
+
+// Arrival selects the job arrival process.
+type Arrival int
+
+const (
+	// ArrivalPoisson draws independent exponential gaps (the default).
+	ArrivalPoisson Arrival = iota
+	// ArrivalBursty clusters arrivals: jobs land in geometric bursts at the
+	// same instant, separated by longer exponential gaps. Total rate
+	// matches the load target.
+	ArrivalBursty
+	// ArrivalPeriodic releases jobs at a fixed cadence.
+	ArrivalPeriodic
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	case ArrivalPeriodic:
+		return "periodic"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(a))
+	}
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	Seed int64
+	N    int // number of jobs
+	M    int // processors (enters the slack condition and the load target)
+
+	// Eps is the ε of the Theorem 2 slack condition: every relative
+	// deadline is at least (1+Eps)((W−L)/m + L).
+	Eps float64
+	// SlackSpread adds a uniform extra factor in [1, 1+SlackSpread] on top
+	// of the minimum deadline, so instances are not uniformly tight.
+	SlackSpread float64
+
+	// Load targets a machine utilization: mean arrival gap = E[W]/(Load·m).
+	// Load > 1 overloads the machine; the scheduler must then select.
+	Load float64
+	// Arrival selects the arrival process (default Poisson).
+	Arrival Arrival
+
+	// Shapes is the shape mix to draw from; nil means DefaultMix.
+	Shapes []Shape
+	// Scale multiplies the default job sizes (1 = small jobs suitable for
+	// unit tests; experiments use 2–4). Values < 1 are treated as 1.
+	Scale float64
+
+	// Profit selects the profit family. MaxProfit bounds the per-job peak
+	// value, drawn uniformly from [1, MaxProfit] (0 means 10).
+	Profit    ProfitKind
+	MaxProfit float64
+}
+
+// Generate builds an instance from cfg.
+func Generate(cfg Config) (*Instance, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("workload: N = %d", cfg.N)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("workload: M = %d", cfg.M)
+	}
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("workload: Eps = %v must be positive", cfg.Eps)
+	}
+	if cfg.Load <= 0 {
+		return nil, fmt.Errorf("workload: Load = %v must be positive", cfg.Load)
+	}
+	if cfg.SlackSpread < 0 {
+		return nil, fmt.Errorf("workload: SlackSpread = %v", cfg.SlackSpread)
+	}
+	shapes := cfg.Shapes
+	if len(shapes) == 0 {
+		shapes = DefaultMix()
+	}
+	scale := cfg.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	maxProfit := cfg.MaxProfit
+	if maxProfit <= 0 {
+		maxProfit = 10
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inst := &Instance{
+		Name: fmt.Sprintf("%s-load%.2g-eps%.2g-n%d", cfg.Profit, cfg.Load, cfg.Eps, cfg.N),
+		M:    cfg.M,
+		Seed: cfg.Seed,
+	}
+
+	// First pass: build graphs so we know E[W] for the arrival process.
+	graphs := make([]*dag.DAG, cfg.N)
+	var totalW int64
+	for i := range graphs {
+		graphs[i] = genGraph(rng, shapes[rng.Intn(len(shapes))], scale)
+		totalW += graphs[i].TotalWork()
+	}
+	meanW := float64(totalW) / float64(cfg.N)
+	meanGap := meanW / (cfg.Load * float64(cfg.M))
+
+	const burstLen = 4 // mean jobs per burst under ArrivalBursty
+	clock := 0.0
+	for i, g := range graphs {
+		switch cfg.Arrival {
+		case ArrivalBursty:
+			// Geometric burst membership: stay at the same instant with
+			// probability 1−1/burstLen, else jump a scaled-up gap so the
+			// long-run rate still matches the load target.
+			if rng.Float64() < 1.0/burstLen {
+				clock += rng.ExpFloat64() * meanGap * burstLen
+			}
+		case ArrivalPeriodic:
+			clock += meanGap
+		default:
+			clock += rng.ExpFloat64() * meanGap
+		}
+		release := int64(clock)
+		w, l := float64(g.TotalWork()), float64(g.Span())
+		minD := (1 + cfg.Eps) * ((w-l)/float64(cfg.M) + l)
+		d := int64(math.Ceil(minD * (1 + rng.Float64()*cfg.SlackSpread)))
+		if d < 1 {
+			d = 1
+		}
+		peak := 1 + rng.Float64()*(maxProfit-1)
+		fn, err := makeProfit(rng, cfg.Profit, peak, d)
+		if err != nil {
+			return nil, err
+		}
+		inst.Jobs = append(inst.Jobs, &sim.Job{ID: i, Graph: g, Release: release, Profit: fn})
+	}
+	return inst, inst.Validate()
+}
+
+// genGraph draws one DAG of the given shape at the given size scale.
+func genGraph(rng *rand.Rand, s Shape, scale float64) *dag.DAG {
+	k := int(scale)
+	switch s {
+	case ShapeChain:
+		return dag.Chain(2+rng.Intn(6*k), 1+rng.Int63n(3))
+	case ShapeBlock:
+		return dag.Block(2+rng.Intn(12*k), 1+rng.Int63n(3))
+	case ShapeForkJoin:
+		return dag.ForkJoin(1+rng.Intn(3), 2+rng.Intn(6*k), 1+rng.Int63n(3))
+	case ShapeLayered:
+		return dag.Layered(rng, 2+rng.Intn(4), 2+rng.Intn(5*k), 1+rng.Int63n(4), 0.3+rng.Float64()*0.5)
+	case ShapeSeriesParallel:
+		return dag.SeriesParallel(rng, 2+rng.Intn(3), 1+rng.Int63n(4))
+	case ShapeWideChain:
+		return dag.WideChain(1+rng.Intn(3), 2+rng.Intn(5*k), 1+rng.Int63n(3))
+	case ShapeWavefront:
+		return dag.Wavefront(2+rng.Intn(2*k+2), 1+rng.Int63n(2))
+	case ShapeReduction:
+		return dag.ReductionTree(2+rng.Intn(8*k), 1+rng.Int63n(2))
+	case ShapeFFT:
+		return dag.FFT(4<<rng.Intn(k+1), 1+rng.Int63n(2))
+	case ShapeCholesky:
+		return dag.Cholesky(2+rng.Intn(k+2), dag.DefaultCholeskyWorks(1+rng.Int63n(2)))
+	default:
+		return dag.Block(4, 1)
+	}
+}
+
+// makeProfit builds the profit function for a job with peak value and
+// minimum (condition-satisfying) relative deadline d. For decaying kinds the
+// flat prefix is exactly d — so x* meets the Theorem 3 assumption — and the
+// decay horizon extends beyond it.
+func makeProfit(rng *rand.Rand, kind ProfitKind, peak float64, d int64) (profit.Fn, error) {
+	switch kind {
+	case ProfitStep:
+		return profit.NewStep(peak, d)
+	case ProfitLinear:
+		tail := 1 + int64(float64(d)*(0.5+rng.Float64()))
+		return profit.NewLinearDecay(peak, d, d+tail)
+	case ProfitExp:
+		half := 1 + int64(float64(d)*0.25)
+		return profit.NewExpDecay(peak, d, half, d+8*half)
+	default:
+		return nil, fmt.Errorf("workload: unknown profit kind %d", kind)
+	}
+}
+
+// Figure1Batch builds the Theorem 1 adversarial instance: count Figure-1
+// jobs for m processors with span L, all released at time zero, each with
+// relative deadline deadlineFactor·L (the theorem sets deadlineFactor = 1:
+// D = W/m = L) and unit profit.
+func Figure1Batch(m int, span int64, count int, deadlineFactor float64) (*Instance, error) {
+	if m < 2 || span < 1 || count < 1 || deadlineFactor <= 0 {
+		return nil, fmt.Errorf("workload: bad Figure1Batch(m=%d, L=%d, count=%d, f=%v)", m, span, count, deadlineFactor)
+	}
+	inst := &Instance{Name: fmt.Sprintf("figure1-m%d-L%d-x%d", m, span, count), M: m}
+	d := int64(math.Ceil(deadlineFactor * float64(span)))
+	if d < 1 {
+		d = 1
+	}
+	for i := 0; i < count; i++ {
+		fn, err := profit.NewStep(1, d)
+		if err != nil {
+			return nil, err
+		}
+		inst.Jobs = append(inst.Jobs, &sim.Job{
+			ID:      i,
+			Graph:   dag.Figure1(m, span),
+			Release: int64(i) * d, // back-to-back windows
+			Profit:  fn,
+		})
+	}
+	return inst, inst.Validate()
+}

@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dagsched/internal/profit"
+)
+
+func baseConfig() Config {
+	return Config{Seed: 1, N: 40, M: 8, Eps: 1, SlackSpread: 0.5, Load: 1.0}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	inst, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Jobs) != 40 {
+		t.Fatalf("jobs = %d", len(inst.Jobs))
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Releases non-decreasing (built from a cumulative clock).
+	for i := 1; i < len(inst.Jobs); i++ {
+		if inst.Jobs[i].Release < inst.Jobs[i-1].Release {
+			t.Fatalf("releases out of order at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalWork() != b.TotalWork() {
+		t.Error("same seed, different total work")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Release != b.Jobs[i].Release ||
+			a.Jobs[i].Graph.TotalWork() != b.Jobs[i].Graph.TotalWork() {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(baseConfig())
+	cfg := baseConfig()
+	cfg.Seed = 2
+	b, _ := Generate(cfg)
+	if a.TotalWork() == b.TotalWork() {
+		t.Error("different seeds produced identical total work (suspicious)")
+	}
+}
+
+func TestGenerateSatisfiesSlackCondition(t *testing.T) {
+	for _, eps := range []float64{0.25, 1, 2} {
+		cfg := baseConfig()
+		cfg.Eps = eps
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range inst.Jobs {
+			w := float64(j.Graph.TotalWork())
+			l := float64(j.Graph.Span())
+			minD := (1 + eps) * ((w-l)/float64(cfg.M) + l)
+			if float64(j.RelDeadline()) < minD-1e-9 {
+				t.Fatalf("eps=%v: job %d deadline %d below condition %v", eps, j.ID, j.RelDeadline(), minD)
+			}
+		}
+	}
+}
+
+func TestGenerateLoadScalesArrivals(t *testing.T) {
+	lo := baseConfig()
+	lo.Load = 0.25
+	hi := baseConfig()
+	hi.Load = 4
+	a, err := Generate(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanA := a.Jobs[len(a.Jobs)-1].Release
+	spanB := b.Jobs[len(b.Jobs)-1].Release
+	if spanA <= spanB {
+		t.Errorf("low load span %d should exceed high load span %d", spanA, spanB)
+	}
+}
+
+func TestGenerateProfitKinds(t *testing.T) {
+	for _, kind := range []ProfitKind{ProfitStep, ProfitLinear, ProfitExp} {
+		cfg := baseConfig()
+		cfg.Profit = kind
+		cfg.N = 10
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range inst.Jobs {
+			if err := profit.Validate(j.Profit, j.Profit.SupportEnd()+2); err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			if kind != ProfitStep {
+				// Flat prefix equals the condition-satisfying deadline → the
+				// Theorem 3 x* assumption holds.
+				w := float64(j.Graph.TotalWork())
+				l := float64(j.Graph.Span())
+				minX := (1 + cfg.Eps) * ((w-l)/float64(cfg.M) + l)
+				if float64(j.Profit.FlatUntil()) < minX-1e-9 {
+					t.Fatalf("%v: x* = %d below Theorem 3 floor %v", kind, j.Profit.FlatUntil(), minX)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{N: 0, M: 4, Eps: 1, Load: 1},
+		{N: 5, M: 0, Eps: 1, Load: 1},
+		{N: 5, M: 4, Eps: 0, Load: 1},
+		{N: 5, M: 4, Eps: 1, Load: 0},
+		{N: 5, M: 4, Eps: 1, Load: 1, SlackSpread: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFigure1Batch(t *testing.T) {
+	inst, err := Figure1Batch(4, 8, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(inst.Jobs))
+	}
+	for i, j := range inst.Jobs {
+		if j.Graph.Span() != 8 || j.Graph.TotalWork() != 32 {
+			t.Errorf("job %d: W=%d L=%d", i, j.Graph.TotalWork(), j.Graph.Span())
+		}
+		if j.RelDeadline() != 8 {
+			t.Errorf("job %d deadline %d, want L = 8", i, j.RelDeadline())
+		}
+	}
+	if _, err := Figure1Batch(1, 8, 3, 1); err == nil {
+		t.Error("accepted m=1")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	for _, kind := range []ProfitKind{ProfitStep, ProfitLinear, ProfitExp} {
+		cfg := baseConfig()
+		cfg.N = 8
+		cfg.Profit = kind
+		orig, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Instance
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.M != orig.M || len(got.Jobs) != len(orig.Jobs) || got.Name != orig.Name {
+			t.Fatalf("round trip mismatch: %+v", got)
+		}
+		for i := range got.Jobs {
+			a, b := orig.Jobs[i], got.Jobs[i]
+			if a.Release != b.Release || a.Graph.TotalWork() != b.Graph.TotalWork() {
+				t.Fatalf("job %d mismatch", i)
+			}
+			for _, tt := range []int64{1, 5, a.RelDeadline(), a.RelDeadline() + 3} {
+				if math.Abs(a.Profit.At(tt)-b.Profit.At(tt)) > 1e-12 {
+					t.Fatalf("job %d profit differs at t=%d", i, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceJSONRejectsUnknownKind(t *testing.T) {
+	var in Instance
+	err := json.Unmarshal([]byte(`{"m":2,"jobs":[{"id":1,"release":0,"graph":{"work":[1],"edges":[]},"profit":{"kind":"nope"}}]}`), &in)
+	if err == nil {
+		t.Error("accepted unknown profit kind")
+	}
+}
+
+func TestPropGeneratedInstancesAlwaysValid(t *testing.T) {
+	f := func(seed int64, loadSel, epsSel uint8) bool {
+		cfg := Config{
+			Seed:        seed,
+			N:           5 + int(loadSel%20),
+			M:           2 + int(epsSel%14),
+			Eps:         0.25 * float64(1+epsSel%8),
+			Load:        0.25 * float64(1+loadSel%16),
+			Profit:      ProfitKind(int(loadSel) % 3),
+			SlackSpread: float64(epsSel%3) * 0.5,
+		}
+		inst, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		return inst.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHPCMixGenerates(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Shapes = HPCMix()
+	cfg.N = 30
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// HPC kernels must include jobs with genuine parallelism and genuine
+	// dependency structure.
+	sawParallel, sawEdges := false, false
+	for _, j := range inst.Jobs {
+		if j.Graph.TotalWork() >= 2*j.Graph.Span() {
+			sawParallel = true
+		}
+		if j.Graph.NumEdges() > 0 {
+			sawEdges = true
+		}
+	}
+	if !sawParallel || !sawEdges {
+		t.Errorf("HPC mix lacks structure: parallel=%v edges=%v", sawParallel, sawEdges)
+	}
+}
+
+func TestShapeStrings(t *testing.T) {
+	want := map[Shape]string{
+		ShapeChain: "chain", ShapeBlock: "block", ShapeForkJoin: "forkjoin",
+		ShapeLayered: "layered", ShapeSeriesParallel: "seriesparallel",
+		ShapeWideChain: "widechain", ShapeWavefront: "wavefront",
+		ShapeReduction: "reduction", ShapeFFT: "fft", ShapeCholesky: "cholesky",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Shape(%d).String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if ProfitStep.String() != "step" || ProfitLinear.String() != "linear" || ProfitExp.String() != "exp" {
+		t.Error("profit kind names wrong")
+	}
+}
+
+func TestArrivalProcesses(t *testing.T) {
+	mk := func(a Arrival) *Instance {
+		cfg := baseConfig()
+		cfg.N = 60
+		cfg.Arrival = a
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	simultaneous := func(inst *Instance) int {
+		n := 0
+		for i := 1; i < len(inst.Jobs); i++ {
+			if inst.Jobs[i].Release == inst.Jobs[i-1].Release {
+				n++
+			}
+		}
+		return n
+	}
+	poisson := mk(ArrivalPoisson)
+	bursty := mk(ArrivalBursty)
+	periodic := mk(ArrivalPeriodic)
+
+	if simultaneous(bursty) <= simultaneous(poisson) {
+		t.Errorf("bursty has %d simultaneous arrivals, poisson %d — expected more",
+			simultaneous(bursty), simultaneous(poisson))
+	}
+	// Periodic: constant gaps.
+	gap := periodic.Jobs[1].Release - periodic.Jobs[0].Release
+	for i := 2; i < len(periodic.Jobs); i++ {
+		g := periodic.Jobs[i].Release - periodic.Jobs[i-1].Release
+		if g != gap && g != gap+1 && g != gap-1 { // integer truncation wobble
+			t.Fatalf("periodic gap %d differs from %d", g, gap)
+		}
+	}
+	// Long-run spans comparable (same load target): bursty within 3x of poisson.
+	ps := poisson.Jobs[len(poisson.Jobs)-1].Release
+	bs := bursty.Jobs[len(bursty.Jobs)-1].Release
+	if bs > 3*ps || ps > 3*bs {
+		t.Errorf("arrival spans diverge: poisson %d vs bursty %d", ps, bs)
+	}
+	if ArrivalPoisson.String() != "poisson" || ArrivalBursty.String() != "bursty" || ArrivalPeriodic.String() != "periodic" {
+		t.Error("arrival names wrong")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	inst, err := Generate(Config{Seed: 3, N: 20, M: 8, Eps: 1, Load: 2, SlackSpread: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Describe(inst)
+	if st.Jobs != 20 || st.M != 8 {
+		t.Errorf("jobs=%d m=%d", st.Jobs, st.M)
+	}
+	if st.TotalWork != inst.TotalWork() {
+		t.Errorf("ΣW = %d vs %d", st.TotalWork, inst.TotalWork())
+	}
+	// Every job satisfies the eps=1 condition → min slack ≥ 2 (up to ceil).
+	if st.MinSlack < 2-1e-9 {
+		t.Errorf("min slack = %v, want ≥ 2", st.MinSlack)
+	}
+	if st.MeanPar < 1 || st.MaxPar < st.MeanPar {
+		t.Errorf("parallelism stats wrong: mean %v max %v", st.MeanPar, st.MaxPar)
+	}
+	if st.OfferedLoad <= 0 {
+		t.Errorf("offered load = %v", st.OfferedLoad)
+	}
+	if st.Table().NumRows() != 1 {
+		t.Error("stats table should have one row")
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	st := Describe(&Instance{M: 2})
+	if st.Jobs != 0 || st.TotalWork != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
