@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench suite examples fuzz
+.PHONY: all build test vet race bench suite examples fuzz
 
 all: vet test
 
@@ -12,6 +12,9 @@ vet:
 
 test:
 	go test ./...
+
+race:
+	go test -race ./...
 
 # The full benchmark harness: one BenchmarkEXP_* per experiment plus engine
 # micro-benchmarks.

@@ -7,7 +7,9 @@
 //	spaa-sim [-instance file.json] [-sched s|swc|nc|gp|edf|llf|fifo|hdf|federated]
 //	         [-eps 1.0] [-speed p/q] [-policy id|random|unlucky|cp]
 //	         [-m 8] [-n 40] [-seed 1] [-load 1.5] [-profit step|linear|exp]
-//	         [-gantt] [-ub] [-verify] [-evented]
+//	         [-horizon 0] [-gantt] [-ub] [-verify] [-evented]
+//	         [-faults "mtbf=60,crash=0.01"] [-fault-seed 1] [-mtbf 0] [-mttr 0]
+//	         [-crash-rate 0] [-straggler-frac 0] [-straggler-slow 0] [-resilient]
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
 	"dagsched/internal/dag"
+	"dagsched/internal/faults"
 	"dagsched/internal/opt"
 	"dagsched/internal/rational"
 	"dagsched/internal/sim"
@@ -46,8 +49,20 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the full result as JSON instead of the summary")
 		stats    = flag.Bool("stats", false, "print instance statistics before running")
 		evented  = flag.Bool("evented", false, "use the event-driven engine (event-stationary schedulers only)")
+		horizon  = flag.Int64("horizon", 0, "stop the simulation after this many ticks (0 = run to completion)")
+
+		faultSpec = flag.String("faults", "", "fault injection spec, e.g. \"seed=1,mtbf=60,mttr=20,crash=0.01,straggler=0.2,slow=4\"")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-model seed (overrides the spec's seed)")
+		mtbf      = flag.Float64("mtbf", 0, "mean ticks between processor crashes (0 = no crashes)")
+		mttr      = flag.Float64("mttr", 0, "mean ticks to repair a crashed processor (0 = mtbf/10)")
+		crash     = flag.Float64("crash-rate", 0, "per-node-per-tick execution failure probability")
+		stragF    = flag.Float64("straggler-frac", 0, "fraction of processors designated stragglers")
+		stragS    = flag.Float64("straggler-slow", 0, "straggler slowdown factor (≥ 1; 0 = default 4)")
+		resilient = flag.Bool("resilient", false, "use the fault-aware resilient scheduler variant")
 	)
 	flag.Parse()
+
+	fail(validateFlags(*m, *n, *horizon, *load, *eps))
 
 	inst, err := loadInstance(*instPath, *m, *n, *seed, *load, *profSel, *eps)
 	fail(err)
@@ -55,13 +70,20 @@ func main() {
 	speed, err := parseSpeed(*speedStr)
 	fail(err)
 
-	sched, err := makeScheduler(*schedSel, *eps)
+	sched, err := makeScheduler(*schedSel, *eps, *resilient)
 	fail(err)
 
 	pol, err := makePolicy(*polSel, *seed)
 	fail(err)
 
-	simCfg := sim.Config{M: inst.M, Speed: speed, Policy: pol, Record: *gantt || *verify}
+	fcfg, err := buildFaults(*faultSpec, *faultSeed, *mtbf, *mttr, *crash, *stragF, *stragS)
+	fail(err)
+	if fcfg != nil && *verify {
+		fail(fmt.Errorf("-verify is not supported with fault injection: the independent trace checker does not model faults"))
+	}
+
+	simCfg := sim.Config{M: inst.M, Speed: speed, Policy: pol, Record: *gantt || *verify,
+		Horizon: *horizon, Faults: fcfg}
 	var res *sim.Result
 	if *evented {
 		switch *schedSel {
@@ -86,6 +108,14 @@ func main() {
 		fmt.Print(workload.Describe(inst).Table().Render())
 	}
 	fmt.Printf("scheduler  %s  speed %s  policy %s\n", sched.Name(), speed, pol.Name())
+	if res.Faults != nil {
+		fmt.Printf("faults     %s\n", fcfg.String())
+		fmt.Printf("           %d degraded ticks (min capacity %d), %d crashes, %d proc-ticks down, %d dropped, %d straggled\n",
+			res.Faults.DegradedTicks, res.Faults.MinCapacity, res.Faults.CrashEvents,
+			res.Faults.DownProcTicks, res.Faults.DroppedProcTicks, res.Faults.StraggleProcTicks)
+		fmt.Printf("           %d failed node executions, %d work units lost\n",
+			res.Faults.Retries, res.Faults.LostWork)
+	}
 	fmt.Printf("profit     %.2f of %.2f offered (%.1f%%)\n", res.TotalProfit, res.OfferedProfit, 100*res.ProfitFraction())
 	fmt.Printf("completed  %d/%d jobs  (%d expired)\n", res.Completed, len(inst.Jobs), res.Expired)
 	fmt.Printf("machine    %d ticks, utilization %.1f%%\n", res.Ticks, 100*res.Utilization())
@@ -107,6 +137,61 @@ func main() {
 		fmt.Print(trace.Gantt(res.Trace, inst.Jobs, 100))
 		fmt.Print(trace.Utilization(res.Trace, 100))
 	}
+}
+
+// validateFlags rejects nonsensical generator and engine parameters up front
+// with clear errors instead of surfacing them as panics or empty runs.
+func validateFlags(m, n int, horizon int64, load, eps float64) error {
+	if m < 1 {
+		return fmt.Errorf("-m = %d: need at least one processor", m)
+	}
+	if n < 1 {
+		return fmt.Errorf("-n = %d: need at least one job", n)
+	}
+	if horizon < 0 {
+		return fmt.Errorf("-horizon = %d: must be ≥ 0 (0 runs to completion)", horizon)
+	}
+	if load <= 0 {
+		return fmt.Errorf("-load = %g: must be positive", load)
+	}
+	if eps <= 0 {
+		return fmt.Errorf("-eps = %g: must be positive", eps)
+	}
+	return nil
+}
+
+// buildFaults merges the -faults spec with the individual override flags and
+// returns nil when no fault injection was requested.
+func buildFaults(spec string, seed int64, mtbf, mttr, crash, stragF, stragS float64) (*faults.Config, error) {
+	cfg, err := faults.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if mtbf != 0 {
+		cfg.MTBF = mtbf
+	}
+	if mttr != 0 {
+		cfg.MTTR = mttr
+	}
+	if crash != 0 {
+		cfg.CrashRate = crash
+	}
+	if stragF != 0 {
+		cfg.StragglerFrac = stragF
+	}
+	if stragS != 0 {
+		cfg.StragglerSlow = stragS
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	return &cfg, nil
 }
 
 func safeRatio(ub, p float64) float64 {
@@ -175,30 +260,34 @@ func parseSpeed(s string) (rational.Rat, error) {
 	return rational.Rat{}, fmt.Errorf("bad speed %q", s)
 }
 
-func makeScheduler(sel string, eps float64) (sim.Scheduler, error) {
+func makeScheduler(sel string, eps float64, resilient bool) (sim.Scheduler, error) {
 	params, err := core.NewParams(eps)
 	if err != nil {
 		return nil, err
 	}
 	switch sel {
 	case "s":
-		return core.NewSchedulerS(core.Options{Params: params}), nil
+		return core.NewSchedulerS(core.Options{Params: params, Resilient: resilient}), nil
 	case "swc":
-		return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true}), nil
-	case "nc":
-		return core.NewSchedulerNC(core.Options{Params: params}), nil
-	case "gp":
+		return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true, Resilient: resilient}), nil
+	case "nc", "gp":
+		if resilient {
+			return nil, fmt.Errorf("scheduler %q has no resilient variant", sel)
+		}
+		if sel == "nc" {
+			return core.NewSchedulerNC(core.Options{Params: params}), nil
+		}
 		return core.NewSchedulerGP(core.Options{Params: params}), nil
 	case "edf":
-		return &baselines.ListScheduler{Order: baselines.OrderEDF}, nil
+		return &baselines.ListScheduler{Order: baselines.OrderEDF, Resilient: resilient}, nil
 	case "llf":
-		return &baselines.ListScheduler{Order: baselines.OrderLLF}, nil
+		return &baselines.ListScheduler{Order: baselines.OrderLLF, Resilient: resilient}, nil
 	case "fifo":
-		return &baselines.ListScheduler{Order: baselines.OrderFIFO}, nil
+		return &baselines.ListScheduler{Order: baselines.OrderFIFO, Resilient: resilient}, nil
 	case "hdf":
-		return &baselines.ListScheduler{Order: baselines.OrderHDF}, nil
+		return &baselines.ListScheduler{Order: baselines.OrderHDF, Resilient: resilient}, nil
 	case "federated":
-		return &baselines.Federated{}, nil
+		return &baselines.Federated{Resilient: resilient}, nil
 	default:
 		return nil, fmt.Errorf("unknown scheduler %q", sel)
 	}

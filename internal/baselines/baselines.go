@@ -61,8 +61,14 @@ type ListScheduler struct {
 	// or the critical path alone exceeds the time left. Processors go to
 	// the next job instead.
 	AbandonHopeless bool
+	// Resilient makes the scheduler track the capacity announced by fault
+	// injection (sim.CapacityAware) and rank, feasibility-check, and allocate
+	// against it instead of the configured m. Work loss needs no extra state:
+	// ranking re-reads executed work every tick.
+	Resilient bool
 
 	m     int
+	mEff  int // announced capacity (= m unless Resilient under faults)
 	speed float64
 	live  map[int]sim.JobView
 	seq   []int // arrival order
@@ -74,16 +80,31 @@ func (l *ListScheduler) Name() string {
 	if l.AbandonHopeless {
 		n += "+abandon"
 	}
+	if l.Resilient {
+		n += "+res"
+	}
 	return n
 }
 
 // Init implements sim.Scheduler.
 func (l *ListScheduler) Init(env sim.Env) {
 	l.m = env.M
+	l.mEff = env.M
 	l.speed = env.Speed
 	l.live = make(map[int]sim.JobView)
 	l.seq = nil
 }
+
+// OnCapacityChange implements sim.CapacityAware.
+func (l *ListScheduler) OnCapacityChange(t int64, capacity int) {
+	if l.Resilient {
+		l.mEff = capacity
+	}
+}
+
+// OnWorkLost implements sim.CapacityAware: nothing to do — ranking and the
+// hopelessness test re-read executed work from the view every tick.
+func (l *ListScheduler) OnWorkLost(t int64, jobID int, lost int64) {}
 
 // OnArrival implements sim.Scheduler.
 func (l *ListScheduler) OnArrival(t int64, v sim.JobView) {
@@ -103,7 +124,11 @@ func (l *ListScheduler) key(t int64, v sim.JobView, view sim.AssignView) float64
 	case OrderEDF:
 		return float64(v.AbsDeadline())
 	case OrderLLF:
-		remaining := float64(v.W-view.ExecutedWork(v.ID)) / (l.speed * float64(l.m))
+		me := l.mEff
+		if me < 1 {
+			me = 1
+		}
+		remaining := float64(v.W-view.ExecutedWork(v.ID)) / (l.speed * float64(me))
 		return float64(v.AbsDeadline()-t) - remaining
 	case OrderFIFO:
 		return float64(v.Release)
@@ -131,7 +156,7 @@ func (l *ListScheduler) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []
 		if l.AbandonHopeless {
 			left := float64(v.AbsDeadline() - t)
 			remain := float64(v.W - view.ExecutedWork(id))
-			if remain > left*l.speed*float64(l.m) {
+			if remain > left*l.speed*float64(l.mEff) {
 				continue // volume-infeasible
 			}
 			if float64(v.L)/l.speed > left+float64(t-v.Release) {
@@ -146,7 +171,7 @@ func (l *ListScheduler) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []
 		}
 		return order[i].id < order[j].id
 	})
-	free := l.m
+	free := l.mEff
 	for _, r := range order {
 		if free == 0 {
 			break
@@ -163,7 +188,10 @@ func (l *ListScheduler) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []
 	return dst
 }
 
-var _ sim.Scheduler = (*ListScheduler)(nil)
+var (
+	_ sim.Scheduler     = (*ListScheduler)(nil)
+	_ sim.CapacityAware = (*ListScheduler)(nil)
+)
 
 // Federated allocates each admitted job a fixed dedicated share of
 // processors, in the spirit of federated scheduling for parallel real-time
@@ -171,25 +199,66 @@ var _ sim.Scheduler = (*ListScheduler)(nil)
 // dedicated processors; light jobs get one. A job is admitted only if its
 // share is free for its whole window estimate; otherwise it is dropped.
 type Federated struct {
-	m     int
-	speed float64
-	used  int
-	share map[int]int
-	order []int
-	live  map[int]sim.JobView
+	// Resilient makes the allocator honor fault-injection feedback
+	// (sim.CapacityAware): admission budgets against the announced capacity,
+	// a capacity drop evicts the most recently admitted jobs until the
+	// remaining shares fit, and jobs that lose work to execution failures are
+	// released once their share can no longer finish them in time.
+	Resilient bool
+
+	m       int
+	mEff    int // announced capacity (= m unless Resilient under faults)
+	speed   float64
+	used    int
+	share   map[int]int
+	order   []int
+	live    map[int]sim.JobView
+	recheck map[int]bool // jobs with lost work awaiting a feasibility check
 }
 
 // Name implements sim.Scheduler.
-func (f *Federated) Name() string { return "federated" }
+func (f *Federated) Name() string {
+	if f.Resilient {
+		return "federated+res"
+	}
+	return "federated"
+}
 
 // Init implements sim.Scheduler.
 func (f *Federated) Init(env sim.Env) {
 	f.m = env.M
+	f.mEff = env.M
 	f.speed = env.Speed
 	f.used = 0
 	f.share = make(map[int]int)
 	f.live = make(map[int]sim.JobView)
 	f.order = nil
+	f.recheck = nil
+}
+
+// OnCapacityChange implements sim.CapacityAware: when the surviving capacity
+// no longer covers the granted shares, evict the most recently admitted jobs
+// first (they displaced the least prior commitment).
+func (f *Federated) OnCapacityChange(t int64, capacity int) {
+	if !f.Resilient {
+		return
+	}
+	f.mEff = capacity
+	for i := len(f.order) - 1; i >= 0 && f.used > f.mEff; i-- {
+		f.release(f.order[i])
+	}
+}
+
+// OnWorkLost implements sim.CapacityAware: mark the job so the next Assign
+// re-checks whether its dedicated share still finishes it in time.
+func (f *Federated) OnWorkLost(t int64, jobID int, lost int64) {
+	if !f.Resilient {
+		return
+	}
+	if f.recheck == nil {
+		f.recheck = make(map[int]bool)
+	}
+	f.recheck[jobID] = true
 }
 
 // OnArrival implements sim.Scheduler: compute the federated share and admit
@@ -210,7 +279,7 @@ func (f *Federated) OnArrival(t int64, v sim.JobView) {
 			need = 1
 		}
 	}
-	if need > f.m-f.used {
+	if need > f.mEff-f.used {
 		return // dropped: federated admission is all-or-nothing
 	}
 	f.used += need
@@ -234,8 +303,29 @@ func (f *Federated) release(jobID int) {
 }
 
 // Assign implements sim.Scheduler: every admitted job always runs on its
-// dedicated share.
-func (f *Federated) Assign(t int64, _ sim.AssignView, dst []sim.Alloc) []sim.Alloc {
+// dedicated share. In resilient mode, jobs marked by OnWorkLost are first
+// released if the re-executed work cannot fit before the deadline.
+func (f *Federated) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.Alloc {
+	if f.Resilient && len(f.recheck) > 0 {
+		ids := make([]int, 0, len(f.recheck))
+		for id := range f.recheck {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		f.recheck = nil
+		for _, id := range ids {
+			share, ok := f.share[id]
+			if !ok {
+				continue
+			}
+			v := f.live[id]
+			remain := float64(v.W - view.ExecutedWork(id))
+			left := float64(v.AbsDeadline() - t)
+			if remain > left*f.speed*float64(share) {
+				f.release(id)
+			}
+		}
+	}
 	for _, id := range f.order {
 		share, ok := f.share[id]
 		if !ok {
@@ -246,4 +336,7 @@ func (f *Federated) Assign(t int64, _ sim.AssignView, dst []sim.Alloc) []sim.All
 	return dst
 }
 
-var _ sim.Scheduler = (*Federated)(nil)
+var (
+	_ sim.Scheduler     = (*Federated)(nil)
+	_ sim.CapacityAware = (*Federated)(nil)
+)

@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"reflect"
+	"testing"
+
+	"dagsched/internal/faults"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+func resilientJobs(t *testing.T, seed int64) []*sim.Job {
+	t.Helper()
+	in, err := workload.Generate(workload.Config{
+		Seed: seed, N: 30, M: 6, Eps: 1, SlackSpread: 1, Load: 1.3, MaxProfit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Jobs
+}
+
+// Without faults the CapacityAware callbacks never change the effective
+// capacity, so resilient variants must match their plain counterparts.
+func TestResilientBaselinesIdenticalWithoutFaults(t *testing.T) {
+	pairs := []struct {
+		name        string
+		plain, resi sim.Scheduler
+	}{
+		{"edf", &ListScheduler{Order: OrderEDF}, &ListScheduler{Order: OrderEDF, Resilient: true}},
+		{"llf+abandon", &ListScheduler{Order: OrderLLF, AbandonHopeless: true},
+			&ListScheduler{Order: OrderLLF, AbandonHopeless: true, Resilient: true}},
+		{"federated", &Federated{}, &Federated{Resilient: true}},
+	}
+	for _, pc := range pairs {
+		a, err := sim.Run(sim.Config{M: 6}, resilientJobs(t, 1), pc.plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sim.Run(sim.Config{M: 6}, resilientJobs(t, 1), pc.resi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TotalProfit != b.TotalProfit || !reflect.DeepEqual(a.Jobs, b.Jobs) {
+			t.Errorf("%s: resilient variant diverged on a fault-free run", pc.name)
+		}
+	}
+}
+
+// Under a capacity-cutting fault model the resilient federated allocator must
+// shed shares instead of oversubscribing dead processors, and every resilient
+// baseline must remain deterministic.
+func TestResilientBaselinesUnderFaults(t *testing.T) {
+	fc := &faults.Config{Seed: 3, MTBF: 40, MTTR: 20, CrashRate: 0.05}
+	for _, mk := range []func() sim.Scheduler{
+		func() sim.Scheduler { return &ListScheduler{Order: OrderEDF, Resilient: true} },
+		func() sim.Scheduler { return &ListScheduler{Order: OrderLLF, AbandonHopeless: true, Resilient: true} },
+		func() sim.Scheduler { return &Federated{Resilient: true} },
+	} {
+		a, err := sim.Run(sim.Config{M: 6, Faults: fc}, resilientJobs(t, 2), mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sim.Run(sim.Config{M: 6, Faults: fc}, resilientJobs(t, 2), mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: faulty run not deterministic", a.Scheduler)
+		}
+	}
+}

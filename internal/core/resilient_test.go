@@ -1,0 +1,100 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dagsched/internal/faults"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+func resilientWorkload(t *testing.T, seed int64) []*sim.Job {
+	t.Helper()
+	in, err := workload.Generate(workload.Config{
+		Seed: seed, N: 40, M: 8, Eps: 1, SlackSpread: 1, Load: 1.5, MaxProfit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Jobs
+}
+
+// Without fault injection the CapacityAware callbacks never fire beyond the
+// initial capacity, so the resilient scheduler must behave exactly like the
+// plain one.
+func TestResilientIdenticalWithoutFaults(t *testing.T) {
+	plain, err := sim.Run(sim.Config{M: 8}, resilientWorkload(t, 1),
+		NewSchedulerS(Options{Params: MustParams(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{M: 8}, resilientWorkload(t, 1),
+		NewSchedulerS(Options{Params: MustParams(1), Resilient: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalProfit != res.TotalProfit || plain.Completed != res.Completed ||
+		plain.BusyProcTicks != res.BusyProcTicks || plain.Ticks != res.Ticks {
+		t.Errorf("resilient diverged on a fault-free run: profit %v vs %v, completed %d vs %d",
+			plain.TotalProfit, res.TotalProfit, plain.Completed, res.Completed)
+	}
+	if !reflect.DeepEqual(plain.Jobs, res.Jobs) {
+		t.Error("per-job stats diverged on a fault-free run")
+	}
+}
+
+// Acceptance criterion of the fault-injection work: on at least one faulty
+// scenario, resilient S strictly beats plain S in completed profit. The
+// scenario space below is fixed, so this is deterministic.
+func TestResilientBeatsPlainUnderFaults(t *testing.T) {
+	fc := faults.Config{MTBF: 60, MTTR: 25, CrashRate: 0.02, StragglerFrac: 0.2, StragglerSlow: 2}
+	wins, losses := 0, 0
+	for wseed := int64(1); wseed <= 3; wseed++ {
+		for fseed := int64(1); fseed <= 3; fseed++ {
+			f := fc
+			f.Seed = fseed
+			cfg := sim.Config{M: 8, Faults: &f}
+			plain, err := sim.Run(cfg, resilientWorkload(t, wseed),
+				NewSchedulerS(Options{Params: MustParams(1)}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(cfg, resilientWorkload(t, wseed),
+				NewSchedulerS(Options{Params: MustParams(1), Resilient: true}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case res.TotalProfit > plain.TotalProfit:
+				wins++
+			case res.TotalProfit < plain.TotalProfit:
+				losses++
+			}
+			t.Logf("wseed=%d fseed=%d: plain %.1f, resilient %.1f",
+				wseed, fseed, plain.TotalProfit, res.TotalProfit)
+		}
+	}
+	if wins == 0 {
+		t.Fatalf("resilient S never strictly beat plain S (losses: %d)", losses)
+	}
+}
+
+// Under faults the resilient run must stay deterministic: same seeds, same
+// result.
+func TestResilientDeterministicUnderFaults(t *testing.T) {
+	cfg := sim.Config{M: 8, Faults: &faults.Config{Seed: 2, MTBF: 60, MTTR: 25, CrashRate: 0.02}}
+	a, err := sim.Run(cfg, resilientWorkload(t, 2),
+		NewSchedulerS(Options{Params: MustParams(1), Resilient: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(cfg, resilientWorkload(t, 2),
+		NewSchedulerS(Options{Params: MustParams(1), Resilient: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("resilient faulty run not deterministic")
+	}
+}

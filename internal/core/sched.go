@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dagsched/internal/queue"
 	"dagsched/internal/sim"
@@ -69,6 +70,16 @@ type Options struct {
 	// constant-value segment. Exact on any profit family; Θ(horizon²) worst
 	// case on continuously-decaying profits.
 	ExactSearch bool
+	// Resilient makes S react to fault-injection feedback (sim.CapacityAware).
+	// Planning (allotments, admission) stays against the nominal m — crashes
+	// are transient, so a job's lifetime-average capacity is still ≈ m — but
+	// each tick's allocation budget follows the announced capacity and is
+	// re-partitioned (partial grants) while degraded, jobs whose lost work
+	// provably cannot be re-executed before their deadline are expired from Q
+	// early with their band refilled from P, and capacity recoveries trigger
+	// re-admission from P. Without faults the callbacks never fire beyond the
+	// initial capacity, so behavior is identical to the plain scheduler.
+	Resilient bool
 }
 
 // jobInfo is S's per-job bookkeeping, computed once on arrival (Remark in
@@ -99,6 +110,9 @@ type SchedulerS struct {
 
 	started   int     // |R|: jobs ever admitted to Q
 	startedPr float64 // ||R||: their total profit
+
+	mEff int          // announced capacity (= m unless Resilient under faults)
+	lost map[int]bool // jobs with discarded work awaiting a slack re-check
 }
 
 // NewSchedulerS returns a configured scheduler S. It panics on invalid
@@ -122,6 +136,9 @@ func (s *SchedulerS) Name() string {
 	if s.opts.WorkConserving {
 		n += "+wc"
 	}
+	if s.opts.Resilient {
+		n += "+res"
+	}
 	return n
 }
 
@@ -135,6 +152,8 @@ func (s *SchedulerS) Init(env sim.Env) {
 	s.info = make(map[int]*jobInfo)
 	s.started = 0
 	s.startedPr = 0
+	s.mEff = env.M
+	s.lost = nil
 }
 
 // Started returns |R| and ||R||: how many jobs S ever admitted to Q and
@@ -300,14 +319,17 @@ func (s *SchedulerS) OnExpire(t int64, jobID int) {
 }
 
 // OnCompletion implements sim.Scheduler: free the finished job's band, then
-// scan P from highest to lowest density, admitting every job that is δ-fresh
-// and passes condition (2). Jobs past their deadline are discarded.
+// refill Q from P. The completion takes effect for the next tick.
 func (s *SchedulerS) OnCompletion(t int64, jobID int) {
 	s.dropFromQ(jobID)
 	delete(s.info, jobID)
+	s.admitFromP(t + 1)
+}
 
-	// The completion takes effect for the next tick.
-	now := t + 1
+// admitFromP scans P from highest to lowest density, admitting every job
+// that is δ-fresh and passes condition (2) at time now. Jobs past their
+// deadline are discarded.
+func (s *SchedulerS) admitFromP(now int64) {
 	par := s.opts.Params
 	var admitted, stale []int
 	s.p.ForEach(func(it queue.Item) bool {
@@ -335,12 +357,83 @@ func (s *SchedulerS) OnCompletion(t int64, jobID int) {
 	}
 }
 
+// OnCapacityChange implements sim.CapacityAware. Under Options.Resilient the
+// announced capacity becomes the next ticks' allocation budget; a recovery
+// additionally re-opens admission from P, which only happens on completions
+// otherwise.
+func (s *SchedulerS) OnCapacityChange(t int64, capacity int) {
+	if !s.opts.Resilient {
+		return
+	}
+	grew := capacity > s.mEff
+	s.mEff = capacity
+	if grew {
+		s.admitFromP(t)
+	}
+}
+
+// OnWorkLost implements sim.CapacityAware. Under Options.Resilient the job is
+// marked for a slack re-check at the next Assign: if the re-executed work no
+// longer fits before the deadline even at full allotment, the job is expired
+// from Q early and its band refilled from P.
+func (s *SchedulerS) OnWorkLost(t int64, jobID int, lost int64) {
+	if !s.opts.Resilient {
+		return
+	}
+	if s.lost == nil {
+		s.lost = make(map[int]bool)
+	}
+	s.lost[jobID] = true
+}
+
+// recheckLost expires marked jobs whose remaining work provably cannot finish
+// by the deadline on their planned allotment, then refills Q from P if
+// anything was dropped. Resilient mode only.
+func (s *SchedulerS) recheckLost(t int64, view sim.AssignView) {
+	if len(s.lost) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(s.lost))
+	for id := range s.lost {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s.lost = nil
+	dropped := false
+	for _, id := range ids {
+		info, ok := s.info[id]
+		if !ok {
+			continue
+		}
+		if _, inQ := s.q.Get(id); !inQ {
+			continue
+		}
+		// Provable hopelessness only: even running the full planned allotment
+		// every remaining tick (capacity may recover), the re-executed work
+		// cannot fit before the deadline. Clamping to the momentary capacity
+		// here would expire jobs a short outage merely delays.
+		remain := float64(info.view.W - view.ExecutedWork(id))
+		left := float64(info.view.AbsDeadline() - t)
+		if remain > left*s.speed*float64(info.alloc) {
+			s.dropFromQ(id)
+			delete(s.info, id)
+			dropped = true
+		}
+	}
+	if dropped {
+		s.admitFromP(t)
+	}
+}
+
 // Assign implements sim.Scheduler: walk Q from highest to lowest density,
 // granting each job its full allotment when enough processors remain;
 // otherwise skip it and continue. With Options.WorkConserving, leftover
 // processors are then topped up onto admitted jobs in density order.
 func (s *SchedulerS) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.Alloc {
-	free := s.m
+	if s.opts.Resilient {
+		s.recheckLost(t, view)
+	}
+	free := s.mEff
 	base := len(dst)
 	var expired []int
 	s.q.ForEach(func(it queue.Item) bool {
@@ -349,9 +442,17 @@ func (s *SchedulerS) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim
 			expired = append(expired, it.ID)
 			return true
 		}
-		if free >= info.alloc {
-			dst = append(dst, sim.Alloc{JobID: it.ID, Procs: info.alloc})
-			free -= info.alloc
+		// While degraded, re-partition: grant what is left rather than letting
+		// jobs starve behind an all-or-nothing check sized for lost capacity.
+		// At full capacity this never triggers, so the fault-free schedule is
+		// untouched.
+		a := info.alloc
+		if s.opts.Resilient && s.mEff < s.m && a > free {
+			a = free
+		}
+		if a > 0 && free >= a {
+			dst = append(dst, sim.Alloc{JobID: it.ID, Procs: a})
+			free -= a
 		}
 		return free > 0 || s.opts.WorkConserving
 	})
@@ -435,4 +536,7 @@ func (s *SchedulerS) CheckInvariants() error {
 // QueueSizes returns |Q| and |P| for diagnostics.
 func (s *SchedulerS) QueueSizes() (q, p int) { return s.q.Len(), s.p.Len() }
 
-var _ sim.Scheduler = (*SchedulerS)(nil)
+var (
+	_ sim.Scheduler     = (*SchedulerS)(nil)
+	_ sim.CapacityAware = (*SchedulerS)(nil)
+)

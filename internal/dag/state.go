@@ -111,6 +111,26 @@ func (s *State) Apply(v NodeID, units int64) int64 {
 	return consumed
 }
 
+// ResetNode discards all accumulated progress on an incomplete node,
+// restoring its full work, and returns the work units discarded. The fault
+// injector uses it to model execution failures that force re-execution.
+// Only ready nodes can hold partial progress (work lands exclusively on
+// ready nodes and a finished node leaves the ready set), so ResetNode
+// panics on a completed node: that indicates an engine bug.
+func (s *State) ResetNode(v NodeID) int64 {
+	if s.readyPos[v] < 0 {
+		panic(fmt.Sprintf("dag: ResetNode on non-ready node %d", v))
+	}
+	done := s.g.work[v] - s.remaining[v]
+	if done == 0 {
+		return 0
+	}
+	s.remaining[v] = s.g.work[v]
+	s.executedWork -= done
+	s.downDirty = true
+	return done
+}
+
 // RemainingSpan returns the remaining critical-path length: the longest
 // chain of unprocessed work through incomplete nodes. For an untouched job
 // this equals Span(); for a done job it is zero.

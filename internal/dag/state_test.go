@@ -112,6 +112,41 @@ func TestStateApplyPanicsOnZeroUnits(t *testing.T) {
 	s.Apply(0, 0)
 }
 
+func TestResetNodeDiscardsPartialWork(t *testing.T) {
+	g := Chain(2, 3)
+	s := NewState(g)
+	if got := s.ResetNode(0); got != 0 {
+		t.Errorf("reset of untouched node discarded %d units", got)
+	}
+	s.Apply(0, 2)
+	if got := s.ResetNode(0); got != 2 {
+		t.Errorf("ResetNode discarded %d units, want 2", got)
+	}
+	if s.Remaining(0) != 3 || s.ExecutedWork() != 0 {
+		t.Errorf("after reset: remaining=%d executed=%d", s.Remaining(0), s.ExecutedWork())
+	}
+	if s.RemainingWork() != g.TotalWork() || s.RemainingSpan() != g.Span() {
+		t.Errorf("reset state disagrees with fresh state: work=%d span=%d", s.RemainingWork(), s.RemainingSpan())
+	}
+	// The node must still execute to completion after the reset.
+	s.Apply(0, 3)
+	if s.IsReady(0) || !s.IsReady(1) {
+		t.Error("chain did not unfold after reset and re-execution")
+	}
+}
+
+func TestResetNodePanicsOnNonReady(t *testing.T) {
+	g := Chain(2, 1)
+	s := NewState(g)
+	s.Apply(0, 1) // complete node 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResetNode on completed node did not panic")
+		}
+	}()
+	s.ResetNode(0)
+}
+
 func TestRemainingSpanDecreasesWithCriticalWork(t *testing.T) {
 	g := Chain(4, 1)
 	s := NewState(g)

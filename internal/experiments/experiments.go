@@ -72,6 +72,7 @@ func All() []Experiment {
 		{ID: "HPCW", Title: "HPC kernel workloads: Cholesky/wavefront/FFT/reduction mixes", Run: RunHPCW},
 		{ID: "MINE", Title: "Adversary miner: hill-climbed competitive ratios per scheduler", Run: RunMINE},
 		{ID: "RT", Title: "Real-time bridge: schedulability tests vs simulated deadlines", Run: RunRT},
+		{ID: "FAULTS", Title: "Fault injection: degradation curves and resilient variants", Run: RunFAULTS},
 	}
 }
 

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/faults"
+	"dagsched/internal/metrics"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// faultLevel is one point of the degradation curve.
+type faultLevel struct {
+	name string
+	cfg  *faults.Config // nil = fault-free
+}
+
+// faultLevels are the injection intensities of the degradation curve. Rates
+// are per-tick (crash) and per-processor (MTBF/straggler); Seed is filled per
+// trial.
+func faultLevels() []faultLevel {
+	return []faultLevel{
+		{"none", nil},
+		{"light", &faults.Config{MTBF: 120, MTTR: 15, CrashRate: 0.005, StragglerFrac: 0.1, StragglerSlow: 2}},
+		{"medium", &faults.Config{MTBF: 60, MTTR: 20, CrashRate: 0.02, StragglerFrac: 0.2, StragglerSlow: 3}},
+		{"heavy", &faults.Config{MTBF: 30, MTTR: 15, CrashRate: 0.05, StragglerFrac: 0.3, StragglerSlow: 4}},
+	}
+}
+
+// faultsRoster pairs each scheduler with its resilient variant where one
+// exists.
+func faultsRoster() []func() sim.Scheduler {
+	return []func() sim.Scheduler{
+		func() sim.Scheduler { return freshS(1) },
+		func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: core.MustParams(1), Resilient: true})
+		},
+		func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderEDF, AbandonHopeless: true}
+		},
+		func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderEDF, AbandonHopeless: true, Resilient: true}
+		},
+		func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} },
+		func() sim.Scheduler { return &baselines.Federated{} },
+		func() sim.Scheduler { return &baselines.Federated{Resilient: true} },
+	}
+}
+
+// RunFAULTS measures throughput degradation under deterministic fault
+// injection: processor crash/repair cycles, per-node execution failures, and
+// stragglers, at increasing intensity. Finding: absolute profit falls for
+// every scheduler as faults intensify (the engine discards work and capacity),
+// while the CapacityAware resilient variants recover part of the loss —
+// re-partitioning allocations to the surviving processors, expiring jobs
+// whose lost work cannot be re-executed in time, and re-admitting on
+// recovery. The fault-free row doubles as a regression anchor: variants must
+// match their plain counterparts exactly there.
+func RunFAULTS(cfg Config) ([]*metrics.Table, error) {
+	roster := faultsRoster()
+	names := make([]string, 0, len(roster))
+	for _, mk := range roster {
+		names = append(names, mk().Name())
+	}
+	levels := faultLevels()
+
+	profitTb := metrics.NewTable("FAULTS: profit/UB by fault level (m=8, load 1.5, eps_D = 1)",
+		append([]string{"faults", "UB"}, names...)...)
+	statsTb := metrics.NewTable("FAULTS: injected-fault accounting per run (means over seeds, resilient S)",
+		"faults", "degraded ticks", "crash events", "down proc-ticks", "straggle proc-ticks", "retries", "lost work")
+
+	for _, lv := range levels {
+		series := make([]metrics.Series, len(roster))
+		var ub metrics.Series
+		var degraded, crashes, down, straggle, retries, lost metrics.Series
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(4200 + seed), N: cfg.jobs(), M: 8,
+				Eps: 1, SlackSpread: 0.5, Load: 1.5, Scale: 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			bound := upperBound(inst)
+			if bound == 0 {
+				continue
+			}
+			ub.Add(bound)
+			var fc *faults.Config
+			if lv.cfg != nil {
+				c := *lv.cfg
+				c.Seed = int64(seed) + 1
+				fc = &c
+			}
+			for i, mk := range roster {
+				res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One(), Faults: fc}, inst.Jobs, mk())
+				if err != nil {
+					return nil, err
+				}
+				series[i].Add(res.TotalProfit / bound)
+				// Fault accounting from the resilient-S runs (index 1).
+				if i == 1 && res.Faults != nil {
+					degraded.Add(float64(res.Faults.DegradedTicks))
+					crashes.Add(float64(res.Faults.CrashEvents))
+					down.Add(float64(res.Faults.DownProcTicks))
+					straggle.Add(float64(res.Faults.StraggleProcTicks))
+					retries.Add(float64(res.Faults.Retries))
+					lost.Add(float64(res.Faults.LostWork))
+				}
+			}
+		}
+		row := []any{lv.name, ub.Mean()}
+		for i := range series {
+			row = append(row, series[i].Mean())
+		}
+		profitTb.AddRow(row...)
+		if lv.cfg != nil {
+			statsTb.AddRow(lv.name, degraded.Mean(), crashes.Mean(), down.Mean(),
+				straggle.Mean(), retries.Mean(), lost.Mean())
+		}
+	}
+	return []*metrics.Table{profitTb, statsTb}, nil
+}

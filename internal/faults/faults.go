@@ -1,0 +1,236 @@
+// Package faults is the deterministic fault-injection model for the
+// simulation engine. It realizes three failure families on top of the
+// paper's m-identical-processor machine:
+//
+//   - processor crashes: each processor alternates up/down periods drawn
+//     from a per-processor renewal process (mean up time MTBF, mean repair
+//     time MTTR), so the machine's effective capacity varies per tick;
+//   - stragglers: a fixed fraction of processors is designated slow and
+//     makes progress only on a 1/StragglerSlow fraction of ticks;
+//   - execution failures: any node execution attempt can fail with
+//     probability CrashRate, discarding all accumulated progress on that
+//     node and forcing re-execution.
+//
+// Everything is a deterministic function of (Seed, tick, entity): the
+// per-tick draws use counter-based hashing (splitmix64) instead of a shared
+// sequential RNG stream, and the crash timelines depend only on (Seed,
+// processor). Faults therefore do not depend on scheduler decisions, the
+// same seed and config reproduce the same fault pattern on every run, and a
+// recorded trace replays through the engine bit-identically.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config parameterizes the fault model. The zero value injects no faults.
+type Config struct {
+	// Seed drives every random draw in the model.
+	Seed int64
+	// MTBF is the mean number of ticks a processor stays up between
+	// crashes; 0 disables processor crashes.
+	MTBF float64
+	// MTTR is the mean number of ticks a crashed processor needs to
+	// recover. 0 with MTBF > 0 defaults to max(1, MTBF/10).
+	MTTR float64
+	// CrashRate is the per-tick probability that one node's execution
+	// attempt fails, discarding the node's accumulated work.
+	CrashRate float64
+	// StragglerFrac is the fraction of processors designated stragglers.
+	StragglerFrac float64
+	// StragglerSlow is the straggler slowdown factor: a straggler makes
+	// progress on only a 1/StragglerSlow fraction of its ticks. 0 with
+	// StragglerFrac > 0 defaults to 4.
+	StragglerSlow float64
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.MTBF > 0 || c.CrashRate > 0 || c.StragglerFrac > 0
+}
+
+// Validate checks the config ranges.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"mtbf", c.MTBF}, {"mttr", c.MTTR}, {"crash", c.CrashRate},
+		{"straggler", c.StragglerFrac}, {"slow", c.StragglerSlow},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("faults: %s = %v out of range", f.name, f.v)
+		}
+	}
+	if c.CrashRate > 1 {
+		return fmt.Errorf("faults: crash rate %v > 1", c.CrashRate)
+	}
+	if c.StragglerFrac > 1 {
+		return fmt.Errorf("faults: straggler fraction %v > 1", c.StragglerFrac)
+	}
+	if c.StragglerSlow != 0 && c.StragglerSlow < 1 {
+		return fmt.Errorf("faults: straggler slowdown %v < 1", c.StragglerSlow)
+	}
+	if c.MTTR > 0 && c.MTBF == 0 {
+		return fmt.Errorf("faults: mttr set without mtbf")
+	}
+	return nil
+}
+
+// String renders the config in the ParseSpec format.
+func (c Config) String() string {
+	return fmt.Sprintf("seed=%d,mtbf=%g,mttr=%g,crash=%g,straggler=%g,slow=%g",
+		c.Seed, c.MTBF, c.MTTR, c.CrashRate, c.StragglerFrac, c.StragglerSlow)
+}
+
+// Hash tags separating the model's independent draw families.
+const (
+	tagStragglerPick = 0x51a66e01
+	tagStragglerTick = 0x51a66e02
+	tagExecFail      = 0xc4a54e03
+	tagProcTimeline  = 0x9c0e7a04
+)
+
+// Model answers fault queries for one machine. A Model is not safe for
+// concurrent use (the crash timelines extend lazily), matching the engine's
+// single-goroutine execution model.
+type Model struct {
+	cfg       Config
+	m         int
+	mttr      float64
+	slow      float64
+	straggler []bool
+	procs     []procTimeline
+}
+
+// NewModel builds a model for an m-processor machine.
+func NewModel(cfg Config, m int) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("faults: m = %d, need ≥ 1", m)
+	}
+	md := &Model{cfg: cfg, m: m, mttr: cfg.MTTR, slow: cfg.StragglerSlow}
+	if md.mttr == 0 && cfg.MTBF > 0 {
+		md.mttr = math.Max(1, cfg.MTBF/10)
+	}
+	if md.slow == 0 && cfg.StragglerFrac > 0 {
+		md.slow = 4
+	}
+	md.straggler = make([]bool, m)
+	for p := 0; p < m; p++ {
+		md.straggler[p] = hash01(cfg.Seed, tagStragglerPick, int64(p), 0, 0) < cfg.StragglerFrac
+	}
+	md.procs = make([]procTimeline, m)
+	return md, nil
+}
+
+// Config returns the validated configuration the model was built from.
+func (md *Model) Config() Config { return md.cfg }
+
+// M returns the machine size the model was built for.
+func (md *Model) M() int { return md.m }
+
+// Up reports whether processor p is operational at tick t.
+func (md *Model) Up(t int64, p int) bool {
+	if md.cfg.MTBF == 0 {
+		return true
+	}
+	return md.procs[p].up(t, md.cfg.Seed, int64(p), md.cfg.MTBF, md.mttr)
+}
+
+// UpProcs appends the ids of operational processors at tick t to dst in
+// ascending order and returns it.
+func (md *Model) UpProcs(t int64, dst []int) []int {
+	for p := 0; p < md.m; p++ {
+		if md.Up(t, p) {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// Capacity returns the number of operational processors at tick t.
+func (md *Model) Capacity(t int64) int {
+	if md.cfg.MTBF == 0 {
+		return md.m
+	}
+	n := 0
+	for p := 0; p < md.m; p++ {
+		if md.Up(t, p) {
+			n++
+		}
+	}
+	return n
+}
+
+// IsStraggler reports whether processor p is designated a straggler.
+func (md *Model) IsStraggler(p int) bool { return md.straggler[p] }
+
+// Straggling reports whether processor p makes no progress at tick t.
+// Non-stragglers always progress; stragglers progress on a 1/StragglerSlow
+// fraction of their ticks.
+func (md *Model) Straggling(t int64, p int) bool {
+	if !md.straggler[p] {
+		return false
+	}
+	return hash01(md.cfg.Seed, tagStragglerTick, t, int64(p), 0) >= 1/md.slow
+}
+
+// NodeFails reports whether the execution of the given node of the given
+// job fails at tick t, discarding the node's accumulated work.
+func (md *Model) NodeFails(t int64, jobID, node int) bool {
+	if md.cfg.CrashRate == 0 {
+		return false
+	}
+	return hash01(md.cfg.Seed, tagExecFail, t, int64(jobID), int64(node)) < md.cfg.CrashRate
+}
+
+// procTimeline is one processor's lazily generated crash/repair schedule:
+// alternating up/down intervals from a renewal process. Down intervals are
+// stored as half-open [start, end) pairs in increasing order.
+type procTimeline struct {
+	rng   *rand.Rand
+	until int64      // schedule generated for all ticks < until
+	downs [][2]int64 // generated down intervals
+}
+
+// up extends the timeline to cover t and reports whether the processor is
+// operational then.
+func (pt *procTimeline) up(t int64, seed, proc int64, mtbf, mttr float64) bool {
+	if pt.rng == nil {
+		pt.rng = rand.New(rand.NewSource(int64(mix64(mix64(uint64(seed)^tagProcTimeline) ^ uint64(proc)))))
+	}
+	for pt.until <= t {
+		upFor := 1 + int64(pt.rng.ExpFloat64()*mtbf)
+		downFor := 1 + int64(pt.rng.ExpFloat64()*mttr)
+		start := pt.until + upFor
+		pt.downs = append(pt.downs, [2]int64{start, start + downFor})
+		pt.until = start + downFor
+	}
+	i := sort.Search(len(pt.downs), func(i int) bool { return pt.downs[i][1] > t })
+	return i >= len(pt.downs) || t < pt.downs[i][0]
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash01 maps (seed, tag, a, b, c) to a uniform float in [0, 1). This is
+// the model's counter-based RNG: draws are pure functions of their inputs,
+// so query order and scheduler behavior cannot perturb them.
+func hash01(seed int64, tag uint64, a, b, c int64) float64 {
+	h := mix64(uint64(seed) ^ tag)
+	h = mix64(h ^ uint64(a))
+	h = mix64(h ^ uint64(b))
+	h = mix64(h ^ uint64(c))
+	return float64(h>>11) / float64(1<<53)
+}

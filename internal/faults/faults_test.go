@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func mustModel(t *testing.T, cfg Config, m int) *Model {
+	t.Helper()
+	md, err := NewModel(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	md := mustModel(t, Config{Seed: 9}, 8)
+	if md.Config().Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	for tk := int64(0); tk < 200; tk++ {
+		if md.Capacity(tk) != 8 {
+			t.Fatalf("capacity %d at t=%d without crashes", md.Capacity(tk), tk)
+		}
+		for p := 0; p < 8; p++ {
+			if !md.Up(tk, p) || md.Straggling(tk, p) || md.NodeFails(tk, 1, p) {
+				t.Fatalf("fault injected by zero config at t=%d p=%d", tk, p)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{MTBF: -1},
+		{CrashRate: 1.5},
+		{CrashRate: math.NaN()},
+		{StragglerFrac: 2},
+		{StragglerFrac: 0.5, StragglerSlow: 0.5},
+		{MTTR: 5}, // mttr without mtbf
+		{MTBF: math.Inf(1)},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+	if err := (Config{Seed: 1, MTBF: 100, MTTR: 10, CrashRate: 0.1, StragglerFrac: 0.25, StragglerSlow: 2}).Validate(); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}
+
+func TestNewModelRejectsBadMachine(t *testing.T) {
+	if _, err := NewModel(Config{}, 0); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := NewModel(Config{MTBF: -1}, 4); err == nil {
+		t.Error("accepted invalid config")
+	}
+}
+
+// Draws must be pure functions of (seed, tick, entity): two models with the
+// same config agree on every query, regardless of query order.
+func TestModelDeterministicAcrossInstancesAndOrder(t *testing.T) {
+	cfg := Config{Seed: 42, MTBF: 50, MTTR: 8, CrashRate: 0.1, StragglerFrac: 0.5, StragglerSlow: 3}
+	a := mustModel(t, cfg, 6)
+	b := mustModel(t, cfg, 6)
+	// Query b backwards first to exercise the lazy timelines out of order.
+	for tk := int64(299); tk >= 0; tk-- {
+		b.Capacity(tk)
+	}
+	for tk := int64(0); tk < 300; tk++ {
+		for p := 0; p < 6; p++ {
+			if a.Up(tk, p) != b.Up(tk, p) {
+				t.Fatalf("Up(%d, %d) disagrees", tk, p)
+			}
+			if a.Straggling(tk, p) != b.Straggling(tk, p) {
+				t.Fatalf("Straggling(%d, %d) disagrees", tk, p)
+			}
+		}
+		if a.NodeFails(tk, 3, 7) != b.NodeFails(tk, 3, 7) {
+			t.Fatalf("NodeFails(%d) disagrees", tk)
+		}
+	}
+}
+
+func TestCrashTimelineAlternates(t *testing.T) {
+	md := mustModel(t, Config{Seed: 1, MTBF: 20, MTTR: 5}, 4)
+	downSeen, upSeen := false, false
+	for tk := int64(0); tk < 2000; tk++ {
+		c := md.Capacity(tk)
+		if c < 0 || c > 4 {
+			t.Fatalf("capacity %d outside [0, 4]", c)
+		}
+		if c < 4 {
+			downSeen = true
+		}
+		if c > 0 {
+			upSeen = true
+		}
+	}
+	if !downSeen || !upSeen {
+		t.Errorf("timeline never alternated: down=%v up=%v", downSeen, upSeen)
+	}
+	// UpProcs must agree with Up and be ascending.
+	for tk := int64(0); tk < 100; tk++ {
+		ids := md.UpProcs(tk, nil)
+		if len(ids) != md.Capacity(tk) {
+			t.Fatalf("UpProcs/Capacity mismatch at t=%d", tk)
+		}
+		for i, p := range ids {
+			if !md.Up(tk, p) {
+				t.Fatalf("UpProcs lists down proc %d at t=%d", p, tk)
+			}
+			if i > 0 && ids[i-1] >= p {
+				t.Fatalf("UpProcs not ascending at t=%d: %v", tk, ids)
+			}
+		}
+	}
+}
+
+func TestStragglerDesignationAndRate(t *testing.T) {
+	md := mustModel(t, Config{Seed: 7, StragglerFrac: 1, StragglerSlow: 4}, 8)
+	slowTicks := 0
+	const horizon = 4000
+	for p := 0; p < 8; p++ {
+		if !md.IsStraggler(p) {
+			t.Fatalf("frac=1 but proc %d not a straggler", p)
+		}
+	}
+	for tk := int64(0); tk < horizon; tk++ {
+		if md.Straggling(tk, 0) {
+			slowTicks++
+		}
+	}
+	// Expect ≈ 3/4 of ticks stalled; allow generous slack.
+	frac := float64(slowTicks) / horizon
+	if frac < 0.65 || frac > 0.85 {
+		t.Errorf("straggler stalled %.2f of ticks, want ≈ 0.75", frac)
+	}
+	none := mustModel(t, Config{Seed: 7}, 8)
+	for p := 0; p < 8; p++ {
+		if none.IsStraggler(p) {
+			t.Errorf("frac=0 designated straggler %d", p)
+		}
+	}
+}
+
+func TestNodeFailRateRoughlyMatches(t *testing.T) {
+	md := mustModel(t, Config{Seed: 3, CrashRate: 0.2}, 4)
+	fails := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if md.NodeFails(int64(i), i%17, i%5) {
+			fails++
+		}
+	}
+	frac := float64(fails) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Errorf("failure rate %.3f, want ≈ 0.2", frac)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := mustModel(t, Config{Seed: 1, MTBF: 30, MTTR: 10, CrashRate: 0.1}, 8)
+	b := mustModel(t, Config{Seed: 2, MTBF: 30, MTTR: 10, CrashRate: 0.1}, 8)
+	same := true
+	for tk := int64(0); tk < 500 && same; tk++ {
+		if a.Capacity(tk) != b.Capacity(tk) || a.NodeFails(tk, 1, 1) != b.NodeFails(tk, 1, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical fault patterns over 500 ticks")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := "seed=7, mtbf=200, mttr=20, crash=0.01, straggler=0.25, slow=4"
+	c, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, MTBF: 200, MTTR: 20, CrashRate: 0.01, StragglerFrac: 0.25, StragglerSlow: 4}
+	if c != want {
+		t.Fatalf("parsed %+v, want %+v", c, want)
+	}
+	again, err := ParseSpec(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != c {
+		t.Fatalf("round trip changed config: %+v vs %+v", again, c)
+	}
+	if empty, err := ParseSpec(""); err != nil || empty != (Config{}) {
+		t.Errorf("empty spec: %+v, %v", empty, err)
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"mtbf",                   // no value
+		"mtbf=x",                 // bad float
+		"seed=1.5",               // non-integer seed
+		"bogus=1",                // unknown key
+		"crash=2",                // out of range
+		"mttr=5",                 // mttr without mtbf
+		"straggler=0.5,slow=0.2", // slowdown < 1
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec: arbitrary specs must never panic; accepted specs must
+// validate, round-trip through String, and build a working model.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("seed=7,mtbf=200,mttr=20,crash=0.01,straggler=0.25,slow=4")
+	f.Add("")
+	f.Add("mtbf=1e9")
+	f.Add("crash=1,slow=1,straggler=1")
+	f.Add("seed=-1,mtbf=0.5")
+	f.Add("seed==,,=")
+	f.Add("mtbf=NaN")
+	f.Add("mtbf=Inf")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted invalid config %+v: %v", c, err)
+		}
+		again, err := ParseSpec(c.String())
+		if err != nil {
+			t.Fatalf("String() of accepted config does not re-parse: %q: %v", c.String(), err)
+		}
+		if again != c {
+			t.Fatalf("round trip changed config: %+v vs %+v", again, c)
+		}
+		md, err := NewModel(c, 4)
+		if err != nil {
+			t.Fatalf("accepted config rejected by NewModel: %v", err)
+		}
+		// The model must answer basic queries without panicking and within
+		// bounds for a few ticks.
+		for tk := int64(0); tk < 8; tk++ {
+			if cap := md.Capacity(tk); cap < 0 || cap > 4 {
+				t.Fatalf("capacity %d outside [0, 4]", cap)
+			}
+		}
+	})
+}
+
+// FuzzModelDeterminism: for arbitrary parameters, two independently built
+// models must agree on every query, and repeated queries must be stable.
+func FuzzModelDeterminism(f *testing.F) {
+	f.Add(int64(1), 50.0, 5.0, 0.1, 0.5, 2.0, int64(100), 3, 7)
+	f.Add(int64(-9), 0.0, 0.0, 1.0, 1.0, 1.0, int64(0), 0, 0)
+	f.Add(int64(1<<40), 1e6, 1e3, 0.001, 0.01, 16.0, int64(1e6), 11, 13)
+	f.Fuzz(func(t *testing.T, seed int64, mtbf, mttr, crash, frac, slow float64, tick int64, job, node int) {
+		cfg := Config{Seed: seed, MTBF: mtbf, MTTR: mttr, CrashRate: crash, StragglerFrac: frac, StragglerSlow: slow}
+		if cfg.Validate() != nil {
+			return
+		}
+		if tick < 0 {
+			tick = -tick
+		}
+		if tick > 1<<20 {
+			tick %= 1 << 20 // keep lazy timelines cheap
+		}
+		const m = 5
+		a, err := NewModel(cfg, m)
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		b, err := NewModel(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < m; p++ {
+			if a.Up(tick, p) != b.Up(tick, p) {
+				t.Fatalf("Up(%d, %d) nondeterministic", tick, p)
+			}
+			if a.Up(tick, p) != a.Up(tick, p) {
+				t.Fatalf("Up(%d, %d) unstable on repeat", tick, p)
+			}
+			if a.Straggling(tick, p) != b.Straggling(tick, p) {
+				t.Fatalf("Straggling(%d, %d) nondeterministic", tick, p)
+			}
+			if a.Straggling(tick, p) && !a.IsStraggler(p) {
+				t.Fatalf("non-straggler %d straggled", p)
+			}
+		}
+		if a.NodeFails(tick, job, node) != b.NodeFails(tick, job, node) {
+			t.Fatalf("NodeFails(%d, %d, %d) nondeterministic", tick, job, node)
+		}
+		cap := a.Capacity(tick)
+		if cap < 0 || cap > m {
+			t.Fatalf("capacity %d outside [0, %d]", cap, m)
+		}
+		if got := len(a.UpProcs(tick, nil)); got != cap {
+			t.Fatalf("UpProcs len %d != capacity %d", got, cap)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a compact fault specification of the form
+//
+//	seed=7,mtbf=200,mttr=20,crash=0.01,straggler=0.25,slow=4
+//
+// Keys may appear in any order; omitted keys keep their zero value. The
+// returned config is validated. ParseSpec(c.String()) round-trips.
+func ParseSpec(s string) (Config, error) {
+	var c Config
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return c, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: bad field %q (want key=value)", field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key == "seed" {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad seed %q", val)
+			}
+			c.Seed = n
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("faults: bad value %q for %q", val, key)
+		}
+		switch key {
+		case "mtbf":
+			c.MTBF = f
+		case "mttr":
+			c.MTTR = f
+		case "crash":
+			c.CrashRate = f
+		case "straggler":
+			c.StragglerFrac = f
+		case "slow":
+			c.StragglerSlow = f
+		default:
+			return Config{}, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dagsched/internal/dag"
+	"dagsched/internal/faults"
 	"dagsched/internal/rational"
 )
 
@@ -24,6 +25,13 @@ type Config struct {
 	Horizon int64
 	// Record enables full trace capture in the Result.
 	Record bool
+	// Faults optionally enables deterministic fault injection: processor
+	// crash/repair schedules, straggler slowdowns, and node-execution
+	// failures, all pure functions of (Faults.Seed, tick, entity) — see
+	// internal/faults. Nil keeps the engine on the exact fault-free path;
+	// replaying a faulty run under the same Faults config reproduces it
+	// tick for tick.
+	Faults *faults.Config
 }
 
 // liveJob is the engine's per-job runtime record.
@@ -98,6 +106,14 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 	if policy == nil {
 		policy = dag.ByID{}
 	}
+	var fm *faults.Model
+	if cfg.Faults != nil {
+		m, err := faults.NewModel(*cfg.Faults, cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		fm = m
+	}
 
 	e := &engine{
 		cfg:     cfg,
@@ -127,6 +143,27 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		allocBuf []Alloc
 		nodeBuf  []dag.NodeID
 	)
+	// Fault bookkeeping, allocated only when injection is on.
+	var (
+		ca         CapacityAware
+		fs         *FaultStats
+		upBuf      []int
+		prevUp     []bool
+		curUp      []bool
+		lastCap    = cfg.M
+		lostScaled int64 // work discarded by execution failures, scaled units
+	)
+	if fm != nil {
+		ca, _ = sched.(CapacityAware)
+		fs = &FaultStats{MinCapacity: cfg.M}
+		res.Faults = fs
+		upBuf = make([]int, 0, cfg.M)
+		prevUp = make([]bool, cfg.M)
+		curUp = make([]bool, cfg.M)
+		for p := range prevUp {
+			prevUp[p] = true
+		}
+	}
 	for next < len(ordered) || len(e.live) > 0 {
 		if cfg.Horizon > 0 && t >= cfg.Horizon {
 			break
@@ -177,6 +214,37 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			continue
 		}
 
+		// Fault prologue: effective capacity for this tick, announced to
+		// capacity-aware schedulers before they allocate.
+		var upList []int
+		if fm != nil {
+			upList = fm.UpProcs(t, upBuf[:0])
+			c := len(upList)
+			for p := range curUp {
+				curUp[p] = false
+			}
+			for _, p := range upList {
+				curUp[p] = true
+			}
+			for p := range prevUp {
+				if prevUp[p] && !curUp[p] {
+					fs.CrashEvents++
+				}
+			}
+			copy(prevUp, curUp)
+			fs.DownProcTicks += int64(cfg.M - c)
+			if c < cfg.M {
+				fs.DegradedTicks++
+			}
+			if c < fs.MinCapacity {
+				fs.MinCapacity = c
+			}
+			if ca != nil && c != lastCap {
+				ca.OnCapacityChange(t, c)
+			}
+			lastCap = c
+		}
+
 		// Allocation.
 		allocBuf = sched.Assign(t, e, allocBuf[:0])
 		totalProcs := 0
@@ -204,11 +272,77 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			res.Trace.Ticks = append(res.Trace.Ticks, TickRecord{T: t})
 			tick = &res.Trace.Ticks[len(res.Trace.Ticks)-1]
 		}
+		var tf *TickFaults
+		if fm != nil && tick != nil {
+			tf = &TickFaults{Capacity: len(upList)}
+			for p := 0; p < cfg.M; p++ {
+				if !curUp[p] {
+					tf.Down = append(tf.Down, p)
+				}
+			}
+			tick.Faults = tf
+		}
 		busy := 0
+		upCursor := 0
 		var completed []*liveJob
 		for _, a := range allocBuf {
 			lj := e.live[a.JobID]
-			nodeBuf = policy.Pick(lj.state, a.Procs, nodeBuf[:0])
+			procs := a.Procs
+			if fm != nil {
+				// Map the grant onto live processors in id order: grants
+				// beyond capacity land nowhere, and a straggling processor
+				// holds its slot without progressing this tick.
+				take := procs
+				if avail := len(upList) - upCursor; take > avail {
+					fs.DroppedProcTicks += int64(take - avail)
+					take = avail
+				}
+				procs = 0
+				for i := 0; i < take; i++ {
+					p := upList[upCursor+i]
+					if fm.Straggling(t, p) {
+						fs.StraggleProcTicks++
+						if tf != nil {
+							tf.Slow = append(tf.Slow, p)
+						}
+					} else {
+						procs++
+					}
+				}
+				upCursor += take
+			}
+			if procs > 0 {
+				nodeBuf = policy.Pick(lj.state, procs, nodeBuf[:0])
+			} else {
+				nodeBuf = nodeBuf[:0]
+			}
+			if fm != nil && len(nodeBuf) > 0 {
+				// Execution failures: the node's attempt produces nothing
+				// and its accumulated work is discarded.
+				var lost int64
+				failed := false
+				kept := nodeBuf[:0]
+				for _, v := range nodeBuf {
+					if fm.NodeFails(t, a.JobID, int(v)) {
+						failed = true
+						l := lj.state.ResetNode(v)
+						lost += l
+						fs.Retries++
+						if tf != nil {
+							tf.Failed = append(tf.Failed, NodeFailure{JobID: a.JobID, Node: v, Lost: l})
+						}
+					} else {
+						kept = append(kept, v)
+					}
+				}
+				nodeBuf = kept
+				if failed {
+					lostScaled += lost
+					if ca != nil {
+						ca.OnWorkLost(t, a.JobID, lost/e.scale)
+					}
+				}
+			}
 			for _, v := range nodeBuf {
 				lj.state.Apply(v, e.perTick)
 			}
@@ -264,6 +398,9 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		res.Jobs = append(res.Jobs, lj.stat)
 	}
 	res.Ticks = t
+	if fs != nil {
+		fs.LostWork = lostScaled / e.scale
+	}
 	return res, nil
 }
 

@@ -25,6 +25,9 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 	if cfg.M < 1 {
 		return nil, fmt.Errorf("sim: M = %d, need ≥ 1", cfg.M)
 	}
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("sim: fault injection requires the tick engine (faults are per-tick events)")
+	}
 	speed := cfg.Speed.Reduced()
 	if speed.IsZero() {
 		speed = rational.One()

@@ -31,8 +31,24 @@ type Result struct {
 	BusyProcTicks int64 // processor-ticks spent executing nodes
 	IdleProcTicks int64 // processor-ticks without a node to run
 
-	Jobs  []JobStat
-	Trace *Trace // nil unless Config.Record
+	Jobs   []JobStat
+	Trace  *Trace      // nil unless Config.Record
+	Faults *FaultStats `json:",omitempty"` // nil unless Config.Faults
+}
+
+// FaultStats aggregates fault-injection outcomes over the simulated
+// (non-idle) ticks of a run; nil on fault-free runs. Processor-ticks lost
+// to crashes, drops, and straggling are not productive, so they also appear
+// in IdleProcTicks — Utilization keeps meaning "productive fraction".
+type FaultStats struct {
+	DegradedTicks     int64 // ticks with fewer than M processors up
+	MinCapacity       int   // smallest per-tick capacity observed
+	CrashEvents       int64 // up→down transitions between consecutive simulated ticks
+	DownProcTicks     int64 // processor-ticks spent crashed
+	DroppedProcTicks  int64 // granted processor-ticks that found no live processor
+	StraggleProcTicks int64 // granted processor-ticks stalled on straggling processors
+	Retries           int64 // node executions that failed, forcing re-execution
+	LostWork          int64 // declared-scale work units discarded by those failures
 }
 
 // Utilization returns the fraction of processor-ticks spent executing.
@@ -72,6 +88,23 @@ type Trace struct {
 type TickRecord struct {
 	T      int64
 	Allocs []AllocRecord
+	Faults *TickFaults `json:",omitempty"` // nil on fault-free runs
+}
+
+// TickFaults records the fault events of one traced tick.
+type TickFaults struct {
+	Capacity int           // operational processors this tick
+	Down     []int         `json:",omitempty"` // crashed processor ids
+	Slow     []int         `json:",omitempty"` // granted stragglers that stalled
+	Failed   []NodeFailure `json:",omitempty"` // discarded node executions
+}
+
+// NodeFailure is one failed node-execution attempt: the node restarts from
+// scratch, losing its accumulated work (in engine-scaled units).
+type NodeFailure struct {
+	JobID int
+	Node  dag.NodeID
+	Lost  int64
 }
 
 // AllocRecord is one job's execution during one tick.

@@ -37,6 +37,24 @@ type FullView interface {
 	RemainingSpan(jobID int) int64
 }
 
+// CapacityAware is an optional Scheduler extension consulted only on
+// fault-injected runs (Config.Faults). The engine reports the machine's
+// effective capacity and work discarded by execution failures; schedulers
+// that do not implement it simply run with stale assumptions — allocations
+// that land on crashed processors are silently dropped for the tick.
+type CapacityAware interface {
+	// OnCapacityChange announces, before Assign for tick t, that the number
+	// of operational processors changed to capacity (0 ≤ capacity ≤ Env.M).
+	// It is called only on ticks where the capacity differs from the last
+	// announced value; the initial value is Env.M.
+	OnCapacityChange(t int64, capacity int)
+	// OnWorkLost announces that execution failures during tick t discarded
+	// accumulated work of a job. Lost is in the job's declared work scale,
+	// rounded down (it can be 0 when only a fresh node's attempt failed);
+	// AssignView.ExecutedWork already reflects the loss.
+	OnWorkLost(t int64, jobID int, lost int64)
+}
+
 // Scheduler is an online scheduling algorithm driven by the engine. All
 // callbacks happen on a single goroutine in deterministic order:
 // Init once, then per tick OnArrival* (release order), OnExpire*, Assign,
