@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench suite examples fuzz
+.PHONY: all build test vet fmt check race bench suite examples fuzz
 
 all: vet test
 
@@ -13,8 +13,18 @@ vet:
 test:
 	go test ./...
 
+# Fails if any file is not gofmt-clean (lists the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The full local gate: formatting, vet, build, tests.
+check: fmt vet build test
+
+# -race across every package; the runner's worker pool and the parallel
+# experiment grids are the concurrency under test.
 race:
 	go test -race ./...
+	go test -race -count=2 ./internal/runner/ ./internal/experiments/
 
 # The full benchmark harness: one BenchmarkEXP_* per experiment plus engine
 # micro-benchmarks.

@@ -17,7 +17,9 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
-	cfg := experiments.Config{Seeds: 3}
+	// Parallel: 1 keeps the per-experiment numbers comparable with the
+	// pre-runner history; the suite-level benchmarks below measure fan-out.
+	cfg := experiments.Config{Seeds: 3, Parallel: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Run(cfg); err != nil {
@@ -82,6 +84,30 @@ func BenchmarkEXP_MINE(b *testing.B) { benchExperiment(b, "MINE") }
 
 // BenchmarkEXP_RT regenerates the real-time schedulability table.
 func BenchmarkEXP_RT(b *testing.B) { benchExperiment(b, "RT") }
+
+// BenchmarkEXP_FAULTS regenerates the fault-injection degradation tables.
+func BenchmarkEXP_FAULTS(b *testing.B) { benchExperiment(b, "FAULTS") }
+
+// benchSuite runs the entire quick-mode suite at a fixed worker count, the
+// end-to-end number the -parallel flag moves.
+func benchSuite(b *testing.B, workers int) {
+	cfg := experiments.Config{Quick: true, Seeds: 2, Parallel: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			if _, err := e.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteQuickSerial is the quick suite on one runner worker.
+func BenchmarkSuiteQuickSerial(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteQuickParallel is the quick suite with one worker per core;
+// its tables are byte-identical to the serial run's.
+func BenchmarkSuiteQuickParallel(b *testing.B) { benchSuite(b, 0) }
 
 // Micro-benchmarks.
 

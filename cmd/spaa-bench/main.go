@@ -1,16 +1,25 @@
 // Command spaa-bench runs the reproduction suite and prints one table per
 // paper artifact (Figures 1–2, Theorems 1–3, Corollaries 1–2, baselines,
-// ablations, OPT-bound quality). EXPERIMENTS.md records its output.
+// ablations, OPT-bound quality, extensions, faults). EXPERIMENTS.md records
+// its output.
+//
+// Every experiment executes its (workload × scheduler × seed) grid through
+// internal/runner, so -parallel changes wall-clock only: the tables are
+// byte-identical for every worker count.
 //
 // Usage:
 //
-//	spaa-bench [-exp FIG1,THM2|all] [-seeds N] [-quick] [-csv]
+//	spaa-bench [-exp FIG1,THM2|all] [-run <regexp>] [-seeds N] [-quick]
+//	           [-parallel N] [-csv|-md] [-o file] [-json file] [-progress]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"runtime"
 	"strings"
 	"time"
 
@@ -19,14 +28,26 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' ("+strings.Join(experiments.IDs(), ",")+")")
-		seeds   = flag.Int("seeds", 0, "workload seeds per cell (0 = default)")
-		quick   = flag.Bool("quick", false, "shrink instances for a fast smoke run")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		md      = flag.Bool("md", false, "emit markdown tables")
-		outPath = flag.String("o", "", "write output to a file instead of stdout")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' ("+strings.Join(experiments.IDs(), ",")+")")
+		runFlag  = flag.String("run", "", "run only experiments whose ID matches this regexp (alternative to -exp)")
+		seeds    = flag.Int("seeds", 0, "workload seeds per cell (0 = default)")
+		quick    = flag.Bool("quick", false, "shrink instances for a fast smoke run")
+		parallel = flag.Int("parallel", 0, "runner workers per experiment grid (0 = GOMAXPROCS); output is identical for any value")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		md       = flag.Bool("md", false, "emit markdown tables")
+		outPath  = flag.String("o", "", "write table output to a file instead of stdout")
+		jsonPath = flag.String("json", "", "write a machine-readable BENCH report (tables + per-experiment wall-clock) to this file")
+		progress = flag.Bool("progress", false, "report per-grid cell progress on stderr")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*seeds, *parallel, *csv, *md, flag.Args()); err != nil {
+		fatalUsage(err)
+	}
+	selected, err := selectExperiments(*expFlag, *runFlag)
+	if err != nil {
+		fatalUsage(err)
+	}
 
 	out := os.Stdout
 	if *outPath != "" {
@@ -39,29 +60,37 @@ func main() {
 		out = f
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seeds: *seeds}
-
-	var ids []string
-	if *expFlag == "all" {
-		ids = experiments.IDs()
-	} else {
-		ids = strings.Split(*expFlag, ",")
+	cfg := experiments.Config{Quick: *quick, Seeds: *seeds, Parallel: *parallel}
+	if *progress {
+		cfg.Progress = func(grid string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%-8s %d/%d cells", grid, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		e, ok := experiments.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "spaa-bench: unknown experiment %q (have %s)\n", id, strings.Join(experiments.IDs(), ", "))
-			os.Exit(2)
-		}
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   cfg.Parallel,
+		Quick:      cfg.Quick,
+		Seeds:      cfg.Seeds,
+		Start:      time.Now().Format(time.RFC3339),
+	}
+	suiteStart := time.Now()
+	for _, e := range selected {
 		start := time.Now()
 		tables, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spaa-bench: %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "spaa-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(out, "### %s — %s  (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		// The table stream carries no timing, so -parallel 1 and -parallel N
+		// runs are byte-identical; wall-clock lives in the -json report.
+		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Title)
+		je := jsonExperiment{ID: e.ID, Title: e.Title, Seconds: elapsed.Seconds()}
 		for _, tb := range tables {
 			switch {
 			case *csv:
@@ -71,6 +100,112 @@ func main() {
 			default:
 				fmt.Fprintln(out, tb.Render())
 			}
+			je.Tables = append(je.Tables, jsonTable{Title: tb.Title, Columns: tb.Columns, Rows: tb.Rows()})
+		}
+		report.Experiments = append(report.Experiments, je)
+	}
+	report.TotalSeconds = time.Since(suiteStart).Seconds()
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, report); err != nil {
+			fmt.Fprintf(os.Stderr, "spaa-bench: %v\n", err)
+			os.Exit(1)
 		}
 	}
+}
+
+// validateFlags rejects flag combinations that would otherwise run nothing
+// or produce ambiguous output.
+func validateFlags(seeds, parallel int, csv, md bool, extra []string) error {
+	if len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments %q (experiments are selected with -exp or -run)", extra)
+	}
+	if seeds < 0 {
+		return fmt.Errorf("-seeds %d is negative", seeds)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel %d is negative", parallel)
+	}
+	if csv && md {
+		return fmt.Errorf("-csv and -md are mutually exclusive")
+	}
+	return nil
+}
+
+// selectExperiments resolves the -exp / -run selection against the
+// registry. Unknown IDs, invalid regexps, empty matches, and using both
+// selectors at once are errors — the suite never silently runs nothing.
+func selectExperiments(expFlag, runFlag string) ([]experiments.Experiment, error) {
+	if runFlag != "" && expFlag != "all" {
+		return nil, fmt.Errorf("-exp and -run are mutually exclusive; use one")
+	}
+	if runFlag != "" {
+		re, err := regexp.Compile(runFlag)
+		if err != nil {
+			return nil, fmt.Errorf("-run %q: %v", runFlag, err)
+		}
+		var out []experiments.Experiment
+		for _, e := range experiments.All() {
+			if re.MatchString(e.ID) {
+				out = append(out, e)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("-run %q matches no experiment (have %s)", runFlag, strings.Join(experiments.IDs(), ", "))
+		}
+		return out, nil
+	}
+	if expFlag == "all" {
+		return experiments.All(), nil
+	}
+	var out []experiments.Experiment
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(experiments.IDs(), ", "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "spaa-bench: %v\n", err)
+	os.Exit(2)
+}
+
+// benchReport is the -json output: the full table data plus per-experiment
+// wall-clock, so perf trajectories across PRs have machine-readable data
+// points (the committed BENCH_*.json files).
+type benchReport struct {
+	GoVersion    string           `json:"go"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	Parallel     int              `json:"parallel"` // 0 = GOMAXPROCS
+	Quick        bool             `json:"quick"`
+	Seeds        int              `json:"seeds"` // 0 = per-mode default
+	Start        string           `json:"start"`
+	TotalSeconds float64          `json:"total_seconds"`
+	Experiments  []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Seconds float64     `json:"seconds"`
+	Tables  []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func writeReport(path string, r benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dagsched/internal/experiments"
+)
+
+func TestSelectExperimentsAll(t *testing.T) {
+	sel, err := selectExperiments("all", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(experiments.All()) {
+		t.Errorf("selected %d experiments, want %d", len(sel), len(experiments.All()))
+	}
+}
+
+func TestSelectExperimentsByID(t *testing.T) {
+	sel, err := selectExperiments("THM2, FIG1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].ID != "THM2" || sel[1].ID != "FIG1" {
+		t.Errorf("selected %+v, want [THM2 FIG1] in order", sel)
+	}
+}
+
+func TestSelectExperimentsUnknownID(t *testing.T) {
+	_, err := selectExperiments("NOPE", "")
+	if err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	if !strings.Contains(err.Error(), "NOPE") || !strings.Contains(err.Error(), "FIG1") {
+		t.Errorf("error %q should name the bad ID and list valid ones", err)
+	}
+}
+
+func TestSelectExperimentsEmptyIDInList(t *testing.T) {
+	if _, err := selectExperiments("FIG1,", ""); err == nil {
+		t.Error("trailing comma (empty ID) accepted")
+	}
+}
+
+func TestSelectExperimentsRunRegexp(t *testing.T) {
+	sel, err := selectExperiments("all", "^ABL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 4 {
+		t.Errorf("^ABL selected %d experiments, want 4 (ABL1..ABL4)", len(sel))
+	}
+	for _, e := range sel {
+		if !strings.HasPrefix(e.ID, "ABL") {
+			t.Errorf("^ABL selected %s", e.ID)
+		}
+	}
+}
+
+func TestSelectExperimentsRunNoMatch(t *testing.T) {
+	_, err := selectExperiments("all", "^ZZZ$")
+	if err == nil {
+		t.Fatal("zero-match regexp accepted; the suite would silently run nothing")
+	}
+}
+
+func TestSelectExperimentsRunBadRegexp(t *testing.T) {
+	if _, err := selectExperiments("all", "("); err == nil {
+		t.Error("invalid regexp accepted")
+	}
+}
+
+func TestSelectExperimentsExpAndRunConflict(t *testing.T) {
+	if _, err := selectExperiments("FIG1", "THM"); err == nil {
+		t.Error("-exp with -run accepted; they are mutually exclusive")
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0, 0, false, false, nil); err != nil {
+		t.Errorf("default flags rejected: %v", err)
+	}
+	if err := validateFlags(-1, 0, false, false, nil); err == nil {
+		t.Error("negative -seeds accepted")
+	}
+	if err := validateFlags(0, -2, false, false, nil); err == nil {
+		t.Error("negative -parallel accepted")
+	}
+	if err := validateFlags(0, 0, true, true, nil); err == nil {
+		t.Error("-csv with -md accepted")
+	}
+	if err := validateFlags(0, 0, false, false, []string{"FIG1"}); err == nil {
+		t.Error("positional arguments accepted")
+	}
+}

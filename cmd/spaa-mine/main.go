@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	spaa-mine [-sched s|swc|nc|edf|llf|fifo|hdf|federated] [-iters 300]
-//	          [-seed 7] [-n 12] [-m 4] [-slack 0] [-o mined.json]
+//	spaa-mine [-sched s|swc|nc|edf|llf|fifo|hdf|federated|all] [-iters 300]
+//	          [-seed 7] [-n 12] [-m 4] [-slack 0] [-parallel N] [-o mined.json]
+//
+// -sched all mines every target through the deterministic grid runner: one
+// independent search per scheduler, fanned across -parallel workers, with
+// output in roster order regardless of completion order.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,21 +25,28 @@ import (
 	"dagsched/internal/adversary"
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
 
 func main() {
 	var (
-		schedSel = flag.String("sched", "edf", "target scheduler: s, swc, nc, edf, llf, fifo, hdf, federated")
+		schedSel = flag.String("sched", "edf", "target scheduler: s, swc, nc, edf, llf, fifo, hdf, federated, or 'all'")
 		iters    = flag.Int("iters", 300, "mutation attempts")
 		seed     = flag.Int64("seed", 7, "search seed")
 		n        = flag.Int("n", 12, "jobs in the start instance")
 		m        = flag.Int("m", 4, "processors")
 		slack    = flag.Float64("slack", 0, "preserve the Theorem 2 slack condition with this epsilon (0 = unrestricted)")
+		parallel = flag.Int("parallel", 0, "workers for -sched all (0 = GOMAXPROCS)")
 		out      = flag.String("o", "", "write the mined instance as JSON")
 	)
 	flag.Parse()
+
+	if *schedSel == "all" {
+		fail(mineAll(*iters, *seed, *n, *m, *slack, *parallel, *out))
+		return
+	}
 
 	mk, err := schedulerFactory(*schedSel)
 	fail(err)
@@ -66,6 +78,65 @@ func main() {
 		fail(os.WriteFile(*out, append(data, '\n'), 0o644))
 		fmt.Printf("written    %s (replay: spaa-sim -instance %s -sched %s -ub)\n", *out, *out, *schedSel)
 	}
+}
+
+// allTargets is the -sched all roster, in reporting order.
+var allTargets = []string{"s", "swc", "nc", "edf", "llf", "fifo", "hdf", "federated"}
+
+// mineAll runs one independent mining search per roster scheduler on the
+// runner's worker pool. Each cell regenerates its own start instance, so
+// searches share nothing and the report is deterministic for any worker
+// count. -o writes the single worst mined instance (highest ratio).
+func mineAll(iters int, seed int64, n, m int, slack float64, parallel int, out string) error {
+	type mined struct {
+		name string
+		res  *adversary.Result
+	}
+	results, err := runner.Map(context.Background(), "mine", allTargets, runner.Options{Parallel: parallel},
+		func(_ context.Context, sel string, _ int) (mined, error) {
+			mk, err := schedulerFactory(sel)
+			if err != nil {
+				return mined{}, err
+			}
+			start, err := workload.Generate(workload.Config{
+				Seed: seed, N: n, M: m, Eps: 1, SlackSpread: 0.4, Load: 1.5, Scale: 1,
+			})
+			if err != nil {
+				return mined{}, err
+			}
+			res, err := adversary.Mine(adversary.Config{
+				Seed: seed, Iterations: iters, Scheduler: mk, MaxJobs: 3 * n, MinSlack: slack,
+			}, start)
+			if err != nil {
+				return mined{}, err
+			}
+			return mined{name: mk().Name(), res: res}, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("mined %d targets, %d iterations each (slack %g)\n", len(results), iters, slack)
+	worst := 0
+	for i, r := range results {
+		fmt.Printf("%-28s ratio %.3f → %s (%d jobs, %d accepted)\n",
+			r.name, r.res.StartRatio, fmtRatio(r.res.Ratio), len(r.res.Instance.Jobs), r.res.Accepted)
+		if r.res.Ratio > results[worst].res.Ratio {
+			worst = i
+		}
+	}
+	if out != "" {
+		w := results[worst]
+		data, err := json.MarshalIndent(w.res.Instance, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("written    %s (worst target: %s)\n", out, w.name)
+	}
+	return nil
 }
 
 func fmtRatio(r float64) string {

@@ -1,60 +1,69 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
-	"time"
 
 	"dagsched/internal/metrics"
 	"dagsched/internal/queue"
+	"dagsched/internal/runner"
 )
 
 // RunABL4 measures the band-index substrate choice: the naive O(n) scan
 // versus the treap with subtree sums, at the queue sizes condition (2)
-// actually sees. The treap wins asymptotically; at the |Q| ≈ tens the
-// scheduler usually holds, the difference is irrelevant — which is why the
-// index is pluggable rather than mandatory.
+// actually sees. Cost is reported as entries examined per SumRange query
+// (the queue.Counted work measure) rather than wall-clock, so the table is
+// deterministic — identical on any machine and under any -parallel value.
+// The treap wins asymptotically; at the |Q| ≈ tens the scheduler usually
+// holds, the difference is small — which is why the index is pluggable
+// rather than mandatory.
 func RunABL4(cfg Config) ([]*metrics.Table, error) {
 	sizes := []int{16, 128, 1024}
 	if cfg.Quick {
 		sizes = []int{16, 256}
 	}
-	tb := metrics.NewTable("ABL4: band index SumRange cost (ns/op)",
+	substrates := []func() queue.BandIndex{
+		func() queue.BandIndex { return queue.NewNaiveBand() },
+		func() queue.BandIndex { return queue.NewTreapBand(1) },
+	}
+	cells, err := runGrid(cfg, runner.Grid[float64]{
+		Name: "ABL4",
+		Axes: []runner.Axis{{Name: "items", Size: len(sizes)}, {Name: "substrate", Size: len(substrates)}},
+		Cell: func(_ context.Context, c runner.Cell) (float64, error) {
+			return bandWorkPerQuery(substrates[c.At(1)](), sizes[c.At(0)]), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("ABL4: band index SumRange cost (entries examined per query)",
 		"items", "naive", "treap", "speedup")
-	for _, n := range sizes {
-		naive := benchBand(func() queue.BandIndex { return queue.NewNaiveBand() }, n)
-		treap := benchBand(func() queue.BandIndex { return queue.NewTreapBand(1) }, n)
-		tb.AddRow(n, float64(naive), float64(treap), float64(naive)/float64(treap))
+	for i, n := range sizes {
+		naive := cells[i*len(substrates)]
+		treap := cells[i*len(substrates)+1]
+		tb.AddRow(n, naive, treap, naive/treap)
 	}
 	return []*metrics.Table{tb}, nil
 }
 
-// benchBand times SumRange queries over an index with n items using a
-// self-calibrating loop (testing.Benchmark cannot be nested inside the
-// BenchmarkEXP_* harness).
-func benchBand(mk func() queue.BandIndex, n int) int64 {
+// bandWorkPerQuery fills an index with n items and runs a fixed query
+// workload, returning the mean entries/nodes examined per SumRange query.
+// Both the index structure (treap priorities) and the query stream are
+// seeded, so the count is a pure function of (substrate, n).
+func bandWorkPerQuery(idx queue.BandIndex, n int) float64 {
 	rng := rand.New(rand.NewSource(7))
-	idx := mk()
 	for i := 0; i < n; i++ {
 		idx.Insert(queue.Item{ID: i, Density: rng.Float64() * 100, Weight: 1 + rng.Float64()})
 	}
-	run := func(iters int) time.Duration {
-		r := rand.New(rand.NewSource(9))
-		var sink float64
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			lo := r.Float64() * 100
-			sink += idx.SumRange(lo, lo*1.5)
-		}
-		_ = sink
-		return time.Since(start)
+	counted := idx.(queue.Counted)
+	counted.ResetVisits() // ignore setup-insert work
+	const queries = 512
+	r := rand.New(rand.NewSource(9))
+	var sink float64
+	for i := 0; i < queries; i++ {
+		lo := r.Float64() * 100
+		sink += idx.SumRange(lo, lo*1.5)
 	}
-	run(64) // warmup
-	iters := 256
-	for {
-		el := run(iters)
-		if el >= 10*time.Millisecond || iters >= 1<<22 {
-			return el.Nanoseconds() / int64(iters)
-		}
-		iters *= 4
-	}
+	_ = sink
+	return float64(counted.Visits()) / queries
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dagsched/internal/dag"
 	"dagsched/internal/metrics"
 	"dagsched/internal/profit"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
@@ -65,7 +67,10 @@ func AdversarialInstance(phases int) (*workload.Instance, error) {
 // RunADV runs every scheduler on the adversarial stream and on a
 // same-size random mix, showing the contrast the theory predicts: greedy
 // heuristics are fine on stochastic inputs but collapse on the adversarial
-// one, while S's admission control holds its constant fraction.
+// one, while S's admission control holds its constant fraction. The two
+// instances are built once and shared read-only by the (scheduler ×
+// instance) grid — jobs, DAGs, and profit functions are immutable, and the
+// engine keeps all execution state per run.
 func RunADV(cfg Config) ([]*metrics.Table, error) {
 	phases := 5
 	if cfg.Quick {
@@ -83,20 +88,23 @@ func RunADV(cfg Config) ([]*metrics.Table, error) {
 		return nil, err
 	}
 	roster := schedulerRoster()
+	insts := []*workload.Instance{adv, rnd}
+	cells, err := runGrid(cfg, runner.Grid[float64]{
+		Name: "ADV",
+		Axes: []runner.Axis{{Name: "scheduler", Size: len(roster)}, {Name: "instance", Size: len(insts)}},
+		Cell: func(_ context.Context, c runner.Cell) (float64, error) {
+			return runProfit(insts[c.At(1)], roster[c.At(0)](), rational.One(), nil)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("ADV: profit/UB on an adversarial stream vs a random mix (m=8)",
 		"scheduler", "adversarial", "random")
 	ubAdv := upperBound(adv)
 	ubRnd := upperBound(rnd)
-	for _, mk := range roster {
-		pa, err := runProfit(adv, mk(), rational.One(), nil)
-		if err != nil {
-			return nil, err
-		}
-		pr, err := runProfit(rnd, mk(), rational.One(), nil)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(mk().Name(), pa/ubAdv, pr/ubRnd)
+	for i, mk := range roster {
+		tb.AddRow(mk().Name(), cells[i*len(insts)]/ubAdv, cells[i*len(insts)+1]/ubRnd)
 	}
 	return []*metrics.Table{tb}, nil
 }

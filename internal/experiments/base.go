@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
+
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
 	"dagsched/internal/dag"
 	"dagsched/internal/metrics"
 	"dagsched/internal/opt"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
@@ -23,34 +26,53 @@ func RunBASE(cfg Config) ([]*metrics.Table, error) {
 		loads = []float64{1, 3}
 	}
 	roster := schedulerRoster()
+	cells, err := runGrid(cfg, runner.Grid[boundedSample]{
+		Name: "BASE",
+		Axes: []runner.Axis{{Name: "load", Size: len(loads)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (boundedSample, error) {
+			load, seed := loads[c.At(0)], c.At(1)
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(500 + seed), N: cfg.jobs(), M: 8,
+				Eps: 1, SlackSpread: 0.5, Load: load, Scale: 2,
+			})
+			if err != nil {
+				return boundedSample{}, err
+			}
+			bound := upperBound(inst)
+			if bound == 0 {
+				return boundedSample{}, nil
+			}
+			profits := make([]float64, len(roster))
+			for i, mk := range roster {
+				p, err := runProfit(inst, mk(), rational.One(), nil)
+				if err != nil {
+					return boundedSample{}, err
+				}
+				profits[i] = p
+			}
+			return boundedSample{bound: bound, profits: profits}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	names := make([]string, 0, len(roster))
 	for _, mk := range roster {
 		names = append(names, mk().Name())
 	}
 	cols := append([]string{"load", "UB"}, names...)
 	tb := metrics.NewTable("BASE: profit/UB by scheduler and load (m=8, eps_D = 1)", cols...)
-	for _, load := range loads {
+	for li, load := range loads {
 		series := make([]metrics.Series, len(roster))
 		var ub metrics.Series
 		for seed := 0; seed < cfg.seeds(); seed++ {
-			inst, err := workload.Generate(workload.Config{
-				Seed: int64(500 + seed), N: cfg.jobs(), M: 8,
-				Eps: 1, SlackSpread: 0.5, Load: load, Scale: 2,
-			})
-			if err != nil {
-				return nil, err
-			}
-			bound := upperBound(inst)
-			if bound == 0 {
+			smp := cells[li*cfg.seeds()+seed]
+			if smp.bound == 0 {
 				continue
 			}
-			ub.Add(bound)
-			for i, mk := range roster {
-				p, err := runProfit(inst, mk(), rational.One(), nil)
-				if err != nil {
-					return nil, err
-				}
-				series[i].Add(p / bound)
+			ub.Add(smp.bound)
+			for i := range roster {
+				series[i].Add(smp.profits[i] / smp.bound)
 			}
 		}
 		row := []any{load, ub.Mean()}
@@ -63,33 +85,48 @@ func RunBASE(cfg Config) ([]*metrics.Table, error) {
 }
 
 // runAblationTable compares the paper scheduler against ablated variants on
-// a common workload configuration.
-func runAblationTable(cfg Config, title string, wl workload.Config, variants []core.Ablation) (*metrics.Table, error) {
-	names := make([]string, 0, len(variants))
+// a common workload configuration. The grid is one cell per seed; a cell
+// generates the instance, computes the OPT bound once, and runs every
+// variant on it.
+func runAblationTable(cfg Config, name, title string, wl workload.Config, variants []core.Ablation) (*metrics.Table, error) {
 	mk := func(a core.Ablation) sim.Scheduler {
 		return core.NewSchedulerS(core.Options{Params: core.MustParams(1), Ablation: a})
 	}
+	cells, err := runGrid(cfg, runner.Grid[boundedSample]{
+		Name: name,
+		Axes: []runner.Axis{seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (boundedSample, error) {
+			w := wl
+			w.Seed = wl.Seed + int64(c.At(0))
+			w.N = cfg.jobs()
+			inst, err := workload.Generate(w)
+			if err != nil {
+				return boundedSample{}, err
+			}
+			smp := boundedSample{bound: upperBound(inst)}
+			for _, a := range variants {
+				p, err := runProfit(inst, mk(a), rational.One(), nil)
+				if err != nil {
+					return boundedSample{}, err
+				}
+				smp.profits = append(smp.profits, p)
+			}
+			return smp, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(variants))
 	for _, a := range variants {
 		names = append(names, mk(a).Name())
 	}
 	tb := metrics.NewTable(title, append([]string{"seed", "UB"}, names...)...)
-	for seed := 0; seed < cfg.seeds(); seed++ {
-		w := wl
-		w.Seed = wl.Seed + int64(seed)
-		w.N = cfg.jobs()
-		inst, err := workload.Generate(w)
-		if err != nil {
-			return nil, err
-		}
-		bound := upperBound(inst)
-		row := []any{seed, bound}
-		for _, a := range variants {
-			p, err := runProfit(inst, mk(a), rational.One(), nil)
-			if err != nil {
-				return nil, err
-			}
-			if bound > 0 {
-				row = append(row, p/bound)
+	for seed, smp := range cells {
+		row := []any{seed, smp.bound}
+		for i := range variants {
+			if smp.bound > 0 {
+				row = append(row, smp.profits[i]/smp.bound)
 			} else {
 				row = append(row, 0.0)
 			}
@@ -106,7 +143,7 @@ func runAblationTable(cfg Config, title string, wl workload.Config, variants []c
 // underpinning the worst-case proof, and robustness on adversarial streams
 // like ADV) is not exercised by random inputs.
 func RunABL1(cfg Config) ([]*metrics.Table, error) {
-	tb, err := runAblationTable(cfg,
+	tb, err := runAblationTable(cfg, "ABL1",
 		"ABL1: condition (2) removed (overload 3x, m=8)",
 		workload.Config{Seed: 600, M: 8, Eps: 1, SlackSpread: 0.3, Load: 3, Scale: 2},
 		[]core.Ablation{core.AblationNone, core.AblationNoBandCheck})
@@ -120,7 +157,7 @@ func RunABL1(cfg Config) ([]*metrics.Table, error) {
 // processor wastes parallelism on wide jobs; m processors waste capacity on
 // narrow ones and block the band check for everyone else.
 func RunABL2(cfg Config) ([]*metrics.Table, error) {
-	tb, err := runAblationTable(cfg,
+	tb, err := runAblationTable(cfg, "ABL2",
 		"ABL2: allotment n_i vs forced 1 or m (load 1.5, m=8)",
 		workload.Config{Seed: 700, M: 8, Eps: 1, SlackSpread: 0.3, Load: 1.5, Scale: 2},
 		[]core.Ablation{core.AblationNone, core.AblationAllotOne, core.AblationAllotAll})
@@ -133,7 +170,7 @@ func RunABL2(cfg Config) ([]*metrics.Table, error) {
 // RunABL3 removes the δ-fresh admission test: stale jobs admitted from P eat
 // processor steps they can no longer convert into profit.
 func RunABL3(cfg Config) ([]*metrics.Table, error) {
-	tb, err := runAblationTable(cfg,
+	tb, err := runAblationTable(cfg, "ABL3",
 		"ABL3: δ-fresh test removed (bursty overload 3x, tight slack, m=8)",
 		workload.Config{Seed: 800, M: 8, Eps: 1, SlackSpread: 0, Load: 3, Scale: 2, Arrival: workload.ArrivalBursty},
 		[]core.Ablation{core.AblationNone, core.AblationNoFreshness})
@@ -141,6 +178,14 @@ func RunABL3(cfg Config) ([]*metrics.Table, error) {
 		return nil, err
 	}
 	return []*metrics.Table{tb}, nil
+}
+
+// optqSample is one seed of the OPTQ grid: every bound (and the clairvoyant
+// heuristic) normalized by the exact malleable optimum. skip marks seeds
+// whose exact optimum is zero.
+type optqSample struct {
+	skip                            bool
+	greedy, trivial, knap, lp, heur float64
 }
 
 // RunOPTQ measures the quality of the OPT upper bounds on small instances
@@ -151,38 +196,57 @@ func RunOPTQ(cfg Config) ([]*metrics.Table, error) {
 	if cfg.Quick {
 		n = 8
 	}
+	cells, err := runGrid(cfg, runner.Grid[optqSample]{
+		Name: "OPTQ",
+		Axes: []runner.Axis{{Name: "seed", Size: cfg.seeds() + 3}},
+		Cell: func(_ context.Context, c runner.Cell) (optqSample, error) {
+			// Heavy overload with no extra slack, so windows genuinely contend
+			// and the bounds separate.
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(900 + c.At(0)), N: n, M: 2,
+				Eps: 0.25, SlackSpread: 0, Load: 6, Scale: 1,
+			})
+			if err != nil {
+				return optqSample{}, err
+			}
+			tasks := opt.TasksFromJobs(inst.Jobs, inst.M, 1)
+			exact := opt.ExactSmall(tasks, inst.M, 1)
+			if exact == 0 {
+				return optqSample{skip: true}, nil
+			}
+			lv, err := opt.LPBound(tasks, inst.M, 1)
+			if err != nil {
+				return optqSample{}, err
+			}
+			// Clairvoyant heuristic: a lower bound on OPT.
+			p, err := heuristicProfit(inst)
+			if err != nil {
+				return optqSample{}, err
+			}
+			return optqSample{
+				greedy:  opt.GreedyLowerBound(tasks, inst.M, 1) / exact,
+				trivial: opt.Trivial(tasks) / exact,
+				knap:    opt.IntervalKnapsackBound(tasks, inst.M, 1) / exact,
+				lp:      lv / exact,
+				heur:    p / exact,
+			}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("OPTQ: bound quality relative to the exact malleable optimum (m=2, 6x overload)",
 		"bound", "mean ratio", "max ratio")
 	var trivial, knap, lpb, heur, greedy metrics.Series
-	for seed := 0; seed < cfg.seeds()+3; seed++ {
-		// Heavy overload with no extra slack, so windows genuinely contend
-		// and the bounds separate.
-		inst, err := workload.Generate(workload.Config{
-			Seed: int64(900 + seed), N: n, M: 2,
-			Eps: 0.25, SlackSpread: 0, Load: 6, Scale: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		tasks := opt.TasksFromJobs(inst.Jobs, inst.M, 1)
-		exact := opt.ExactSmall(tasks, inst.M, 1)
-		if exact == 0 {
+	for _, smp := range cells {
+		if smp.skip {
 			continue
 		}
-		lv, err := opt.LPBound(tasks, inst.M, 1)
-		if err != nil {
-			return nil, err
-		}
-		greedy.Add(opt.GreedyLowerBound(tasks, inst.M, 1) / exact)
-		trivial.Add(opt.Trivial(tasks) / exact)
-		knap.Add(opt.IntervalKnapsackBound(tasks, inst.M, 1) / exact)
-		lpb.Add(lv / exact)
-		// Clairvoyant heuristic: a lower bound on OPT.
-		p, err := heuristicProfit(inst)
-		if err != nil {
-			return nil, err
-		}
-		heur.Add(p / exact)
+		greedy.Add(smp.greedy)
+		trivial.Add(smp.trivial)
+		knap.Add(smp.knap)
+		lpb.Add(smp.lp)
+		heur.Add(smp.heur)
 	}
 	tb.AddRow("greedy-LB/exact (≤1)", greedy.Mean(), greedy.Max())
 	tb.AddRow("trivial/exact", trivial.Mean(), trivial.Max())

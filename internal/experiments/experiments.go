@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dagsched/internal/baselines"
@@ -14,16 +15,52 @@ import (
 	"dagsched/internal/metrics"
 	"dagsched/internal/opt"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
 
-// Config tunes suite cost. Quick shrinks instances and seed counts so the
-// whole suite runs in seconds (used by tests); the default sizes are for the
-// recorded experiment tables.
+// Config tunes suite cost and execution. Quick shrinks instances and seed
+// counts so the whole suite runs in seconds (used by tests); the default
+// sizes are for the recorded experiment tables. Every experiment executes
+// its (workload × scheduler × seed) grid through internal/runner, so the
+// table output is bit-identical for any Parallel value.
 type Config struct {
 	Quick bool
-	Seeds int // number of workload seeds per cell (0 → 5, or 2 in Quick mode)
+	Seeds int // number of workload seeds per cell (0 → 8, or 2 in Quick mode)
+
+	// Parallel is the runner worker count (0 → GOMAXPROCS). Results do not
+	// depend on it.
+	Parallel int
+	// Ctx cancels an experiment mid-grid; nil means context.Background().
+	Ctx context.Context
+	// Progress, if set, receives per-grid cell-completion updates.
+	Progress func(grid string, done, total int)
+}
+
+// ctx returns the run context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// opts builds the runner options for one grid.
+func (c Config) opts(grid string) runner.Options {
+	o := runner.Options{Parallel: c.Parallel}
+	if c.Progress != nil {
+		p := c.Progress
+		o.Progress = func(done, total int) { p(grid, done, total) }
+	}
+	return o
+}
+
+// runGrid executes g under the configuration's context, worker count, and
+// progress callback. Samples come back indexed by cell coordinates, so
+// aggregation below the call is a deterministic serial fold.
+func runGrid[T any](cfg Config, g runner.Grid[T]) ([]T, error) {
+	return runner.Run(cfg.ctx(), g, cfg.opts(g.Name))
 }
 
 func (c Config) seeds() int {

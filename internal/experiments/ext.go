@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
 	"dagsched/internal/metrics"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
@@ -28,50 +31,81 @@ func RunEXT(cfg Config) ([]*metrics.Table, error) {
 	if cfg.Quick {
 		loads = []float64{2}
 	}
-	mkS := func() sim.Scheduler {
-		return core.NewSchedulerS(core.Options{Params: core.MustParams(1)})
+	makers := []func() sim.Scheduler{
+		func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: core.MustParams(1)})
+		},
+		func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: core.MustParams(1), WorkConserving: true})
+		},
+		func() sim.Scheduler {
+			return core.NewSchedulerNC(core.Options{Params: core.MustParams(1)})
+		},
+		func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} },
+		func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} },
 	}
-	mkSWC := func() sim.Scheduler {
-		return core.NewSchedulerS(core.Options{Params: core.MustParams(1), WorkConserving: true})
+	// One grid cell per (load × seed): the OPT bound is computed once and
+	// every variant runs on the shared instance.
+	type extSample struct {
+		bound    float64
+		profits  []float64 // profit/UB per maker
+		preempts []float64 // preemptions per completed job per maker (NaN = none completed)
 	}
-	mkNC := func() sim.Scheduler {
-		return core.NewSchedulerNC(core.Options{Params: core.MustParams(1)})
-	}
-	mkEDF := func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} }
-	mkHDF := func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} }
-
-	profitTb := metrics.NewTable("EXT1: future-work variants (profit/UB, m=8)",
-		"load", "S", "S+wc", "NC", "edf", "hdf")
-	preemptTb := metrics.NewTable("EXT2: preemptions per completed job (m=8)",
-		"load", "S", "S+wc", "NC", "edf", "hdf")
-	makers := []func() sim.Scheduler{mkS, mkSWC, mkNC, mkEDF, mkHDF}
-	for _, load := range loads {
-		profits := make([]metrics.Series, len(makers))
-		preempts := make([]metrics.Series, len(makers))
-		for seed := 0; seed < cfg.seeds(); seed++ {
+	cells, err := runGrid(cfg, runner.Grid[extSample]{
+		Name: "EXT",
+		Axes: []runner.Axis{{Name: "load", Size: len(loads)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (extSample, error) {
+			load, seed := loads[c.At(0)], c.At(1)
 			inst, err := workload.Generate(workload.Config{
 				Seed: int64(1100 + seed), N: cfg.jobs(), M: 8,
 				Eps: 1, SlackSpread: 0.5, Load: load, Scale: 2,
 			})
 			if err != nil {
-				return nil, err
+				return extSample{}, err
 			}
 			bound := upperBound(inst)
 			if bound == 0 {
-				continue
+				return extSample{}, nil
 			}
-			for i, mk := range makers {
+			smp := extSample{bound: bound}
+			for _, mk := range makers {
 				res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, mk())
 				if err != nil {
-					return nil, err
+					return extSample{}, err
 				}
-				profits[i].Add(res.TotalProfit / bound)
+				smp.profits = append(smp.profits, res.TotalProfit/bound)
 				var pre int64
 				for _, js := range res.Jobs {
 					pre += js.Preemptions
 				}
 				if res.Completed > 0 {
-					preempts[i].Add(float64(pre) / float64(res.Completed))
+					smp.preempts = append(smp.preempts, float64(pre)/float64(res.Completed))
+				} else {
+					smp.preempts = append(smp.preempts, -1) // sentinel: no completions
+				}
+			}
+			return smp, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	profitTb := metrics.NewTable("EXT1: future-work variants (profit/UB, m=8)",
+		"load", "S", "S+wc", "NC", "edf", "hdf")
+	preemptTb := metrics.NewTable("EXT2: preemptions per completed job (m=8)",
+		"load", "S", "S+wc", "NC", "edf", "hdf")
+	for li, load := range loads {
+		profits := make([]metrics.Series, len(makers))
+		preempts := make([]metrics.Series, len(makers))
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			smp := cells[li*cfg.seeds()+seed]
+			if smp.bound == 0 {
+				continue
+			}
+			for i := range makers {
+				profits[i].Add(smp.profits[i])
+				if smp.preempts[i] >= 0 {
+					preempts[i].Add(smp.preempts[i])
 				}
 			}
 		}

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
 	"dagsched/internal/faults"
 	"dagsched/internal/metrics"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
@@ -59,55 +62,82 @@ func faultsRoster() []func() sim.Scheduler {
 // match their plain counterparts exactly there.
 func RunFAULTS(cfg Config) ([]*metrics.Table, error) {
 	roster := faultsRoster()
-	names := make([]string, 0, len(roster))
-	for _, mk := range roster {
-		names = append(names, mk().Name())
-	}
 	levels := faultLevels()
-
-	profitTb := metrics.NewTable("FAULTS: profit/UB by fault level (m=8, load 1.5, eps_D = 1)",
-		append([]string{"faults", "UB"}, names...)...)
-	statsTb := metrics.NewTable("FAULTS: injected-fault accounting per run (means over seeds, resilient S)",
-		"faults", "degraded ticks", "crash events", "down proc-ticks", "straggle proc-ticks", "retries", "lost work")
-
-	for _, lv := range levels {
-		series := make([]metrics.Series, len(roster))
-		var ub metrics.Series
-		var degraded, crashes, down, straggle, retries, lost metrics.Series
-		for seed := 0; seed < cfg.seeds(); seed++ {
+	type faultSample struct {
+		bound   float64
+		profits []float64       // profit/UB per roster scheduler
+		stats   *sim.FaultStats // fault accounting from the resilient-S run
+	}
+	cells, err := runGrid(cfg, runner.Grid[faultSample]{
+		Name: "FAULTS",
+		Axes: []runner.Axis{{Name: "faults", Size: len(levels)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (faultSample, error) {
+			lv, seed := levels[c.At(0)], c.At(1)
 			inst, err := workload.Generate(workload.Config{
 				Seed: int64(4200 + seed), N: cfg.jobs(), M: 8,
 				Eps: 1, SlackSpread: 0.5, Load: 1.5, Scale: 2,
 			})
 			if err != nil {
-				return nil, err
+				return faultSample{}, err
 			}
 			bound := upperBound(inst)
 			if bound == 0 {
-				continue
+				return faultSample{}, nil
 			}
-			ub.Add(bound)
 			var fc *faults.Config
 			if lv.cfg != nil {
-				c := *lv.cfg
-				c.Seed = int64(seed) + 1
-				fc = &c
+				fcv := *lv.cfg
+				fcv.Seed = int64(seed) + 1
+				fc = &fcv
 			}
+			smp := faultSample{bound: bound}
 			for i, mk := range roster {
 				res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One(), Faults: fc}, inst.Jobs, mk())
 				if err != nil {
-					return nil, err
+					return faultSample{}, err
 				}
-				series[i].Add(res.TotalProfit / bound)
+				smp.profits = append(smp.profits, res.TotalProfit/bound)
 				// Fault accounting from the resilient-S runs (index 1).
 				if i == 1 && res.Faults != nil {
-					degraded.Add(float64(res.Faults.DegradedTicks))
-					crashes.Add(float64(res.Faults.CrashEvents))
-					down.Add(float64(res.Faults.DownProcTicks))
-					straggle.Add(float64(res.Faults.StraggleProcTicks))
-					retries.Add(float64(res.Faults.Retries))
-					lost.Add(float64(res.Faults.LostWork))
+					smp.stats = res.Faults
 				}
+			}
+			return smp, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	names := make([]string, 0, len(roster))
+	for _, mk := range roster {
+		names = append(names, mk().Name())
+	}
+	profitTb := metrics.NewTable("FAULTS: profit/UB by fault level (m=8, load 1.5, eps_D = 1)",
+		append([]string{"faults", "UB"}, names...)...)
+	statsTb := metrics.NewTable("FAULTS: injected-fault accounting per run (means over seeds, resilient S)",
+		"faults", "degraded ticks", "crash events", "down proc-ticks", "straggle proc-ticks", "retries", "lost work")
+
+	for li, lv := range levels {
+		series := make([]metrics.Series, len(roster))
+		var ub metrics.Series
+		var degraded, crashes, down, straggle, retries, lost metrics.Series
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			smp := cells[li*cfg.seeds()+seed]
+			if smp.bound == 0 {
+				continue
+			}
+			ub.Add(smp.bound)
+			for i := range roster {
+				series[i].Add(smp.profits[i])
+			}
+			if smp.stats != nil {
+				degraded.Add(float64(smp.stats.DegradedTicks))
+				crashes.Add(float64(smp.stats.CrashEvents))
+				down.Add(float64(smp.stats.DownProcTicks))
+				straggle.Add(float64(smp.stats.StraggleProcTicks))
+				retries.Add(float64(smp.stats.Retries))
+				lost.Add(float64(smp.stats.LostWork))
 			}
 		}
 		row := []any{lv.name, ub.Mean()}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dagsched/internal/baselines"
@@ -8,6 +9,7 @@ import (
 	"dagsched/internal/metrics"
 	"dagsched/internal/profit"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
@@ -57,21 +59,32 @@ func RunFIG1(cfg Config) ([]*metrics.Table, error) {
 	if cfg.Quick {
 		ms = []int{2, 4, 8}
 	}
+	policies := []dag.PickPolicy{dag.Unlucky{}, dag.CriticalPathFirst{}}
+	type sample struct{ w, l, t int64 }
+	cells, err := runGrid(cfg, runner.Grid[sample]{
+		Name: "FIG1",
+		Axes: []runner.Axis{{Name: "m", Size: len(ms)}, {Name: "policy", Size: len(policies)}},
+		Cell: func(_ context.Context, c runner.Cell) (sample, error) {
+			m := ms[c.At(0)]
+			L := int64(4 * m) // m | L → exact block waves
+			g := dag.Figure1(m, L)
+			t, err := completionOn(g, m, policies[c.At(1)], rational.One())
+			if err != nil {
+				return sample{}, err
+			}
+			return sample{w: g.TotalWork(), l: g.Span(), t: t}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("FIG1: Figure-1 DAG, single job on m processors",
 		"m", "W", "L", "t(unlucky)", "t(clairvoyant)", "ratio", "2-1/m")
-	for _, m := range ms {
-		L := int64(4 * m) // m | L → exact block waves
-		g := dag.Figure1(m, L)
-		tu, err := completionOn(g, m, dag.Unlucky{}, rational.One())
-		if err != nil {
-			return nil, err
-		}
-		tc, err := completionOn(g, m, dag.CriticalPathFirst{}, rational.One())
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(m, g.TotalWork(), g.Span(), tu, tc,
-			float64(tu)/float64(tc), 2-1/float64(m))
+	for i, m := range ms {
+		tu := cells[i*len(policies)]   // Unlucky
+		tc := cells[i*len(policies)+1] // CriticalPathFirst
+		tb.AddRow(m, tu.w, tu.l, tu.t, tc.t,
+			float64(tu.t)/float64(tc.t), 2-1/float64(m))
 	}
 	return []*metrics.Table{tb}, nil
 }
@@ -86,31 +99,38 @@ func RunFIG2(cfg Config) ([]*metrics.Table, error) {
 	if !cfg.Quick {
 		W, L = 256, 64
 	}
+	works := []int64{8, 4, 2, 1}
+	cells, err := runGrid(cfg, runner.Grid[int64]{
+		Name: "FIG2",
+		Axes: []runner.Axis{{Name: "node-work", Size: len(works)}},
+		Cell: func(_ context.Context, c runner.Cell) (int64, error) {
+			w := works[c.At(0)]
+			chainNodes := int((L - w) / w)
+			blockNodes := int((W - L + w) / w)
+			b := dag.NewBuilder()
+			prev := b.AddNode(w)
+			for i := 1; i < chainNodes; i++ {
+				v := b.AddNode(w)
+				b.AddEdge(prev, v)
+				prev = v
+			}
+			for i := 0; i < blockNodes; i++ {
+				v := b.AddNode(w)
+				b.AddEdge(prev, v)
+			}
+			return completionOn(b.MustBuild(), m, dag.CriticalPathFirst{}, rational.One())
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable(
 		fmt.Sprintf("FIG2: chain-then-block, W=%d L=%d on m=%d, clairvoyant policy", W, L, m),
 		"node-work", "t(measured)", "(W-L)/m+L", "formula", "W/m")
-	for _, w := range []int64{8, 4, 2, 1} {
-		chainNodes := int((L - w) / w)
-		blockNodes := int((W - L + w) / w)
-		b := dag.NewBuilder()
-		prev := b.AddNode(w)
-		for i := 1; i < chainNodes; i++ {
-			v := b.AddNode(w)
-			b.AddEdge(prev, v)
-			prev = v
-		}
-		for i := 0; i < blockNodes; i++ {
-			v := b.AddNode(w)
-			b.AddEdge(prev, v)
-		}
-		g := b.MustBuild()
-		tc, err := completionOn(g, m, dag.CriticalPathFirst{}, rational.One())
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range works {
 		ideal := float64(W-L)/m + float64(L)
 		formula := ideal - float64(w)*(1-1.0/m)
-		tb.AddRow(w, tc, ideal, formula, float64(W)/m)
+		tb.AddRow(w, cells[i], ideal, formula, float64(W)/m)
 	}
 	return []*metrics.Table{tb}, nil
 }
@@ -136,28 +156,35 @@ func RunTHM1(cfg Config) ([]*metrics.Table, error) {
 		rational.New(7, 4), // = 2 − 1/m for m = 4
 		rational.New(2, 1),
 	}
+	policies := []dag.PickPolicy{dag.Unlucky{}, dag.CriticalPathFirst{}}
+	cells, err := runGrid(cfg, runner.Grid[float64]{
+		Name: "THM1",
+		Axes: []runner.Axis{{Name: "speed", Size: len(speeds)}, {Name: "policy", Size: len(policies)}},
+		Cell: func(_ context.Context, c runner.Cell) (float64, error) {
+			inst := &workload.Instance{Name: "thm1", M: m}
+			for i := 0; i < count; i++ {
+				fn, err := profit.NewStep(1, L)
+				if err != nil {
+					return 0, err
+				}
+				inst.Jobs = append(inst.Jobs, &sim.Job{ID: i, Graph: g, Release: int64(i) * L, Profit: fn})
+			}
+			res, err := sim.Run(sim.Config{M: m, Speed: speeds[c.At(0)], Policy: policies[c.At(1)]},
+				inst.Jobs, &baselines.ListScheduler{Order: baselines.OrderEDF})
+			if err != nil {
+				return 0, err
+			}
+			return res.TotalProfit / res.OfferedProfit, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable(
 		fmt.Sprintf("THM1: %d Figure-1 jobs, W=%d L=D=%d, m=%d (threshold 2-1/m = 7/4)", count, g.TotalWork(), L, m),
 		"speed", "profit(unlucky)/offered", "profit(clairvoyant)/offered")
-	for _, s := range speeds {
-		inst := &workload.Instance{Name: "thm1", M: m}
-		for i := 0; i < count; i++ {
-			fn, err := profit.NewStep(1, L)
-			if err != nil {
-				return nil, err
-			}
-			inst.Jobs = append(inst.Jobs, &sim.Job{ID: i, Graph: g, Release: int64(i) * L, Profit: fn})
-		}
-		row := []any{s.String()}
-		for _, pol := range []dag.PickPolicy{dag.Unlucky{}, dag.CriticalPathFirst{}} {
-			res, err := sim.Run(sim.Config{M: m, Speed: s, Policy: pol},
-				inst.Jobs, &baselines.ListScheduler{Order: baselines.OrderEDF})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.TotalProfit/res.OfferedProfit)
-		}
-		tb.AddRow(row...)
+	for i, s := range speeds {
+		tb.AddRow(s.String(), cells[i*len(policies)], cells[i*len(policies)+1])
 	}
 	return []*metrics.Table{tb}, nil
 }

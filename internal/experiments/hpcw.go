@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"dagsched/internal/metrics"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/workload"
 )
 
@@ -18,33 +21,52 @@ func RunHPCW(cfg Config) ([]*metrics.Table, error) {
 		loads = []float64{1.5}
 	}
 	roster := schedulerRoster()
-	names := make([]string, 0, len(roster))
-	for _, mk := range roster {
-		names = append(names, mk().Name())
-	}
-	tb := metrics.NewTable("HPCW: profit/UB on HPC kernel mixes (m=8, eps_D = 1)",
-		append([]string{"load"}, names...)...)
-	for _, load := range loads {
-		series := make([]metrics.Series, len(roster))
-		for seed := 0; seed < cfg.seeds(); seed++ {
+	cells, err := runGrid(cfg, runner.Grid[boundedSample]{
+		Name: "HPCW",
+		Axes: []runner.Axis{{Name: "load", Size: len(loads)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (boundedSample, error) {
+			load, seed := loads[c.At(0)], c.At(1)
 			inst, err := workload.Generate(workload.Config{
 				Seed: int64(1500 + seed), N: cfg.jobs(), M: 8,
 				Eps: 1, SlackSpread: 0.4, Load: load, Scale: 2,
 				Shapes: workload.HPCMix(),
 			})
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
 			bound := upperBound(inst)
 			if bound == 0 {
-				continue
+				return boundedSample{}, nil
 			}
+			profits := make([]float64, len(roster))
 			for i, mk := range roster {
 				p, err := runProfit(inst, mk(), rational.One(), nil)
 				if err != nil {
-					return nil, err
+					return boundedSample{}, err
 				}
-				series[i].Add(p / bound)
+				profits[i] = p
+			}
+			return boundedSample{bound: bound, profits: profits}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(roster))
+	for _, mk := range roster {
+		names = append(names, mk().Name())
+	}
+	tb := metrics.NewTable("HPCW: profit/UB on HPC kernel mixes (m=8, eps_D = 1)",
+		append([]string{"load"}, names...)...)
+	for li, load := range loads {
+		series := make([]metrics.Series, len(roster))
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			smp := cells[li*cfg.seeds()+seed]
+			if smp.bound == 0 {
+				continue
+			}
+			for i := range roster {
+				series[i].Add(smp.profits[i] / smp.bound)
 			}
 		}
 		row := []any{load}

@@ -1,14 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"dagsched/internal/core"
 	"dagsched/internal/metrics"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
+
+// lemSample is one (ε × seed) cell of the LEM grid: the per-instance
+// extremes of the analysis quantities, folded across seeds during
+// aggregation.
+type lemSample struct {
+	maxN, maxXA float64
+	goodCount   int
+	total       int
+	cr          float64 // ||C||/||R||; +Inf when nothing was started
+}
 
 // RunLEM verifies the analysis quantities of Section 3 empirically on live
 // runs of scheduler S over condition-satisfying workloads:
@@ -28,52 +40,75 @@ func RunLEM(cfg Config) ([]*metrics.Table, error) {
 	if cfg.Quick {
 		epsList = []float64{1}
 	}
-	tb := metrics.NewTable("LEM: analysis quantities measured on live runs (m=8, 4x overload, tight slack)",
-		"eps", "max n/(b²m)", "δ-good frac", "max xA/(aW+L)", "Lemma5 margin", "min ||C||/||R||")
-	for _, eps := range epsList {
-		par := core.MustParams(eps)
-		b := par.B()
-		margin := (1-b)/b - 1/((par.C-1)*par.Delta)
-
-		maxN, maxXA := 0.0, 0.0
-		goodCount, total := 0, 0
-		minCR := math.Inf(1)
-		for seed := 0; seed < cfg.seeds(); seed++ {
+	cells, err := runGrid(cfg, runner.Grid[lemSample]{
+		Name: "LEM",
+		Axes: []runner.Axis{{Name: "eps", Size: len(epsList)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (lemSample, error) {
+			eps, seed := epsList[c.At(0)], c.At(1)
+			par := core.MustParams(eps)
+			b := par.B()
 			inst, err := workload.Generate(workload.Config{
 				Seed: int64(1300 + seed), N: cfg.jobs(), M: 8,
 				Eps: eps, SlackSpread: 0, Load: 4, Scale: 2,
 			})
 			if err != nil {
-				return nil, err
+				return lemSample{}, err
 			}
+			smp := lemSample{cr: math.Inf(1)}
 			probe := core.NewSchedulerS(core.Options{Params: par})
 			probe.Init(sim.Env{M: inst.M, Speed: 1})
 			for _, j := range inst.Jobs {
 				v := sim.JobView{ID: j.ID, Release: j.Release,
 					W: j.Graph.TotalWork(), L: j.Graph.Span(), Profit: j.Profit}
 				plan := probe.Plan(v)
-				total++
+				smp.total++
 				if plan.Good {
-					goodCount++
+					smp.goodCount++
 				}
-				if r := plan.NReal / (b * b * float64(inst.M)); r > maxN {
-					maxN = r
+				if r := plan.NReal / (b * b * float64(inst.M)); r > smp.maxN {
+					smp.maxN = r
 				}
 				w, l := float64(v.W), float64(v.L)
-				if r := plan.X * float64(plan.Alloc) / (par.A()*w + l); r > maxXA {
-					maxXA = r
+				if r := plan.X * float64(plan.Alloc) / (par.A()*w + l); r > smp.maxXA {
+					smp.maxXA = r
 				}
 			}
 			s := core.NewSchedulerS(core.Options{Params: par})
 			res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, s)
 			if err != nil {
-				return nil, err
+				return lemSample{}, err
 			}
 			_, startedPr := s.Started()
 			if startedPr > 0 {
-				if r := res.TotalProfit / startedPr; r < minCR {
-					minCR = r
-				}
+				smp.cr = res.TotalProfit / startedPr
+			}
+			return smp, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("LEM: analysis quantities measured on live runs (m=8, 4x overload, tight slack)",
+		"eps", "max n/(b²m)", "δ-good frac", "max xA/(aW+L)", "Lemma5 margin", "min ||C||/||R||")
+	for ei, eps := range epsList {
+		par := core.MustParams(eps)
+		b := par.B()
+		margin := (1-b)/b - 1/((par.C-1)*par.Delta)
+		maxN, maxXA := 0.0, 0.0
+		goodCount, total := 0, 0
+		minCR := math.Inf(1)
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			smp := cells[ei*cfg.seeds()+seed]
+			if smp.maxN > maxN {
+				maxN = smp.maxN
+			}
+			if smp.maxXA > maxXA {
+				maxXA = smp.maxXA
+			}
+			goodCount += smp.goodCount
+			total += smp.total
+			if smp.cr < minCR {
+				minCR = smp.cr
 			}
 		}
 		tb.AddRow(eps, maxN, float64(goodCount)/float64(total), maxXA, margin, minCR)

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"dagsched/internal/adversary"
 	"dagsched/internal/baselines"
 	"dagsched/internal/metrics"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
@@ -16,17 +18,13 @@ import (
 // paper's claim, operationalized: the mined ratio against S stays moderate
 // (its guarantee caps what any adversary can achieve given deadline slack),
 // while deadline-ordered policies can be driven to unbounded gaps — the
-// miner rediscovers domino instances on its own.
+// miner rediscovers domino instances on its own. Each (target × constraint)
+// cell regenerates its own start instance, so the expensive mining runs are
+// fully independent grid cells.
 func RunMINE(cfg Config) ([]*metrics.Table, error) {
 	iters := 200
 	if cfg.Quick {
 		iters = 40
-	}
-	start, err := workload.Generate(workload.Config{
-		Seed: 1700, N: 12, M: 4, Eps: 1, SlackSpread: 0.4, Load: 1.5, Scale: 1,
-	})
-	if err != nil {
-		return nil, err
 	}
 	targets := []struct {
 		name string
@@ -37,6 +35,33 @@ func RunMINE(cfg Config) ([]*metrics.Table, error) {
 		{"hdf", func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} }},
 		{"federated", func() sim.Scheduler { return &baselines.Federated{} }},
 	}
+	slacks := []float64{0, 1} // 0 = unrestricted, 1 = slack-preserving (eps=1)
+	type mineSample struct {
+		startRatio, ratio float64
+	}
+	cells, err := runGrid(cfg, runner.Grid[mineSample]{
+		Name: "MINE",
+		Axes: []runner.Axis{{Name: "target", Size: len(targets)}, {Name: "slack", Size: len(slacks)}},
+		Cell: func(_ context.Context, c runner.Cell) (mineSample, error) {
+			start, err := workload.Generate(workload.Config{
+				Seed: 1700, N: 12, M: 4, Eps: 1, SlackSpread: 0.4, Load: 1.5, Scale: 1,
+			})
+			if err != nil {
+				return mineSample{}, err
+			}
+			res, err := adversary.Mine(adversary.Config{
+				Seed: 77, Iterations: iters, Scheduler: targets[c.At(0)].mk,
+				MaxJobs: 30, MinSlack: slacks[c.At(1)],
+			}, start)
+			if err != nil {
+				return mineSample{}, err
+			}
+			return mineSample{startRatio: res.StartRatio, ratio: res.Ratio}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("MINE: adversarially mined competitive ratios (hill-climbing, m=4)",
 		"target", "start UB/profit", "mined (unrestricted)", "mined (slack-preserving, eps=1)")
 	fmtRatio := func(r float64) string {
@@ -45,20 +70,10 @@ func RunMINE(cfg Config) ([]*metrics.Table, error) {
 		}
 		return metrics.FormatFloat(r)
 	}
-	for _, tgt := range targets {
-		free, err := adversary.Mine(adversary.Config{
-			Seed: 77, Iterations: iters, Scheduler: tgt.mk, MaxJobs: 30,
-		}, start)
-		if err != nil {
-			return nil, err
-		}
-		slacked, err := adversary.Mine(adversary.Config{
-			Seed: 77, Iterations: iters, Scheduler: tgt.mk, MaxJobs: 30, MinSlack: 1,
-		}, start)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(tgt.name, free.StartRatio, fmtRatio(free.Ratio), fmtRatio(slacked.Ratio))
+	for ti, tgt := range targets {
+		free := cells[ti*len(slacks)]
+		slacked := cells[ti*len(slacks)+1]
+		tb.AddRow(tgt.name, free.startRatio, fmtRatio(free.ratio), fmtRatio(slacked.ratio))
 	}
 	return []*metrics.Table{tb}, nil
 }

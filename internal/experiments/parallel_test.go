@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dagsched/internal/metrics"
+)
+
+// renderAll runs every experiment under cfg and concatenates the rendered
+// tables in suite order.
+func renderAll(t *testing.T, cfg Config) string {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range All() {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for _, tb := range tables {
+			b.WriteString(tb.Render())
+		}
+	}
+	return b.String()
+}
+
+// TestSuiteDeterministicUnderParallelism is the tentpole guarantee: the
+// whole suite rendered with one worker is byte-equal to the suite rendered
+// with many workers. Cells land by coordinates, never by completion order.
+func TestSuiteDeterministicUnderParallelism(t *testing.T) {
+	serial := renderAll(t, Config{Quick: true, Seeds: 2, Parallel: 1})
+	parallel := renderAll(t, Config{Quick: true, Seeds: 2, Parallel: 8})
+	if serial != parallel {
+		t.Fatalf("parallel suite output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestExperimentCancellation checks that a canceled context aborts a grid
+// mid-run with context.Canceled instead of completing or hanging.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Quick: true, Seeds: 2, Parallel: 2, Ctx: ctx}
+	// Cancel as soon as the first cell completes: later cells must not all run.
+	cfg.Progress = func(grid string, done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}
+	_, err := RunBASE(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunBASE under canceled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExperimentPreCanceled checks the pre-canceled fast path for every
+// experiment: no tables, context error surfaced.
+func TestExperimentPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range All() {
+		tables, err := e.Run(Config{Quick: true, Seeds: 2, Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", e.ID, err)
+		}
+		if tables != nil {
+			t.Errorf("%s: returned tables despite canceled context", e.ID)
+		}
+	}
+}
+
+// TestProgressReportsGridName checks the Config → runner progress plumbing:
+// updates carry the experiment's grid name and reach full completion.
+func TestProgressReportsGridName(t *testing.T) {
+	var last struct {
+		grid        string
+		done, total int
+	}
+	calls := 0
+	cfg := Config{Quick: true, Seeds: 2, Parallel: 3}
+	cfg.Progress = func(grid string, done, total int) {
+		calls++
+		last.grid, last.done, last.total = grid, done, total
+	}
+	if _, err := RunFIG1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	if last.grid != "FIG1" {
+		t.Errorf("progress grid = %q, want FIG1", last.grid)
+	}
+	if last.done != last.total || last.done == 0 {
+		t.Errorf("final progress %d/%d, want full completion", last.done, last.total)
+	}
+}
+
+// TestABL4Deterministic pins the ABL4 redesign: the substrate-cost table is
+// a pure function of its inputs (entries examined, not wall-clock), so two
+// runs render identically and the naive column equals the item count.
+func TestABL4Deterministic(t *testing.T) {
+	run := func() *metrics.Table {
+		tables, err := RunABL4(Config{Quick: true, Seeds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables[0]
+	}
+	a, b := run(), run()
+	if a.Render() != b.Render() {
+		t.Errorf("ABL4 output not reproducible:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	for _, row := range a.Rows() {
+		// The naive scan examines every stored item exactly once per query.
+		if row[0] != row[1] {
+			t.Errorf("naive visits/query = %s, want %s (the item count)", row[1], row[0])
+		}
+	}
+}

@@ -1,14 +1,24 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"dagsched/internal/baselines"
 	"dagsched/internal/dag"
 	"dagsched/internal/metrics"
 	"dagsched/internal/realtime"
+	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 )
+
+// rtSample is one (utilization × system-seed) cell: which schedulability
+// tests accept the drawn system and which runtimes meet every deadline in
+// simulation. valid is false when the draw produced no usable system.
+type rtSample struct {
+	valid                            bool
+	fedOK, capOK, partOK, edfOK, sOK bool
+}
 
 // RunRT connects the paper to the real-time literature it cites: random
 // periodic DAG task systems at increasing normalized utilization, comparing
@@ -27,46 +37,67 @@ func RunRT(cfg Config) ([]*metrics.Table, error) {
 	}
 	systems := 2 * cfg.seeds()
 	const m = 8
-	tb := metrics.NewTable("RT: fraction of random periodic DAG systems schedulable (m=8, 2 hyperperiods)",
-		"U/m", "federated-test", "capacity-bound-2", "partitioned(sim)", "edf(sim)", "paper-S(sim)")
-	for _, u := range utils {
-		var fedOK, capOK, partOK, edfOK, sOK, total float64
-		for seed := 0; seed < systems; seed++ {
+	cells, err := runGrid(cfg, runner.Grid[rtSample]{
+		Name: "RT",
+		Axes: []runner.Axis{{Name: "U/m", Size: len(utils)}, {Name: "system", Size: systems}},
+		Cell: func(_ context.Context, c runner.Cell) (rtSample, error) {
+			u, seed := utils[c.At(0)], c.At(1)
 			sys, ok := randomSystem(rand.New(rand.NewSource(int64(1600+seed))), m, u)
 			if !ok {
-				continue
+				return rtSample{}, nil
 			}
-			total++
+			smp := rtSample{valid: true}
 			alloc := realtime.Federated(sys)
 			if alloc.Schedulable {
-				fedOK++
+				smp.fedOK = true
 				met, err := realtime.PartitionedDeadlinesMet(sys, 2*hyper(sys))
 				if err != nil {
-					return nil, err
+					return rtSample{}, err
 				}
-				if met {
-					partOK++
-				}
+				smp.partOK = met
 			}
-			if realtime.CapacityBound2(sys) {
-				capOK++
-			}
+			smp.capOK = realtime.CapacityBound2(sys)
 			for i, mk := range []func() sim.Scheduler{
 				func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} },
 				func() sim.Scheduler { return freshS(1) },
 			} {
 				met, err := realtime.AllDeadlinesMet(sys, 2*hyper(sys), mk())
 				if err != nil {
-					return nil, err
+					return rtSample{}, err
 				}
-				if met {
-					if i == 0 {
-						edfOK++
-					} else {
-						sOK++
-					}
+				if i == 0 {
+					smp.edfOK = met
+				} else {
+					smp.sOK = met
 				}
 			}
+			return smp, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("RT: fraction of random periodic DAG systems schedulable (m=8, 2 hyperperiods)",
+		"U/m", "federated-test", "capacity-bound-2", "partitioned(sim)", "edf(sim)", "paper-S(sim)")
+	count := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for ui, u := range utils {
+		var fedOK, capOK, partOK, edfOK, sOK, total float64
+		for seed := 0; seed < systems; seed++ {
+			smp := cells[ui*systems+seed]
+			if !smp.valid {
+				continue
+			}
+			total++
+			fedOK += count(smp.fedOK)
+			capOK += count(smp.capOK)
+			partOK += count(smp.partOK)
+			edfOK += count(smp.edfOK)
+			sOK += count(smp.sOK)
 		}
 		if total == 0 {
 			continue

@@ -1,14 +1,29 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
 	"dagsched/internal/metrics"
 	"dagsched/internal/rational"
+	"dagsched/internal/runner"
 	"dagsched/internal/workload"
 )
+
+// boundedSample is the per-(cell × seed) outcome shared by the theorem and
+// corollary grids: the OPT upper bound for the generated instance plus the
+// profits of the schedulers the experiment compares.
+type boundedSample struct {
+	bound   float64
+	profits []float64
+}
+
+// seedAxis names the inner seed axis every stochastic grid shares.
+func seedAxis(cfg Config) runner.Axis {
+	return runner.Axis{Name: "seed", Size: cfg.seeds()}
+}
 
 // RunTHM2 measures the empirical competitive ratio of scheduler S when every
 // deadline satisfies the Theorem 2 condition D ≥ (1+ε)((W−L)/m + L): the
@@ -21,34 +36,46 @@ func RunTHM2(cfg Config) ([]*metrics.Table, error) {
 	if cfg.Quick {
 		epsList = []float64{0.5, 1}
 	}
-	tb := metrics.NewTable("THM2: competitive ratio of S vs OPT upper bound (load 1.5, m=8)",
-		"eps", "profit(S)", "UB(OPT)", "ratio(S)", "ratio(EDF)", "paper-const")
-	for _, eps := range epsList {
-		var rs, re, ps, ub metrics.Series
-		for seed := 0; seed < cfg.seeds(); seed++ {
+	cells, err := runGrid(cfg, runner.Grid[boundedSample]{
+		Name: "THM2",
+		Axes: []runner.Axis{{Name: "eps", Size: len(epsList)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (boundedSample, error) {
+			eps, seed := epsList[c.At(0)], c.At(1)
 			inst, err := workload.Generate(workload.Config{
 				Seed: int64(100 + seed), N: cfg.jobs(), M: 8,
 				Eps: eps, SlackSpread: 0.3, Load: 1.5, Scale: 2,
 			})
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
-			bound := upperBound(inst)
 			pS, err := runProfit(inst, freshS(eps), rational.One(), nil)
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
 			pE, err := runProfit(inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, rational.One(), nil)
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
+			return boundedSample{bound: upperBound(inst), profits: []float64{pS, pE}}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("THM2: competitive ratio of S vs OPT upper bound (load 1.5, m=8)",
+		"eps", "profit(S)", "UB(OPT)", "ratio(S)", "ratio(EDF)", "paper-const")
+	for ei, eps := range epsList {
+		var rs, re, ps, ub metrics.Series
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			s := cells[ei*cfg.seeds()+seed]
+			pS, pE := s.profits[0], s.profits[1]
 			ps.Add(pS)
-			ub.Add(bound)
+			ub.Add(s.bound)
 			if pS > 0 {
-				rs.Add(bound / pS)
+				rs.Add(s.bound / pS)
 			}
 			if pE > 0 {
-				re.Add(bound / pE)
+				re.Add(s.bound / pE)
 			}
 		}
 		tb.AddRow(eps, ps.Mean(), ub.Mean(), ratioCell(&rs), ratioCell(&re),
@@ -65,32 +92,47 @@ func RunCOR1(cfg Config) ([]*metrics.Table, error) {
 		rational.One(), rational.New(3, 2), rational.New(2, 1),
 		rational.New(5, 2), rational.New(3, 1),
 	}
-	tb := metrics.NewTable("COR1: speed sweep on tight deadlines (eps_D = 0.02, load 1.2, m=8)",
-		"speed", "profit(S)/UB", "profit(EDF)/UB")
-	for _, s := range speeds {
-		var rs, re metrics.Series
-		for seed := 0; seed < cfg.seeds(); seed++ {
+	cells, err := runGrid(cfg, runner.Grid[boundedSample]{
+		Name: "COR1",
+		Axes: []runner.Axis{{Name: "speed", Size: len(speeds)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (boundedSample, error) {
+			s, seed := speeds[c.At(0)], c.At(1)
 			inst, err := workload.Generate(workload.Config{
 				Seed: int64(200 + seed), N: cfg.jobs(), M: 8,
 				Eps: 0.02, SlackSpread: 0.1, Load: 1.2, Scale: 2,
 			})
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
 			bound := upperBound(inst)
 			if bound == 0 {
-				continue
+				return boundedSample{}, nil
 			}
 			pS, err := runProfit(inst, freshS(0.5), s, nil)
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
 			pE, err := runProfit(inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, s, nil)
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
-			rs.Add(pS / bound)
-			re.Add(pE / bound)
+			return boundedSample{bound: bound, profits: []float64{pS, pE}}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("COR1: speed sweep on tight deadlines (eps_D = 0.02, load 1.2, m=8)",
+		"speed", "profit(S)/UB", "profit(EDF)/UB")
+	for si, s := range speeds {
+		var rs, re metrics.Series
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			smp := cells[si*cfg.seeds()+seed]
+			if smp.bound == 0 {
+				continue
+			}
+			rs.Add(smp.profits[0] / smp.bound)
+			re.Add(smp.profits[1] / smp.bound)
 		}
 		tb.AddRow(s.String(), ratioCell(&rs), ratioCell(&re))
 	}
@@ -105,34 +147,49 @@ func RunCOR2(cfg Config) ([]*metrics.Table, error) {
 		eps   float64
 		speed rational.Rat
 	}
-	cells := []cell{
+	cases := []cell{
 		{0.25, rational.New(5, 4)},
 		{0.5, rational.New(3, 2)},
 		{1, rational.New(2, 1)},
 	}
-	tb := metrics.NewTable("COR2: (1+eps)-speed on reasonable deadlines (eps_D = 0.02, load 1.2, m=8)",
-		"eps", "speed", "profit(S)/UB")
-	for _, c := range cells {
-		var rs metrics.Series
-		for seed := 0; seed < cfg.seeds(); seed++ {
+	cells, err := runGrid(cfg, runner.Grid[boundedSample]{
+		Name: "COR2",
+		Axes: []runner.Axis{{Name: "eps-speed", Size: len(cases)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, rc runner.Cell) (boundedSample, error) {
+			cs, seed := cases[rc.At(0)], rc.At(1)
 			inst, err := workload.Generate(workload.Config{
 				Seed: int64(300 + seed), N: cfg.jobs(), M: 8,
 				Eps: 0.02, SlackSpread: 0.2, Load: 1.2, Scale: 2,
 			})
 			if err != nil {
-				return nil, err
+				return boundedSample{}, err
 			}
 			bound := upperBound(inst)
 			if bound == 0 {
+				return boundedSample{}, nil
+			}
+			pS, err := runProfit(inst, freshS(cs.eps), cs.speed, nil)
+			if err != nil {
+				return boundedSample{}, err
+			}
+			return boundedSample{bound: bound, profits: []float64{pS}}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("COR2: (1+eps)-speed on reasonable deadlines (eps_D = 0.02, load 1.2, m=8)",
+		"eps", "speed", "profit(S)/UB")
+	for ci, cs := range cases {
+		var rs metrics.Series
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			smp := cells[ci*cfg.seeds()+seed]
+			if smp.bound == 0 {
 				continue
 			}
-			pS, err := runProfit(inst, freshS(c.eps), c.speed, nil)
-			if err != nil {
-				return nil, err
-			}
-			rs.Add(pS / bound)
+			rs.Add(smp.profits[0] / smp.bound)
 		}
-		tb.AddRow(c.eps, c.speed.String(), ratioCell(&rs))
+		tb.AddRow(cs.eps, cs.speed.String(), ratioCell(&rs))
 	}
 	return []*metrics.Table{tb}, nil
 }
@@ -147,44 +204,63 @@ func RunTHM3(cfg Config) ([]*metrics.Table, error) {
 	if cfg.Quick {
 		loads = []float64{1.5}
 	}
+	cells, err := runGrid(cfg, runner.Grid[boundedSample]{
+		Name: "THM3",
+		Axes: []runner.Axis{
+			{Name: "profit-kind", Size: len(kinds)},
+			{Name: "load", Size: len(loads)},
+			seedAxis(cfg),
+		},
+		Cell: func(_ context.Context, c runner.Cell) (boundedSample, error) {
+			kind, load, seed := kinds[c.At(0)], loads[c.At(1)], c.At(2)
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(400 + seed), N: cfg.jobs(), M: 8,
+				Eps: 1, SlackSpread: 0.3, Load: load, Scale: 2,
+				Profit: kind,
+			})
+			if err != nil {
+				return boundedSample{}, err
+			}
+			bound := upperBound(inst)
+			if bound == 0 {
+				return boundedSample{}, nil
+			}
+			pG, err := runProfit(inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1)}), rational.One(), nil)
+			if err != nil {
+				return boundedSample{}, err
+			}
+			pGW, err := runProfit(inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1), WorkConserving: true}), rational.One(), nil)
+			if err != nil {
+				return boundedSample{}, err
+			}
+			pS, err := runProfit(inst, freshS(1), rational.One(), nil)
+			if err != nil {
+				return boundedSample{}, err
+			}
+			pE, err := runProfit(inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, rational.One(), nil)
+			if err != nil {
+				return boundedSample{}, err
+			}
+			return boundedSample{bound: bound, profits: []float64{pG, pGW, pS, pE}}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("THM3: general profit functions (m=8)",
 		"profit-kind", "load", "GP/UB", "GP+wc/UB", "S(step-at-support)/UB", "EDF/UB")
-	for _, kind := range kinds {
-		for _, load := range loads {
+	for ki, kind := range kinds {
+		for li, load := range loads {
 			var rg, rgw, rs, re metrics.Series
 			for seed := 0; seed < cfg.seeds(); seed++ {
-				inst, err := workload.Generate(workload.Config{
-					Seed: int64(400 + seed), N: cfg.jobs(), M: 8,
-					Eps: 1, SlackSpread: 0.3, Load: load, Scale: 2,
-					Profit: kind,
-				})
-				if err != nil {
-					return nil, err
-				}
-				bound := upperBound(inst)
-				if bound == 0 {
+				smp := cells[(ki*len(loads)+li)*cfg.seeds()+seed]
+				if smp.bound == 0 {
 					continue
 				}
-				pG, err := runProfit(inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1)}), rational.One(), nil)
-				if err != nil {
-					return nil, err
-				}
-				pGW, err := runProfit(inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1), WorkConserving: true}), rational.One(), nil)
-				if err != nil {
-					return nil, err
-				}
-				pS, err := runProfit(inst, freshS(1), rational.One(), nil)
-				if err != nil {
-					return nil, err
-				}
-				pE, err := runProfit(inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, rational.One(), nil)
-				if err != nil {
-					return nil, err
-				}
-				rg.Add(pG / bound)
-				rgw.Add(pGW / bound)
-				rs.Add(pS / bound)
-				re.Add(pE / bound)
+				rg.Add(smp.profits[0] / smp.bound)
+				rgw.Add(smp.profits[1] / smp.bound)
+				rs.Add(smp.profits[2] / smp.bound)
+				re.Add(smp.profits[3] / smp.bound)
 			}
 			tb.AddRow(kind.String(), load, ratioCell(&rg), ratioCell(&rgw), ratioCell(&rs), ratioCell(&re))
 		}

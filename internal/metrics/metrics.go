@@ -148,6 +148,17 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a copy of the formatted data rows, for machine-readable
+// export (the -json path of cmd/spaa-bench). Mutating the result does not
+// affect the table.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // FormatFloat renders a float compactly: integers without decimals, small
 // magnitudes with enough precision to compare.
 func FormatFloat(v float64) string {

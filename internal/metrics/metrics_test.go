@@ -47,6 +47,39 @@ func TestSeriesSingleSample(t *testing.T) {
 	}
 }
 
+func TestSeriesCI95SmallN(t *testing.T) {
+	// A confidence interval needs at least two samples; below that it must
+	// be 0, not NaN (n-1 division) or a spurious width.
+	var s Series
+	if got := s.CI95(); got != 0 {
+		t.Errorf("CI95 with n=0 = %v, want 0", got)
+	}
+	s.Add(7)
+	if got := s.CI95(); got != 0 {
+		t.Errorf("CI95 with n=1 = %v, want 0", got)
+	}
+	s.Add(9)
+	if got := s.CI95(); !(got > 0) || math.IsNaN(got) {
+		t.Errorf("CI95 with n=2 = %v, want a positive finite width", got)
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("y", 2.0)
+	rows := tb.Rows()
+	if len(rows) != 2 || rows[0][0] != "x" || rows[0][1] != "1.500" || rows[1][1] != "2" {
+		t.Fatalf("Rows = %v", rows)
+	}
+	// Rows must be a deep copy: mutating it must not corrupt the table.
+	rows[0][0] = "mutated"
+	rows[1] = nil
+	if got := tb.Rows(); got[0][0] != "x" || got[1][0] != "y" {
+		t.Errorf("Rows aliases table storage: %v", got)
+	}
+}
+
 func TestCollector(t *testing.T) {
 	c := NewCollector()
 	c.Add("profit", 10)

@@ -121,11 +121,24 @@ type BandIndex interface {
 	Len() int
 }
 
+// Counted is implemented by band indexes that report a deterministic
+// machine-independent measure of structural work: the number of stored
+// entries examined (NaiveBand) or tree nodes touched (TreapBand). The ABL4
+// experiment compares substrates on this measure so its table is
+// bit-reproducible on any machine and under any runner parallelism.
+type Counted interface {
+	// Visits returns the cumulative work counter.
+	Visits() int64
+	// ResetVisits zeroes the counter (e.g. after setup inserts).
+	ResetVisits()
+}
+
 // NaiveBand is the obviously-correct BandIndex: a flat map scanned per
 // query. It is the reference implementation for property tests and the
 // baseline for the ABL4 benchmark.
 type NaiveBand struct {
-	items map[int]Item
+	items  map[int]Item
+	visits int64
 }
 
 // NewNaiveBand returns an empty NaiveBand.
@@ -152,6 +165,7 @@ func (n *NaiveBand) Remove(id int, _ float64) bool {
 func (n *NaiveBand) SumRange(lo, hi float64) float64 {
 	var s float64
 	for _, it := range n.items {
+		n.visits++
 		if it.Density >= lo && it.Density < hi {
 			s += it.Weight
 		}
@@ -159,10 +173,17 @@ func (n *NaiveBand) SumRange(lo, hi float64) float64 {
 	return s
 }
 
+// Visits implements Counted: entries examined by SumRange/SumFrom scans.
+func (n *NaiveBand) Visits() int64 { return n.visits }
+
+// ResetVisits implements Counted.
+func (n *NaiveBand) ResetVisits() { n.visits = 0 }
+
 // SumFrom implements BandIndex.
 func (n *NaiveBand) SumFrom(lo float64) float64 {
 	var s float64
 	for _, it := range n.items {
+		n.visits++
 		if it.Density >= lo {
 			s += it.Weight
 		}

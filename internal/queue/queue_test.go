@@ -224,6 +224,56 @@ func TestPropTreapMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestBandVisitCounters exercises the Counted instrumentation: both
+// substrates expose a deterministic work measure (entries examined for the
+// naive scan, tree nodes touched for the treap) that resets cleanly.
+func TestBandVisitCounters(t *testing.T) {
+	for name, b := range bandImpls() {
+		c, ok := b.(Counted)
+		if !ok {
+			t.Fatalf("%s: does not implement Counted", name)
+		}
+		for i := 0; i < 64; i++ {
+			b.Insert(Item{ID: i, Density: float64(i), Weight: 1})
+		}
+		c.ResetVisits()
+		if got := c.Visits(); got != 0 {
+			t.Fatalf("%s: Visits after reset = %d, want 0", name, got)
+		}
+		b.SumRange(10, 50)
+		first := c.Visits()
+		if first <= 0 {
+			t.Errorf("%s: SumRange recorded no visits", name)
+		}
+		b.SumFrom(30)
+		if c.Visits() <= first {
+			t.Errorf("%s: SumFrom did not accumulate visits (%d -> %d)", name, first, c.Visits())
+		}
+		// Identical queries cost identical work: the measure is a pure
+		// function of the structure, never of the clock.
+		c.ResetVisits()
+		b.SumRange(10, 50)
+		again := c.Visits()
+		if again != first {
+			t.Errorf("%s: repeated query cost %d visits, first cost %d", name, again, first)
+		}
+	}
+}
+
+// TestNaiveVisitsEqualLen pins the naive scan's cost model: an unbounded
+// range examines every stored entry exactly once.
+func TestNaiveVisitsEqualLen(t *testing.T) {
+	b := NewNaiveBand()
+	for i := 0; i < 37; i++ {
+		b.Insert(Item{ID: i, Density: float64(i % 7), Weight: 1})
+	}
+	b.ResetVisits()
+	b.SumRange(0, 1e18)
+	if got := b.Visits(); got != int64(b.Len()) {
+		t.Errorf("full-range scan visits = %d, want Len = %d", got, b.Len())
+	}
+}
+
 func benchmarkBand(b *testing.B, mk func() BandIndex, n int) {
 	rng := rand.New(rand.NewSource(7))
 	idx := mk()

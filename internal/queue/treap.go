@@ -7,9 +7,10 @@ import "math/rand"
 // expected insert, remove, and range-sum. Rotation-free split/merge keeps
 // the augmentation simple to maintain.
 type TreapBand struct {
-	root *treapNode
-	rng  *rand.Rand
-	size int
+	root   *treapNode
+	rng    *rand.Rand
+	size   int
+	visits int64
 }
 
 type treapNode struct {
@@ -50,36 +51,41 @@ func nodeSum(n *treapNode) float64 {
 	return n.sum
 }
 
-// split partitions t into (< key, ≥ key) by (density, id).
-func split(t *treapNode, d float64, id int) (lt, ge *treapNode) {
+// split partitions t into (< key, ≥ key) by (density, id), counting every
+// node touched in *visits.
+func split(t *treapNode, d float64, id int, visits *int64) (lt, ge *treapNode) {
 	if t == nil {
 		return nil, nil
 	}
+	*visits++
 	if keyLess(t.it.Density, t.it.ID, d, id) {
-		l, r := split(t.right, d, id)
+		l, r := split(t.right, d, id, visits)
 		t.right = l
 		t.recalc()
 		return t, r
 	}
-	l, r := split(t.left, d, id)
+	l, r := split(t.left, d, id, visits)
 	t.left = r
 	t.recalc()
 	return l, t
 }
 
-// merge joins l and r where every key in l precedes every key in r.
-func merge(l, r *treapNode) *treapNode {
+// merge joins l and r where every key in l precedes every key in r,
+// counting every node touched in *visits.
+func merge(l, r *treapNode, visits *int64) *treapNode {
 	switch {
 	case l == nil:
 		return r
 	case r == nil:
 		return l
 	case l.prio > r.prio:
-		l.right = merge(l.right, r)
+		*visits++
+		l.right = merge(l.right, r, visits)
 		l.recalc()
 		return l
 	default:
-		r.left = merge(l, r.left)
+		*visits++
+		r.left = merge(l, r.left, visits)
 		r.recalc()
 		return r
 	}
@@ -87,33 +93,33 @@ func merge(l, r *treapNode) *treapNode {
 
 // Insert implements BandIndex. It panics on a duplicate (density, ID) key.
 func (t *TreapBand) Insert(it Item) {
-	l, r := split(t.root, it.Density, it.ID)
+	l, r := split(t.root, it.Density, it.ID, &t.visits)
 	// Check the smallest key of r for an exact duplicate.
 	probe := r
 	for probe != nil && probe.left != nil {
 		probe = probe.left
 	}
 	if probe != nil && probe.it.ID == it.ID && probe.it.Density == it.Density {
-		t.root = merge(l, r)
+		t.root = merge(l, r, &t.visits)
 		panic("queue: duplicate key inserted into TreapBand")
 	}
 	n := &treapNode{it: it, prio: t.rng.Int63()}
 	n.recalc()
-	t.root = merge(merge(l, n), r)
+	t.root = merge(merge(l, n, &t.visits), r, &t.visits)
 	t.size++
 }
 
 // Remove implements BandIndex.
 func (t *TreapBand) Remove(id int, density float64) bool {
-	l, rest := split(t.root, density, id)
-	mid, r := split(rest, density, id+1)
+	l, rest := split(t.root, density, id, &t.visits)
+	mid, r := split(rest, density, id+1, &t.visits)
 	found := mid != nil
 	if found {
 		// mid holds exactly the single (density, id) key.
 		t.size--
-		mid = merge(mid.left, mid.right)
+		mid = merge(mid.left, mid.right, &t.visits)
 	}
-	t.root = merge(merge(l, mid), r)
+	t.root = merge(merge(l, mid, &t.visits), r, &t.visits)
 	return found
 }
 
@@ -122,20 +128,26 @@ func (t *TreapBand) SumRange(lo, hi float64) float64 {
 	if hi <= lo {
 		return 0
 	}
-	l, rest := split(t.root, lo, -1<<62)
-	mid, r := split(rest, hi, -1<<62)
+	l, rest := split(t.root, lo, -1<<62, &t.visits)
+	mid, r := split(rest, hi, -1<<62, &t.visits)
 	s := nodeSum(mid)
-	t.root = merge(merge(l, mid), r)
+	t.root = merge(merge(l, mid, &t.visits), r, &t.visits)
 	return s
 }
 
 // SumFrom implements BandIndex: total weight of densities ≥ lo.
 func (t *TreapBand) SumFrom(lo float64) float64 {
-	l, r := split(t.root, lo, -1<<62)
+	l, r := split(t.root, lo, -1<<62, &t.visits)
 	s := nodeSum(r)
-	t.root = merge(l, r)
+	t.root = merge(l, r, &t.visits)
 	return s
 }
 
 // Len implements BandIndex.
 func (t *TreapBand) Len() int { return t.size }
+
+// Visits implements Counted: tree nodes touched by split/merge traversals.
+func (t *TreapBand) Visits() int64 { return t.visits }
+
+// ResetVisits implements Counted.
+func (t *TreapBand) ResetVisits() { t.visits = 0 }

@@ -1,0 +1,211 @@
+// Package runner executes declarative experiment grids on a deterministic
+// worker pool. An experiment names its axes (instances, schedulers, seeds,
+// speeds, ε …) and provides a pure cell function; the runner fans the cells
+// out across workers and hands back results indexed by cell coordinates, so
+// a parallel run is bit-identical to a serial one regardless of completion
+// order. The reproduction suite (internal/experiments) is built entirely on
+// this package; cmd/spaa-bench exposes the worker count as -parallel.
+//
+// Determinism contract: the cell function must derive everything it needs
+// from the cell coordinates (and captured read-only data). Under that
+// contract Run returns, for any worker count, the exact slice a serial loop
+// over cells in index order would produce — results are stored by cell
+// index, never by completion order, and when several cells fail the
+// reported error is the one from the lowest-index failing cell.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Axis is one named dimension of a grid.
+type Axis struct {
+	Name string
+	Size int
+}
+
+// Cell identifies one point of a grid: its flat row-major index and one
+// coordinate per axis.
+type Cell struct {
+	Index  int
+	Coords []int
+}
+
+// At returns the coordinate along axis i (a readability helper so cell
+// functions can write c.At(0) for the first axis).
+func (c Cell) At(i int) int { return c.Coords[i] }
+
+// Grid is a declarative experiment grid: the cross product of Axes defines
+// the cell space, and Cell computes one sample. Cell must be safe to call
+// from multiple goroutines and must depend only on the cell coordinates.
+type Grid[T any] struct {
+	// Name labels the grid in progress reports and errors.
+	Name string
+	// Axes define the cell space; every Size must be ≥ 1.
+	Axes []Axis
+	// Cell computes the sample for one cell.
+	Cell func(ctx context.Context, c Cell) (T, error)
+}
+
+// Size returns the number of cells (the product of the axis sizes).
+func (g *Grid[T]) Size() int {
+	n := 1
+	for _, a := range g.Axes {
+		n *= a.Size
+	}
+	return n
+}
+
+// coords expands a flat row-major index into one coordinate per axis.
+func (g *Grid[T]) coords(index int) []int {
+	out := make([]int, len(g.Axes))
+	for i := len(g.Axes) - 1; i >= 0; i-- {
+		out[i] = index % g.Axes[i].Size
+		index /= g.Axes[i].Size
+	}
+	return out
+}
+
+// Options tunes grid execution.
+type Options struct {
+	// Parallel is the worker count; 0 (or negative) means GOMAXPROCS.
+	Parallel int
+	// Progress, if set, is called after each cell completes with the number
+	// of completed cells and the total. Calls are serialized but may arrive
+	// in any cell order; done is strictly increasing.
+	Progress func(done, total int)
+}
+
+// Workers returns the effective worker count for o.
+func (o Options) Workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cellError reports a failed cell with its grid name and coordinates.
+type cellError struct {
+	grid  string
+	cell  Cell
+	axes  []Axis
+	cause error
+}
+
+func (e *cellError) Error() string {
+	s := "runner"
+	if e.grid != "" {
+		s += ": " + e.grid
+	}
+	for i, a := range e.axes {
+		s += fmt.Sprintf(" %s=%d", a.Name, e.cell.Coords[i])
+	}
+	return fmt.Sprintf("%s: %v", s, e.cause)
+}
+
+func (e *cellError) Unwrap() error { return e.cause }
+
+// Run executes every cell of g and returns the samples indexed by flat cell
+// index. The output is independent of the worker count and of cell
+// completion order. On error it returns the failure of the lowest-index
+// failing cell (wrapped with the grid name and cell coordinates); when the
+// context is canceled before all cells finish it returns ctx.Err() unless
+// an earlier cell error is pending. Cells that never ran leave zero values
+// in the (discarded) result slice.
+func Run[T any](ctx context.Context, g Grid[T], opt Options) ([]T, error) {
+	for _, a := range g.Axes {
+		if a.Size < 1 {
+			return nil, fmt.Errorf("runner: %s: axis %q has size %d, need ≥ 1", g.Name, a.Name, a.Size)
+		}
+	}
+	if g.Cell == nil {
+		return nil, fmt.Errorf("runner: %s: nil cell function", g.Name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	total := g.Size()
+	results := make([]T, total)
+	errs := make([]error, total)
+
+	workers := opt.Workers()
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		next     atomic.Int64 // next cell index to claim
+		done     int          // completed cells, guarded by mu
+		failed   atomic.Bool  // fast-path: stop claiming new cells after a failure
+		mu       sync.Mutex   // guards done + Progress callback
+		wg       sync.WaitGroup
+		canceled = ctx.Done()
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				select {
+				case <-canceled:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				c := Cell{Index: i, Coords: g.coords(i)}
+				v, err := g.Cell(ctx, c)
+				if err != nil {
+					errs[i] = &cellError{grid: g.Name, cell: c, axes: g.Axes, cause: err}
+					failed.Store(true)
+					continue
+				}
+				results[i] = v
+				if opt.Progress != nil {
+					mu.Lock()
+					done++
+					opt.Progress(done, total)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: lowest cell index wins, so the error a
+	// caller sees does not depend on scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Map runs f over items on the worker pool and returns the outputs in input
+// order — the one-axis convenience form of Run.
+func Map[In, Out any](ctx context.Context, name string, items []In, opt Options, f func(ctx context.Context, item In, index int) (Out, error)) ([]Out, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	g := Grid[Out]{
+		Name: name,
+		Axes: []Axis{{Name: "item", Size: len(items)}},
+		Cell: func(ctx context.Context, c Cell) (Out, error) {
+			return f(ctx, items[c.Index], c.Index)
+		},
+	}
+	return Run(ctx, g, opt)
+}

@@ -1,0 +1,238 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// grid3x4 is a small two-axis grid whose cell value encodes its coordinates,
+// so result placement errors are visible.
+func grid3x4() Grid[int] {
+	return Grid[int]{
+		Name: "test",
+		Axes: []Axis{{Name: "a", Size: 3}, {Name: "b", Size: 4}},
+		Cell: func(_ context.Context, c Cell) (int, error) {
+			return 100*c.At(0) + c.At(1), nil
+		},
+	}
+}
+
+func TestRunMatchesSerialForAnyWorkerCount(t *testing.T) {
+	g := grid3x4()
+	want := make([]int, g.Size())
+	for i := range want {
+		want[i] = 100*(i/4) + i%4
+	}
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		got, err := Run(context.Background(), g, Options{Parallel: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: got %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	g := Grid[int]{Axes: []Axis{{"x", 2}, {"y", 3}, {"z", 5}}}
+	if g.Size() != 30 {
+		t.Fatalf("Size = %d, want 30", g.Size())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < g.Size(); i++ {
+		c := g.coords(i)
+		key := fmt.Sprint(c)
+		if seen[key] {
+			t.Fatalf("duplicate coords %v at index %d", c, i)
+		}
+		seen[key] = true
+		// Row-major: index = (x*3 + y)*5 + z.
+		if got := (c[0]*3+c[1])*5 + c[2]; got != i {
+			t.Errorf("coords(%d) = %v, recombines to %d", i, c, got)
+		}
+	}
+}
+
+func TestRunErrorIsLowestFailingCell(t *testing.T) {
+	g := Grid[int]{
+		Name: "failing",
+		Axes: []Axis{{Name: "i", Size: 16}},
+		Cell: func(_ context.Context, c Cell) (int, error) {
+			if c.Index%3 == 2 { // cells 2, 5, 8, … fail
+				return 0, fmt.Errorf("boom at %d", c.Index)
+			}
+			return c.Index, nil
+		},
+	}
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Run(context.Background(), g, Options{Parallel: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		// The reported failure must be cell 2 regardless of scheduling. With
+		// workers > 1 later cells may also have failed, but never earlier ones.
+		want := "runner: failing i=2: boom at 2"
+		if err.Error() != want {
+			t.Errorf("workers=%d: error %q, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestRunErrorUnwraps(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	g := Grid[int]{
+		Name: "w",
+		Axes: []Axis{{Name: "i", Size: 1}},
+		Cell: func(context.Context, Cell) (int, error) { return 0, sentinel },
+	}
+	_, err := Run(context.Background(), g, Options{Parallel: 2})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not unwrap to the cell's cause", err)
+	}
+}
+
+func TestRunCancellationMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	g := Grid[int]{
+		Name: "cancel",
+		Axes: []Axis{{Name: "i", Size: 1000}},
+		Cell: func(ctx context.Context, c Cell) (int, error) {
+			if started.Add(1) == 4 {
+				cancel()
+				close(release)
+			}
+			<-release // hold early cells until cancellation is in flight
+			return c.Index, nil
+		},
+	}
+	_, err := Run(ctx, g, Options{Parallel: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d cells ran despite cancellation", n)
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	g := Grid[int]{
+		Name: "pre-canceled",
+		Axes: []Axis{{Name: "i", Size: 50}},
+		Cell: func(context.Context, Cell) (int, error) {
+			ran.Add(1)
+			return 0, nil
+		},
+	}
+	if _, err := Run(ctx, g, Options{Parallel: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d cells ran under a pre-canceled context", ran.Load())
+	}
+}
+
+func TestRunProgressMonotonicAndComplete(t *testing.T) {
+	g := grid3x4()
+	var mu sync.Mutex
+	var dones []int
+	_, err := Run(context.Background(), g, Options{
+		Parallel: 5,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != g.Size() {
+				t.Errorf("total = %d, want %d", total, g.Size())
+			}
+			dones = append(dones, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != g.Size() {
+		t.Fatalf("progress called %d times, want %d", len(dones), g.Size())
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress done sequence %v not strictly increasing by 1", dones)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Grid[int]{
+		Name: "empty-axis",
+		Axes: []Axis{{Name: "a", Size: 0}},
+		Cell: func(context.Context, Cell) (int, error) { return 0, nil },
+	}, Options{}); err == nil {
+		t.Error("accepted zero-size axis")
+	}
+	if _, err := Run(context.Background(), Grid[int]{Name: "nil-cell", Axes: []Axis{{"a", 1}}}, Options{}); err == nil {
+		t.Error("accepted nil cell function")
+	}
+}
+
+func TestRunNoAxesIsSingleCell(t *testing.T) {
+	g := Grid[string]{
+		Name: "scalar",
+		Cell: func(_ context.Context, c Cell) (string, error) {
+			if c.Index != 0 || len(c.Coords) != 0 {
+				return "", fmt.Errorf("unexpected cell %+v", c)
+			}
+			return "ok", nil
+		},
+	}
+	got, err := Run(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "ok" {
+		t.Errorf("got %v, want [ok]", got)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	out, err := Map(context.Background(), "map", items, Options{Parallel: 3},
+		func(_ context.Context, s string, i int) (string, error) {
+			return fmt.Sprintf("%s%d", s, i), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b1", "c2", "d3", "e4"}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("got %v, want %v", out, want)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), "empty", nil, Options{},
+		func(context.Context, int, int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Errorf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestOptionsWorkers(t *testing.T) {
+	if (Options{Parallel: 3}).Workers() != 3 {
+		t.Error("explicit worker count ignored")
+	}
+	if (Options{}).Workers() < 1 {
+		t.Error("default worker count < 1")
+	}
+	if (Options{Parallel: -1}).Workers() < 1 {
+		t.Error("negative worker count not defaulted")
+	}
+}
