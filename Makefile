@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet fmt check race bench suite examples fuzz
+.PHONY: all build test vet fmt check race bench suite examples fuzz trace-demo
 
 all: vet test
 
@@ -17,14 +17,16 @@ test:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# The full local gate: formatting, vet, build, tests.
+# The full local gate: formatting, vet, build, tests. The telemetry package
+# is vetted on its own so a vet regression there is named in the output.
 check: fmt vet build test
+	go vet ./internal/telemetry/
 
 # -race across every package; the runner's worker pool and the parallel
 # experiment grids are the concurrency under test.
 race:
 	go test -race ./...
-	go test -race -count=2 ./internal/runner/ ./internal/experiments/
+	go test -race -count=2 ./internal/runner/ ./internal/experiments/ ./internal/telemetry/
 
 # The full benchmark harness: one BenchmarkEXP_* per experiment plus engine
 # micro-benchmarks.
@@ -34,6 +36,13 @@ bench:
 # The reproduction suite tables (EXPERIMENTS.md records a run of this).
 suite:
 	go run ./cmd/spaa-bench
+
+# A ready-made observability demo: the Figure-1 adversarial stream under
+# scheduler S with full telemetry. Open trace-demo.json at ui.perfetto.dev;
+# trace-demo.jsonl is the decision-event stream.
+trace-demo:
+	go run ./cmd/spaa-sim -adversarial 2 -sched s -probe 1 \
+		-perfetto trace-demo.json -events trace-demo.jsonl -telemetry-summary
 
 examples:
 	go run ./examples/quickstart

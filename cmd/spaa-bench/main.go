@@ -11,6 +11,13 @@
 //
 //	spaa-bench [-exp FIG1,THM2|all] [-run <regexp>] [-seeds N] [-quick]
 //	           [-parallel N] [-csv|-md] [-o file] [-json file] [-progress]
+//	           [-telemetry]
+//
+// -telemetry instruments every simulation run with the decision-event
+// registry and adds the per-experiment aggregate counters to the -json
+// report. The fold over runner cells is commutative, so the aggregates are
+// identical for every -parallel value. Without the flag, output is
+// byte-identical to an uninstrumented build.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"dagsched/internal/experiments"
+	"dagsched/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +46,7 @@ func main() {
 		outPath  = flag.String("o", "", "write table output to a file instead of stdout")
 		jsonPath = flag.String("json", "", "write a machine-readable BENCH report (tables + per-experiment wall-clock) to this file")
 		progress = flag.Bool("progress", false, "report per-grid cell progress on stderr")
+		telFlag  = flag.Bool("telemetry", false, "aggregate telemetry counters per experiment (reported in -json)")
 	)
 	flag.Parse()
 
@@ -81,6 +90,9 @@ func main() {
 	suiteStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
+		if *telFlag {
+			cfg.Telemetry = telemetry.NewSink()
+		}
 		tables, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spaa-bench: %s: %v\n", e.ID, err)
@@ -91,6 +103,9 @@ func main() {
 		// runs are byte-identical; wall-clock lives in the -json report.
 		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Title)
 		je := jsonExperiment{ID: e.ID, Title: e.Title, Seconds: elapsed.Seconds()}
+		if cfg.Telemetry != nil {
+			je.Telemetry = cfg.Telemetry.Counters()
+		}
 		for _, tb := range tables {
 			switch {
 			case *csv:
@@ -190,10 +205,14 @@ type benchReport struct {
 }
 
 type jsonExperiment struct {
-	ID      string      `json:"id"`
-	Title   string      `json:"title"`
-	Seconds float64     `json:"seconds"`
-	Tables  []jsonTable `json:"tables"`
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	// Telemetry holds the experiment's aggregate decision counters when the
+	// suite runs with -telemetry; the commutative fold keeps it independent
+	// of -parallel.
+	Telemetry map[string]int64 `json:"telemetry,omitempty"`
+	Tables    []jsonTable      `json:"tables"`
 }
 
 type jsonTable struct {

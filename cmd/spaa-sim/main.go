@@ -4,12 +4,21 @@
 //
 // Usage:
 //
-//	spaa-sim [-instance file.json] [-sched s|swc|nc|gp|edf|llf|fifo|hdf|federated]
+//	spaa-sim [-instance file.json | -adversarial N] [-sched s|swc|nc|gp|edf|llf|fifo|hdf|federated]
 //	         [-eps 1.0] [-speed p/q] [-policy id|random|unlucky|cp]
 //	         [-m 8] [-n 40] [-seed 1] [-load 1.5] [-profit step|linear|exp]
 //	         [-horizon 0] [-gantt] [-ub] [-verify] [-evented]
 //	         [-faults "mtbf=60,crash=0.01"] [-fault-seed 1] [-mtbf 0] [-mttr 0]
 //	         [-crash-rate 0] [-straggler-frac 0] [-straggler-slow 0] [-resilient]
+//	         [-events out.jsonl] [-perfetto out.json] [-telemetry-summary]
+//	         [-probe 1] [-probe-jobs]
+//
+// Telemetry: -events writes the run's decision-event stream as JSONL,
+// -perfetto writes a Chrome trace-event file for ui.perfetto.dev, -probe
+// samples machine time series every N ticks (exported as Perfetto counter
+// tracks), and -telemetry-summary prints the run's counter/histogram
+// registry. A -faults spec field combined with its individual override flag
+// is rejected (exit 2).
 package main
 
 import (
@@ -23,10 +32,12 @@ import (
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
 	"dagsched/internal/dag"
+	"dagsched/internal/experiments"
 	"dagsched/internal/faults"
 	"dagsched/internal/opt"
 	"dagsched/internal/rational"
 	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
 	"dagsched/internal/trace"
 	"dagsched/internal/workload"
 )
@@ -59,12 +70,37 @@ func main() {
 		stragF    = flag.Float64("straggler-frac", 0, "fraction of processors designated stragglers")
 		stragS    = flag.Float64("straggler-slow", 0, "straggler slowdown factor (≥ 1; 0 = default 4)")
 		resilient = flag.Bool("resilient", false, "use the fault-aware resilient scheduler variant")
+
+		advPhases  = flag.Int("adversarial", 0, "run the Figure-1 adversarial instance with this many phases (conflicts with -instance)")
+		eventsPath = flag.String("events", "", "write the decision-event stream as JSONL to this file")
+		perfPath   = flag.String("perfetto", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev); implies recording")
+		telSummary = flag.Bool("telemetry-summary", false, "print the run's telemetry registry (counters, gauges, histograms)")
+		probeEvery = flag.Int64("probe", 0, "sample machine time series every N ticks (0 = off; 1 = every tick)")
+		probeJobs  = flag.Bool("probe-jobs", false, "with -probe, also sample per-job series (tick engine only)")
 	)
 	flag.Parse()
 
-	fail(validateFlags(*m, *n, *horizon, *load, *eps))
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
-	inst, err := loadInstance(*instPath, *m, *n, *seed, *load, *profSel, *eps)
+	fail(validateFlags(*m, *n, *horizon, *load, *eps))
+	if *advPhases < 0 {
+		fail(fmt.Errorf("-adversarial = %d: must be ≥ 0", *advPhases))
+	}
+	if *probeEvery < 0 {
+		fail(fmt.Errorf("-probe = %d: must be ≥ 0", *probeEvery))
+	}
+	if *advPhases > 0 && *instPath != "" {
+		fatalUsage(fmt.Errorf("-adversarial conflicts with -instance: pick one workload source"))
+	}
+
+	var inst *workload.Instance
+	var err error
+	if *advPhases > 0 {
+		inst, err = experiments.AdversarialInstance(*advPhases)
+	} else {
+		inst, err = loadInstance(*instPath, *m, *n, *seed, *load, *profSel, *eps)
+	}
 	fail(err)
 
 	speed, err := parseSpeed(*speedStr)
@@ -76,14 +112,27 @@ func main() {
 	pol, err := makePolicy(*polSel, *seed)
 	fail(err)
 
+	if err := checkFaultFlagConflicts(*faultSpec, setFlags); err != nil {
+		fatalUsage(err)
+	}
 	fcfg, err := buildFaults(*faultSpec, *faultSeed, *mtbf, *mttr, *crash, *stragF, *stragS)
 	fail(err)
 	if fcfg != nil && *verify {
 		fail(fmt.Errorf("-verify is not supported with fault injection: the independent trace checker does not model faults"))
 	}
 
-	simCfg := sim.Config{M: inst.M, Speed: speed, Policy: pol, Record: *gantt || *verify,
-		Horizon: *horizon, Faults: fcfg}
+	var rec *telemetry.Recorder
+	if *eventsPath != "" || *perfPath != "" || *telSummary || *probeEvery > 0 {
+		rec = telemetry.NewRecorder()
+		if *probeEvery > 0 {
+			rec.Probe = telemetry.NewProbe(*probeEvery, *probeJobs)
+		}
+		telemetry.Attach(sched, rec)
+	}
+
+	simCfg := sim.Config{M: inst.M, Speed: speed, Policy: pol,
+		Record:  *gantt || *verify || *perfPath != "",
+		Horizon: *horizon, Faults: fcfg, Telemetry: rec}
 	var res *sim.Result
 	if *evented {
 		switch *schedSel {
@@ -95,6 +144,26 @@ func main() {
 		res, err = sim.Run(simCfg, inst.Jobs, sched)
 	}
 	fail(err)
+
+	if *eventsPath != "" {
+		fail(os.WriteFile(*eventsPath, telemetry.EventsJSONL(rec.Events()), 0o644))
+	}
+	if *perfPath != "" {
+		ct, err := trace.Perfetto(res.Trace, inst.Jobs, rec.Events())
+		fail(err)
+		if rec.Probe != nil {
+			for _, ts := range rec.Probe.Series() {
+				if strings.HasPrefix(ts.Name, "machine.") {
+					ct.AddCounterSeries(1, ts)
+				}
+			}
+			ct.SortStable()
+		}
+		f, err := os.Create(*perfPath)
+		fail(err)
+		fail(ct.WriteJSON(f))
+		fail(f.Close())
+	}
 
 	if *jsonOut {
 		res.Trace = nil // traces are large; use -gantt/-verify for those paths
@@ -131,6 +200,16 @@ func main() {
 			fail(fmt.Errorf("completions INVALID: %w", err))
 		}
 		fmt.Println("verified   schedule valid: capacity, precedence, releases, completions")
+		if rec != nil {
+			if err := trace.CrossCheckEvents(res.Trace, inst.Jobs, speed, rec.Events()); err != nil {
+				fail(fmt.Errorf("event stream INVALID: %w", err))
+			}
+			fmt.Println("verified   event stream consistent: completions and preemptions match the replay")
+		}
+	}
+	if *telSummary {
+		fmt.Println()
+		fmt.Print(rec.Registry().Table("telemetry").Render())
 	}
 	if *gantt {
 		fmt.Println()
@@ -156,6 +235,41 @@ func validateFlags(m, n int, horizon int64, load, eps float64) error {
 	}
 	if eps <= 0 {
 		return fmt.Errorf("-eps = %g: must be positive", eps)
+	}
+	return nil
+}
+
+// faultFlagKeys maps each individual fault flag to the -faults spec key it
+// overrides. checkFaultFlagConflicts rejects a run that sets both.
+var faultFlagKeys = map[string]string{
+	"fault-seed":     "seed",
+	"mtbf":           "mtbf",
+	"mttr":           "mttr",
+	"crash-rate":     "crash",
+	"straggler-frac": "straggler",
+	"straggler-slow": "slow",
+}
+
+// errFaultFlagConflict is the named usage error for a -faults spec field
+// combined with its individual override flag; main exits 2 on it.
+var errFaultFlagConflict = fmt.Errorf("conflicting fault configuration")
+
+// checkFaultFlagConflicts rejects runs where a -faults spec field and the
+// corresponding individual flag are both set explicitly — silently preferring
+// one would make the other a lie.
+func checkFaultFlagConflicts(spec string, setFlags map[string]bool) error {
+	if spec == "" {
+		return nil
+	}
+	keys, err := faults.SpecKeys(spec)
+	if err != nil {
+		return err
+	}
+	for flagName, key := range faultFlagKeys {
+		if setFlags[flagName] && keys[key] {
+			return fmt.Errorf("%w: -faults field %q and flag -%s are both set; use one",
+				errFaultFlagConflict, key, flagName)
+		}
 	}
 	return nil
 }
@@ -206,6 +320,13 @@ func fail(err error) {
 		fmt.Fprintf(os.Stderr, "spaa-sim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// fatalUsage reports a flag-usage error and exits 2, mirroring flag's own
+// bad-usage exit code (and spaa-bench's strict validation).
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "spaa-sim: %v\n", err)
+	os.Exit(2)
 }
 
 func loadInstance(path string, m, n int, seed int64, load float64, prof string, eps float64) (*workload.Instance, error) {

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
 )
 
 // Order ranks live jobs each tick; smaller keys run first.
@@ -72,6 +73,9 @@ type ListScheduler struct {
 	speed float64
 	live  map[int]sim.JobView
 	seq   []int // arrival order
+
+	tel       *telemetry.Recorder // nil unless a run recorder is attached
+	abandoned map[int]bool        // jobs already reported hopeless (telemetry only)
 }
 
 // Name implements sim.Scheduler.
@@ -93,6 +97,25 @@ func (l *ListScheduler) Init(env sim.Env) {
 	l.speed = env.Speed
 	l.live = make(map[int]sim.JobView)
 	l.seq = nil
+	l.abandoned = nil
+}
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (l *ListScheduler) SetTelemetry(rec *telemetry.Recorder) { l.tel = rec }
+
+// reportHopeless emits one abandon event per hopeless job (telemetry only;
+// the job merely stops being ranked, so without a recorder no state is kept).
+func (l *ListScheduler) reportHopeless(t int64, id int, why string) {
+	if l.tel == nil || l.abandoned[id] {
+		return
+	}
+	if l.abandoned == nil {
+		l.abandoned = make(map[int]bool)
+	}
+	l.abandoned[id] = true
+	ev := telemetry.JobEvent(t, telemetry.KindAbandon, id)
+	ev.Why = why
+	l.tel.Emit(ev)
 }
 
 // OnCapacityChange implements sim.CapacityAware.
@@ -157,10 +180,12 @@ func (l *ListScheduler) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []
 			left := float64(v.AbsDeadline() - t)
 			remain := float64(v.W - view.ExecutedWork(id))
 			if remain > left*l.speed*float64(l.mEff) {
-				continue // volume-infeasible
+				l.reportHopeless(t, id, "volume-infeasible")
+				continue
 			}
 			if float64(v.L)/l.speed > left+float64(t-v.Release) {
-				continue // span-infeasible even if executed from release
+				l.reportHopeless(t, id, "span-infeasible")
+				continue
 			}
 		}
 		order = append(order, ranked{id: id, key: l.key(t, v, view)})
@@ -214,6 +239,8 @@ type Federated struct {
 	order   []int
 	live    map[int]sim.JobView
 	recheck map[int]bool // jobs with lost work awaiting a feasibility check
+
+	tel *telemetry.Recorder // nil unless a run recorder is attached
 }
 
 // Name implements sim.Scheduler.
@@ -236,6 +263,9 @@ func (f *Federated) Init(env sim.Env) {
 	f.recheck = nil
 }
 
+// SetTelemetry implements telemetry.Instrumentable.
+func (f *Federated) SetTelemetry(rec *telemetry.Recorder) { f.tel = rec }
+
 // OnCapacityChange implements sim.CapacityAware: when the surviving capacity
 // no longer covers the granted shares, evict the most recently admitted jobs
 // first (they displaced the least prior commitment).
@@ -245,7 +275,13 @@ func (f *Federated) OnCapacityChange(t int64, capacity int) {
 	}
 	f.mEff = capacity
 	for i := len(f.order) - 1; i >= 0 && f.used > f.mEff; i-- {
-		f.release(f.order[i])
+		id := f.order[i]
+		if _, held := f.share[id]; held && f.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindAbandon, id)
+			ev.Why = "capacity-drop"
+			f.tel.Emit(ev)
+		}
+		f.release(id)
 	}
 }
 
@@ -270,6 +306,11 @@ func (f *Federated) OnArrival(t int64, v sim.JobView) {
 	var need int
 	switch {
 	case d <= l: // infeasible even on infinitely many processors
+		if f.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindReject, v.ID)
+			ev.Why = "infeasible"
+			f.tel.Emit(ev)
+		}
 		return
 	case w == l:
 		need = 1
@@ -280,12 +321,22 @@ func (f *Federated) OnArrival(t int64, v sim.JobView) {
 		}
 	}
 	if need > f.mEff-f.used {
+		if f.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindReject, v.ID)
+			ev.Why = "no-capacity"
+			f.tel.Emit(ev)
+		}
 		return // dropped: federated admission is all-or-nothing
 	}
 	f.used += need
 	f.share[v.ID] = need
 	f.live[v.ID] = v
 	f.order = append(f.order, v.ID)
+	if f.tel != nil {
+		ev := telemetry.JobEvent(t, telemetry.KindAdmit, v.ID)
+		ev.Procs = need
+		f.tel.Emit(ev)
+	}
 }
 
 // OnExpire implements sim.Scheduler.
@@ -322,6 +373,11 @@ func (f *Federated) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.
 			remain := float64(v.W - view.ExecutedWork(id))
 			left := float64(v.AbsDeadline() - t)
 			if remain > left*f.speed*float64(share) {
+				if f.tel != nil {
+					ev := telemetry.JobEvent(t, telemetry.KindAbandon, id)
+					ev.Why = "hopeless-lost-work"
+					f.tel.Emit(ev)
+				}
 				f.release(id)
 			}
 		}

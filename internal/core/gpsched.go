@@ -7,6 +7,7 @@ import (
 
 	"dagsched/internal/queue"
 	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
 )
 
 // SchedulerGP is the paper's Section 5 algorithm for general non-increasing
@@ -36,6 +37,8 @@ type SchedulerGP struct {
 
 	assigned   int     // jobs that received a slot assignment
 	assignedPr float64 // Σ p_i(D_i) over assigned jobs
+
+	tel *telemetry.Recorder // nil unless a run recorder is attached
 }
 
 // gpJob is SchedulerGP's per-job bookkeeping.
@@ -78,6 +81,9 @@ func (s *SchedulerGP) Init(env sim.Env) {
 	s.assignedPr = 0
 }
 
+// SetTelemetry implements telemetry.Instrumentable.
+func (s *SchedulerGP) SetTelemetry(rec *telemetry.Recorder) { s.tel = rec }
+
 // Assigned returns how many jobs received slot assignments and the total
 // profit S would earn by meeting every assigned deadline (the ||J|| of
 // Lemma 17's right-hand side).
@@ -114,6 +120,11 @@ func (s *SchedulerGP) OnArrival(now int64, v sim.JobView) {
 	case denom <= 0:
 		// x* violates the Theorem 3 assumption margin; the job cannot be
 		// δ-good at any allotment. Leave it unscheduled.
+		if s.tel != nil {
+			ev := telemetry.JobEvent(now, telemetry.KindReject, v.ID)
+			ev.Why = "unschedulable"
+			s.tel.Emit(ev)
+		}
 		return
 	default:
 		a := int(math.Ceil((w - l) / denom))
@@ -133,6 +144,11 @@ func (s *SchedulerGP) OnArrival(now int64, v sim.JobView) {
 
 	d, slots, ok := s.findAssignment(now, v, j)
 	if !ok {
+		if s.tel != nil {
+			ev := telemetry.JobEvent(now, telemetry.KindReject, v.ID)
+			ev.Why = "unschedulable"
+			s.tel.Emit(ev)
+		}
 		return
 	}
 	j.deadln = d
@@ -144,6 +160,12 @@ func (s *SchedulerGP) OnArrival(now int64, v sim.JobView) {
 	}
 	s.assigned++
 	s.assignedPr += v.Profit.At(d)
+	if s.tel != nil {
+		ev := telemetry.JobEvent(now, telemetry.KindSlotAssign, v.ID)
+		ev.Procs = j.alloc
+		ev.Value = float64(d)
+		s.tel.Emit(ev)
+	}
 }
 
 // findAssignment searches candidate deadlines for the minimal valid one and

@@ -6,6 +6,7 @@ import (
 
 	"dagsched/internal/queue"
 	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
 )
 
 // SchedulerNC explores the paper's third open question: can a *fully
@@ -37,6 +38,8 @@ type SchedulerNC struct {
 	started   int
 	startedPr float64
 	regrows   int // total guess doublings
+
+	tel *telemetry.Recorder // nil unless a run recorder is attached
 }
 
 // ncJob is NC's per-job bookkeeping under the current guess.
@@ -82,6 +85,9 @@ func (s *SchedulerNC) Init(env sim.Env) {
 	s.startedPr = 0
 	s.regrows = 0
 }
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (s *SchedulerNC) SetTelemetry(rec *telemetry.Recorder) { s.tel = rec }
 
 // Started mirrors SchedulerS.Started.
 func (s *SchedulerNC) Started() (count int, totalProfit float64) {
@@ -179,7 +185,22 @@ func (s *SchedulerNC) OnArrival(t int64, v sim.JobView) {
 	s.recompute(j)
 	if j.good && s.bandOK(j) {
 		s.admit(j)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindAdmit, v.ID)
+			ev.Procs = j.alloc
+			ev.Value = j.density
+			s.tel.Emit(ev)
+		}
 		return
+	}
+	if s.tel != nil {
+		ev := telemetry.JobEvent(t, telemetry.KindPark, v.ID)
+		if !j.good {
+			ev.Why = "not-delta-good"
+		} else {
+			ev.Why = "band-full"
+		}
+		s.tel.Emit(ev)
 	}
 	s.p.Insert(queue.Item{ID: v.ID, Density: j.density, Weight: j.weight})
 }
@@ -212,6 +233,12 @@ func (s *SchedulerNC) scanP(now int64) {
 		if fresh && s.bandOK(j) {
 			s.admit(j)
 			admitted = append(admitted, it.ID)
+			if s.tel != nil {
+				ev := telemetry.JobEvent(now, telemetry.KindReadmit, it.ID)
+				ev.Procs = j.alloc
+				ev.Value = j.density
+				s.tel.Emit(ev)
+			}
 		}
 		return true
 	})
@@ -221,6 +248,11 @@ func (s *SchedulerNC) scanP(now int64) {
 	for _, id := range stale {
 		s.p.Remove(id)
 		delete(s.info, id)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(now, telemetry.KindAbandon, id)
+			ev.Why = "stale"
+			s.tel.Emit(ev)
+		}
 	}
 }
 
@@ -247,6 +279,11 @@ func (s *SchedulerNC) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []si
 		}
 		s.regrows++
 		s.recompute(j)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindRegrow, id)
+			ev.Value = j.guessW
+			s.tel.Emit(ev)
+		}
 		fresh := float64(j.view.AbsDeadline()-t) >= (1+par.Delta)*j.x
 		if j.good && fresh && s.bandOK(j) {
 			s.admit(j)
@@ -272,6 +309,11 @@ func (s *SchedulerNC) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []si
 	for _, id := range expired {
 		s.dropFromQ(id)
 		delete(s.info, id)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindAbandon, id)
+			ev.Why = "past-deadline"
+			s.tel.Emit(ev)
+		}
 	}
 	return dst
 }

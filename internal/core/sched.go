@@ -7,6 +7,7 @@ import (
 
 	"dagsched/internal/queue"
 	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
 )
 
 // Ablation selects deliberately-weakened variants of scheduler S for the
@@ -113,6 +114,8 @@ type SchedulerS struct {
 
 	mEff int          // announced capacity (= m unless Resilient under faults)
 	lost map[int]bool // jobs with discarded work awaiting a slack re-check
+
+	tel *telemetry.Recorder // nil unless a run recorder is attached
 }
 
 // NewSchedulerS returns a configured scheduler S. It panics on invalid
@@ -155,6 +158,11 @@ func (s *SchedulerS) Init(env sim.Env) {
 	s.mEff = env.M
 	s.lost = nil
 }
+
+// SetTelemetry implements telemetry.Instrumentable: decision events (admit,
+// park, readmit, abandon) are emitted into rec for the next runs. Nil
+// detaches.
+func (s *SchedulerS) SetTelemetry(rec *telemetry.Recorder) { s.tel = rec }
 
 // Started returns |R| and ||R||: how many jobs S ever admitted to Q and
 // their total profit. The analysis bounds both ||C|| and ||OPT|| against
@@ -306,7 +314,22 @@ func (s *SchedulerS) OnArrival(t int64, v sim.JobView) {
 	s.info[v.ID] = info
 	if info.good && (s.opts.Ablation == AblationNoBandCheck || s.bandOK(info)) {
 		s.admit(info)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindAdmit, v.ID)
+			ev.Procs = info.alloc
+			ev.Value = info.density
+			s.tel.Emit(ev)
+		}
 		return
+	}
+	if s.tel != nil {
+		ev := telemetry.JobEvent(t, telemetry.KindPark, v.ID)
+		if !info.good {
+			ev.Why = "not-delta-good"
+		} else {
+			ev.Why = "band-full"
+		}
+		s.tel.Emit(ev)
 	}
 	s.p.Insert(queue.Item{ID: v.ID, Density: info.density, Weight: info.weight})
 }
@@ -345,6 +368,12 @@ func (s *SchedulerS) admitFromP(now int64) {
 		if fresh && s.bandOK(info) {
 			s.admit(info)
 			admitted = append(admitted, it.ID)
+			if s.tel != nil {
+				ev := telemetry.JobEvent(now, telemetry.KindReadmit, it.ID)
+				ev.Procs = info.alloc
+				ev.Value = info.density
+				s.tel.Emit(ev)
+			}
 		}
 		return true
 	})
@@ -354,6 +383,11 @@ func (s *SchedulerS) admitFromP(now int64) {
 	for _, id := range stale {
 		s.p.Remove(id)
 		delete(s.info, id)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(now, telemetry.KindAbandon, id)
+			ev.Why = "stale"
+			s.tel.Emit(ev)
+		}
 	}
 }
 
@@ -418,6 +452,11 @@ func (s *SchedulerS) recheckLost(t int64, view sim.AssignView) {
 			s.dropFromQ(id)
 			delete(s.info, id)
 			dropped = true
+			if s.tel != nil {
+				ev := telemetry.JobEvent(t, telemetry.KindAbandon, id)
+				ev.Why = "hopeless-lost-work"
+				s.tel.Emit(ev)
+			}
 		}
 	}
 	if dropped {
@@ -459,6 +498,11 @@ func (s *SchedulerS) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim
 	for _, id := range expired {
 		s.dropFromQ(id)
 		delete(s.info, id)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindAbandon, id)
+			ev.Why = "past-deadline"
+			s.tel.Emit(ev)
+		}
 	}
 	if s.opts.WorkConserving && free > 0 {
 		dst = s.topUp(t, view, dst, base, free)

@@ -93,7 +93,7 @@ func RunADV(cfg Config) ([]*metrics.Table, error) {
 		Name: "ADV",
 		Axes: []runner.Axis{{Name: "scheduler", Size: len(roster)}, {Name: "instance", Size: len(insts)}},
 		Cell: func(_ context.Context, c runner.Cell) (float64, error) {
-			return runProfit(insts[c.At(1)], roster[c.At(0)](), rational.One(), nil)
+			return runProfit(cfg, insts[c.At(1)], roster[c.At(0)](), rational.One(), nil)
 		},
 	})
 	if err != nil {

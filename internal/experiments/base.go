@@ -44,7 +44,7 @@ func RunBASE(cfg Config) ([]*metrics.Table, error) {
 			}
 			profits := make([]float64, len(roster))
 			for i, mk := range roster {
-				p, err := runProfit(inst, mk(), rational.One(), nil)
+				p, err := runProfit(cfg, inst, mk(), rational.One(), nil)
 				if err != nil {
 					return boundedSample{}, err
 				}
@@ -105,7 +105,7 @@ func runAblationTable(cfg Config, name, title string, wl workload.Config, varian
 			}
 			smp := boundedSample{bound: upperBound(inst)}
 			for _, a := range variants {
-				p, err := runProfit(inst, mk(a), rational.One(), nil)
+				p, err := runProfit(cfg, inst, mk(a), rational.One(), nil)
 				if err != nil {
 					return boundedSample{}, err
 				}
@@ -219,7 +219,7 @@ func RunOPTQ(cfg Config) ([]*metrics.Table, error) {
 				return optqSample{}, err
 			}
 			// Clairvoyant heuristic: a lower bound on OPT.
-			p, err := heuristicProfit(inst)
+			p, err := heuristicProfit(cfg, inst)
 			if err != nil {
 				return optqSample{}, err
 			}
@@ -259,8 +259,8 @@ func RunOPTQ(cfg Config) ([]*metrics.Table, error) {
 // heuristicProfit runs the strongest offline-ish heuristic available — EDF
 // with hopeless-job abandonment and clairvoyant critical-path-first node
 // picks — as an OPT lower bound.
-func heuristicProfit(inst *workload.Instance) (float64, error) {
-	return runProfit(inst,
+func heuristicProfit(cfg Config, inst *workload.Instance) (float64, error) {
+	return runProfit(cfg, inst,
 		&baselines.ListScheduler{Order: baselines.OrderEDF, AbandonHopeless: true},
 		rational.One(), dag.CriticalPathFirst{})
 }

@@ -17,6 +17,7 @@ import (
 	"dagsched/internal/rational"
 	"dagsched/internal/runner"
 	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
 	"dagsched/internal/workload"
 )
 
@@ -36,6 +37,11 @@ type Config struct {
 	Ctx context.Context
 	// Progress, if set, receives per-grid cell-completion updates.
 	Progress func(grid string, done, total int)
+	// Telemetry, if set, aggregates every simulation run's metric registry
+	// (event counters, latency histograms, engine totals) into one sink.
+	// Registry merging is commutative, so the aggregate is independent of
+	// Parallel. Nil (the default) keeps every run fully uninstrumented.
+	Telemetry *telemetry.Sink
 }
 
 // ctx returns the run context.
@@ -132,9 +138,29 @@ func IDs() []string {
 	return out
 }
 
+// runSim executes one simulation. With cfg.Telemetry set, the run is
+// instrumented (scheduler included) and its registry folded into the sink;
+// otherwise simCfg passes through untouched.
+func runSim(cfg Config, simCfg sim.Config, jobs []*sim.Job, sched sim.Scheduler) (*sim.Result, error) {
+	var rec *telemetry.Recorder
+	if cfg.Telemetry != nil {
+		rec = telemetry.NewRecorder()
+		telemetry.Attach(sched, rec)
+		simCfg.Telemetry = rec
+	}
+	res, err := sim.Run(simCfg, jobs, sched)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		cfg.Telemetry.Fold(rec.Registry())
+	}
+	return res, nil
+}
+
 // runProfit executes one scheduler on an instance and returns earned profit.
-func runProfit(inst *workload.Instance, sched sim.Scheduler, speed rational.Rat, pol dag.PickPolicy) (float64, error) {
-	res, err := sim.Run(sim.Config{M: inst.M, Speed: speed, Policy: pol}, inst.Jobs, sched)
+func runProfit(cfg Config, inst *workload.Instance, sched sim.Scheduler, speed rational.Rat, pol dag.PickPolicy) (float64, error) {
+	res, err := runSim(cfg, sim.Config{M: inst.M, Speed: speed, Policy: pol}, inst.Jobs, sched)
 	if err != nil {
 		return 0, err
 	}

@@ -69,7 +69,7 @@ func RunEXT(cfg Config) ([]*metrics.Table, error) {
 			}
 			smp := extSample{bound: bound}
 			for _, mk := range makers {
-				res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, mk())
+				res, err := runSim(cfg, sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, mk())
 				if err != nil {
 					return extSample{}, err
 				}

@@ -92,7 +92,7 @@ func RunFAULTS(cfg Config) ([]*metrics.Table, error) {
 			}
 			smp := faultSample{bound: bound}
 			for i, mk := range roster {
-				res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One(), Faults: fc}, inst.Jobs, mk())
+				res, err := runSim(cfg, sim.Config{M: inst.M, Speed: rational.One(), Faults: fc}, inst.Jobs, mk())
 				if err != nil {
 					return faultSample{}, err
 				}

@@ -33,13 +33,13 @@ func figure1Scaled(m, chainNodes int, work int64) *dag.DAG {
 
 // completionOn runs a single job alone on m processors under the policy and
 // returns its completion time (or 0 if it never completed).
-func completionOn(g *dag.DAG, m int, pol dag.PickPolicy, speed rational.Rat) (int64, error) {
+func completionOn(cfg Config, g *dag.DAG, m int, pol dag.PickPolicy, speed rational.Rat) (int64, error) {
 	fn, err := profit.NewStep(1, g.TotalWork()+g.Span()+10)
 	if err != nil {
 		return 0, err
 	}
 	job := &sim.Job{ID: 1, Graph: g, Release: 0, Profit: fn}
-	res, err := sim.Run(sim.Config{M: m, Speed: speed, Policy: pol},
+	res, err := runSim(cfg, sim.Config{M: m, Speed: speed, Policy: pol},
 		[]*sim.Job{job}, &baselines.ListScheduler{Order: baselines.OrderFIFO})
 	if err != nil {
 		return 0, err
@@ -68,7 +68,7 @@ func RunFIG1(cfg Config) ([]*metrics.Table, error) {
 			m := ms[c.At(0)]
 			L := int64(4 * m) // m | L → exact block waves
 			g := dag.Figure1(m, L)
-			t, err := completionOn(g, m, policies[c.At(1)], rational.One())
+			t, err := completionOn(cfg, g, m, policies[c.At(1)], rational.One())
 			if err != nil {
 				return sample{}, err
 			}
@@ -118,7 +118,7 @@ func RunFIG2(cfg Config) ([]*metrics.Table, error) {
 				v := b.AddNode(w)
 				b.AddEdge(prev, v)
 			}
-			return completionOn(b.MustBuild(), m, dag.CriticalPathFirst{}, rational.One())
+			return completionOn(cfg, b.MustBuild(), m, dag.CriticalPathFirst{}, rational.One())
 		},
 	})
 	if err != nil {
@@ -169,7 +169,7 @@ func RunTHM1(cfg Config) ([]*metrics.Table, error) {
 				}
 				inst.Jobs = append(inst.Jobs, &sim.Job{ID: i, Graph: g, Release: int64(i) * L, Profit: fn})
 			}
-			res, err := sim.Run(sim.Config{M: m, Speed: speeds[c.At(0)], Policy: policies[c.At(1)]},
+			res, err := runSim(cfg, sim.Config{M: m, Speed: speeds[c.At(0)], Policy: policies[c.At(1)]},
 				inst.Jobs, &baselines.ListScheduler{Order: baselines.OrderEDF})
 			if err != nil {
 				return 0, err

@@ -40,7 +40,7 @@ func RunHPCW(cfg Config) ([]*metrics.Table, error) {
 			}
 			profits := make([]float64, len(roster))
 			for i, mk := range roster {
-				p, err := runProfit(inst, mk(), rational.One(), nil)
+				p, err := runProfit(cfg, inst, mk(), rational.One(), nil)
 				if err != nil {
 					return boundedSample{}, err
 				}

@@ -74,7 +74,7 @@ func RunLEM(cfg Config) ([]*metrics.Table, error) {
 				}
 			}
 			s := core.NewSchedulerS(core.Options{Params: par})
-			res, err := sim.Run(sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, s)
+			res, err := runSim(cfg, sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, s)
 			if err != nil {
 				return lemSample{}, err
 			}

@@ -48,11 +48,11 @@ func RunTHM2(cfg Config) ([]*metrics.Table, error) {
 			if err != nil {
 				return boundedSample{}, err
 			}
-			pS, err := runProfit(inst, freshS(eps), rational.One(), nil)
+			pS, err := runProfit(cfg, inst, freshS(eps), rational.One(), nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
-			pE, err := runProfit(inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, rational.One(), nil)
+			pE, err := runProfit(cfg, inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, rational.One(), nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
@@ -108,11 +108,11 @@ func RunCOR1(cfg Config) ([]*metrics.Table, error) {
 			if bound == 0 {
 				return boundedSample{}, nil
 			}
-			pS, err := runProfit(inst, freshS(0.5), s, nil)
+			pS, err := runProfit(cfg, inst, freshS(0.5), s, nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
-			pE, err := runProfit(inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, s, nil)
+			pE, err := runProfit(cfg, inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, s, nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
@@ -168,7 +168,7 @@ func RunCOR2(cfg Config) ([]*metrics.Table, error) {
 			if bound == 0 {
 				return boundedSample{}, nil
 			}
-			pS, err := runProfit(inst, freshS(cs.eps), cs.speed, nil)
+			pS, err := runProfit(cfg, inst, freshS(cs.eps), cs.speed, nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
@@ -225,19 +225,19 @@ func RunTHM3(cfg Config) ([]*metrics.Table, error) {
 			if bound == 0 {
 				return boundedSample{}, nil
 			}
-			pG, err := runProfit(inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1)}), rational.One(), nil)
+			pG, err := runProfit(cfg, inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1)}), rational.One(), nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
-			pGW, err := runProfit(inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1), WorkConserving: true}), rational.One(), nil)
+			pGW, err := runProfit(cfg, inst, core.NewSchedulerGP(core.Options{Params: core.MustParams(1), WorkConserving: true}), rational.One(), nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
-			pS, err := runProfit(inst, freshS(1), rational.One(), nil)
+			pS, err := runProfit(cfg, inst, freshS(1), rational.One(), nil)
 			if err != nil {
 				return boundedSample{}, err
 			}
-			pE, err := runProfit(inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, rational.One(), nil)
+			pE, err := runProfit(cfg, inst, &baselines.ListScheduler{Order: baselines.OrderEDF}, rational.One(), nil)
 			if err != nil {
 				return boundedSample{}, err
 			}

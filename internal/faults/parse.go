@@ -57,3 +57,28 @@ func ParseSpec(s string) (Config, error) {
 	}
 	return c, nil
 }
+
+// SpecKeys returns the set of keys a spec string names, without building a
+// config. Callers use it to detect conflicts between a spec and individual
+// override flags. The spec must be syntactically valid per ParseSpec.
+func SpecKeys(s string) (map[string]bool, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	keys := make(map[string]bool)
+	for _, field := range strings.Split(s, ",") {
+		key, _, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad field %q (want key=value)", field)
+		}
+		key = strings.TrimSpace(key)
+		switch key {
+		case "seed", "mtbf", "mttr", "crash", "straggler", "slow":
+			keys[key] = true
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	return keys, nil
+}

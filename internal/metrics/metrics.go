@@ -22,6 +22,10 @@ func (s *Series) Add(v float64) { s.values = append(s.values, v) }
 // N returns the sample count.
 func (s *Series) N() int { return len(s.values) }
 
+// Values returns the samples in insertion order. The slice is owned by the
+// series; callers must not mutate it.
+func (s *Series) Values() []float64 { return s.values }
+
 // Mean returns the sample mean (0 for an empty series).
 func (s *Series) Mean() float64 {
 	if len(s.values) == 0 {

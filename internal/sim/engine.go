@@ -6,6 +6,7 @@ import (
 	"dagsched/internal/dag"
 	"dagsched/internal/faults"
 	"dagsched/internal/rational"
+	"dagsched/internal/telemetry"
 )
 
 // Config parameterizes a simulation run.
@@ -32,6 +33,11 @@ type Config struct {
 	// replaying a faulty run under the same Faults config reproduces it
 	// tick for tick.
 	Faults *faults.Config
+	// Telemetry, when non-nil, receives the run's decision-event stream,
+	// metric registry updates, and (when Telemetry.Probe is set) per-tick
+	// time-series samples. Nil disables instrumentation entirely: the hot
+	// tick loop then performs only nil checks and allocates nothing extra.
+	Telemetry *telemetry.Recorder
 }
 
 // liveJob is the engine's per-job runtime record.
@@ -42,6 +48,7 @@ type liveJob struct {
 	stat  JobStat
 
 	lastUseful int64 // last tick whose completion still earns profit
+	lastProcs  int   // processor grant of the previous tick (telemetry)
 	ranLast    bool  // executed in the previous tick
 	ranNow     bool
 	done       bool
@@ -134,6 +141,7 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 	for _, j := range ordered {
 		res.OfferedProfit += j.Profit.At(1)
 	}
+	rec := cfg.Telemetry
 
 	sched.Init(Env{M: cfg.M, Speed: speed.Float()})
 
@@ -194,6 +202,9 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			}
 			e.live[j.ID] = lj
 			e.liveList = append(e.liveList, lj)
+			if rec != nil {
+				rec.Emit(telemetry.JobEvent(t, telemetry.KindArrival, j.ID))
+			}
 			sched.OnArrival(t, lj.view)
 		}
 		// Expiries: completing after lastUseful earns nothing, so the job
@@ -207,6 +218,9 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 				i--
 				res.Expired++
 				res.Jobs = append(res.Jobs, lj.stat)
+				if rec != nil {
+					rec.Emit(telemetry.JobEvent(t, telemetry.KindDeadlineMiss, lj.job.ID))
+				}
 				sched.OnExpire(t, lj.job.ID)
 			}
 		}
@@ -229,6 +243,11 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			for p := range prevUp {
 				if prevUp[p] && !curUp[p] {
 					fs.CrashEvents++
+					if rec != nil {
+						rec.Emit(telemetry.ProcEvent(t, telemetry.KindFaultBegin, p))
+					}
+				} else if !prevUp[p] && curUp[p] && rec != nil {
+					rec.Emit(telemetry.ProcEvent(t, telemetry.KindFaultEnd, p))
 				}
 			}
 			copy(prevUp, curUp)
@@ -239,8 +258,15 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			if c < fs.MinCapacity {
 				fs.MinCapacity = c
 			}
-			if ca != nil && c != lastCap {
-				ca.OnCapacityChange(t, c)
+			if c != lastCap {
+				if rec != nil {
+					ev := telemetry.MachineEvent(t, telemetry.KindCapacity)
+					ev.Procs = c
+					rec.Emit(ev)
+				}
+				if ca != nil {
+					ca.OnCapacityChange(t, c)
+				}
 			}
 			lastCap = c
 		}
@@ -287,6 +313,12 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		var completed []*liveJob
 		for _, a := range allocBuf {
 			lj := e.live[a.JobID]
+			if rec != nil && a.Procs != lj.lastProcs {
+				ev := telemetry.JobEvent(t, telemetry.KindDispatch, a.JobID)
+				ev.Procs = a.Procs
+				rec.Emit(ev)
+			}
+			lj.lastProcs = a.Procs
 			procs := a.Procs
 			if fm != nil {
 				// Map the grant onto live processors in id order: grants
@@ -338,6 +370,11 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 				nodeBuf = kept
 				if failed {
 					lostScaled += lost
+					if rec != nil {
+						ev := telemetry.JobEvent(t, telemetry.KindWorkLost, a.JobID)
+						ev.Value = float64(lost / e.scale)
+						rec.Emit(ev)
+					}
 					if ca != nil {
 						ca.OnWorkLost(t, a.JobID, lost/e.scale)
 					}
@@ -363,10 +400,46 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		res.BusyProcTicks += int64(busy)
 		res.IdleProcTicks += int64(cfg.M - busy)
 
+		// Probe sampling (post-execution state of the sampled tick).
+		if rec != nil && rec.Probe.Want(t) {
+			capNow := cfg.M
+			if fm != nil {
+				capNow = len(upList)
+			}
+			ready := 0
+			for _, lj := range e.liveList {
+				if !lj.state.Done() {
+					ready += lj.state.ReadyCount()
+				}
+			}
+			rec.Probe.ObserveTick(telemetry.TickSample{
+				T: t, Capacity: capNow, Busy: busy,
+				LiveJobs: len(e.liveList), ReadyNodes: ready,
+			})
+			if rec.Probe.PerJob {
+				for _, lj := range e.liveList {
+					rem := lj.state.RemainingSpan()
+					rec.Probe.ObserveJob(telemetry.JobSample{
+						T: t, Job: lj.job.ID,
+						Executed:      lj.state.ExecutedWork() / e.scale,
+						RemainingSpan: (rem + e.scale - 1) / e.scale,
+						Slack:         lj.lastUseful + 1 - t,
+						Ready:         lj.state.ReadyCount(),
+					})
+				}
+			}
+		}
+
 		// Preemption accounting.
 		for _, lj := range e.liveList {
 			if lj.ranLast && !lj.ranNow && !lj.state.Done() {
 				lj.stat.Preemptions++
+				if rec != nil {
+					rec.Emit(telemetry.JobEvent(t, telemetry.KindPreempt, lj.job.ID))
+				}
+			}
+			if !lj.ranNow {
+				lj.lastProcs = 0
 			}
 			lj.ranLast = lj.ranNow
 			lj.ranNow = false
@@ -382,6 +455,13 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			res.TotalProfit += lj.stat.Profit
 			res.Completed++
 			res.Jobs = append(res.Jobs, lj.stat)
+			if rec != nil {
+				ev := telemetry.JobEvent(t+1, telemetry.KindComplete, lj.job.ID)
+				ev.Value = lj.stat.Profit
+				rec.Emit(ev)
+				rec.Registry().Observe("job.latency", float64(lj.stat.Latency))
+				rec.Registry().Observe("job.slack_at_finish", float64(lj.lastUseful-t))
+			}
 			delete(e.live, lj.job.ID)
 			for i, x := range e.liveList {
 				if x == lj {
@@ -401,7 +481,22 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 	if fs != nil {
 		fs.LostWork = lostScaled / e.scale
 	}
+	if rec != nil {
+		recordRunAggregates(rec, res)
+	}
 	return res, nil
+}
+
+// recordRunAggregates folds a finished run's end-state counters into the
+// recorder's registry. Shared by both engines so their registries agree.
+func recordRunAggregates(rec *telemetry.Recorder, res *Result) {
+	reg := rec.Registry()
+	reg.Inc("sim.runs", 1)
+	reg.Inc("sim.ticks", res.Ticks)
+	reg.Inc("sim.busy_proc_ticks", res.BusyProcTicks)
+	reg.Inc("sim.idle_proc_ticks", res.IdleProcTicks)
+	reg.Inc("sim.completed", int64(res.Completed))
+	reg.Inc("sim.expired", int64(res.Expired))
 }
 
 // scaleGraph returns a copy of g with every node work multiplied by k,

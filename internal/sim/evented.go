@@ -5,6 +5,7 @@ import (
 
 	"dagsched/internal/dag"
 	"dagsched/internal/rational"
+	"dagsched/internal/telemetry"
 )
 
 // RunEvented simulates like Run but advances the clock event to event
@@ -61,6 +62,7 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 	for _, j := range ordered {
 		res.OfferedProfit += j.Profit.At(1)
 	}
+	rec := cfg.Telemetry
 	sched.Init(Env{M: cfg.M, Speed: speed.Float()})
 
 	var (
@@ -98,6 +100,9 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			}
 			e.live[j.ID] = lj
 			e.liveList = append(e.liveList, lj)
+			if rec != nil {
+				rec.Emit(telemetry.JobEvent(t, telemetry.KindArrival, j.ID))
+			}
 			sched.OnArrival(t, lj.view)
 		}
 		// Expiries.
@@ -110,6 +115,9 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 				i--
 				res.Expired++
 				res.Jobs = append(res.Jobs, lj.stat)
+				if rec != nil {
+					rec.Emit(telemetry.JobEvent(t, telemetry.KindDeadlineMiss, lj.job.ID))
+				}
 				sched.OnExpire(t, lj.job.ID)
 			}
 		}
@@ -148,6 +156,12 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		busyPerTick := 0
 		for _, a := range allocBuf {
 			lj := e.live[a.JobID]
+			if rec != nil && a.Procs != lj.lastProcs {
+				ev := telemetry.JobEvent(t, telemetry.KindDispatch, a.JobID)
+				ev.Procs = a.Procs
+				rec.Emit(ev)
+			}
+			lj.lastProcs = a.Procs
 			nodeBuf = policy.Pick(lj.state, a.Procs, nodeBuf[:0])
 			running = append(running, runJob{
 				lj:    lj,
@@ -187,7 +201,18 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			delta = 1
 		}
 
-		// Fast-forward the interval.
+		// Fast-forward the interval. Ready counts are constant between
+		// events (nodes only leave the ready set by completing, which ends
+		// the interval), so the pre-interval sum serves every tick except
+		// the last, whose post-execution count is computed exactly below.
+		var readyDuring int
+		if rec != nil && rec.Probe != nil {
+			for _, lj := range e.liveList {
+				if !lj.state.Done() {
+					readyDuring += lj.state.ReadyCount()
+				}
+			}
+		}
 		var completed []*liveJob
 		for _, r := range running {
 			for _, v := range r.nodes {
@@ -215,11 +240,41 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			}
 		}
 
+		// Probe expansion over the interval: every value is constant across
+		// the fast-forwarded ticks except the final tick's ready count.
+		if rec != nil && rec.Probe != nil {
+			readyAfter := 0
+			for _, lj := range e.liveList {
+				if !lj.state.Done() {
+					readyAfter += lj.state.ReadyCount()
+				}
+			}
+			for dt := int64(0); dt < delta; dt++ {
+				if !rec.Probe.Want(t + dt) {
+					continue
+				}
+				ready := readyDuring
+				if dt == delta-1 {
+					ready = readyAfter
+				}
+				rec.Probe.ObserveTick(telemetry.TickSample{
+					T: t + dt, Capacity: cfg.M, Busy: busyPerTick,
+					LiveJobs: len(e.liveList), ReadyNodes: ready,
+				})
+			}
+		}
+
 		// Preemption accounting at the event boundary (identical to the
 		// tick engine: between events the running set is constant).
 		for _, lj := range e.liveList {
 			if lj.ranLast && !lj.ranNow && !lj.state.Done() {
 				lj.stat.Preemptions++
+				if rec != nil {
+					rec.Emit(telemetry.JobEvent(t, telemetry.KindPreempt, lj.job.ID))
+				}
+			}
+			if !lj.ranNow {
+				lj.lastProcs = 0
 			}
 			lj.ranLast = lj.ranNow
 			lj.ranNow = false
@@ -235,6 +290,13 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			res.TotalProfit += lj.stat.Profit
 			res.Completed++
 			res.Jobs = append(res.Jobs, lj.stat)
+			if rec != nil {
+				ev := telemetry.JobEvent(endT+1, telemetry.KindComplete, lj.job.ID)
+				ev.Value = lj.stat.Profit
+				rec.Emit(ev)
+				rec.Registry().Observe("job.latency", float64(lj.stat.Latency))
+				rec.Registry().Observe("job.slack_at_finish", float64(lj.lastUseful-endT))
+			}
 			delete(e.live, lj.job.ID)
 			for i, x := range e.liveList {
 				if x == lj {
@@ -250,5 +312,8 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		res.Jobs = append(res.Jobs, lj.stat)
 	}
 	res.Ticks = t
+	if rec != nil {
+		recordRunAggregates(rec, res)
+	}
 	return res, nil
 }

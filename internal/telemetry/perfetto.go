@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON
+// profile format Perfetto and chrome://tracing load). Only the phases this
+// exporter emits are modeled: "X" (complete span), "i" (instant), "C"
+// (counter), and "M" (metadata).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is a complete trace-event JSON document. One simulated tick
+// maps to one microsecond of trace time, so Perfetto's time axis reads
+// directly in ticks.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// NewChromeTrace returns an empty trace document.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{DisplayTimeUnit: "ms"}
+}
+
+// AddProcessName labels a pid ("machine", "jobs", …).
+func (c *ChromeTrace) AddProcessName(pid int, name string) {
+	c.TraceEvents = append(c.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddThreadName labels a (pid, tid) track.
+func (c *ChromeTrace) AddThreadName(pid, tid int, name string) {
+	c.TraceEvents = append(c.TraceEvents, ChromeEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddSpan appends a complete ("X") span. Zero-length spans are widened to
+// one tick so they stay visible and valid.
+func (c *ChromeTrace) AddSpan(pid, tid int, name, cat string, ts, dur int64, args map[string]any) {
+	if dur < 1 {
+		dur = 1
+	}
+	c.TraceEvents = append(c.TraceEvents, ChromeEvent{
+		Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args,
+	})
+}
+
+// AddInstant appends a thread-scoped instant ("i") event.
+func (c *ChromeTrace) AddInstant(pid, tid int, name, cat string, ts int64, args map[string]any) {
+	c.TraceEvents = append(c.TraceEvents, ChromeEvent{
+		Name: name, Cat: cat, Ph: "i", TS: ts, PID: pid, TID: tid, S: "t", Args: args,
+	})
+}
+
+// AddCounter appends a counter ("C") sample; Perfetto renders these as a
+// filled line chart on their own track.
+func (c *ChromeTrace) AddCounter(pid int, name string, ts int64, v float64) {
+	c.TraceEvents = append(c.TraceEvents, ChromeEvent{
+		Name: name, Ph: "C", TS: ts, PID: pid,
+		Args: map[string]any{"value": v},
+	})
+}
+
+// AddCounterSeries appends a whole probe time series as counter samples.
+func (c *ChromeTrace) AddCounterSeries(pid int, ts *TimeSeries) {
+	if ts == nil {
+		return
+	}
+	values := ts.Data.Values()
+	for i, t := range ts.Ticks {
+		c.AddCounter(pid, ts.Name, t, values[i])
+	}
+}
+
+// WriteJSON writes the document as deterministic, indented JSON.
+// encoding/json sorts map keys, so the byte stream is a pure function of
+// the trace content.
+func (c *ChromeTrace) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace-event
+// JSON document of the shape this exporter produces: a traceEvents array
+// whose entries carry a known phase, non-negative timestamps, durations on
+// complete spans, names on every event, and metadata/counter args where the
+// format requires them. It is the schema check run against the committed
+// golden fixture and against freshly exported traces in tests.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("telemetry: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("telemetry: trace has no traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		var ph, name string
+		if err := need(ev, "ph", &ph); err != nil {
+			return fmt.Errorf("telemetry: event %d: %v", i, err)
+		}
+		if err := need(ev, "name", &name); err != nil {
+			return fmt.Errorf("telemetry: event %d: %v", i, err)
+		}
+		switch ph {
+		case "M":
+			var args map[string]any
+			if raw, ok := ev["args"]; !ok || json.Unmarshal(raw, &args) != nil || args["name"] == nil {
+				return fmt.Errorf("telemetry: event %d: metadata %q lacks args.name", i, name)
+			}
+			continue
+		case "X", "i", "C":
+		default:
+			return fmt.Errorf("telemetry: event %d: unknown phase %q", i, ph)
+		}
+		var ts float64
+		if err := need(ev, "ts", &ts); err != nil {
+			return fmt.Errorf("telemetry: event %d: %v", i, err)
+		}
+		if ts < 0 {
+			return fmt.Errorf("telemetry: event %d: negative ts %v", i, ts)
+		}
+		if ph == "X" {
+			var dur float64
+			if err := need(ev, "dur", &dur); err != nil {
+				return fmt.Errorf("telemetry: event %d: complete span: %v", i, err)
+			}
+			if dur <= 0 {
+				return fmt.Errorf("telemetry: event %d: non-positive dur %v", i, dur)
+			}
+		}
+		if ph == "C" {
+			var args map[string]float64
+			if raw, ok := ev["args"]; !ok || json.Unmarshal(raw, &args) != nil || len(args) == 0 {
+				return fmt.Errorf("telemetry: event %d: counter %q lacks numeric args", i, name)
+			}
+		}
+	}
+	return nil
+}
+
+// need unmarshals a required key of a raw event into out.
+func need(ev map[string]json.RawMessage, key string, out any) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("bad %q: %v", key, err)
+	}
+	return nil
+}
+
+// SortStable orders events for export: metadata first, then by timestamp,
+// then (pid, tid, phase, name) — a deterministic order that keeps the file
+// diffable and stream-friendly.
+func (c *ChromeTrace) SortStable() {
+	sort.SliceStable(c.TraceEvents, func(i, j int) bool {
+		a, b := c.TraceEvents[i], c.TraceEvents[j]
+		am, bm := a.Ph == "M", b.Ph == "M"
+		if am != bm {
+			return am
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Ph != b.Ph {
+			return a.Ph < b.Ph
+		}
+		return a.Name < b.Name
+	})
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func buildSampleTrace() *ChromeTrace {
+	ct := NewChromeTrace()
+	ct.AddProcessName(1, "machine")
+	ct.AddProcessName(2, "jobs")
+	ct.AddThreadName(1, 0, "proc 0")
+	ct.AddThreadName(2, 7, "job 7")
+	ct.AddSpan(1, 0, "job 7", "exec", 0, 5, map[string]any{"job": 7})
+	ct.AddSpan(2, 7, "run ×2", "job", 0, 5, nil)
+	ct.AddInstant(2, 7, "complete", "event", 5, map[string]any{"profit": 1.5})
+	ct.AddCounter(1, "machine.util", 0, 0.25)
+	ct.AddCounter(1, "machine.util", 1, 0.5)
+	ct.SortStable()
+	return ct
+}
+
+func TestChromeTraceRoundTripValidates(t *testing.T) {
+	ct := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := ct.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("generated trace failed validation: %v", err)
+	}
+}
+
+func TestChromeTraceDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildSampleTrace().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSampleTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("trace JSON not byte-deterministic")
+	}
+}
+
+func TestAddSpanWidensZeroDur(t *testing.T) {
+	ct := NewChromeTrace()
+	ct.AddSpan(1, 0, "blip", "exec", 3, 0, nil)
+	if ct.TraceEvents[0].Dur != 1 {
+		t.Errorf("zero-dur span not widened: dur=%d", ct.TraceEvents[0].Dur)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", `{`},
+		{"no traceEvents", `{"displayTimeUnit":"ms"}`},
+		{"missing ph", `{"traceEvents":[{"name":"x","ts":0,"pid":1,"tid":0}]}`},
+		{"missing name", `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]}`},
+		{"unknown phase", `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":0}]}`},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":0,"s":"t"}]}`},
+		{"X without dur", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":0}]}`},
+		{"X zero dur", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":0,"pid":1,"tid":0}]}`},
+		{"M without args.name", `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"args":{}}]}`},
+		{"C without args", `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":1}]}`},
+	}
+	for _, c := range cases {
+		if err := ValidateChromeTrace([]byte(c.data)); err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+	// Empty-but-present traceEvents is valid.
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty traceEvents rejected: %v", err)
+	}
+}
+
+func TestAddCounterSeries(t *testing.T) {
+	p := NewProbe(1, false)
+	p.Observe("machine.util", 0, 0.5)
+	p.Observe("machine.util", 1, 0.75)
+	ct := NewChromeTrace()
+	ct.AddCounterSeries(1, p.Get("machine.util"))
+	if len(ct.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(ct.TraceEvents))
+	}
+	if ct.TraceEvents[1].TS != 1 || ct.TraceEvents[1].Args["value"] != 0.75 {
+		t.Errorf("bad counter sample: %+v", ct.TraceEvents[1])
+	}
+	ct.AddCounterSeries(1, nil) // must not panic
+}

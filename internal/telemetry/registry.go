@@ -1,0 +1,333 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dagsched/internal/metrics"
+)
+
+// Registry is a typed store of named counters, gauges, and histograms
+// aggregated over one run (or, through Sink, over a whole experiment grid).
+// The zero value is ready to use. Registries merge commutatively — counter
+// and histogram-bucket addition, gauge maximum — so folding per-cell
+// registries in any completion order yields identical aggregates.
+type Registry struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// Inc adds delta to a counter.
+func (r *Registry) Inc(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]int64)
+	}
+	r.counters[name] += delta
+}
+
+// Counter returns a counter's value (0 when absent).
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name]
+}
+
+// SetGauge records the latest value of a gauge. Across merges a gauge
+// resolves to the maximum observed value (the only order-independent choice
+// for "last value" semantics).
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if r.gauges == nil {
+		r.gauges = make(map[string]float64)
+	}
+	r.gauges[name] = v
+}
+
+// Gauge returns a gauge's value (0 when absent).
+func (r *Registry) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[name]
+}
+
+// Observe adds a sample to a histogram.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.Observe(v)
+}
+
+// Hist returns the named histogram, or nil when no sample was observed.
+func (r *Registry) Hist(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+// Counters returns a copy of the counter map.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil || len(r.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// CounterNames returns the counter names in sorted order.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistNames returns the histogram names in sorted order.
+func (r *Registry) HistNames() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GaugeNames returns the gauge names in sorted order.
+func (r *Registry) GaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.gauges))
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds o into r: counters add, histogram buckets add, gauges take
+// the maximum. Merging is commutative and associative, which is what makes
+// parallel grid aggregation deterministic.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	for k, v := range o.counters {
+		r.Inc(k, v)
+	}
+	for k, v := range o.gauges {
+		if cur, ok := r.gauges[k]; !ok || v > cur {
+			r.SetGauge(k, v)
+		}
+	}
+	for k, h := range o.hists {
+		if r.hists == nil {
+			r.hists = make(map[string]*Histogram)
+		}
+		dst := r.hists[k]
+		if dst == nil {
+			dst = &Histogram{}
+			r.hists[k] = dst
+		}
+		dst.Merge(h)
+	}
+}
+
+// Table renders the registry as a metrics table (sorted names, counters
+// then gauges then histogram summaries) for CLI summaries.
+func (r *Registry) Table(title string) *metrics.Table {
+	tb := metrics.NewTable(title, "metric", "value")
+	if r == nil {
+		return tb
+	}
+	for _, name := range r.CounterNames() {
+		tb.AddRow(name, fmt.Sprintf("%d", r.counters[name]))
+	}
+	for _, name := range r.GaugeNames() {
+		tb.AddRow(name+" (gauge)", metrics.FormatFloat(r.gauges[name]))
+	}
+	for _, name := range r.HistNames() {
+		h := r.hists[name]
+		tb.AddRow(name+" (hist)", fmt.Sprintf("n=%d min=%s p50≈%s max=%s",
+			h.Count, metrics.FormatFloat(h.Min), metrics.FormatFloat(h.Quantile(0.5)),
+			metrics.FormatFloat(h.Max)))
+	}
+	return tb
+}
+
+// Histogram counts non-negative samples in power-of-two buckets: bucket i
+// holds values v with 2^(i-1) ≤ v < 2^i (bucket 0 holds v < 1). Integer
+// bucket counts merge exactly, so parallel aggregation never depends on
+// fold order — unlike a float sum, which is deliberately not kept.
+type Histogram struct {
+	Count   int64
+	Min     float64
+	Max     float64
+	buckets [66]int64
+}
+
+// bucketOf maps a sample to its bucket index by walking the power-of-two
+// edges — exact (no log2 float rounding at the edges) and at most 65 steps.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	i := 1
+	for edge := 2.0; v >= edge && i < 65; edge *= 2 {
+		i++
+	}
+	return i
+}
+
+// Observe adds one sample (negative samples clamp to 0).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.buckets[bucketOf(v)]++
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile: the upper edge of the
+// bucket holding the q-th sample (0 for an empty histogram).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.Count-1))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			edge := 1.0
+			if i > 0 {
+				edge = math.Pow(2, float64(i))
+			}
+			// The true maximum is a tighter upper bound than the bucket edge.
+			return math.Min(edge, h.Max)
+		}
+	}
+	return h.Max
+}
+
+// Buckets returns the non-empty buckets as (upper-edge, count) pairs in
+// ascending edge order.
+func (h *Histogram) Buckets() (edges []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	for i, c := range h.buckets {
+		if c > 0 {
+			if i == 0 {
+				edges = append(edges, 1)
+			} else {
+				edges = append(edges, math.Pow(2, float64(i)))
+			}
+			counts = append(counts, c)
+		}
+	}
+	return edges, counts
+}
+
+// Sink aggregates registries across concurrent runs (the per-cell fold of a
+// runner grid). Fold is safe to call from multiple goroutines; because
+// Registry.Merge is commutative, the aggregate is independent of fold order
+// and therefore of the runner's worker count.
+type Sink struct {
+	mu  sync.Mutex
+	reg Registry
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{} }
+
+// Fold merges one run's registry into the aggregate.
+func (s *Sink) Fold(r *Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Merge(r)
+}
+
+// Snapshot returns a copy of the aggregate registry.
+func (s *Sink) Snapshot() *Registry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &Registry{}
+	out.Merge(&s.reg)
+	return out
+}
+
+// Counters returns a copy of the aggregated counters.
+func (s *Sink) Counters() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Counters()
+}

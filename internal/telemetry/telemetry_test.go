@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventJSONLDeterministicAndWellFormed(t *testing.T) {
+	events := []Event{
+		MachineEvent(0, KindCapacity),
+		JobEvent(3, KindArrival, 7),
+		{T: 5, Kind: KindDispatch, Job: 7, Proc: -1, Procs: 4},
+		{T: 9, Kind: KindComplete, Job: 7, Proc: -1, Value: 2.5},
+		{T: 11, Kind: KindPark, Job: 8, Proc: -1, Why: `not-"delta"-good\x`},
+		ProcEvent(12, KindFaultBegin, 3),
+	}
+	a := EventsJSONL(events)
+	b := EventsJSONL(events)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding not deterministic")
+	}
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(events))
+	}
+	want := []string{
+		`{"t":0,"kind":"capacity"}`,
+		`{"t":3,"kind":"arrival","job":7}`,
+		`{"t":5,"kind":"dispatch","job":7,"procs":4}`,
+		`{"t":9,"kind":"complete","job":7,"value":2.5}`,
+		`{"t":11,"kind":"park","job":8,"why":"not-\"delta\"-good\\x"}`,
+		`{"t":12,"kind":"fault_begin","proc":3}`,
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d:\n got %s\nwant %s", i, lines[i], w)
+		}
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(JobEvent(0, KindArrival, 1)) // must not panic
+	if r.Events() != nil {
+		t.Errorf("nil recorder returned events")
+	}
+	if r.Registry() != nil {
+		t.Errorf("nil recorder returned registry")
+	}
+	var reg *Registry
+	reg.Inc("x", 1)
+	reg.SetGauge("g", 2)
+	reg.Observe("h", 3)
+	if reg.Counter("x") != 0 || reg.Gauge("g") != 0 || reg.Hist("h") != nil {
+		t.Errorf("nil registry stored values")
+	}
+	var p *Probe
+	if p.Want(0) {
+		t.Errorf("nil probe wants samples")
+	}
+	p.Observe("s", 0, 1)
+	p.ObserveTick(TickSample{})
+	p.ObserveJob(JobSample{})
+	if p.Series() != nil || p.Get("s") != nil {
+		t.Errorf("nil probe returned series")
+	}
+}
+
+func TestRecorderCountsKinds(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(JobEvent(0, KindArrival, 1))
+	r.Emit(JobEvent(0, KindArrival, 2))
+	r.Emit(JobEvent(4, KindComplete, 1))
+	if got := r.Registry().Counter("events.arrival"); got != 2 {
+		t.Errorf("events.arrival = %d, want 2", got)
+	}
+	if got := r.Registry().Counter("events.complete"); got != 1 {
+		t.Errorf("events.complete = %d, want 1", got)
+	}
+	if n := len(r.Events()); n != 3 {
+		t.Errorf("len(events) = %d, want 3", n)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.5, 0}, {0.999, 0},
+		{1, 1}, {1.5, 1}, {1.999, 1},
+		{2, 2}, {3, 2}, {4, 3}, {7.9, 3}, {8, 4},
+		{1024, 11}, {math.MaxFloat64, 65},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0
+		}
+		if got := bucketOf(v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	h := &Histogram{}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	if h.Count != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count, len(cases))
+	}
+	if h.Min != 0 || h.Max != math.MaxFloat64 {
+		t.Errorf("Min/Max = %v/%v", h.Min, h.Max)
+	}
+	edges, counts := h.Buckets()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != h.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, h.Count)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Errorf("edges not ascending: %v", edges)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	// Quantile returns the upper bucket edge, so p50 of 1..100 (which lands
+	// in bucket [32,64)) must be 64.
+	if got := h.Quantile(0.5); got != 64 {
+		t.Errorf("Quantile(0.5) = %v, want 64", got)
+	}
+	if got := h.Quantile(1); got != h.Max {
+		t.Errorf("Quantile(1) = %v, want Max=%v", got, h.Max)
+	}
+	empty := &Histogram{}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestRegistryMergeCommutative(t *testing.T) {
+	build := func(vals []float64, counter int64, gauge float64) *Registry {
+		r := &Registry{}
+		r.Inc("c", counter)
+		r.SetGauge("g", gauge)
+		for _, v := range vals {
+			r.Observe("h", v)
+		}
+		return r
+	}
+	a := build([]float64{1, 5, 9}, 3, 2.0)
+	b := build([]float64{2, 100}, 4, 7.5)
+	c := build(nil, 1, 1.0)
+
+	ab := &Registry{}
+	ab.Merge(a)
+	ab.Merge(b)
+	ab.Merge(c)
+	ba := &Registry{}
+	ba.Merge(c)
+	ba.Merge(b)
+	ba.Merge(a)
+
+	if ab.Counter("c") != ba.Counter("c") || ab.Counter("c") != 8 {
+		t.Errorf("counter merge: %d vs %d", ab.Counter("c"), ba.Counter("c"))
+	}
+	if ab.Gauge("g") != ba.Gauge("g") || ab.Gauge("g") != 7.5 {
+		t.Errorf("gauge merge: %v vs %v", ab.Gauge("g"), ba.Gauge("g"))
+	}
+	ha, hb := ab.Hist("h"), ba.Hist("h")
+	if ha.Count != hb.Count || ha.Min != hb.Min || ha.Max != hb.Max {
+		t.Errorf("hist merge differs: %+v vs %+v", ha, hb)
+	}
+	ea, ca := ha.Buckets()
+	eb, cb := hb.Buckets()
+	if len(ea) != len(eb) {
+		t.Fatalf("bucket sets differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] || ca[i] != cb[i] {
+			t.Errorf("bucket %d differs", i)
+		}
+	}
+}
+
+func TestSinkConcurrentFoldOrderIndependent(t *testing.T) {
+	mkReg := func(i int) *Registry {
+		r := &Registry{}
+		r.Inc("runs", 1)
+		r.Inc("work", int64(i))
+		r.Observe("lat", float64(i%13))
+		r.SetGauge("peak", float64(i))
+		return r
+	}
+	const n = 64
+	fold := func(parallel bool) *Registry {
+		s := NewSink()
+		if parallel {
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					s.Fold(mkReg(i))
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				s.Fold(mkReg(i))
+			}
+		}
+		return s.Snapshot()
+	}
+	seq := fold(false)
+	par := fold(true)
+	if seq.Counter("runs") != n || par.Counter("runs") != n {
+		t.Fatalf("runs: %d/%d", seq.Counter("runs"), par.Counter("runs"))
+	}
+	if seq.Counter("work") != par.Counter("work") {
+		t.Errorf("work differs: %d vs %d", seq.Counter("work"), par.Counter("work"))
+	}
+	if seq.Gauge("peak") != par.Gauge("peak") {
+		t.Errorf("peak differs")
+	}
+	hs, hp := seq.Hist("lat"), par.Hist("lat")
+	if hs.Count != hp.Count || hs.Min != hp.Min || hs.Max != hp.Max {
+		t.Errorf("hist differs")
+	}
+}
+
+func TestProbeStrideAndSeries(t *testing.T) {
+	p := NewProbe(10, false)
+	for t64 := int64(0); t64 < 100; t64++ {
+		if !p.Want(t64) {
+			continue
+		}
+		p.ObserveTick(TickSample{T: t64, Capacity: 8, Busy: 4, LiveJobs: 2, ReadyNodes: 6})
+	}
+	util := p.Get("machine.util")
+	if util == nil {
+		t.Fatalf("machine.util missing")
+	}
+	if util.Data.N() != 10 {
+		t.Errorf("stride 10 over 100 ticks: got %d samples, want 10", util.Data.N())
+	}
+	if got := util.Data.Mean(); got != 0.5 {
+		t.Errorf("util mean = %v, want 0.5", got)
+	}
+	names := []string{}
+	for _, s := range p.Series() {
+		names = append(names, s.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("series not sorted: %v", names)
+		}
+	}
+	pj := NewProbe(1, true)
+	pj.ObserveJob(JobSample{T: 0, Job: 3, Executed: 10, RemainingSpan: 5, Slack: 7, Ready: 2})
+	if pj.Get("job.3.executed") == nil || pj.Get("job.3.slack") == nil {
+		t.Errorf("per-job series missing")
+	}
+}
+
+type fakeSched struct{ rec *Recorder }
+
+func (f *fakeSched) SetTelemetry(r *Recorder) { f.rec = r }
+
+func TestAttach(t *testing.T) {
+	f := &fakeSched{}
+	r := NewRecorder()
+	if !Attach(f, r) {
+		t.Errorf("Attach returned false for Instrumentable")
+	}
+	if f.rec != r {
+		t.Errorf("recorder not wired")
+	}
+	if Attach(42, r) {
+		t.Errorf("Attach returned true for non-Instrumentable")
+	}
+}
+
+func TestRegistryTable(t *testing.T) {
+	r := &Registry{}
+	r.Inc("events.arrival", 5)
+	r.SetGauge("peak_q", 3)
+	r.Observe("lat", 10)
+	tb := r.Table("telemetry")
+	out := tb.Render()
+	for _, want := range []string{"events.arrival", "peak_q", "lat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

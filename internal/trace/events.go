@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
+)
+
+// CrossCheckEvents replays tr against jobs and verifies that the decision
+// stream's completion and preemption claims are exactly the ones the replay
+// derives: every claimed "complete" matches a job whose last node finished at
+// the preceding tick, every claimed "preempt" matches a live unfinished job
+// that ran the previous tick but not this one, and no derived occurrence is
+// missing from the stream. It extends Validate's independent re-execution to
+// the telemetry layer: a scheduler or engine bug that mis-reports either
+// event kind is caught even when the schedule itself is legal.
+func CrossCheckEvents(tr *sim.Trace, jobs []*sim.Job, speed rational.Rat, events []telemetry.Event) error {
+	if tr == nil {
+		return fmt.Errorf("trace: nil trace")
+	}
+	sp := speed.Reduced()
+	if sp.IsZero() {
+		sp = rational.One()
+	}
+	if !sp.IsPositive() {
+		return fmt.Errorf("trace: non-positive speed %v", speed)
+	}
+	byID := make(map[int]*sim.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+
+	type occur struct {
+		t   int64
+		job int
+	}
+	var wantComplete, wantPreempt []occur
+
+	states := make(map[int]*dag.State, len(jobs))
+	stateOf := func(id int) (*dag.State, error) {
+		st, ok := states[id]
+		if !ok {
+			j := byID[id]
+			if j == nil {
+				return nil, fmt.Errorf("trace: t allocates unknown job %d", id)
+			}
+			g := j.Graph
+			if sp.Den > 1 {
+				g = scaleGraph(g, sp.Den)
+			}
+			st = dag.NewState(g)
+			states[id] = st
+		}
+		return st, nil
+	}
+
+	ranPrev := make(map[int]bool)
+	prevT := int64(-2)
+	for _, tick := range tr.Ticks {
+		ran := make(map[int]bool, len(tick.Allocs))
+		for _, a := range tick.Allocs {
+			ran[a.JobID] = true
+		}
+		// A job preempted at tick T ran at T−1, is still unfinished, and has
+		// not expired (expired jobs leave the system before the engine's
+		// preemption accounting, so they produce no preempt event).
+		if tick.T == prevT+1 {
+			ids := make([]int, 0, len(ranPrev))
+			for id := range ranPrev {
+				if !ran[id] {
+					ids = append(ids, id)
+				}
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				st := states[id]
+				if st != nil && st.Done() {
+					continue
+				}
+				if j := byID[id]; j != nil && tick.T >= j.AbsDeadline() {
+					continue
+				}
+				wantPreempt = append(wantPreempt, occur{t: tick.T, job: id})
+			}
+		}
+		for _, a := range tick.Allocs {
+			st, err := stateOf(a.JobID)
+			if err != nil {
+				return err
+			}
+			wasDone := st.Done()
+			for _, v := range a.Nodes {
+				st.Apply(v, sp.Num)
+			}
+			if !wasDone && st.Done() {
+				wantComplete = append(wantComplete, occur{t: tick.T + 1, job: a.JobID})
+			}
+		}
+		ranPrev = ran
+		prevT = tick.T
+	}
+
+	var gotComplete, gotPreempt []occur
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.KindComplete:
+			gotComplete = append(gotComplete, occur{t: ev.T, job: ev.Job})
+		case telemetry.KindPreempt:
+			gotPreempt = append(gotPreempt, occur{t: ev.T, job: ev.Job})
+		}
+	}
+
+	cmp := func(kind string, want, got []occur) error {
+		key := func(o occur) string { return fmt.Sprintf("t=%d job=%d", o.t, o.job) }
+		counts := make(map[string]int, len(want))
+		for _, o := range want {
+			counts[key(o)]++
+		}
+		for _, o := range got {
+			k := key(o)
+			if counts[k] == 0 {
+				return fmt.Errorf("trace: event stream claims %s at %s not supported by the replayed trace", kind, k)
+			}
+			counts[k]--
+		}
+		for k, n := range counts {
+			if n > 0 {
+				return fmt.Errorf("trace: replay derives %s at %s missing from the event stream", kind, k)
+			}
+		}
+		return nil
+	}
+	if err := cmp("complete", wantComplete, gotComplete); err != nil {
+		return err
+	}
+	return cmp("preempt", wantPreempt, gotPreempt)
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/dag"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
+	"dagsched/internal/workload"
+)
+
+// goldenJobs is a small fixed instance with contention, a preemption-prone
+// mix, and an expiring job, so the golden trace exercises spans, splits, and
+// every instant placement.
+func goldenJobs(t *testing.T) []*sim.Job {
+	t.Helper()
+	return []*sim.Job{
+		{ID: 0, Graph: dag.Block(12, 2), Release: 0, Profit: stepFn(t, 10, 40)},
+		{ID: 1, Graph: dag.Chain(6, 1), Release: 1, Profit: stepFn(t, 4, 12)},
+		{ID: 2, Graph: dag.ForkJoin(2, 3, 2), Release: 3, Profit: stepFn(t, 6, 30)},
+		{ID: 3, Graph: dag.Chain(20, 1), Release: 0, Profit: stepFn(t, 1, 5)},
+	}
+}
+
+func instrumentedRun(t *testing.T, m int, jobs []*sim.Job, sched sim.Scheduler) (*sim.Result, *telemetry.Recorder) {
+	t.Helper()
+	rec := telemetry.NewRecorder()
+	telemetry.Attach(sched, rec)
+	res, err := sim.Run(sim.Config{M: m, Speed: rational.One(), Record: true, Telemetry: rec}, jobs, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// TestPerfettoGolden renders the fixed instance and compares byte-for-byte
+// against the committed fixture. Regenerate with UPDATE_GOLDEN=1 after an
+// intentional format change and eyeball the diff in ui.perfetto.dev.
+func TestPerfettoGolden(t *testing.T) {
+	jobs := goldenJobs(t)
+	sched := core.NewSchedulerS(core.Options{Params: core.MustParams(1)})
+	res, rec := instrumentedRun(t, 4, jobs, sched)
+	ct, err := Perfetto(res.Trace, jobs, rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ct.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_perfetto.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perfetto output drifted from %s (UPDATE_GOLDEN=1 regenerates after intentional changes)", golden)
+	}
+}
+
+// TestPerfettoGoldenFixtureValid guards the committed fixture itself: it must
+// satisfy the schema check regardless of how it was produced.
+func TestPerfettoGoldenFixtureValid(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_perfetto.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTrace(data); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfettoValidatesOnEngineRuns(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{Seed: 11, N: 25, M: 6, Eps: 1, Load: 2.5, SlackSpread: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := []sim.Scheduler{
+		core.NewSchedulerS(core.Options{Params: core.MustParams(1)}),
+		&baselines.ListScheduler{Order: baselines.OrderEDF},
+	}
+	for _, sched := range scheds {
+		res, rec := instrumentedRun(t, inst.M, inst.Jobs, sched)
+		ct, err := Perfetto(res.Trace, inst.Jobs, rec.Events())
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		var buf bytes.Buffer
+		if err := ct.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.ValidateChromeTrace(buf.Bytes()); err != nil {
+			t.Errorf("%s: %v", sched.Name(), err)
+		}
+	}
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	jobs1 := goldenJobs(t)
+	jobs2 := goldenJobs(t)
+	render := func(jobs []*sim.Job) []byte {
+		sched := &baselines.ListScheduler{Order: baselines.OrderEDF}
+		res, rec := instrumentedRun(t, 4, jobs, sched)
+		ct, err := Perfetto(res.Trace, jobs, rec.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ct.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(jobs1), render(jobs2)) {
+		t.Error("identical runs rendered different perfetto documents")
+	}
+}
+
+func TestPerfettoRejectsBadInput(t *testing.T) {
+	if _, err := Perfetto(nil, nil, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := Perfetto(&sim.Trace{M: 0}, nil, nil); err == nil {
+		t.Error("zero processors accepted")
+	}
+	bad := &sim.Trace{M: 2, Ticks: []sim.TickRecord{{T: 4}, {T: 4}}}
+	if _, err := Perfetto(bad, nil, nil); err == nil || !strings.Contains(err.Error(), "increasing") {
+		t.Errorf("non-increasing ticks: err = %v", err)
+	}
+}
+
+func TestCrossCheckEventsAcceptsEngineStreams(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{Seed: 13, N: 30, M: 8, Eps: 1, Load: 3, SlackSpread: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := []sim.Scheduler{
+		core.NewSchedulerS(core.Options{Params: core.MustParams(1)}),
+		&baselines.ListScheduler{Order: baselines.OrderEDF},
+		&baselines.ListScheduler{Order: baselines.OrderHDF},
+	}
+	for _, sched := range scheds {
+		res, rec := instrumentedRun(t, inst.M, inst.Jobs, sched)
+		if err := CrossCheckEvents(res.Trace, inst.Jobs, rational.One(), rec.Events()); err != nil {
+			t.Errorf("%s: %v", sched.Name(), err)
+		}
+	}
+}
+
+func TestCrossCheckEventsSpeedScaled(t *testing.T) {
+	jobs := []*sim.Job{
+		{ID: 1, Graph: dag.ForkJoin(2, 3, 2), Release: 0, Profit: stepFn(t, 5, 100)},
+	}
+	speed := rational.New(3, 2)
+	sched := &baselines.ListScheduler{Order: baselines.OrderEDF}
+	rec := telemetry.NewRecorder()
+	res, err := sim.Run(sim.Config{M: 4, Speed: speed, Record: true, Telemetry: rec}, jobs, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CrossCheckEvents(res.Trace, jobs, speed, rec.Events()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossCheckEventsCatchesTampering(t *testing.T) {
+	jobs := goldenJobs(t)
+	sched := &baselines.ListScheduler{Order: baselines.OrderEDF}
+	res, rec := instrumentedRun(t, 4, jobs, sched)
+	events := rec.Events()
+
+	// Dropping a completion must be reported as missing.
+	dropped := make([]telemetry.Event, 0, len(events))
+	removedOne := false
+	for _, ev := range events {
+		if !removedOne && ev.Kind == telemetry.KindComplete {
+			removedOne = true
+			continue
+		}
+		dropped = append(dropped, ev)
+	}
+	if !removedOne {
+		t.Fatal("fixture produced no completions")
+	}
+	err := CrossCheckEvents(res.Trace, jobs, rational.One(), dropped)
+	if err == nil || !strings.Contains(err.Error(), "missing from the event stream") {
+		t.Errorf("dropped completion: err = %v", err)
+	}
+
+	// A fabricated completion must be reported as unsupported.
+	forged := append(append([]telemetry.Event(nil), events...),
+		telemetry.JobEvent(999, telemetry.KindComplete, 1))
+	err = CrossCheckEvents(res.Trace, jobs, rational.One(), forged)
+	if err == nil || !strings.Contains(err.Error(), "not supported by the replayed trace") {
+		t.Errorf("forged completion: err = %v", err)
+	}
+
+	// Same for a fabricated preemption.
+	forged = append(append([]telemetry.Event(nil), events...),
+		telemetry.JobEvent(999, telemetry.KindPreempt, 1))
+	err = CrossCheckEvents(res.Trace, jobs, rational.One(), forged)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("forged preemption: err = %v", err)
+	}
+
+	if err := CrossCheckEvents(nil, jobs, rational.One(), nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
