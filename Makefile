@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet fmt check race bench suite examples fuzz trace-demo
+.PHONY: all build test vet fmt check race bench bench-guard suite examples fuzz trace-demo
 
 all: vet test
 
@@ -17,10 +17,22 @@ test:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# The full local gate: formatting, vet, build, tests. The telemetry package
-# is vetted on its own so a vet regression there is named in the output.
-check: fmt vet build test
+# The full local gate: formatting, vet, build, tests, perf guards. The
+# telemetry package is vetted on its own so a vet regression there is named
+# in the output.
+check: fmt vet build test bench-guard
 	go vet ./internal/telemetry/
+
+# Perf regression gate: the allocation-budget guard on the engine's nil-
+# telemetry path, plus a short 100-iteration smoke over the engine, queue,
+# and admission micro-benchmarks so a broken benchmark is caught before it
+# hides a perf regression. (The BenchmarkEXP_* table regenerations are
+# excluded: at 100 iterations they are a full suite run, not a smoke.)
+bench-guard:
+	go vet ./...
+	go test -run TestTelemetryNilPathAllocations .
+	go test -run xxx -bench 'BenchmarkEngine|BenchmarkSpeedScaledRun|BenchmarkOptUpperBound' -benchtime=100x .
+	go test -run xxx -bench . -benchtime=100x ./internal/sim/ ./internal/queue/ ./internal/core/
 
 # -race across every package; the runner's worker pool and the parallel
 # experiment grids are the concurrency under test.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dagsched/internal/experiments"
+	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
 )
 
@@ -93,6 +94,7 @@ func main() {
 		if *telFlag {
 			cfg.Telemetry = telemetry.NewSink()
 		}
+		cfg.Routes = &sim.RouteStats{}
 		tables, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spaa-bench: %s: %v\n", e.ID, err)
@@ -103,6 +105,12 @@ func main() {
 		// runs are byte-identical; wall-clock lives in the -json report.
 		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Title)
 		je := jsonExperiment{ID: e.ID, Title: e.Title, Seconds: elapsed.Seconds()}
+		if n := cfg.Routes.Tick() + cfg.Routes.Evented(); n > 0 {
+			je.Engines = map[string]int64{
+				sim.EngineTick:    cfg.Routes.Tick(),
+				sim.EngineEvented: cfg.Routes.Evented(),
+			}
+		}
 		if cfg.Telemetry != nil {
 			je.Telemetry = cfg.Telemetry.Counters()
 		}
@@ -208,6 +216,10 @@ type jsonExperiment struct {
 	ID      string  `json:"id"`
 	Title   string  `json:"title"`
 	Seconds float64 `json:"seconds"`
+	// Engines counts how many of the experiment's simulation runs sim.RunAuto
+	// dispatched to each engine ("tick" / "evented"). Routing depends only on
+	// the (scheduler, policy, faults, probe) combination, never on -parallel.
+	Engines map[string]int64 `json:"engines,omitempty"`
 	// Telemetry holds the experiment's aggregate decision counters when the
 	// suite runs with -telemetry; the commutative fold keeps it independent
 	// of -parallel.

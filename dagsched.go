@@ -87,6 +87,14 @@ func Run(cfg SimConfig, jobs []*Job, sched Scheduler) (*Result, error) {
 	return sim.Run(cfg, jobs, sched)
 }
 
+// RunAuto simulates jobs on whichever engine — per-tick or event-jumping —
+// is provably equivalent and fastest for the given scheduler, policy, and
+// configuration. Results are bit-identical to Run; Result.Engine records the
+// choice. See sim.RunAuto.
+func RunAuto(cfg SimConfig, jobs []*Job, sched Scheduler) (*Result, error) {
+	return sim.RunAuto(cfg, jobs, sched)
+}
+
 // NewSchedulerS returns the paper's throughput scheduler for slack parameter
 // ε > 0 with the canonical δ and c constants.
 func NewSchedulerS(eps float64) (*SchedulerS, error) {

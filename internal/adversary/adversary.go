@@ -105,7 +105,7 @@ func ratio(cfg Config, inst *workload.Instance) (float64, error) {
 	if ub <= 0 {
 		return 0, nil
 	}
-	res, err := sim.Run(sim.Config{M: inst.M}, inst.Jobs, cfg.Scheduler())
+	res, err := sim.RunAuto(sim.Config{M: inst.M}, inst.Jobs, cfg.Scheduler())
 	if err != nil {
 		return 0, err
 	}

@@ -7,7 +7,9 @@
 package baselines
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"dagsched/internal/sim"
@@ -72,10 +74,17 @@ type ListScheduler struct {
 	mEff  int // announced capacity (= m unless Resilient under faults)
 	speed float64
 	live  map[int]sim.JobView
-	seq   []int // arrival order
+	seq   []int    // arrival order
+	rank  []ranked // per-tick ranking buffer, reused across Assign calls
 
 	tel       *telemetry.Recorder // nil unless a run recorder is attached
 	abandoned map[int]bool        // jobs already reported hopeless (telemetry only)
+}
+
+// ranked is one live job's position in a tick's ranking.
+type ranked struct {
+	id  int
+	key float64
 }
 
 // Name implements sim.Scheduler.
@@ -88,6 +97,16 @@ func (l *ListScheduler) Name() string {
 		n += "+res"
 	}
 	return n
+}
+
+// EventSafe implements sim.EventSafe: the ranking keys of EDF, FIFO, HDF and
+// Profit are fixed per job, so the allocation only changes at events. LLF's
+// laxity and the AbandonHopeless volume test re-read the clock and executed
+// work every tick, so those configurations are not event-stationary. (The
+// Resilient callbacks fire only under fault injection, which RunAuto routes
+// to the tick engine anyway.)
+func (l *ListScheduler) EventSafe() bool {
+	return l.Order != OrderLLF && !l.AbandonHopeless
 }
 
 // Init implements sim.Scheduler.
@@ -166,11 +185,7 @@ func (l *ListScheduler) key(t int64, v sim.JobView, view sim.AssignView) float64
 
 // Assign implements sim.Scheduler.
 func (l *ListScheduler) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim.Alloc {
-	type ranked struct {
-		id  int
-		key float64
-	}
-	order := make([]ranked, 0, len(l.live))
+	order := l.rank[:0]
 	for _, id := range l.seq {
 		v, ok := l.live[id]
 		if !ok {
@@ -190,11 +205,15 @@ func (l *ListScheduler) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []
 		}
 		order = append(order, ranked{id: id, key: l.key(t, v, view)})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].key != order[j].key {
-			return order[i].key < order[j].key
+	l.rank = order
+	slices.SortFunc(order, func(a, b ranked) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
 		}
-		return order[i].id < order[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	free := l.mEff
 	for _, r := range order {
@@ -250,6 +269,12 @@ func (f *Federated) Name() string {
 	}
 	return "federated"
 }
+
+// EventSafe implements sim.EventSafe: shares are fixed at admission and
+// handed out unchanged every tick, so the allocation only changes at events
+// (the resilient re-checks fire only under fault injection, which RunAuto
+// routes to the tick engine anyway).
+func (f *Federated) EventSafe() bool { return true }
 
 // Init implements sim.Scheduler.
 func (f *Federated) Init(env sim.Env) {

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dagsched/internal/core"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+)
+
+// admissionView builds a chain-shaped job view (W = L, so allotment 1 and
+// x = L) whose density is value/L. Deadlines are far away, so every job is
+// δ-good and weights are tiny enough that condition (2) never rejects: the
+// benchmark isolates the cost of the admission query itself, not its verdict.
+func admissionView(id int, value float64) sim.JobView {
+	const deadline = 1_000_000_000
+	fn, err := profit.NewStep(value, deadline)
+	if err != nil {
+		panic(err)
+	}
+	return sim.JobView{ID: id, Release: 0, W: 100, L: 100, Profit: fn}
+}
+
+// benchAdmission measures one OnArrival+OnExpire round trip against a Q
+// already holding n live jobs with distinct densities. The probe's density
+// sits below every queued job's, so the condition-(2) check must step past
+// the entire higher-density prefix of Q — the component of the admission
+// query that scales with queue length.
+func benchAdmission(b *testing.B, n int) {
+	s := core.NewSchedulerS(core.Options{Params: core.MustParams(1)})
+	s.Init(sim.Env{M: 8, Speed: 1})
+	// Prefill in density-descending order: each arrival tops the queue, so
+	// setup stays near-linear in n.
+	for i := 0; i < n; i++ {
+		s.OnArrival(0, admissionView(i, float64(n-i)))
+	}
+	if q, _ := s.QueueSizes(); q != n {
+		b.Fatalf("prefill admitted %d of %d jobs", q, n)
+	}
+	probe := admissionView(n, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnArrival(0, probe)
+		s.OnExpire(0, probe.ID)
+	}
+}
+
+func BenchmarkAdmission(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchAdmission(b, n) })
+	}
+}

@@ -104,10 +104,13 @@ type SchedulerS struct {
 	m     int
 	speed float64
 
-	q    queue.DensityList // started jobs, density-descending
-	p    queue.DensityList // waiting jobs, density-descending
-	band queue.BandIndex   // allotments of Q by density
+	q    *queue.DensityTreap // started jobs, density-descending
+	p    *queue.DensityTreap // waiting jobs, density-descending
+	band queue.BandIndex     // allotments of Q by density
 	info map[int]*jobInfo
+
+	admitBuf, staleBuf []int // admitFromP scratch, reused across calls
+	expiredBuf         []int // Assign scratch, reused across ticks
 
 	started   int     // |R|: jobs ever admitted to Q
 	startedPr float64 // ||R||: their total profit
@@ -145,12 +148,21 @@ func (s *SchedulerS) Name() string {
 	return n
 }
 
+// EventSafe implements sim.EventSafe: every decision S takes — admission on
+// arrival, refill from P on completion, expiry on deadline, density-ordered
+// allocation — is driven by events, never by the clock or executed work
+// between events. This holds for every ablation and for the work-conserving
+// extension (ReadyCount is interval-stable); the Resilient callbacks fire
+// only under fault injection, which RunAuto already routes to the tick
+// engine.
+func (s *SchedulerS) EventSafe() bool { return true }
+
 // Init implements sim.Scheduler.
 func (s *SchedulerS) Init(env sim.Env) {
 	s.m = env.M
 	s.speed = env.Speed
-	s.q = queue.DensityList{}
-	s.p = queue.DensityList{}
+	s.q = queue.NewDensityTreap(0x51eed0)
+	s.p = queue.NewDensityTreap(0x51eed1)
 	s.band = s.opts.NewBand()
 	s.info = make(map[int]*jobInfo)
 	s.started = 0
@@ -259,7 +271,10 @@ func (s *SchedulerS) Plan(v sim.JobView) Plan {
 // in Q∪{cand}, the total allotment with density in [v_j, c·v_j) must stay
 // ≤ b·m. Only bands containing cand's density can change, so it suffices to
 // check cand's own band plus the bands of queued jobs J_j with
-// v_j ∈ (v_cand/c, v_cand].
+// v_j ∈ (v_cand/c, v_cand]. ForEachFrom lands on the first such job in
+// O(log n) — the denser prefix, whose bands cannot contain v, is skipped
+// structurally — and each band sum is an O(log n) treap query, so the whole
+// check costs O(k log n) for the k jobs inside one multiplicative band.
 func (s *SchedulerS) bandOK(cand *jobInfo) bool {
 	par := s.opts.Params
 	bm := par.B() * float64(s.m)
@@ -270,10 +285,7 @@ func (s *SchedulerS) bandOK(cand *jobInfo) bool {
 		return false
 	}
 	ok := true
-	s.q.ForEach(func(it queue.Item) bool {
-		if it.Density > v {
-			return true // too dense: band [v_j, c v_j) excludes v... unless v_j ≤ v; keep scanning
-		}
+	s.q.ForEachFrom(v, func(it queue.Item) bool {
 		if it.Density*par.C <= v {
 			return false // from here on all bands end below v
 		}
@@ -354,7 +366,7 @@ func (s *SchedulerS) OnCompletion(t int64, jobID int) {
 // deadline are discarded.
 func (s *SchedulerS) admitFromP(now int64) {
 	par := s.opts.Params
-	var admitted, stale []int
+	admitted, stale := s.admitBuf[:0], s.staleBuf[:0]
 	s.p.ForEach(func(it queue.Item) bool {
 		info := s.info[it.ID]
 		if float64(info.view.AbsDeadline()) <= float64(now) {
@@ -389,6 +401,7 @@ func (s *SchedulerS) admitFromP(now int64) {
 			s.tel.Emit(ev)
 		}
 	}
+	s.admitBuf, s.staleBuf = admitted[:0], stale[:0]
 }
 
 // OnCapacityChange implements sim.CapacityAware. Under Options.Resilient the
@@ -474,7 +487,7 @@ func (s *SchedulerS) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim
 	}
 	free := s.mEff
 	base := len(dst)
-	var expired []int
+	expired := s.expiredBuf[:0]
 	s.q.ForEach(func(it queue.Item) bool {
 		info := s.info[it.ID]
 		if info.view.AbsDeadline() <= t {
@@ -504,6 +517,7 @@ func (s *SchedulerS) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim
 			s.tel.Emit(ev)
 		}
 	}
+	s.expiredBuf = expired[:0]
 	if s.opts.WorkConserving && free > 0 {
 		dst = s.topUp(t, view, dst, base, free)
 	}

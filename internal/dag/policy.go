@@ -1,8 +1,9 @@
 package dag
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // PickPolicy chooses which k ready nodes of a job execute when the scheduler
@@ -30,7 +31,7 @@ func (ByID) Pick(s *State, k int, dst []NodeID) []NodeID {
 	start := len(dst)
 	dst = s.ReadyNodes(dst)
 	picked := dst[start:]
-	sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+	slices.Sort(picked)
 	if len(picked) > k {
 		dst = dst[:start+k]
 	}
@@ -39,6 +40,12 @@ func (ByID) Pick(s *State, k int, dst []NodeID) []NodeID {
 
 // Name implements PickPolicy.
 func (ByID) Name() string { return "by-id" }
+
+// EventSafe reports that ByID's choice is stable across an interval in which
+// the ready set is unchanged and only picked nodes' remaining work shrinks:
+// the k lowest-ID ready nodes stay the k lowest-ID ready nodes. The evented
+// engine may hold its pick for a whole inter-event interval.
+func (ByID) EventSafe() bool { return true }
 
 // Random picks k ready nodes uniformly at random (deterministic given the
 // seeded source). It models an oblivious runtime picking whichever ready
@@ -52,7 +59,7 @@ func (p Random) Pick(s *State, k int, dst []NodeID) []NodeID {
 	picked := dst[start:]
 	// Sort first so the shuffle is deterministic regardless of internal
 	// ready-set ordering, then partial Fisher–Yates.
-	sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+	slices.Sort(picked)
 	n := len(picked)
 	if k > n {
 		k = n
@@ -81,6 +88,15 @@ func (Unlucky) Pick(s *State, k int, dst []NodeID) []NodeID {
 // Name implements PickPolicy.
 func (Unlucky) Name() string { return "unlucky" }
 
+// EventSafe reports that Unlucky's choice is stable between events: work only
+// lands on picked nodes, so a picked node's remaining downward path can only
+// shrink — it stays lexicographically ahead of every unpicked node (ties
+// break by ID, and a tied pick that shrinks becomes strictly shorter). The
+// shortest-down-path set is therefore invariant across the interval. Note the
+// same argument fails for CriticalPathFirst: its picked longest paths shrink
+// and can fall below unpicked ones mid-interval.
+func (Unlucky) EventSafe() bool { return true }
+
 // CriticalPathFirst is the clairvoyant oracle: it prefers ready nodes with
 // the longest remaining downward path, the choice an informed scheduler
 // would make. Only baselines explicitly modeled as clairvoyant may use it.
@@ -101,15 +117,15 @@ func pickByDown(s *State, k int, dst []NodeID, longestFirst bool) []NodeID {
 	start := len(dst)
 	dst = s.ReadyNodes(dst)
 	picked := dst[start:]
-	sort.Slice(picked, func(i, j int) bool {
-		di, dj := s.DownLength(picked[i]), s.DownLength(picked[j])
-		if di != dj {
+	slices.SortFunc(picked, func(a, b NodeID) int {
+		da, db := s.DownLength(a), s.DownLength(b)
+		if da != db {
 			if longestFirst {
-				return di > dj
+				return cmp.Compare(db, da)
 			}
-			return di < dj
+			return cmp.Compare(da, db)
 		}
-		return picked[i] < picked[j]
+		return cmp.Compare(a, b)
 	})
 	if len(picked) > k {
 		dst = dst[:start+k]

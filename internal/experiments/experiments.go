@@ -42,6 +42,10 @@ type Config struct {
 	// Registry merging is commutative, so the aggregate is independent of
 	// Parallel. Nil (the default) keeps every run fully uninstrumented.
 	Telemetry *telemetry.Sink
+	// Routes, if set, counts which engine sim.RunAuto picked for each
+	// simulation in the suite. Counting is atomic, so one instance can span a
+	// parallel grid; routing itself never depends on Parallel.
+	Routes *sim.RouteStats
 }
 
 // ctx returns the run context.
@@ -138,9 +142,11 @@ func IDs() []string {
 	return out
 }
 
-// runSim executes one simulation. With cfg.Telemetry set, the run is
-// instrumented (scheduler included) and its registry folded into the sink;
-// otherwise simCfg passes through untouched.
+// runSim executes one simulation on whichever engine sim.RunAuto selects for
+// the (scheduler, policy, faults, probe) combination; results are
+// bit-identical either way. With cfg.Telemetry set, the run is instrumented
+// (scheduler included) and its registry folded into the sink; otherwise
+// simCfg passes through untouched.
 func runSim(cfg Config, simCfg sim.Config, jobs []*sim.Job, sched sim.Scheduler) (*sim.Result, error) {
 	var rec *telemetry.Recorder
 	if cfg.Telemetry != nil {
@@ -148,7 +154,10 @@ func runSim(cfg Config, simCfg sim.Config, jobs []*sim.Job, sched sim.Scheduler)
 		telemetry.Attach(sched, rec)
 		simCfg.Telemetry = rec
 	}
-	res, err := sim.Run(simCfg, jobs, sched)
+	if cfg.Routes != nil {
+		simCfg.OnRoute = cfg.Routes.Count
+	}
+	res, err := sim.RunAuto(simCfg, jobs, sched)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,85 @@
+package queue
+
+import "testing"
+
+// Sorted-insert workloads: ascending densities insert each new item at the
+// front of the density-descending list (worst case for the position map),
+// descending densities insert at the back (best case). The asymmetry between
+// the two is the cost of rewriting position-map entries on every insert.
+
+func benchDensityListInsert(b *testing.B, n int, ascending bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var l DensityList
+		for j := 0; j < n; j++ {
+			d := float64(j + 1)
+			if !ascending {
+				d = float64(n - j)
+			}
+			l.Insert(Item{ID: j, Density: d, Weight: 1})
+		}
+	}
+}
+
+func BenchmarkDensityListInsertAsc100(b *testing.B)  { benchDensityListInsert(b, 100, true) }
+func BenchmarkDensityListInsertAsc1000(b *testing.B) { benchDensityListInsert(b, 1000, true) }
+func BenchmarkDensityListInsertDesc100(b *testing.B) { benchDensityListInsert(b, 100, false) }
+func BenchmarkDensityListInsertDesc1000(b *testing.B) {
+	benchDensityListInsert(b, 1000, false)
+}
+
+// benchDensityListChurn measures steady-state insert/remove at size n: each
+// op removes the lowest-density item and re-inserts it at the front, the
+// pattern scheduler S's queues see under admission churn.
+func benchDensityListChurn(b *testing.B, n int) {
+	var l DensityList
+	for j := 0; j < n; j++ {
+		l.Insert(Item{ID: j, Density: float64(j + 1), Weight: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := l.At(l.Len() - 1)
+		l.Remove(it.ID)
+		l.Insert(Item{ID: it.ID, Density: it.Density, Weight: it.Weight})
+	}
+}
+
+func BenchmarkDensityListChurn1000(b *testing.B) { benchDensityListChurn(b, 1000) }
+
+// The treap counterparts: same workloads on the O(log n) structure backing
+// scheduler S's Q and P since the admission rework.
+
+func benchDensityTreapInsert(b *testing.B, n int, ascending bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := NewDensityTreap(1)
+		for j := 0; j < n; j++ {
+			d := float64(j + 1)
+			if !ascending {
+				d = float64(n - j)
+			}
+			t.Insert(Item{ID: j, Density: d, Weight: 1})
+		}
+	}
+}
+
+func BenchmarkDensityTreapInsertAsc1000(b *testing.B)  { benchDensityTreapInsert(b, 1000, true) }
+func BenchmarkDensityTreapInsertDesc1000(b *testing.B) { benchDensityTreapInsert(b, 1000, false) }
+
+func benchDensityTreapChurn(b *testing.B, n int) {
+	t := NewDensityTreap(1)
+	for j := 0; j < n; j++ {
+		t.Insert(Item{ID: j, Density: float64(j + 1), Weight: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % n
+		it, _ := t.Get(id)
+		t.Remove(id)
+		t.Insert(it)
+	}
+}
+
+func BenchmarkDensityTreapChurn1000(b *testing.B) { benchDensityTreapChurn(b, 1000) }

@@ -1,0 +1,196 @@
+package queue
+
+import "math/rand"
+
+// DensityTreap is an ordered collection with the same contract as
+// DensityList — items sorted by density descending, ID ascending among
+// equals — backed by a treap, so Insert and Remove are O(log n) expected
+// instead of O(n). ForEachFrom additionally starts iteration at the first
+// item with density ≤ a bound in O(log n), which is what makes scheduler S's
+// condition-(2) admission query logarithmic: the density-descending prefix
+// the naive scan stepped over item by item is skipped structurally.
+//
+// The zero value is not usable; construct with NewDensityTreap.
+type DensityTreap struct {
+	root *dtNode
+	rng  *rand.Rand
+	pos  map[int]Item // ID → stored item, for O(1) Get/Contains
+	free *dtNode      // chain of removed nodes reused by Insert (no churn allocs)
+}
+
+type dtNode struct {
+	it          Item
+	prio        int64
+	left, right *dtNode
+}
+
+// NewDensityTreap returns an empty treap using the given seed for heap
+// priorities (deterministic runs need deterministic structure).
+func NewDensityTreap(seed int64) *DensityTreap {
+	return &DensityTreap{rng: rand.New(rand.NewSource(seed)), pos: make(map[int]Item)}
+}
+
+// Len returns the number of items.
+func (t *DensityTreap) Len() int { return len(t.pos) }
+
+// Contains reports whether an item with the given ID is present.
+func (t *DensityTreap) Contains(id int) bool {
+	_, ok := t.pos[id]
+	return ok
+}
+
+// Get returns the item with the given ID.
+func (t *DensityTreap) Get(id int) (Item, bool) {
+	it, ok := t.pos[id]
+	return it, ok
+}
+
+// dtSplit partitions n into (before, notBefore) around the probe key in the
+// list order (density descending, ID ascending).
+func dtSplit(n *dtNode, probe Item) (l, r *dtNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if less(n.it, probe) {
+		n.right, r = dtSplit(n.right, probe)
+		return n, r
+	}
+	l, n.left = dtSplit(n.left, probe)
+	return l, n
+}
+
+// dtMerge joins l and r where every key in l precedes every key in r.
+func dtMerge(l, r *dtNode) *dtNode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = dtMerge(l.right, r)
+		return l
+	default:
+		r.left = dtMerge(l, r.left)
+		return r
+	}
+}
+
+// dtInsert places nu under n, descending until nu's priority wins the heap
+// order and splitting only the subtree below that point — cheaper than a
+// full split+merge from the root.
+func dtInsert(n, nu *dtNode) *dtNode {
+	if n == nil {
+		return nu
+	}
+	if nu.prio > n.prio {
+		nu.left, nu.right = dtSplit(n, nu.it)
+		return nu
+	}
+	if less(nu.it, n.it) {
+		n.left = dtInsert(n.left, nu)
+	} else {
+		n.right = dtInsert(n.right, nu)
+	}
+	return n
+}
+
+// dtDelete removes the node holding it (matched by ID; the caller guarantees
+// it is present with this exact key) and returns the new subtree root and
+// the detached node.
+func dtDelete(n *dtNode, it Item) (root, removed *dtNode) {
+	if n.it.ID == it.ID {
+		return dtMerge(n.left, n.right), n
+	}
+	if less(it, n.it) {
+		n.left, removed = dtDelete(n.left, it)
+	} else {
+		n.right, removed = dtDelete(n.right, it)
+	}
+	return n, removed
+}
+
+// Insert adds it, keeping order. Like DensityList.Insert it panics if the ID
+// is already present: Q and P are disjoint and never hold a job twice.
+func (t *DensityTreap) Insert(it Item) {
+	if _, dup := t.pos[it.ID]; dup {
+		panic("queue: duplicate ID inserted into DensityTreap")
+	}
+	t.pos[it.ID] = it
+	n := t.free
+	if n != nil {
+		t.free = n.right
+		*n = dtNode{it: it, prio: t.rng.Int63()}
+	} else {
+		n = &dtNode{it: it, prio: t.rng.Int63()}
+	}
+	t.root = dtInsert(t.root, n)
+}
+
+// Remove deletes the item with the given ID, reporting whether it was
+// present. The node is recycled for a later Insert.
+func (t *DensityTreap) Remove(id int) bool {
+	it, ok := t.pos[id]
+	if !ok {
+		return false
+	}
+	delete(t.pos, id)
+	root, removed := dtDelete(t.root, it)
+	t.root = root
+	*removed = dtNode{right: t.free}
+	t.free = removed
+	return true
+}
+
+// ForEach visits items from highest to lowest density (ID ascending among
+// equals) until fn returns false. The treap must not be mutated during
+// iteration.
+func (t *DensityTreap) ForEach(fn func(Item) bool) {
+	t.root.forEachAll(fn)
+}
+
+// ForEachFrom visits, in the same order as ForEach, only the items with
+// density ≤ maxDensity, reaching the first one in O(log n) instead of
+// scanning the denser prefix.
+func (t *DensityTreap) ForEachFrom(maxDensity float64, fn func(Item) bool) {
+	t.root.forEachFrom(maxDensity, fn)
+}
+
+func (n *dtNode) forEachAll(fn func(Item) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !n.left.forEachAll(fn) {
+		return false
+	}
+	if !fn(n.it) {
+		return false
+	}
+	return n.right.forEachAll(fn)
+}
+
+func (n *dtNode) forEachFrom(maxDensity float64, fn func(Item) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.it.Density > maxDensity {
+		// The left subtree sorts before n, i.e. is at least as dense: the
+		// whole prefix is skipped in one step.
+		return n.right.forEachFrom(maxDensity, fn)
+	}
+	if !n.left.forEachFrom(maxDensity, fn) {
+		return false
+	}
+	if !fn(n.it) {
+		return false
+	}
+	return n.right.forEachAll(fn)
+}
+
+// Snapshot appends all items in order to dst and returns it.
+func (t *DensityTreap) Snapshot(dst []Item) []Item {
+	t.root.forEachAll(func(it Item) bool {
+		dst = append(dst, it)
+		return true
+	})
+	return dst
+}

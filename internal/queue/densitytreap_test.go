@@ -1,0 +1,122 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPropDensityTreapMatchesDensityList drives a DensityTreap and a
+// DensityList through the same randomized insert/remove sequence and checks
+// that every observable — Len, Contains, Get, Snapshot order, ForEach order
+// and early stop — agrees. The treap is a drop-in replacement for the list;
+// any ordering divergence would change scheduler S's execution order.
+func TestPropDensityTreapMatchesDensityList(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tr := NewDensityTreap(int64(trial))
+		var dl DensityList
+		live := make([]int, 0, 64)
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				id := rng.Intn(100)
+				if tr.Contains(id) {
+					continue
+				}
+				// Coarse densities force equal-density ID tiebreaks.
+				it := Item{ID: id, Density: float64(rng.Intn(8)) / 4, Weight: rng.Float64()}
+				tr.Insert(it)
+				dl.Insert(it)
+				live = append(live, id)
+			} else {
+				k := rng.Intn(len(live))
+				id := live[k]
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if got, want := tr.Remove(id), dl.Remove(id); got != want {
+					t.Fatalf("trial %d step %d: Remove(%d) treap=%v list=%v", trial, step, id, got, want)
+				}
+			}
+			if tr.Len() != dl.Len() {
+				t.Fatalf("trial %d step %d: Len treap=%d list=%d", trial, step, tr.Len(), dl.Len())
+			}
+			ts, ls := tr.Snapshot(nil), dl.Snapshot(nil)
+			for i := range ls {
+				if ts[i] != ls[i] {
+					t.Fatalf("trial %d step %d: Snapshot[%d] treap=%+v list=%+v", trial, step, i, ts[i], ls[i])
+				}
+			}
+			probe := rng.Intn(100)
+			ti, tok := tr.Get(probe)
+			li, lok := dl.Get(probe)
+			if tok != lok || ti != li {
+				t.Fatalf("trial %d step %d: Get(%d) treap=(%+v,%v) list=(%+v,%v)", trial, step, probe, ti, tok, li, lok)
+			}
+			if tr.Contains(probe) != dl.Contains(probe) {
+				t.Fatalf("trial %d step %d: Contains(%d) disagree", trial, step, probe)
+			}
+		}
+	}
+}
+
+// TestDensityTreapForEachFrom checks that ForEachFrom(v) visits exactly the
+// ForEach suffix of items with density ≤ v, in the same order, for bounds
+// below, between, at, and above the stored densities.
+func TestDensityTreapForEachFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewDensityTreap(1)
+	for id := 0; id < 200; id++ {
+		tr.Insert(Item{ID: id, Density: float64(rng.Intn(20)) / 2, Weight: 1})
+	}
+	bounds := []float64{-1, 0, 0.5, 1, 4.25, 9.5, 100}
+	for _, v := range bounds {
+		var want []Item
+		tr.ForEach(func(it Item) bool {
+			if it.Density <= v {
+				want = append(want, it)
+			}
+			return true
+		})
+		var got []Item
+		tr.ForEachFrom(v, func(it Item) bool {
+			got = append(got, it)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("ForEachFrom(%g): %d items, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ForEachFrom(%g)[%d] = %+v, want %+v", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDensityTreapForEachFromEarlyStop checks that returning false stops the
+// in-order walk immediately.
+func TestDensityTreapForEachFromEarlyStop(t *testing.T) {
+	tr := NewDensityTreap(2)
+	for id := 0; id < 50; id++ {
+		tr.Insert(Item{ID: id, Density: float64(id), Weight: 1})
+	}
+	var seen int
+	tr.ForEachFrom(30, func(it Item) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("visited %d items after early stop, want 3", seen)
+	}
+}
+
+// TestDensityTreapDuplicatePanics mirrors the DensityList contract.
+func TestDensityTreapDuplicatePanics(t *testing.T) {
+	tr := NewDensityTreap(3)
+	tr.Insert(Item{ID: 1, Density: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Insert did not panic")
+		}
+	}()
+	tr.Insert(Item{ID: 1, Density: 5})
+}

@@ -32,20 +32,37 @@ func less(a, b Item) bool {
 // DensityList is an ordered collection of items sorted by density descending
 // (ID ascending among equals). It backs the queues Q and P: iteration visits
 // jobs from highest to lowest density. The zero value is an empty list.
+//
+// The ID map stores each item's density, not its slice index: an insert or
+// removal shifts the index of every later item, and keeping an index map
+// current meant rewriting O(n) map entries per mutation. Storing the (stable)
+// density instead costs exactly one map write per mutation; position lookups
+// recover the index with a binary search on the (density, ID) key.
 type DensityList struct {
 	items []Item
-	pos   map[int]int // ID -> index in items
+	pos   map[int]float64 // ID -> density (the sort key half that, with ID, locates the item)
 }
 
 // Len returns the number of items.
 func (l *DensityList) Len() int { return len(l.items) }
+
+// index returns the slice position of the item with the given ID, or false.
+func (l *DensityList) index(id int) (int, bool) {
+	d, ok := l.pos[id]
+	if !ok {
+		return 0, false
+	}
+	probe := Item{ID: id, Density: d}
+	i := sort.Search(len(l.items), func(i int) bool { return !less(l.items[i], probe) })
+	return i, true
+}
 
 // Insert adds it to the list, keeping order. It panics if the ID is already
 // present: queues Q and P are disjoint and never hold a job twice, so a
 // duplicate insert is a scheduler bug.
 func (l *DensityList) Insert(it Item) {
 	if l.pos == nil {
-		l.pos = make(map[int]int)
+		l.pos = make(map[int]float64)
 	}
 	if _, dup := l.pos[it.ID]; dup {
 		panic("queue: duplicate ID inserted into DensityList")
@@ -54,24 +71,19 @@ func (l *DensityList) Insert(it Item) {
 	l.items = append(l.items, Item{})
 	copy(l.items[i+1:], l.items[i:])
 	l.items[i] = it
-	for j := i; j < len(l.items); j++ {
-		l.pos[l.items[j].ID] = j
-	}
+	l.pos[it.ID] = it.Density
 }
 
 // Remove deletes the item with the given ID, reporting whether it was
 // present.
 func (l *DensityList) Remove(id int) bool {
-	i, ok := l.pos[id]
+	i, ok := l.index(id)
 	if !ok {
 		return false
 	}
 	copy(l.items[i:], l.items[i+1:])
 	l.items = l.items[:len(l.items)-1]
 	delete(l.pos, id)
-	for j := i; j < len(l.items); j++ {
-		l.pos[l.items[j].ID] = j
-	}
 	return true
 }
 
@@ -83,7 +95,7 @@ func (l *DensityList) Contains(id int) bool {
 
 // Get returns the item with the given ID.
 func (l *DensityList) Get(id int) (Item, bool) {
-	i, ok := l.pos[id]
+	i, ok := l.index(id)
 	if !ok {
 		return Item{}, false
 	}

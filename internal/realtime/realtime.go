@@ -249,7 +249,7 @@ func AllDeadlinesMet(s System, horizon int64, sched sim.Scheduler) (bool, error)
 	if err != nil {
 		return false, err
 	}
-	res, err := sim.Run(sim.Config{M: s.M}, jobs, sched)
+	res, err := sim.RunAuto(sim.Config{M: s.M}, jobs, sched)
 	if err != nil {
 		return false, err
 	}
@@ -273,7 +273,7 @@ func PartitionedDeadlinesMet(s System, horizon int64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	res, err := sim.Run(sim.Config{M: s.M}, jobs, sched)
+	res, err := sim.RunAuto(sim.Config{M: s.M}, jobs, sched)
 	if err != nil {
 		return false, err
 	}

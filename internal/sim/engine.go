@@ -38,6 +38,10 @@ type Config struct {
 	// time-series samples. Nil disables instrumentation entirely: the hot
 	// tick loop then performs only nil checks and allocates nothing extra.
 	Telemetry *telemetry.Recorder
+	// OnRoute, when set, is invoked once per RunAuto call with the chosen
+	// engine ("tick" or "evented") and the reason for the choice. Direct
+	// Run/RunEvented calls never invoke it.
+	OnRoute func(engine, reason string)
 }
 
 // liveJob is the engine's per-job runtime record.
@@ -47,9 +51,10 @@ type liveJob struct {
 	state *dag.State
 	stat  JobStat
 
-	lastUseful int64 // last tick whose completion still earns profit
-	lastProcs  int   // processor grant of the previous tick (telemetry)
-	ranLast    bool  // executed in the previous tick
+	lastUseful int64  // last tick whose completion still earns profit
+	lastProcs  int    // processor grant of the previous tick (telemetry)
+	seenGen    uint64 // generation stamp for duplicate-allocation detection
+	ranLast    bool   // executed in the previous tick
 	ranNow     bool
 	done       bool
 }
@@ -61,6 +66,23 @@ type engine struct {
 	scale    int64 // work scaling factor (speed denominator)
 	live     map[int]*liveJob
 	liveList []*liveJob // stable iteration order (arrival order)
+
+	gen    uint64                // current allocation-validation generation
+	scaled map[*dag.DAG]*dag.DAG // scaleGraph cache (scale is fixed per run)
+
+	// Reused per-tick/per-interval buffers.
+	completedBuf []*liveJob
+	running      []runAlloc   // evented engine: the interval's running set
+	arena        []dag.NodeID // evented engine: picked nodes, all jobs
+}
+
+// runAlloc is one interval's execution record for a job in the evented
+// engine: the grant and the picked nodes as a window [lo, hi) into the
+// engine's node arena.
+type runAlloc struct {
+	lj     *liveJob
+	procs  int
+	lo, hi int
 }
 
 // ReadyCount implements AssignView.
@@ -91,37 +113,27 @@ func (e *engine) RemainingSpan(jobID int) int64 {
 	return (rem + e.scale - 1) / e.scale
 }
 
-// Run simulates jobs under sched and returns the outcome. It returns an
-// error for invalid configuration, malformed jobs, or a scheduler that
-// violates the allocation contract (oversubscription, unknown or finished
-// jobs, duplicate or non-positive allocations).
-func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
+// prepareRun validates the configuration and jobs and builds the pieces both
+// engines share: the engine state, the result shell, the release-ordered job
+// list, and the effective node-pick policy.
+func prepareRun(cfg Config, jobs []*Job, sched Scheduler) (*engine, *Result, []*Job, dag.PickPolicy, error) {
 	if cfg.M < 1 {
-		return nil, fmt.Errorf("sim: M = %d, need ≥ 1", cfg.M)
+		return nil, nil, nil, nil, fmt.Errorf("sim: M = %d, need ≥ 1", cfg.M)
 	}
 	speed := cfg.Speed.Reduced()
 	if speed.IsZero() {
 		speed = rational.One()
 	}
 	if !speed.IsPositive() {
-		return nil, fmt.Errorf("sim: speed %v must be positive", cfg.Speed)
+		return nil, nil, nil, nil, fmt.Errorf("sim: speed %v must be positive", cfg.Speed)
 	}
 	if err := ValidateJobs(jobs); err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = dag.ByID{}
 	}
-	var fm *faults.Model
-	if cfg.Faults != nil {
-		m, err := faults.NewModel(*cfg.Faults, cfg.M)
-		if err != nil {
-			return nil, err
-		}
-		fm = m
-	}
-
 	e := &engine{
 		cfg:     cfg,
 		perTick: speed.Num,
@@ -136,14 +148,146 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 	if cfg.Record {
 		res.Trace = &Trace{M: cfg.M}
 	}
-
 	ordered := sortJobsByRelease(jobs)
 	for _, j := range ordered {
 		res.OfferedProfit += j.Profit.At(1)
 	}
-	rec := cfg.Telemetry
-
 	sched.Init(Env{M: cfg.M, Speed: speed.Float()})
+	return e, res, ordered, policy, nil
+}
+
+// scaledGraph returns j's graph with node works multiplied by the engine's
+// scale factor, memoized per source graph: jobs sharing a DAG (common under
+// rational speeds, where every instance of a template is re-released) build
+// the scaled copy once per run instead of once per arrival.
+func (e *engine) scaledGraph(g *dag.DAG) *dag.DAG {
+	if s, ok := e.scaled[g]; ok {
+		return s
+	}
+	s := scaleGraph(g, e.scale)
+	if e.scaled == nil {
+		e.scaled = make(map[*dag.DAG]*dag.DAG)
+	}
+	e.scaled[g] = s
+	return s
+}
+
+// arrive admits job j at time t: build its live record (scaling the graph if
+// the run is speed-scaled) and notify the scheduler.
+func (e *engine) arrive(t int64, j *Job, rec *telemetry.Recorder, sched Scheduler) {
+	g := j.Graph
+	if e.scale > 1 {
+		g = e.scaledGraph(g)
+	}
+	lj := &liveJob{
+		job:   j,
+		view:  viewOf(j),
+		state: dag.NewState(g),
+		stat: JobStat{
+			ID:       j.ID,
+			Released: j.Release,
+			W:        j.Graph.TotalWork(),
+			L:        j.Graph.Span(),
+		},
+		lastUseful: j.AbsDeadline() - 1,
+	}
+	e.live[j.ID] = lj
+	e.liveList = append(e.liveList, lj)
+	if rec != nil {
+		rec.Emit(telemetry.JobEvent(t, telemetry.KindArrival, j.ID))
+	}
+	sched.OnArrival(t, lj.view)
+}
+
+// expire removes every live job whose completion at t would no longer earn
+// profit, compacting liveList in one pass (arrival order is preserved; the
+// scheduler sees OnExpire in that order, exactly as before).
+func (e *engine) expire(t int64, res *Result, rec *telemetry.Recorder, sched Scheduler) {
+	w := 0
+	for _, lj := range e.liveList {
+		if !lj.done && t > lj.lastUseful {
+			lj.done = true
+			delete(e.live, lj.job.ID)
+			res.Expired++
+			res.Jobs = append(res.Jobs, lj.stat)
+			if rec != nil {
+				rec.Emit(telemetry.JobEvent(t, telemetry.KindDeadlineMiss, lj.job.ID))
+			}
+			sched.OnExpire(t, lj.job.ID)
+			continue
+		}
+		e.liveList[w] = lj
+		w++
+	}
+	for i := w; i < len(e.liveList); i++ {
+		e.liveList[i] = nil
+	}
+	e.liveList = e.liveList[:w]
+}
+
+// compactLive drops entries marked done from liveList in one ordered pass.
+// Called after a completion batch instead of splicing per job.
+func (e *engine) compactLive() {
+	w := 0
+	for _, lj := range e.liveList {
+		if !lj.done {
+			e.liveList[w] = lj
+			w++
+		}
+	}
+	for i := w; i < len(e.liveList); i++ {
+		e.liveList[i] = nil
+	}
+	e.liveList = e.liveList[:w]
+}
+
+// checkAllocs enforces the scheduler's allocation contract for one decision:
+// every grant positive, no job granted twice, every target live, and the
+// total within the machine. Duplicate detection stamps the live records with
+// a per-decision generation, so the validation allocates nothing. It returns
+// the total processors granted.
+func (e *engine) checkAllocs(t int64, allocs []Alloc, sched Scheduler) (int, error) {
+	e.gen++
+	total := 0
+	for _, a := range allocs {
+		if a.Procs <= 0 {
+			return 0, fmt.Errorf("sim: %s allocated %d procs to job %d at t=%d", sched.Name(), a.Procs, a.JobID, t)
+		}
+		lj, ok := e.live[a.JobID]
+		if !ok {
+			return 0, fmt.Errorf("sim: %s allocated to unknown/finished job %d at t=%d", sched.Name(), a.JobID, t)
+		}
+		if lj.seenGen == e.gen {
+			return 0, fmt.Errorf("sim: %s allocated job %d twice at t=%d", sched.Name(), a.JobID, t)
+		}
+		lj.seenGen = e.gen
+		total += a.Procs
+	}
+	if total > e.cfg.M {
+		return 0, fmt.Errorf("sim: %s oversubscribed %d > %d procs at t=%d", sched.Name(), total, e.cfg.M, t)
+	}
+	return total, nil
+}
+
+// Run simulates jobs under sched and returns the outcome. It returns an
+// error for invalid configuration, malformed jobs, or a scheduler that
+// violates the allocation contract (oversubscription, unknown or finished
+// jobs, duplicate or non-positive allocations).
+func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
+	e, res, ordered, policy, err := prepareRun(cfg, jobs, sched)
+	if err != nil {
+		return nil, err
+	}
+	res.Engine = EngineTick
+	var fm *faults.Model
+	if cfg.Faults != nil {
+		m, err := faults.NewModel(*cfg.Faults, cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		fm = m
+	}
+	rec := cfg.Telemetry
 
 	var (
 		t        int64
@@ -182,48 +326,12 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		}
 		// Arrivals.
 		for next < len(ordered) && ordered[next].Release <= t {
-			j := ordered[next]
+			e.arrive(t, ordered[next], rec, sched)
 			next++
-			g := j.Graph
-			if e.scale > 1 {
-				g = scaleGraph(g, e.scale)
-			}
-			lj := &liveJob{
-				job:   j,
-				view:  viewOf(j),
-				state: dag.NewState(g),
-				stat: JobStat{
-					ID:       j.ID,
-					Released: j.Release,
-					W:        j.Graph.TotalWork(),
-					L:        j.Graph.Span(),
-				},
-				lastUseful: j.AbsDeadline() - 1,
-			}
-			e.live[j.ID] = lj
-			e.liveList = append(e.liveList, lj)
-			if rec != nil {
-				rec.Emit(telemetry.JobEvent(t, telemetry.KindArrival, j.ID))
-			}
-			sched.OnArrival(t, lj.view)
 		}
 		// Expiries: completing after lastUseful earns nothing, so the job
 		// leaves the system.
-		for i := 0; i < len(e.liveList); i++ {
-			lj := e.liveList[i]
-			if !lj.done && t > lj.lastUseful {
-				lj.done = true
-				delete(e.live, lj.job.ID)
-				e.liveList = append(e.liveList[:i], e.liveList[i+1:]...)
-				i--
-				res.Expired++
-				res.Jobs = append(res.Jobs, lj.stat)
-				if rec != nil {
-					rec.Emit(telemetry.JobEvent(t, telemetry.KindDeadlineMiss, lj.job.ID))
-				}
-				sched.OnExpire(t, lj.job.ID)
-			}
-		}
+		e.expire(t, res, rec, sched)
 		if len(e.live) == 0 {
 			continue
 		}
@@ -273,23 +381,8 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 
 		// Allocation.
 		allocBuf = sched.Assign(t, e, allocBuf[:0])
-		totalProcs := 0
-		seen := make(map[int]bool, len(allocBuf))
-		for _, a := range allocBuf {
-			if a.Procs <= 0 {
-				return nil, fmt.Errorf("sim: %s allocated %d procs to job %d at t=%d", sched.Name(), a.Procs, a.JobID, t)
-			}
-			if seen[a.JobID] {
-				return nil, fmt.Errorf("sim: %s allocated job %d twice at t=%d", sched.Name(), a.JobID, t)
-			}
-			seen[a.JobID] = true
-			if _, ok := e.live[a.JobID]; !ok {
-				return nil, fmt.Errorf("sim: %s allocated to unknown/finished job %d at t=%d", sched.Name(), a.JobID, t)
-			}
-			totalProcs += a.Procs
-		}
-		if totalProcs > cfg.M {
-			return nil, fmt.Errorf("sim: %s oversubscribed %d > %d procs at t=%d", sched.Name(), totalProcs, cfg.M, t)
+		if _, err := e.checkAllocs(t, allocBuf, sched); err != nil {
+			return nil, err
 		}
 
 		// Execution.
@@ -310,7 +403,7 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		}
 		busy := 0
 		upCursor := 0
-		var completed []*liveJob
+		completed := e.completedBuf[:0]
 		for _, a := range allocBuf {
 			lj := e.live[a.JobID]
 			if rec != nil && a.Procs != lj.lastProcs {
@@ -463,14 +556,15 @@ func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 				rec.Registry().Observe("job.slack_at_finish", float64(lj.lastUseful-t))
 			}
 			delete(e.live, lj.job.ID)
-			for i, x := range e.liveList {
-				if x == lj {
-					e.liveList = append(e.liveList[:i], e.liveList[i+1:]...)
-					break
-				}
-			}
 			sched.OnCompletion(t, lj.job.ID)
 		}
+		if len(completed) > 0 {
+			e.compactLive()
+			for i := range completed {
+				completed[i] = nil
+			}
+		}
+		e.completedBuf = completed[:0]
 		t++
 	}
 	// Jobs still live at the horizon.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dagsched/internal/dag"
-	"dagsched/internal/rational"
 	"dagsched/internal/telemetry"
 )
 
@@ -23,53 +22,20 @@ import (
 // sets); use Run for those. The node-pick policy must likewise be
 // deterministic (not dag.Random).
 func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
-	if cfg.M < 1 {
-		return nil, fmt.Errorf("sim: M = %d, need ≥ 1", cfg.M)
-	}
 	if cfg.Faults != nil {
 		return nil, fmt.Errorf("sim: fault injection requires the tick engine (faults are per-tick events)")
 	}
-	speed := cfg.Speed.Reduced()
-	if speed.IsZero() {
-		speed = rational.One()
-	}
-	if !speed.IsPositive() {
-		return nil, fmt.Errorf("sim: speed %v must be positive", cfg.Speed)
-	}
-	if err := ValidateJobs(jobs); err != nil {
+	e, res, ordered, policy, err := prepareRun(cfg, jobs, sched)
+	if err != nil {
 		return nil, err
 	}
-	policy := cfg.Policy
-	if policy == nil {
-		policy = dag.ByID{}
-	}
-
-	e := &engine{
-		cfg:     cfg,
-		perTick: speed.Num,
-		scale:   speed.Den,
-		live:    make(map[int]*liveJob),
-	}
-	res := &Result{
-		Scheduler: sched.Name(),
-		M:         cfg.M,
-		Speed:     speed.Float(),
-	}
-	if cfg.Record {
-		res.Trace = &Trace{M: cfg.M}
-	}
-	ordered := sortJobsByRelease(jobs)
-	for _, j := range ordered {
-		res.OfferedProfit += j.Profit.At(1)
-	}
+	res.Engine = EngineEvented
 	rec := cfg.Telemetry
-	sched.Init(Env{M: cfg.M, Speed: speed.Float()})
 
 	var (
 		t        int64
 		next     int
 		allocBuf []Alloc
-		nodeBuf  []dag.NodeID
 	)
 	for next < len(ordered) || len(e.live) > 0 {
 		if cfg.Horizon > 0 && t >= cfg.Horizon {
@@ -80,79 +46,25 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 		}
 		// Arrivals at or before t.
 		for next < len(ordered) && ordered[next].Release <= t {
-			j := ordered[next]
+			e.arrive(t, ordered[next], rec, sched)
 			next++
-			g := j.Graph
-			if e.scale > 1 {
-				g = scaleGraph(g, e.scale)
-			}
-			lj := &liveJob{
-				job:   j,
-				view:  viewOf(j),
-				state: dag.NewState(g),
-				stat: JobStat{
-					ID:       j.ID,
-					Released: j.Release,
-					W:        j.Graph.TotalWork(),
-					L:        j.Graph.Span(),
-				},
-				lastUseful: j.AbsDeadline() - 1,
-			}
-			e.live[j.ID] = lj
-			e.liveList = append(e.liveList, lj)
-			if rec != nil {
-				rec.Emit(telemetry.JobEvent(t, telemetry.KindArrival, j.ID))
-			}
-			sched.OnArrival(t, lj.view)
 		}
 		// Expiries.
-		for i := 0; i < len(e.liveList); i++ {
-			lj := e.liveList[i]
-			if !lj.done && t > lj.lastUseful {
-				lj.done = true
-				delete(e.live, lj.job.ID)
-				e.liveList = append(e.liveList[:i], e.liveList[i+1:]...)
-				i--
-				res.Expired++
-				res.Jobs = append(res.Jobs, lj.stat)
-				if rec != nil {
-					rec.Emit(telemetry.JobEvent(t, telemetry.KindDeadlineMiss, lj.job.ID))
-				}
-				sched.OnExpire(t, lj.job.ID)
-			}
-		}
+		e.expire(t, res, rec, sched)
 		if len(e.live) == 0 {
 			continue
 		}
 
 		// One allocation decision, held for the whole interval.
 		allocBuf = sched.Assign(t, e, allocBuf[:0])
-		totalProcs := 0
-		seen := make(map[int]bool, len(allocBuf))
-		for _, a := range allocBuf {
-			if a.Procs <= 0 {
-				return nil, fmt.Errorf("sim: %s allocated %d procs to job %d at t=%d", sched.Name(), a.Procs, a.JobID, t)
-			}
-			if seen[a.JobID] {
-				return nil, fmt.Errorf("sim: %s allocated job %d twice at t=%d", sched.Name(), a.JobID, t)
-			}
-			seen[a.JobID] = true
-			if _, ok := e.live[a.JobID]; !ok {
-				return nil, fmt.Errorf("sim: %s allocated to unknown/finished job %d at t=%d", sched.Name(), a.JobID, t)
-			}
-			totalProcs += a.Procs
-		}
-		if totalProcs > cfg.M {
-			return nil, fmt.Errorf("sim: %s oversubscribed %d > %d procs at t=%d", sched.Name(), totalProcs, cfg.M, t)
+		if _, err := e.checkAllocs(t, allocBuf, sched); err != nil {
+			return nil, err
 		}
 
 		// Pick the running nodes once; they are fixed until the next event.
-		type runJob struct {
-			lj    *liveJob
-			procs int
-			nodes []dag.NodeID
-		}
-		running := make([]runJob, 0, len(allocBuf))
+		// Picks land in a shared arena; each runAlloc records its window.
+		running := e.running[:0]
+		e.arena = e.arena[:0]
 		busyPerTick := 0
 		for _, a := range allocBuf {
 			lj := e.live[a.JobID]
@@ -162,20 +74,17 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 				rec.Emit(ev)
 			}
 			lj.lastProcs = a.Procs
-			nodeBuf = policy.Pick(lj.state, a.Procs, nodeBuf[:0])
-			running = append(running, runJob{
-				lj:    lj,
-				procs: a.Procs,
-				nodes: append([]dag.NodeID(nil), nodeBuf...),
-			})
-			busyPerTick += len(nodeBuf)
+			lo := len(e.arena)
+			e.arena = policy.Pick(lj.state, a.Procs, e.arena)
+			running = append(running, runAlloc{lj: lj, procs: a.Procs, lo: lo, hi: len(e.arena)})
+			busyPerTick += len(e.arena) - lo
 		}
 
 		// Interval length: the earliest of (a) a running node completing,
 		// (b) the next arrival, (c) the next expiry, (d) the horizon.
 		delta := int64(1<<62 - 1)
 		for _, r := range running {
-			for _, v := range r.nodes {
+			for _, v := range e.arena[r.lo:r.hi] {
 				need := (r.lj.state.Remaining(v) + e.perTick - 1) / e.perTick
 				if need < delta {
 					delta = need
@@ -213,9 +122,9 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 				}
 			}
 		}
-		var completed []*liveJob
+		completed := e.completedBuf[:0]
 		for _, r := range running {
-			for _, v := range r.nodes {
+			for _, v := range e.arena[r.lo:r.hi] {
 				r.lj.state.Apply(v, delta*e.perTick)
 			}
 			r.lj.stat.ProcTicks += delta * int64(r.procs)
@@ -233,7 +142,7 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 					tick.Allocs = append(tick.Allocs, AllocRecord{
 						JobID: r.lj.job.ID,
 						Procs: r.procs,
-						Nodes: append([]dag.NodeID(nil), r.nodes...),
+						Nodes: append([]dag.NodeID(nil), e.arena[r.lo:r.hi]...),
 					})
 				}
 				res.Trace.Ticks = append(res.Trace.Ticks, tick)
@@ -298,14 +207,16 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 				rec.Registry().Observe("job.slack_at_finish", float64(lj.lastUseful-endT))
 			}
 			delete(e.live, lj.job.ID)
-			for i, x := range e.liveList {
-				if x == lj {
-					e.liveList = append(e.liveList[:i], e.liveList[i+1:]...)
-					break
-				}
-			}
 			sched.OnCompletion(endT, lj.job.ID)
 		}
+		if len(completed) > 0 {
+			e.compactLive()
+			for i := range completed {
+				completed[i] = nil
+			}
+		}
+		e.completedBuf = completed[:0]
+		e.running = running[:0]
 		t += delta
 	}
 	for _, lj := range e.liveList {

@@ -14,8 +14,9 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dagsched/internal/dag"
 	"dagsched/internal/profit"
@@ -100,14 +101,15 @@ func ValidateJobs(jobs []*Job) error {
 }
 
 // sortJobsByRelease returns the jobs ordered by (release, ID) without
-// mutating the input.
+// mutating the input. (release, ID) is a total order — IDs are unique — so
+// the unstable allocation-free sort is still deterministic.
 func sortJobsByRelease(jobs []*Job) []*Job {
 	out := append([]*Job(nil), jobs...)
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].Release != out[k].Release {
-			return out[i].Release < out[k].Release
+	slices.SortFunc(out, func(a, b *Job) int {
+		if a.Release != b.Release {
+			return cmp.Compare(a.Release, b.Release)
 		}
-		return out[i].ID < out[k].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

@@ -16,12 +16,21 @@ type JobStat struct {
 	Preemptions int64   // times the job was paused while unfinished
 }
 
+// Engine names for Result.Engine and the Config.OnRoute hook.
+const (
+	// EngineTick is the tick-by-tick engine (Run).
+	EngineTick = "tick"
+	// EngineEvented is the event-jumping engine (RunEvented).
+	EngineEvented = "evented"
+)
+
 // Result is the outcome of one simulation run.
 type Result struct {
 	Scheduler string
 	M         int
 	Speed     float64
-	Ticks     int64 // ticks simulated (the clock value after the last tick)
+	Engine    string // which engine produced the run: EngineTick or EngineEvented
+	Ticks     int64  // ticks simulated (the clock value after the last tick)
 
 	TotalProfit   float64 // Σ profit of completed-in-time jobs
 	OfferedProfit float64 // Σ maximum per-job profit (completion latency 1)

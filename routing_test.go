@@ -1,0 +1,198 @@
+package dagsched
+
+// Engine auto-routing against the real schedulers: every combination RunAuto
+// sends to the evented engine must produce results identical to an explicit
+// tick run, and every combination with a known unsafety (clock-reading
+// orders, per-tick heuristics, RNG policies, faults, probes) must fall back
+// to the tick engine.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/dag"
+	"dagsched/internal/faults"
+	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
+	"dagsched/internal/workload"
+)
+
+// routingInstance is a small mixed workload exercising admissions, expiries,
+// and completions for every scheduler under test.
+func routingInstance(t *testing.T) *Instance {
+	t.Helper()
+	inst, err := GenerateWorkload(WorkloadConfig{
+		Seed: 7, N: 40, M: 8, Eps: 1, SlackSpread: 0.4, Load: 2, Scale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func sameResults(a, b *sim.Result) error {
+	if a.TotalProfit != b.TotalProfit || a.Completed != b.Completed ||
+		a.Expired != b.Expired || a.BusyProcTicks != b.BusyProcTicks ||
+		a.IdleProcTicks != b.IdleProcTicks || a.Ticks != b.Ticks {
+		return fmt.Errorf("aggregate mismatch: %+v vs %+v", a, b)
+	}
+	am := map[int]JobStat{}
+	for _, s := range a.Jobs {
+		am[s.ID] = s
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		return fmt.Errorf("job counts %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for _, s := range b.Jobs {
+		if am[s.ID] != s {
+			return fmt.Errorf("job %d: %+v vs %+v", s.ID, am[s.ID], s)
+		}
+	}
+	return nil
+}
+
+func mustParams(t *testing.T) core.Params {
+	t.Helper()
+	p, err := core.NewParams(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAutoRoutingRealSchedulers pins, for every scheduler family the suite
+// runs, which engine RunAuto picks — and checks the result always matches an
+// explicit tick-engine run on the identical configuration.
+func TestAutoRoutingRealSchedulers(t *testing.T) {
+	inst := routingInstance(t)
+	par := mustParams(t)
+	probed := telemetry.NewRecorder()
+	probed.Probe = telemetry.NewProbe(1, false)
+
+	// cfg is a constructor because stateful policies (dag.Random's RNG) must
+	// be fresh for each of the two runs being compared.
+	plain := func(c sim.Config) func() sim.Config { return func() sim.Config { return c } }
+	cases := []struct {
+		name  string
+		cfg   func() sim.Config
+		sched func() sim.Scheduler
+		want  string
+	}{
+		{"S", plain(sim.Config{M: inst.M}), func() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: par}) }, sim.EngineEvented},
+		{"S+wc", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par, WorkConserving: true})
+		}, sim.EngineEvented},
+		{"S+res-no-faults", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par, Resilient: true})
+		}, sim.EngineEvented},
+		{"S/no-band-check", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par, Ablation: core.AblationNoBandCheck})
+		}, sim.EngineEvented},
+		{"S/no-freshness", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par, Ablation: core.AblationNoFreshness})
+		}, sim.EngineEvented},
+		{"S/allot-1", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par, Ablation: core.AblationAllotOne})
+		}, sim.EngineEvented},
+		{"S/allot-m", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par, Ablation: core.AblationAllotAll})
+		}, sim.EngineEvented},
+		{"EDF", plain(sim.Config{M: inst.M}), NewEDF, sim.EngineEvented},
+		{"FIFO", plain(sim.Config{M: inst.M}), NewFIFO, sim.EngineEvented},
+		{"HDF", plain(sim.Config{M: inst.M}), NewHDF, sim.EngineEvented},
+		{"Profit-order", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderProfit}
+		}, sim.EngineEvented},
+		{"Federated", plain(sim.Config{M: inst.M}), NewFederated, sim.EngineEvented},
+		{"S+unlucky-policy", plain(sim.Config{M: inst.M, Policy: dag.Unlucky{}}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par})
+		}, sim.EngineEvented},
+
+		// Fallbacks: each of these reads per-tick state the evented engine
+		// cannot reproduce, so RunAuto must keep them on the tick engine.
+		{"LLF", plain(sim.Config{M: inst.M}), NewLLF, sim.EngineTick},
+		{"EDF+abandon", plain(sim.Config{M: inst.M}), func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderEDF, AbandonHopeless: true}
+		}, sim.EngineTick},
+		{"GP", plain(sim.Config{M: inst.M}), func() sim.Scheduler { return core.NewSchedulerGP(core.Options{Params: par}) }, sim.EngineTick},
+		{"S+random-policy", func() sim.Config { return sim.Config{M: inst.M, Policy: dag.Random{Rng: rand.New(rand.NewSource(11))}} }, func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par})
+		}, sim.EngineTick},
+		{"S+cpf-policy", plain(sim.Config{M: inst.M, Policy: dag.CriticalPathFirst{}}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par})
+		}, sim.EngineTick},
+		{"S+faults", plain(sim.Config{M: inst.M, Faults: &faults.Config{Seed: 3, CrashRate: 0.01}}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par})
+		}, sim.EngineTick},
+		{"S+probe", plain(sim.Config{M: inst.M, Telemetry: probed}), func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: par})
+		}, sim.EngineTick},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			var hooked string
+			cfg.OnRoute = func(e, _ string) { hooked = e }
+			auto, err := RunAuto(cfg, inst.Jobs, tc.sched())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hooked != tc.want || auto.Engine != tc.want {
+				t.Fatalf("routed to %q (hook %q), want %q", auto.Engine, hooked, tc.want)
+			}
+			tick, err := Run(tc.cfg(), inst.Jobs, tc.sched())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameResults(auto, tick); err != nil {
+				t.Fatalf("auto vs explicit tick: %v", err)
+			}
+		})
+	}
+}
+
+// TestAutoEquivalenceAcrossWorkloads widens the evented-vs-tick equivalence
+// check to every auto-routed (scheduler, policy) combination across several
+// generated workloads, including speed-augmented runs.
+func TestAutoEquivalenceAcrossWorkloads(t *testing.T) {
+	par := mustParams(t)
+	scheds := map[string]func() sim.Scheduler{
+		"S":    func() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: par}) },
+		"S+wc": func() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: par, WorkConserving: true}) },
+		"EDF":  NewEDF,
+		"HDF":  NewHDF,
+		"Fed":  NewFederated,
+	}
+	policies := map[string]PickPolicy{"byid": nil, "unlucky": dag.Unlucky{}}
+	for seed := int64(1); seed <= 3; seed++ {
+		inst, err := GenerateWorkload(WorkloadConfig{
+			Seed: seed, N: 30, M: 4 + int(seed), Eps: 1, SlackSpread: 0.5, Load: 1.5, Scale: 2,
+			Profit: workload.ProfitStep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sname, mk := range scheds {
+			for pname, pol := range policies {
+				cfg := sim.Config{M: inst.M, Speed: NewSpeed(3, 2), Policy: pol}
+				auto, err := RunAuto(cfg, inst.Jobs, mk())
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, sname, pname, err)
+				}
+				if auto.Engine != sim.EngineEvented {
+					t.Fatalf("seed %d %s/%s: routed to %q, want evented", seed, sname, pname, auto.Engine)
+				}
+				tick, err := Run(cfg, inst.Jobs, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sameResults(auto, tick); err != nil {
+					t.Errorf("seed %d %s/%s: %v", seed, sname, pname, err)
+				}
+			}
+		}
+	}
+}
