@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet fmt check race bench bench-guard suite examples fuzz trace-demo
+.PHONY: all build test vet fmt check race bench bench-guard suite examples fuzz trace-demo api-check api-update
 
 all: vet test
 
@@ -17,11 +17,19 @@ test:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# The full local gate: formatting, vet, build, tests, perf guards. The
-# telemetry package is vetted on its own so a vet regression there is named
-# in the output.
-check: fmt vet build test bench-guard
+# The full local gate: formatting, vet, build, tests, perf guards, and the
+# public-API snapshot. The telemetry package is vetted on its own so a vet
+# regression there is named in the output.
+check: fmt vet build test bench-guard api-check
 	go vet ./internal/telemetry/
+
+# Fails when the package's exported surface drifts from testdata/api.txt.
+# Record a deliberate API change with `make api-update`.
+api-check:
+	go test -run TestPublicAPISnapshot .
+
+api-update:
+	go test -run TestPublicAPISnapshot -update .
 
 # Perf regression gate: the allocation-budget guard on the engine's nil-
 # telemetry path, plus a short 100-iteration smoke over the engine, queue,

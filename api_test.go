@@ -1,0 +1,143 @@
+package dagsched_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite testdata/api.txt with the current public surface")
+
+// TestPublicAPISnapshot pins the package's exported surface — every exported
+// func, type, const, and var declaration — against testdata/api.txt. A
+// deliberate API change is recorded with `go test -run TestPublicAPISnapshot
+// -update .`; an accidental one fails here and in `make check`.
+func TestPublicAPISnapshot(t *testing.T) {
+	got := renderPublicAPI(t, ".")
+	golden := filepath.Join("testdata", "api.txt")
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", golden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing API golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed; if intentional, rerun with -update\n%s",
+			diffLines(string(want), got))
+	}
+}
+
+// renderPublicAPI parses the package in dir and renders one sorted line per
+// exported top-level declaration, comments stripped.
+func renderPublicAPI(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["dagsched"]
+	if !ok {
+		t.Fatalf("package dagsched not found in %s (have %v)", dir, pkgs)
+	}
+
+	var lines []string
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse any multi-line rendering to a single canonical line.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue
+				}
+				fn := *d
+				fn.Doc, fn.Body = nil, nil
+				lines = append(lines, render(&fn))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						ts := *sp
+						ts.Doc, ts.Comment = nil, nil
+						lines = append(lines, "type "+render(&ts))
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if !exported {
+							continue
+						}
+						vs := *sp
+						vs.Doc, vs.Comment = nil, nil
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						lines = append(lines, kw+" "+render(&vs))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// diffLines reports the lines present in only one of the two snapshots.
+func diffLines(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering or whitespace difference)"
+	}
+	return b.String()
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"dagsched/internal/cliflags"
 	"dagsched/internal/experiments"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
@@ -193,10 +194,7 @@ func selectExperiments(expFlag, runFlag string) ([]experiments.Experiment, error
 	return out, nil
 }
 
-func fatalUsage(err error) {
-	fmt.Fprintf(os.Stderr, "spaa-bench: %v\n", err)
-	os.Exit(2)
-}
+func fatalUsage(err error) { cliflags.FatalUsage("spaa-bench", err) }
 
 // benchReport is the -json output: the full table data plus per-experiment
 // wall-clock, so perf trajectories across PRs have machine-readable data

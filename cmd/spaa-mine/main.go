@@ -23,8 +23,7 @@ import (
 	"os"
 
 	"dagsched/internal/adversary"
-	"dagsched/internal/baselines"
-	"dagsched/internal/core"
+	"dagsched/internal/cliflags"
 	"dagsched/internal/runner"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
@@ -146,38 +145,10 @@ func fmtRatio(r float64) string {
 	return fmt.Sprintf("%.3f", r)
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "spaa-mine: %v\n", err)
-		os.Exit(1)
-	}
-}
+func fail(err error) { cliflags.Fail("spaa-mine", err) }
 
+// schedulerFactory narrows the shared roster to the miner's fixed ε=1,
+// fault-free targets.
 func schedulerFactory(sel string) (func() sim.Scheduler, error) {
-	params, err := core.NewParams(1)
-	if err != nil {
-		return nil, err
-	}
-	switch sel {
-	case "s":
-		return func() sim.Scheduler { return core.NewSchedulerS(core.Options{Params: params}) }, nil
-	case "swc":
-		return func() sim.Scheduler {
-			return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true})
-		}, nil
-	case "nc":
-		return func() sim.Scheduler { return core.NewSchedulerNC(core.Options{Params: params}) }, nil
-	case "edf":
-		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderEDF} }, nil
-	case "llf":
-		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderLLF} }, nil
-	case "fifo":
-		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderFIFO} }, nil
-	case "hdf":
-		return func() sim.Scheduler { return &baselines.ListScheduler{Order: baselines.OrderHDF} }, nil
-	case "federated":
-		return func() sim.Scheduler { return &baselines.Federated{} }, nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", sel)
-	}
+	return cliflags.SchedulerFactory(sel, 1, false)
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"dagsched/internal/baselines"
+	"dagsched/internal/cliflags"
 	"dagsched/internal/core"
 	"dagsched/internal/dag"
 	"dagsched/internal/realtime"
@@ -112,9 +113,4 @@ func demoSystem() realtime.System {
 	}
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "spaa-rt: %v\n", err)
-		os.Exit(1)
-	}
-}
+func fail(err error) { cliflags.Fail("spaa-rt", err) }

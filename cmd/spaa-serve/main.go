@@ -1,0 +1,102 @@
+// Command spaa-serve runs the scheduler as a long-lived HTTP daemon: job
+// specs POSTed to /v1/jobs get an immediate admit/reject verdict from the
+// serving scheduler's admission test, simulated time advances with the wall
+// clock, and every accepted arrival lands in a replay log that re-simulates
+// bit-identically offline (spaa-sim over the logged instance).
+//
+// SIGTERM or SIGINT drains gracefully: new submissions are rejected with
+// 503, committed jobs run to completion in simulated time, and the final
+// aggregate Result is printed to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dagsched/internal/cliflags"
+	"dagsched/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		m        = flag.Int("m", 1, "number of identical processors")
+		sched    = flag.String("sched", "s", "scheduler: "+strings.Join(cliflags.SchedulerNames, ", "))
+		eps      = flag.Float64("eps", 1.0, "epsilon for the paper schedulers")
+		speedStr = flag.String("speed", "1", "machine speed (int, p/q, or float)")
+		tick     = flag.Duration("tick", serve.DefaultTickInterval, "wall-clock duration of one simulated tick")
+		queue    = flag.Int("queue", 64, "submission mailbox depth (full queue answers 429)")
+		replay   = flag.String("replay", "", "append accepted arrivals to this replay log file")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliflags.FatalUsage("spaa-serve", fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+
+	speed, err := cliflags.ParseSpeed(*speedStr)
+	if err != nil {
+		cliflags.FatalUsage("spaa-serve", err)
+	}
+	cfg := serve.Config{
+		M:            *m,
+		Sched:        *sched,
+		Eps:          *eps,
+		Speed:        speed,
+		TickInterval: *tick,
+		QueueDepth:   *queue,
+	}
+	var logFile *os.File
+	if *replay != "" {
+		logFile, err = os.Create(*replay)
+		if err != nil {
+			cliflags.Fail("spaa-serve", err)
+		}
+		cfg.ReplayLog = logFile
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		cliflags.Fail("spaa-serve", err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "spaa-serve: %s scheduler on %d processors, listening on %s\n",
+		srv.Scheduler(), *m, *addr)
+
+	select {
+	case sig := <-sigC:
+		fmt.Fprintf(os.Stderr, "spaa-serve: %v, draining\n", sig)
+	case err := <-serveErr:
+		cliflags.Fail("spaa-serve", err)
+	}
+
+	res := srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "spaa-serve: shutdown: %v\n", err)
+	}
+	if logFile != nil {
+		if err := logFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "spaa-serve: replay log: %v\n", err)
+		}
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		cliflags.Fail("spaa-serve", err)
+	}
+	fmt.Println(string(out))
+}

@@ -26,16 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
-	"dagsched/internal/baselines"
-	"dagsched/internal/core"
-	"dagsched/internal/dag"
+	"dagsched/internal/cliflags"
 	"dagsched/internal/experiments"
-	"dagsched/internal/faults"
 	"dagsched/internal/opt"
-	"dagsched/internal/rational"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
 	"dagsched/internal/trace"
@@ -62,13 +57,6 @@ func main() {
 		evented  = flag.Bool("evented", false, "use the event-driven engine (event-stationary schedulers only)")
 		horizon  = flag.Int64("horizon", 0, "stop the simulation after this many ticks (0 = run to completion)")
 
-		faultSpec = flag.String("faults", "", "fault injection spec, e.g. \"seed=1,mtbf=60,mttr=20,crash=0.01,straggler=0.2,slow=4\"")
-		faultSeed = flag.Int64("fault-seed", 0, "fault-model seed (overrides the spec's seed)")
-		mtbf      = flag.Float64("mtbf", 0, "mean ticks between processor crashes (0 = no crashes)")
-		mttr      = flag.Float64("mttr", 0, "mean ticks to repair a crashed processor (0 = mtbf/10)")
-		crash     = flag.Float64("crash-rate", 0, "per-node-per-tick execution failure probability")
-		stragF    = flag.Float64("straggler-frac", 0, "fraction of processors designated stragglers")
-		stragS    = flag.Float64("straggler-slow", 0, "straggler slowdown factor (≥ 1; 0 = default 4)")
 		resilient = flag.Bool("resilient", false, "use the fault-aware resilient scheduler variant")
 
 		advPhases  = flag.Int("adversarial", 0, "run the Figure-1 adversarial instance with this many phases (conflicts with -instance)")
@@ -78,10 +66,11 @@ func main() {
 		probeEvery = flag.Int64("probe", 0, "sample machine time series every N ticks (0 = off; 1 = every tick)")
 		probeJobs  = flag.Bool("probe-jobs", false, "with -probe, also sample per-job series (tick engine only)")
 	)
+	var faultFlags cliflags.FaultFlags
+	faultFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	setFlags := make(map[string]bool)
-	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	setFlags := cliflags.SetFlags(flag.CommandLine)
 
 	fail(validateFlags(*m, *n, *horizon, *load, *eps))
 	if *advPhases < 0 {
@@ -103,19 +92,19 @@ func main() {
 	}
 	fail(err)
 
-	speed, err := parseSpeed(*speedStr)
+	speed, err := cliflags.ParseSpeed(*speedStr)
 	fail(err)
 
-	sched, err := makeScheduler(*schedSel, *eps, *resilient)
+	sched, err := cliflags.MakeScheduler(*schedSel, *eps, *resilient)
 	fail(err)
 
-	pol, err := makePolicy(*polSel, *seed)
+	pol, err := cliflags.MakePolicy(*polSel, *seed)
 	fail(err)
 
-	if err := checkFaultFlagConflicts(*faultSpec, setFlags); err != nil {
+	if err := faultFlags.Check(setFlags); err != nil {
 		fatalUsage(err)
 	}
-	fcfg, err := buildFaults(*faultSpec, *faultSeed, *mtbf, *mttr, *crash, *stragF, *stragS)
+	fcfg, err := faultFlags.Build()
 	fail(err)
 	if fcfg != nil && *verify {
 		fail(fmt.Errorf("-verify is not supported with fault injection: the independent trace checker does not model faults"))
@@ -239,75 +228,6 @@ func validateFlags(m, n int, horizon int64, load, eps float64) error {
 	return nil
 }
 
-// faultFlagKeys maps each individual fault flag to the -faults spec key it
-// overrides. checkFaultFlagConflicts rejects a run that sets both.
-var faultFlagKeys = map[string]string{
-	"fault-seed":     "seed",
-	"mtbf":           "mtbf",
-	"mttr":           "mttr",
-	"crash-rate":     "crash",
-	"straggler-frac": "straggler",
-	"straggler-slow": "slow",
-}
-
-// errFaultFlagConflict is the named usage error for a -faults spec field
-// combined with its individual override flag; main exits 2 on it.
-var errFaultFlagConflict = fmt.Errorf("conflicting fault configuration")
-
-// checkFaultFlagConflicts rejects runs where a -faults spec field and the
-// corresponding individual flag are both set explicitly — silently preferring
-// one would make the other a lie.
-func checkFaultFlagConflicts(spec string, setFlags map[string]bool) error {
-	if spec == "" {
-		return nil
-	}
-	keys, err := faults.SpecKeys(spec)
-	if err != nil {
-		return err
-	}
-	for flagName, key := range faultFlagKeys {
-		if setFlags[flagName] && keys[key] {
-			return fmt.Errorf("%w: -faults field %q and flag -%s are both set; use one",
-				errFaultFlagConflict, key, flagName)
-		}
-	}
-	return nil
-}
-
-// buildFaults merges the -faults spec with the individual override flags and
-// returns nil when no fault injection was requested.
-func buildFaults(spec string, seed int64, mtbf, mttr, crash, stragF, stragS float64) (*faults.Config, error) {
-	cfg, err := faults.ParseSpec(spec)
-	if err != nil {
-		return nil, err
-	}
-	if seed != 0 {
-		cfg.Seed = seed
-	}
-	if mtbf != 0 {
-		cfg.MTBF = mtbf
-	}
-	if mttr != 0 {
-		cfg.MTTR = mttr
-	}
-	if crash != 0 {
-		cfg.CrashRate = crash
-	}
-	if stragF != 0 {
-		cfg.StragglerFrac = stragF
-	}
-	if stragS != 0 {
-		cfg.StragglerSlow = stragS
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if !cfg.Enabled() {
-		return nil, nil
-	}
-	return &cfg, nil
-}
-
 func safeRatio(ub, p float64) float64 {
 	if p == 0 {
 		return 0
@@ -315,19 +235,11 @@ func safeRatio(ub, p float64) float64 {
 	return ub / p
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "spaa-sim: %v\n", err)
-		os.Exit(1)
-	}
-}
+func fail(err error) { cliflags.Fail("spaa-sim", err) }
 
 // fatalUsage reports a flag-usage error and exits 2, mirroring flag's own
 // bad-usage exit code (and spaa-bench's strict validation).
-func fatalUsage(err error) {
-	fmt.Fprintf(os.Stderr, "spaa-sim: %v\n", err)
-	os.Exit(2)
-}
+func fatalUsage(err error) { cliflags.FatalUsage("spaa-sim", err) }
 
 func loadInstance(path string, m, n int, seed int64, load float64, prof string, eps float64) (*workload.Instance, error) {
 	if path != "" {
@@ -360,71 +272,5 @@ func parseProfitKind(s string) (workload.ProfitKind, error) {
 		return workload.ProfitExp, nil
 	default:
 		return 0, fmt.Errorf("unknown profit family %q", s)
-	}
-}
-
-func parseSpeed(s string) (rational.Rat, error) {
-	if num, den, ok := strings.Cut(s, "/"); ok {
-		p, err1 := strconv.ParseInt(num, 10, 64)
-		q, err2 := strconv.ParseInt(den, 10, 64)
-		if err1 != nil || err2 != nil || q == 0 {
-			return rational.Rat{}, fmt.Errorf("bad speed %q", s)
-		}
-		return rational.New(p, q), nil
-	}
-	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return rational.FromInt(v), nil
-	}
-	if v, err := strconv.ParseFloat(s, 64); err == nil {
-		return rational.FromFloat(v, 64), nil
-	}
-	return rational.Rat{}, fmt.Errorf("bad speed %q", s)
-}
-
-func makeScheduler(sel string, eps float64, resilient bool) (sim.Scheduler, error) {
-	params, err := core.NewParams(eps)
-	if err != nil {
-		return nil, err
-	}
-	switch sel {
-	case "s":
-		return core.NewSchedulerS(core.Options{Params: params, Resilient: resilient}), nil
-	case "swc":
-		return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true, Resilient: resilient}), nil
-	case "nc", "gp":
-		if resilient {
-			return nil, fmt.Errorf("scheduler %q has no resilient variant", sel)
-		}
-		if sel == "nc" {
-			return core.NewSchedulerNC(core.Options{Params: params}), nil
-		}
-		return core.NewSchedulerGP(core.Options{Params: params}), nil
-	case "edf":
-		return &baselines.ListScheduler{Order: baselines.OrderEDF, Resilient: resilient}, nil
-	case "llf":
-		return &baselines.ListScheduler{Order: baselines.OrderLLF, Resilient: resilient}, nil
-	case "fifo":
-		return &baselines.ListScheduler{Order: baselines.OrderFIFO, Resilient: resilient}, nil
-	case "hdf":
-		return &baselines.ListScheduler{Order: baselines.OrderHDF, Resilient: resilient}, nil
-	case "federated":
-		return &baselines.Federated{Resilient: resilient}, nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", sel)
-	}
-}
-
-func makePolicy(sel string, seed int64) (dag.PickPolicy, error) {
-	switch sel {
-	case "id":
-		return dag.ByID{}, nil
-	case "random":
-		return dag.Random{Rng: newRand(seed)}, nil
-	case "unlucky":
-		return dag.Unlucky{}, nil
-	case "cp":
-		return dag.CriticalPathFirst{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", sel)
 	}
 }

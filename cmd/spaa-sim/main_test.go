@@ -3,76 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"strings"
 	"testing"
 
+	"dagsched/internal/cliflags"
 	"dagsched/internal/experiments"
 	"dagsched/internal/rational"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
 	"dagsched/internal/trace"
 )
-
-func TestCheckFaultFlagConflicts(t *testing.T) {
-	set := func(names ...string) map[string]bool {
-		m := make(map[string]bool)
-		for _, n := range names {
-			m[n] = true
-		}
-		return m
-	}
-	cases := []struct {
-		name     string
-		spec     string
-		setFlags map[string]bool
-		conflict bool
-		wantErr  bool
-	}{
-		{name: "empty spec, flags set", spec: "", setFlags: set("mtbf", "crash-rate")},
-		{name: "spec only", spec: "mtbf=60,crash=0.01", setFlags: set("sched", "n")},
-		{name: "disjoint", spec: "mtbf=60", setFlags: set("crash-rate", "fault-seed")},
-		{name: "mtbf conflict", spec: "mtbf=60", setFlags: set("mtbf"), conflict: true},
-		{name: "mttr conflict", spec: "mttr=5", setFlags: set("mttr"), conflict: true},
-		{name: "crash conflict", spec: "crash=0.1", setFlags: set("crash-rate"), conflict: true},
-		{name: "seed conflict", spec: "seed=3", setFlags: set("fault-seed"), conflict: true},
-		{name: "straggler conflict", spec: "straggler=0.2,slow=2", setFlags: set("straggler-frac"), conflict: true},
-		{name: "slow conflict", spec: "straggler=0.2,slow=2", setFlags: set("straggler-slow"), conflict: true},
-		{name: "bad spec", spec: "mtbf", setFlags: set("mtbf"), wantErr: true},
-		{name: "unknown key", spec: "bogus=1", setFlags: nil, wantErr: true},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			err := checkFaultFlagConflicts(tc.spec, tc.setFlags)
-			switch {
-			case tc.conflict:
-				if !errors.Is(err, errFaultFlagConflict) {
-					t.Fatalf("got %v, want errFaultFlagConflict", err)
-				}
-			case tc.wantErr:
-				if err == nil || errors.Is(err, errFaultFlagConflict) {
-					t.Fatalf("got %v, want a parse error", err)
-				}
-			default:
-				if err != nil {
-					t.Fatalf("unexpected error: %v", err)
-				}
-			}
-		})
-	}
-}
-
-func TestConflictErrorNamesBothSides(t *testing.T) {
-	err := checkFaultFlagConflicts("crash=0.5", map[string]bool{"crash-rate": true})
-	if err == nil {
-		t.Fatal("want conflict error")
-	}
-	for _, frag := range []string{`"crash"`, "-crash-rate"} {
-		if !strings.Contains(err.Error(), frag) {
-			t.Errorf("error %q does not name %s", err, frag)
-		}
-	}
-}
 
 // TestPerfettoPipelineValid mirrors main's -perfetto flow on the adversarial
 // instance and checks the exported document against the schema validator and
@@ -121,7 +61,7 @@ func TestPerfettoPipelineValid(t *testing.T) {
 
 func makeSchedulerForTest(t *testing.T) sim.Scheduler {
 	t.Helper()
-	sched, err := makeScheduler("s", 1, false)
+	sched, err := cliflags.MakeScheduler("s", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,10 +22,12 @@ import (
 	"dagsched/internal/baselines"
 	"dagsched/internal/core"
 	"dagsched/internal/dag"
+	"dagsched/internal/faults"
 	"dagsched/internal/opt"
 	"dagsched/internal/profit"
 	"dagsched/internal/rational"
 	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
 	"dagsched/internal/trace"
 	"dagsched/internal/workload"
 )
@@ -70,6 +72,47 @@ type (
 	SchedulerS = core.SchedulerS
 	// SchedulerGP is the paper's Section 5 (general profit) algorithm.
 	SchedulerGP = core.SchedulerGP
+	// AdmissionDecision is the outcome of SchedulerS.Admission: the
+	// arrival-time plan plus whether S would start the job right now.
+	AdmissionDecision = core.Decision
+	// Plan describes scheduler S's arrival-time decisions for a job.
+	Plan = core.Plan
+	// FaultsConfig parameterizes deterministic fault injection; see
+	// ParseFaultSpec and WithFaults.
+	FaultsConfig = faults.Config
+	// FaultStats aggregates fault-injection outcomes over a run.
+	FaultStats = sim.FaultStats
+	// Recorder captures a run's decision-event stream and metric registry.
+	Recorder = telemetry.Recorder
+	// Registry is a typed store of named counters, gauges, and histograms.
+	Registry = telemetry.Registry
+	// TelemetryEvent is one decision event (arrival, admit, dispatch, …).
+	TelemetryEvent = telemetry.Event
+	// TelemetrySummary is a JSON-ready snapshot of a Registry.
+	TelemetrySummary = telemetry.Summary
+	// Trace is a full per-tick execution record (SimConfig.Record).
+	Trace = sim.Trace
+	// RouteStats counts RunAuto's engine choices across runs.
+	RouteStats = sim.RouteStats
+	// Session is the step-driven engine entry point: the same simulation Run
+	// performs, sliced into externally clocked steps with online submission
+	// (Arrive). Run over a session's accepted job set reproduces its Result
+	// bit-identically.
+	Session = sim.Session
+	// JobState classifies a job's position in a session's lifecycle.
+	JobState = sim.JobState
+	// ProfitSpec is the tagged-union wire form of a profit function, shared
+	// by instance files and job submissions.
+	ProfitSpec = workload.ProfitSpec
+)
+
+// Session job lifecycle states.
+const (
+	JobStateUnknown   = sim.JobStateUnknown
+	JobStatePending   = sim.JobStatePending
+	JobStateLive      = sim.JobStateLive
+	JobStateCompleted = sim.JobStateCompleted
+	JobStateExpired   = sim.JobStateExpired
 )
 
 // Node-pick policies (environments for the "arbitrary" ready-node choice).
@@ -124,6 +167,58 @@ func NewWorkConservingS(eps float64) (*SchedulerS, error) {
 	}
 	return core.NewSchedulerS(core.Options{Params: p, WorkConserving: true}), nil
 }
+
+// NewResilientS returns scheduler S with fault-injection feedback enabled:
+// under faults the allocation budget follows the announced capacity, jobs
+// whose lost work provably cannot be re-executed in time are expired early,
+// and capacity recoveries re-open admission. Without faults it behaves
+// identically to NewSchedulerS.
+func NewResilientS(eps float64) (*SchedulerS, error) {
+	p, err := core.NewParams(eps)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSchedulerS(core.Options{Params: p, Resilient: true}), nil
+}
+
+// NewResilientWorkConservingS combines NewResilientS and NewWorkConservingS.
+func NewResilientWorkConservingS(eps float64) (*SchedulerS, error) {
+	p, err := core.NewParams(eps)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSchedulerS(core.Options{Params: p, WorkConserving: true, Resilient: true}), nil
+}
+
+// ParseFaultSpec parses a compact fault-injection spec such as
+// "seed=7,mtbf=200,mttr=40,crash=0.01,straggler=0.2,slow=4".
+func ParseFaultSpec(spec string) (FaultsConfig, error) { return faults.ParseSpec(spec) }
+
+// NewRecorder returns an empty telemetry recorder; attach it to a run with
+// WithRecorder and to a scheduler's decision stream with AttachTelemetry.
+func NewRecorder() *Recorder { return telemetry.NewRecorder() }
+
+// AttachTelemetry wires a recorder into a scheduler that supports decision
+// instrumentation; it reports whether the scheduler accepted it.
+func AttachTelemetry(sched Scheduler, rec *Recorder) bool { return telemetry.Attach(sched, rec) }
+
+// EventsJSONL renders a recorded decision-event stream as deterministic
+// JSONL (one event per line, fields in fixed order).
+func EventsJSONL(events []TelemetryEvent) []byte { return telemetry.EventsJSONL(events) }
+
+// NewSession returns a step-driven simulation session positioned before the
+// first tick. The jobs slice may be empty: online submissions arrive later
+// through Session.Arrive. See sim.Session.
+func NewSession(cfg SimConfig, jobs []*Job, sched Scheduler) (*Session, error) {
+	return sim.NewSession(cfg, jobs, sched)
+}
+
+// MarshalJob renders one job in the instance wire format — the form the
+// serving replay log stores, so logged sessions re-simulate offline.
+func MarshalJob(j *Job) ([]byte, error) { return workload.MarshalJob(j) }
+
+// UnmarshalJob parses and validates one job in the instance wire format.
+func UnmarshalJob(data []byte) (*Job, error) { return workload.UnmarshalJob(data) }
 
 // Baseline schedulers.
 
@@ -203,6 +298,12 @@ func LinearDecayProfit(peak float64, flat, zeroAt int64) (ProfitFn, error) {
 // every halfLife ticks, cut to zero at cutoff.
 func ExpDecayProfit(peak float64, flat, halfLife, cutoff int64) (ProfitFn, error) {
 	return profit.NewExpDecay(peak, flat, halfLife, cutoff)
+}
+
+// PiecewiseProfit returns a right-continuous staircase profit: values[i]
+// until until[i] ticks, zero after the last breakpoint.
+func PiecewiseProfit(until []int64, values []float64) (ProfitFn, error) {
+	return profit.NewPiecewiseConstant(until, values)
 }
 
 // NewSpeed returns the exact rational speed num/den.

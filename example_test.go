@@ -130,6 +130,165 @@ func ExampleNewSchedulerGP() {
 	// completed at t=8, profit 10 of peak 10
 }
 
+// ExampleNewConfig builds a run configuration from functional options — the
+// form the serving daemon and programmatic embeddings use.
+func ExampleNewConfig() {
+	fn, err := dagsched.StepProfit(6, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []*dagsched.Job{{ID: 1, Graph: dagsched.Block(12, 1), Release: 0, Profit: fn}}
+	sched, err := dagsched.NewSchedulerS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dagsched.NewConfig(
+		dagsched.WithM(4),
+		dagsched.WithSpeed(dagsched.NewSpeed(3, 2)),
+		dagsched.WithRecording(),
+	)
+	res, err := dagsched.Run(cfg, jobs, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("m=%d speed=%v profit %.0f\n", res.M, res.Speed, res.TotalProfit)
+	// Output:
+	// m=4 speed=1.5 profit 6
+}
+
+// ExampleNewSession drives the engine step by step with online arrivals —
+// the serving daemon's code path. The batch Run over the same jobs is
+// bit-identical.
+func ExampleNewSession() {
+	sched, err := dagsched.NewSchedulerS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := dagsched.NewSession(dagsched.NewConfig(dagsched.WithM(2)), nil, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := dagsched.StepProfit(5, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Arrive(&dagsched.Job{ID: 1, Graph: dagsched.Block(6, 1), Release: 0, Profit: fn}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.RunToEnd(); err != nil {
+		log.Fatal(err)
+	}
+	res := sess.Finish()
+	_, state := sess.Lookup(1)
+	fmt.Printf("job 1 %s, profit %.0f in %d ticks\n", state, res.TotalProfit, res.Ticks)
+	// Output:
+	// job 1 completed, profit 5 in 6 ticks
+}
+
+// ExampleSchedulerS_Admission queries the admission test without committing
+// the job — the serving daemon's immediate admit/reject verdict.
+func ExampleSchedulerS_Admission() {
+	s, err := dagsched.NewSchedulerS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Init(dagsched.Env{M: 4, Speed: 1})
+	fn, err := dagsched.StepProfit(10, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := s.Admission(dagsched.JobView{ID: 1, W: 32, L: 4, Profit: fn})
+	fmt.Printf("admit=%v alloc=%d\n", d.Admit, d.Plan.Alloc)
+
+	tight, err := dagsched.StepProfit(8, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d = s.Admission(dagsched.JobView{ID: 2, W: 100, L: 2, Profit: tight})
+	fmt.Printf("admit=%v reason=%s\n", d.Admit, d.Reason)
+	// Output:
+	// admit=true alloc=2
+	// admit=false reason=not-delta-good
+}
+
+// ExampleMarshalJob round-trips a job through the instance wire format —
+// one line of the serving replay log.
+func ExampleMarshalJob() {
+	fn, err := dagsched.StepProfit(5, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	j := &dagsched.Job{ID: 7, Graph: dagsched.Chain(3, 1), Release: 2, Profit: fn}
+	data, err := dagsched.MarshalJob(j)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	back, err := dagsched.UnmarshalJob(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("W=%d L=%d\n", back.Graph.TotalWork(), back.Graph.Span())
+	// Output:
+	// {"id":7,"release":2,"graph":{"work":[1,1,1],"edges":[[0,1],[1,2]]},"profit":{"kind":"step","value":5,"deadline":9}}
+	// W=3 L=3
+}
+
+// ExampleNewRecorder attaches telemetry to a run: the scheduler's decision
+// events land in the recorder alongside the engine's counters.
+func ExampleNewRecorder() {
+	fn, err := dagsched.StepProfit(4, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []*dagsched.Job{
+		{ID: 1, Graph: dagsched.Block(8, 1), Release: 0, Profit: fn},
+		{ID: 2, Graph: dagsched.Chain(4, 1), Release: 1, Profit: fn},
+	}
+	sched, err := dagsched.NewSchedulerS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := dagsched.NewRecorder()
+	dagsched.AttachTelemetry(sched, rec)
+	cfg := dagsched.NewConfig(dagsched.WithM(4), dagsched.WithRecorder(rec))
+	if _, err := dagsched.Run(cfg, jobs, sched); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted %d of %d arrivals\n",
+		rec.Registry().Counter("events.admit"), rec.Registry().Counter("events.arrival"))
+	// Output:
+	// admitted 2 of 2 arrivals
+}
+
+// ExampleParseFaultSpec runs a resilient scheduler under deterministic fault
+// injection configured from a compact spec string.
+func ExampleParseFaultSpec() {
+	fc, err := dagsched.ParseFaultSpec("seed=7,mtbf=40,mttr=10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := dagsched.StepProfit(3, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []*dagsched.Job{
+		{ID: 1, Graph: dagsched.Block(64, 1), Release: 0, Profit: fn},
+	}
+	sched, err := dagsched.NewResilientS(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dagsched.NewConfig(dagsched.WithM(4), dagsched.WithFaults(fc))
+	res, err := dagsched.Run(cfg, jobs, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed=%d faults recorded=%v\n", res.Completed, res.Faults != nil)
+	// Output:
+	// completed=1 faults recorded=true
+}
+
 // ExampleSerial composes verified DAG pieces into a pipeline job.
 func ExampleSerial() {
 	stage1 := dagsched.Block(6, 1)         // parallel ingest

@@ -34,7 +34,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := dagsched.Run(dagsched.SimConfig{M: 4, Record: true}, jobs, sched)
+	cfg := dagsched.NewConfig(dagsched.WithM(4), dagsched.WithRecording())
+	res, err := dagsched.Run(cfg, jobs, sched)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,244 @@
+// Package cliflags is the shared flag-parsing layer of the spaa-* commands:
+// rational speed strings, scheduler and policy selection, and the fault
+// injection flag set with its spec-vs-flag conflict check. Before this
+// package each command carried its own copy of these parsers; the serving
+// daemon consumes it from day one, so every tool accepts the same syntax
+// and rejects the same misuse with the same exit codes.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dagsched/internal/baselines"
+	"dagsched/internal/core"
+	"dagsched/internal/dag"
+	"dagsched/internal/faults"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+)
+
+// SchedulerNames lists the -sched selectors every command accepts, in the
+// order usage strings should show them.
+var SchedulerNames = []string{"s", "swc", "nc", "gp", "edf", "llf", "fifo", "hdf", "federated"}
+
+// PolicyNames lists the -policy selectors.
+var PolicyNames = []string{"id", "random", "unlucky", "cp"}
+
+// ParseSpeed parses a machine speed given as an integer ("2"), a rational
+// ("3/2"), or a float ("1.5", converted to an exact rational).
+func ParseSpeed(s string) (rational.Rat, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		p, err1 := strconv.ParseInt(num, 10, 64)
+		q, err2 := strconv.ParseInt(den, 10, 64)
+		if err1 != nil || err2 != nil || q == 0 {
+			return rational.Rat{}, fmt.Errorf("bad speed %q", s)
+		}
+		return rational.New(p, q), nil
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return rational.FromInt(v), nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return rational.FromFloat(v, 64), nil
+	}
+	return rational.Rat{}, fmt.Errorf("bad speed %q", s)
+}
+
+// SchedulerFactory resolves a -sched selector to a constructor. Factories
+// rather than instances, because grid tools (spaa-mine -sched all) need a
+// fresh scheduler per cell. gp and nc have no resilient variant.
+func SchedulerFactory(sel string, eps float64, resilient bool) (func() sim.Scheduler, error) {
+	params, err := core.NewParams(eps)
+	if err != nil {
+		return nil, err
+	}
+	switch sel {
+	case "s":
+		return func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: params, Resilient: resilient})
+		}, nil
+	case "swc":
+		return func() sim.Scheduler {
+			return core.NewSchedulerS(core.Options{Params: params, WorkConserving: true, Resilient: resilient})
+		}, nil
+	case "nc", "gp":
+		if resilient {
+			return nil, fmt.Errorf("scheduler %q has no resilient variant", sel)
+		}
+		if sel == "nc" {
+			return func() sim.Scheduler { return core.NewSchedulerNC(core.Options{Params: params}) }, nil
+		}
+		return func() sim.Scheduler { return core.NewSchedulerGP(core.Options{Params: params}) }, nil
+	case "edf":
+		return func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderEDF, Resilient: resilient}
+		}, nil
+	case "llf":
+		return func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderLLF, Resilient: resilient}
+		}, nil
+	case "fifo":
+		return func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderFIFO, Resilient: resilient}
+		}, nil
+	case "hdf":
+		return func() sim.Scheduler {
+			return &baselines.ListScheduler{Order: baselines.OrderHDF, Resilient: resilient}
+		}, nil
+	case "federated":
+		return func() sim.Scheduler { return &baselines.Federated{Resilient: resilient} }, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", sel)
+	}
+}
+
+// MakeScheduler is SchedulerFactory for tools that need a single instance.
+func MakeScheduler(sel string, eps float64, resilient bool) (sim.Scheduler, error) {
+	mk, err := SchedulerFactory(sel, eps, resilient)
+	if err != nil {
+		return nil, err
+	}
+	return mk(), nil
+}
+
+// NewRand builds a deterministic source for the random pick policy.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// MakePolicy resolves a -policy selector.
+func MakePolicy(sel string, seed int64) (dag.PickPolicy, error) {
+	switch sel {
+	case "id":
+		return dag.ByID{}, nil
+	case "random":
+		return dag.Random{Rng: NewRand(seed)}, nil
+	case "unlucky":
+		return dag.Unlucky{}, nil
+	case "cp":
+		return dag.CriticalPathFirst{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", sel)
+	}
+}
+
+// FaultFlags is the fault-injection flag group: a compact -faults spec plus
+// one override flag per field. Register wires it into a FlagSet; Check
+// rejects a spec field combined with its override; Build merges both into a
+// faults.Config (nil when no injection was requested).
+type FaultFlags struct {
+	Spec          string
+	Seed          int64
+	MTBF          float64
+	MTTR          float64
+	CrashRate     float64
+	StragglerFrac float64
+	StragglerSlow float64
+}
+
+// Register declares the fault flags on fs with the shared names and help.
+func (ff *FaultFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&ff.Spec, "faults", "", "fault injection spec, e.g. \"seed=1,mtbf=60,mttr=20,crash=0.01,straggler=0.2,slow=4\"")
+	fs.Int64Var(&ff.Seed, "fault-seed", 0, "fault-model seed (overrides the spec's seed)")
+	fs.Float64Var(&ff.MTBF, "mtbf", 0, "mean ticks between processor crashes (0 = no crashes)")
+	fs.Float64Var(&ff.MTTR, "mttr", 0, "mean ticks to repair a crashed processor (0 = mtbf/10)")
+	fs.Float64Var(&ff.CrashRate, "crash-rate", 0, "per-node-per-tick execution failure probability")
+	fs.Float64Var(&ff.StragglerFrac, "straggler-frac", 0, "fraction of processors designated stragglers")
+	fs.Float64Var(&ff.StragglerSlow, "straggler-slow", 0, "straggler slowdown factor (≥ 1; 0 = default 4)")
+}
+
+// faultFlagKeys maps each individual fault flag to the -faults spec key it
+// overrides. Check rejects a run that sets both.
+var faultFlagKeys = map[string]string{
+	"fault-seed":     "seed",
+	"mtbf":           "mtbf",
+	"mttr":           "mttr",
+	"crash-rate":     "crash",
+	"straggler-frac": "straggler",
+	"straggler-slow": "slow",
+}
+
+// ErrFaultFlagConflict is the named usage error for a -faults spec field
+// combined with its individual override flag; commands exit 2 on it.
+var ErrFaultFlagConflict = fmt.Errorf("conflicting fault configuration")
+
+// Check rejects runs where a -faults spec field and the corresponding
+// individual flag are both set explicitly — silently preferring one would
+// make the other a lie. setFlags holds the names the user set, as collected
+// by flag.Visit.
+func (ff *FaultFlags) Check(setFlags map[string]bool) error {
+	if ff.Spec == "" {
+		return nil
+	}
+	keys, err := faults.SpecKeys(ff.Spec)
+	if err != nil {
+		return err
+	}
+	for flagName, key := range faultFlagKeys {
+		if setFlags[flagName] && keys[key] {
+			return fmt.Errorf("%w: -faults field %q and flag -%s are both set; use one",
+				ErrFaultFlagConflict, key, flagName)
+		}
+	}
+	return nil
+}
+
+// SetFlags collects the names the user explicitly set on fs. Call after
+// fs.Parse; pass the result to Check.
+func SetFlags(fs *flag.FlagSet) map[string]bool {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// Build merges the spec with the override flags and returns nil when no
+// fault injection was requested.
+func (ff *FaultFlags) Build() (*faults.Config, error) {
+	cfg, err := faults.ParseSpec(ff.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if ff.Seed != 0 {
+		cfg.Seed = ff.Seed
+	}
+	if ff.MTBF != 0 {
+		cfg.MTBF = ff.MTBF
+	}
+	if ff.MTTR != 0 {
+		cfg.MTTR = ff.MTTR
+	}
+	if ff.CrashRate != 0 {
+		cfg.CrashRate = ff.CrashRate
+	}
+	if ff.StragglerFrac != 0 {
+		cfg.StragglerFrac = ff.StragglerFrac
+	}
+	if ff.StragglerSlow != 0 {
+		cfg.StragglerSlow = ff.StragglerSlow
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	return &cfg, nil
+}
+
+// Fail prints "tool: err" and exits 1 when err is non-nil.
+func Fail(tool string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
+
+// FatalUsage prints "tool: err" and exits 2, mirroring flag's own bad-usage
+// exit code.
+func FatalUsage(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(2)
+}

@@ -1,0 +1,210 @@
+package cliflags
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"dagsched/internal/rational"
+)
+
+func TestParseSpeed(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    rational.Rat
+		wantErr bool
+	}{
+		{in: "1", want: rational.FromInt(1)},
+		{in: "2", want: rational.FromInt(2)},
+		{in: "3/2", want: rational.New(3, 2)},
+		{in: "10/4", want: rational.New(10, 4)},
+		{in: "1.5", want: rational.New(3, 2)},
+		{in: "x", wantErr: true},
+		{in: "1/0", wantErr: true},
+		{in: "a/b", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpeed(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpeed(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpeed(%q): %v", tc.in, err)
+			continue
+		}
+		if got.Reduced() != tc.want.Reduced() {
+			t.Errorf("ParseSpeed(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSchedulerFactoryRoster(t *testing.T) {
+	for _, sel := range SchedulerNames {
+		mk, err := SchedulerFactory(sel, 1, false)
+		if err != nil {
+			t.Fatalf("factory(%q): %v", sel, err)
+		}
+		a, b := mk(), mk()
+		if a == b {
+			t.Fatalf("factory(%q) reuses one instance", sel)
+		}
+		if a.Name() == "" {
+			t.Fatalf("factory(%q): empty name", sel)
+		}
+	}
+	if _, err := SchedulerFactory("nope", 1, false); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := SchedulerFactory("s", -1, false); err == nil {
+		t.Fatal("invalid epsilon accepted")
+	}
+	// gp and nc have no resilient variant; the rest do.
+	for _, sel := range SchedulerNames {
+		_, err := SchedulerFactory(sel, 1, true)
+		wantErr := sel == "gp" || sel == "nc"
+		if (err != nil) != wantErr {
+			t.Errorf("factory(%q, resilient): err=%v, wantErr=%v", sel, err, wantErr)
+		}
+	}
+}
+
+func TestMakePolicyRoster(t *testing.T) {
+	for _, sel := range PolicyNames {
+		p, err := MakePolicy(sel, 1)
+		if err != nil {
+			t.Fatalf("policy(%q): %v", sel, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("policy(%q): empty name", sel)
+		}
+	}
+	if _, err := MakePolicy("nope", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFaultFlagsCheck(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := make(map[string]bool)
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name     string
+		spec     string
+		setFlags map[string]bool
+		conflict bool
+		wantErr  bool
+	}{
+		{name: "empty spec, flags set", spec: "", setFlags: set("mtbf", "crash-rate")},
+		{name: "spec only", spec: "mtbf=60,crash=0.01", setFlags: set("sched", "n")},
+		{name: "disjoint", spec: "mtbf=60", setFlags: set("crash-rate", "fault-seed")},
+		{name: "mtbf conflict", spec: "mtbf=60", setFlags: set("mtbf"), conflict: true},
+		{name: "mttr conflict", spec: "mttr=5", setFlags: set("mttr"), conflict: true},
+		{name: "crash conflict", spec: "crash=0.1", setFlags: set("crash-rate"), conflict: true},
+		{name: "seed conflict", spec: "seed=3", setFlags: set("fault-seed"), conflict: true},
+		{name: "straggler conflict", spec: "straggler=0.2,slow=2", setFlags: set("straggler-frac"), conflict: true},
+		{name: "slow conflict", spec: "straggler=0.2,slow=2", setFlags: set("straggler-slow"), conflict: true},
+		{name: "bad spec", spec: "mtbf", setFlags: set("mtbf"), wantErr: true},
+		{name: "unknown key", spec: "bogus=1", setFlags: nil, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ff := FaultFlags{Spec: tc.spec}
+			err := ff.Check(tc.setFlags)
+			switch {
+			case tc.conflict:
+				if !errors.Is(err, ErrFaultFlagConflict) {
+					t.Fatalf("got %v, want ErrFaultFlagConflict", err)
+				}
+			case tc.wantErr:
+				if err == nil || errors.Is(err, ErrFaultFlagConflict) {
+					t.Fatalf("got %v, want a parse error", err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestConflictErrorNamesBothSides(t *testing.T) {
+	ff := FaultFlags{Spec: "crash=0.5"}
+	err := ff.Check(map[string]bool{"crash-rate": true})
+	if err == nil {
+		t.Fatal("want conflict error")
+	}
+	for _, frag := range []string{`"crash"`, "-crash-rate"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not name %s", err, frag)
+		}
+	}
+}
+
+func TestFaultFlagsBuild(t *testing.T) {
+	cases := []struct {
+		name    string
+		ff      FaultFlags
+		nilCfg  bool
+		wantErr bool
+	}{
+		{name: "nothing requested", ff: FaultFlags{}, nilCfg: true},
+		{name: "spec only", ff: FaultFlags{Spec: "seed=3,mtbf=60"}},
+		{name: "flags only", ff: FaultFlags{MTBF: 50, CrashRate: 0.1}},
+		{name: "flag overrides spec", ff: FaultFlags{Spec: "mtbf=60", Seed: 9}},
+		{name: "bad spec", ff: FaultFlags{Spec: "mtbf=abc"}, wantErr: true},
+		{name: "invalid config", ff: FaultFlags{CrashRate: 2}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := tc.ff.Build()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (cfg == nil) != tc.nilCfg {
+				t.Fatalf("cfg = %+v, want nil=%v", cfg, tc.nilCfg)
+			}
+		})
+	}
+
+	// Flag values override the spec's.
+	ff := FaultFlags{Spec: "seed=1,mtbf=60", Seed: 9, MTTR: 5}
+	cfg, err := ff.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.MTBF != 60 || cfg.MTTR != 5 {
+		t.Fatalf("merged config = %+v", cfg)
+	}
+}
+
+func TestRegisterAndSetFlags(t *testing.T) {
+	var ff FaultFlags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ff.Register(fs)
+	if err := fs.Parse([]string{"-mtbf", "60", "-fault-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if ff.MTBF != 60 || ff.Seed != 3 {
+		t.Fatalf("parsed flags = %+v", ff)
+	}
+	set := SetFlags(fs)
+	if !set["mtbf"] || !set["fault-seed"] || set["mttr"] {
+		t.Fatalf("SetFlags = %v", set)
+	}
+}

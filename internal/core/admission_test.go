@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"dagsched/internal/sim"
+)
+
+// TestAdmissionMatchesOnArrival checks the standalone query predicts exactly
+// what OnArrival then does, and that the query itself never mutates state.
+func TestAdmissionMatchesOnArrival(t *testing.T) {
+	s := newS(t, 1.0)
+	s.Init(sim.Env{M: 4, Speed: 1})
+
+	views := []sim.JobView{
+		view(t, 1, 32, 4, 0, 40, 10), // δ-good, empty bands → admit
+		view(t, 2, 100, 2, 0, 12, 8), // needs more than it can get → not δ-good
+		view(t, 3, 32, 4, 0, 40, 10), // same shape as job 1
+		view(t, 4, 32, 4, 0, 40, 10), // keeps loading the same band
+		view(t, 5, 32, 4, 0, 40, 10),
+		view(t, 6, 32, 4, 0, 40, 10),
+	}
+	for _, v := range views {
+		d := s.Admission(v)
+		// Query twice: the second answer must be identical (no side effects).
+		if d2 := s.Admission(v); d2 != d {
+			t.Fatalf("job %d: repeated Admission differs: %+v vs %+v", v.ID, d, d2)
+		}
+		q0, p0 := s.QueueSizes()
+		s.OnArrival(0, v)
+		q1, p1 := s.QueueSizes()
+		admitted := q1 == q0+1
+		if admitted != d.Admit {
+			t.Fatalf("job %d: Admission said admit=%v but OnArrival grew Q %d→%d P %d→%d",
+				v.ID, d.Admit, q0, q1, p0, p1)
+		}
+		if d.Admit && d.Reason != "" {
+			t.Fatalf("job %d: admitted with reason %q", v.ID, d.Reason)
+		}
+		if !d.Admit && d.Reason == "" {
+			t.Fatalf("job %d: rejected without a reason", v.ID)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The not-δ-good case must be named as such.
+	if d := s.Admission(view(t, 99, 100, 2, 0, 12, 8)); d.Admit || d.Reason != "not-delta-good" {
+		t.Fatalf("infeasible job: %+v", d)
+	}
+}
+
+// TestAdmissionBandFull loads one density band to capacity and checks the
+// query reports band-full for the next same-band job.
+func TestAdmissionBandFull(t *testing.T) {
+	s := newS(t, 1.0)
+	s.Init(sim.Env{M: 2, Speed: 1})
+
+	// Each clone is δ-good with band weight 1 (alloc 1, x = 20, window 20),
+	// against b·m = sqrt(1.5/2)·2 ≈ 1.73 — so the band holds one and the
+	// second must be turned away.
+	rejected := false
+	for id := 1; id <= 8; id++ {
+		v := view(t, id, 20, 4, 0, 30, 10)
+		d := s.Admission(v)
+		if !d.Admit {
+			if d.Reason != "band-full" {
+				t.Fatalf("job %d rejected for %q, want band-full", id, d.Reason)
+			}
+			rejected = true
+			break
+		}
+		s.OnArrival(0, v)
+	}
+	if !rejected {
+		t.Fatal("band never filled; test workload too light")
+	}
+}
+
+// TestAdmissionPlanAgrees checks the embedded plan equals Plan().
+func TestAdmissionPlanAgrees(t *testing.T) {
+	s := newS(t, 1.0)
+	s.Init(sim.Env{M: 8, Speed: 1})
+	v := view(t, 1, 64, 8, 0, 30, 12)
+	if got, want := s.Admission(v).Plan, s.Plan(v); got != want {
+		t.Fatalf("Admission plan %+v != Plan %+v", got, want)
+	}
+}

@@ -267,6 +267,41 @@ func (s *SchedulerS) Plan(v sim.JobView) Plan {
 	}
 }
 
+// Decision is the outcome of a standalone admission query: the arrival-time
+// Plan plus whether S would start the job now and, when it would not, why.
+type Decision struct {
+	Plan   Plan
+	Admit  bool
+	Reason string // "" when admitted; "not-delta-good" or "band-full" otherwise
+}
+
+// Admission reports the decision OnArrival would take for a job view at this
+// instant, without taking it: δ-goodness, condition (2) against the current
+// band occupancy, and the arrival-time plan. It reads but never mutates the
+// queues, so a serving front end can answer an admit/reject query before
+// committing the arrival to the engine. Init must have been called.
+func (s *SchedulerS) Admission(v sim.JobView) Decision {
+	info := s.computeInfo(v)
+	d := Decision{Plan: Plan{
+		Alloc:   info.alloc,
+		NReal:   info.nReal,
+		X:       info.x,
+		Weight:  info.weight,
+		Density: info.density,
+		Good:    info.good,
+		Profit:  info.profit,
+	}}
+	switch {
+	case info.good && (s.opts.Ablation == AblationNoBandCheck || s.bandOK(info)):
+		d.Admit = true
+	case !info.good:
+		d.Reason = "not-delta-good"
+	default:
+		d.Reason = "band-full"
+	}
+	return d
+}
+
 // bandOK checks condition (2) for admitting cand into Q: for every job J_j
 // in Q∪{cand}, the total allotment with density in [v_j, c·v_j) must stay
 // ≤ b·m. Only bands containing cand's density can change, so it suffices to

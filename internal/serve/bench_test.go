@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkSubmissionsHTTP measures end-to-end submissions/sec through the
+// full stack: HTTP round trip, mailbox, admission test, session arrival.
+func BenchmarkSubmissionsHTTP(b *testing.B) {
+	srv, err := New(Config{M: 8, QueueDepth: 1024, TickInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			spec := fmt.Sprintf(`{"w":%d,"l":2,"deadline":40,"profit":3}`, 4+i%13)
+			resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSubmissionsEngine measures the engine-side cost alone: spec
+// build, admission query, session arrival — no HTTP, no mailbox hop.
+func BenchmarkSubmissionsEngine(b *testing.B) {
+	srv, err := New(Config{M: 8, QueueDepth: 1, TickInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Drain()
+	// One mailbox round trip leaves the engine goroutine idle in its select;
+	// with the ticker disabled it stays there, so calling handleSubmit from
+	// this goroutine is unraced until Drain's channel send orders the exit.
+	sync := advanceMsg{to: 0, reply: make(chan struct{})}
+	srv.reqs <- sync
+	<-sync.reply
+
+	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+	clock := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := srv.handleSubmit(spec)
+		if rep.status != http.StatusOK {
+			b.Fatalf("status %d: %s", rep.status, rep.err)
+		}
+		// Advance periodically so the live set stays at a steady size
+		// instead of growing with b.N.
+		if i%64 == 63 {
+			clock += 8
+			srv.advance(clock)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
+	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
+	"dagsched/internal/workload"
+)
+
+// JobSpec is the POST /v1/jobs request body. The shape is given either as a
+// full DAG (the instance wire format: {"work":[...],"edges":[[u,v],...]}) or
+// as scalar totals W and L, from which the server synthesizes a DAG with
+// exactly that work and span. The profit curve is either the step shorthand
+// (Deadline ticks after release, worth Profit) or a full ProfitSpec.
+type JobSpec struct {
+	W        int64                `json:"w,omitempty"`
+	L        int64                `json:"l,omitempty"`
+	DAG      *dag.DAG             `json:"dag,omitempty"`
+	Deadline int64                `json:"deadline,omitempty"`
+	Profit   float64              `json:"profit,omitempty"`
+	Curve    *workload.ProfitSpec `json:"curve,omitempty"`
+}
+
+// maxSynthNodes caps the node count of a synthesized DAG so a scalar spec
+// cannot make the server materialize an arbitrarily large graph.
+const maxSynthNodes = 1 << 16
+
+// build resolves the spec into a validated graph and profit function.
+func (js JobSpec) build() (*dag.DAG, profit.Fn, error) {
+	var g *dag.DAG
+	switch {
+	case js.DAG != nil:
+		if js.W != 0 || js.L != 0 {
+			return nil, nil, fmt.Errorf("spec sets both dag and w/l; use one")
+		}
+		g = js.DAG
+	case js.W > 0 && js.L > 0:
+		var err error
+		g, err = synthesizeDAG(js.W, js.L)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("spec needs either dag or w ≥ l ≥ 1")
+	}
+
+	var fn profit.Fn
+	switch {
+	case js.Curve != nil:
+		if js.Deadline != 0 || js.Profit != 0 {
+			return nil, nil, fmt.Errorf("spec sets both curve and deadline/profit; use one")
+		}
+		var err error
+		fn, err = js.Curve.Decode()
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		var err error
+		fn, err = profit.NewStep(js.Profit, js.Deadline)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, fn, nil
+}
+
+// synthesizeDAG builds a graph with TotalWork exactly w and Span exactly l.
+// w == l degenerates to a chain; l == 1 to a fully parallel block. Otherwise
+// a unit-work spine chain of l nodes fixes the span and the remaining
+// w − l work hangs off the spine's root in chunks of at most l − 1, so no
+// fringe path ever exceeds the spine.
+func synthesizeDAG(w, l int64) (*dag.DAG, error) {
+	if l < 1 || w < l {
+		return nil, fmt.Errorf("need w ≥ l ≥ 1, got w=%d l=%d", w, l)
+	}
+	switch {
+	case w == l:
+		if w > maxSynthNodes {
+			return nil, fmt.Errorf("w=%d synthesizes too many nodes (max %d)", w, maxSynthNodes)
+		}
+		return dag.Chain(int(l), 1), nil
+	case l == 1:
+		if w > maxSynthNodes {
+			return nil, fmt.Errorf("w=%d synthesizes too many nodes (max %d)", w, maxSynthNodes)
+		}
+		return dag.Block(int(w), 1), nil
+	}
+	rest := w - l
+	chunk := l - 1
+	nodes := l + (rest+chunk-1)/chunk
+	if nodes > maxSynthNodes {
+		return nil, fmt.Errorf("w=%d l=%d synthesizes %d nodes (max %d)", w, l, nodes, maxSynthNodes)
+	}
+	b := dag.NewBuilder()
+	spine := make([]dag.NodeID, l)
+	for i := range spine {
+		spine[i] = b.AddNode(1)
+		if i > 0 {
+			b.AddEdge(spine[i-1], spine[i])
+		}
+	}
+	for rest > 0 {
+		c := min(chunk, rest)
+		n := b.AddNode(c)
+		b.AddEdge(spine[0], n)
+		rest -= c
+	}
+	return b.Build()
+}
+
+// Decision strings in JobResponse.
+type DecisionString string
+
+const (
+	// DecisionAdmitted: Scheduler S committed the job into Q.
+	DecisionAdmitted DecisionString = "admitted"
+	// DecisionParked: δ-good but its band is full; waiting in P, may still
+	// be admitted while δ-fresh.
+	DecisionParked DecisionString = "parked"
+	// DecisionRejected: not δ-good — infeasible for S now and at any later
+	// point; the job was not committed.
+	DecisionRejected DecisionString = "rejected"
+	// DecisionAccepted: the serving scheduler has no admission test; the
+	// job was committed without a verdict.
+	DecisionAccepted DecisionString = "accepted"
+)
+
+// JobResponse is the POST /v1/jobs response body.
+type JobResponse struct {
+	ID       int            `json:"id,omitempty"` // 0 when rejected
+	Release  int64          `json:"release"`
+	Decision DecisionString `json:"decision"`
+	Reason   string         `json:"reason,omitempty"`
+	Plan     *PlanInfo      `json:"plan,omitempty"`
+}
+
+// PlanInfo is the admission test's virtualization plan, echoed to the client.
+type PlanInfo struct {
+	Alloc   int     `json:"alloc"`
+	X       float64 `json:"x"`
+	Density float64 `json:"density"`
+	Good    bool    `json:"good"`
+}
+
+// StatusResponse is the GET /v1/jobs/{id} response body.
+type StatusResponse struct {
+	ID          int     `json:"id"`
+	State       string  `json:"state"` // pending | live | completed | expired
+	Released    int64   `json:"released"`
+	W           int64   `json:"w"`
+	L           int64   `json:"l"`
+	CompletedAt int64   `json:"completedAt,omitempty"`
+	Latency     int64   `json:"latency,omitempty"`
+	Profit      float64 `json:"profit,omitempty"`
+	ProcTicks   int64   `json:"procTicks"`
+	Preemptions int64   `json:"preemptions"`
+}
+
+func statusResponse(id int, stat sim.JobStat, state sim.JobState) StatusResponse {
+	return StatusResponse{
+		ID:          id,
+		State:       string(state),
+		Released:    stat.Released,
+		W:           stat.W,
+		L:           stat.L,
+		CompletedAt: stat.CompletedAt,
+		Latency:     stat.Latency,
+		Profit:      stat.Profit,
+		ProcTicks:   stat.ProcTicks,
+		Preemptions: stat.Preemptions,
+	}
+}
+
+// StatsResponse is the GET /v1/stats response body.
+type StatsResponse struct {
+	Scheduler   string            `json:"scheduler"`
+	M           int               `json:"m"`
+	Now         int64             `json:"now"`
+	Live        int               `json:"live"`
+	Pending     int               `json:"pending"`
+	Draining    bool              `json:"draining"`
+	EngineError string            `json:"engineError,omitempty"`
+	Telemetry   telemetry.Summary `json:"telemetry"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP routes:
+//
+//	POST /v1/jobs      submit a JobSpec → JobResponse (400 bad spec,
+//	                   429 mailbox full, 503 draining)
+//	GET  /v1/jobs/{id} job status → StatusResponse (404 unknown)
+//	GET  /v1/stats     StatsResponse
+//	GET  /healthz      200 "ok", or 503 once draining
+//	POST /v1/drain     stop admission, finish committed jobs, return the
+//	                   final aggregate Result
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/stats", s.handleStatsGet)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/drain", s.handleDrainPost)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	msg := submitMsg{spec: spec, reply: make(chan submitReply, 1)}
+	select {
+	case s.reqs <- msg:
+	default:
+		// Mailbox full: the engine is behind. Backpressure, don't block.
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "submission queue full"})
+		return
+	}
+	rep, ok := await(s, msg.reply)
+	if !ok {
+		// Enqueued but never dequeued: the engine drained first, so the job
+		// was not committed.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	if rep.status != http.StatusOK {
+		writeJSON(w, rep.status, errorResponse{Error: rep.err})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.resp)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 1 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		return
+	}
+	msg := lookupMsg{id: id, reply: make(chan lookupReply, 1)}
+	rep, ok := ask(s, msg.reply, msg)
+	if !ok {
+		// Engine gone: answer from the sealed session (engine goroutine has
+		// exited, so reading is safe).
+		stat, state := s.sess.Lookup(id)
+		if state == sim.JobStateUnknown {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, statusResponse(id, stat, state))
+		return
+	}
+	if !rep.found {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.resp)
+}
+
+func (s *Server) handleStatsGet(w http.ResponseWriter, r *http.Request) {
+	msg := statsMsg{reply: make(chan StatsResponse, 1)}
+	rep, ok := ask(s, msg.reply, msg)
+	if !ok {
+		rep = s.handleStats() // engine exited; state is sealed and safe to read
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleDrainPost(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Drain())
+}
+
+// ask sends msg to the engine and waits for a reply, giving up when the
+// engine goroutine has exited (reported as ok = false).
+func ask[T any](s *Server, reply chan T, msg any) (T, bool) {
+	select {
+	case s.reqs <- msg:
+	case <-s.engineDone:
+		var zero T
+		return zero, false
+	}
+	return await(s, reply)
+}
+
+// await waits for a mailbox reply. The engine replies to every message it
+// dequeues before engineDone closes, so when both cases are ready the
+// buffered reply must win — select alone picks randomly, which would turn an
+// accepted submission into a spurious 503 during a drain.
+func await[T any](s *Server, reply chan T) (T, bool) {
+	select {
+	case rep := <-reply:
+		return rep, true
+	case <-s.engineDone:
+		select {
+		case rep := <-reply:
+			return rep, true
+		default:
+			var zero T
+			return zero, false
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dagsched/internal/cliflags"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// ReplayHeader is the first line of a replay log: everything needed to
+// reconstruct the serving configuration offline. Speed is the rational in
+// its "p/q" (or bare "p") string form, which ParseSpeed round-trips.
+type ReplayHeader struct {
+	Type  string  `json:"type"` // always "header"
+	M     int     `json:"m"`
+	Sched string  `json:"sched"`
+	Eps   float64 `json:"eps"`
+	Speed string  `json:"speed"`
+}
+
+// replayWriter appends the header and one instance-wire job line per
+// accepted arrival. All writes happen on the engine goroutine.
+type replayWriter struct {
+	w io.Writer
+}
+
+func (rw *replayWriter) header(cfg Config) error {
+	speed := cfg.Speed
+	if speed.Num == 0 {
+		speed = rational.FromInt(1) // the zero value means speed 1
+	}
+	h := ReplayHeader{Type: "header", M: cfg.M, Sched: cfg.Sched, Eps: cfg.Eps, Speed: speed.String()}
+	return rw.writeLine(h)
+}
+
+func (rw *replayWriter) appendJob(j *sim.Job) error {
+	data, err := workload.MarshalJob(j)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = rw.w.Write(data)
+	return err
+}
+
+func (rw *replayWriter) writeLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = rw.w.Write(data)
+	return err
+}
+
+// ReadReplay parses a replay log back into its header and job set.
+func ReadReplay(r io.Reader) (ReplayHeader, []*sim.Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var h ReplayHeader
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, err
+		}
+		return h, nil, fmt.Errorf("serve: empty replay log")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return h, nil, fmt.Errorf("serve: replay header: %w", err)
+	}
+	if h.Type != "header" {
+		return h, nil, fmt.Errorf("serve: replay log starts with type %q, want header", h.Type)
+	}
+	var jobs []*sim.Job
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		j, err := workload.UnmarshalJob(line)
+		if err != nil {
+			return h, nil, fmt.Errorf("serve: replay job %d: %w", len(jobs)+1, err)
+		}
+		jobs = append(jobs, j)
+	}
+	return h, jobs, sc.Err()
+}
+
+// Replay re-simulates a replay log offline with the batch engine and returns
+// the Result. Because the serving session stamps releases from its own clock
+// and assigns ascending IDs inside the engine goroutine, the batch run over
+// the logged job set reproduces the serving session's Result bit-identically
+// (modulo the Result.Engine label, which names the engine that executed).
+func Replay(r io.Reader) (*sim.Result, error) {
+	h, jobs, err := ReadReplay(r)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := cliflags.MakeScheduler(h.Sched, h.Eps, false)
+	if err != nil {
+		return nil, err
+	}
+	speed, err := cliflags.ParseSpeed(h.Speed)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunAuto(sim.Config{M: h.M, Speed: speed}, jobs, sched)
+}

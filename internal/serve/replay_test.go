@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeDAG(t *testing.T) {
+	cases := []struct{ w, l int64 }{
+		{1, 1}, {5, 1}, {4, 4}, {7, 2}, {20, 4}, {32, 4}, {100, 3}, {17, 16},
+	}
+	for _, tc := range cases {
+		g, err := synthesizeDAG(tc.w, tc.l)
+		if err != nil {
+			t.Fatalf("synthesize(%d,%d): %v", tc.w, tc.l, err)
+		}
+		if g.TotalWork() != tc.w || g.Span() != tc.l {
+			t.Errorf("synthesize(%d,%d): W=%d L=%d", tc.w, tc.l, g.TotalWork(), g.Span())
+		}
+	}
+	for _, tc := range []struct{ w, l int64 }{{0, 0}, {1, 2}, {0, 1}, {-3, 1}} {
+		if _, err := synthesizeDAG(tc.w, tc.l); err == nil {
+			t.Errorf("synthesize(%d,%d) accepted", tc.w, tc.l)
+		}
+	}
+	// The node cap rejects absurd scalar specs instead of materializing them.
+	if _, err := synthesizeDAG(1<<20, 1); err == nil {
+		t.Error("giant block accepted")
+	}
+	if _, err := synthesizeDAG(1<<30, 2); err == nil {
+		t.Error("giant fringe accepted")
+	}
+}
+
+func TestReadReplayErrors(t *testing.T) {
+	if _, _, err := ReadReplay(strings.NewReader("")); err == nil {
+		t.Error("empty log accepted")
+	}
+	if _, _, err := ReadReplay(strings.NewReader("{\"type\":\"job\"}\n")); err == nil {
+		t.Error("missing header accepted")
+	}
+	if _, _, err := ReadReplay(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	log := "{\"type\":\"header\",\"m\":2,\"sched\":\"s\",\"eps\":1,\"speed\":\"1\"}\nnot a job\n"
+	if _, _, err := ReadReplay(strings.NewReader(log)); err == nil {
+		t.Error("garbage job line accepted")
+	}
+}
+
+func TestReplayHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rw := &replayWriter{w: &buf}
+	if err := rw.header(Config{M: 3, Sched: "swc", Eps: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	h, jobs, err := ReadReplay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M != 3 || h.Sched != "swc" || h.Eps != 0.5 || h.Speed != "1" || len(jobs) != 0 {
+		t.Fatalf("header = %+v, jobs = %d", h, len(jobs))
+	}
+}

@@ -1,0 +1,388 @@
+// Package serve is the scheduler-as-a-service layer: a long-running daemon
+// that wraps the simulation engine's step-driven Session in a concurrent-safe,
+// clock-driven loop behind an HTTP/JSON API.
+//
+// Architecture: a single engine goroutine owns the sim.Session, the
+// scheduler, and the serving telemetry registry. HTTP handlers never touch
+// that state — they send typed messages over a bounded mailbox channel and
+// wait for the reply. A full mailbox is backpressure (the handler answers
+// 429 without blocking); a draining server answers 503. A wall-clock ticker
+// inside the engine goroutine advances the session, so simulated ticks track
+// real time while the ordering of submissions against ticks stays whatever
+// the mailbox serialized.
+//
+// Every accepted arrival is appended to a replay log (header line + one
+// instance-wire job per line). Because the session stamps server-assigned
+// ascending IDs and the engine is the exact code path batch Run uses,
+// re-simulating the logged job set offline reproduces the serving session's
+// Result bit-identically — whatever interleaving of submissions and ticks
+// actually happened.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dagsched"
+	"dagsched/internal/cliflags"
+	"dagsched/internal/core"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
+)
+
+// Config parameterizes a serving daemon.
+type Config struct {
+	// M is the number of processors; must be ≥ 1.
+	M int
+	// Sched selects the scheduler (cliflags roster); empty means "s".
+	Sched string
+	// Eps is the ε parameter for the paper schedulers (0 means 1.0).
+	Eps float64
+	// Speed is the machine speed; the zero value means 1.
+	Speed rational.Rat
+	// TickInterval is the wall time one simulated tick spans. 0 means the
+	// 10ms default; negative disables the ticker entirely (the session then
+	// advances only on drain — deterministic tests use this).
+	TickInterval time.Duration
+	// QueueDepth bounds the request mailbox; a full mailbox is answered
+	// with 429. 0 means 64.
+	QueueDepth int
+	// ReplayLog, when non-nil, receives the session's replay log: a header
+	// line followed by every accepted arrival in the instance wire format.
+	// Writes happen only from the engine goroutine.
+	ReplayLog io.Writer
+}
+
+// DefaultTickInterval is the wall-clock duration of one simulated tick.
+const DefaultTickInterval = 10 * time.Millisecond
+
+// admitter is the optional standalone admission query (core.SchedulerS).
+type admitter interface {
+	Admission(v sim.JobView) core.Decision
+}
+
+// Server is one serving session. Create with New, expose Handler over HTTP,
+// stop with Drain.
+type Server struct {
+	cfg   Config
+	sched sim.Scheduler
+	adm   admitter // nil when the scheduler has no admission query
+
+	sess   *sim.Session        // engine goroutine only
+	reg    *telemetry.Registry // engine goroutine only
+	nextID int                 // engine goroutine only
+	replay *replayWriter       // engine goroutine only
+
+	reqs       chan any
+	draining   atomic.Bool
+	engineDone chan struct{}
+	engineErr  atomic.Pointer[string]
+	drainOnce  sync.Once
+	result     *sim.Result // set inside drainOnce
+
+	start time.Time
+}
+
+// New validates the configuration, builds the scheduler and session, writes
+// the replay-log header, and starts the engine goroutine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Sched == "" {
+		cfg.Sched = "s"
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = 1.0
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = DefaultTickInterval
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("serve: queue depth %d, need ≥ 1", cfg.QueueDepth)
+	}
+	sched, err := cliflags.MakeScheduler(cfg.Sched, cfg.Eps, false)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := dagsched.NewConfig(
+		dagsched.WithM(cfg.M),
+		dagsched.WithSpeed(cfg.Speed),
+	)
+	sess, err := sim.NewSession(simCfg, nil, sched)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		sched:      sched,
+		sess:       sess,
+		reg:        &telemetry.Registry{},
+		reqs:       make(chan any, cfg.QueueDepth),
+		engineDone: make(chan struct{}),
+		start:      time.Now(),
+	}
+	s.adm, _ = sched.(admitter)
+	if cfg.ReplayLog != nil {
+		s.replay = &replayWriter{w: cfg.ReplayLog}
+		if err := s.replay.header(cfg); err != nil {
+			return nil, fmt.Errorf("serve: replay log: %w", err)
+		}
+	}
+	go s.engineLoop()
+	return s, nil
+}
+
+// Scheduler returns the serving scheduler's name.
+func (s *Server) Scheduler() string { return s.sched.Name() }
+
+// Draining reports whether the server has stopped accepting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admission, fast-forwards the session until every committed job
+// has completed or expired, seals it, and returns the final Result. Simulated
+// time is decoupled from wall time here: committed jobs finish at their
+// simulated ticks immediately rather than in real time. Drain is idempotent
+// and safe from any goroutine; later calls return the same Result.
+func (s *Server) Drain() *sim.Result {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		reply := make(chan *sim.Result, 1)
+		s.reqs <- drainMsg{reply: reply}
+		s.result = <-reply
+	})
+	return s.result
+}
+
+// Advance drives the session clock to the given tick through the engine
+// mailbox, returning once the engine has processed it. It exists for
+// deterministic-time embeddings and tests running with the ticker disabled
+// (TickInterval < 0); with a live ticker the wall clock usually outruns it
+// and the call degenerates to a no-op. Advancing a drained server is a no-op.
+func (s *Server) Advance(to int64) {
+	msg := advanceMsg{to: to, reply: make(chan struct{})}
+	select {
+	case s.reqs <- msg:
+	case <-s.engineDone:
+		return
+	}
+	select {
+	case <-msg.reply:
+	case <-s.engineDone:
+	}
+}
+
+// Messages between HTTP handlers and the engine goroutine.
+
+type submitMsg struct {
+	spec  JobSpec
+	reply chan submitReply
+}
+
+type submitReply struct {
+	status int // HTTP status
+	resp   JobResponse
+	err    string
+}
+
+type lookupMsg struct {
+	id    int
+	reply chan lookupReply
+}
+
+type lookupReply struct {
+	found bool
+	resp  StatusResponse
+}
+
+type statsMsg struct {
+	reply chan StatsResponse
+}
+
+type drainMsg struct {
+	reply chan *sim.Result
+}
+
+type advanceMsg struct {
+	to    int64
+	reply chan struct{}
+}
+
+// engineLoop is the single goroutine that owns all mutable serving state.
+func (s *Server) engineLoop() {
+	defer close(s.engineDone)
+	var tickC <-chan time.Time
+	if s.cfg.TickInterval > 0 {
+		ticker := time.NewTicker(s.cfg.TickInterval)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	for {
+		select {
+		case m := <-s.reqs:
+			if s.handle(m) {
+				return
+			}
+		case <-tickC:
+			s.advance(int64(time.Since(s.start) / s.cfg.TickInterval))
+		}
+	}
+}
+
+// advance pushes the session to the wall-clock tick. A session error here is
+// terminal for the engine (a scheduler broke its allocation contract); it is
+// surfaced through /v1/stats.
+func (s *Server) advance(now int64) {
+	if err := s.sess.AdvanceTo(now); err != nil {
+		msg := err.Error()
+		s.engineErr.Store(&msg)
+	}
+}
+
+// handle dispatches one mailbox message; it reports whether the engine
+// should exit (after a drain).
+func (s *Server) handle(m any) bool {
+	switch msg := m.(type) {
+	case submitMsg:
+		msg.reply <- s.handleSubmit(msg.spec)
+	case lookupMsg:
+		msg.reply <- s.handleLookup(msg.id)
+	case statsMsg:
+		msg.reply <- s.handleStats()
+	case advanceMsg:
+		s.advance(msg.to)
+		close(msg.reply)
+	case drainMsg:
+		s.handleDrain(msg)
+		return true
+	}
+	return false
+}
+
+// handleSubmit takes the admit/reject decision and, unless the job is
+// rejected outright, commits the arrival to the session and the replay log.
+func (s *Server) handleSubmit(spec JobSpec) submitReply {
+	if s.draining.Load() {
+		return submitReply{status: 503, err: "draining"}
+	}
+	g, fn, err := spec.build()
+	if err != nil {
+		s.reg.Inc("serve.bad_request", 1)
+		return submitReply{status: 400, err: err.Error()}
+	}
+	release := s.sess.Now()
+	id := s.nextID + 1
+	resp := JobResponse{ID: id, Release: release}
+
+	if s.adm != nil {
+		view := sim.JobView{ID: id, Release: release, W: g.TotalWork(), L: g.Span(), Profit: fn}
+		d := s.adm.Admission(view)
+		resp.Plan = &PlanInfo{
+			Alloc: d.Plan.Alloc, X: d.Plan.X, Density: d.Plan.Density, Good: d.Plan.Good,
+		}
+		if !d.Admit && d.Reason == "not-delta-good" {
+			// The job can never pass the freshness test either: it is
+			// infeasible for S at any later point, so it is not committed
+			// (and not logged — the replay log holds accepted arrivals).
+			s.reg.Inc("serve.rejected", 1)
+			resp.ID = 0
+			resp.Decision = DecisionRejected
+			resp.Reason = d.Reason
+			return submitReply{status: 200, resp: resp}
+		}
+		if d.Admit {
+			resp.Decision = DecisionAdmitted
+		} else {
+			// Parked in P: committed, and eligible for admission when a
+			// completion or recovery frees band capacity.
+			resp.Decision = DecisionParked
+			resp.Reason = d.Reason
+		}
+	} else {
+		resp.Decision = DecisionAccepted
+	}
+
+	job := &sim.Job{ID: id, Graph: g, Release: release, Profit: fn}
+	if err := s.sess.Arrive(job); err != nil {
+		// Unreachable by construction (fresh ascending ID, release = Now);
+		// surfaced as a server error rather than swallowed.
+		s.reg.Inc("serve.arrive_error", 1)
+		return submitReply{status: 500, err: err.Error()}
+	}
+	s.nextID = id
+	s.reg.Inc("serve.accepted", 1)
+	s.reg.Inc("serve."+string(resp.Decision), 1)
+	if s.replay != nil {
+		if err := s.replay.appendJob(job); err != nil {
+			s.reg.Inc("serve.replay_error", 1)
+		}
+	}
+	return submitReply{status: 200, resp: resp}
+}
+
+func (s *Server) handleLookup(id int) lookupReply {
+	stat, state := s.sess.Lookup(id)
+	if state == sim.JobStateUnknown {
+		return lookupReply{}
+	}
+	return lookupReply{found: true, resp: statusResponse(id, stat, state)}
+}
+
+func (s *Server) handleStats() StatsResponse {
+	s.reg.SetGauge("serve.queue_depth", float64(len(s.reqs)))
+	resp := StatsResponse{
+		Scheduler: s.sched.Name(),
+		M:         s.cfg.M,
+		Now:       s.sess.Now(),
+		Live:      s.sess.Live(),
+		Pending:   s.sess.Pending(),
+		Draining:  s.draining.Load(),
+		Telemetry: s.reg.Summary(),
+	}
+	if ep := s.engineErr.Load(); ep != nil {
+		resp.EngineError = *ep
+	}
+	return resp
+}
+
+// handleDrain empties the mailbox (submissions get 503, reads are served),
+// fast-forwards the session to completion, and seals it.
+func (s *Server) handleDrain(first drainMsg) {
+	waiters := []drainMsg{first}
+	for {
+		drained := false
+		select {
+		case m := <-s.reqs:
+			switch msg := m.(type) {
+			case submitMsg:
+				msg.reply <- submitReply{status: 503, err: "draining"}
+			case lookupMsg:
+				msg.reply <- s.handleLookup(msg.id)
+			case statsMsg:
+				msg.reply <- s.handleStats()
+			case advanceMsg:
+				close(msg.reply) // the clock is done moving
+			case drainMsg:
+				waiters = append(waiters, msg)
+			}
+		default:
+			drained = true
+		}
+		if drained {
+			break
+		}
+	}
+	if err := s.sess.RunToEnd(); err != nil {
+		msg := err.Error()
+		s.engineErr.Store(&msg)
+	}
+	res := s.sess.Finish()
+	s.reg.Inc("serve.drains", 1)
+	for _, w := range waiters {
+		w.reply <- res
+	}
+}

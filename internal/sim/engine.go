@@ -273,312 +273,19 @@ func (e *engine) checkAllocs(t int64, allocs []Alloc, sched Scheduler) (int, err
 // error for invalid configuration, malformed jobs, or a scheduler that
 // violates the allocation contract (oversubscription, unknown or finished
 // jobs, duplicate or non-positive allocations).
+//
+// Run is a Session advanced to the end in one call; the per-tick logic
+// lives in Session.step, so batch runs and step-driven serving sessions
+// (internal/serve) share one code path and stay bit-identical.
 func Run(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
-	e, res, ordered, policy, err := prepareRun(cfg, jobs, sched)
+	s, err := NewSession(cfg, jobs, sched)
 	if err != nil {
 		return nil, err
 	}
-	res.Engine = EngineTick
-	var fm *faults.Model
-	if cfg.Faults != nil {
-		m, err := faults.NewModel(*cfg.Faults, cfg.M)
-		if err != nil {
-			return nil, err
-		}
-		fm = m
+	if err := s.RunToEnd(); err != nil {
+		return nil, err
 	}
-	rec := cfg.Telemetry
-
-	var (
-		t        int64
-		next     int // index into ordered of the next arrival
-		allocBuf []Alloc
-		nodeBuf  []dag.NodeID
-	)
-	// Fault bookkeeping, allocated only when injection is on.
-	var (
-		ca         CapacityAware
-		fs         *FaultStats
-		upBuf      []int
-		prevUp     []bool
-		curUp      []bool
-		lastCap    = cfg.M
-		lostScaled int64 // work discarded by execution failures, scaled units
-	)
-	if fm != nil {
-		ca, _ = sched.(CapacityAware)
-		fs = &FaultStats{MinCapacity: cfg.M}
-		res.Faults = fs
-		upBuf = make([]int, 0, cfg.M)
-		prevUp = make([]bool, cfg.M)
-		curUp = make([]bool, cfg.M)
-		for p := range prevUp {
-			prevUp[p] = true
-		}
-	}
-	for next < len(ordered) || len(e.live) > 0 {
-		if cfg.Horizon > 0 && t >= cfg.Horizon {
-			break
-		}
-		// Jump over idle gaps.
-		if len(e.live) == 0 && ordered[next].Release > t {
-			t = ordered[next].Release
-		}
-		// Arrivals.
-		for next < len(ordered) && ordered[next].Release <= t {
-			e.arrive(t, ordered[next], rec, sched)
-			next++
-		}
-		// Expiries: completing after lastUseful earns nothing, so the job
-		// leaves the system.
-		e.expire(t, res, rec, sched)
-		if len(e.live) == 0 {
-			continue
-		}
-
-		// Fault prologue: effective capacity for this tick, announced to
-		// capacity-aware schedulers before they allocate.
-		var upList []int
-		if fm != nil {
-			upList = fm.UpProcs(t, upBuf[:0])
-			c := len(upList)
-			for p := range curUp {
-				curUp[p] = false
-			}
-			for _, p := range upList {
-				curUp[p] = true
-			}
-			for p := range prevUp {
-				if prevUp[p] && !curUp[p] {
-					fs.CrashEvents++
-					if rec != nil {
-						rec.Emit(telemetry.ProcEvent(t, telemetry.KindFaultBegin, p))
-					}
-				} else if !prevUp[p] && curUp[p] && rec != nil {
-					rec.Emit(telemetry.ProcEvent(t, telemetry.KindFaultEnd, p))
-				}
-			}
-			copy(prevUp, curUp)
-			fs.DownProcTicks += int64(cfg.M - c)
-			if c < cfg.M {
-				fs.DegradedTicks++
-			}
-			if c < fs.MinCapacity {
-				fs.MinCapacity = c
-			}
-			if c != lastCap {
-				if rec != nil {
-					ev := telemetry.MachineEvent(t, telemetry.KindCapacity)
-					ev.Procs = c
-					rec.Emit(ev)
-				}
-				if ca != nil {
-					ca.OnCapacityChange(t, c)
-				}
-			}
-			lastCap = c
-		}
-
-		// Allocation.
-		allocBuf = sched.Assign(t, e, allocBuf[:0])
-		if _, err := e.checkAllocs(t, allocBuf, sched); err != nil {
-			return nil, err
-		}
-
-		// Execution.
-		var tick *TickRecord
-		if res.Trace != nil {
-			res.Trace.Ticks = append(res.Trace.Ticks, TickRecord{T: t})
-			tick = &res.Trace.Ticks[len(res.Trace.Ticks)-1]
-		}
-		var tf *TickFaults
-		if fm != nil && tick != nil {
-			tf = &TickFaults{Capacity: len(upList)}
-			for p := 0; p < cfg.M; p++ {
-				if !curUp[p] {
-					tf.Down = append(tf.Down, p)
-				}
-			}
-			tick.Faults = tf
-		}
-		busy := 0
-		upCursor := 0
-		completed := e.completedBuf[:0]
-		for _, a := range allocBuf {
-			lj := e.live[a.JobID]
-			if rec != nil && a.Procs != lj.lastProcs {
-				ev := telemetry.JobEvent(t, telemetry.KindDispatch, a.JobID)
-				ev.Procs = a.Procs
-				rec.Emit(ev)
-			}
-			lj.lastProcs = a.Procs
-			procs := a.Procs
-			if fm != nil {
-				// Map the grant onto live processors in id order: grants
-				// beyond capacity land nowhere, and a straggling processor
-				// holds its slot without progressing this tick.
-				take := procs
-				if avail := len(upList) - upCursor; take > avail {
-					fs.DroppedProcTicks += int64(take - avail)
-					take = avail
-				}
-				procs = 0
-				for i := 0; i < take; i++ {
-					p := upList[upCursor+i]
-					if fm.Straggling(t, p) {
-						fs.StraggleProcTicks++
-						if tf != nil {
-							tf.Slow = append(tf.Slow, p)
-						}
-					} else {
-						procs++
-					}
-				}
-				upCursor += take
-			}
-			if procs > 0 {
-				nodeBuf = policy.Pick(lj.state, procs, nodeBuf[:0])
-			} else {
-				nodeBuf = nodeBuf[:0]
-			}
-			if fm != nil && len(nodeBuf) > 0 {
-				// Execution failures: the node's attempt produces nothing
-				// and its accumulated work is discarded.
-				var lost int64
-				failed := false
-				kept := nodeBuf[:0]
-				for _, v := range nodeBuf {
-					if fm.NodeFails(t, a.JobID, int(v)) {
-						failed = true
-						l := lj.state.ResetNode(v)
-						lost += l
-						fs.Retries++
-						if tf != nil {
-							tf.Failed = append(tf.Failed, NodeFailure{JobID: a.JobID, Node: v, Lost: l})
-						}
-					} else {
-						kept = append(kept, v)
-					}
-				}
-				nodeBuf = kept
-				if failed {
-					lostScaled += lost
-					if rec != nil {
-						ev := telemetry.JobEvent(t, telemetry.KindWorkLost, a.JobID)
-						ev.Value = float64(lost / e.scale)
-						rec.Emit(ev)
-					}
-					if ca != nil {
-						ca.OnWorkLost(t, a.JobID, lost/e.scale)
-					}
-				}
-			}
-			for _, v := range nodeBuf {
-				lj.state.Apply(v, e.perTick)
-			}
-			busy += len(nodeBuf)
-			lj.stat.ProcTicks += int64(a.Procs)
-			lj.ranNow = true
-			if tick != nil {
-				tick.Allocs = append(tick.Allocs, AllocRecord{
-					JobID: a.JobID,
-					Procs: a.Procs,
-					Nodes: append([]dag.NodeID(nil), nodeBuf...),
-				})
-			}
-			if lj.state.Done() {
-				completed = append(completed, lj)
-			}
-		}
-		res.BusyProcTicks += int64(busy)
-		res.IdleProcTicks += int64(cfg.M - busy)
-
-		// Probe sampling (post-execution state of the sampled tick).
-		if rec != nil && rec.Probe.Want(t) {
-			capNow := cfg.M
-			if fm != nil {
-				capNow = len(upList)
-			}
-			ready := 0
-			for _, lj := range e.liveList {
-				if !lj.state.Done() {
-					ready += lj.state.ReadyCount()
-				}
-			}
-			rec.Probe.ObserveTick(telemetry.TickSample{
-				T: t, Capacity: capNow, Busy: busy,
-				LiveJobs: len(e.liveList), ReadyNodes: ready,
-			})
-			if rec.Probe.PerJob {
-				for _, lj := range e.liveList {
-					rem := lj.state.RemainingSpan()
-					rec.Probe.ObserveJob(telemetry.JobSample{
-						T: t, Job: lj.job.ID,
-						Executed:      lj.state.ExecutedWork() / e.scale,
-						RemainingSpan: (rem + e.scale - 1) / e.scale,
-						Slack:         lj.lastUseful + 1 - t,
-						Ready:         lj.state.ReadyCount(),
-					})
-				}
-			}
-		}
-
-		// Preemption accounting.
-		for _, lj := range e.liveList {
-			if lj.ranLast && !lj.ranNow && !lj.state.Done() {
-				lj.stat.Preemptions++
-				if rec != nil {
-					rec.Emit(telemetry.JobEvent(t, telemetry.KindPreempt, lj.job.ID))
-				}
-			}
-			if !lj.ranNow {
-				lj.lastProcs = 0
-			}
-			lj.ranLast = lj.ranNow
-			lj.ranNow = false
-		}
-
-		// Completions (at time t+1).
-		for _, lj := range completed {
-			lj.done = true
-			lj.stat.Completed = true
-			lj.stat.CompletedAt = t + 1
-			lj.stat.Latency = t + 1 - lj.job.Release
-			lj.stat.Profit = lj.job.Profit.At(lj.stat.Latency)
-			res.TotalProfit += lj.stat.Profit
-			res.Completed++
-			res.Jobs = append(res.Jobs, lj.stat)
-			if rec != nil {
-				ev := telemetry.JobEvent(t+1, telemetry.KindComplete, lj.job.ID)
-				ev.Value = lj.stat.Profit
-				rec.Emit(ev)
-				rec.Registry().Observe("job.latency", float64(lj.stat.Latency))
-				rec.Registry().Observe("job.slack_at_finish", float64(lj.lastUseful-t))
-			}
-			delete(e.live, lj.job.ID)
-			sched.OnCompletion(t, lj.job.ID)
-		}
-		if len(completed) > 0 {
-			e.compactLive()
-			for i := range completed {
-				completed[i] = nil
-			}
-		}
-		e.completedBuf = completed[:0]
-		t++
-	}
-	// Jobs still live at the horizon.
-	for _, lj := range e.liveList {
-		res.Jobs = append(res.Jobs, lj.stat)
-	}
-	res.Ticks = t
-	if fs != nil {
-		fs.LostWork = lostScaled / e.scale
-	}
-	if rec != nil {
-		recordRunAggregates(rec, res)
-	}
-	return res, nil
+	return s.Finish(), nil
 }
 
 // recordRunAggregates folds a finished run's end-state counters into the

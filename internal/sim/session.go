@@ -1,0 +1,504 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/faults"
+	"dagsched/internal/telemetry"
+)
+
+// Session is the step-driven entry point to the tick engine: the same
+// simulation Run performs, sliced into externally clocked steps with support
+// for online job submission. A long-running process (internal/serve) drives
+// a Session from a wall clock and feeds it arrivals as they come in; Run is
+// a Session advanced to the end in one call, so the two are bit-identical by
+// construction — re-simulating a session's accepted job set offline
+// reproduces its Result exactly.
+//
+// A Session is not safe for concurrent use; callers serialize access (the
+// serving daemon owns one from a single engine goroutine).
+type Session struct {
+	cfg    Config
+	e      *engine
+	res    *Result
+	sched  Scheduler
+	policy dag.PickPolicy
+	rec    *telemetry.Recorder
+	fm     *faults.Model
+
+	t       int64
+	pending []*Job // scheduled arrivals, (release, ID)-ordered; pending[next:] due
+	next    int
+	seen    map[int]bool // every job ID ever accepted
+
+	allocBuf []Alloc
+	nodeBuf  []dag.NodeID
+
+	// Fault bookkeeping, allocated only when injection is on.
+	ca         CapacityAware
+	fs         *FaultStats
+	upBuf      []int
+	prevUp     []bool
+	curUp      []bool
+	lastCap    int
+	lostScaled int64 // work discarded by execution failures, scaled units
+
+	finished bool
+	doneIdx  map[int]int // finished job ID → index into res.Jobs
+}
+
+// JobState classifies a job's position in a session's lifecycle.
+type JobState string
+
+const (
+	// JobStateUnknown: the session has never seen this ID.
+	JobStateUnknown JobState = "unknown"
+	// JobStatePending: accepted but its release tick has not been reached.
+	JobStatePending JobState = "pending"
+	// JobStateLive: released and executing or awaiting processors.
+	JobStateLive JobState = "live"
+	// JobStateCompleted: finished all nodes in time.
+	JobStateCompleted JobState = "completed"
+	// JobStateExpired: left the system past its last profitable tick.
+	JobStateExpired JobState = "expired"
+)
+
+// NewSession validates the configuration and job set and returns a session
+// positioned before the first tick. The jobs slice may be empty: online
+// submissions arrive later through Arrive.
+func NewSession(cfg Config, jobs []*Job, sched Scheduler) (*Session, error) {
+	e, res, ordered, policy, err := prepareRun(cfg, jobs, sched)
+	if err != nil {
+		return nil, err
+	}
+	res.Engine = EngineTick
+	s := &Session{
+		cfg:     cfg,
+		e:       e,
+		res:     res,
+		sched:   sched,
+		policy:  policy,
+		rec:     cfg.Telemetry,
+		pending: ordered,
+		seen:    make(map[int]bool, len(ordered)),
+		lastCap: cfg.M,
+		doneIdx: make(map[int]int),
+	}
+	for _, j := range ordered {
+		s.seen[j.ID] = true
+	}
+	if cfg.Faults != nil {
+		fm, err := faults.NewModel(*cfg.Faults, cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		s.fm = fm
+		s.ca, _ = sched.(CapacityAware)
+		s.fs = &FaultStats{MinCapacity: cfg.M}
+		res.Faults = s.fs
+		s.upBuf = make([]int, 0, cfg.M)
+		s.prevUp = make([]bool, cfg.M)
+		s.curUp = make([]bool, cfg.M)
+		for p := range s.prevUp {
+			s.prevUp[p] = true
+		}
+	}
+	return s, nil
+}
+
+// Now returns the session's clock: the next tick to be simulated.
+func (s *Session) Now() int64 { return s.t }
+
+// Live returns the number of released, unfinished jobs.
+func (s *Session) Live() int { return len(s.e.live) }
+
+// Pending returns the number of accepted jobs whose release tick has not
+// been reached.
+func (s *Session) Pending() int { return len(s.pending) - s.next }
+
+// Idle reports whether no un-simulated work remains: every accepted job has
+// either completed or expired.
+func (s *Session) Idle() bool { return !s.runnable() }
+
+func (s *Session) runnable() bool { return s.next < len(s.pending) || len(s.e.live) > 0 }
+
+// Lookup reports a job's state and, once released, its evolving stat record.
+func (s *Session) Lookup(id int) (JobStat, JobState) {
+	if lj, ok := s.e.live[id]; ok {
+		return lj.stat, JobStateLive
+	}
+	if i, ok := s.doneIdx[id]; ok {
+		st := s.res.Jobs[i]
+		if st.Completed {
+			return st, JobStateCompleted
+		}
+		return st, JobStateExpired
+	}
+	for _, j := range s.pending[s.next:] {
+		if j.ID == id {
+			return JobStat{ID: id, Released: j.Release}, JobStatePending
+		}
+	}
+	return JobStat{}, JobStateUnknown
+}
+
+// Arrive submits one job online and processes its arrival immediately: the
+// scheduler's OnArrival fires before Arrive returns, so an admission
+// decision taken there (SchedulerS moving the job into Q or P) is observable
+// right away. The job's Release stamps the arrival tick: it must be ≥ the
+// session clock, and — because released work is simulated before the clock
+// moves — exactly the current tick while live jobs remain. An idle session
+// jumps its clock to the release, exactly as Run jumps over idle gaps, so a
+// session fed online and a Run over the same job set stay bit-identical.
+//
+// Arrive cannot be mixed with scheduled arrivals still pending from
+// NewSession; it returns an error until those have been released.
+func (s *Session) Arrive(j *Job) error {
+	if s.finished {
+		return fmt.Errorf("sim: Arrive on a finished session")
+	}
+	if s.next < len(s.pending) {
+		return fmt.Errorf("sim: Arrive with %d scheduled arrivals still pending", len(s.pending)-s.next)
+	}
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if s.seen[j.ID] {
+		return fmt.Errorf("sim: duplicate job ID %d", j.ID)
+	}
+	if j.Release < s.t {
+		return fmt.Errorf("sim: job %d released at %d, before the session clock %d", j.ID, j.Release, s.t)
+	}
+	if len(s.e.live) > 0 && j.Release != s.t {
+		return fmt.Errorf("sim: job %d released at %d, ahead of the session clock %d with live jobs", j.ID, j.Release, s.t)
+	}
+	if len(s.e.live) == 0 && j.Release > s.t {
+		s.t = j.Release // the idle-gap jump Run takes
+	}
+	s.seen[j.ID] = true
+	s.res.OfferedProfit += j.Profit.At(1)
+	s.e.arrive(s.t, j, s.rec, s.sched)
+	return nil
+}
+
+// AdvanceTo simulates every tick strictly before now that has work, jumping
+// over idle gaps exactly as Run does. It stops early at Config.Horizon or
+// when no accepted job remains unfinished (the clock then stays put, so a
+// later Arrive restarts it at the next release). Tick t is simulated once
+// the clock passes t, so arrivals for tick t submitted before that keep
+// their place.
+func (s *Session) AdvanceTo(now int64) error {
+	if s.finished {
+		return fmt.Errorf("sim: AdvanceTo on a finished session")
+	}
+	for s.runnable() {
+		if s.cfg.Horizon > 0 && s.t >= s.cfg.Horizon {
+			return nil
+		}
+		if len(s.e.live) == 0 && s.pending[s.next].Release > s.t {
+			s.t = s.pending[s.next].Release
+		}
+		if s.t >= now {
+			return nil
+		}
+		if err := s.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunToEnd advances until every accepted job has completed or expired (or
+// the horizon cuts the run short).
+func (s *Session) RunToEnd() error { return s.AdvanceTo(math.MaxInt64) }
+
+// Finish seals the session and returns its Result: stats of jobs still live
+// (horizon stops), the tick count, fault totals, and registry aggregates.
+// Further Arrive/AdvanceTo calls fail; Finish is idempotent.
+func (s *Session) Finish() *Result {
+	if s.finished {
+		return s.res
+	}
+	s.finished = true
+	for _, lj := range s.e.liveList {
+		s.res.Jobs = append(s.res.Jobs, lj.stat)
+	}
+	s.res.Ticks = s.t
+	if s.fs != nil {
+		s.fs.LostWork = s.lostScaled / s.e.scale
+	}
+	if s.rec != nil {
+		recordRunAggregates(s.rec, s.res)
+	}
+	return s.res
+}
+
+// step simulates one tick: due arrivals, expiries, the fault prologue, the
+// scheduler's allocation, execution, probe sampling, preemption accounting,
+// and completions. When the live set is empty after expiries the tick is
+// not consumed — the caller's loop jumps the clock instead, mirroring Run's
+// original control flow.
+func (s *Session) step() error {
+	t := s.t
+	e, res, rec, sched, cfg := s.e, s.res, s.rec, s.sched, s.cfg
+	mark := len(res.Jobs)
+
+	// Arrivals.
+	for s.next < len(s.pending) && s.pending[s.next].Release <= t {
+		e.arrive(t, s.pending[s.next], rec, sched)
+		s.next++
+	}
+	// Expiries: completing after lastUseful earns nothing, so the job
+	// leaves the system.
+	e.expire(t, res, rec, sched)
+	if len(e.live) == 0 {
+		s.indexDone(mark)
+		return nil
+	}
+
+	// Fault prologue: effective capacity for this tick, announced to
+	// capacity-aware schedulers before they allocate.
+	var upList []int
+	if s.fm != nil {
+		upList = s.fm.UpProcs(t, s.upBuf[:0])
+		s.upBuf = upList[:0]
+		c := len(upList)
+		for p := range s.curUp {
+			s.curUp[p] = false
+		}
+		for _, p := range upList {
+			s.curUp[p] = true
+		}
+		for p := range s.prevUp {
+			if s.prevUp[p] && !s.curUp[p] {
+				s.fs.CrashEvents++
+				if rec != nil {
+					rec.Emit(telemetry.ProcEvent(t, telemetry.KindFaultBegin, p))
+				}
+			} else if !s.prevUp[p] && s.curUp[p] && rec != nil {
+				rec.Emit(telemetry.ProcEvent(t, telemetry.KindFaultEnd, p))
+			}
+		}
+		copy(s.prevUp, s.curUp)
+		s.fs.DownProcTicks += int64(cfg.M - c)
+		if c < cfg.M {
+			s.fs.DegradedTicks++
+		}
+		if c < s.fs.MinCapacity {
+			s.fs.MinCapacity = c
+		}
+		if c != s.lastCap {
+			if rec != nil {
+				ev := telemetry.MachineEvent(t, telemetry.KindCapacity)
+				ev.Procs = c
+				rec.Emit(ev)
+			}
+			if s.ca != nil {
+				s.ca.OnCapacityChange(t, c)
+			}
+		}
+		s.lastCap = c
+	}
+
+	// Allocation.
+	s.allocBuf = sched.Assign(t, e, s.allocBuf[:0])
+	if _, err := e.checkAllocs(t, s.allocBuf, sched); err != nil {
+		return err
+	}
+
+	// Execution.
+	var tick *TickRecord
+	if res.Trace != nil {
+		res.Trace.Ticks = append(res.Trace.Ticks, TickRecord{T: t})
+		tick = &res.Trace.Ticks[len(res.Trace.Ticks)-1]
+	}
+	var tf *TickFaults
+	if s.fm != nil && tick != nil {
+		tf = &TickFaults{Capacity: len(upList)}
+		for p := 0; p < cfg.M; p++ {
+			if !s.curUp[p] {
+				tf.Down = append(tf.Down, p)
+			}
+		}
+		tick.Faults = tf
+	}
+	busy := 0
+	upCursor := 0
+	completed := e.completedBuf[:0]
+	nodeBuf := s.nodeBuf
+	for _, a := range s.allocBuf {
+		lj := e.live[a.JobID]
+		if rec != nil && a.Procs != lj.lastProcs {
+			ev := telemetry.JobEvent(t, telemetry.KindDispatch, a.JobID)
+			ev.Procs = a.Procs
+			rec.Emit(ev)
+		}
+		lj.lastProcs = a.Procs
+		procs := a.Procs
+		if s.fm != nil {
+			// Map the grant onto live processors in id order: grants
+			// beyond capacity land nowhere, and a straggling processor
+			// holds its slot without progressing this tick.
+			take := procs
+			if avail := len(upList) - upCursor; take > avail {
+				s.fs.DroppedProcTicks += int64(take - avail)
+				take = avail
+			}
+			procs = 0
+			for i := 0; i < take; i++ {
+				p := upList[upCursor+i]
+				if s.fm.Straggling(t, p) {
+					s.fs.StraggleProcTicks++
+					if tf != nil {
+						tf.Slow = append(tf.Slow, p)
+					}
+				} else {
+					procs++
+				}
+			}
+			upCursor += take
+		}
+		if procs > 0 {
+			nodeBuf = s.policy.Pick(lj.state, procs, nodeBuf[:0])
+		} else {
+			nodeBuf = nodeBuf[:0]
+		}
+		if s.fm != nil && len(nodeBuf) > 0 {
+			// Execution failures: the node's attempt produces nothing
+			// and its accumulated work is discarded.
+			var lost int64
+			failed := false
+			kept := nodeBuf[:0]
+			for _, v := range nodeBuf {
+				if s.fm.NodeFails(t, a.JobID, int(v)) {
+					failed = true
+					l := lj.state.ResetNode(v)
+					lost += l
+					s.fs.Retries++
+					if tf != nil {
+						tf.Failed = append(tf.Failed, NodeFailure{JobID: a.JobID, Node: v, Lost: l})
+					}
+				} else {
+					kept = append(kept, v)
+				}
+			}
+			nodeBuf = kept
+			if failed {
+				s.lostScaled += lost
+				if rec != nil {
+					ev := telemetry.JobEvent(t, telemetry.KindWorkLost, a.JobID)
+					ev.Value = float64(lost / e.scale)
+					rec.Emit(ev)
+				}
+				if s.ca != nil {
+					s.ca.OnWorkLost(t, a.JobID, lost/e.scale)
+				}
+			}
+		}
+		for _, v := range nodeBuf {
+			lj.state.Apply(v, e.perTick)
+		}
+		busy += len(nodeBuf)
+		lj.stat.ProcTicks += int64(a.Procs)
+		lj.ranNow = true
+		if tick != nil {
+			tick.Allocs = append(tick.Allocs, AllocRecord{
+				JobID: a.JobID,
+				Procs: a.Procs,
+				Nodes: append([]dag.NodeID(nil), nodeBuf...),
+			})
+		}
+		if lj.state.Done() {
+			completed = append(completed, lj)
+		}
+	}
+	s.nodeBuf = nodeBuf
+	res.BusyProcTicks += int64(busy)
+	res.IdleProcTicks += int64(cfg.M - busy)
+
+	// Probe sampling (post-execution state of the sampled tick).
+	if rec != nil && rec.Probe.Want(t) {
+		capNow := cfg.M
+		if s.fm != nil {
+			capNow = len(upList)
+		}
+		ready := 0
+		for _, lj := range e.liveList {
+			if !lj.state.Done() {
+				ready += lj.state.ReadyCount()
+			}
+		}
+		rec.Probe.ObserveTick(telemetry.TickSample{
+			T: t, Capacity: capNow, Busy: busy,
+			LiveJobs: len(e.liveList), ReadyNodes: ready,
+		})
+		if rec.Probe.PerJob {
+			for _, lj := range e.liveList {
+				rem := lj.state.RemainingSpan()
+				rec.Probe.ObserveJob(telemetry.JobSample{
+					T: t, Job: lj.job.ID,
+					Executed:      lj.state.ExecutedWork() / e.scale,
+					RemainingSpan: (rem + e.scale - 1) / e.scale,
+					Slack:         lj.lastUseful + 1 - t,
+					Ready:         lj.state.ReadyCount(),
+				})
+			}
+		}
+	}
+
+	// Preemption accounting.
+	for _, lj := range e.liveList {
+		if lj.ranLast && !lj.ranNow && !lj.state.Done() {
+			lj.stat.Preemptions++
+			if rec != nil {
+				rec.Emit(telemetry.JobEvent(t, telemetry.KindPreempt, lj.job.ID))
+			}
+		}
+		if !lj.ranNow {
+			lj.lastProcs = 0
+		}
+		lj.ranLast = lj.ranNow
+		lj.ranNow = false
+	}
+
+	// Completions (at time t+1).
+	for _, lj := range completed {
+		lj.done = true
+		lj.stat.Completed = true
+		lj.stat.CompletedAt = t + 1
+		lj.stat.Latency = t + 1 - lj.job.Release
+		lj.stat.Profit = lj.job.Profit.At(lj.stat.Latency)
+		res.TotalProfit += lj.stat.Profit
+		res.Completed++
+		res.Jobs = append(res.Jobs, lj.stat)
+		if rec != nil {
+			ev := telemetry.JobEvent(t+1, telemetry.KindComplete, lj.job.ID)
+			ev.Value = lj.stat.Profit
+			rec.Emit(ev)
+			rec.Registry().Observe("job.latency", float64(lj.stat.Latency))
+			rec.Registry().Observe("job.slack_at_finish", float64(lj.lastUseful-t))
+		}
+		delete(e.live, lj.job.ID)
+		sched.OnCompletion(t, lj.job.ID)
+	}
+	if len(completed) > 0 {
+		e.compactLive()
+		for i := range completed {
+			completed[i] = nil
+		}
+	}
+	e.completedBuf = completed[:0]
+	s.indexDone(mark)
+	s.t = t + 1
+	return nil
+}
+
+// indexDone records res.Jobs entries appended since mark in the finished-job
+// index, keeping Lookup O(1) for completed and expired jobs.
+func (s *Session) indexDone(mark int) {
+	for i := mark; i < len(s.res.Jobs); i++ {
+		s.doneIdx[s.res.Jobs[i].ID] = i
+	}
+}

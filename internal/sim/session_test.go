@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+)
+
+// sessionJobs builds a deterministic mixed-shape workload in-package
+// (internal/workload imports sim, so its generator is off limits here):
+// chains, blocks, and fork–joins with staggered releases and deadlines
+// tight enough that some jobs expire.
+func sessionJobs(t *testing.T, n int) []*Job {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	jobs := make([]*Job, 0, n)
+	var release int64
+	for i := 0; i < n; i++ {
+		var g *dag.DAG
+		switch i % 3 {
+		case 0:
+			g = dag.Chain(2+rng.Intn(6), 1+int64(rng.Intn(3)))
+		case 1:
+			g = dag.Block(3+rng.Intn(8), 1+int64(rng.Intn(2)))
+		default:
+			g = dag.ForkJoin(1+rng.Intn(2), 2+rng.Intn(4), 1)
+		}
+		deadline := g.Span() + int64(rng.Intn(int(g.TotalWork())+4))
+		jobs = append(jobs, &Job{
+			ID:      i + 1,
+			Graph:   g,
+			Release: release,
+			Profit:  step(t, float64(1+rng.Intn(9)), deadline),
+		})
+		release += int64(rng.Intn(4))
+	}
+	return jobs
+}
+
+// resultJSON renders a result canonically for byte-level comparison.
+func resultJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSessionBatchMatchesRun drives a session with the jobs given up front
+// and checks the result is byte-identical to Run.
+func TestSessionBatchMatchesRun(t *testing.T) {
+	jobs := sessionJobs(t, 40)
+	cfg := Config{M: 6}
+
+	want, err := Run(cfg, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Finish()
+	if a, b := resultJSON(t, got), resultJSON(t, want); a != b {
+		t.Fatalf("session result diverges from Run:\n got %s\nwant %s", a, b)
+	}
+}
+
+// TestSessionOnlineMatchesRun submits every job online via Arrive at its
+// release tick — advancing the session clock between submissions exactly as
+// a serving daemon would — and checks the final result is byte-identical to
+// a batch Run over the same job set.
+func TestSessionOnlineMatchesRun(t *testing.T) {
+	jobs := sessionJobs(t, 40)
+	cfg := Config{M: 6}
+
+	want, err := Run(cfg, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSession(cfg, nil, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := sortJobsByRelease(jobs)
+	for _, j := range ordered {
+		if err := s.AdvanceTo(j.Release); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Arrive(j); err != nil {
+			t.Fatalf("Arrive(job %d): %v", j.ID, err)
+		}
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Finish()
+	if a, b := resultJSON(t, got), resultJSON(t, want); a != b {
+		t.Fatalf("online session diverges from Run:\n got %s\nwant %s", a, b)
+	}
+}
+
+// TestSessionOnlineLaggedClockMatchesRun replays the online feed but pushes
+// the session clock in uneven increments — one tick at a time with redundant
+// repeat calls, the way a serving loop's timer fires between submissions —
+// so correctness must not depend on how AdvanceTo's work is batched.
+func TestSessionOnlineLaggedClockMatchesRun(t *testing.T) {
+	jobs := sessionJobs(t, 30)
+	cfg := Config{M: 6}
+
+	want, err := Run(cfg, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg, nil, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := sortJobsByRelease(jobs)
+	for _, j := range ordered {
+		// Unit-step the clock up to the release, with a redundant repeat
+		// call every other tick: AdvanceTo must be idempotent at a fixed
+		// target and insensitive to step size.
+		for now := s.Now(); now < j.Release; now++ {
+			if err := s.AdvanceTo(now + 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AdvanceTo(now + 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.AdvanceTo(j.Release); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Arrive(j); err != nil {
+			t.Fatalf("Arrive(job %d): %v", j.ID, err)
+		}
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultJSON(t, s.Finish()), resultJSON(t, want); a != b {
+		t.Fatalf("lagged online session diverges from Run:\n got %s\nwant %s", a, b)
+	}
+}
+
+// TestSessionLookupLifecycle walks one job through pending → live →
+// completed and checks Lookup at each stage.
+func TestSessionLookupLifecycle(t *testing.T) {
+	jobs := []*Job{
+		{ID: 1, Graph: dag.Chain(4, 1), Release: 5, Profit: step(t, 10, 50)},
+	}
+	s, err := NewSession(Config{M: 2}, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st := s.Lookup(1); st != JobStatePending {
+		t.Fatalf("before release: state %q, want pending", st)
+	}
+	if _, st := s.Lookup(99); st != JobStateUnknown {
+		t.Fatalf("unknown id: state %q", st)
+	}
+	if err := s.AdvanceTo(6); err != nil { // tick 5 simulated
+		t.Fatal(err)
+	}
+	if _, st := s.Lookup(1); st != JobStateLive {
+		t.Fatalf("after release: state %q, want live", st)
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	stat, st := s.Lookup(1)
+	if st != JobStateCompleted {
+		t.Fatalf("after run: state %q, want completed", st)
+	}
+	if !stat.Completed || stat.CompletedAt != 9 { // chain of 4 from t=5
+		t.Fatalf("stat = %+v, want completion at t=9", stat)
+	}
+	if !s.Idle() {
+		t.Fatal("session should be idle")
+	}
+}
+
+// TestSessionExpiredLookup checks Lookup reports expiry.
+func TestSessionExpiredLookup(t *testing.T) {
+	jobs := []*Job{
+		{ID: 7, Graph: dag.Chain(10, 1), Release: 0, Profit: step(t, 5, 3)},
+	}
+	s, err := NewSession(Config{M: 1}, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := s.Lookup(7); st != JobStateExpired {
+		t.Fatalf("state %q, want expired", st)
+	}
+}
+
+// TestSessionArriveRejections exercises Arrive's error paths: duplicates,
+// stale releases, skipping ahead with live work, use after Finish, and
+// mixing with scheduled arrivals.
+func TestSessionArriveRejections(t *testing.T) {
+	mk := func(id int, release int64) *Job {
+		return &Job{ID: id, Graph: dag.Chain(3, 1), Release: release, Profit: step(t, 1, 100)}
+	}
+	s, err := NewSession(Config{M: 1}, nil, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Arrive(mk(1, 4)); err != nil { // idle jump to t=4
+		t.Fatal(err)
+	}
+	if got := s.Now(); got != 4 {
+		t.Fatalf("clock %d after idle-jump arrival, want 4", got)
+	}
+	if err := s.Arrive(mk(1, 4)); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if err := s.Arrive(mk(2, 3)); err == nil {
+		t.Fatal("release before the clock accepted")
+	}
+	if err := s.Arrive(mk(3, 9)); err == nil {
+		t.Fatal("release ahead of the clock accepted while jobs are live")
+	}
+	if err := s.Arrive(mk(4, 4)); err != nil { // same tick is fine
+		t.Fatal(err)
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	s.Finish()
+	if err := s.Arrive(mk(5, 50)); err == nil {
+		t.Fatal("Arrive accepted on a finished session")
+	}
+	if err := s.AdvanceTo(100); err == nil {
+		t.Fatal("AdvanceTo accepted on a finished session")
+	}
+
+	s2, err := NewSession(Config{M: 1}, []*Job{mk(1, 10)}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Arrive(mk(2, 0)); err == nil {
+		t.Fatal("Arrive accepted with scheduled arrivals pending")
+	}
+}
+
+// TestSessionFinishIdempotent checks Finish can be called repeatedly and
+// that a horizon-stopped session reports still-live jobs.
+func TestSessionFinishIdempotent(t *testing.T) {
+	jobs := []*Job{
+		{ID: 1, Graph: dag.Chain(20, 1), Release: 0, Profit: step(t, 5, 100)},
+	}
+	s, err := NewSession(Config{M: 1, Horizon: 5}, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := s.Finish()
+	r2 := s.Finish()
+	if r1 != r2 {
+		t.Fatal("Finish not idempotent")
+	}
+	if r1.Ticks != 5 || len(r1.Jobs) != 1 || r1.Jobs[0].Completed {
+		t.Fatalf("horizon result = %+v", r1)
+	}
+}

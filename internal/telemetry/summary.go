@@ -1,0 +1,49 @@
+package telemetry
+
+// Summary is a JSON-ready snapshot of a Registry: counters and gauges by
+// name plus a digest per histogram. encoding/json marshals maps with sorted
+// keys, so the summary of a deterministic run serializes byte-stably — the
+// serving layer's /v1/stats endpoint and grid reports rely on that.
+type Summary struct {
+	Counters map[string]int64       `json:"counters,omitempty"`
+	Gauges   map[string]float64     `json:"gauges,omitempty"`
+	Hists    map[string]HistSummary `json:"hists,omitempty"`
+}
+
+// HistSummary digests one histogram: sample count, extrema, and quantile
+// upper bounds (see Histogram.Quantile).
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary snapshots the registry. The receiver may be nil (zero Summary).
+func (r *Registry) Summary() Summary {
+	var s Summary
+	if r == nil {
+		return s
+	}
+	s.Counters = r.Counters()
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]HistSummary, len(r.hists))
+		for k, h := range r.hists {
+			s.Hists[k] = HistSummary{
+				Count: h.Count,
+				Min:   h.Min,
+				Max:   h.Max,
+				P50:   h.Quantile(0.5),
+				P99:   h.Quantile(0.99),
+			}
+		}
+	}
+	return s
+}

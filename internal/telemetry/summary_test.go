@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRegistrySummary(t *testing.T) {
+	r := &Registry{}
+	r.Inc("serve.accepted", 3)
+	r.Inc("serve.rejected", 1)
+	r.SetGauge("serve.queue_depth", 2)
+	r.Observe("serve.latency", 1)
+	r.Observe("serve.latency", 7)
+
+	s := r.Summary()
+	if s.Counters["serve.accepted"] != 3 || s.Counters["serve.rejected"] != 1 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Gauges["serve.queue_depth"] != 2 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	h := s.Hists["serve.latency"]
+	if h.Count != 2 || h.Min != 1 || h.Max != 7 {
+		t.Fatalf("hist = %+v", h)
+	}
+
+	// Byte-stable serialization: maps marshal with sorted keys.
+	a, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("summary serialization unstable:\n%s\n%s", a, b)
+	}
+}
+
+func TestNilRegistrySummary(t *testing.T) {
+	var r *Registry
+	s := r.Summary()
+	if s.Counters != nil || s.Gauges != nil || s.Hists != nil {
+		t.Fatalf("nil registry summary = %+v", s)
+	}
+}

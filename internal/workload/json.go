@@ -23,11 +23,14 @@ type jobJSON struct {
 	ID      int        `json:"id"`
 	Release int64      `json:"release"`
 	Graph   *dag.DAG   `json:"graph"`
-	Profit  profitJSON `json:"profit"`
+	Profit  ProfitSpec `json:"profit"`
 }
 
-// profitJSON is a tagged union over the profit families.
-type profitJSON struct {
+// ProfitSpec is the tagged-union wire form of a profit function, shared by
+// instance files and the serving API's job submissions. Kind is one of
+// "step", "linear", "exp", "piecewise"; the other fields apply per kind,
+// mirroring the profit constructors.
+type ProfitSpec struct {
 	Kind     string    `json:"kind"`
 	Value    float64   `json:"value,omitempty"`
 	Deadline int64     `json:"deadline,omitempty"`
@@ -39,22 +42,30 @@ type profitJSON struct {
 	Values   []float64 `json:"values,omitempty"`
 }
 
-func encodeProfit(fn profit.Fn) (profitJSON, error) {
+func encodeProfit(fn profit.Fn) (ProfitSpec, error) {
 	switch p := fn.(type) {
 	case profit.Step:
-		return profitJSON{Kind: "step", Value: p.Value, Deadline: p.Deadline}, nil
+		return ProfitSpec{Kind: "step", Value: p.Value, Deadline: p.Deadline}, nil
 	case profit.LinearDecay:
-		return profitJSON{Kind: "linear", Value: p.Peak, Flat: p.Flat, ZeroAt: p.ZeroAt}, nil
+		return ProfitSpec{Kind: "linear", Value: p.Peak, Flat: p.Flat, ZeroAt: p.ZeroAt}, nil
 	case profit.ExpDecay:
-		return profitJSON{Kind: "exp", Value: p.Peak, Flat: p.Flat, HalfLife: p.HalfLife, Cutoff: p.Cutoff}, nil
+		return ProfitSpec{Kind: "exp", Value: p.Peak, Flat: p.Flat, HalfLife: p.HalfLife, Cutoff: p.Cutoff}, nil
 	case profit.PiecewiseConstant:
-		return profitJSON{Kind: "piecewise", Until: p.Until, Values: p.Values}, nil
+		return ProfitSpec{Kind: "piecewise", Until: p.Until, Values: p.Values}, nil
 	default:
-		return profitJSON{}, fmt.Errorf("workload: cannot serialize profit %T", fn)
+		return ProfitSpec{}, fmt.Errorf("workload: cannot serialize profit %T", fn)
 	}
 }
 
-func decodeProfit(pj profitJSON) (profit.Fn, error) {
+// EncodeProfit renders a profit function as its wire spec. It errors on
+// families the wire format does not cover.
+func EncodeProfit(fn profit.Fn) (ProfitSpec, error) { return encodeProfit(fn) }
+
+// Decode builds the profit function the spec describes, validating its
+// parameters through the profit constructors.
+func (pj ProfitSpec) Decode() (profit.Fn, error) { return decodeProfit(pj) }
+
+func decodeProfit(pj ProfitSpec) (profit.Fn, error) {
 	switch pj.Kind {
 	case "step":
 		return profit.NewStep(pj.Value, pj.Deadline)
@@ -101,4 +112,33 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 	}
 	*in = out
 	return nil
+}
+
+// MarshalJob renders one job in the instance wire format (one element of an
+// instance's "jobs" array). The serving replay log stores one job per line
+// in exactly this form, so a replayed session feeds sim.RunAuto the same
+// bytes an instance file would.
+func MarshalJob(j *sim.Job) ([]byte, error) {
+	pj, err := encodeProfit(j.Profit)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jobJSON{ID: j.ID, Release: j.Release, Graph: j.Graph, Profit: pj})
+}
+
+// UnmarshalJob parses and validates one job in the instance wire format.
+func UnmarshalJob(data []byte) (*sim.Job, error) {
+	var jj jobJSON
+	if err := json.Unmarshal(data, &jj); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	fn, err := decodeProfit(jj.Profit)
+	if err != nil {
+		return nil, err
+	}
+	j := &sim.Job{ID: jj.ID, Release: jj.Release, Graph: jj.Graph, Profit: fn}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
 }
