@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet fmt check race bench bench-guard suite examples fuzz trace-demo api-check api-update
+.PHONY: all build test vet fmt check race bench bench-guard suite examples fuzz trace-demo api-check api-update chaos
 
 all: vet test
 
@@ -17,11 +17,19 @@ test:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# The full local gate: formatting, vet, build, tests, perf guards, and the
-# public-API snapshot. The telemetry package is vetted on its own so a vet
-# regression there is named in the output.
-check: fmt vet build test bench-guard api-check
+# The full local gate: formatting, vet, build, tests, perf guards, the
+# public-API snapshot, and the crash-safety chaos harness. The telemetry
+# package is vetted on its own so a vet regression there is named in the
+# output.
+check: fmt vet build test bench-guard api-check chaos
 	go vet ./internal/telemetry/
+
+# Crash-safety harness: SIGKILL the serving daemon under concurrent load at
+# seeded points, restart it over the same WAL directory, and verify no
+# acknowledged job is lost, no rejected job resurrects, duplicate retries
+# collapse, and the recovered state matches a crash-free replay bit for bit.
+chaos:
+	go test -race -run 'TestChaos' -count=1 ./internal/serve/
 
 # Fails when the package's exported surface drifts from testdata/api.txt.
 # Record a deliberate API change with `make api-update`.

@@ -36,6 +36,11 @@ func main() {
 		tick     = flag.Duration("tick", serve.DefaultTickInterval, "wall-clock duration of one simulated tick")
 		queue    = flag.Int("queue", 64, "submission mailbox depth (full queue answers 429)")
 		replay   = flag.String("replay", "", "append accepted arrivals to this replay log file")
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory; enables durable commitment and crash recovery")
+		fsyncStr = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
+		fsyncInt = flag.Duration("fsync-interval", serve.DefaultFsyncInterval, "flush cadence under -fsync=interval")
+		ckptInt  = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "checkpoint cadence (negative: only at drain)")
+		maxBody  = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "largest POST /v1/jobs body in bytes (413 above)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -46,13 +51,22 @@ func main() {
 	if err != nil {
 		cliflags.FatalUsage("spaa-serve", err)
 	}
+	fsync, err := serve.ParseFsyncPolicy(*fsyncStr)
+	if err != nil {
+		cliflags.FatalUsage("spaa-serve", err)
+	}
 	cfg := serve.Config{
-		M:            *m,
-		Sched:        *sched,
-		Eps:          *eps,
-		Speed:        speed,
-		TickInterval: *tick,
-		QueueDepth:   *queue,
+		M:                  *m,
+		Sched:              *sched,
+		Eps:                *eps,
+		Speed:              speed,
+		TickInterval:       *tick,
+		QueueDepth:         *queue,
+		WALDir:             *walDir,
+		Fsync:              fsync,
+		FsyncInterval:      *fsyncInt,
+		CheckpointInterval: *ckptInt,
+		MaxBodyBytes:       *maxBody,
 	}
 	var logFile *os.File
 	if *replay != "" {
@@ -75,6 +89,11 @@ func main() {
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "spaa-serve: %s scheduler on %d processors, listening on %s\n",
 		srv.Scheduler(), *m, *addr)
+	if rec := srv.Recovery(); rec != nil && rec.Recovered {
+		fmt.Fprintf(os.Stderr,
+			"spaa-serve: recovered %d jobs to clock %d (checkpoint clock %d, %d WAL records, %d torn bytes cut)\n",
+			rec.Jobs, rec.Clock, rec.CheckpointClock, rec.WALJobs, rec.TornBytes)
+	}
 
 	select {
 	case sig := <-sigC:

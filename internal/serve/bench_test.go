@@ -62,7 +62,7 @@ func BenchmarkSubmissionsEngine(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep := srv.handleSubmit(spec)
+		rep := srv.handleSubmit(spec, "")
 		if rep.status != http.StatusOK {
 			b.Fatalf("status %d: %s", rep.status, rep.err)
 		}
@@ -72,5 +72,42 @@ func BenchmarkSubmissionsEngine(b *testing.B) {
 			clock += 8
 			srv.advance(clock)
 		}
+	}
+}
+
+// BenchmarkSubmissionsWAL measures the engine-side submission cost with the
+// write-ahead log enabled, one sub-benchmark per fsync policy. Compare
+// against BenchmarkSubmissionsEngine for the durability overhead.
+func BenchmarkSubmissionsWAL(b *testing.B) {
+	for _, policy := range []FsyncPolicy{FsyncOff, FsyncInterval, FsyncAlways} {
+		b.Run(string(policy), func(b *testing.B) {
+			srv, err := New(Config{
+				M: 8, QueueDepth: 1, TickInterval: -1,
+				WALDir: b.TempDir(), Fsync: policy,
+				CheckpointInterval: -1, // isolate append cost from checkpoint cost
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Drain()
+			sync := advanceMsg{to: 0, reply: make(chan struct{})}
+			srv.reqs <- sync
+			<-sync.reply
+
+			spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+			clock := int64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := srv.handleSubmit(spec, "")
+				if rep.status != http.StatusOK {
+					b.Fatalf("status %d: %s", rep.status, rep.err)
+				}
+				if i%64 == 63 {
+					clock += 8
+					srv.advance(clock)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"dagsched/internal/sim"
+)
+
+// The chaos harness runs the daemon in a child process (this test binary
+// re-executed with SPAA_CHAOS_CHILD set), SIGKILLs it under concurrent keyed
+// load at a seeded point, restarts it over the same WAL directory, and then
+// holds recovery to the commitment contract:
+//
+//   - no acknowledged job is lost: every acked ID resolves after restart and
+//     a retry of its key returns the original verdict verbatim;
+//   - no rejected job resurrects: keys acked "rejected" stay rejected with
+//     no ID;
+//   - duplicate retries collapse: submitting the same key twice yields one
+//     job and one verdict;
+//   - the recovered session is bit-identical: draining the restarted daemon
+//     matches an offline replay of the durable directory.
+
+const (
+	chaosChildEnv = "SPAA_CHAOS_CHILD"
+	chaosDirEnv   = "SPAA_CHAOS_DIR"
+)
+
+// TestChaosChildProcess is the daemon half of the harness. It is a no-op
+// under a normal test run; the parent re-executes the test binary with the
+// environment set.
+func TestChaosChildProcess(t *testing.T) {
+	if os.Getenv(chaosChildEnv) == "" {
+		t.Skip("not a chaos child")
+	}
+	srv, err := New(Config{
+		M:                  4,
+		TickInterval:       2 * time.Millisecond,
+		QueueDepth:         256,
+		WALDir:             os.Getenv(chaosDirEnv),
+		Fsync:              FsyncAlways,
+		CheckpointInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Printf("CHAOS_ERR %v\n", err)
+		os.Exit(3)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("CHAOS_ERR %v\n", err)
+		os.Exit(3)
+	}
+	fmt.Printf("CHAOS_ADDR %s\n", ln.Addr())
+	// Serve until the parent SIGKILLs us — that is the point.
+	_ = http.Serve(ln, srv.Handler())
+	os.Exit(0)
+}
+
+// chaosChild manages one daemon child process.
+type chaosChild struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startChaosChild(t *testing.T, dir string) *chaosChild {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosChildProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(), chaosChildEnv+"=1", chaosDirEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "CHAOS_ADDR "); ok {
+			go io.Copy(io.Discard, out) // keep draining so the child never blocks
+			return &chaosChild{cmd: cmd, addr: addr}
+		}
+		if msg, ok := strings.CutPrefix(line, "CHAOS_ERR "); ok {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("chaos child failed to start: %s", msg)
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("chaos child exited without an address (scan err %v)", sc.Err())
+	return nil
+}
+
+// kill SIGKILLs the child and reaps it. Safe off the test goroutine; a child
+// that already exited is not an error.
+func (c *chaosChild) kill() {
+	_ = c.cmd.Process.Signal(syscall.SIGKILL)
+	_ = c.cmd.Wait()
+}
+
+// waitReady polls /readyz until the restarted daemon accepts work.
+func (c *chaosChild) waitReady(t *testing.T) {
+	t.Helper()
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get("http://" + c.addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("chaos child never became ready")
+}
+
+// chaosSpec is the deterministic job body for a key, so a retry re-sends the
+// byte-identical submission.
+func chaosSpec(g, i int) string {
+	w := 4 + (g*7+i)%23
+	l := 1 + (g+i)%4
+	if l > w {
+		l = w
+	}
+	return fmt.Sprintf(`{"w":%d,"l":%d,"deadline":%d,"profit":%d}`, w, l, l+15+(i%13), 1+i%6)
+}
+
+// chaosPost submits one keyed spec, retrying 429 backpressure.
+func chaosPost(client *http.Client, addr, key, spec string) (JobResponse, error) {
+	for {
+		req, err := http.NewRequest("POST", "http://"+addr+"/v1/jobs", strings.NewReader(spec))
+		if err != nil {
+			return JobResponse{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := client.Do(req)
+		if err != nil {
+			return JobResponse{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		var jr JobResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&jr)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return JobResponse{}, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if decErr != nil {
+			return JobResponse{}, decErr
+		}
+		return jr, nil
+	}
+}
+
+func TestChaosKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness spawns subprocesses")
+	}
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	dir := t.TempDir()
+	child := startChaosChild(t, dir)
+
+	rng := rand.New(rand.NewSource(seed))
+	killAfter := int64(8 + rng.Intn(40)) // acks before the SIGKILL lands
+
+	const clients, perClient = 4, 40
+	var (
+		mu     sync.Mutex
+		acked  = map[string]JobResponse{} // key → verdict the client saw
+		unseen []string                   // keys whose submission died with the child
+	)
+	var ackCount atomic.Int64
+	var killed atomic.Bool
+	killGate := make(chan struct{})
+
+	// The killer: one goroutine waits for the seeded ack count, then SIGKILLs.
+	var killWG sync.WaitGroup
+	killWG.Add(1)
+	go func() {
+		defer killWG.Done()
+		<-killGate
+		killed.Store(true)
+		child.kill()
+	}()
+
+	var wg sync.WaitGroup
+	var gateOnce sync.Once
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for i := 0; i < perClient; i++ {
+				key := fmt.Sprintf("s%d-c%d-%d", seed, g, i)
+				jr, err := chaosPost(client, child.addr, key, chaosSpec(g, i))
+				if err != nil {
+					// The child died under us (or the response never arrived —
+					// which the server may still have acked and logged).
+					mu.Lock()
+					unseen = append(unseen, key)
+					mu.Unlock()
+					if killed.Load() {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				acked[key] = jr
+				mu.Unlock()
+				if ackCount.Add(1) == killAfter {
+					gateOnce.Do(func() { close(killGate) })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Under light scheduling the load may finish before the threshold; kill
+	// whatever state exists.
+	gateOnce.Do(func() { close(killGate) })
+	killWG.Wait()
+
+	if len(acked) == 0 {
+		t.Fatal("chaos run acked nothing before the kill; nothing to verify")
+	}
+
+	// Restart over the same directory.
+	child2 := startChaosChild(t, dir)
+	defer child2.kill()
+	child2.waitReady(t)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// No acknowledged job is lost, no verdict changes: a retry of every acked
+	// key returns the original response, marked replayed.
+	committed := map[int]bool{}
+	for key, want := range acked {
+		got, err := chaosPost(client, child2.addr, key, "{}") // body is irrelevant on a replay
+		if err != nil {
+			t.Fatalf("retry %s after restart: %v", key, err)
+		}
+		if !got.Replayed {
+			t.Errorf("retry %s: not marked replayed (got %+v)", key, got)
+		}
+		if got.ID != want.ID || got.Decision != want.Decision {
+			t.Errorf("retry %s: got ID=%d %q, acked ID=%d %q — commitment broken",
+				key, got.ID, got.Decision, want.ID, want.Decision)
+		}
+		if want.Decision == DecisionRejected && got.ID != 0 {
+			t.Errorf("retry %s: rejected job resurrected with ID %d", key, got.ID)
+		}
+		if want.ID > 0 {
+			committed[want.ID] = true
+			st, err := client.Get(fmt.Sprintf("http://%s/v1/jobs/%d", child2.addr, want.ID))
+			if err != nil {
+				t.Fatalf("status %d: %v", want.ID, err)
+			}
+			io.Copy(io.Discard, st.Body)
+			st.Body.Close()
+			if st.StatusCode != http.StatusOK {
+				t.Errorf("job %d acked before the crash but unknown after restart", want.ID)
+			}
+		}
+	}
+
+	// Keys that died in flight: submit twice; the pair must collapse onto one
+	// verdict whether or not the pre-crash daemon had durably acked them.
+	for _, key := range unseen {
+		first, err := chaosPost(client, child2.addr, key, chaosSpec(0, 0))
+		if err != nil {
+			t.Fatalf("in-flight key %s after restart: %v", key, err)
+		}
+		second, err := chaosPost(client, child2.addr, key, chaosSpec(0, 0))
+		if err != nil {
+			t.Fatalf("in-flight key %s retry: %v", key, err)
+		}
+		if !second.Replayed || second.ID != first.ID || second.Decision != first.Decision {
+			t.Errorf("in-flight key %s: duplicate did not collapse (%+v then %+v)", key, first, second)
+		}
+		if first.ID > 0 {
+			committed[first.ID] = true
+		}
+	}
+
+	// Drain the recovered daemon and hold its Result against the offline
+	// replay of the durable directory: bit-identical state, end to end.
+	resp, err := client.Post("http://"+child2.addr+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sim.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if len(res.Jobs) != len(committed) {
+		t.Errorf("drained result holds %d jobs, clients committed %d", len(res.Jobs), len(committed))
+	}
+	for _, js := range res.Jobs {
+		if !committed[js.ID] {
+			t.Errorf("job %d in the drained result was never acked to a client", js.ID)
+		}
+	}
+
+	replayed, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res, *replayed
+	a.Engine, b.Engine = "", ""
+	aj, _ := json.Marshal(&a)
+	bj, _ := json.Marshal(&b)
+	if string(aj) != string(bj) {
+		t.Errorf("recovered session diverges from crash-free replay:\nserved:   %s\nreplayed: %s", aj, bj)
+	}
+}

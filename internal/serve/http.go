@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -134,11 +135,13 @@ const (
 
 // JobResponse is the POST /v1/jobs response body.
 type JobResponse struct {
-	ID       int            `json:"id,omitempty"` // 0 when rejected
-	Release  int64          `json:"release"`
-	Decision DecisionString `json:"decision"`
-	Reason   string         `json:"reason,omitempty"`
-	Plan     *PlanInfo      `json:"plan,omitempty"`
+	ID         int            `json:"id,omitempty"` // 0 when rejected
+	Release    int64          `json:"release"`
+	Decision   DecisionString `json:"decision"`
+	Reason     string         `json:"reason,omitempty"`
+	Commitment string         `json:"commitment,omitempty"`
+	Replayed   bool           `json:"replayed,omitempty"` // idempotent retry: stored verdict
+	Plan       *PlanInfo      `json:"plan,omitempty"`
 }
 
 // PlanInfo is the admission test's virtualization plan, echoed to the client.
@@ -178,6 +181,15 @@ func statusResponse(id int, stat sim.JobStat, state sim.JobState) StatusResponse
 	}
 }
 
+// WALStats describes the durability layer in GET /v1/stats.
+type WALStats struct {
+	Dir                 string `json:"dir"`
+	Fsync               string `json:"fsync"`
+	Records             int64  `json:"records"` // appended by this process
+	Checkpoints         int64  `json:"checkpoints"`
+	LastCheckpointClock int64  `json:"lastCheckpointClock"`
+}
+
 // StatsResponse is the GET /v1/stats response body.
 type StatsResponse struct {
 	Scheduler   string            `json:"scheduler"`
@@ -186,7 +198,11 @@ type StatsResponse struct {
 	Live        int               `json:"live"`
 	Pending     int               `json:"pending"`
 	Draining    bool              `json:"draining"`
+	Ready       bool              `json:"ready"`
+	Degraded    string            `json:"degraded,omitempty"`
 	EngineError string            `json:"engineError,omitempty"`
+	WAL         *WALStats         `json:"wal,omitempty"`
+	Recovery    *RecoveryInfo     `json:"recovery,omitempty"`
 	Telemetry   telemetry.Summary `json:"telemetry"`
 }
 
@@ -198,10 +214,15 @@ type errorResponse struct {
 // Handler returns the daemon's HTTP routes:
 //
 //	POST /v1/jobs      submit a JobSpec → JobResponse (400 bad spec,
-//	                   429 mailbox full, 503 draining)
+//	                   413 oversized body, 429 mailbox full,
+//	                   503 draining or degraded); an Idempotency-Key
+//	                   header makes retries return the stored verdict
 //	GET  /v1/jobs/{id} job status → StatusResponse (404 unknown)
 //	GET  /v1/stats     StatsResponse
-//	GET  /healthz      200 "ok", or 503 once draining
+//	GET  /healthz      liveness: 200 while the process can answer,
+//	                   503 only when durability or the engine has failed
+//	GET  /readyz       readiness: 200 when accepting work, 503 during
+//	                   recovery, drain, or degraded operation
 //	POST /v1/drain     stop admission, finish committed jobs, return the
 //	                   final aggregate Result
 func (s *Server) Handler() http.Handler {
@@ -210,6 +231,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStatsGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/drain", s.handleDrainPost)
 	return mux
 }
@@ -220,11 +242,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// maxIdempotencyKeyLen bounds the Idempotency-Key header: keys live in the
+// engine's dedup table and every checkpoint, so they must stay small.
+const maxIdempotencyKeyLen = 128
+
 func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > maxIdempotencyKeyLen {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("idempotency key longer than %d bytes", maxIdempotencyKeyLen),
+		})
+		return
+	}
+	limit := s.cfg.MaxBodyBytes
+	if limit <= 0 {
+		limit = DefaultMaxBodyBytes
+	}
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -232,7 +276,7 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
 		return
 	}
-	msg := submitMsg{spec: spec, reply: make(chan submitReply, 1)}
+	msg := submitMsg{spec: spec, key: key, reply: make(chan submitReply, 1)}
 	select {
 	case s.reqs <- msg:
 	default:
@@ -289,12 +333,34 @@ func (s *Server) handleStatsGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// handleHealthz is liveness: the process is up and answering. Draining is a
+// healthy state (the daemon is finishing committed work) — only a durability
+// or engine failure makes the process unhealthy enough to restart.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+	if msg := s.Degraded(); msg != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded", "error": msg})
+		return
+	}
+	if ep := s.engineErr.Load(); ep != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded", "error": *ep})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: route work here only when a submission would be
+// accepted. 503 during recovery replay, drain, and degraded operation.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.Ready():
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.Degraded() != "" || s.engineErr.Load() != nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+	}
 }
 
 func (s *Server) handleDrainPost(w http.ResponseWriter, r *http.Request) {

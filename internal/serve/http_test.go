@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postRaw submits a body with optional headers and decodes the error body.
+func postRaw(t *testing.T, ts *httptest.Server, body string, headers map[string]string) (int, errorResponse) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er errorResponse
+	if resp.StatusCode != http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("non-200 body is not an errorResponse: %v", err)
+		}
+	}
+	return resp.StatusCode, er
+}
+
+// TestHTTPSubmitErrorTable covers the POST /v1/jobs failure surface: every
+// non-200 answer is application/json with a non-empty {"error": ...} body.
+func TestHTTPSubmitErrorTable(t *testing.T) {
+	_, ts := newTestServer(t, Config{M: 2, MaxBodyBytes: 512})
+
+	cases := []struct {
+		name    string
+		body    string
+		headers map[string]string
+		want    int
+		errHas  string
+	}{
+		{name: "not json", body: `{nope`, want: 400},
+		{name: "unknown field", body: `{"w":1,"l":1,"deadline":3,"profit":1,"bogus":true}`, want: 400},
+		{name: "missing curve", body: `{"w":4,"l":2}`, want: 400},
+		{name: "w below l", body: `{"w":2,"l":4,"deadline":9,"profit":1}`, want: 400},
+		{name: "empty body", body: ``, want: 400},
+		{name: "json array", body: `[1,2,3]`, want: 400},
+		{
+			name:   "oversized body",
+			body:   `{"w":4,"l":2,"deadline":9,"profit":1,"pad":"` + strings.Repeat("x", 600) + `"}`,
+			want:   413,
+			errHas: "exceeds",
+		},
+		{
+			name:    "idempotency key too long",
+			body:    `{"w":4,"l":2,"deadline":9,"profit":1}`,
+			headers: map[string]string{"Idempotency-Key": strings.Repeat("k", 200)},
+			want:    400,
+			errHas:  "idempotency key",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, er := postRaw(t, ts, tc.body, tc.headers)
+			if code != tc.want {
+				t.Fatalf("code = %d, want %d (error %q)", code, tc.want, er.Error)
+			}
+			if er.Error == "" {
+				t.Fatal("error body is empty")
+			}
+			if tc.errHas != "" && !strings.Contains(er.Error, tc.errHas) {
+				t.Fatalf("error %q does not mention %q", er.Error, tc.errHas)
+			}
+		})
+	}
+}
+
+// TestHTTPBackpressureBody asserts the 429 body shape, not just the code.
+func TestHTTPBackpressureBody(t *testing.T) {
+	s := &Server{
+		cfg:        Config{M: 1, QueueDepth: 1},
+		reqs:       make(chan any, 1),
+		engineDone: make(chan struct{}),
+	}
+	s.reqs <- struct{}{} // mailbox full, engine "busy"
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, er := postRaw(t, ts, `{"w":4,"l":2,"deadline":9,"profit":1}`, nil)
+	if code != 429 {
+		t.Fatalf("code = %d, want 429", code)
+	}
+	if er.Error != "submission queue full" {
+		t.Fatalf("429 body = %+v", er)
+	}
+}
+
+// TestHTTPDrainBody asserts the 503 shape during and after drain, and the
+// liveness/readiness split around it.
+func TestHTTPDrainBody(t *testing.T) {
+	srv, ts := newTestServer(t, Config{M: 1})
+	srv.Drain()
+
+	code, er := postRaw(t, ts, `{"w":4,"l":2,"deadline":9,"profit":1}`, nil)
+	if code != 503 || er.Error != "draining" {
+		t.Fatalf("post-drain submit: code=%d body=%+v", code, er)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz after drain = %d, want 200 (still live)", code)
+	}
+	var ready map[string]string
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("readyz after drain = %d, want 503", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready["status"] != "draining" {
+		t.Fatalf("readyz body = %+v, want status draining", ready)
+	}
+}
+
+// TestHTTPDegradedSurfaces forces a durability failure and checks the daemon
+// stops acknowledging, fails readiness and liveness, and reports the cause.
+func TestHTTPDegradedSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	srv, drain := newDurableServer(t, dir, nil)
+	defer drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _ := postRaw(t, ts, `{"w":8,"l":2,"deadline":30,"profit":2}`, nil); code != 200 {
+		t.Fatalf("healthy submit: code=%d", code)
+	}
+
+	// Sabotage the WAL fd so the next append cannot be made durable.
+	srv.wal.f.Close()
+	code, er := postRaw(t, ts, `{"w":8,"l":2,"deadline":30,"profit":2}`, nil)
+	if code != 503 || !strings.Contains(er.Error, "degraded") {
+		t.Fatalf("submit over broken WAL: code=%d body=%+v", code, er)
+	}
+	if got := srv.Degraded(); !strings.Contains(got, "wal append") {
+		t.Fatalf("Degraded() = %q", got)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 503 {
+		t.Fatalf("healthz degraded = %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 503 {
+		t.Fatalf("readyz degraded = %d, want 503", code)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats while degraded = %d", code)
+	}
+	if stats.Degraded == "" || stats.Ready {
+		t.Fatalf("stats = ready=%v degraded=%q", stats.Ready, stats.Degraded)
+	}
+	if stats.Telemetry.Counters["serve.degraded_events"] == 0 {
+		t.Fatal("degraded_events counter not bumped")
+	}
+}
+
+// TestReplayLogErrorDegrades covers the satellite bugfix: a replay-log write
+// failure is no longer swallowed — it surfaces as a degraded daemon.
+func TestReplayLogErrorDegrades(t *testing.T) {
+	srv, ts := newTestServer(t, Config{M: 2, ReplayLog: &failAfterWriter{n: 1}})
+
+	// The header consumed the one successful write; the first job append fails.
+	code, _ := postRaw(t, ts, `{"w":8,"l":2,"deadline":30,"profit":2}`, nil)
+	if code != 200 {
+		t.Fatalf("submit: code=%d (the job itself was committed)", code)
+	}
+	if got := srv.Degraded(); !strings.Contains(got, "replay log append") {
+		t.Fatalf("Degraded() = %q, want replay log append failure", got)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 503 {
+		t.Fatalf("healthz after replay-log failure = %d, want 503", code)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Telemetry.Counters["serve.replay_error"] != 1 {
+		t.Fatalf("serve.replay_error = %v, want 1", stats.Telemetry.Counters["serve.replay_error"])
+	}
+}
+
+// failAfterWriter accepts n writes and fails every one after.
+type failAfterWriter struct{ n int }
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.n > 0 {
+		f.n--
+		return len(p), nil
+	}
+	return 0, errDiskGone
+}
+
+var errDiskGone = &writeError{"disk gone"}
+
+type writeError struct{ msg string }
+
+func (e *writeError) Error() string { return e.msg }

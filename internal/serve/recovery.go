@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dagsched/internal/cliflags"
+	"dagsched/internal/rational"
+	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
+	"dagsched/internal/workload"
+)
+
+// Recovery rebuilds the pre-crash engine from the checkpoint plus the WAL
+// suffix. The engine is deterministic — its state is a pure function of the
+// accepted arrivals, their clocks, and how far the session advanced — so the
+// checkpoint stores that closure (the job history in wire form, the clock,
+// the idempotency table, the serving telemetry summary) together with the
+// session's Fingerprint at the checkpointed clock. Recovery re-feeds the
+// history through a fresh sim.Session exactly as the serving loop did,
+// re-asserting every logged admission verdict along the way, and then checks
+// the recomputed fingerprint against the stored one: a mismatch means the
+// recovered state is not bit-identical to the pre-crash engine and the
+// daemon refuses to start rather than break an acknowledged commitment.
+
+// WALJob is the WAL record of one accepted submission: the instance-wire job
+// plus the acknowledged response. Decision and commitment live inside Resp;
+// recovery re-derives the decision and refuses to start on a mismatch.
+type WALJob struct {
+	Type string          `json:"type"` // always "job"
+	Key  string          `json:"key,omitempty"`
+	Resp JobResponse     `json:"resp"`
+	Job  json.RawMessage `json:"job"`
+}
+
+// WALReject is the WAL record of a keyed rejected submission. Nothing was
+// committed to the session, but the verdict is durable so a client retry
+// after a crash collapses onto it instead of re-opening the decision.
+type WALReject struct {
+	Type string      `json:"type"` // always "reject"
+	Key  string      `json:"key"`
+	Resp JobResponse `json:"resp"`
+}
+
+// StoredResponse is one idempotency-table entry: the exact outcome the
+// original submission was acknowledged with.
+type StoredResponse struct {
+	Status int         `json:"status"`
+	Resp   JobResponse `json:"resp"`
+}
+
+// Checkpoint is the durable snapshot of the serving engine at one clock: the
+// deterministic closure of its state plus the fingerprint that pins it.
+type Checkpoint struct {
+	Type        string                    `json:"type"` // always "checkpoint"
+	Header      ReplayHeader              `json:"header"`
+	Clock       int64                     `json:"clock"`
+	NextID      int                       `json:"nextId"`
+	Jobs        []WALJob                  `json:"jobs,omitempty"`
+	Idem        map[string]StoredResponse `json:"idem,omitempty"`
+	Summary     telemetry.Summary         `json:"summary"`
+	Fingerprint uint64                    `json:"fingerprint"`
+	Checkpoints int64                     `json:"checkpoints"` // lifetime count, monotone across restarts
+}
+
+// RecoveryInfo summarizes what a daemon start found on disk; surfaced in
+// /v1/stats and the spaa-serve startup banner.
+type RecoveryInfo struct {
+	Recovered       bool  `json:"recovered"` // prior durable state existed
+	CheckpointClock int64 `json:"checkpointClock"`
+	CheckpointJobs  int   `json:"checkpointJobs"`
+	WALJobs         int   `json:"walJobs"` // post-checkpoint job records replayed
+	TornBytes       int64 `json:"tornBytes"`
+	Jobs            int   `json:"jobs"`  // accepted jobs restored in total
+	Clock           int64 `json:"clock"` // session clock after replay
+}
+
+// recoveredState is the merged durable history: checkpoint prefix plus WAL
+// suffix, deduplicated and ready to replay.
+type recoveredState struct {
+	header         ReplayHeader
+	jobs           []WALJob
+	idem           map[string]StoredResponse
+	summary        telemetry.Summary
+	checkpointJobs int // jobs[:checkpointJobs] are covered by the checkpoint
+	checkpointClk  int64
+	checkpointFP   uint64
+	hasCheckpoint  bool
+	clock          int64 // replay target: max(checkpoint clock, last release)
+	nextID         int
+	checkpoints    int64
+	tornBytes      int64
+	suffixRejects  int // keyed rejects in the WAL suffix (counter restore)
+}
+
+// headerOf renders a serving config as the durable header record.
+func headerOf(cfg Config) ReplayHeader {
+	speed := cfg.Speed
+	if speed.Num == 0 {
+		speed = rational.FromInt(1) // the zero value means speed 1
+	}
+	return ReplayHeader{Type: "header", M: cfg.M, Sched: cfg.Sched, Eps: cfg.Eps, Speed: speed.String()}
+}
+
+// configFromHeader inverts headerOf: the serving configuration a durable
+// header was written under.
+func configFromHeader(h ReplayHeader) (Config, error) {
+	speed, err := cliflags.ParseSpeed(h.Speed)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{M: h.M, Sched: h.Sched, Eps: h.Eps, Speed: speed}, nil
+}
+
+// checkHeader rejects durable state written under a different serving
+// configuration: replaying it under the wrong scheduler or machine would
+// silently re-decide every admission.
+func checkHeader(h, want ReplayHeader, src string) error {
+	if h != want {
+		return fmt.Errorf("serve: %s written by config %+v, daemon configured %+v; refusing to recover", src, h, want)
+	}
+	return nil
+}
+
+// loadState reads dir's checkpoint and WAL, truncating a torn WAL tail, and
+// merges them into the durable history. A directory with neither file is a
+// fresh start (nil state).
+func loadState(dir string, cfg Config) (*recoveredState, error) {
+	rs := &recoveredState{idem: make(map[string]StoredResponse)}
+	want := headerOf(cfg)
+
+	cpData, err := os.ReadFile(filepath.Join(dir, checkpointFileName))
+	switch {
+	case os.IsNotExist(err):
+		// No checkpoint yet.
+	case err != nil:
+		return nil, err
+	default:
+		line := cpData
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+		}
+		payload, err := parseFrame(line)
+		if err != nil {
+			return nil, fmt.Errorf("serve: checkpoint corrupt: %w", err)
+		}
+		var cp Checkpoint
+		if err := json.Unmarshal(payload, &cp); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint: %w", err)
+		}
+		if cp.Type != "checkpoint" {
+			return nil, fmt.Errorf("serve: checkpoint file holds type %q", cp.Type)
+		}
+		if err := checkHeader(cp.Header, want, "checkpoint"); err != nil {
+			return nil, err
+		}
+		rs.hasCheckpoint = true
+		rs.header = cp.Header
+		rs.jobs = cp.Jobs
+		rs.checkpointJobs = len(cp.Jobs)
+		rs.checkpointClk = cp.Clock
+		rs.checkpointFP = cp.Fingerprint
+		rs.clock = cp.Clock
+		rs.nextID = cp.NextID
+		rs.summary = cp.Summary
+		rs.checkpoints = cp.Checkpoints
+		for k, v := range cp.Idem {
+			rs.idem[k] = v
+		}
+	}
+
+	payloads, torn, err := scanWAL(filepath.Join(dir, walFileName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal: %w", err)
+	}
+	rs.tornBytes = torn
+	for n, payload := range payloads {
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(payload, &tag); err != nil {
+			return nil, fmt.Errorf("serve: wal record %d: %w", n+1, err)
+		}
+		switch tag.Type {
+		case "header":
+			var h ReplayHeader
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return nil, fmt.Errorf("serve: wal header: %w", err)
+			}
+			if err := checkHeader(h, want, "wal"); err != nil {
+				return nil, err
+			}
+		case "job":
+			var wj WALJob
+			if err := json.Unmarshal(payload, &wj); err != nil {
+				return nil, fmt.Errorf("serve: wal job record %d: %w", n+1, err)
+			}
+			if wj.Resp.ID <= rs.nextID {
+				continue // covered by the checkpoint (crash between rename and reset)
+			}
+			rs.jobs = append(rs.jobs, wj)
+			rs.nextID = wj.Resp.ID
+			if wj.Key != "" {
+				rs.idem[wj.Key] = StoredResponse{Status: 200, Resp: wj.Resp}
+			}
+		case "reject":
+			var wr WALReject
+			if err := json.Unmarshal(payload, &wr); err != nil {
+				return nil, fmt.Errorf("serve: wal reject record %d: %w", n+1, err)
+			}
+			if _, ok := rs.idem[wr.Key]; ok {
+				continue // covered by the checkpoint
+			}
+			rs.idem[wr.Key] = StoredResponse{Status: 200, Resp: wr.Resp}
+			rs.suffixRejects++
+		default:
+			return nil, fmt.Errorf("serve: wal record %d has unknown type %q", n+1, tag.Type)
+		}
+	}
+	if !rs.hasCheckpoint && len(payloads) == 0 {
+		return nil, nil // nothing durable yet: fresh start
+	}
+	for _, wj := range rs.jobs[rs.checkpointJobs:] {
+		if wj.Resp.Release > rs.clock {
+			rs.clock = wj.Resp.Release
+		}
+	}
+	return rs, nil
+}
+
+// replayInto re-feeds the durable history through a fresh session exactly as
+// the serving loop did: advance the clock to each arrival's release, re-run
+// the admission query, commit. Every re-derived verdict must match the
+// acknowledged one — an admitted job that would no longer be admitted is a
+// broken commitment and aborts recovery — and at the checkpoint boundary the
+// recomputed session fingerprint must equal the stored one bit for bit.
+func (rs *recoveredState) replayInto(sess *sim.Session, adm admitter, reg *telemetry.Registry) error {
+	restoreSummary(reg, rs.summary)
+	for n, wj := range rs.jobs {
+		if n == rs.checkpointJobs && rs.hasCheckpoint {
+			if err := rs.checkBoundary(sess); err != nil {
+				return err
+			}
+		}
+		job, err := workload.UnmarshalJob(wj.Job)
+		if err != nil {
+			return fmt.Errorf("serve: recovery job %d: %w", n+1, err)
+		}
+		if err := sess.AdvanceTo(job.Release); err != nil {
+			return fmt.Errorf("serve: recovery replay: %w", err)
+		}
+		decision, reason, _ := decideAdmission(adm, job)
+		if decision != wj.Resp.Decision {
+			return fmt.Errorf(
+				"serve: recovery: job %d was acknowledged %q but replay decides %q (reason %q) — commitment violated, refusing to start",
+				job.ID, wj.Resp.Decision, decision, reason)
+		}
+		if err := sess.Arrive(job); err != nil {
+			return fmt.Errorf("serve: recovery job %d: %w", job.ID, err)
+		}
+		if n >= rs.checkpointJobs {
+			reg.Inc("serve.accepted", 1)
+			reg.Inc("serve."+string(decision), 1)
+		}
+	}
+	if len(rs.jobs) == rs.checkpointJobs && rs.hasCheckpoint {
+		if err := rs.checkBoundary(sess); err != nil {
+			return err
+		}
+	}
+	if err := sess.AdvanceTo(rs.clock); err != nil {
+		return fmt.Errorf("serve: recovery replay: %w", err)
+	}
+	reg.Inc("serve.rejected", int64(rs.suffixRejects))
+	return nil
+}
+
+// checkBoundary advances to the checkpointed clock and asserts the replayed
+// session reached the exact state the checkpoint fingerprinted.
+func (rs *recoveredState) checkBoundary(sess *sim.Session) error {
+	if err := sess.AdvanceTo(rs.checkpointClk); err != nil {
+		return fmt.Errorf("serve: recovery replay: %w", err)
+	}
+	if fp := sess.Fingerprint(); fp != rs.checkpointFP {
+		return fmt.Errorf(
+			"serve: recovery: state fingerprint %016x at clock %d diverges from checkpoint %016x — refusing to start",
+			fp, rs.checkpointClk, rs.checkpointFP)
+	}
+	return nil
+}
+
+// restoreSummary folds a checkpointed telemetry summary back into a fresh
+// serving registry so counters survive restarts.
+func restoreSummary(reg *telemetry.Registry, s telemetry.Summary) {
+	for name, v := range s.Counters {
+		reg.Inc(name, v)
+	}
+	for name, v := range s.Gauges {
+		reg.SetGauge(name, v)
+	}
+}
+
+// info renders the recovered state for /v1/stats and the startup banner.
+func (rs *recoveredState) info() *RecoveryInfo {
+	return &RecoveryInfo{
+		Recovered:       true,
+		CheckpointClock: rs.checkpointClk,
+		CheckpointJobs:  rs.checkpointJobs,
+		WALJobs:         len(rs.jobs) - rs.checkpointJobs,
+		TornBytes:       rs.tornBytes,
+		Jobs:            len(rs.jobs),
+		Clock:           rs.clock,
+	}
+}
+
+// ReplayDir re-simulates a WAL directory offline — checkpoint plus log
+// suffix, exactly the history a recovering daemon replays — with the batch
+// engine and returns the Result. The counterpart of Replay for durable logs;
+// the chaos harness uses it to compare a crash-recover-drain lifecycle
+// against a crash-free run over the same history.
+func ReplayDir(dir string) (*sim.Result, error) {
+	// Reconstruct the config from whichever durable header exists.
+	hdr, err := readAnyHeader(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := configFromHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := loadState(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rs == nil {
+		return nil, fmt.Errorf("serve: %s holds no durable state", dir)
+	}
+	jobs := make([]*sim.Job, 0, len(rs.jobs))
+	for n, wj := range rs.jobs {
+		j, err := workload.UnmarshalJob(wj.Job)
+		if err != nil {
+			return nil, fmt.Errorf("serve: job record %d: %w", n+1, err)
+		}
+		jobs = append(jobs, j)
+	}
+	sched, err := cliflags.MakeScheduler(hdr.Sched, hdr.Eps, false)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunAuto(sim.Config{M: hdr.M, Speed: cfg.Speed}, jobs, sched)
+}
+
+// readAnyHeader extracts the serving header from the checkpoint or, failing
+// that, the WAL's first record.
+func readAnyHeader(dir string) (ReplayHeader, error) {
+	var zero ReplayHeader
+	if data, err := os.ReadFile(filepath.Join(dir, checkpointFileName)); err == nil {
+		line := data
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+		}
+		payload, err := parseFrame(line)
+		if err != nil {
+			return zero, fmt.Errorf("serve: checkpoint corrupt: %w", err)
+		}
+		var cp Checkpoint
+		if err := json.Unmarshal(payload, &cp); err != nil {
+			return zero, err
+		}
+		return cp.Header, nil
+	}
+	payloads, _, err := scanWAL(filepath.Join(dir, walFileName))
+	if err != nil {
+		return zero, err
+	}
+	if len(payloads) == 0 {
+		return zero, fmt.Errorf("serve: %s holds no durable state", dir)
+	}
+	var h ReplayHeader
+	if err := json.Unmarshal(payloads[0], &h); err != nil {
+		return zero, err
+	}
+	if h.Type != "header" {
+		return zero, fmt.Errorf("serve: wal starts with type %q, want header", h.Type)
+	}
+	return h, nil
+}

@@ -20,8 +20,10 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"dagsched/internal/rational"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
+	"dagsched/internal/workload"
 )
 
 // Config parameterizes a serving daemon.
@@ -53,12 +56,55 @@ type Config struct {
 	QueueDepth int
 	// ReplayLog, when non-nil, receives the session's replay log: a header
 	// line followed by every accepted arrival in the instance wire format.
-	// Writes happen only from the engine goroutine.
+	// Writes happen only from the engine goroutine. For durability across
+	// crashes use WALDir instead; ReplayLog is the offline-analysis tap.
 	ReplayLog io.Writer
+	// WALDir, when non-empty, makes the daemon crash-safe: every
+	// acknowledged submission is framed, checksummed, and appended to a
+	// write-ahead log in this directory before it is committed, engine
+	// state is checkpointed periodically, and a restart over the same
+	// directory recovers the pre-crash session bit-identically (or refuses
+	// to start if it cannot). The directory is created if missing.
+	WALDir string
+	// Fsync selects the WAL flush policy; zero means FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush cadence under FsyncInterval; 0 means
+	// 100ms. Flushes piggyback on the engine ticker, so with the ticker
+	// disabled the interval policy only flushes at checkpoints and drain.
+	FsyncInterval time.Duration
+	// CheckpointInterval is the wall-time cadence of engine-state
+	// checkpoints (which also truncate the WAL). 0 means 30s; negative
+	// checkpoints only at drain. Checkpoints ride the engine ticker, so a
+	// disabled ticker also disables periodic checkpoints (tests drive
+	// Checkpoint explicitly).
+	CheckpointInterval time.Duration
+	// MaxBodyBytes caps the POST /v1/jobs body; oversized requests are
+	// answered 413. 0 means 1 MiB.
+	MaxBodyBytes int64
 }
 
 // DefaultTickInterval is the wall-clock duration of one simulated tick.
 const DefaultTickInterval = 10 * time.Millisecond
+
+// DefaultFsyncInterval is the flush cadence under FsyncInterval.
+const DefaultFsyncInterval = 100 * time.Millisecond
+
+// DefaultCheckpointInterval is the cadence of engine-state checkpoints.
+const DefaultCheckpointInterval = 30 * time.Second
+
+// DefaultMaxBodyBytes caps the POST /v1/jobs body.
+const DefaultMaxBodyBytes = 1 << 20
+
+// Commitment values for JobResponse.Commitment: the durability of the
+// admission verdict, in the sense of the commitment models of Eberle, Megow
+// and Schewior ("Speed-Robust Scheduling / Commitment is No Burden").
+const (
+	// CommitmentNone: the verdict does not survive a crash of the daemon.
+	CommitmentNone = "none"
+	// CommitmentOnAdmission: the verdict was persisted to the WAL before it
+	// was acknowledged; recovery re-admits the job or refuses to start.
+	CommitmentOnAdmission = "on-admission"
+)
 
 // admitter is the optional standalone admission query (core.SchedulerS).
 type admitter interface {
@@ -77,18 +123,36 @@ type Server struct {
 	nextID int                 // engine goroutine only
 	replay *replayWriter       // engine goroutine only
 
+	// Durability state, engine goroutine only (nil/empty without WALDir).
+	wal            *wal
+	hist           []WALJob                  // full accepted history in wire form
+	idem           map[string]StoredResponse // idempotency table (kept even without WAL)
+	checkpoints    int64                     // lifetime checkpoint count
+	lastCheckpoint time.Time
+	lastCkptClock  int64
+	ckptDirty      bool // records appended since the last checkpoint
+
+	recovery *RecoveryInfo // fixed at New; nil on a fresh start
+
 	reqs       chan any
+	ready      atomic.Bool
 	draining   atomic.Bool
 	engineDone chan struct{}
 	engineErr  atomic.Pointer[string]
+	degraded   atomic.Pointer[string]
 	drainOnce  sync.Once
 	result     *sim.Result // set inside drainOnce
 
 	start time.Time
 }
 
-// New validates the configuration, builds the scheduler and session, writes
-// the replay-log header, and starts the engine goroutine.
+// New validates the configuration, builds the scheduler and session —
+// recovering the pre-crash session from Config.WALDir when one is there —
+// writes the replay-log header, and starts the engine goroutine. With a WAL
+// directory, New returns only once recovery has replayed the durable history
+// and verified it against the checkpoint fingerprint and every acknowledged
+// admission verdict; a daemon that cannot honor its commitments refuses to
+// start rather than serve from diverged state.
 func New(cfg Config) (*Server, error) {
 	if cfg.Sched == "" {
 		cfg.Sched = "s"
@@ -104,6 +168,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueueDepth < 1 {
 		return nil, fmt.Errorf("serve: queue depth %d, need ≥ 1", cfg.QueueDepth)
+	}
+	if cfg.Fsync == "" {
+		cfg.Fsync = FsyncAlways
+	}
+	if _, err := ParseFsyncPolicy(string(cfg.Fsync)); err != nil {
+		return nil, err
+	}
+	if cfg.FsyncInterval == 0 {
+		cfg.FsyncInterval = DefaultFsyncInterval
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	sched, err := cliflags.MakeScheduler(cfg.Sched, cfg.Eps, false)
 	if err != nil {
@@ -122,19 +201,63 @@ func New(cfg Config) (*Server, error) {
 		sched:      sched,
 		sess:       sess,
 		reg:        &telemetry.Registry{},
+		idem:       make(map[string]StoredResponse),
 		reqs:       make(chan any, cfg.QueueDepth),
 		engineDone: make(chan struct{}),
 		start:      time.Now(),
 	}
 	s.adm, _ = sched.(admitter)
+	if cfg.WALDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.ReplayLog != nil {
 		s.replay = &replayWriter{w: cfg.ReplayLog}
 		if err := s.replay.header(cfg); err != nil {
 			return nil, fmt.Errorf("serve: replay log: %w", err)
 		}
 	}
+	s.ready.Store(true)
 	go s.engineLoop()
 	return s, nil
+}
+
+// openDurable recovers any durable state in cfg.WALDir into the fresh
+// session, opens the WAL for appending, and seals the recovered history
+// under a fresh checkpoint so every start leaves a normalized directory.
+// Runs before the engine goroutine starts; the server is not ready until it
+// returns.
+func (s *Server) openDurable() error {
+	if err := os.MkdirAll(s.cfg.WALDir, 0o755); err != nil {
+		return fmt.Errorf("serve: wal dir: %w", err)
+	}
+	rs, err := loadState(s.cfg.WALDir, s.cfg)
+	if err != nil {
+		return err
+	}
+	if rs != nil {
+		if err := rs.replayInto(s.sess, s.adm, s.reg); err != nil {
+			return err
+		}
+		s.hist = rs.jobs
+		s.idem = rs.idem
+		s.nextID = rs.nextID
+		s.checkpoints = rs.checkpoints
+		s.recovery = rs.info()
+		s.reg.Inc("serve.recoveries", 1)
+	}
+	w, err := openWAL(s.cfg.WALDir, s.cfg.Fsync, s.cfg.FsyncInterval)
+	if err != nil {
+		return fmt.Errorf("serve: wal: %w", err)
+	}
+	s.wal = w
+	s.ckptDirty = true // force the normalizing checkpoint even on a fresh dir
+	if err := s.checkpointNow(); err != nil {
+		w.close()
+		return err
+	}
+	return nil
 }
 
 // Scheduler returns the serving scheduler's name.
@@ -142,6 +265,54 @@ func (s *Server) Scheduler() string { return s.sched.Name() }
 
 // Draining reports whether the server has stopped accepting jobs.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Ready reports whether the server is accepting work: recovery has finished,
+// no drain has started, and durability is intact. /readyz mirrors it.
+func (s *Server) Ready() bool {
+	return s.ready.Load() && !s.draining.Load() &&
+		s.degraded.Load() == nil && s.engineErr.Load() == nil
+}
+
+// Degraded returns the first durability failure ("" when healthy): a WAL or
+// checkpoint write the daemon could not make durable. A degraded daemon
+// rejects new submissions but keeps serving reads and can still drain.
+func (s *Server) Degraded() string {
+	if p := s.degraded.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Recovery describes the durable state this daemon recovered at start; nil
+// on a fresh start or without a WAL directory.
+func (s *Server) Recovery() *RecoveryInfo { return s.recovery }
+
+// Checkpoint forces an engine-state checkpoint through the mailbox and
+// returns its outcome. It errors when the server has no WAL directory, is
+// degraded, or has drained. Deterministic-time embeddings and tests use it;
+// a live daemon checkpoints on its own cadence (Config.CheckpointInterval).
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return fmt.Errorf("serve: no WAL directory configured")
+	}
+	msg := checkpointMsg{reply: make(chan error, 1)}
+	select {
+	case s.reqs <- msg:
+	case <-s.engineDone:
+		return fmt.Errorf("serve: checkpoint after drain")
+	}
+	select {
+	case err := <-msg.reply:
+		return err
+	case <-s.engineDone:
+		select {
+		case err := <-msg.reply:
+			return err
+		default:
+			return fmt.Errorf("serve: checkpoint after drain")
+		}
+	}
+}
 
 // Drain stops admission, fast-forwards the session until every committed job
 // has completed or expired, seals it, and returns the final Result. Simulated
@@ -180,6 +351,7 @@ func (s *Server) Advance(to int64) {
 
 type submitMsg struct {
 	spec  JobSpec
+	key   string // idempotency key; "" means none
 	reply chan submitReply
 }
 
@@ -212,6 +384,10 @@ type advanceMsg struct {
 	reply chan struct{}
 }
 
+type checkpointMsg struct {
+	reply chan error
+}
+
 // engineLoop is the single goroutine that owns all mutable serving state.
 func (s *Server) engineLoop() {
 	defer close(s.engineDone)
@@ -227,10 +403,78 @@ func (s *Server) engineLoop() {
 			if s.handle(m) {
 				return
 			}
-		case <-tickC:
+		case now := <-tickC:
 			s.advance(int64(time.Since(s.start) / s.cfg.TickInterval))
+			if s.wal != nil {
+				if err := s.wal.maybeSync(now); err != nil {
+					s.degrade("wal sync", err)
+				}
+				s.maybeCheckpoint(now)
+			}
 		}
 	}
+}
+
+// maybeCheckpoint takes a checkpoint when the cadence has elapsed and the
+// WAL holds records since the last one. Skipped while degraded: a checkpoint
+// from state the WAL may not fully cover could seal the inconsistency in.
+func (s *Server) maybeCheckpoint(now time.Time) {
+	if s.cfg.CheckpointInterval < 0 || !s.ckptDirty || s.degraded.Load() != nil {
+		return
+	}
+	if now.Sub(s.lastCheckpoint) < s.cfg.CheckpointInterval {
+		return
+	}
+	if err := s.checkpointNow(); err != nil {
+		s.degrade("checkpoint", err)
+	}
+}
+
+// checkpointNow folds the accepted history, the idempotency table, the
+// serving telemetry summary, and the session's state fingerprint into an
+// atomically replaced checkpoint.json, then truncates the WAL back to its
+// header. Engine goroutine only.
+func (s *Server) checkpointNow() error {
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	s.checkpoints++
+	cp := Checkpoint{
+		Type:        "checkpoint",
+		Header:      headerOf(s.cfg),
+		Clock:       s.sess.Now(),
+		NextID:      s.nextID,
+		Jobs:        s.hist,
+		Idem:        s.idem,
+		Summary:     s.reg.Summary(),
+		Fingerprint: s.sess.Fingerprint(),
+		Checkpoints: s.checkpoints,
+	}
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(s.cfg.WALDir, checkpointFileName, frameRecord(payload)); err != nil {
+		return err
+	}
+	if err := s.wal.reset(cp.Header); err != nil {
+		return err
+	}
+	s.lastCheckpoint = time.Now()
+	s.lastCkptClock = cp.Clock
+	s.ckptDirty = false
+	s.reg.Inc("serve.checkpoints", 1)
+	return nil
+}
+
+// degrade records the first durability failure. A degraded daemon stops
+// acknowledging submissions (it can no longer make them durable), fails
+// readiness, and reports the failure on /healthz and /v1/stats; reads keep
+// working.
+func (s *Server) degrade(op string, err error) {
+	msg := op + ": " + err.Error()
+	s.degraded.CompareAndSwap(nil, &msg)
+	s.reg.Inc("serve.degraded_events", 1)
 }
 
 // advance pushes the session to the wall-clock tick. A session error here is
@@ -248,7 +492,7 @@ func (s *Server) advance(now int64) {
 func (s *Server) handle(m any) bool {
 	switch msg := m.(type) {
 	case submitMsg:
-		msg.reply <- s.handleSubmit(msg.spec)
+		msg.reply <- s.handleSubmit(msg.spec, msg.key)
 	case lookupMsg:
 		msg.reply <- s.handleLookup(msg.id)
 	case statsMsg:
@@ -256,6 +500,15 @@ func (s *Server) handle(m any) bool {
 	case advanceMsg:
 		s.advance(msg.to)
 		close(msg.reply)
+	case checkpointMsg:
+		if dp := s.degraded.Load(); dp != nil {
+			msg.reply <- fmt.Errorf("serve: degraded: %s", *dp)
+		} else if err := s.checkpointNow(); err != nil {
+			s.degrade("checkpoint", err)
+			msg.reply <- err
+		} else {
+			msg.reply <- nil
+		}
 	case drainMsg:
 		s.handleDrain(msg)
 		return true
@@ -263,11 +516,50 @@ func (s *Server) handle(m any) bool {
 	return false
 }
 
-// handleSubmit takes the admit/reject decision and, unless the job is
-// rejected outright, commits the arrival to the session and the replay log.
-func (s *Server) handleSubmit(spec JobSpec) submitReply {
+// decideAdmission runs the serving admission query for a prospective job:
+// the verdict string, the scheduler's reason, and the virtualization plan.
+// Schedulers without an admission test accept every valid job. Shared by the
+// submission path and crash recovery, which re-derives every logged verdict.
+func decideAdmission(adm admitter, j *sim.Job) (DecisionString, string, *PlanInfo) {
+	if adm == nil {
+		return DecisionAccepted, "", nil
+	}
+	view := sim.JobView{ID: j.ID, Release: j.Release, W: j.Graph.TotalWork(), L: j.Graph.Span(), Profit: j.Profit}
+	d := adm.Admission(view)
+	plan := &PlanInfo{Alloc: d.Plan.Alloc, X: d.Plan.X, Density: d.Plan.Density, Good: d.Plan.Good}
+	switch {
+	case d.Admit:
+		return DecisionAdmitted, "", plan
+	case d.Reason == "not-delta-good":
+		// The job can never pass the freshness test either: it is infeasible
+		// for S at any later point, so it is not committed (and not logged —
+		// the WAL and replay log hold accepted arrivals).
+		return DecisionRejected, d.Reason, plan
+	default:
+		// Parked in P: committed, and eligible for admission when a
+		// completion or recovery frees band capacity.
+		return DecisionParked, d.Reason, plan
+	}
+}
+
+// handleSubmit resolves idempotent retries, takes the admit/reject decision,
+// persists it to the WAL (write-ahead: before the session commit, so an
+// acknowledged verdict is never lost to a crash), and commits the arrival to
+// the session and the replay log.
+func (s *Server) handleSubmit(spec JobSpec, key string) submitReply {
 	if s.draining.Load() {
 		return submitReply{status: 503, err: "draining"}
+	}
+	if dp := s.degraded.Load(); dp != nil {
+		// The daemon cannot make new verdicts durable; stop acknowledging.
+		return submitReply{status: 503, err: "degraded: " + *dp}
+	}
+	if key != "" {
+		if st, ok := s.idem[key]; ok {
+			st.Resp.Replayed = true
+			s.reg.Inc("serve.idempotent_replays", 1)
+			return submitReply{status: st.Status, resp: st.Resp}
+		}
 	}
 	g, fn, err := spec.build()
 	if err != nil {
@@ -276,49 +568,71 @@ func (s *Server) handleSubmit(spec JobSpec) submitReply {
 	}
 	release := s.sess.Now()
 	id := s.nextID + 1
+	job := &sim.Job{ID: id, Graph: g, Release: release, Profit: fn}
 	resp := JobResponse{ID: id, Release: release}
+	resp.Decision, resp.Reason, resp.Plan = decideAdmission(s.adm, job)
 
-	if s.adm != nil {
-		view := sim.JobView{ID: id, Release: release, W: g.TotalWork(), L: g.Span(), Profit: fn}
-		d := s.adm.Admission(view)
-		resp.Plan = &PlanInfo{
-			Alloc: d.Plan.Alloc, X: d.Plan.X, Density: d.Plan.Density, Good: d.Plan.Good,
+	if resp.Decision == DecisionRejected {
+		resp.ID = 0
+		resp.Commitment = CommitmentNone
+		if key != "" {
+			// Make the verdict durable so a retry after a crash collapses
+			// onto it instead of re-opening the decision.
+			if s.wal != nil {
+				if err := s.wal.append(WALReject{Type: "reject", Key: key, Resp: resp}); err != nil {
+					s.degrade("wal append", err)
+					return submitReply{status: 503, err: "degraded: " + s.Degraded()}
+				}
+				s.ckptDirty = true
+			}
+			s.idem[key] = StoredResponse{Status: 200, Resp: resp}
 		}
-		if !d.Admit && d.Reason == "not-delta-good" {
-			// The job can never pass the freshness test either: it is
-			// infeasible for S at any later point, so it is not committed
-			// (and not logged — the replay log holds accepted arrivals).
-			s.reg.Inc("serve.rejected", 1)
-			resp.ID = 0
-			resp.Decision = DecisionRejected
-			resp.Reason = d.Reason
-			return submitReply{status: 200, resp: resp}
-		}
-		if d.Admit {
-			resp.Decision = DecisionAdmitted
-		} else {
-			// Parked in P: committed, and eligible for admission when a
-			// completion or recovery frees band capacity.
-			resp.Decision = DecisionParked
-			resp.Reason = d.Reason
-		}
-	} else {
-		resp.Decision = DecisionAccepted
+		s.reg.Inc("serve.rejected", 1)
+		return submitReply{status: 200, resp: resp}
 	}
 
-	job := &sim.Job{ID: id, Graph: g, Release: release, Profit: fn}
+	resp.Commitment = CommitmentNone
+	if s.wal != nil {
+		resp.Commitment = CommitmentOnAdmission
+		wire, err := workload.MarshalJob(job)
+		if err != nil {
+			s.reg.Inc("serve.bad_request", 1)
+			return submitReply{status: 400, err: err.Error()}
+		}
+		rec := WALJob{Type: "job", Key: key, Resp: resp, Job: wire}
+		if err := s.wal.append(rec); err != nil {
+			// Not durable, so not committed and not acknowledged: the
+			// session never sees the job and the client may retry safely.
+			s.degrade("wal append", err)
+			return submitReply{status: 503, err: "degraded: " + s.Degraded()}
+		}
+		s.hist = append(s.hist, rec)
+		s.ckptDirty = true
+	}
 	if err := s.sess.Arrive(job); err != nil {
 		// Unreachable by construction (fresh ascending ID, release = Now);
-		// surfaced as a server error rather than swallowed.
+		// surfaced as a server error rather than swallowed. With a WAL the
+		// logged record now disagrees with the engine, so degrade too.
 		s.reg.Inc("serve.arrive_error", 1)
+		if s.wal != nil {
+			s.degrade("arrive after wal append", err)
+		}
 		return submitReply{status: 500, err: err.Error()}
 	}
 	s.nextID = id
 	s.reg.Inc("serve.accepted", 1)
 	s.reg.Inc("serve."+string(resp.Decision), 1)
+	if key != "" {
+		s.idem[key] = StoredResponse{Status: 200, Resp: resp}
+	}
 	if s.replay != nil {
 		if err := s.replay.appendJob(job); err != nil {
+			// The offline-analysis tap failed: the record is lost, which
+			// breaks the log's bit-identical replay guarantee. Count it and
+			// surface the degraded state on /healthz instead of dropping
+			// the error silently.
 			s.reg.Inc("serve.replay_error", 1)
+			s.degrade("replay log append", err)
 		}
 	}
 	return submitReply{status: 200, resp: resp}
@@ -341,10 +655,22 @@ func (s *Server) handleStats() StatsResponse {
 		Live:      s.sess.Live(),
 		Pending:   s.sess.Pending(),
 		Draining:  s.draining.Load(),
+		Ready:     s.Ready(),
+		Degraded:  s.Degraded(),
+		Recovery:  s.recovery,
 		Telemetry: s.reg.Summary(),
 	}
 	if ep := s.engineErr.Load(); ep != nil {
 		resp.EngineError = *ep
+	}
+	if s.wal != nil {
+		resp.WAL = &WALStats{
+			Dir:                 s.cfg.WALDir,
+			Fsync:               string(s.cfg.Fsync),
+			Records:             s.wal.records,
+			Checkpoints:         s.checkpoints,
+			LastCheckpointClock: s.lastCkptClock,
+		}
 	}
 	return resp
 }
@@ -366,6 +692,8 @@ func (s *Server) handleDrain(first drainMsg) {
 				msg.reply <- s.handleStats()
 			case advanceMsg:
 				close(msg.reply) // the clock is done moving
+			case checkpointMsg:
+				msg.reply <- fmt.Errorf("serve: checkpoint after drain")
 			case drainMsg:
 				waiters = append(waiters, msg)
 			}
@@ -382,6 +710,18 @@ func (s *Server) handleDrain(first drainMsg) {
 	}
 	res := s.sess.Finish()
 	s.reg.Inc("serve.drains", 1)
+	if s.wal != nil {
+		// Seal the drained state: a restart over this directory recovers the
+		// completed history instead of replaying the whole session.
+		if s.degraded.Load() == nil {
+			if err := s.checkpointNow(); err != nil {
+				s.degrade("final checkpoint", err)
+			}
+		}
+		if err := s.wal.close(); err != nil {
+			s.degrade("wal close", err)
+		}
+	}
 	for _, w := range waiters {
 		w.reply <- res
 	}

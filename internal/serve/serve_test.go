@@ -124,6 +124,9 @@ func TestServeSubmitLifecycle(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
 		t.Fatalf("healthz: code=%d", code)
 	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 200 {
+		t.Fatalf("readyz: code=%d", code)
+	}
 
 	// Drain over HTTP: committed work finishes in simulated time.
 	resp, err := http.Post(ts.URL+"/v1/drain", "application/json", nil)
@@ -139,9 +142,13 @@ func TestServeSubmitLifecycle(t *testing.T) {
 		t.Fatalf("drain result: completed=%d profit=%v", res.Completed, res.TotalProfit)
 	}
 
-	// Post-drain: health and submissions are 503, sealed lookups still work.
-	if code := getJSON(t, ts.URL+"/healthz", nil); code != 503 {
-		t.Fatalf("healthz after drain: code=%d, want 503", code)
+	// Post-drain: the process is still live (healthz 200) but no longer
+	// ready for work (readyz 503); submissions are 503, sealed lookups work.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz after drain: code=%d, want 200 (liveness)", code)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 503 {
+		t.Fatalf("readyz after drain: code=%d, want 503", code)
 	}
 	if code, _ := postJob(t, ts, `{"w":4,"l":2,"deadline":9,"profit":1}`); code != 503 {
 		t.Fatalf("submit after drain: code=%d, want 503", code)

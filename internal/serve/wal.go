@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// The write-ahead log turns the serving daemon's replay convenience into a
+// durability guarantee: every record the daemon acknowledges is framed with a
+// checksum and (under the default fsync policy) flushed to stable storage
+// before the HTTP response leaves the engine goroutine, so an acknowledged
+// admission survives SIGKILL. The on-disk layout is one directory holding
+//
+//	wal.log          framed records since the last checkpoint
+//	checkpoint.json  one framed Checkpoint record (atomically replaced)
+//
+// Each wal.log line is "crc32c-hex8 <json payload>\n"; the CRC covers the
+// payload bytes. On open, the tail of the log is scanned and the first
+// incomplete or corrupt record — a torn write from the crash — truncates the
+// file there. A checkpoint folds the whole record history into
+// checkpoint.json (written to a temp file, fsynced, renamed, directory
+// fsynced) and then resets wal.log to just its header, so recovery cost is
+// bounded by the checkpoint plus the log written since it.
+
+// FsyncPolicy selects when the WAL is flushed to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways flushes after every record, before the submission is
+	// acknowledged: an acked admission survives SIGKILL. The default.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval flushes at most every Config.FsyncInterval (piggybacked
+	// on the engine ticker): a crash can lose the last interval's records,
+	// never a torn prefix of them.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never flushes explicitly; the OS page cache decides. A crash
+	// of the process alone loses nothing (the kernel holds the writes); a
+	// machine crash can lose any unflushed suffix.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy parses the -fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return FsyncPolicy(s), nil
+	case "":
+		return FsyncAlways, nil
+	}
+	return "", fmt.Errorf("serve: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+const (
+	walFileName        = "wal.log"
+	checkpointFileName = "checkpoint.json"
+)
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// frameRecord wraps a JSON payload in the WAL line format.
+func frameRecord(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = fmt.Appendf(out, "%08x ", crc32.Checksum(payload, walCRC))
+	out = append(out, payload...)
+	out = append(out, '\n')
+	return out
+}
+
+// parseFrame validates one framed line (without its trailing newline) and
+// returns the payload.
+func parseFrame(line []byte) ([]byte, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("short or unframed record")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad checksum field: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, walCRC); uint64(got) != want {
+		return nil, fmt.Errorf("checksum mismatch: record says %08x, payload hashes to %08x", want, got)
+	}
+	return payload, nil
+}
+
+// scanWAL reads every intact framed record from path and truncates the file
+// at the first torn or corrupt one (a crash mid-append leaves at most one).
+// It returns the payloads in order and how many tail bytes were cut. A
+// missing file is zero records, not an error.
+func scanWAL(path string) (payloads [][]byte, torn int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	validEnd := int64(0)
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // no newline: torn tail
+		}
+		payload, perr := parseFrame(data[off : off+nl])
+		if perr != nil {
+			break
+		}
+		// Keep a copy: data is one backing array for the whole file.
+		payloads = append(payloads, append([]byte(nil), payload...))
+		off += nl + 1
+		validEnd = int64(off)
+	}
+	torn = int64(len(data)) - validEnd
+	if torn > 0 {
+		if err := f.Truncate(validEnd); err != nil {
+			return nil, 0, fmt.Errorf("truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return payloads, torn, nil
+}
+
+// wal is the append side of the log. All methods run on the engine goroutine
+// (or before it starts).
+type wal struct {
+	dir      string
+	f        *os.File
+	policy   FsyncPolicy
+	interval time.Duration
+	dirty    bool
+	lastSync time.Time
+	records  int64 // records appended by this process
+}
+
+// openWAL opens (creating if needed) dir/wal.log for appending.
+func openWAL(dir string, policy FsyncPolicy, interval time.Duration) (*wal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{dir: dir, f: f, policy: policy, interval: interval, lastSync: time.Now()}, nil
+}
+
+// append marshals v, frames it, writes it, and flushes per the policy. An
+// error means the record may not be durable; the caller must not acknowledge
+// the submission it covers.
+func (w *wal) append(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frameRecord(payload)); err != nil {
+		return err
+	}
+	w.records++
+	w.dirty = true
+	if w.policy == FsyncAlways {
+		return w.sync()
+	}
+	return nil
+}
+
+// sync flushes outstanding writes to stable storage (a no-op when clean or
+// under FsyncOff).
+func (w *wal) sync() error {
+	if !w.dirty || w.policy == FsyncOff {
+		w.dirty = false
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.lastSync = time.Now()
+	return nil
+}
+
+// maybeSync flushes when the interval policy's deadline has passed; called
+// from the engine ticker.
+func (w *wal) maybeSync(now time.Time) error {
+	if w.policy != FsyncInterval || !w.dirty || now.Sub(w.lastSync) < w.interval {
+		return nil
+	}
+	return w.sync()
+}
+
+// reset truncates the log and rewrites its header — the step after a
+// checkpoint has folded the old records into checkpoint.json. Records are
+// identified by job ID and idempotency key, so a crash between the
+// checkpoint rename and this truncation only leaves records the next
+// recovery recognizes as already covered.
+func (w *wal) reset(header ReplayHeader) error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(header)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frameRecord(payload)); err != nil {
+		return err
+	}
+	w.dirty = true
+	if w.policy != FsyncInterval {
+		return w.sync()
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// writeFileAtomic replaces dir/name with data crash-safely: temp file, fsync,
+// rename, directory fsync. A crash leaves either the old file or the new one,
+// never a torn mix.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"dagsched/internal/dag"
@@ -493,6 +495,73 @@ func (s *Session) step() error {
 	s.indexDone(mark)
 	s.t = t + 1
 	return nil
+}
+
+// Fingerprint returns a deterministic 64-bit digest of the session's
+// simulation state: the clock, the Result accumulators, every finished job's
+// stats, the pending set, and each live job's execution progress (executed
+// work, remaining span, ready set size, preemption history). Two sessions fed
+// the same arrivals at the same clocks agree on the fingerprint at every
+// step; a divergence means the runs are no longer bit-identical. The serving
+// layer's durability checkpoints store it and crash recovery recomputes it
+// after replaying the write-ahead log, refusing to serve from state that
+// drifted from the pre-crash engine.
+func (s *Session) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	i := func(v int64) { u(uint64(v)) }
+	f := func(v float64) { u(math.Float64bits(v)) }
+	b := func(v bool) {
+		if v {
+			u(1)
+		} else {
+			u(0)
+		}
+	}
+	stat := func(st *JobStat) {
+		i(int64(st.ID))
+		i(st.Released)
+		i(st.W)
+		i(st.L)
+		b(st.Completed)
+		i(st.CompletedAt)
+		i(st.Latency)
+		f(st.Profit)
+		i(st.ProcTicks)
+		i(st.Preemptions)
+	}
+
+	i(s.t)
+	f(s.res.OfferedProfit)
+	f(s.res.TotalProfit)
+	i(int64(s.res.Completed))
+	i(int64(s.res.Expired))
+	i(s.res.BusyProcTicks)
+	i(s.res.IdleProcTicks)
+	i(int64(len(s.res.Jobs)))
+	for k := range s.res.Jobs {
+		stat(&s.res.Jobs[k])
+	}
+	i(int64(s.Pending()))
+	for _, j := range s.pending[s.next:] {
+		i(int64(j.ID))
+		i(j.Release)
+	}
+	i(int64(len(s.e.liveList)))
+	for _, lj := range s.e.liveList {
+		stat(&lj.stat)
+		i(lj.state.ExecutedWork())
+		i(lj.state.RemainingSpan())
+		i(int64(lj.state.ReadyCount()))
+		i(lj.lastUseful)
+		i(int64(lj.lastProcs))
+		b(lj.ranLast)
+	}
+	return h.Sum64()
 }
 
 // indexDone records res.Jobs entries appended since mark in the finished-job
