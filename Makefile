@@ -40,13 +40,17 @@ api-update:
 	go test -run TestPublicAPISnapshot -update .
 
 # Perf regression gate: the allocation-budget guard on the engine's nil-
-# telemetry path, plus a short 100-iteration smoke over the engine, queue,
-# and admission micro-benchmarks so a broken benchmark is caught before it
-# hides a perf regression. (The BenchmarkEXP_* table regenerations are
-# excluded: at 100 iterations they are a full suite run, not a smoke.)
+# telemetry path, the sharded serving-tier throughput gate (4-shard engine-
+# path per-op cost within 1.6x of single-shard, i.e. aggregate >= 2.5x — see
+# TestShardedEnginePathGuard and BENCH_PR7.json for methodology), plus a
+# short 100-iteration smoke over the engine, queue, and admission
+# micro-benchmarks so a broken benchmark is caught before it hides a perf
+# regression. (The BenchmarkEXP_* table regenerations are excluded: at 100
+# iterations they are a full suite run, not a smoke.)
 bench-guard:
 	go vet ./...
 	go test -run TestTelemetryNilPathAllocations .
+	SPAA_BENCH_GUARD=1 go test -run TestShardedEnginePathGuard -count=1 ./internal/serve/
 	go test -run xxx -bench 'BenchmarkEngine|BenchmarkSpeedScaledRun|BenchmarkOptUpperBound' -benchtime=100x .
 	go test -run xxx -bench . -benchtime=100x ./internal/sim/ ./internal/queue/ ./internal/core/
 

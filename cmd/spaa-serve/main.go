@@ -30,6 +30,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
 		m        = flag.Int("m", 1, "number of identical processors")
+		shards   = flag.Int("shards", 1, "engine shards behind the pressure-aware placer (1 ≤ shards ≤ m)")
 		sched    = flag.String("sched", "s", "scheduler: "+strings.Join(cliflags.SchedulerNames, ", "))
 		eps      = flag.Float64("eps", 1.0, "epsilon for the paper schedulers")
 		speedStr = flag.String("speed", "1", "machine speed (int, p/q, or float)")
@@ -51,12 +52,16 @@ func main() {
 	if err != nil {
 		cliflags.FatalUsage("spaa-serve", err)
 	}
+	if err := cliflags.ValidateShards(*shards, *m); err != nil {
+		cliflags.FatalUsage("spaa-serve", err)
+	}
 	fsync, err := serve.ParseFsyncPolicy(*fsyncStr)
 	if err != nil {
 		cliflags.FatalUsage("spaa-serve", err)
 	}
 	cfg := serve.Config{
 		M:                  *m,
+		Shards:             *shards,
 		Sched:              *sched,
 		Eps:                *eps,
 		Speed:              speed,
@@ -87,8 +92,8 @@ func main() {
 	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "spaa-serve: %s scheduler on %d processors, listening on %s\n",
-		srv.Scheduler(), *m, *addr)
+	fmt.Fprintf(os.Stderr, "spaa-serve: %s scheduler on %d processors (%d shard(s)), listening on %s\n",
+		srv.Scheduler(), *m, srv.Shards(), *addr)
 	if rec := srv.Recovery(); rec != nil && rec.Recovered {
 		fmt.Fprintf(os.Stderr,
 			"spaa-serve: recovered %d jobs to clock %d (checkpoint clock %d, %d WAL records, %d torn bytes cut)\n",

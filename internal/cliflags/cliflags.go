@@ -228,6 +228,37 @@ func (ff *FaultFlags) Build() (*faults.Config, error) {
 	return &cfg, nil
 }
 
+// ValidateShards rejects shard counts the serving tier cannot honor: a shard
+// needs at least one processor, so 1 ≤ shards ≤ m. Commands surface the error
+// through FatalUsage; the serve package calls it again at construction so
+// programmatic embedders get the same rule.
+func ValidateShards(shards, m int) error {
+	if shards < 1 {
+		return fmt.Errorf("shards %d, need ≥ 1", shards)
+	}
+	if shards > m {
+		return fmt.Errorf("shards %d exceeds m=%d; every shard needs at least one processor", shards, m)
+	}
+	return nil
+}
+
+// PartitionCapacity splits m processors across shards as evenly as possible:
+// every shard gets ⌊m/shards⌋ and the first m mod shards shards get one
+// extra, so lower-indexed shards hold the remainder. The placement is
+// deterministic — recovery and offline replay must partition exactly as the
+// serving daemon did. Callers validate with ValidateShards first.
+func PartitionCapacity(m, shards int) []int {
+	part := make([]int, shards)
+	base, extra := m/shards, m%shards
+	for i := range part {
+		part[i] = base
+		if i < extra {
+			part[i]++
+		}
+	}
+	return part
+}
+
 // Fail prints "tool: err" and exits 1 when err is non-nil.
 func Fail(tool string, err error) {
 	if err != nil {

@@ -208,3 +208,60 @@ func TestRegisterAndSetFlags(t *testing.T) {
 		t.Fatalf("SetFlags = %v", set)
 	}
 }
+
+func TestValidateShards(t *testing.T) {
+	cases := []struct {
+		shards, m int
+		wantErr   bool
+	}{
+		{1, 1, false},
+		{1, 8, false},
+		{4, 8, false},
+		{8, 8, false},
+		{0, 8, true},  // a daemon needs at least one shard
+		{-2, 8, true}, // negative counts are nonsense
+		{9, 8, true},  // a shard with zero processors cannot run Scheduler S
+		{16, 4, true},
+	}
+	for _, tc := range cases {
+		err := ValidateShards(tc.shards, tc.m)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ValidateShards(%d, %d) = %v, want error %v", tc.shards, tc.m, err, tc.wantErr)
+		}
+	}
+}
+
+func TestPartitionCapacity(t *testing.T) {
+	cases := []struct {
+		m, shards int
+		want      []int
+	}{
+		{8, 1, []int{8}},
+		{8, 2, []int{4, 4}},
+		{8, 4, []int{2, 2, 2, 2}},
+		// Non-divisible m: the remainder lands on the lowest-indexed shards,
+		// one extra processor each.
+		{7, 2, []int{4, 3}},
+		{10, 4, []int{3, 3, 2, 2}},
+		{5, 4, []int{2, 1, 1, 1}},
+		{9, 8, []int{2, 1, 1, 1, 1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		got := PartitionCapacity(tc.m, tc.shards)
+		if len(got) != len(tc.want) {
+			t.Errorf("PartitionCapacity(%d, %d) = %v, want %v", tc.m, tc.shards, got, tc.want)
+			continue
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != tc.want[i] {
+				t.Errorf("PartitionCapacity(%d, %d) = %v, want %v", tc.m, tc.shards, got, tc.want)
+				break
+			}
+		}
+		if sum != tc.m {
+			t.Errorf("PartitionCapacity(%d, %d) sums to %d", tc.m, tc.shards, sum)
+		}
+	}
+}

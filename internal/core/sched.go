@@ -629,6 +629,21 @@ func (s *SchedulerS) CheckInvariants() error {
 // QueueSizes returns |Q| and |P| for diagnostics.
 func (s *SchedulerS) QueueSizes() (q, p int) { return s.q.Len(), s.p.Len() }
 
+// Occupancy returns the total band weight held by Q relative to the b·m
+// admission budget of condition (2): 0 is an empty scheduler, values near 1
+// mean arriving jobs are likely to be parked. The serving tier's placer
+// routes submissions by it. Returns 0 before Init.
+func (s *SchedulerS) Occupancy() float64 {
+	if s.band == nil || s.m <= 0 {
+		return 0
+	}
+	bm := s.opts.Params.B() * float64(s.m)
+	if bm <= 0 {
+		return 0
+	}
+	return s.band.SumFrom(0) / bm
+}
+
 var (
 	_ sim.Scheduler     = (*SchedulerS)(nil)
 	_ sim.CapacityAware = (*SchedulerS)(nil)

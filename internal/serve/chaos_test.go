@@ -35,19 +35,29 @@ import (
 //     matches an offline replay of the durable directory.
 
 const (
-	chaosChildEnv = "SPAA_CHAOS_CHILD"
-	chaosDirEnv   = "SPAA_CHAOS_DIR"
+	chaosChildEnv  = "SPAA_CHAOS_CHILD"
+	chaosDirEnv    = "SPAA_CHAOS_DIR"
+	chaosShardsEnv = "SPAA_CHAOS_SHARDS"
+	chaosChildM    = 4 // unsharded child capacity
+	chaosShardedM  = 8 // sharded child capacity (shards divide it evenly)
 )
 
 // TestChaosChildProcess is the daemon half of the harness. It is a no-op
 // under a normal test run; the parent re-executes the test binary with the
-// environment set.
+// environment set. SPAA_CHAOS_SHARDS > 1 runs the sharded daemon: same
+// crash-and-recover contract, but every shard must recover its own WAL.
 func TestChaosChildProcess(t *testing.T) {
 	if os.Getenv(chaosChildEnv) == "" {
 		t.Skip("not a chaos child")
 	}
+	shards, m := 1, chaosChildM
+	if v := os.Getenv(chaosShardsEnv); v != "" {
+		fmt.Sscanf(v, "%d", &shards)
+		m = chaosShardedM
+	}
 	srv, err := New(Config{
-		M:                  4,
+		M:                  m,
+		Shards:             shards,
 		TickInterval:       2 * time.Millisecond,
 		QueueDepth:         256,
 		WALDir:             os.Getenv(chaosDirEnv),
@@ -75,10 +85,13 @@ type chaosChild struct {
 	addr string
 }
 
-func startChaosChild(t *testing.T, dir string) *chaosChild {
+func startChaosChild(t *testing.T, dir string, shards int) *chaosChild {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosChildProcess$", "-test.count=1")
 	cmd.Env = append(os.Environ(), chaosChildEnv+"=1", chaosDirEnv+"="+dir)
+	if shards > 1 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", chaosShardsEnv, shards))
+	}
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -182,14 +195,30 @@ func TestChaosKillRecover(t *testing.T) {
 	for _, seed := range []int64{1, 7} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runChaos(t, seed)
+			runChaos(t, seed, 1)
 		})
 	}
 }
 
-func runChaos(t *testing.T, seed int64) {
+// TestChaosKillRecoverSharded is the multi-shard half of the chaos satellite:
+// the SIGKILL lands while four shards hold independent WALs at different
+// positions, and recovery must replay each shard on its own and still honor
+// every acked verdict daemon-wide.
+func TestChaosKillRecoverSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness spawns subprocesses")
+	}
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runChaos(t, seed, 4)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64, shards int) {
 	dir := t.TempDir()
-	child := startChaosChild(t, dir)
+	child := startChaosChild(t, dir, shards)
 
 	rng := rand.New(rand.NewSource(seed))
 	killAfter := int64(8 + rng.Intn(40)) // acks before the SIGKILL lands
@@ -255,7 +284,7 @@ func runChaos(t *testing.T, seed int64) {
 	}
 
 	// Restart over the same directory.
-	child2 := startChaosChild(t, dir)
+	child2 := startChaosChild(t, dir, shards)
 	defer child2.kill()
 	child2.waitReady(t)
 	client := &http.Client{Timeout: 10 * time.Second}

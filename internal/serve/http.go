@@ -190,7 +190,32 @@ type WALStats struct {
 	LastCheckpointClock int64  `json:"lastCheckpointClock"`
 }
 
-// StatsResponse is the GET /v1/stats response body.
+// ShardStats is one shard's block in GET /v1/stats: its capacity slice,
+// session clock, verdict counters, the band/parked/mailbox pressure inputs
+// the placer routes on, and its durable position.
+type ShardStats struct {
+	Shard         int           `json:"shard"`
+	M             int           `json:"m"`
+	Now           int64         `json:"now"`
+	Live          int           `json:"live"`
+	Pending       int           `json:"pending"`
+	Accepted      int64         `json:"accepted"`
+	Admitted      int64         `json:"admitted"`
+	Parked        int64         `json:"parked"`
+	Rejected      int64         `json:"rejected"`
+	BandOccupancy float64       `json:"bandOccupancy"`
+	ParkedDepth   int           `json:"parkedDepth"`
+	MailboxDepth  int           `json:"mailboxDepth"`
+	Pressure      float64       `json:"pressure"`
+	EngineError   string        `json:"engineError,omitempty"`
+	WAL           *WALStats     `json:"wal,omitempty"`
+	Recovery      *RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats response body. Top-level fields
+// aggregate across shards (clock is the furthest shard; counts and telemetry
+// sum); Shards holds the per-shard blocks of a sharded daemon and is absent
+// with one shard, whose body keeps the unsharded shape.
 type StatsResponse struct {
 	Scheduler   string            `json:"scheduler"`
 	M           int               `json:"m"`
@@ -204,6 +229,7 @@ type StatsResponse struct {
 	WAL         *WALStats         `json:"wal,omitempty"`
 	Recovery    *RecoveryInfo     `json:"recovery,omitempty"`
 	Telemetry   telemetry.Summary `json:"telemetry"`
+	Shards      []ShardStats      `json:"shards,omitempty"`
 }
 
 // errorResponse is every non-2xx JSON body.
@@ -276,15 +302,16 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
 		return
 	}
+	sh := s.placer.route(key)
 	msg := submitMsg{spec: spec, key: key, reply: make(chan submitReply, 1)}
 	select {
-	case s.reqs <- msg:
+	case sh.reqs <- msg:
 	default:
-		// Mailbox full: the engine is behind. Backpressure, don't block.
+		// Mailbox full: the shard is behind. Backpressure, don't block.
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "submission queue full"})
 		return
 	}
-	rep, ok := await(s, msg.reply)
+	rep, ok := await(sh, msg.reply)
 	if !ok {
 		// Enqueued but never dequeued: the engine drained first, so the job
 		// was not committed.
@@ -304,12 +331,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
 		return
 	}
+	sh := s.placer.shardFor(id)
 	msg := lookupMsg{id: id, reply: make(chan lookupReply, 1)}
-	rep, ok := ask(s, msg.reply, msg)
+	rep, ok := ask(sh, msg.reply, msg)
 	if !ok {
 		// Engine gone: answer from the sealed session (engine goroutine has
 		// exited, so reading is safe).
-		stat, state := s.sess.Lookup(id)
+		stat, state := sh.sess.Lookup(id)
 		if state == sim.JobStateUnknown {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
 			return
@@ -325,12 +353,68 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsGet(w http.ResponseWriter, r *http.Request) {
-	msg := statsMsg{reply: make(chan StatsResponse, 1)}
-	rep, ok := ask(s, msg.reply, msg)
-	if !ok {
-		rep = s.handleStats() // engine exited; state is sealed and safe to read
+	replies := make([]shardStatsReply, len(s.shards))
+	for i, sh := range s.shards {
+		msg := statsMsg{reply: make(chan shardStatsReply, 1)}
+		rep, ok := ask(sh, msg.reply, msg)
+		if !ok {
+			rep = sh.handleStats() // engine exited; state is sealed and safe to read
+		}
+		replies[i] = rep
 	}
-	writeJSON(w, http.StatusOK, rep)
+	writeJSON(w, http.StatusOK, s.aggregateStats(replies))
+}
+
+// aggregateStats folds per-shard stats into the daemon-level response. The
+// clock is the furthest shard's (a shard with no arrivals may trail), counts
+// and telemetry sum, and WAL positions aggregate under the daemon's top
+// directory. With one shard everything passes through unchanged, so the
+// unsharded stats body is stable.
+func (s *Server) aggregateStats(replies []shardStatsReply) StatsResponse {
+	rep := StatsResponse{
+		Scheduler: s.Scheduler(),
+		M:         s.cfg.M,
+		Draining:  s.draining.Load(),
+		Ready:     s.Ready(),
+		Degraded:  s.Degraded(),
+		Recovery:  s.recovery,
+	}
+	if len(replies) == 1 {
+		st := replies[0].stats
+		rep.Now = st.Now
+		rep.Live = st.Live
+		rep.Pending = st.Pending
+		rep.EngineError = st.EngineError
+		rep.WAL = st.WAL
+		rep.Recovery = st.Recovery
+		rep.Telemetry = replies[0].summary
+		return rep
+	}
+	rep.Shards = make([]ShardStats, len(replies))
+	for i, sr := range replies {
+		st := sr.stats
+		rep.Shards[i] = st
+		rep.Now = max(rep.Now, st.Now)
+		rep.Live += st.Live
+		rep.Pending += st.Pending
+		if rep.EngineError == "" {
+			rep.EngineError = st.EngineError
+		}
+		if st.WAL != nil {
+			if rep.WAL == nil {
+				rep.WAL = &WALStats{Dir: s.cfg.WALDir, Fsync: st.WAL.Fsync}
+			}
+			rep.WAL.Records += st.WAL.Records
+			rep.WAL.Checkpoints += st.WAL.Checkpoints
+			rep.WAL.LastCheckpointClock = max(rep.WAL.LastCheckpointClock, st.WAL.LastCheckpointClock)
+		}
+		if i == 0 {
+			rep.Telemetry = sr.summary
+		} else {
+			rep.Telemetry = rep.Telemetry.Merge(sr.summary)
+		}
+	}
+	return rep
 }
 
 // handleHealthz is liveness: the process is up and answering. Draining is a
@@ -341,8 +425,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded", "error": msg})
 		return
 	}
-	if ep := s.engineErr.Load(); ep != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded", "error": *ep})
+	if msg := s.engineError(); msg != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded", "error": msg})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -356,7 +440,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-	case s.Degraded() != "" || s.engineErr.Load() != nil:
+	case s.Degraded() != "" || s.engineError() != "":
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
 	default:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
@@ -367,27 +451,27 @@ func (s *Server) handleDrainPost(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Drain())
 }
 
-// ask sends msg to the engine and waits for a reply, giving up when the
-// engine goroutine has exited (reported as ok = false).
-func ask[T any](s *Server, reply chan T, msg any) (T, bool) {
+// ask sends msg to a shard's engine and waits for a reply, giving up when
+// the engine goroutine has exited (reported as ok = false).
+func ask[T any](sh *shard, reply chan T, msg any) (T, bool) {
 	select {
-	case s.reqs <- msg:
-	case <-s.engineDone:
+	case sh.reqs <- msg:
+	case <-sh.engineDone:
 		var zero T
 		return zero, false
 	}
-	return await(s, reply)
+	return await(sh, reply)
 }
 
 // await waits for a mailbox reply. The engine replies to every message it
 // dequeues before engineDone closes, so when both cases are ready the
 // buffered reply must win — select alone picks randomly, which would turn an
 // accepted submission into a spurious 503 during a drain.
-func await[T any](s *Server, reply chan T) (T, bool) {
+func await[T any](sh *shard, reply chan T) (T, bool) {
 	select {
 	case rep := <-reply:
 		return rep, true
-	case <-s.engineDone:
+	case <-sh.engineDone:
 		select {
 		case rep := <-reply:
 			return rep, true

@@ -83,12 +83,11 @@ func TestHTTPSubmitErrorTable(t *testing.T) {
 
 // TestHTTPBackpressureBody asserts the 429 body shape, not just the code.
 func TestHTTPBackpressureBody(t *testing.T) {
-	s := &Server{
-		cfg:        Config{M: 1, QueueDepth: 1},
-		reqs:       make(chan any, 1),
-		engineDone: make(chan struct{}),
-	}
-	s.reqs <- struct{}{} // mailbox full, engine "busy"
+	s := &Server{cfg: Config{M: 1, QueueDepth: 1}}
+	sh := &shard{srv: s, m: 1, stride: 1, reqs: make(chan any, 1), engineDone: make(chan struct{})}
+	s.shards = []*shard{sh}
+	s.placer = newPlacer(s.shards)
+	sh.reqs <- struct{}{} // mailbox full, engine "busy"
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -145,7 +144,7 @@ func TestHTTPDegradedSurfaces(t *testing.T) {
 	}
 
 	// Sabotage the WAL fd so the next append cannot be made durable.
-	srv.wal.f.Close()
+	srv.shards[0].wal.f.Close()
 	code, er := postRaw(t, ts, `{"w":8,"l":2,"deadline":30,"profit":2}`, nil)
 	if code != 503 || !strings.Contains(er.Error, "degraded") {
 		t.Fatalf("submit over broken WAL: code=%d body=%+v", code, er)

@@ -1,0 +1,61 @@
+package serve
+
+import "hash/fnv"
+
+// The placer is the front door of the sharded serving tier: every POST
+// /v1/jobs picks exactly one shard before touching any engine mailbox.
+//
+// Routing policy:
+//
+//   - Keyed submissions (Idempotency-Key set) hash to a fixed shard. The
+//     idempotency table is per-shard state, so a retry must land where the
+//     stored verdict lives — across restarts too, which rules out any
+//     load-dependent placement for keys.
+//   - Unkeyed submissions go to the shard with the lowest pressure score:
+//     the engine-published EWMA of band occupancy plus parked-queue depth
+//     (see shard.publishPressure), plus the instantaneous mailbox backlog
+//     fraction. Ties break toward the lower index, so routing is
+//     deterministic for a given pressure snapshot.
+//   - Second-choice spill: when the best shard's band is full (its last
+//     verdict parked, or occupancy ≥ 1) and the runner-up's is not, the
+//     runner-up gets the job. A full band means the best shard would park
+//     the submission; the runner-up may still admit it, and an admitted
+//     job earns profit where a parked one may expire.
+type placer struct {
+	shards []*shard
+}
+
+func newPlacer(shards []*shard) *placer { return &placer{shards: shards} }
+
+// route picks the shard for one submission.
+func (p *placer) route(key string) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	if key != "" {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		return p.shards[int(h.Sum32())%len(p.shards)]
+	}
+	best, second := -1, -1
+	var bestScore, secondScore float64
+	for i, sh := range p.shards {
+		score := sh.pressureScore()
+		switch {
+		case best < 0 || score < bestScore:
+			second, secondScore = best, bestScore
+			best, bestScore = i, score
+		case second < 0 || score < secondScore:
+			second, secondScore = i, score
+		}
+	}
+	if p.shards[best].bandFull.Load() && !p.shards[second].bandFull.Load() {
+		return p.shards[second]
+	}
+	return p.shards[best]
+}
+
+// shardFor maps a job ID back to its owning shard (the ID stripe inverse).
+func (p *placer) shardFor(id int) *shard {
+	return p.shards[(id-1)%len(p.shards)]
+}

@@ -95,13 +95,32 @@ type recoveredState struct {
 	suffixRejects  int // keyed rejects in the WAL suffix (counter restore)
 }
 
-// headerOf renders a serving config as the durable header record.
+// headerOf renders a serving config as the durable header record: the
+// daemon-level view (total M; Shards only when the session is sharded, so an
+// unsharded header keeps its historical bytes).
 func headerOf(cfg Config) ReplayHeader {
 	speed := cfg.Speed
 	if speed.Num == 0 {
 		speed = rational.FromInt(1) // the zero value means speed 1
 	}
-	return ReplayHeader{Type: "header", M: cfg.M, Sched: cfg.Sched, Eps: cfg.Eps, Speed: speed.String()}
+	h := ReplayHeader{Type: "header", M: cfg.M, Sched: cfg.Sched, Eps: cfg.Eps, Speed: speed.String()}
+	if cfg.Shards > 1 {
+		h.Shards = cfg.Shards
+	}
+	return h
+}
+
+// shardHeaderOf renders the durable header one shard writes: the shard's
+// capacity slice and 0-based index under a sharded config, plain headerOf
+// otherwise. The header pins the partition — recovering a shard under a
+// different shard count or slice fails checkHeader.
+func shardHeaderOf(cfg Config, idx, mi int) ReplayHeader {
+	h := headerOf(cfg)
+	if cfg.Shards > 1 {
+		h.M = mi
+		h.Shard = idx
+	}
+	return h
 }
 
 // configFromHeader inverts headerOf: the serving configuration a durable
@@ -111,7 +130,7 @@ func configFromHeader(h ReplayHeader) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
-	return Config{M: h.M, Sched: h.Sched, Eps: h.Eps, Speed: speed}, nil
+	return Config{M: h.M, Sched: h.Sched, Eps: h.Eps, Speed: speed, Shards: h.Shards}, nil
 }
 
 // checkHeader rejects durable state written under a different serving
@@ -126,10 +145,12 @@ func checkHeader(h, want ReplayHeader, src string) error {
 
 // loadState reads dir's checkpoint and WAL, truncating a torn WAL tail, and
 // merges them into the durable history. A directory with neither file is a
-// fresh start (nil state).
-func loadState(dir string, cfg Config) (*recoveredState, error) {
-	rs := &recoveredState{idem: make(map[string]StoredResponse)}
-	want := headerOf(cfg)
+// fresh start (nil state). want is the header the durable records must carry
+// (a per-shard header under a sharded layout); baseID seeds the ID watermark
+// one stride below the owner's first assignable ID, so the checkpoint-vs-WAL
+// dedup works on any stripe (0 for the unsharded daemon).
+func loadState(dir string, want ReplayHeader, baseID int) (*recoveredState, error) {
+	rs := &recoveredState{idem: make(map[string]StoredResponse), nextID: baseID}
 
 	cpData, err := os.ReadFile(filepath.Join(dir, checkpointFileName))
 	switch {
@@ -317,20 +338,60 @@ func (rs *recoveredState) info() *RecoveryInfo {
 
 // ReplayDir re-simulates a WAL directory offline — checkpoint plus log
 // suffix, exactly the history a recovering daemon replays — with the batch
-// engine and returns the Result. The counterpart of Replay for durable logs;
-// the chaos harness uses it to compare a crash-recover-drain lifecycle
-// against a crash-free run over the same history.
+// engine and returns the Result. A sharded directory (shard-<i>/ subdirs) is
+// replayed shard by shard over the same capacity partition and merged. The
+// counterpart of Replay for durable logs; the chaos harness uses it to
+// compare a crash-recover-drain lifecycle against a crash-free run over the
+// same history.
 func ReplayDir(dir string) (*sim.Result, error) {
-	// Reconstruct the config from whichever durable header exists.
+	if fi, err := os.Stat(filepath.Join(dir, shardDirName(0))); err == nil && fi.IsDir() {
+		return replayShardedDir(dir)
+	}
+	res, err := replayOneDir(dir, 1 /* stride */, 0 /* idx */)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// replayShardedDir replays every shard-<i>/ of a sharded WAL directory and
+// merges the Results. The shard count comes from the first shard's durable
+// header; every subdirectory must agree with it.
+func replayShardedDir(dir string) (*sim.Result, error) {
+	hdr0, err := readAnyHeader(filepath.Join(dir, shardDirName(0)))
+	if err != nil {
+		return nil, err
+	}
+	n := hdr0.Shards
+	if n < 2 {
+		return nil, fmt.Errorf("serve: %s: shard-0 header declares %d shards", dir, n)
+	}
+	results := make([]*sim.Result, n)
+	for i := 0; i < n; i++ {
+		results[i], err = replayOneDir(filepath.Join(dir, shardDirName(i)), n, i)
+		if err != nil {
+			return nil, fmt.Errorf("serve: replay shard %d: %w", i, err)
+		}
+	}
+	return mergeResults(results), nil
+}
+
+// replayOneDir replays one durable directory (the unsharded layout, or one
+// shard's subdirectory) with the batch engine.
+func replayOneDir(dir string, stride, idx int) (*sim.Result, error) {
 	hdr, err := readAnyHeader(dir)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := configFromHeader(hdr)
+	if stride > 1 && (hdr.Shards != stride || hdr.Shard != idx) {
+		return nil, fmt.Errorf("serve: header declares shard %d of %d, expected %d of %d",
+			hdr.Shard, hdr.Shards, idx, stride)
+	}
+	speed, err := cliflags.ParseSpeed(hdr.Speed)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := loadState(dir, cfg)
+	rs, err := loadState(dir, hdr, idx+1-stride)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +410,7 @@ func ReplayDir(dir string) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunAuto(sim.Config{M: hdr.M, Speed: cfg.Speed}, jobs, sched)
+	return sim.RunAuto(sim.Config{M: hdr.M, Speed: speed}, jobs, sched)
 }
 
 // readAnyHeader extracts the serving header from the checkpoint or, failing

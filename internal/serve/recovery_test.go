@@ -27,33 +27,47 @@ func newDurableServer(t *testing.T, dir string, mutate func(*Config)) (*Server, 
 	return srv, func() { srv.Drain() }
 }
 
-// submitDirect pushes a spec through the mailbox without HTTP.
+// submitDirect pushes a spec through the placer and mailbox without HTTP.
 func submitDirect(t *testing.T, srv *Server, spec JobSpec, key string) submitReply {
 	t.Helper()
 	msg := submitMsg{spec: spec, key: key, reply: make(chan submitReply, 1)}
-	srv.reqs <- msg
+	srv.placer.route(key).reqs <- msg
 	return <-msg.reply
 }
 
-// snapshotDir copies the WAL directory as it is right now — the crash image a
-// SIGKILL would leave — so the original server can keep running.
+// snapshotDir copies the WAL directory (including per-shard subdirectories)
+// as it is right now — the crash image a SIGKILL would leave — so the
+// original server can keep running.
 func snapshotDir(t *testing.T, dir string) string {
 	t.Helper()
 	snap := t.TempDir()
-	entries, err := os.ReadDir(dir)
+	copyTree(t, dir, snap)
+	return snap
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if e.IsDir() {
+			sub := filepath.Join(dst, e.Name())
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyTree(t, filepath.Join(src, e.Name()), sub)
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(snap, e.Name()), data, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return snap
 }
 
 func TestRecoveryRoundTrip(t *testing.T) {
@@ -98,7 +112,7 @@ func TestRecoveryRoundTrip(t *testing.T) {
 	for _, id := range []int{1, 2} {
 		stat, state := func() (StatusResponse, bool) {
 			msg := lookupMsg{id: id, reply: make(chan lookupReply, 1)}
-			srv2.reqs <- msg
+			srv2.placer.shardFor(id).reqs <- msg
 			rep := <-msg.reply
 			return rep.resp, rep.found
 		}()
@@ -332,9 +346,9 @@ func TestStatsExposeWALAndRecovery(t *testing.T) {
 
 	srv2, drain2 := newDurableServer(t, snap, nil)
 	defer drain2()
-	msg := statsMsg{reply: make(chan StatsResponse, 1)}
-	srv2.reqs <- msg
-	stats := <-msg.reply
+	msg := statsMsg{reply: make(chan shardStatsReply, 1)}
+	srv2.shards[0].reqs <- msg
+	stats := srv2.aggregateStats([]shardStatsReply{<-msg.reply})
 	if stats.WAL == nil || stats.WAL.Dir != snap || stats.WAL.Fsync != "always" {
 		t.Fatalf("stats.WAL = %+v", stats.WAL)
 	}

@@ -2,28 +2,34 @@
 // that wraps the simulation engine's step-driven Session in a concurrent-safe,
 // clock-driven loop behind an HTTP/JSON API.
 //
-// Architecture: a single engine goroutine owns the sim.Session, the
-// scheduler, and the serving telemetry registry. HTTP handlers never touch
-// that state — they send typed messages over a bounded mailbox channel and
-// wait for the reply. A full mailbox is backpressure (the handler answers
-// 429 without blocking); a draining server answers 503. A wall-clock ticker
-// inside the engine goroutine advances the session, so simulated ticks track
-// real time while the ordering of submissions against ticks stays whatever
-// the mailbox serialized.
+// Architecture: the daemon is N engine shards behind a pressure-aware placer
+// (N = Config.Shards; 1 by default). Each shard is a goroutine that owns its
+// own sim.Session over a partitioned slice of the capacity, its own Scheduler
+// S instance, telemetry registry, and — when durable — its own WAL and
+// checkpoint. HTTP handlers never touch shard state: the placer picks a shard
+// (by idempotency-key hash, or by the lowest published pressure with a
+// second-choice spill when the best shard's band is full) and the handler
+// sends a typed message over that shard's bounded mailbox. A full mailbox is
+// backpressure (429 without blocking); a draining server answers 503. A
+// wall-clock ticker inside each shard advances its session, so simulated
+// ticks track real time while the ordering of submissions against ticks stays
+// whatever each mailbox serialized.
 //
-// Every accepted arrival is appended to a replay log (header line + one
-// instance-wire job per line). Because the session stamps server-assigned
-// ascending IDs and the engine is the exact code path batch Run uses,
-// re-simulating the logged job set offline reproduces the serving session's
-// Result bit-identically — whatever interleaving of submissions and ticks
-// actually happened.
+// Every accepted arrival is appended to a shared replay log (header line +
+// one instance-wire job per line; sharded sessions interleave a route record
+// before each job). Because each shard stamps server-assigned IDs on its own
+// stripe and runs the exact code path batch Run uses, re-simulating the
+// logged job set offline — shard by shard, over the same capacity partition —
+// reproduces the serving session's merged Result bit-identically.
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,13 +40,18 @@ import (
 	"dagsched/internal/rational"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
-	"dagsched/internal/workload"
 )
 
 // Config parameterizes a serving daemon.
 type Config struct {
 	// M is the number of processors; must be ≥ 1.
 	M int
+	// Shards splits the daemon into that many engine shards, each running
+	// its own scheduler over a PartitionCapacity slice of M (lower-indexed
+	// shards hold the remainder when M is not divisible). 0 or 1 means one
+	// shard — byte-identical to the unsharded daemon. Must satisfy
+	// cliflags.ValidateShards: 1 ≤ Shards ≤ M.
+	Shards int
 	// Sched selects the scheduler (cliflags roster); empty means "s".
 	Sched string
 	// Eps is the ε parameter for the paper schedulers (0 means 1.0).
@@ -51,20 +62,27 @@ type Config struct {
 	// 10ms default; negative disables the ticker entirely (the session then
 	// advances only on drain — deterministic tests use this).
 	TickInterval time.Duration
-	// QueueDepth bounds the request mailbox; a full mailbox is answered
-	// with 429. 0 means 64.
+	// QueueDepth bounds each shard's request mailbox; a full mailbox is
+	// answered with 429. 0 means 64. The depth is per shard, so a sharded
+	// daemon holds Shards×QueueDepth queued submissions at most.
 	QueueDepth int
 	// ReplayLog, when non-nil, receives the session's replay log: a header
-	// line followed by every accepted arrival in the instance wire format.
-	// Writes happen only from the engine goroutine. For durability across
-	// crashes use WALDir instead; ReplayLog is the offline-analysis tap.
+	// line followed by every accepted arrival in the instance wire format
+	// (with a shard-route record per arrival when Shards > 1). Shards
+	// serialize their appends with a mutex. For durability across crashes
+	// use WALDir instead; ReplayLog is the offline-analysis tap.
 	ReplayLog io.Writer
 	// WALDir, when non-empty, makes the daemon crash-safe: every
 	// acknowledged submission is framed, checksummed, and appended to a
-	// write-ahead log in this directory before it is committed, engine
-	// state is checkpointed periodically, and a restart over the same
-	// directory recovers the pre-crash session bit-identically (or refuses
-	// to start if it cannot). The directory is created if missing.
+	// write-ahead log before it is committed, engine state is checkpointed
+	// periodically, and a restart over the same directory recovers the
+	// pre-crash session bit-identically (or refuses to start if it cannot).
+	// With one shard the directory holds wal.log and checkpoint.json
+	// directly; with N > 1 it holds shard-0/ … shard-(N-1)/ subdirectories,
+	// one durable pair per shard, recovered independently. The layout is
+	// part of the durable configuration: reopening a directory with a
+	// different shard count refuses to start. The directory is created if
+	// missing.
 	WALDir string
 	// Fsync selects the WAL flush policy; zero means FsyncAlways.
 	Fsync FsyncPolicy
@@ -111,49 +129,42 @@ type admitter interface {
 	Admission(v sim.JobView) core.Decision
 }
 
-// Server is one serving session. Create with New, expose Handler over HTTP,
-// stop with Drain.
+// Server is one serving session: N shards behind a placer. Create with New,
+// expose Handler over HTTP, stop with Drain.
 type Server struct {
-	cfg   Config
-	sched sim.Scheduler
-	adm   admitter // nil when the scheduler has no admission query
+	cfg    Config
+	shards []*shard
+	placer *placer
+	replay *replayWriter // shared; shards serialize appends on its mutex
 
-	sess   *sim.Session        // engine goroutine only
-	reg    *telemetry.Registry // engine goroutine only
-	nextID int                 // engine goroutine only
-	replay *replayWriter       // engine goroutine only
+	recovery *RecoveryInfo // aggregated across shards; nil on a fresh start
 
-	// Durability state, engine goroutine only (nil/empty without WALDir).
-	wal            *wal
-	hist           []WALJob                  // full accepted history in wire form
-	idem           map[string]StoredResponse // idempotency table (kept even without WAL)
-	checkpoints    int64                     // lifetime checkpoint count
-	lastCheckpoint time.Time
-	lastCkptClock  int64
-	ckptDirty      bool // records appended since the last checkpoint
-
-	recovery *RecoveryInfo // fixed at New; nil on a fresh start
-
-	reqs       chan any
-	ready      atomic.Bool
-	draining   atomic.Bool
-	engineDone chan struct{}
-	engineErr  atomic.Pointer[string]
-	degraded   atomic.Pointer[string]
-	drainOnce  sync.Once
-	result     *sim.Result // set inside drainOnce
+	ready     atomic.Bool
+	draining  atomic.Bool
+	degraded  atomic.Pointer[string]
+	drainOnce sync.Once
+	result    *sim.Result // set inside drainOnce
 
 	start time.Time
 }
 
-// New validates the configuration, builds the scheduler and session —
-// recovering the pre-crash session from Config.WALDir when one is there —
-// writes the replay-log header, and starts the engine goroutine. With a WAL
-// directory, New returns only once recovery has replayed the durable history
-// and verified it against the checkpoint fingerprint and every acknowledged
-// admission verdict; a daemon that cannot honor its commitments refuses to
-// start rather than serve from diverged state.
+// New validates the configuration, builds the shards and their schedulers —
+// recovering each shard's pre-crash session from Config.WALDir when one is
+// there — writes the replay-log header, and starts the engine goroutines.
+// With a WAL directory, New returns only once every shard's recovery has
+// replayed its durable history and verified it against the checkpoint
+// fingerprint and every acknowledged admission verdict; a daemon that cannot
+// honor its commitments on any shard refuses to start rather than serve from
+// diverged state.
 func New(cfg Config) (*Server, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards != 1 {
+		if err := cliflags.ValidateShards(cfg.Shards, cfg.M); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
 	if cfg.Sched == "" {
 		cfg.Sched = "s"
 	}
@@ -184,98 +195,179 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	sched, err := cliflags.MakeScheduler(cfg.Sched, cfg.Eps, false)
-	if err != nil {
-		return nil, err
+	part := cliflags.PartitionCapacity(cfg.M, cfg.Shards)
+	s := &Server{cfg: cfg, start: time.Now()}
+	for i := 0; i < cfg.Shards; i++ {
+		sched, err := cliflags.MakeScheduler(cfg.Sched, cfg.Eps, false)
+		if err != nil {
+			return nil, err
+		}
+		simCfg := dagsched.NewConfig(
+			dagsched.WithM(part[i]),
+			dagsched.WithSpeed(cfg.Speed),
+		)
+		sess, err := sim.NewSession(simCfg, nil, sched)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			srv:        s,
+			idx:        i,
+			m:          part[i],
+			stride:     cfg.Shards,
+			sched:      sched,
+			sess:       sess,
+			reg:        &telemetry.Registry{},
+			lastID:     i + 1 - cfg.Shards, // first assigned ID is i+1
+			header:     shardHeaderOf(cfg, i, part[i]),
+			idem:       make(map[string]StoredResponse),
+			reqs:       make(chan any, cfg.QueueDepth),
+			engineDone: make(chan struct{}),
+		}
+		sh.adm, _ = sched.(admitter)
+		s.shards = append(s.shards, sh)
 	}
-	simCfg := dagsched.NewConfig(
-		dagsched.WithM(cfg.M),
-		dagsched.WithSpeed(cfg.Speed),
-	)
-	sess, err := sim.NewSession(simCfg, nil, sched)
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{
-		cfg:        cfg,
-		sched:      sched,
-		sess:       sess,
-		reg:        &telemetry.Registry{},
-		idem:       make(map[string]StoredResponse),
-		reqs:       make(chan any, cfg.QueueDepth),
-		engineDone: make(chan struct{}),
-		start:      time.Now(),
-	}
-	s.adm, _ = sched.(admitter)
+	s.placer = newPlacer(s.shards)
 	if cfg.WALDir != "" {
 		if err := s.openDurable(); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.ReplayLog != nil {
-		s.replay = &replayWriter{w: cfg.ReplayLog}
+		s.replay = &replayWriter{w: cfg.ReplayLog, shards: cfg.Shards}
 		if err := s.replay.header(cfg); err != nil {
 			return nil, fmt.Errorf("serve: replay log: %w", err)
 		}
 	}
 	s.ready.Store(true)
-	go s.engineLoop()
+	for _, sh := range s.shards {
+		go sh.engineLoop()
+	}
 	return s, nil
 }
 
-// openDurable recovers any durable state in cfg.WALDir into the fresh
-// session, opens the WAL for appending, and seals the recovered history
-// under a fresh checkpoint so every start leaves a normalized directory.
-// Runs before the engine goroutine starts; the server is not ready until it
-// returns.
+// openDurable lays out the WAL directory for the configured shard count and
+// recovers every shard. One shard uses the directory flat (the unsharded
+// layout); N > 1 uses shard-<i>/ subdirectories. A directory whose layout
+// disagrees with the configuration — flat files under a sharded config,
+// shard subdirectories under an unsharded one, or more shard directories
+// than configured — refuses to start: recovering a shard's history under a
+// different partition would silently re-decide admissions.
 func (s *Server) openDurable() error {
-	if err := os.MkdirAll(s.cfg.WALDir, 0o755); err != nil {
+	dir := s.cfg.WALDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("serve: wal dir: %w", err)
 	}
-	rs, err := loadState(s.cfg.WALDir, s.cfg)
+	stray, err := strayShardDirs(dir, s.cfg.Shards)
 	if err != nil {
 		return err
 	}
-	if rs != nil {
-		if err := rs.replayInto(s.sess, s.adm, s.reg); err != nil {
+	if len(stray) > 0 {
+		return fmt.Errorf("serve: wal dir %s holds %s but the daemon is configured for %d shard(s); refusing to recover under a different partition",
+			dir, strings.Join(stray, ", "), s.cfg.Shards)
+	}
+	if s.cfg.Shards == 1 {
+		if err := s.shards[0].openDurable(dir); err != nil {
 			return err
 		}
-		s.hist = rs.jobs
-		s.idem = rs.idem
-		s.nextID = rs.nextID
-		s.checkpoints = rs.checkpoints
-		s.recovery = rs.info()
-		s.reg.Inc("serve.recoveries", 1)
+		s.recovery = mergeRecovery(s.shards)
+		return nil
 	}
-	w, err := openWAL(s.cfg.WALDir, s.cfg.Fsync, s.cfg.FsyncInterval)
-	if err != nil {
-		return fmt.Errorf("serve: wal: %w", err)
+	for _, name := range []string{walFileName, checkpointFileName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return fmt.Errorf("serve: wal dir %s holds unsharded %s but the daemon is configured for %d shards; refusing to recover under a different partition",
+				dir, name, s.cfg.Shards)
+		}
 	}
-	s.wal = w
-	s.ckptDirty = true // force the normalizing checkpoint even on a fresh dir
-	if err := s.checkpointNow(); err != nil {
-		w.close()
-		return err
+	for i, sh := range s.shards {
+		sub := filepath.Join(dir, shardDirName(i))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return fmt.Errorf("serve: wal dir: %w", err)
+		}
+		if err := sh.openDurable(sub); err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.wal.close()
+			}
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
 	}
+	s.recovery = mergeRecovery(s.shards)
 	return nil
 }
 
+// shardDirName is the per-shard subdirectory under a sharded WAL directory.
+func shardDirName(i int) string { return "shard-" + strconv.Itoa(i) }
+
+// strayShardDirs lists shard-<i> subdirectories of dir that the configured
+// shard count does not cover (all of them when shards == 1).
+func strayShardDirs(dir string, shards int) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal dir: %w", err)
+	}
+	var stray []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "shard-")
+		if !ok {
+			continue
+		}
+		idx, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		if shards == 1 || idx >= shards {
+			stray = append(stray, e.Name())
+		}
+	}
+	return stray, nil
+}
+
+// mergeRecovery aggregates the per-shard recovery reports for the daemon
+// banner and the /v1/stats aggregate; nil when no shard recovered anything.
+func mergeRecovery(shards []*shard) *RecoveryInfo {
+	var out *RecoveryInfo
+	for _, sh := range shards {
+		ri := sh.recovery
+		if ri == nil {
+			continue
+		}
+		if out == nil {
+			out = &RecoveryInfo{Recovered: true}
+		}
+		out.CheckpointJobs += ri.CheckpointJobs
+		out.WALJobs += ri.WALJobs
+		out.TornBytes += ri.TornBytes
+		out.Jobs += ri.Jobs
+		out.CheckpointClock = max(out.CheckpointClock, ri.CheckpointClock)
+		out.Clock = max(out.Clock, ri.Clock)
+	}
+	return out
+}
+
 // Scheduler returns the serving scheduler's name.
-func (s *Server) Scheduler() string { return s.sched.Name() }
+func (s *Server) Scheduler() string { return s.shards[0].sched.Name() }
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Draining reports whether the server has stopped accepting jobs.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Ready reports whether the server is accepting work: recovery has finished,
-// no drain has started, and durability is intact. /readyz mirrors it.
+// no drain has started, and durability is intact on every shard. /readyz
+// mirrors it.
 func (s *Server) Ready() bool {
 	return s.ready.Load() && !s.draining.Load() &&
-		s.degraded.Load() == nil && s.engineErr.Load() == nil
+		s.degraded.Load() == nil && s.engineError() == ""
 }
 
 // Degraded returns the first durability failure ("" when healthy): a WAL or
-// checkpoint write the daemon could not make durable. A degraded daemon
-// rejects new submissions but keeps serving reads and can still drain.
+// checkpoint write some shard could not make durable. A degraded daemon
+// rejects new submissions on every shard — routing around one shard's broken
+// commitment would hide it — but keeps serving reads and can still drain.
 func (s *Server) Degraded() string {
 	if p := s.degraded.Load(); p != nil {
 		return *p
@@ -283,71 +375,126 @@ func (s *Server) Degraded() string {
 	return ""
 }
 
-// Recovery describes the durable state this daemon recovered at start; nil
-// on a fresh start or without a WAL directory.
-func (s *Server) Recovery() *RecoveryInfo { return s.recovery }
-
-// Checkpoint forces an engine-state checkpoint through the mailbox and
-// returns its outcome. It errors when the server has no WAL directory, is
-// degraded, or has drained. Deterministic-time embeddings and tests use it;
-// a live daemon checkpoints on its own cadence (Config.CheckpointInterval).
-func (s *Server) Checkpoint() error {
-	if s.wal == nil {
-		return fmt.Errorf("serve: no WAL directory configured")
+// degrade records the first durability failure at the server level; called
+// from shard engine goroutines.
+func (s *Server) degrade(shardIdx int, op string, err error) {
+	msg := op + ": " + err.Error()
+	if len(s.shards) > 1 {
+		msg = fmt.Sprintf("shard %d: %s", shardIdx, msg)
 	}
-	msg := checkpointMsg{reply: make(chan error, 1)}
-	select {
-	case s.reqs <- msg:
-	case <-s.engineDone:
-		return fmt.Errorf("serve: checkpoint after drain")
-	}
-	select {
-	case err := <-msg.reply:
-		return err
-	case <-s.engineDone:
-		select {
-		case err := <-msg.reply:
-			return err
-		default:
-			return fmt.Errorf("serve: checkpoint after drain")
-		}
-	}
+	s.degraded.CompareAndSwap(nil, &msg)
 }
 
-// Drain stops admission, fast-forwards the session until every committed job
-// has completed or expired, seals it, and returns the final Result. Simulated
-// time is decoupled from wall time here: committed jobs finish at their
-// simulated ticks immediately rather than in real time. Drain is idempotent
-// and safe from any goroutine; later calls return the same Result.
+// engineError returns the first shard's terminal engine error ("" when none).
+func (s *Server) engineError() string {
+	for _, sh := range s.shards {
+		if ep := sh.engineErr.Load(); ep != nil {
+			return *ep
+		}
+	}
+	return ""
+}
+
+// Recovery describes the durable state this daemon recovered at start,
+// aggregated across shards; nil on a fresh start or without a WAL directory.
+// Per-shard reports are in /v1/stats.
+func (s *Server) Recovery() *RecoveryInfo { return s.recovery }
+
+// Checkpoint forces an engine-state checkpoint on every shard through its
+// mailbox, in shard order, and returns the first failure. It errors when the
+// server has no WAL directory, is degraded, or has drained. Deterministic-
+// time embeddings and tests use it; a live daemon checkpoints on its own
+// cadence (Config.CheckpointInterval).
+func (s *Server) Checkpoint() error {
+	if s.cfg.WALDir == "" {
+		return fmt.Errorf("serve: no WAL directory configured")
+	}
+	for _, sh := range s.shards {
+		msg := checkpointMsg{reply: make(chan error, 1)}
+		select {
+		case sh.reqs <- msg:
+		case <-sh.engineDone:
+			return fmt.Errorf("serve: checkpoint after drain")
+		}
+		select {
+		case err := <-msg.reply:
+			if err != nil {
+				return err
+			}
+		case <-sh.engineDone:
+			select {
+			case err := <-msg.reply:
+				if err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("serve: checkpoint after drain")
+			}
+		}
+	}
+	return nil
+}
+
+// Drain stops admission, fast-forwards every shard until its committed jobs
+// have completed or expired, seals the shards, and returns the merged final
+// Result. Simulated time is decoupled from wall time here: committed jobs
+// finish at their simulated ticks immediately rather than in real time.
+//
+// The drain is two-phase so a signal mid-drain can never interleave a late
+// submission into a finalized log. Phase 1 quiesces: every shard acknowledges
+// that it has stopped committing (submissions already in its mailbox are
+// behind the quiesce message and get 503). Only after every shard has
+// quiesced does phase 2 finalize each shard — run to end, seal the WAL,
+// return its Result. Between the phases shards keep serving reads.
+//
+// Drain is idempotent and safe from any goroutine; later calls return the
+// same Result.
 func (s *Server) Drain() *sim.Result {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
-		reply := make(chan *sim.Result, 1)
-		s.reqs <- drainMsg{reply: reply}
-		s.result = <-reply
+		quiesced := make([]chan struct{}, len(s.shards))
+		for i, sh := range s.shards {
+			quiesced[i] = make(chan struct{})
+			sh.reqs <- quiesceMsg{reply: quiesced[i]}
+		}
+		for _, c := range quiesced {
+			<-c
+		}
+		finals := make([]chan *sim.Result, len(s.shards))
+		for i, sh := range s.shards {
+			finals[i] = make(chan *sim.Result, 1)
+			sh.reqs <- finalizeMsg{reply: finals[i]}
+		}
+		results := make([]*sim.Result, len(s.shards))
+		for i := range finals {
+			results[i] = <-finals[i]
+		}
+		s.result = mergeResults(results)
 	})
 	return s.result
 }
 
-// Advance drives the session clock to the given tick through the engine
-// mailbox, returning once the engine has processed it. It exists for
+// Advance drives every shard's session clock to the given tick through its
+// engine mailbox, returning once all shards have processed it. It exists for
 // deterministic-time embeddings and tests running with the ticker disabled
 // (TickInterval < 0); with a live ticker the wall clock usually outruns it
 // and the call degenerates to a no-op. Advancing a drained server is a no-op.
 func (s *Server) Advance(to int64) {
-	msg := advanceMsg{to: to, reply: make(chan struct{})}
-	select {
-	case s.reqs <- msg:
-	case <-s.engineDone:
-		return
-	}
-	select {
-	case <-msg.reply:
-	case <-s.engineDone:
+	for _, sh := range s.shards {
+		msg := advanceMsg{to: to, reply: make(chan struct{})}
+		select {
+		case sh.reqs <- msg:
+		case <-sh.engineDone:
+			continue
+		}
+		select {
+		case <-msg.reply:
+		case <-sh.engineDone:
+		}
 	}
 }
 
-// Messages between HTTP handlers and the engine goroutine.
+// Messages between HTTP handlers and the shard engine goroutines.
 
 type submitMsg struct {
 	spec  JobSpec
@@ -372,11 +519,12 @@ type lookupReply struct {
 }
 
 type statsMsg struct {
-	reply chan StatsResponse
+	reply chan shardStatsReply
 }
 
-type drainMsg struct {
-	reply chan *sim.Result
+type shardStatsReply struct {
+	stats   ShardStats
+	summary telemetry.Summary
 }
 
 type advanceMsg struct {
@@ -388,132 +536,16 @@ type checkpointMsg struct {
 	reply chan error
 }
 
-// engineLoop is the single goroutine that owns all mutable serving state.
-func (s *Server) engineLoop() {
-	defer close(s.engineDone)
-	var tickC <-chan time.Time
-	if s.cfg.TickInterval > 0 {
-		ticker := time.NewTicker(s.cfg.TickInterval)
-		defer ticker.Stop()
-		tickC = ticker.C
-	}
-	for {
-		select {
-		case m := <-s.reqs:
-			if s.handle(m) {
-				return
-			}
-		case now := <-tickC:
-			s.advance(int64(time.Since(s.start) / s.cfg.TickInterval))
-			if s.wal != nil {
-				if err := s.wal.maybeSync(now); err != nil {
-					s.degrade("wal sync", err)
-				}
-				s.maybeCheckpoint(now)
-			}
-		}
-	}
+// quiesceMsg is the drain's first phase: the shard stops committing
+// submissions and acknowledges by closing reply.
+type quiesceMsg struct {
+	reply chan struct{}
 }
 
-// maybeCheckpoint takes a checkpoint when the cadence has elapsed and the
-// WAL holds records since the last one. Skipped while degraded: a checkpoint
-// from state the WAL may not fully cover could seal the inconsistency in.
-func (s *Server) maybeCheckpoint(now time.Time) {
-	if s.cfg.CheckpointInterval < 0 || !s.ckptDirty || s.degraded.Load() != nil {
-		return
-	}
-	if now.Sub(s.lastCheckpoint) < s.cfg.CheckpointInterval {
-		return
-	}
-	if err := s.checkpointNow(); err != nil {
-		s.degrade("checkpoint", err)
-	}
-}
-
-// checkpointNow folds the accepted history, the idempotency table, the
-// serving telemetry summary, and the session's state fingerprint into an
-// atomically replaced checkpoint.json, then truncates the WAL back to its
-// header. Engine goroutine only.
-func (s *Server) checkpointNow() error {
-	if err := s.wal.sync(); err != nil {
-		return err
-	}
-	s.checkpoints++
-	cp := Checkpoint{
-		Type:        "checkpoint",
-		Header:      headerOf(s.cfg),
-		Clock:       s.sess.Now(),
-		NextID:      s.nextID,
-		Jobs:        s.hist,
-		Idem:        s.idem,
-		Summary:     s.reg.Summary(),
-		Fingerprint: s.sess.Fingerprint(),
-		Checkpoints: s.checkpoints,
-	}
-	payload, err := json.Marshal(cp)
-	if err != nil {
-		return err
-	}
-	if err := writeFileAtomic(s.cfg.WALDir, checkpointFileName, frameRecord(payload)); err != nil {
-		return err
-	}
-	if err := s.wal.reset(cp.Header); err != nil {
-		return err
-	}
-	s.lastCheckpoint = time.Now()
-	s.lastCkptClock = cp.Clock
-	s.ckptDirty = false
-	s.reg.Inc("serve.checkpoints", 1)
-	return nil
-}
-
-// degrade records the first durability failure. A degraded daemon stops
-// acknowledging submissions (it can no longer make them durable), fails
-// readiness, and reports the failure on /healthz and /v1/stats; reads keep
-// working.
-func (s *Server) degrade(op string, err error) {
-	msg := op + ": " + err.Error()
-	s.degraded.CompareAndSwap(nil, &msg)
-	s.reg.Inc("serve.degraded_events", 1)
-}
-
-// advance pushes the session to the wall-clock tick. A session error here is
-// terminal for the engine (a scheduler broke its allocation contract); it is
-// surfaced through /v1/stats.
-func (s *Server) advance(now int64) {
-	if err := s.sess.AdvanceTo(now); err != nil {
-		msg := err.Error()
-		s.engineErr.Store(&msg)
-	}
-}
-
-// handle dispatches one mailbox message; it reports whether the engine
-// should exit (after a drain).
-func (s *Server) handle(m any) bool {
-	switch msg := m.(type) {
-	case submitMsg:
-		msg.reply <- s.handleSubmit(msg.spec, msg.key)
-	case lookupMsg:
-		msg.reply <- s.handleLookup(msg.id)
-	case statsMsg:
-		msg.reply <- s.handleStats()
-	case advanceMsg:
-		s.advance(msg.to)
-		close(msg.reply)
-	case checkpointMsg:
-		if dp := s.degraded.Load(); dp != nil {
-			msg.reply <- fmt.Errorf("serve: degraded: %s", *dp)
-		} else if err := s.checkpointNow(); err != nil {
-			s.degrade("checkpoint", err)
-			msg.reply <- err
-		} else {
-			msg.reply <- nil
-		}
-	case drainMsg:
-		s.handleDrain(msg)
-		return true
-	}
-	return false
+// finalizeMsg is the drain's second phase: the shard runs to end, seals its
+// durable state, replies with its Result, and exits its engine loop.
+type finalizeMsg struct {
+	reply chan *sim.Result
 }
 
 // decideAdmission runs the serving admission query for a prospective job:
@@ -539,190 +571,5 @@ func decideAdmission(adm admitter, j *sim.Job) (DecisionString, string, *PlanInf
 		// Parked in P: committed, and eligible for admission when a
 		// completion or recovery frees band capacity.
 		return DecisionParked, d.Reason, plan
-	}
-}
-
-// handleSubmit resolves idempotent retries, takes the admit/reject decision,
-// persists it to the WAL (write-ahead: before the session commit, so an
-// acknowledged verdict is never lost to a crash), and commits the arrival to
-// the session and the replay log.
-func (s *Server) handleSubmit(spec JobSpec, key string) submitReply {
-	if s.draining.Load() {
-		return submitReply{status: 503, err: "draining"}
-	}
-	if dp := s.degraded.Load(); dp != nil {
-		// The daemon cannot make new verdicts durable; stop acknowledging.
-		return submitReply{status: 503, err: "degraded: " + *dp}
-	}
-	if key != "" {
-		if st, ok := s.idem[key]; ok {
-			st.Resp.Replayed = true
-			s.reg.Inc("serve.idempotent_replays", 1)
-			return submitReply{status: st.Status, resp: st.Resp}
-		}
-	}
-	g, fn, err := spec.build()
-	if err != nil {
-		s.reg.Inc("serve.bad_request", 1)
-		return submitReply{status: 400, err: err.Error()}
-	}
-	release := s.sess.Now()
-	id := s.nextID + 1
-	job := &sim.Job{ID: id, Graph: g, Release: release, Profit: fn}
-	resp := JobResponse{ID: id, Release: release}
-	resp.Decision, resp.Reason, resp.Plan = decideAdmission(s.adm, job)
-
-	if resp.Decision == DecisionRejected {
-		resp.ID = 0
-		resp.Commitment = CommitmentNone
-		if key != "" {
-			// Make the verdict durable so a retry after a crash collapses
-			// onto it instead of re-opening the decision.
-			if s.wal != nil {
-				if err := s.wal.append(WALReject{Type: "reject", Key: key, Resp: resp}); err != nil {
-					s.degrade("wal append", err)
-					return submitReply{status: 503, err: "degraded: " + s.Degraded()}
-				}
-				s.ckptDirty = true
-			}
-			s.idem[key] = StoredResponse{Status: 200, Resp: resp}
-		}
-		s.reg.Inc("serve.rejected", 1)
-		return submitReply{status: 200, resp: resp}
-	}
-
-	resp.Commitment = CommitmentNone
-	if s.wal != nil {
-		resp.Commitment = CommitmentOnAdmission
-		wire, err := workload.MarshalJob(job)
-		if err != nil {
-			s.reg.Inc("serve.bad_request", 1)
-			return submitReply{status: 400, err: err.Error()}
-		}
-		rec := WALJob{Type: "job", Key: key, Resp: resp, Job: wire}
-		if err := s.wal.append(rec); err != nil {
-			// Not durable, so not committed and not acknowledged: the
-			// session never sees the job and the client may retry safely.
-			s.degrade("wal append", err)
-			return submitReply{status: 503, err: "degraded: " + s.Degraded()}
-		}
-		s.hist = append(s.hist, rec)
-		s.ckptDirty = true
-	}
-	if err := s.sess.Arrive(job); err != nil {
-		// Unreachable by construction (fresh ascending ID, release = Now);
-		// surfaced as a server error rather than swallowed. With a WAL the
-		// logged record now disagrees with the engine, so degrade too.
-		s.reg.Inc("serve.arrive_error", 1)
-		if s.wal != nil {
-			s.degrade("arrive after wal append", err)
-		}
-		return submitReply{status: 500, err: err.Error()}
-	}
-	s.nextID = id
-	s.reg.Inc("serve.accepted", 1)
-	s.reg.Inc("serve."+string(resp.Decision), 1)
-	if key != "" {
-		s.idem[key] = StoredResponse{Status: 200, Resp: resp}
-	}
-	if s.replay != nil {
-		if err := s.replay.appendJob(job); err != nil {
-			// The offline-analysis tap failed: the record is lost, which
-			// breaks the log's bit-identical replay guarantee. Count it and
-			// surface the degraded state on /healthz instead of dropping
-			// the error silently.
-			s.reg.Inc("serve.replay_error", 1)
-			s.degrade("replay log append", err)
-		}
-	}
-	return submitReply{status: 200, resp: resp}
-}
-
-func (s *Server) handleLookup(id int) lookupReply {
-	stat, state := s.sess.Lookup(id)
-	if state == sim.JobStateUnknown {
-		return lookupReply{}
-	}
-	return lookupReply{found: true, resp: statusResponse(id, stat, state)}
-}
-
-func (s *Server) handleStats() StatsResponse {
-	s.reg.SetGauge("serve.queue_depth", float64(len(s.reqs)))
-	resp := StatsResponse{
-		Scheduler: s.sched.Name(),
-		M:         s.cfg.M,
-		Now:       s.sess.Now(),
-		Live:      s.sess.Live(),
-		Pending:   s.sess.Pending(),
-		Draining:  s.draining.Load(),
-		Ready:     s.Ready(),
-		Degraded:  s.Degraded(),
-		Recovery:  s.recovery,
-		Telemetry: s.reg.Summary(),
-	}
-	if ep := s.engineErr.Load(); ep != nil {
-		resp.EngineError = *ep
-	}
-	if s.wal != nil {
-		resp.WAL = &WALStats{
-			Dir:                 s.cfg.WALDir,
-			Fsync:               string(s.cfg.Fsync),
-			Records:             s.wal.records,
-			Checkpoints:         s.checkpoints,
-			LastCheckpointClock: s.lastCkptClock,
-		}
-	}
-	return resp
-}
-
-// handleDrain empties the mailbox (submissions get 503, reads are served),
-// fast-forwards the session to completion, and seals it.
-func (s *Server) handleDrain(first drainMsg) {
-	waiters := []drainMsg{first}
-	for {
-		drained := false
-		select {
-		case m := <-s.reqs:
-			switch msg := m.(type) {
-			case submitMsg:
-				msg.reply <- submitReply{status: 503, err: "draining"}
-			case lookupMsg:
-				msg.reply <- s.handleLookup(msg.id)
-			case statsMsg:
-				msg.reply <- s.handleStats()
-			case advanceMsg:
-				close(msg.reply) // the clock is done moving
-			case checkpointMsg:
-				msg.reply <- fmt.Errorf("serve: checkpoint after drain")
-			case drainMsg:
-				waiters = append(waiters, msg)
-			}
-		default:
-			drained = true
-		}
-		if drained {
-			break
-		}
-	}
-	if err := s.sess.RunToEnd(); err != nil {
-		msg := err.Error()
-		s.engineErr.Store(&msg)
-	}
-	res := s.sess.Finish()
-	s.reg.Inc("serve.drains", 1)
-	if s.wal != nil {
-		// Seal the drained state: a restart over this directory recovers the
-		// completed history instead of replaying the whole session.
-		if s.degraded.Load() == nil {
-			if err := s.checkpointNow(); err != nil {
-				s.degrade("final checkpoint", err)
-			}
-		}
-		if err := s.wal.close(); err != nil {
-			s.degrade("wal close", err)
-		}
-	}
-	for _, w := range waiters {
-		w.reply <- res
 	}
 }

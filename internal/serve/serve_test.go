@@ -213,12 +213,11 @@ func TestServeFullDAGSubmission(t *testing.T) {
 // TestServeBackpressure fills the mailbox of an engineless server and checks
 // the handler answers 429 without blocking.
 func TestServeBackpressure(t *testing.T) {
-	s := &Server{
-		cfg:        Config{M: 1, QueueDepth: 1},
-		reqs:       make(chan any, 1),
-		engineDone: make(chan struct{}),
-	}
-	s.reqs <- struct{}{} // engine is "busy"; the mailbox is now full
+	s := &Server{cfg: Config{M: 1, QueueDepth: 1}}
+	sh := &shard{srv: s, m: 1, stride: 1, reqs: make(chan any, 1), engineDone: make(chan struct{})}
+	s.shards = []*shard{sh}
+	s.placer = newPlacer(s.shards)
+	sh.reqs <- struct{}{} // engine is "busy"; the mailbox is now full
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"dagsched/internal/sim"
+	"dagsched/internal/telemetry"
+	"dagsched/internal/workload"
+)
+
+// A shard is one engine of the serving tier: a goroutine that owns a
+// sim.Session over its slice of the capacity, a Scheduler S instance whose
+// (1+ε) band condition is evaluated against that slice, a telemetry
+// registry, and (when durable) its own WAL and checkpoint. Shards share
+// nothing mutable — the front door routes each submission to exactly one
+// shard and every per-job effect stays inside it — so N shards scale the
+// engine path without a lock anywhere on it.
+//
+// Job IDs are striped: shard i of N assigns i+1, i+1+N, i+2N, …, so IDs are
+// globally unique, ascend within each shard (which sim.Session requires),
+// and a job's owner is recomputable as (id-1) mod N. With one shard the
+// stripe degenerates to 1, 2, 3, … — byte-identical to the unsharded
+// daemon.
+
+// occupier is the optional band-occupancy probe (core.SchedulerS).
+type occupier interface {
+	Occupancy() float64
+}
+
+// queueSizer is the optional queue-depth probe (core.SchedulerS).
+type queueSizer interface {
+	QueueSizes() (q, p int)
+}
+
+// pressureAlpha is the EWMA smoothing factor for the published pressure
+// signal: heavy enough that one parked burst moves the placer, light enough
+// that a transient spike does not pin a shard cold.
+const pressureAlpha = 0.2
+
+type shard struct {
+	srv    *Server
+	idx    int
+	m      int // this shard's processors (PartitionCapacity slice)
+	stride int // total shard count; the ID stripe step
+
+	sched sim.Scheduler
+	adm   admitter // nil when the scheduler has no admission query
+
+	sess   *sim.Session        // engine goroutine only
+	reg    *telemetry.Registry // engine goroutine only
+	lastID int                 // engine goroutine only; last ID this shard assigned
+
+	// Durability state, engine goroutine only (nil/empty without WALDir).
+	walDir         string
+	header         ReplayHeader // the durable header this shard writes
+	wal            *wal
+	hist           []WALJob                  // full accepted history in wire form
+	idem           map[string]StoredResponse // idempotency table (kept even without WAL)
+	checkpoints    int64                     // lifetime checkpoint count
+	lastCheckpoint time.Time
+	lastCkptClock  int64
+	ckptDirty      bool // records appended since the last checkpoint
+
+	recovery *RecoveryInfo // fixed at New; nil on a fresh start
+
+	reqs       chan any
+	engineDone chan struct{}
+	engineErr  atomic.Pointer[string]
+	quiesced   bool // engine goroutine only; set by the drain's first phase
+
+	// Pressure signals published by the engine for the placer. pressure is
+	// the float64 bits of the EWMA of band occupancy + parked fraction;
+	// bandFull flags that the last admission verdict parked (or occupancy
+	// reached 1), so the placer's second choice should spill past us.
+	pressure atomic.Uint64
+	bandFull atomic.Bool
+}
+
+// baseID is lastID before the shard has assigned anything: one stride below
+// its first ID, so the first assignment lands on idx+1.
+func (sh *shard) baseID() int { return sh.idx + 1 - sh.stride }
+
+// engineLoop is the goroutine that owns all of this shard's mutable state.
+func (sh *shard) engineLoop() {
+	defer close(sh.engineDone)
+	var tickC <-chan time.Time
+	if sh.srv.cfg.TickInterval > 0 {
+		ticker := time.NewTicker(sh.srv.cfg.TickInterval)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	for {
+		select {
+		case m := <-sh.reqs:
+			if sh.handle(m) {
+				return
+			}
+		case now := <-tickC:
+			if sh.quiesced {
+				continue // the clock is done moving; finalize fast-forwards
+			}
+			sh.advance(int64(time.Since(sh.srv.start) / sh.srv.cfg.TickInterval))
+			if sh.wal != nil {
+				if err := sh.wal.maybeSync(now); err != nil {
+					sh.degrade("wal sync", err)
+				}
+				sh.maybeCheckpoint(now)
+			}
+		}
+	}
+}
+
+// handle dispatches one mailbox message; it reports whether the engine
+// should exit (after the drain's finalize phase).
+func (sh *shard) handle(m any) bool {
+	switch msg := m.(type) {
+	case submitMsg:
+		msg.reply <- sh.handleSubmit(msg.spec, msg.key)
+	case lookupMsg:
+		msg.reply <- sh.handleLookup(msg.id)
+	case statsMsg:
+		msg.reply <- sh.handleStats()
+	case advanceMsg:
+		if !sh.quiesced {
+			sh.advance(msg.to)
+		}
+		close(msg.reply)
+	case checkpointMsg:
+		switch {
+		case sh.quiesced:
+			msg.reply <- fmt.Errorf("serve: checkpoint after drain")
+		case sh.srv.degraded.Load() != nil:
+			msg.reply <- fmt.Errorf("serve: degraded: %s", sh.srv.Degraded())
+		default:
+			err := sh.checkpointNow()
+			if err != nil {
+				sh.degrade("checkpoint", err)
+			}
+			msg.reply <- err
+		}
+	case quiesceMsg:
+		// Drain phase 1: from here on this shard commits nothing new. Any
+		// submission already in the mailbox is behind this message and will
+		// be answered 503; reads keep working until finalize.
+		sh.quiesced = true
+		close(msg.reply)
+	case finalizeMsg:
+		// Drain phase 2: every shard has quiesced, so no late submission
+		// can interleave into the log this shard is about to seal.
+		msg.reply <- sh.finalize()
+		return true
+	}
+	return false
+}
+
+// advance pushes the session to the given tick. A session error here is
+// terminal for the shard (a scheduler broke its allocation contract); it is
+// surfaced through /v1/stats.
+func (sh *shard) advance(now int64) {
+	if err := sh.sess.AdvanceTo(now); err != nil {
+		msg := err.Error()
+		sh.engineErr.Store(&msg)
+	}
+	sh.publishPressure()
+}
+
+// publishPressure refreshes the signals the placer reads: an EWMA of band
+// occupancy plus the parked-per-processor fraction, and the band-full flag.
+// Engine goroutine only; the placer reads the atomics.
+func (sh *shard) publishPressure() {
+	occ, parked := 0.0, 0
+	if o, ok := sh.sched.(occupier); ok {
+		occ = o.Occupancy()
+	}
+	if qs, ok := sh.sched.(queueSizer); ok {
+		_, parked = qs.QueueSizes()
+	}
+	raw := occ + float64(parked)/float64(max(sh.m, 1))
+	prev := math.Float64frombits(sh.pressure.Load())
+	sh.pressure.Store(math.Float64bits(pressureAlpha*raw + (1-pressureAlpha)*prev))
+	sh.bandFull.Store(occ >= 1)
+}
+
+// pressureScore is the placer's routing key: the engine-published EWMA plus
+// the instantaneous mailbox backlog fraction. Safe from any goroutine.
+func (sh *shard) pressureScore() float64 {
+	return math.Float64frombits(sh.pressure.Load()) +
+		float64(len(sh.reqs))/float64(cap(sh.reqs))
+}
+
+// degrade records the first durability failure at the server level (one
+// degraded shard stops the whole daemon acknowledging — it could otherwise
+// route around its own broken commitment) and counts it on this shard.
+func (sh *shard) degrade(op string, err error) {
+	sh.srv.degrade(sh.idx, op, err)
+	sh.reg.Inc("serve.degraded_events", 1)
+}
+
+// handleSubmit resolves idempotent retries, takes the admit/reject decision,
+// persists it to this shard's WAL (write-ahead: before the session commit,
+// so an acknowledged verdict is never lost to a crash), and commits the
+// arrival to the session and the shared replay log.
+func (sh *shard) handleSubmit(spec JobSpec, key string) submitReply {
+	if sh.srv.draining.Load() || sh.quiesced {
+		return submitReply{status: 503, err: "draining"}
+	}
+	if dp := sh.srv.degraded.Load(); dp != nil {
+		// The daemon cannot make new verdicts durable; stop acknowledging.
+		return submitReply{status: 503, err: "degraded: " + *dp}
+	}
+	if key != "" {
+		if st, ok := sh.idem[key]; ok {
+			st.Resp.Replayed = true
+			sh.reg.Inc("serve.idempotent_replays", 1)
+			return submitReply{status: st.Status, resp: st.Resp}
+		}
+	}
+	g, fn, err := spec.build()
+	if err != nil {
+		sh.reg.Inc("serve.bad_request", 1)
+		return submitReply{status: 400, err: err.Error()}
+	}
+	release := sh.sess.Now()
+	id := sh.lastID + sh.stride
+	job := &sim.Job{ID: id, Graph: g, Release: release, Profit: fn}
+	resp := JobResponse{ID: id, Release: release}
+	resp.Decision, resp.Reason, resp.Plan = decideAdmission(sh.adm, job)
+
+	if resp.Decision == DecisionRejected {
+		resp.ID = 0
+		resp.Commitment = CommitmentNone
+		if key != "" {
+			// Make the verdict durable so a retry after a crash collapses
+			// onto it instead of re-opening the decision.
+			if sh.wal != nil {
+				if err := sh.wal.append(WALReject{Type: "reject", Key: key, Resp: resp}); err != nil {
+					sh.degrade("wal append", err)
+					return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
+				}
+				sh.ckptDirty = true
+			}
+			sh.idem[key] = StoredResponse{Status: 200, Resp: resp}
+		}
+		sh.reg.Inc("serve.rejected", 1)
+		return submitReply{status: 200, resp: resp}
+	}
+
+	resp.Commitment = CommitmentNone
+	if sh.wal != nil {
+		resp.Commitment = CommitmentOnAdmission
+		wire, err := workload.MarshalJob(job)
+		if err != nil {
+			sh.reg.Inc("serve.bad_request", 1)
+			return submitReply{status: 400, err: err.Error()}
+		}
+		rec := WALJob{Type: "job", Key: key, Resp: resp, Job: wire}
+		if err := sh.wal.append(rec); err != nil {
+			// Not durable, so not committed and not acknowledged: the
+			// session never sees the job and the client may retry safely.
+			sh.degrade("wal append", err)
+			return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
+		}
+		sh.hist = append(sh.hist, rec)
+		sh.ckptDirty = true
+	}
+	if err := sh.sess.Arrive(job); err != nil {
+		// Unreachable by construction (fresh ascending ID, release = Now);
+		// surfaced as a server error rather than swallowed. With a WAL the
+		// logged record now disagrees with the engine, so degrade too.
+		sh.reg.Inc("serve.arrive_error", 1)
+		if sh.wal != nil {
+			sh.degrade("arrive after wal append", err)
+		}
+		return submitReply{status: 500, err: err.Error()}
+	}
+	sh.lastID = id
+	sh.reg.Inc("serve.accepted", 1)
+	sh.reg.Inc("serve."+string(resp.Decision), 1)
+	if key != "" {
+		sh.idem[key] = StoredResponse{Status: 200, Resp: resp}
+	}
+	if sh.srv.replay != nil {
+		if err := sh.srv.replay.appendJob(sh.idx, job); err != nil {
+			// The offline-analysis tap failed: the record is lost, which
+			// breaks the log's bit-identical replay guarantee. Count it and
+			// surface the degraded state on /healthz instead of dropping
+			// the error silently.
+			sh.reg.Inc("serve.replay_error", 1)
+			sh.degrade("replay log append", err)
+		}
+	}
+	sh.publishPressure()
+	if resp.Decision == DecisionParked {
+		// Direct evidence the band is full — occupancy alone can miss a
+		// single wide job saturating one band.
+		sh.bandFull.Store(true)
+	}
+	return submitReply{status: 200, resp: resp}
+}
+
+func (sh *shard) handleLookup(id int) lookupReply {
+	stat, state := sh.sess.Lookup(id)
+	if state == sim.JobStateUnknown {
+		return lookupReply{}
+	}
+	return lookupReply{found: true, resp: statusResponse(id, stat, state)}
+}
+
+// handleStats renders this shard's /v1/stats block plus its raw telemetry
+// summary (for the server-level aggregate). It runs on the engine goroutine,
+// or directly from a handler once the engine has exited and the state is
+// sealed.
+func (sh *shard) handleStats() shardStatsReply {
+	sh.reg.SetGauge("serve.queue_depth", float64(len(sh.reqs)))
+	summary := sh.reg.Summary()
+	occ, parked := 0.0, 0
+	if o, ok := sh.sched.(occupier); ok {
+		occ = o.Occupancy()
+	}
+	if qs, ok := sh.sched.(queueSizer); ok {
+		_, parked = qs.QueueSizes()
+	}
+	st := ShardStats{
+		Shard:         sh.idx,
+		M:             sh.m,
+		Now:           sh.sess.Now(),
+		Live:          sh.sess.Live(),
+		Pending:       sh.sess.Pending(),
+		Accepted:      summary.Counters["serve.accepted"],
+		Admitted:      summary.Counters["serve.admitted"],
+		Parked:        summary.Counters["serve.parked"],
+		Rejected:      summary.Counters["serve.rejected"],
+		BandOccupancy: occ,
+		ParkedDepth:   parked,
+		MailboxDepth:  len(sh.reqs),
+		Pressure:      math.Float64frombits(sh.pressure.Load()),
+		Recovery:      sh.recovery,
+	}
+	if ep := sh.engineErr.Load(); ep != nil {
+		st.EngineError = *ep
+	}
+	if sh.wal != nil {
+		st.WAL = &WALStats{
+			Dir:                 sh.walDir,
+			Fsync:               string(sh.srv.cfg.Fsync),
+			Records:             sh.wal.records,
+			Checkpoints:         sh.checkpoints,
+			LastCheckpointClock: sh.lastCkptClock,
+		}
+	}
+	return shardStatsReply{stats: st, summary: summary}
+}
+
+// maybeCheckpoint takes a checkpoint when the cadence has elapsed and the
+// WAL holds records since the last one. Skipped while degraded: a checkpoint
+// from state the WAL may not fully cover could seal the inconsistency in.
+func (sh *shard) maybeCheckpoint(now time.Time) {
+	if sh.srv.cfg.CheckpointInterval < 0 || !sh.ckptDirty || sh.srv.degraded.Load() != nil {
+		return
+	}
+	if now.Sub(sh.lastCheckpoint) < sh.srv.cfg.CheckpointInterval {
+		return
+	}
+	if err := sh.checkpointNow(); err != nil {
+		sh.degrade("checkpoint", err)
+	}
+}
+
+// checkpointNow folds this shard's accepted history, idempotency table,
+// telemetry summary, and session fingerprint into an atomically replaced
+// checkpoint.json in the shard's WAL directory, then truncates its WAL back
+// to the header. Engine goroutine only (or before it starts).
+func (sh *shard) checkpointNow() error {
+	if err := sh.wal.sync(); err != nil {
+		return err
+	}
+	sh.checkpoints++
+	cp := Checkpoint{
+		Type:        "checkpoint",
+		Header:      sh.header,
+		Clock:       sh.sess.Now(),
+		NextID:      sh.lastID,
+		Jobs:        sh.hist,
+		Idem:        sh.idem,
+		Summary:     sh.reg.Summary(),
+		Fingerprint: sh.sess.Fingerprint(),
+		Checkpoints: sh.checkpoints,
+	}
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(sh.walDir, checkpointFileName, frameRecord(payload)); err != nil {
+		return err
+	}
+	if err := sh.wal.reset(cp.Header); err != nil {
+		return err
+	}
+	sh.lastCheckpoint = time.Now()
+	sh.lastCkptClock = cp.Clock
+	sh.ckptDirty = false
+	sh.reg.Inc("serve.checkpoints", 1)
+	return nil
+}
+
+// openDurable recovers any durable state in dir into this shard's fresh
+// session, opens its WAL for appending, and seals the recovered history
+// under a fresh checkpoint so every start leaves a normalized directory.
+// Runs before the engine goroutine starts.
+func (sh *shard) openDurable(dir string) error {
+	sh.walDir = dir
+	rs, err := loadState(dir, sh.header, sh.baseID())
+	if err != nil {
+		return err
+	}
+	if rs != nil {
+		if err := rs.replayInto(sh.sess, sh.adm, sh.reg); err != nil {
+			return err
+		}
+		sh.hist = rs.jobs
+		sh.idem = rs.idem
+		sh.lastID = rs.nextID
+		sh.checkpoints = rs.checkpoints
+		sh.recovery = rs.info()
+		sh.reg.Inc("serve.recoveries", 1)
+	}
+	w, err := openWAL(dir, sh.srv.cfg.Fsync, sh.srv.cfg.FsyncInterval)
+	if err != nil {
+		return fmt.Errorf("serve: wal: %w", err)
+	}
+	sh.wal = w
+	sh.ckptDirty = true // force the normalizing checkpoint even on a fresh dir
+	if err := sh.checkpointNow(); err != nil {
+		w.close()
+		return err
+	}
+	sh.publishPressure()
+	return nil
+}
+
+// finalize is the drain's second phase for this shard: fast-forward the
+// session until every committed job has completed or expired, seal the
+// durable state, and return the shard Result. The caller guarantees every
+// shard has quiesced first, so nothing can append behind the seal.
+func (sh *shard) finalize() *sim.Result {
+	if err := sh.sess.RunToEnd(); err != nil {
+		msg := err.Error()
+		sh.engineErr.Store(&msg)
+	}
+	res := sh.sess.Finish()
+	sh.reg.Inc("serve.drains", 1)
+	if sh.wal != nil {
+		// Seal the drained state: a restart over this directory recovers the
+		// completed history instead of replaying the whole session.
+		if sh.srv.degraded.Load() == nil {
+			if err := sh.checkpointNow(); err != nil {
+				sh.degrade("final checkpoint", err)
+			}
+		}
+		if err := sh.wal.close(); err != nil {
+			sh.degrade("wal close", err)
+		}
+	}
+	return res
+}

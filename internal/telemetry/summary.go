@@ -20,6 +20,55 @@ type HistSummary struct {
 	P99   float64 `json:"p99"`
 }
 
+// Merge folds o into a copy of s and returns it: counters and gauges sum,
+// histogram digests combine exactly on count and extrema while the quantile
+// bounds take the pairwise max (a digest cannot be re-quantiled; the larger
+// bound is still an upper bound). Merging is commutative and associative up
+// to float addition order, so aggregating shard summaries in index order is
+// deterministic. The serving tier folds per-shard registries with it.
+func (s Summary) Merge(o Summary) Summary {
+	out := Summary{}
+	if len(s.Counters)+len(o.Counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.Counters)+len(o.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+		for k, v := range o.Counters {
+			out.Counters[k] += v
+		}
+	}
+	if len(s.Gauges)+len(o.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(s.Gauges)+len(o.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range o.Gauges {
+			out.Gauges[k] += v
+		}
+	}
+	if len(s.Hists)+len(o.Hists) > 0 {
+		out.Hists = make(map[string]HistSummary, len(s.Hists)+len(o.Hists))
+		for k, v := range s.Hists {
+			out.Hists[k] = v
+		}
+		for k, v := range o.Hists {
+			have, ok := out.Hists[k]
+			if !ok {
+				out.Hists[k] = v
+				continue
+			}
+			out.Hists[k] = HistSummary{
+				Count: have.Count + v.Count,
+				Min:   min(have.Min, v.Min),
+				Max:   max(have.Max, v.Max),
+				P50:   max(have.P50, v.P50),
+				P99:   max(have.P99, v.P99),
+			}
+		}
+	}
+	return out
+}
+
 // Summary snapshots the registry. The receiver may be nil (zero Summary).
 func (r *Registry) Summary() Summary {
 	var s Summary
