@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet fmt check race bench bench-guard suite examples fuzz trace-demo api-check api-update chaos
+.PHONY: all build test vet fmt check race bench bench-guard obs-guard suite examples fuzz trace-demo api-check api-update chaos
 
 all: vet test
 
@@ -21,7 +21,7 @@ fmt:
 # public-API snapshot, and the crash-safety chaos harness. The telemetry
 # package is vetted on its own so a vet regression there is named in the
 # output.
-check: fmt vet build test bench-guard api-check chaos
+check: fmt vet build test bench-guard obs-guard api-check chaos
 	go vet ./internal/telemetry/
 
 # Crash-safety harness: SIGKILL the serving daemon under concurrent load at
@@ -53,6 +53,13 @@ bench-guard:
 	SPAA_BENCH_GUARD=1 go test -run TestShardedEnginePathGuard -count=1 ./internal/serve/
 	go test -run xxx -bench 'BenchmarkEngine|BenchmarkSpeedScaledRun|BenchmarkOptUpperBound' -benchtime=100x .
 	go test -run xxx -bench . -benchtime=100x ./internal/sim/ ./internal/queue/ ./internal/core/
+
+# Observability cost gate: the instrumented engine path (stage timers +
+# /metrics histograms) must stay within 5% of the nil-registry path — the
+# zero-cost-when-nil idiom, measured against the BENCH_PR7 engine baseline
+# (see TestObsOverheadGuard and BENCH_PR8.json for methodology).
+obs-guard:
+	SPAA_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 ./internal/serve/
 
 # -race across every package; the runner's worker pool and the parallel
 # experiment grids are the concurrency under test.

@@ -4,6 +4,14 @@
 // clock, and every accepted arrival lands in a replay log that re-simulates
 // bit-identically offline (spaa-sim over the logged instance).
 //
+// Observability: GET /metrics on the serving address exposes the Prometheus
+// text scrape; -debug-addr opens a second listener with /metrics,
+// /debug/requests (recent submissions as a Perfetto trace), and
+// net/http/pprof, so profile captures never compete with serving traffic.
+// Operational records go to stderr as structured logs (-log-format text or
+// json, -log-level debug..error); -log-level=debug logs every submission
+// with its request ID and shard.
+//
 // SIGTERM or SIGINT drains gracefully: new submissions are rejected with
 // 503, committed jobs run to completion in simulated time, and the final
 // aggregate Result is printed to stdout.
@@ -15,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,28 +35,55 @@ import (
 	"dagsched/internal/serve"
 )
 
+// newLogger builds the daemon's stderr logger from the -log-format and
+// -log-level flags. The Result JSON contract is untouched: logs go to
+// stderr, the drained Result alone goes to stdout.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		m        = flag.Int("m", 1, "number of identical processors")
-		shards   = flag.Int("shards", 1, "engine shards behind the pressure-aware placer (1 ≤ shards ≤ m)")
-		sched    = flag.String("sched", "s", "scheduler: "+strings.Join(cliflags.SchedulerNames, ", "))
-		eps      = flag.Float64("eps", 1.0, "epsilon for the paper schedulers")
-		speedStr = flag.String("speed", "1", "machine speed (int, p/q, or float)")
-		tick     = flag.Duration("tick", serve.DefaultTickInterval, "wall-clock duration of one simulated tick")
-		queue    = flag.Int("queue", 64, "submission mailbox depth (full queue answers 429)")
-		replay   = flag.String("replay", "", "append accepted arrivals to this replay log file")
-		walDir   = flag.String("wal-dir", "", "write-ahead log directory; enables durable commitment and crash recovery")
-		fsyncStr = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
-		fsyncInt = flag.Duration("fsync-interval", serve.DefaultFsyncInterval, "flush cadence under -fsync=interval")
-		ckptInt  = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "checkpoint cadence (negative: only at drain)")
-		maxBody  = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "largest POST /v1/jobs body in bytes (413 above)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "diagnostics listen address: /metrics, /debug/requests, and net/http/pprof (empty: disabled)")
+		m         = flag.Int("m", 1, "number of identical processors")
+		shards    = flag.Int("shards", 1, "engine shards behind the pressure-aware placer (1 ≤ shards ≤ m)")
+		sched     = flag.String("sched", "s", "scheduler: "+strings.Join(cliflags.SchedulerNames, ", "))
+		eps       = flag.Float64("eps", 1.0, "epsilon for the paper schedulers")
+		speedStr  = flag.String("speed", "1", "machine speed (int, p/q, or float)")
+		tick      = flag.Duration("tick", serve.DefaultTickInterval, "wall-clock duration of one simulated tick")
+		queue     = flag.Int("queue", 64, "submission mailbox depth (full queue answers 429)")
+		replay    = flag.String("replay", "", "append accepted arrivals to this replay log file")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory; enables durable commitment and crash recovery")
+		fsyncStr  = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
+		fsyncInt  = flag.Duration("fsync-interval", serve.DefaultFsyncInterval, "flush cadence under -fsync=interval")
+		ckptInt   = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "checkpoint cadence (negative: only at drain)")
+		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "largest POST /v1/jobs body in bytes (413 above)")
+		logFormat = flag.String("log-format", "text", "structured log format on stderr: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, or error (debug logs every submission)")
+		traceDeep = flag.Int("trace-depth", serve.DefaultTraceDepth, "request traces kept for /debug/requests")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cliflags.FatalUsage("spaa-serve", fmt.Errorf("unexpected arguments: %v", flag.Args()))
 	}
 
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		cliflags.FatalUsage("spaa-serve", err)
+	}
 	speed, err := cliflags.ParseSpeed(*speedStr)
 	if err != nil {
 		cliflags.FatalUsage("spaa-serve", err)
@@ -72,6 +108,8 @@ func main() {
 		FsyncInterval:      *fsyncInt,
 		CheckpointInterval: *ckptInt,
 		MaxBodyBytes:       *maxBody,
+		Logger:             logger,
+		TraceDepth:         *traceDeep,
 	}
 	var logFile *os.File
 	if *replay != "" {
@@ -92,17 +130,23 @@ func main() {
 	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "spaa-serve: %s scheduler on %d processors (%d shard(s)), listening on %s\n",
-		srv.Scheduler(), *m, srv.Shards(), *addr)
-	if rec := srv.Recovery(); rec != nil && rec.Recovered {
-		fmt.Fprintf(os.Stderr,
-			"spaa-serve: recovered %d jobs to clock %d (checkpoint clock %d, %d WAL records, %d torn bytes cut)\n",
-			rec.Jobs, rec.Clock, rec.CheckpointClock, rec.WALJobs, rec.TornBytes)
+	logger.Info("listening",
+		"addr", *addr, "scheduler", srv.Scheduler(), "m", *m, "shards", srv.Shards())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener", "addr", *debugAddr)
 	}
 
 	select {
 	case sig := <-sigC:
-		fmt.Fprintf(os.Stderr, "spaa-serve: %v, draining\n", sig)
+		logger.Info("draining", "signal", sig.String())
 	case err := <-serveErr:
 		cliflags.Fail("spaa-serve", err)
 	}
@@ -111,11 +155,16 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "spaa-serve: shutdown: %v\n", err)
+		logger.Error("shutdown", "err", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug shutdown", "err", err)
+		}
 	}
 	if logFile != nil {
 		if err := logFile.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "spaa-serve: replay log: %v\n", err)
+			logger.Error("replay log close", "err", err)
 		}
 	}
 	out, err := json.MarshalIndent(res, "", "  ")

@@ -90,6 +90,9 @@ type (
 	TelemetryEvent = telemetry.Event
 	// TelemetrySummary is a JSON-ready snapshot of a Registry.
 	TelemetrySummary = telemetry.Summary
+	// TelemetryHistSummary digests one histogram inside a TelemetrySummary:
+	// sample count, extrema, and quantile estimates.
+	TelemetryHistSummary = telemetry.HistSummary
 	// Trace is a full per-tick execution record (SimConfig.Record).
 	Trace = sim.Trace
 	// RouteStats counts RunAuto's engine choices across runs.

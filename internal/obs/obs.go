@@ -1,0 +1,223 @@
+// Package obs is the serving tier's zero-dependency observability layer: a
+// hand-rolled Prometheus text-exposition writer over telemetry registries,
+// request-scoped trace capture (a request ID threaded through every stage of
+// the submission path with per-stage timestamps), and a bounded ring the
+// HTTP layer deposits completed request traces into for Perfetto export.
+//
+// Everything here is stdlib-only and deterministic: families and samples are
+// written in sorted order, histogram buckets are fixed power-of-two edges, so
+// two scrapes of the same state produce byte-identical expositions and the
+// format can be pinned by a golden test.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dagsched/internal/telemetry"
+)
+
+// Kind is a Prometheus metric family type.
+type Kind uint8
+
+const (
+	// Counter is a monotonically increasing count; exposed with a _total
+	// suffix by convention (the caller bakes it into Desc.Name).
+	Counter Kind = iota
+	// Gauge is a point-in-time value.
+	Gauge
+	// Histogram is a fixed-bucket distribution: _bucket lines with
+	// cumulative counts at power-of-two le edges, plus _sum and _count.
+	Histogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Counter:
+		return "counter"
+	case Gauge:
+		return "gauge"
+	case Histogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Desc names one metric family: its exposition name (already in Prometheus
+// form, e.g. "serve_accepted_total"), help text, and kind.
+type Desc struct {
+	Name string
+	Help string
+	Kind Kind
+}
+
+// maxBucketExp caps the exposed histogram edges at 2^maxBucketExp; every
+// telemetry bucket above it folds into the +Inf line. With microsecond
+// samples 2^24 ≈ 16.8 s, generous for any serving-path latency.
+const maxBucketExp = 24
+
+// Exposition accumulates one scrape: families keyed by name, each holding
+// labeled samples. Build it fresh per scrape; it is not concurrency-safe.
+type Exposition struct {
+	fams map[string]*family
+}
+
+type family struct {
+	d       Desc
+	samples []sample
+}
+
+type sample struct {
+	labels string // rendered label block without braces, "" for none
+	value  float64
+	hist   *telemetry.Histogram // histogram kind only (nil = all-zero)
+}
+
+// NewExposition returns an empty scrape.
+func NewExposition() *Exposition {
+	return &Exposition{fams: make(map[string]*family)}
+}
+
+func (e *Exposition) fam(d Desc) *family {
+	f, ok := e.fams[d.Name]
+	if !ok {
+		f = &family{d: d}
+		e.fams[d.Name] = f
+	}
+	return f
+}
+
+// Declare registers a family with no samples yet, so the scrape carries its
+// HELP and TYPE lines even before the first observation — scrape-stable
+// inventories pin on this.
+func (e *Exposition) Declare(d Desc) { e.fam(d) }
+
+// Add appends one sample. labels are alternating key, value pairs and are
+// rendered in the given order; callers keep the order consistent so samples
+// of one family sort deterministically.
+func (e *Exposition) Add(d Desc, v float64, labels ...string) {
+	e.fam(d).samples = append(e.fam(d).samples, sample{labels: renderLabels(labels), value: v})
+}
+
+// AddInt is Add for integer-valued counters and gauges.
+func (e *Exposition) AddInt(d Desc, v int64, labels ...string) {
+	e.Add(d, float64(v), labels...)
+}
+
+// AddHist appends one histogram sample set. A nil histogram renders as an
+// all-zero distribution, so a declared latency metric is present on every
+// scrape whether or not a sample has landed yet.
+func (e *Exposition) AddHist(d Desc, h *telemetry.Histogram, labels ...string) {
+	e.fam(d).samples = append(e.fam(d).samples, sample{labels: renderLabels(labels), hist: h})
+}
+
+// renderLabels renders alternating key, value pairs as `k1="v1",k2="v2"`.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes HELP text: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a sample value the way Prometheus clients do: integers
+// without an exponent, everything else in Go's shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write renders the exposition: families sorted by name, each with # HELP
+// and # TYPE lines followed by its samples sorted by label block.
+func (e *Exposition) Write(w io.Writer) error {
+	names := make([]string, 0, len(e.fams))
+	for name := range e.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := e.fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(f.d.Help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.d.Kind)
+		samples := append([]sample(nil), f.samples...)
+		sort.SliceStable(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		for _, s := range samples {
+			if f.d.Kind == Histogram {
+				writeHist(&b, name, s)
+				continue
+			}
+			if s.labels == "" {
+				fmt.Fprintf(&b, "%s %s\n", name, formatValue(s.value))
+			} else {
+				fmt.Fprintf(&b, "%s{%s} %s\n", name, s.labels, formatValue(s.value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHist renders one histogram sample set: cumulative _bucket lines at
+// le = 1, 2, 4, …, 2^maxBucketExp, then +Inf, _sum, and _count.
+func writeHist(b *strings.Builder, name string, s sample) {
+	counts := s.hist.BucketCounts()
+	var cum int64
+	var fsum float64
+	var count int64
+	if s.hist != nil {
+		fsum = s.hist.Sum
+		count = s.hist.Count
+	}
+	sep := ""
+	if s.labels != "" {
+		sep = ","
+	}
+	for i := 0; i <= maxBucketExp; i++ {
+		cum += counts[i]
+		edge := int64(1) << uint(i)
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%d\"} %d\n", name, s.labels, sep, edge, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, s.labels, sep, count)
+	if s.labels == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(fsum))
+		fmt.Fprintf(b, "%s_count %d\n", name, count)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, s.labels, formatValue(fsum))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, s.labels, count)
+	}
+}

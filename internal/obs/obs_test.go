@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dagsched/internal/telemetry"
+)
+
+func render(t *testing.T, e *Exposition) string {
+	t.Helper()
+	var b strings.Builder
+	if err := e.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return b.String()
+}
+
+func TestExpositionCounterAndGauge(t *testing.T) {
+	e := NewExposition()
+	cd := Desc{Name: "serve_accepted_total", Help: "Accepted submissions.", Kind: Counter}
+	gd := Desc{Name: "serve_ready", Help: "1 when ready.", Kind: Gauge}
+	e.AddInt(cd, 42)
+	e.Add(gd, 1)
+	got := render(t, e)
+	want := "# HELP serve_accepted_total Accepted submissions.\n" +
+		"# TYPE serve_accepted_total counter\n" +
+		"serve_accepted_total 42\n" +
+		"# HELP serve_ready 1 when ready.\n" +
+		"# TYPE serve_ready gauge\n" +
+		"serve_ready 1\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionFamiliesSortedByName(t *testing.T) {
+	e := NewExposition()
+	e.AddInt(Desc{Name: "zzz_total", Kind: Counter}, 1)
+	e.AddInt(Desc{Name: "aaa_total", Kind: Counter}, 2)
+	got := render(t, e)
+	if strings.Index(got, "aaa_total") > strings.Index(got, "zzz_total") {
+		t.Fatalf("families not sorted:\n%s", got)
+	}
+}
+
+func TestExpositionLabeledSamplesSorted(t *testing.T) {
+	e := NewExposition()
+	d := Desc{Name: "serve_band_occupancy", Help: "Occupied nodes.", Kind: Gauge}
+	e.AddInt(d, 7, "shard", "2")
+	e.AddInt(d, 3, "shard", "0")
+	e.AddInt(d, 5, "shard", "1")
+	got := render(t, e)
+	want := "# HELP serve_band_occupancy Occupied nodes.\n" +
+		"# TYPE serve_band_occupancy gauge\n" +
+		`serve_band_occupancy{shard="0"} 3` + "\n" +
+		`serve_band_occupancy{shard="1"} 5` + "\n" +
+		`serve_band_occupancy{shard="2"} 7` + "\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionDeclareEmitsHeaderOnly(t *testing.T) {
+	e := NewExposition()
+	e.Declare(Desc{Name: "serve_drains_total", Help: "Completed drains.", Kind: Counter})
+	got := render(t, e)
+	want := "# HELP serve_drains_total Completed drains.\n# TYPE serve_drains_total counter\n"
+	if got != want {
+		t.Fatalf("declared family:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionHistogram(t *testing.T) {
+	h := &telemetry.Histogram{}
+	h.Observe(0)  // bucket 0, le="1"
+	h.Observe(3)  // bucket 2, le="4"
+	h.Observe(3)  // bucket 2, le="4"
+	h.Observe(40) // bucket 6, le="64"
+	e := NewExposition()
+	d := Desc{Name: "serve_submit_engine_us", Help: "Engine-path submit latency.", Kind: Histogram}
+	e.AddHist(d, h, "shard", "0")
+	got := render(t, e)
+	checks := []string{
+		`serve_submit_engine_us_bucket{shard="0",le="1"} 1`,
+		`serve_submit_engine_us_bucket{shard="0",le="2"} 1`,
+		`serve_submit_engine_us_bucket{shard="0",le="4"} 3`,
+		`serve_submit_engine_us_bucket{shard="0",le="32"} 3`,
+		`serve_submit_engine_us_bucket{shard="0",le="64"} 4`,
+		`serve_submit_engine_us_bucket{shard="0",le="16777216"} 4`,
+		`serve_submit_engine_us_bucket{shard="0",le="+Inf"} 4`,
+		`serve_submit_engine_us_sum{shard="0"} 46`,
+		`serve_submit_engine_us_count{shard="0"} 4`,
+	}
+	for _, c := range checks {
+		if !strings.Contains(got, c+"\n") {
+			t.Errorf("missing line %q in:\n%s", c, got)
+		}
+	}
+}
+
+func TestExpositionHistogramCumulativeMonotone(t *testing.T) {
+	h := &telemetry.Histogram{}
+	for _, v := range []float64{0, 1, 2, 5, 100, 1e9} {
+		h.Observe(v)
+	}
+	e := NewExposition()
+	e.AddHist(Desc{Name: "m", Kind: Histogram}, h)
+	got := render(t, e)
+	var prev int64 = -1
+	n := 0
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "m_bucket{") {
+			continue
+		}
+		n++
+		var c int64
+		if _, err := fmtSscan(line, &c); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if c < prev {
+			t.Fatalf("bucket counts not cumulative at %q (prev %d)", line, prev)
+		}
+		prev = c
+	}
+	if n != maxBucketExp+2 {
+		t.Fatalf("expected %d bucket lines, got %d", maxBucketExp+2, n)
+	}
+	// 1e9 is above 2^24, so +Inf must exceed the last finite bucket.
+	if !strings.Contains(got, `m_bucket{le="16777216"} 5`) || !strings.Contains(got, `m_bucket{le="+Inf"} 6`) {
+		t.Fatalf("overflow sample not folded into +Inf only:\n%s", got)
+	}
+}
+
+// fmtSscan pulls the trailing integer off an exposition line.
+func fmtSscan(line string, out *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := strconv.ParseInt(line[i+1:], 10, 64)
+	*out = v
+	return 1, err
+}
+
+func TestExpositionNilHistogramRendersZero(t *testing.T) {
+	e := NewExposition()
+	e.AddHist(Desc{Name: "m", Kind: Histogram}, nil, "shard", "0")
+	got := render(t, e)
+	for _, c := range []string{
+		`m_bucket{shard="0",le="1"} 0`,
+		`m_bucket{shard="0",le="+Inf"} 0`,
+		`m_sum{shard="0"} 0`,
+		`m_count{shard="0"} 0`,
+	} {
+		if !strings.Contains(got, c+"\n") {
+			t.Errorf("missing %q in:\n%s", c, got)
+		}
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	e := NewExposition()
+	d := Desc{Name: "m", Help: "line1\nline2 \\ tail", Kind: Gauge}
+	e.Add(d, 1, "k", `va"l\ue`+"\n")
+	got := render(t, e)
+	if !strings.Contains(got, `# HELP m line1\nline2 \\ tail`) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `m{k="va\"l\\ue\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", got)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {-3, "-3"}, {1.5, "1.5"}, {0.25, "0.25"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(ReqTrace{ID: string(rune('a' + i - 1)), JobID: i})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len(snapshot) = %d, want 3", len(snap))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if snap[i].JobID != want {
+			t.Errorf("snapshot[%d].JobID = %d, want %d (oldest-first)", i, snap[i].JobID, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var r *TraceRing
+	r.Add(ReqTrace{ID: "x"})
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil ring snapshot = %v, want nil", s)
+	}
+	if r.Total() != 0 {
+		t.Fatalf("nil ring total = %d", r.Total())
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				r.Add(ReqTrace{ID: "c", Stages: []Stage{{Name: "received", At: time.Unix(0, int64(i))}}})
+				r.Snapshot()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if r.Total() != 400 {
+		t.Fatalf("Total = %d, want 400", r.Total())
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("id lengths %d/%d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatalf("consecutive ids equal: %s", a)
+	}
+	for _, c := range a {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("non-hex char %q in %s", c, a)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A request trace dissects one submission end to end: the HTTP layer stamps
+// receipt and routing, the shard engine stamps dequeue, WAL append, and
+// session commit, and the handler closes the trace when the response is
+// written. Stages are ordered marks; the span between two consecutive marks
+// is where that much of the request's latency went (the 14× wire-vs-engine
+// gap is exactly the gap between "received" and "dequeued" plus the reply
+// hop). trace.RequestSpans renders a ring snapshot as Perfetto tracks.
+
+// Stage is one timestamped mark on a request's path. Canonical names, in
+// order: received, routed, dequeued, wal_appended, committed, replied — a
+// stage that did not happen (no WAL, rejected before commit) is absent.
+type Stage struct {
+	Name string
+	At   time.Time
+}
+
+// ReqTrace is one completed request's trace.
+type ReqTrace struct {
+	ID       string // request ID (client-supplied X-Request-Id or generated)
+	Shard    int    // shard the placer picked
+	Route    string // placer decision: keyed, pressure, or spill
+	JobID    int    // server-assigned ID (0 when rejected)
+	Decision string // admission verdict
+	Stages   []Stage
+}
+
+// TraceRing is a bounded, concurrency-safe ring of the most recent request
+// traces. A nil ring ignores writes and snapshots empty, the zero-cost-when-
+// disabled idiom of the telemetry layer.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []ReqTrace
+	next  int
+	total int64
+}
+
+// NewTraceRing returns a ring holding the n most recent traces (n ≥ 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]ReqTrace, 0, n)}
+}
+
+// Add deposits one completed trace, evicting the oldest when full.
+func (r *TraceRing) Add(t ReqTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+		return
+	}
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Snapshot returns the retained traces oldest-first.
+func (r *TraceRing) Snapshot() []ReqTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ReqTrace, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many traces were ever added (including evicted ones).
+func (r *TraceRing) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+var reqIDCounter atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request ID. Random when the
+// platform provides entropy; a process-local counter otherwise, so ID
+// generation can never fail a request.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqIDCounter.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * uint(7-i)))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -74,7 +74,7 @@ func BenchmarkSubmissionsEngine(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep := sh.handleSubmit(spec, "")
+		rep := sh.handleSubmit(spec, "", nil)
 		if rep.status != http.StatusOK {
 			b.Fatalf("status %d: %s", rep.status, rep.err)
 		}
@@ -102,7 +102,7 @@ func shardedEngineLoop(b *testing.B, srv *Server) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sh := srv.shards[i%n]
-		rep := sh.handleSubmit(spec, "")
+		rep := sh.handleSubmit(spec, "", nil)
 		if rep.status != http.StatusOK {
 			b.Fatalf("status %d: %s", rep.status, rep.err)
 		}
@@ -157,7 +157,7 @@ func BenchmarkSubmissionsWAL(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rep := sh.handleSubmit(spec, "")
+				rep := sh.handleSubmit(spec, "", nil)
 				if rep.status != http.StatusOK {
 					b.Fatalf("status %d: %s", rep.status, rep.err)
 				}

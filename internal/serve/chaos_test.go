@@ -289,6 +289,36 @@ func runChaos(t *testing.T, seed int64, shards int) {
 	child2.waitReady(t)
 	client := &http.Client{Timeout: 10 * time.Second}
 
+	// The recovered daemon's scrape must prove the recovery happened and
+	// that the monotone counters never regress below what the pre-crash WAL
+	// durably recorded: every job acked before the kill (fsync=always, so
+	// acked ⇒ logged) is re-counted into serve_accepted_total by replay.
+	var ackedCommitted int64
+	for _, jr := range acked {
+		if jr.ID > 0 {
+			ackedCommitted++
+		}
+	}
+	m := scrapeMetrics(t, "http://"+child2.addr+"/metrics")
+	// Replay only covers the post-checkpoint WAL tail (the child checkpoints
+	// aggressively), so the replayed counter is asserted present per shard,
+	// not bounded against the ack count.
+	for i := 0; i < shards; i++ {
+		if _, ok := m[fmt.Sprintf(`serve_recovery_replayed_total{shard="%d"}`, i)]; !ok {
+			t.Errorf("serve_recovery_replayed_total{shard=%d} missing from the post-recovery scrape", i)
+		}
+	}
+	if got := metricSum(m, "serve_recovery_duration_us_count{"); got < 1 {
+		t.Errorf("serve_recovery_duration_us_count sums to %v after restart, want ≥ 1", got)
+	}
+	if got := metricSum(m, "serve_recoveries_total{"); got < 1 {
+		t.Errorf("serve_recoveries_total sums to %v after restart, want ≥ 1", got)
+	}
+	if got := metricSum(m, "serve_accepted_total{"); got < float64(ackedCommitted) {
+		t.Errorf("serve_accepted_total sums to %v after recovery, below the %d committed acks the WAL holds — monotone counter regressed",
+			got, ackedCommitted)
+	}
+
 	// No acknowledged job is lost, no verdict changes: a retry of every acked
 	// key returns the original response, marked replayed.
 	committed := map[int]bool{}

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"dagsched/internal/dag"
+	"dagsched/internal/obs"
 	"dagsched/internal/profit"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
@@ -256,6 +259,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStatsGet)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/drain", s.handleDrainPost)
@@ -272,7 +276,63 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // engine's dedup table and every checkpoint, so they must stay small.
 const maxIdempotencyKeyLen = 128
 
+// maxRequestIDLen bounds the X-Request-Id header: client-supplied IDs are
+// recorded in WAL and route records, so they must stay small too.
+const maxRequestIDLen = 128
+
 func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
+	received := time.Now()
+	reqID := r.Header.Get("X-Request-Id")
+	persist := reqID != ""
+	if len(reqID) > maxRequestIDLen {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("request id longer than %d bytes", maxRequestIDLen),
+		})
+		return
+	}
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	// finish deposits the request trace, the HTTP latency sample, and the
+	// structured submission record — every exit path of the submission route
+	// goes through it, so a 429 is as traceable as a committed job.
+	finish := func(status int, sh *shard, route string, tr *submitTrace, resp *JobResponse) {
+		now := time.Now()
+		s.metrics.observe("serve.http.jobs_us", float64(now.Sub(received).Microseconds()))
+		rt := obs.ReqTrace{ID: reqID, Shard: -1, Route: route, Stages: make([]obs.Stage, 0, 5)}
+		if sh != nil {
+			rt.Shard = sh.idx
+		}
+		rt.Stages = append(rt.Stages, obs.Stage{Name: "received", At: received})
+		if tr != nil {
+			for _, st := range []obs.Stage{
+				{Name: "dequeued", At: tr.dequeued},
+				{Name: "wal_appended", At: tr.walAppended},
+				{Name: "committed", At: tr.committed},
+			} {
+				if !st.At.IsZero() {
+					rt.Stages = append(rt.Stages, st)
+				}
+			}
+		}
+		rt.Stages = append(rt.Stages, obs.Stage{Name: "replied", At: now})
+		if resp != nil {
+			rt.JobID = resp.ID
+			rt.Decision = string(resp.Decision)
+		}
+		s.traces.Add(rt)
+		if lg := s.logger(); lg.Enabled(r.Context(), slog.LevelDebug) {
+			attrs := []any{"reqId", reqID, "status", status, "us", now.Sub(received).Microseconds()}
+			if sh != nil {
+				attrs = append(attrs, "shard", sh.idx, "route", route)
+			}
+			if resp != nil {
+				attrs = append(attrs, "id", resp.ID, "decision", resp.Decision)
+			}
+			lg.Debug("submission", attrs...)
+		}
+	}
 	key := r.Header.Get("Idempotency-Key")
 	if len(key) > maxIdempotencyKeyLen {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
@@ -299,15 +359,18 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
+		finish(http.StatusServiceUnavailable, nil, "", nil, nil)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
 		return
 	}
-	sh := s.placer.route(key)
-	msg := submitMsg{spec: spec, key: key, reply: make(chan submitReply, 1)}
+	sh, route := s.placer.routeTraced(key)
+	tr := &submitTrace{reqID: reqID, persist: persist, enqueued: time.Now()}
+	msg := submitMsg{spec: spec, key: key, tr: tr, reply: make(chan submitReply, 1)}
 	select {
 	case sh.reqs <- msg:
 	default:
 		// Mailbox full: the shard is behind. Backpressure, don't block.
+		finish(http.StatusTooManyRequests, sh, route, nil, nil)
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "submission queue full"})
 		return
 	}
@@ -315,13 +378,16 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// Enqueued but never dequeued: the engine drained first, so the job
 		// was not committed.
+		finish(http.StatusServiceUnavailable, sh, route, nil, nil)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
 		return
 	}
 	if rep.status != http.StatusOK {
+		finish(rep.status, sh, route, tr, nil)
 		writeJSON(w, rep.status, errorResponse{Error: rep.err})
 		return
 	}
+	finish(http.StatusOK, sh, route, tr, &rep.resp)
 	writeJSON(w, http.StatusOK, rep.resp)
 }
 
@@ -353,16 +419,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsGet(w http.ResponseWriter, r *http.Request) {
-	replies := make([]shardStatsReply, len(s.shards))
-	for i, sh := range s.shards {
-		msg := statsMsg{reply: make(chan shardStatsReply, 1)}
-		rep, ok := ask(sh, msg.reply, msg)
-		if !ok {
-			rep = sh.handleStats() // engine exited; state is sealed and safe to read
-		}
-		replies[i] = rep
-	}
-	writeJSON(w, http.StatusOK, s.aggregateStats(replies))
+	writeJSON(w, http.StatusOK, s.aggregateStats(s.gatherShardStats()))
 }
 
 // aggregateStats folds per-shard stats into the daemon-level response. The
@@ -433,18 +490,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: route work here only when a submission would be
-// accepted. 503 during recovery replay, drain, and degraded operation.
+// accepted. 503 during recovery replay, drain, and degraded operation; the
+// body's machine-readable reason says which, and each 503 counts toward
+// serve_not_ready_total{reason=...}.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case s.Ready():
+	if s.Ready() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-	case s.Degraded() != "" || s.engineError() != "":
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
-	default:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		return
 	}
+	var reason string
+	switch {
+	case s.draining.Load():
+		reason = reasonDraining
+	case s.Degraded() != "" || s.engineError() != "":
+		reason = reasonDegraded
+	default:
+		reason = reasonRecovering
+	}
+	s.metrics.inc("serve.not_ready."+reason, 1)
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason, "reason": reason})
 }
 
 func (s *Server) handleDrainPost(w http.ResponseWriter, r *http.Request) {

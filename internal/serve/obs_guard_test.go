@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"testing"
+)
+
+// engineCost measures the per-submission engine-path cost of a fresh
+// single-shard daemon, with the shard's observability registry either live
+// (the instrumented path: stage timers + histogram observes) or nil (the
+// zero-cost idiom: every timer is gated behind one pointer check).
+func engineCost(b2 *testing.T, instrumented bool) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		srv, err := New(Config{M: 8, QueueDepth: 1, TickInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Drain()
+		parkEngines(b, srv)
+		sh := srv.shards[0]
+		if !instrumented {
+			sh.obsReg = nil // engine parked: only this goroutine touches it
+		}
+		spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+		clock := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := sh.handleSubmit(spec, "", nil)
+			if rep.status != http.StatusOK {
+				b.Fatalf("status %d: %s", rep.status, rep.err)
+			}
+			if i%64 == 63 {
+				clock += 8
+				sh.advance(clock)
+			}
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+// TestObsOverheadGuard is the PR 8 observability cost gate, run by
+// `make obs-guard` with SPAA_OBS_GUARD=1 (skipped otherwise: it runs real
+// benchmarks and is too noisy for the ordinary test suite).
+//
+// The instrumented engine path adds two monotonic-clock reads and one
+// histogram observe per submission against the nil-registry path, which
+// compiles down to a single pointer check. The gate pins the instrumented
+// cost at ≤ 1.05× the nil-path cost (the BENCH_PR7 engine baseline), so the
+// always-on /metrics pipeline can never quietly grow into a tax on the
+// submission path. Runs are interleaved and the best of each side is
+// compared, which cancels the shared-host noise that a single pair of runs
+// would inherit.
+func TestObsOverheadGuard(t *testing.T) {
+	if os.Getenv("SPAA_OBS_GUARD") == "" {
+		t.Skip("set SPAA_OBS_GUARD=1 to run the observability overhead gate")
+	}
+	const rounds = 3
+	best := func(vals []float64) float64 {
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	var on, off []float64
+	for i := 0; i < rounds; i++ {
+		off = append(off, engineCost(t, false))
+		on = append(on, engineCost(t, true))
+	}
+	onNs, offNs := best(on), best(off)
+	ratio := onNs / offNs
+	t.Logf("engine path: %.0f ns/op instrumented vs %.0f ns/op nil-registry (ratio %.3f)",
+		onNs, offNs, ratio)
+	if ratio > 1.05 {
+		t.Errorf("instrumented engine path costs %.3fx the nil-registry path (budget 1.05x)", ratio)
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
-import "hash/fnv"
+import (
+	"hash/fnv"
+	"sync/atomic"
+)
 
 // The placer is the front door of the sharded serving tier: every POST
 // /v1/jobs picks exactly one shard before touching any engine mailbox.
@@ -23,19 +26,45 @@ import "hash/fnv"
 //     job earns profit where a parked one may expire.
 type placer struct {
 	shards []*shard
+
+	// Decision counters for /metrics (serve_placer_decisions_total): how many
+	// submissions were routed by keyed affinity, by lowest pressure, and by
+	// the second-choice spill. Handlers route concurrently, hence atomics.
+	keyed    atomic.Int64
+	pressure atomic.Int64
+	spill    atomic.Int64
 }
+
+// Placer decision labels, shared by /metrics and the request trace.
+const (
+	routeKeyed    = "keyed"
+	routePressure = "pressure"
+	routeSpill    = "spill"
+)
 
 func newPlacer(shards []*shard) *placer { return &placer{shards: shards} }
 
 // route picks the shard for one submission.
 func (p *placer) route(key string) *shard {
-	if len(p.shards) == 1 {
-		return p.shards[0]
-	}
+	sh, _ := p.routeTraced(key)
+	return sh
+}
+
+// routeTraced picks the shard and reports which policy leg decided — the
+// label the decision counters and the request trace carry.
+func (p *placer) routeTraced(key string) (*shard, string) {
 	if key != "" {
+		p.keyed.Add(1)
+		if len(p.shards) == 1 {
+			return p.shards[0], routeKeyed
+		}
 		h := fnv.New32a()
 		h.Write([]byte(key))
-		return p.shards[int(h.Sum32())%len(p.shards)]
+		return p.shards[int(h.Sum32())%len(p.shards)], routeKeyed
+	}
+	if len(p.shards) == 1 {
+		p.pressure.Add(1)
+		return p.shards[0], routePressure
 	}
 	best, second := -1, -1
 	var bestScore, secondScore float64
@@ -50,9 +79,11 @@ func (p *placer) route(key string) *shard {
 		}
 	}
 	if p.shards[best].bandFull.Load() && !p.shards[second].bandFull.Load() {
-		return p.shards[second]
+		p.spill.Add(1)
+		return p.shards[second], routeSpill
 	}
-	return p.shards[best]
+	p.pressure.Add(1)
+	return p.shards[best], routePressure
 }
 
 // shardFor maps a job ID back to its owning shard (the ID stripe inverse).

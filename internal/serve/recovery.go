@@ -28,20 +28,26 @@ import (
 // WALJob is the WAL record of one accepted submission: the instance-wire job
 // plus the acknowledged response. Decision and commitment live inside Resp;
 // recovery re-derives the decision and refuses to start on a mismatch.
+// ReqID carries the client's X-Request-Id so the durable record is joinable
+// with client-side traces; it is recorded only when the client supplied one
+// (a server-generated ID is ephemeral), which keeps the WAL bytes of
+// header-less traffic identical to the pre-observability format.
 type WALJob struct {
-	Type string          `json:"type"` // always "job"
-	Key  string          `json:"key,omitempty"`
-	Resp JobResponse     `json:"resp"`
-	Job  json.RawMessage `json:"job"`
+	Type  string          `json:"type"` // always "job"
+	Key   string          `json:"key,omitempty"`
+	ReqID string          `json:"reqId,omitempty"`
+	Resp  JobResponse     `json:"resp"`
+	Job   json.RawMessage `json:"job"`
 }
 
 // WALReject is the WAL record of a keyed rejected submission. Nothing was
 // committed to the session, but the verdict is durable so a client retry
 // after a crash collapses onto it instead of re-opening the decision.
 type WALReject struct {
-	Type string      `json:"type"` // always "reject"
-	Key  string      `json:"key"`
-	Resp JobResponse `json:"resp"`
+	Type  string      `json:"type"` // always "reject"
+	Key   string      `json:"key"`
+	ReqID string      `json:"reqId,omitempty"`
+	Resp  JobResponse `json:"resp"`
 }
 
 // StoredResponse is one idempotency-table entry: the exact outcome the

@@ -36,11 +36,14 @@ type ReplayHeader struct {
 
 // routeRecord maps one replay-log job to the shard that committed it. It
 // precedes the job's wire line; both are appended under one mutex hold, so
-// the pair is adjacent even with shards interleaving.
+// the pair is adjacent even with shards interleaving. ReqID is present only
+// when the client supplied an X-Request-Id, so a request can be traced from
+// client logs through the route record to the owning shard.
 type routeRecord struct {
 	Type  string `json:"type"` // always "route"
 	ID    int    `json:"id"`
 	Shard int    `json:"shard"` // 0-based
+	ReqID string `json:"reqId,omitempty"`
 }
 
 // replayWriter appends the header and one instance-wire job line per
@@ -58,7 +61,7 @@ func (rw *replayWriter) header(cfg Config) error {
 	return rw.writeLine(headerOf(cfg))
 }
 
-func (rw *replayWriter) appendJob(shard int, j *sim.Job) error {
+func (rw *replayWriter) appendJob(shard int, j *sim.Job, reqID string) error {
 	data, err := workload.MarshalJob(j)
 	if err != nil {
 		return err
@@ -66,7 +69,7 @@ func (rw *replayWriter) appendJob(shard int, j *sim.Job) error {
 	rw.mu.Lock()
 	defer rw.mu.Unlock()
 	if rw.shards > 1 {
-		if err := rw.writeLine(routeRecord{Type: "route", ID: j.ID, Shard: shard}); err != nil {
+		if err := rw.writeLine(routeRecord{Type: "route", ID: j.ID, Shard: shard, ReqID: reqID}); err != nil {
 			return err
 		}
 	}

@@ -26,6 +26,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -37,6 +38,7 @@ import (
 	"dagsched"
 	"dagsched/internal/cliflags"
 	"dagsched/internal/core"
+	"dagsched/internal/obs"
 	"dagsched/internal/rational"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
@@ -99,6 +101,14 @@ type Config struct {
 	// MaxBodyBytes caps the POST /v1/jobs body; oversized requests are
 	// answered 413. 0 means 1 MiB.
 	MaxBodyBytes int64
+	// Logger receives the daemon's structured serving-path records (request
+	// IDs and shard indices on every one). nil discards them, which keeps
+	// embedded and test servers quiet; cmd/spaa-serve wires a handler per its
+	// -log-format and -log-level flags.
+	Logger *slog.Logger
+	// TraceDepth bounds the in-memory ring of completed request traces
+	// (/debug/requests exports it as Perfetto spans). 0 means 256.
+	TraceDepth int
 }
 
 // DefaultTickInterval is the wall-clock duration of one simulated tick.
@@ -112,6 +122,9 @@ const DefaultCheckpointInterval = 30 * time.Second
 
 // DefaultMaxBodyBytes caps the POST /v1/jobs body.
 const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultTraceDepth is the request-trace ring size (Config.TraceDepth).
+const DefaultTraceDepth = 256
 
 // Commitment values for JobResponse.Commitment: the durability of the
 // admission verdict, in the sense of the commitment models of Eberle, Megow
@@ -145,7 +158,23 @@ type Server struct {
 	drainOnce sync.Once
 	result    *sim.Result // set inside drainOnce
 
+	log     *slog.Logger   // Config.Logger; use logger(), which is nil-safe
+	metrics *serverObs     // HTTP-layer counters/histograms (mutex-guarded)
+	traces  *obs.TraceRing // completed request traces for /debug/requests
+
 	start time.Time
+}
+
+// discardLog swallows records; the fallback when no Config.Logger is wired
+// (embedded servers, tests constructing Server directly).
+var discardLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// logger returns the server's structured logger, never nil.
+func (s *Server) logger() *slog.Logger {
+	if s.log != nil {
+		return s.log
+	}
+	return discardLog
 }
 
 // New validates the configuration, builds the shards and their schedulers —
@@ -195,8 +224,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.TraceDepth == 0 {
+		cfg.TraceDepth = DefaultTraceDepth
+	}
 	part := cliflags.PartitionCapacity(cfg.M, cfg.Shards)
 	s := &Server{cfg: cfg, start: time.Now()}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.metrics = &serverObs{}
+	s.traces = obs.NewTraceRing(cfg.TraceDepth)
 	for i := 0; i < cfg.Shards; i++ {
 		sched, err := cliflags.MakeScheduler(cfg.Sched, cfg.Eps, false)
 		if err != nil {
@@ -218,6 +256,7 @@ func New(cfg Config) (*Server, error) {
 			sched:      sched,
 			sess:       sess,
 			reg:        &telemetry.Registry{},
+			obsReg:     &telemetry.Registry{},
 			lastID:     i + 1 - cfg.Shards, // first assigned ID is i+1
 			header:     shardHeaderOf(cfg, i, part[i]),
 			idem:       make(map[string]StoredResponse),
@@ -231,6 +270,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WALDir != "" {
 		if err := s.openDurable(); err != nil {
 			return nil, err
+		}
+		if s.recovery != nil {
+			s.logger().Info("recovered durable state",
+				"dir", cfg.WALDir, "shards", cfg.Shards,
+				"jobs", s.recovery.Jobs, "walJobs", s.recovery.WALJobs,
+				"clock", s.recovery.Clock, "tornBytes", s.recovery.TornBytes)
 		}
 	}
 	if cfg.ReplayLog != nil {
@@ -376,12 +421,15 @@ func (s *Server) Degraded() string {
 }
 
 // degrade records the first durability failure at the server level; called
-// from shard engine goroutines.
+// from shard engine goroutines. The log record always carries the shard
+// index, so an operator can tell which shard-<i>/ directory is sick even on
+// a single-shard daemon (whose degraded message keeps its unprefixed form).
 func (s *Server) degrade(shardIdx int, op string, err error) {
 	msg := op + ": " + err.Error()
 	if len(s.shards) > 1 {
 		msg = fmt.Sprintf("shard %d: %s", shardIdx, msg)
 	}
+	s.logger().Error("durability degraded", "shard", shardIdx, "op", op, "err", err)
 	s.degraded.CompareAndSwap(nil, &msg)
 }
 
@@ -452,6 +500,8 @@ func (s *Server) Checkpoint() error {
 func (s *Server) Drain() *sim.Result {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
+		s.logger().Info("drain started", "shards", len(s.shards))
+		t0 := time.Now()
 		quiesced := make([]chan struct{}, len(s.shards))
 		for i, sh := range s.shards {
 			quiesced[i] = make(chan struct{})
@@ -460,6 +510,8 @@ func (s *Server) Drain() *sim.Result {
 		for _, c := range quiesced {
 			<-c
 		}
+		t1 := time.Now()
+		s.metrics.observe("serve.drain.quiesce_us", float64(t1.Sub(t0).Microseconds()))
 		finals := make([]chan *sim.Result, len(s.shards))
 		for i, sh := range s.shards {
 			finals[i] = make(chan *sim.Result, 1)
@@ -470,6 +522,10 @@ func (s *Server) Drain() *sim.Result {
 			results[i] = <-finals[i]
 		}
 		s.result = mergeResults(results)
+		s.metrics.observe("serve.drain.finalize_us", float64(time.Since(t1).Microseconds()))
+		s.logger().Info("drain finished",
+			"completed", s.result.Completed, "expired", s.result.Expired,
+			"profit", s.result.TotalProfit, "ticks", s.result.Ticks)
 	})
 	return s.result
 }
@@ -498,8 +554,24 @@ func (s *Server) Advance(to int64) {
 
 type submitMsg struct {
 	spec  JobSpec
-	key   string // idempotency key; "" means none
+	key   string       // idempotency key; "" means none
+	tr    *submitTrace // request-scoped trace; nil disables per-request stamps
 	reply chan submitReply
+}
+
+// submitTrace threads one submission's request-scoped observability through
+// the mailbox: the request ID, whether durable records should carry it
+// (client-supplied), and the per-stage timestamps. The HTTP handler stamps
+// enqueued before the mailbox send; the engine stamps the rest before the
+// reply; the handler reads them after receiving it — the reply channel
+// orders every access, so no lock is needed.
+type submitTrace struct {
+	reqID       string
+	persist     bool // client-supplied X-Request-Id: record in WAL/route records
+	enqueued    time.Time
+	dequeued    time.Time
+	walAppended time.Time
+	committed   time.Time
 }
 
 type submitReply struct {
@@ -525,6 +597,7 @@ type statsMsg struct {
 type shardStatsReply struct {
 	stats   ShardStats
 	summary telemetry.Summary
+	obs     *telemetry.Registry // clone of the shard's obsReg; nil when disabled
 }
 
 type advanceMsg struct {

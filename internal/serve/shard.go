@@ -54,6 +54,15 @@ type shard struct {
 	reg    *telemetry.Registry // engine goroutine only
 	lastID int                 // engine goroutine only; last ID this shard assigned
 
+	// obsReg holds this shard's serving-path latency histograms and
+	// observability-only counters (engine goroutine only; /metrics scrapes a
+	// Clone taken through the mailbox). It is deliberately separate from reg:
+	// reg's summary is part of every checkpoint and the /v1/stats body, both
+	// byte-stable formats, while obsReg is process-local and never persisted.
+	// nil disables every timer and observation on the engine path — the
+	// zero-cost-when-nil idiom the obs-guard benchmark pins.
+	obsReg *telemetry.Registry
+
 	// Durability state, engine goroutine only (nil/empty without WALDir).
 	walDir         string
 	header         ReplayHeader // the durable header this shard writes
@@ -119,7 +128,7 @@ func (sh *shard) engineLoop() {
 func (sh *shard) handle(m any) bool {
 	switch msg := m.(type) {
 	case submitMsg:
-		msg.reply <- sh.handleSubmit(msg.spec, msg.key)
+		msg.reply <- sh.handleSubmit(msg.spec, msg.key, msg.tr)
 	case lookupMsg:
 		msg.reply <- sh.handleLookup(msg.id)
 	case statsMsg:
@@ -200,11 +209,46 @@ func (sh *shard) degrade(op string, err error) {
 	sh.reg.Inc("serve.degraded_events", 1)
 }
 
-// handleSubmit resolves idempotent retries, takes the admit/reject decision,
+// handleSubmit is processSubmit plus the engine-path observability shell:
+// mailbox queue-wait and total engine latency histograms, and the dequeue/
+// commit stamps of the request trace. Every timer is gated on obsReg — with
+// it nil the shell is two pointer checks, which is what keeps the obs-guard
+// overhead budget honest.
+func (sh *shard) handleSubmit(spec JobSpec, key string, tr *submitTrace) submitReply {
+	if sh.obsReg == nil {
+		return sh.processSubmit(spec, key, tr)
+	}
+	t0 := time.Now()
+	if tr != nil {
+		tr.dequeued = t0
+		if !tr.enqueued.IsZero() {
+			sh.obsReg.Observe("serve.mailbox_wait_us", float64(t0.Sub(tr.enqueued).Microseconds()))
+		}
+	}
+	rep := sh.processSubmit(spec, key, tr)
+	now := time.Now()
+	if tr != nil {
+		tr.committed = now
+	}
+	sh.obsReg.Observe("serve.submit_engine_us", float64(now.Sub(t0).Microseconds()))
+	return rep
+}
+
+// reqIDOf is the request ID a durable record should carry: the trace's ID
+// when the client supplied it, "" otherwise (server-generated IDs are
+// ephemeral, keeping header-less WAL and replay-log bytes unchanged).
+func reqIDOf(tr *submitTrace) string {
+	if tr == nil || !tr.persist {
+		return ""
+	}
+	return tr.reqID
+}
+
+// processSubmit resolves idempotent retries, takes the admit/reject decision,
 // persists it to this shard's WAL (write-ahead: before the session commit,
 // so an acknowledged verdict is never lost to a crash), and commits the
 // arrival to the session and the shared replay log.
-func (sh *shard) handleSubmit(spec JobSpec, key string) submitReply {
+func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submitReply {
 	if sh.srv.draining.Load() || sh.quiesced {
 		return submitReply{status: 503, err: "draining"}
 	}
@@ -237,7 +281,7 @@ func (sh *shard) handleSubmit(spec JobSpec, key string) submitReply {
 			// Make the verdict durable so a retry after a crash collapses
 			// onto it instead of re-opening the decision.
 			if sh.wal != nil {
-				if err := sh.wal.append(WALReject{Type: "reject", Key: key, Resp: resp}); err != nil {
+				if err := sh.wal.append(WALReject{Type: "reject", Key: key, ReqID: reqIDOf(tr), Resp: resp}); err != nil {
 					sh.degrade("wal append", err)
 					return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
 				}
@@ -257,12 +301,22 @@ func (sh *shard) handleSubmit(spec JobSpec, key string) submitReply {
 			sh.reg.Inc("serve.bad_request", 1)
 			return submitReply{status: 400, err: err.Error()}
 		}
-		rec := WALJob{Type: "job", Key: key, Resp: resp, Job: wire}
+		rec := WALJob{Type: "job", Key: key, ReqID: reqIDOf(tr), Resp: resp, Job: wire}
+		var ta time.Time
+		if sh.obsReg != nil {
+			ta = time.Now()
+		}
 		if err := sh.wal.append(rec); err != nil {
 			// Not durable, so not committed and not acknowledged: the
 			// session never sees the job and the client may retry safely.
 			sh.degrade("wal append", err)
 			return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
+		}
+		if sh.obsReg != nil {
+			sh.obsReg.Observe("serve.wal_append_us", float64(time.Since(ta).Microseconds()))
+		}
+		if tr != nil {
+			tr.walAppended = time.Now()
 		}
 		sh.hist = append(sh.hist, rec)
 		sh.ckptDirty = true
@@ -284,7 +338,7 @@ func (sh *shard) handleSubmit(spec JobSpec, key string) submitReply {
 		sh.idem[key] = StoredResponse{Status: 200, Resp: resp}
 	}
 	if sh.srv.replay != nil {
-		if err := sh.srv.replay.appendJob(sh.idx, job); err != nil {
+		if err := sh.srv.replay.appendJob(sh.idx, job, reqIDOf(tr)); err != nil {
 			// The offline-analysis tap failed: the record is lost, which
 			// breaks the log's bit-identical replay guarantee. Count it and
 			// surface the degraded state on /healthz instead of dropping
@@ -352,7 +406,9 @@ func (sh *shard) handleStats() shardStatsReply {
 			LastCheckpointClock: sh.lastCkptClock,
 		}
 	}
-	return shardStatsReply{stats: st, summary: summary}
+	// The /metrics scrape walks histogram buckets, which the engine mutates;
+	// hand it an independent clone taken on this goroutine.
+	return shardStatsReply{stats: st, summary: summary, obs: sh.obsReg.Clone()}
 }
 
 // maybeCheckpoint takes a checkpoint when the cadence has elapsed and the
@@ -375,6 +431,10 @@ func (sh *shard) maybeCheckpoint(now time.Time) {
 // checkpoint.json in the shard's WAL directory, then truncates its WAL back
 // to the header. Engine goroutine only (or before it starts).
 func (sh *shard) checkpointNow() error {
+	var t0 time.Time
+	if sh.obsReg != nil {
+		t0 = time.Now()
+	}
 	if err := sh.wal.sync(); err != nil {
 		return err
 	}
@@ -404,6 +464,9 @@ func (sh *shard) checkpointNow() error {
 	sh.lastCkptClock = cp.Clock
 	sh.ckptDirty = false
 	sh.reg.Inc("serve.checkpoints", 1)
+	if sh.obsReg != nil {
+		sh.obsReg.Observe("serve.checkpoint_us", float64(time.Since(t0).Microseconds()))
+	}
 	return nil
 }
 
@@ -413,6 +476,10 @@ func (sh *shard) checkpointNow() error {
 // Runs before the engine goroutine starts.
 func (sh *shard) openDurable(dir string) error {
 	sh.walDir = dir
+	var t0 time.Time
+	if sh.obsReg != nil {
+		t0 = time.Now()
+	}
 	rs, err := loadState(dir, sh.header, sh.baseID())
 	if err != nil {
 		return err
@@ -427,11 +494,16 @@ func (sh *shard) openDurable(dir string) error {
 		sh.checkpoints = rs.checkpoints
 		sh.recovery = rs.info()
 		sh.reg.Inc("serve.recoveries", 1)
+		if sh.obsReg != nil {
+			sh.obsReg.Observe("serve.recovery_duration_us", float64(time.Since(t0).Microseconds()))
+			sh.obsReg.Inc("serve.recovery_replayed", int64(len(rs.jobs)))
+		}
 	}
 	w, err := openWAL(dir, sh.srv.cfg.Fsync, sh.srv.cfg.FsyncInterval)
 	if err != nil {
 		return fmt.Errorf("serve: wal: %w", err)
 	}
+	w.obs = sh.obsReg
 	sh.wal = w
 	sh.ckptDirty = true // force the normalizing checkpoint even on a fresh dir
 	if err := sh.checkpointNow(); err != nil {

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"time"
+
+	"dagsched/internal/telemetry"
 )
 
 // The write-ahead log turns the serving daemon's replay convenience into a
@@ -144,6 +146,11 @@ type wal struct {
 	dirty    bool
 	lastSync time.Time
 	records  int64 // records appended by this process
+
+	// obs, when non-nil, receives fsync latency samples
+	// (serve.wal_fsync_us). Owned by the same engine goroutine as the wal;
+	// nil disables the timing entirely (the zero-cost-when-nil idiom).
+	obs *telemetry.Registry
 }
 
 // openWAL opens (creating if needed) dir/wal.log for appending.
@@ -181,8 +188,15 @@ func (w *wal) sync() error {
 		w.dirty = false
 		return nil
 	}
+	var t0 time.Time
+	if w.obs != nil {
+		t0 = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		return err
+	}
+	if w.obs != nil {
+		w.obs.Observe("serve.wal_fsync_us", float64(time.Since(t0).Microseconds()))
 	}
 	w.dirty = false
 	w.lastSync = time.Now()

@@ -163,6 +163,19 @@ func (r *Registry) Merge(o *Registry) {
 	}
 }
 
+// Clone returns an independent deep copy of the registry (nil for nil). The
+// serving tier's scrape path clones each shard's registry on the engine
+// goroutine so the exposition writer can walk histogram buckets without
+// racing the engine.
+func (r *Registry) Clone() *Registry {
+	if r == nil {
+		return nil
+	}
+	out := &Registry{}
+	out.Merge(r)
+	return out
+}
+
 // Table renders the registry as a metrics table (sorted names, counters
 // then gauges then histogram summaries) for CLI summaries.
 func (r *Registry) Table(title string) *metrics.Table {
@@ -188,9 +201,13 @@ func (r *Registry) Table(title string) *metrics.Table {
 // Histogram counts non-negative samples in power-of-two buckets: bucket i
 // holds values v with 2^(i-1) ≤ v < 2^i (bucket 0 holds v < 1). Integer
 // bucket counts merge exactly, so parallel aggregation never depends on
-// fold order — unlike a float sum, which is deliberately not kept.
+// fold order. Sum is the running total of observed samples — exact for
+// integer-valued samples (latencies in whole microseconds, counts) far past
+// any realistic volume, and excluded from Summary so the byte-stable digests
+// never depend on float fold order.
 type Histogram struct {
 	Count   int64
+	Sum     float64
 	Min     float64
 	Max     float64
 	buckets [66]int64
@@ -221,6 +238,7 @@ func (h *Histogram) Observe(v float64) {
 		h.Max = v
 	}
 	h.Count++
+	h.Sum += v
 	h.buckets[bucketOf(v)]++
 }
 
@@ -236,6 +254,7 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.Max = o.Max
 	}
 	h.Count += o.Count
+	h.Sum += o.Sum
 	for i, c := range o.buckets {
 		h.buckets[i] += c
 	}
@@ -267,6 +286,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return h.Max
+}
+
+// BucketCounts returns a copy of the raw per-bucket counts, index i holding
+// the count of bucket i (see the type comment for the edge layout). A nil
+// histogram yields all zeros. Exposition writers cumulate these into
+// fixed-edge Prometheus buckets.
+func (h *Histogram) BucketCounts() [66]int64 {
+	if h == nil {
+		return [66]int64{}
+	}
+	return h.buckets
 }
 
 // Buckets returns the non-empty buckets as (upper-edge, count) pairs in

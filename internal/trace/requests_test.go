@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dagsched/internal/obs"
+	"dagsched/internal/telemetry"
+)
+
+// validateTrace round-trips the document through WriteJSON and the exporter's
+// own validator, returning the JSON text.
+func validateTrace(t *testing.T, ct *telemetry.ChromeTrace) string {
+	t.Helper()
+	var b strings.Builder
+	if err := ct.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTrace([]byte(b.String())); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	return b.String()
+}
+
+func TestRequestSpans(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+
+	traces := []obs.ReqTrace{
+		{
+			ID: "req-a", Shard: 1, Route: "keyed", JobID: 7, Decision: "admitted",
+			Stages: []obs.Stage{
+				{Name: "received", At: at(0)},
+				{Name: "dequeued", At: at(30)},
+				{Name: "committed", At: at(90)},
+				{Name: "replied", At: at(120)},
+			},
+		},
+		{
+			ID: "", Shard: -1, Route: "",
+			Stages: []obs.Stage{{Name: "received", At: at(10)}},
+		},
+	}
+
+	ct := RequestSpans(traces)
+	validateTrace(t, ct)
+
+	var spans, instants, threadNames int
+	var sawProcess bool
+	names := map[string]bool{}
+	for _, ev := range ct.TraceEvents {
+		if ev.PID != perfettoPIDRequests {
+			t.Fatalf("event on pid %d, want %d", ev.PID, perfettoPIDRequests)
+		}
+		switch ev.Ph {
+		case "X":
+			spans++
+			names[ev.Name] = true
+			if ev.TID != 0 {
+				t.Fatalf("span on tid %d, want 0 (first trace)", ev.TID)
+			}
+		case "i":
+			instants++
+			if ev.TID != 1 {
+				t.Fatalf("instant on tid %d, want 1 (second trace)", ev.TID)
+			}
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				sawProcess = true
+			case "thread_name":
+				threadNames++
+			}
+		}
+	}
+	if !sawProcess {
+		t.Error("no process_name metadata event")
+	}
+	if threadNames != 2 {
+		t.Errorf("thread_name events = %d, want 2", threadNames)
+	}
+	if spans != 3 {
+		t.Errorf("spans = %d, want 3 (one per stage gap)", spans)
+	}
+	if instants != 1 {
+		t.Errorf("instants = %d, want 1 (single-stage trace)", instants)
+	}
+	for _, want := range []string{"received→dequeued", "dequeued→committed", "committed→replied"} {
+		if !names[want] {
+			t.Errorf("missing span %q (got %v)", want, names)
+		}
+	}
+}
+
+func TestRequestSpansRebasedAndArgs(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	traces := []obs.ReqTrace{{
+		ID: "req-x", Shard: 0, Route: "pressure", JobID: 3, Decision: "parked",
+		Stages: []obs.Stage{
+			{Name: "received", At: base.Add(50 * time.Microsecond)},
+			{Name: "replied", At: base.Add(80 * time.Microsecond)},
+		},
+	}}
+	ct := RequestSpans(traces)
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.TS != 0 {
+			t.Errorf("span ts = %d, want 0 (rebased to earliest stage)", ev.TS)
+		}
+		if ev.Dur != 30 {
+			t.Errorf("span dur = %d, want 30", ev.Dur)
+		}
+		for k, want := range map[string]any{"reqId": "req-x", "shard": 0, "jobId": 3, "decision": "parked", "route": "pressure"} {
+			if got, ok := ev.Args[k]; !ok || got != want {
+				t.Errorf("args[%q] = %v (present %v), want %v", k, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestRequestSpansEmpty(t *testing.T) {
+	ct := RequestSpans(nil)
+	out := validateTrace(t, ct)
+	if !strings.Contains(out, "requests") {
+		t.Error("process name missing from empty export")
+	}
+}
