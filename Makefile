@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet fmt check race bench bench-guard obs-guard suite examples fuzz trace-demo api-check api-update chaos
+.PHONY: all build test vet fmt check race bench bench-guard obs-guard wire-guard suite examples fuzz trace-demo api-check api-update chaos
 
 all: vet test
 
@@ -21,7 +21,7 @@ fmt:
 # public-API snapshot, and the crash-safety chaos harness. The telemetry
 # package is vetted on its own so a vet regression there is named in the
 # output.
-check: fmt vet build test bench-guard obs-guard api-check chaos
+check: fmt vet build test bench-guard obs-guard wire-guard api-check chaos
 	go vet ./internal/telemetry/
 
 # Crash-safety harness: SIGKILL the serving daemon under concurrent load at
@@ -60,6 +60,13 @@ bench-guard:
 # (see TestObsOverheadGuard and BENCH_PR8.json for methodology).
 obs-guard:
 	SPAA_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 ./internal/serve/
+
+# Wire fast-path gate: the scalar-spec parser and verdict encoder must stay
+# at zero allocations per item, and a 64-spec batch over real HTTP must cost
+# at most 1.5x the bare engine path per item (see TestWireGuard and
+# BENCH_PR9.json for methodology).
+wire-guard:
+	SPAA_WIRE_GUARD=1 go test -run TestWireGuard -count=1 ./internal/serve/
 
 # -race across every package; the runner's worker pool and the parallel
 # experiment grids are the concurrency under test.

@@ -1,8 +1,12 @@
 // Command spaa-serve runs the scheduler as a long-lived HTTP daemon: job
-// specs POSTed to /v1/jobs get an immediate admit/reject verdict from the
-// serving scheduler's admission test, simulated time advances with the wall
-// clock, and every accepted arrival lands in a replay log that re-simulates
-// bit-identically offline (spaa-sim over the logged instance).
+// specs POSTed to /v1/jobs (or in bulk to /v1/jobs:batch, up to -max-batch
+// specs per request) get an immediate admit/reject verdict from the serving
+// scheduler's admission test, simulated time advances with the wall clock,
+// and every accepted arrival lands in a replay log that re-simulates
+// bit-identically offline (spaa-sim over the logged instance). With an
+// event-safe scheduler the daemon idles on an event-jump timer instead of a
+// fixed ticker (-clock overrides the discipline), so a quiet shard burns no
+// CPU between events.
 //
 // Observability: GET /metrics on the serving address exposes the Prometheus
 // text scrape; -debug-addr opens a second listener with /metrics,
@@ -71,6 +75,8 @@ func main() {
 		fsyncInt  = flag.Duration("fsync-interval", serve.DefaultFsyncInterval, "flush cadence under -fsync=interval")
 		ckptInt   = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "checkpoint cadence (negative: only at drain)")
 		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "largest POST /v1/jobs body in bytes (413 above)")
+		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatchItems, "largest POST /v1/jobs:batch item count (413 above)")
+		clockStr  = flag.String("clock", "auto", "idle clock discipline: auto, ticker, or jump")
 		logFormat = flag.String("log-format", "text", "structured log format on stderr: text or json")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, or error (debug logs every submission)")
 		traceDeep = flag.Int("trace-depth", serve.DefaultTraceDepth, "request traces kept for /debug/requests")
@@ -95,6 +101,13 @@ func main() {
 	if err != nil {
 		cliflags.FatalUsage("spaa-serve", err)
 	}
+	if err := cliflags.ValidateMaxBatch(*maxBatch); err != nil {
+		cliflags.FatalUsage("spaa-serve", err)
+	}
+	clock, err := serve.ParseClockMode(*clockStr)
+	if err != nil {
+		cliflags.FatalUsage("spaa-serve", err)
+	}
 	cfg := serve.Config{
 		M:                  *m,
 		Shards:             *shards,
@@ -108,6 +121,8 @@ func main() {
 		FsyncInterval:      *fsyncInt,
 		CheckpointInterval: *ckptInt,
 		MaxBodyBytes:       *maxBody,
+		MaxBatchItems:      *maxBatch,
+		Clock:              clock,
 		Logger:             logger,
 		TraceDepth:         *traceDeep,
 	}

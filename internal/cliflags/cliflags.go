@@ -242,6 +242,23 @@ func ValidateShards(shards, m int) error {
 	return nil
 }
 
+// MaxBatchLimit caps the -max-batch flag: a single /v1/jobs:batch request may
+// carry at most this many job specs. The limit bounds the engine-goroutine
+// occupancy of one batch message (and the memory of its reply), independent of
+// Config.MaxBodyBytes.
+const MaxBatchLimit = 1 << 16
+
+// ValidateMaxBatch rejects batch-size limits the serving tier cannot honor:
+// 1 ≤ n ≤ MaxBatchLimit. Commands surface the error through FatalUsage; the
+// serve package calls it again at construction so programmatic embedders get
+// the same rule.
+func ValidateMaxBatch(n int) error {
+	if n < 1 || n > MaxBatchLimit {
+		return fmt.Errorf("max-batch %d out of range [1, %d]", n, MaxBatchLimit)
+	}
+	return nil
+}
+
 // PartitionCapacity splits m processors across shards as evenly as possible:
 // every shard gets ⌊m/shards⌋ and the first m mod shards shards get one
 // extra, so lower-indexed shards hold the remainder. The placement is

@@ -231,6 +231,26 @@ func TestValidateShards(t *testing.T) {
 	}
 }
 
+func TestValidateMaxBatch(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantErr bool
+	}{
+		{1, false},
+		{64, false},
+		{MaxBatchLimit, false},
+		{0, true}, // an empty batch limit would reject every batch
+		{-1, true},
+		{MaxBatchLimit + 1, true}, // unbounded batches would pin an engine goroutine
+	}
+	for _, tc := range cases {
+		err := ValidateMaxBatch(tc.n)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ValidateMaxBatch(%d) = %v, want error %v", tc.n, err, tc.wantErr)
+		}
+	}
+}
+
 func TestPartitionCapacity(t *testing.T) {
 	cases := []struct {
 		m, shards int

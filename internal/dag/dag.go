@@ -163,8 +163,15 @@ func (b *Builder) MustBuild() *DAG {
 	return g
 }
 
-// topoOrder returns a topological order, or ok=false if the graph is cyclic.
+// topoOrder returns a topological order, or ok=false if the graph is
+// cyclic. The order is memoized: a DAG is never mutated after Build (Build
+// copies the builder's state into a fresh value), so the first successful
+// computation serves every later call — Validate on the submission hot path
+// re-checks node invariants but no longer re-runs Kahn's algorithm.
 func (g *DAG) topoOrder() ([]NodeID, bool) {
+	if g.order != nil {
+		return g.order, true
+	}
 	n := len(g.work)
 	indeg := make([]int32, n)
 	for v := 0; v < n; v++ {
@@ -190,7 +197,11 @@ func (g *DAG) topoOrder() ([]NodeID, bool) {
 			}
 		}
 	}
-	return order, len(order) == n
+	if len(order) != n {
+		return order, false // cyclic: never cache a partial order
+	}
+	g.order = order
+	return order, true
 }
 
 // Validate re-checks structural invariants of a constructed DAG. It is used

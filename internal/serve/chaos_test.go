@@ -155,6 +155,64 @@ func chaosSpec(g, i int) string {
 	return fmt.Sprintf(`{"w":%d,"l":%d,"deadline":%d,"profit":%d}`, w, l, l+15+(i%13), 1+i%6)
 }
 
+// chaosKeyedItem turns a chaosSpec body into a batch item carrying the key
+// inline, so batch retries are byte-identical re-sends too.
+func chaosKeyedItem(key, spec string) string {
+	return `{"key":"` + key + `",` + spec[1:]
+}
+
+// chaosPostBatch submits one keyed batch to /v1/jobs:batch and returns the
+// verdict for every item that was acknowledged. Per-item 429s retry the
+// whole batch: every item is keyed, so already-acked items collapse into
+// replays with the same verdict and only the backpressured ones resubmit.
+func chaosPostBatch(client *http.Client, addr string, keys, specs []string) (map[string]JobResponse, error) {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(chaosKeyedItem(keys[i], specs[i]))
+	}
+	sb.WriteByte(']')
+	body := sb.String()
+	for {
+		resp, err := client.Post("http://"+addr+"/v1/jobs:batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		var br BatchResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&br)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("batch status %d", resp.StatusCode)
+		}
+		if decErr != nil {
+			return nil, decErr
+		}
+		if len(br.Items) != len(keys) {
+			return nil, fmt.Errorf("batch returned %d items for %d keys", len(br.Items), len(keys))
+		}
+		acked := map[string]JobResponse{}
+		retry := false
+		for i, it := range br.Items {
+			switch it.Status {
+			case http.StatusOK:
+				acked[keys[i]] = *it.Response
+			case http.StatusTooManyRequests:
+				retry = true
+			default:
+				return acked, fmt.Errorf("item %d status %d: %s", i, it.Status, it.Error)
+			}
+		}
+		if !retry {
+			return acked, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // chaosPost submits one keyed spec, retrying 429 backpressure.
 func chaosPost(client *http.Client, addr, key, spec string) (JobResponse, error) {
 	for {
@@ -245,31 +303,69 @@ func runChaos(t *testing.T, seed int64, shards int) {
 
 	var wg sync.WaitGroup
 	var gateOnce sync.Once
+	recordAck := func(key string, jr JobResponse) {
+		mu.Lock()
+		acked[key] = jr
+		mu.Unlock()
+		if ackCount.Add(1) == killAfter {
+			gateOnce.Do(func() { close(killGate) })
+		}
+	}
+	recordUnseen := func(keys ...string) {
+		mu.Lock()
+		unseen = append(unseen, keys...)
+		mu.Unlock()
+	}
+	// Odd-numbered clients drive the batched endpoint (chaosBatchN keyed
+	// items per POST), so the SIGKILL also lands inside group-commit windows
+	// and recovery proves a durable prefix of a half-written batch honors
+	// the same commitment contract as single submissions.
+	const chaosBatchN = 8
 	for g := 0; g < clients; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			client := &http.Client{Timeout: 5 * time.Second}
+			if g%2 == 1 {
+				for i := 0; i < perClient; i += chaosBatchN {
+					keys := make([]string, 0, chaosBatchN)
+					specs := make([]string, 0, chaosBatchN)
+					for j := i; j < i+chaosBatchN && j < perClient; j++ {
+						keys = append(keys, fmt.Sprintf("s%d-c%d-%d", seed, g, j))
+						specs = append(specs, chaosSpec(g, j))
+					}
+					got, err := chaosPostBatch(client, child.addr, keys, specs)
+					for key, jr := range got {
+						recordAck(key, jr)
+					}
+					if err != nil {
+						// The child died under us (or items never resolved —
+						// which the server may still have acked and logged).
+						for _, key := range keys {
+							if _, ok := got[key]; !ok {
+								recordUnseen(key)
+							}
+						}
+						if killed.Load() {
+							return
+						}
+					}
+				}
+				return
+			}
 			for i := 0; i < perClient; i++ {
 				key := fmt.Sprintf("s%d-c%d-%d", seed, g, i)
 				jr, err := chaosPost(client, child.addr, key, chaosSpec(g, i))
 				if err != nil {
 					// The child died under us (or the response never arrived —
 					// which the server may still have acked and logged).
-					mu.Lock()
-					unseen = append(unseen, key)
-					mu.Unlock()
+					recordUnseen(key)
 					if killed.Load() {
 						return
 					}
 					continue
 				}
-				mu.Lock()
-				acked[key] = jr
-				mu.Unlock()
-				if ackCount.Add(1) == killAfter {
-					gateOnce.Do(func() { close(killGate) })
-				}
+				recordAck(key, jr)
 			}
 		}(g)
 	}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"hash/crc32"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// The wire fast path. BENCH_PR8 put the HTTP+JSON submission route at ~15×
+// the engine-path cost, most of it encoding/json reflection and per-request
+// allocation. Scalar specs — {"w":..,"l":..,"deadline":..,"profit":..},
+// which is what a high-rate client sends — don't need a general JSON
+// machine: parseJobSpecFast scans them in one pass over the request bytes
+// with zero allocations, and appendJobResponse renders the verdict into a
+// pooled buffer byte-identically to encoding/json. Anything off the fast
+// path — a dag or curve field, an unknown key, an escaped string, an
+// exponent-form or over-long number — returns ok=false and the caller falls
+// back to encoding/json, which both handles it and produces the canonical
+// error shapes for genuinely malformed input. The fallback is therefore
+// transparent: the fast path never changes what the client sees, only what
+// it costs.
+
+// wireBuf is pooled request/response scratch for the wire fast path,
+// extending the engine's buffer-reuse idiom to the HTTP layer.
+type wireBuf struct{ b []byte }
+
+var wireBufPool = sync.Pool{New: func() any { return &wireBuf{b: make([]byte, 0, 4096)} }}
+
+func getWireBuf() *wireBuf { return wireBufPool.Get().(*wireBuf) }
+
+func putWireBuf(w *wireBuf) {
+	if cap(w.b) > 1<<20 {
+		return // an oversized body grew it; let the GC take it
+	}
+	w.b = w.b[:0]
+	wireBufPool.Put(w)
+}
+
+// readAllInto reads r to EOF into dst (grown as needed), allocating only
+// when dst's capacity is exceeded — with a pooled dst the steady state is
+// zero allocations.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+func skipJSONSpace(data []byte, i int) int {
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// parseJSONInt scans a plain integer — optional sign, up to 18 digits, no
+// leading zeros, no fraction or exponent — returning the index after it.
+// ok=false means the number is off the fast path.
+func parseJSONInt(data []byte, i int) (v int64, next int, ok bool) {
+	neg := false
+	if i < len(data) && data[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+		v = v*10 + int64(data[i]-'0')
+		i++
+	}
+	n := i - start
+	if n == 0 || n > 18 {
+		return 0, i, false
+	}
+	if n > 1 && data[start] == '0' {
+		return 0, i, false // leading zero: encoding/json rejects it
+	}
+	if i < len(data) {
+		switch data[i] {
+		case '.', 'e', 'E':
+			return 0, i, false // not an integer (or exponent form)
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, true
+}
+
+// pow10 holds exact float64 powers of ten for the fraction scaling below.
+var pow10 = [16]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15}
+
+// parseJSONFloat scans a decimal number without an exponent and with at
+// most 15 significant digits: mantissa and fraction length are exact in
+// int64/float64, so mant / 10^frac is the correctly rounded value — the
+// same bits strconv.ParseFloat produces. Anything longer or in exponent
+// form falls back.
+func parseJSONFloat(data []byte, i int) (v float64, next int, ok bool) {
+	neg := false
+	if i < len(data) && data[i] == '-' {
+		neg = true
+		i++
+	}
+	var mant int64
+	digits := 0
+	start := i
+	for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+		mant = mant*10 + int64(data[i]-'0')
+		digits++
+		i++
+	}
+	intDigits := i - start
+	if intDigits == 0 {
+		return 0, i, false
+	}
+	if intDigits > 1 && data[start] == '0' {
+		return 0, i, false
+	}
+	frac := 0
+	if i < len(data) && data[i] == '.' {
+		i++
+		fs := i
+		for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+			mant = mant*10 + int64(data[i]-'0')
+			digits++
+			i++
+		}
+		frac = i - fs
+		if frac == 0 {
+			return 0, i, false
+		}
+	}
+	if digits > 15 || frac > 15 {
+		return 0, i, false
+	}
+	if i < len(data) && (data[i] == 'e' || data[i] == 'E') {
+		return 0, i, false
+	}
+	v = float64(mant) / pow10[frac]
+	if neg {
+		v = -v
+	}
+	return v, i, true
+}
+
+// parseJSONString scans a plain string — printable ASCII, no escapes —
+// returning a view into data. Escapes and non-ASCII fall back.
+func parseJSONString(data []byte, i int) (s []byte, next int, ok bool) {
+	if i >= len(data) || data[i] != '"' {
+		return nil, i, false
+	}
+	i++
+	start := i
+	for i < len(data) {
+		c := data[i]
+		if c == '"' {
+			return data[start:i], i + 1, true
+		}
+		if c == '\\' || c < 0x20 || c > 0x7e {
+			return nil, i, false
+		}
+		i++
+	}
+	return nil, i, false
+}
+
+// parseJobSpecFast decodes a scalar job spec — an object whose keys are
+// drawn from w, l, deadline, profit (plus key when allowKey, for batch
+// items) with plain numeric or string values. ok=false means the bytes are
+// off the fast path and the caller must fall back to encoding/json; the
+// returned key is a view into data, valid only while data is. Trailing
+// bytes after the object are ignored, matching json.Decoder.Decode's
+// one-value read on the sequential endpoint.
+func parseJobSpecFast(data []byte, allowKey bool) (spec JobSpec, key []byte, ok bool) {
+	i := skipJSONSpace(data, 0)
+	if i >= len(data) || data[i] != '{' {
+		return JobSpec{}, nil, false
+	}
+	i = skipJSONSpace(data, i+1)
+	if i < len(data) && data[i] == '}' {
+		return spec, nil, true // {}: build() rejects it exactly like the slow path
+	}
+	for {
+		name, n, sok := parseJSONString(data, i)
+		if !sok {
+			return JobSpec{}, nil, false
+		}
+		i = skipJSONSpace(data, n)
+		if i >= len(data) || data[i] != ':' {
+			return JobSpec{}, nil, false
+		}
+		i = skipJSONSpace(data, i+1)
+		switch {
+		case string(name) == "w":
+			v, n, vok := parseJSONInt(data, i)
+			if !vok {
+				return JobSpec{}, nil, false
+			}
+			spec.W, i = v, n
+		case string(name) == "l":
+			v, n, vok := parseJSONInt(data, i)
+			if !vok {
+				return JobSpec{}, nil, false
+			}
+			spec.L, i = v, n
+		case string(name) == "deadline":
+			v, n, vok := parseJSONInt(data, i)
+			if !vok {
+				return JobSpec{}, nil, false
+			}
+			spec.Deadline, i = v, n
+		case string(name) == "profit":
+			v, n, vok := parseJSONFloat(data, i)
+			if !vok {
+				return JobSpec{}, nil, false
+			}
+			spec.Profit, i = v, n
+		case allowKey && string(name) == "key":
+			s, n, vok := parseJSONString(data, i)
+			if !vok {
+				return JobSpec{}, nil, false
+			}
+			key, i = s, n
+		default:
+			// dag, curve, unknown, or duplicate-in-spirit: the general
+			// decoder owns it (and owns rejecting it).
+			return JobSpec{}, nil, false
+		}
+		i = skipJSONSpace(data, i)
+		if i >= len(data) {
+			return JobSpec{}, nil, false
+		}
+		switch data[i] {
+		case ',':
+			i = skipJSONSpace(data, i+1)
+		case '}':
+			return spec, key, true
+		default:
+			return JobSpec{}, nil, false
+		}
+	}
+}
+
+// jsonPlain reports whether s renders under encoding/json as itself — no
+// escapes, including the HTML-safe < family. Every string the server
+// itself puts in a JobResponse is plain; a scheduler reason that is not
+// sends the response down the reflection path instead.
+func jsonPlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// 'f' form in [1e-6, 1e21), 'e' form outside it with the two-digit exponent
+// shortened (e-09 → e-9).
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendJobResponse appends r marshaled byte-identically to
+// json.Marshal(r): same field order, same omitempty behavior, same float
+// formatting. ok=false (non-plain string, non-finite float) means the
+// caller must fall back to encoding/json.
+func appendJobResponse(b []byte, r *JobResponse) ([]byte, bool) {
+	if !jsonPlain(string(r.Decision)) || !jsonPlain(r.Reason) || !jsonPlain(r.Commitment) {
+		return b, false
+	}
+	if r.Plan != nil && (math.IsNaN(r.Plan.X) || math.IsInf(r.Plan.X, 0) ||
+		math.IsNaN(r.Plan.Density) || math.IsInf(r.Plan.Density, 0)) {
+		return b, false
+	}
+	b = append(b, '{')
+	if r.ID != 0 {
+		b = append(b, `"id":`...)
+		b = strconv.AppendInt(b, int64(r.ID), 10)
+		b = append(b, ',')
+	}
+	b = append(b, `"release":`...)
+	b = strconv.AppendInt(b, r.Release, 10)
+	b = append(b, `,"decision":"`...)
+	b = append(b, r.Decision...)
+	b = append(b, '"')
+	if r.Reason != "" {
+		b = append(b, `,"reason":"`...)
+		b = append(b, r.Reason...)
+		b = append(b, '"')
+	}
+	if r.Commitment != "" {
+		b = append(b, `,"commitment":"`...)
+		b = append(b, r.Commitment...)
+		b = append(b, '"')
+	}
+	if r.Replayed {
+		b = append(b, `,"replayed":true`...)
+	}
+	if r.Plan != nil {
+		b = append(b, `,"plan":{"alloc":`...)
+		b = strconv.AppendInt(b, int64(r.Plan.Alloc), 10)
+		b = append(b, `,"x":`...)
+		b = appendJSONFloat(b, r.Plan.X)
+		b = append(b, `,"density":`...)
+		b = appendJSONFloat(b, r.Plan.Density)
+		b = append(b, `,"good":`...)
+		b = strconv.AppendBool(b, r.Plan.Good)
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return b, true
+}
+
+// jsonRawPlain reports whether a raw JSON value can be embedded in a
+// json.Marshal output verbatim: Marshal compacts RawMessage fields (strips
+// insignificant whitespace) and HTML-escapes <, >, and & even inside them,
+// so any byte outside printable ASCII, any whitespace, or any escape-target
+// character forces the encoding/json fallback.
+func jsonRawPlain(raw []byte) bool {
+	for _, c := range raw {
+		if c <= 0x20 || c > 0x7e || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return len(raw) > 0
+}
+
+// appendWALJob renders a WALJob record byte-identically to json.Marshal —
+// the accepted-submission hot path of the durable log. Falls back (ok=false)
+// whenever any string needs escaping or the job wire bytes would not survive
+// Marshal's RawMessage compaction verbatim; the caller then uses
+// encoding/json, so the on-disk format is one encoder's output either way.
+func appendWALJob(b []byte, rec *WALJob) ([]byte, bool) {
+	if !jsonPlain(rec.Type) || !jsonPlain(rec.Key) || !jsonPlain(rec.ReqID) || !jsonRawPlain(rec.Job) {
+		return b, false
+	}
+	b = append(b, `{"type":"`...)
+	b = append(b, rec.Type...)
+	b = append(b, '"')
+	if rec.Key != "" {
+		b = append(b, `,"key":"`...)
+		b = append(b, rec.Key...)
+		b = append(b, '"')
+	}
+	if rec.ReqID != "" {
+		b = append(b, `,"reqId":"`...)
+		b = append(b, rec.ReqID...)
+		b = append(b, '"')
+	}
+	b = append(b, `,"resp":`...)
+	var ok bool
+	if b, ok = appendJobResponse(b, &rec.Resp); !ok {
+		return b, false
+	}
+	b = append(b, `,"job":`...)
+	b = append(b, rec.Job...)
+	b = append(b, '}')
+	return b, true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendFrame wraps payload in the WAL line format — crc32c as eight hex
+// digits, a space, the payload, a newline — appending in place where
+// frameRecord would allocate.
+func appendFrame(b, payload []byte) []byte {
+	crc := crc32.Checksum(payload, walCRC)
+	for shift := 28; shift >= 0; shift -= 4 {
+		b = append(b, hexDigits[(crc>>shift)&0xf])
+	}
+	b = append(b, ' ')
+	b = append(b, payload...)
+	b = append(b, '\n')
+	return b
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -246,6 +247,11 @@ type errorResponse struct {
 //	                   413 oversized body, 429 mailbox full,
 //	                   503 draining or degraded); an Idempotency-Key
 //	                   header makes retries return the stored verdict
+//	POST /v1/jobs:batch
+//	                   submit a JSON array of specs (each with an optional
+//	                   per-item "key") → BatchResponse with per-item
+//	                   verdicts in order; items fail individually
+//	                   (400 bad envelope or empty batch, 413 oversized)
 //	GET  /v1/jobs/{id} job status → StatusResponse (404 unknown)
 //	GET  /v1/stats     StatsResponse
 //	GET  /healthz      liveness: 200 while the process can answer,
@@ -257,6 +263,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
+	mux.HandleFunc("POST /v1/jobs:batch", s.handleBatchPost)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStatsGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -344,10 +351,11 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 {
 		limit = DefaultMaxBodyBytes
 	}
-	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	rb := getWireBuf()
+	defer putWireBuf(rb)
+	var err error
+	rb.b, err = readAllInto(rb.b, http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
@@ -357,6 +365,18 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
+	}
+	// Scalar specs take the zero-allocation parser; anything else (dag,
+	// curve, or malformed input) falls back to encoding/json, which keeps
+	// the canonical behavior and error shapes.
+	spec, _, fastOK := parseJobSpecFast(rb.b, false)
+	if !fastOK {
+		dec := json.NewDecoder(bytes.NewReader(rb.b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
 	}
 	if s.draining.Load() {
 		finish(http.StatusServiceUnavailable, nil, "", nil, nil)
@@ -388,7 +408,24 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	finish(http.StatusOK, sh, route, tr, &rep.resp)
-	writeJSON(w, http.StatusOK, rep.resp)
+	writeJobResponse(w, &rep.resp)
+}
+
+// writeJobResponse renders a 200 verdict through the fast encoder into a
+// pooled buffer, byte-identical to writeJSON's output; off-fast-path
+// content falls back to encoding/json.
+func writeJobResponse(w http.ResponseWriter, resp *JobResponse) {
+	rb := getWireBuf()
+	if b, ok := appendJobResponse(rb.b, resp); ok {
+		rb.b = append(b, '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(rb.b)
+		putWireBuf(rb)
+		return
+	}
+	putWireBuf(rb)
+	writeJSON(w, http.StatusOK, *resp)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

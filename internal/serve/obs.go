@@ -62,8 +62,9 @@ var (
 	descPlacer   = obs.Desc{Name: "serve_placer_decisions_total", Help: "Placer routing decisions: keyed affinity, lowest pressure, second-choice spill.", Kind: obs.Counter}
 	descTraces   = obs.Desc{Name: "serve_request_traces_total", Help: "Request traces captured (the /debug/requests ring keeps the most recent).", Kind: obs.Counter}
 
-	descHTTPUs  = obs.Desc{Name: "serve_http_request_us", Help: "End-to-end HTTP latency of the submission route, in microseconds.", Kind: obs.Histogram}
-	descDrainUs = obs.Desc{Name: "serve_drain_phase_us", Help: "Drain phase durations (quiesce all shards, then finalize), in microseconds.", Kind: obs.Histogram}
+	descHTTPUs     = obs.Desc{Name: "serve_http_request_us", Help: "End-to-end HTTP latency of the submission route, in microseconds.", Kind: obs.Histogram}
+	descDrainUs    = obs.Desc{Name: "serve_drain_phase_us", Help: "Drain phase durations (quiesce all shards, then finalize), in microseconds.", Kind: obs.Histogram}
+	descBatchItems = obs.Desc{Name: "serve_batch_items", Help: "Items per POST /v1/jobs:batch request.", Kind: obs.Histogram}
 
 	descAccepted   = obs.Desc{Name: "serve_accepted_total", Help: "Submissions committed to a shard's session.", Kind: obs.Counter}
 	descVerdicts   = obs.Desc{Name: "serve_submissions_total", Help: "Admission verdicts acknowledged, by shard and verdict.", Kind: obs.Counter}
@@ -85,7 +86,12 @@ var (
 	descPending   = obs.Desc{Name: "serve_pending_jobs", Help: "Committed jobs not yet completed or expired.", Kind: obs.Gauge}
 	descWALRecs   = obs.Desc{Name: "serve_wal_records", Help: "WAL records appended by this process, by shard.", Kind: obs.Gauge}
 
+	descTickerWakes = obs.Desc{Name: "serve_ticker_wakeups_total", Help: "Engine ticker wakeups, by shard (zero under the event-jump clock).", Kind: obs.Counter}
+	descClockJumps  = obs.Desc{Name: "serve_clock_jumps_total", Help: "Event-jump timer fires, by shard (zero under the ticker clock).", Kind: obs.Counter}
+	descJumpTicks   = obs.Desc{Name: "serve_clock_jump_ticks", Help: "Simulated ticks advanced per event-jump timer fire.", Kind: obs.Histogram}
+
 	descSubmitUs = obs.Desc{Name: "serve_submit_engine_us", Help: "Engine-path submission latency (dequeue to commit), in microseconds.", Kind: obs.Histogram}
+	descBatchUs  = obs.Desc{Name: "serve_batch_engine_us", Help: "Engine-path latency of one batch group (dequeue to group commit), in microseconds.", Kind: obs.Histogram}
 	descWaitUs   = obs.Desc{Name: "serve_mailbox_wait_us", Help: "Mailbox queue wait (handler enqueue to engine dequeue), in microseconds.", Kind: obs.Histogram}
 	descAppendUs = obs.Desc{Name: "serve_wal_append_us", Help: "WAL append latency including any per-record fsync, in microseconds.", Kind: obs.Histogram}
 	descFsyncUs  = obs.Desc{Name: "serve_wal_fsync_us", Help: "WAL fsync latency, in microseconds.", Kind: obs.Histogram}
@@ -130,6 +136,8 @@ func (s *Server) buildExposition(replies []shardStatsReply) *obs.Exposition {
 	e.AddInt(descPlacer, s.placer.spill.Load(), "decision", routeSpill)
 	e.AddInt(descTraces, s.traces.Total())
 	e.AddHist(descHTTPUs, srvReg.Hist("serve.http.jobs_us"), "route", "jobs")
+	e.AddHist(descHTTPUs, srvReg.Hist("serve.http.jobs_batch_us"), "route", "jobs_batch")
+	e.AddHist(descBatchItems, srvReg.Hist("serve.http.batch_items"))
 	e.AddHist(descDrainUs, srvReg.Hist("serve.drain.quiesce_us"), "phase", "quiesce")
 	e.AddHist(descDrainUs, srvReg.Hist("serve.drain.finalize_us"), "phase", "finalize")
 
@@ -148,6 +156,8 @@ func (s *Server) buildExposition(replies []shardStatsReply) *obs.Exposition {
 		e.AddInt(descRecoveries, c["serve.recoveries"], "shard", shard)
 		e.AddInt(descDrains, c["serve.drains"], "shard", shard)
 		e.AddInt(descReplayed, rep.obs.Counter("serve.recovery_replayed"), "shard", shard)
+		e.AddInt(descTickerWakes, rep.obs.Counter("serve.ticker_wakeups"), "shard", shard)
+		e.AddInt(descClockJumps, rep.obs.Counter("serve.clock_jumps"), "shard", shard)
 
 		st := rep.stats
 		e.Add(descBandOcc, st.BandOccupancy, "shard", shard)
@@ -164,7 +174,9 @@ func (s *Server) buildExposition(replies []shardStatsReply) *obs.Exposition {
 		e.AddInt(descWALRecs, walRecords, "shard", shard)
 
 		e.AddHist(descSubmitUs, rep.obs.Hist("serve.submit_engine_us"), "shard", shard)
+		e.AddHist(descBatchUs, rep.obs.Hist("serve.batch_engine_us"), "shard", shard)
 		e.AddHist(descWaitUs, rep.obs.Hist("serve.mailbox_wait_us"), "shard", shard)
+		e.AddHist(descJumpTicks, rep.obs.Hist("serve.clock_jump_ticks"), "shard", shard)
 		e.AddHist(descAppendUs, rep.obs.Hist("serve.wal_append_us"), "shard", shard)
 		e.AddHist(descFsyncUs, rep.obs.Hist("serve.wal_fsync_us"), "shard", shard)
 		e.AddHist(descCkptUs, rep.obs.Hist("serve.checkpoint_us"), "shard", shard)

@@ -99,8 +99,24 @@ type Config struct {
 	// Checkpoint explicitly).
 	CheckpointInterval time.Duration
 	// MaxBodyBytes caps the POST /v1/jobs body; oversized requests are
-	// answered 413. 0 means 1 MiB.
+	// answered 413. 0 means 1 MiB. The /v1/jobs:batch body is capped at
+	// MaxBatchItems × MaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxBatchItems caps the item count of one POST /v1/jobs:batch request;
+	// larger batches are answered 413. 0 means 1024. Must satisfy
+	// cliflags.ValidateMaxBatch.
+	MaxBatchItems int
+	// Clock selects how a shard advances simulated time when the ticker is
+	// enabled (TickInterval > 0). ClockAuto — the default — uses event-jump
+	// advancement when the shard's session is event-safe under the
+	// sim.RunAuto routing rules (no faults, no probes, an event-safe
+	// scheduler and policy) and the fixed wall-clock ticker otherwise.
+	// ClockTicker forces the ticker; ClockJump requires event safety and
+	// New refuses to start without it. Both modes produce bit-identical
+	// session state for the same submission sequence — the jump loop bursts
+	// every deferred tick before any observable state is touched — so the
+	// choice is purely about idle CPU. Ignored when TickInterval < 0.
+	Clock ClockMode
 	// Logger receives the daemon's structured serving-path records (request
 	// IDs and shard indices on every one). nil discards them, which keeps
 	// embedded and test servers quiet; cmd/spaa-serve wires a handler per its
@@ -122,6 +138,9 @@ const DefaultCheckpointInterval = 30 * time.Second
 
 // DefaultMaxBodyBytes caps the POST /v1/jobs body.
 const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultMaxBatchItems caps the POST /v1/jobs:batch item count.
+const DefaultMaxBatchItems = 1024
 
 // DefaultTraceDepth is the request-trace ring size (Config.TraceDepth).
 const DefaultTraceDepth = 256
@@ -224,6 +243,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.MaxBatchItems == 0 {
+		cfg.MaxBatchItems = DefaultMaxBatchItems
+	}
+	if err := cliflags.ValidateMaxBatch(cfg.MaxBatchItems); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.Clock == "" {
+		cfg.Clock = ClockAuto
+	}
+	if _, err := ParseClockMode(string(cfg.Clock)); err != nil {
+		return nil, err
+	}
 	if cfg.TraceDepth == 0 {
 		cfg.TraceDepth = DefaultTraceDepth
 	}
@@ -248,7 +279,12 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		jump, err := resolveClock(cfg, sess)
+		if err != nil {
+			return nil, err
+		}
 		sh := &shard{
+			jump:       jump,
 			srv:        s,
 			idx:        i,
 			m:          part[i],
@@ -578,6 +614,28 @@ type submitReply struct {
 	status int // HTTP status
 	resp   JobResponse
 	err    string
+}
+
+// batchItem is one spec of a batched submission, carrying its position in
+// the client's batch so per-item verdicts come back in order.
+type batchItem struct {
+	spec JobSpec
+	key  string // per-item idempotency key; "" means none
+	idx  int    // position in the client's batch
+}
+
+// batchMsg carries one placer group — every item of a batch routed to the
+// same shard, in batch order — over a single mailbox crossing. The engine
+// commits the group under one WAL fsync window and replies with per-item
+// verdicts aligned to items.
+type batchMsg struct {
+	items []batchItem
+	tr    *submitTrace // group-level trace; nil disables stamps
+	reply chan batchReply
+}
+
+type batchReply struct {
+	replies []submitReply // aligned to batchMsg.items
 }
 
 type lookupMsg struct {

@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"dagsched/internal/dag"
+	"dagsched/internal/profit"
 	"dagsched/internal/sim"
 	"dagsched/internal/telemetry"
 	"dagsched/internal/workload"
@@ -44,8 +48,9 @@ const pressureAlpha = 0.2
 type shard struct {
 	srv    *Server
 	idx    int
-	m      int // this shard's processors (PartitionCapacity slice)
-	stride int // total shard count; the ID stripe step
+	m      int  // this shard's processors (PartitionCapacity slice)
+	stride int  // total shard count; the ID stripe step
+	jump   bool // event-jump clock (resolveClock); false runs the ticker
 
 	sched sim.Scheduler
 	adm   admitter // nil when the scheduler has no admission query
@@ -74,6 +79,16 @@ type shard struct {
 	lastCkptClock  int64
 	ckptDirty      bool // records appended since the last checkpoint
 
+	// wireCache memoizes everything a scalar spec derives: the synthesized
+	// DAG and profit function (shared across jobs — the DAG is immutable
+	// after Build) and the id/release-independent tail of the instance wire
+	// form (`,"graph":…,"profit":…}`), so the submit hot path skips DAG
+	// synthesis entirely and the WAL path assembles a record by prefixing
+	// two integers instead of re-marshaling a W-node graph per accepted
+	// job. Engine goroutine only; bounded (wireCacheMax) and never
+	// persisted — a miss just rebuilds.
+	wireCache map[scalarSpec]*scalarEntry
+
 	recovery *RecoveryInfo // fixed at New; nil on a fresh start
 
 	reqs       chan any
@@ -94,8 +109,15 @@ type shard struct {
 func (sh *shard) baseID() int { return sh.idx + 1 - sh.stride }
 
 // engineLoop is the goroutine that owns all of this shard's mutable state.
+// With the ticker enabled it runs one of two clock disciplines: the fixed
+// wall-clock ticker below, or the event-jump loop (clock.go) when the
+// shard's session is event-safe.
 func (sh *shard) engineLoop() {
 	defer close(sh.engineDone)
+	if sh.srv.cfg.TickInterval > 0 && sh.jump {
+		sh.engineLoopJump()
+		return
+	}
 	var tickC <-chan time.Time
 	if sh.srv.cfg.TickInterval > 0 {
 		ticker := time.NewTicker(sh.srv.cfg.TickInterval)
@@ -109,6 +131,9 @@ func (sh *shard) engineLoop() {
 				return
 			}
 		case now := <-tickC:
+			if sh.obsReg != nil {
+				sh.obsReg.Inc("serve.ticker_wakeups", 1)
+			}
 			if sh.quiesced {
 				continue // the clock is done moving; finalize fast-forwards
 			}
@@ -129,6 +154,8 @@ func (sh *shard) handle(m any) bool {
 	switch msg := m.(type) {
 	case submitMsg:
 		msg.reply <- sh.handleSubmit(msg.spec, msg.key, msg.tr)
+	case batchMsg:
+		msg.reply <- sh.handleBatch(msg.items, msg.tr)
 	case lookupMsg:
 		msg.reply <- sh.handleLookup(msg.id)
 	case statsMsg:
@@ -234,6 +261,54 @@ func (sh *shard) handleSubmit(spec JobSpec, key string, tr *submitTrace) submitR
 	return rep
 }
 
+// handleBatch commits one placer group — every item a batch routed to this
+// shard, in batch order — under a single WAL group-commit window: each item
+// runs the full processSubmit path (idempotency, admission, WAL append,
+// session arrival, replay log), but the per-record fsync of FsyncAlways is
+// suspended until the whole group is written, so the group pays one flush.
+// The records land contiguously in the WAL because this goroutine owns it.
+// No verdict leaves the engine before the group sync succeeds, so the
+// on-admission commitment still holds record by record; if the final sync
+// fails, every acknowledged-in-group verdict is downgraded to 503 and the
+// daemon degrades — nothing was promised, so nothing is broken.
+func (sh *shard) handleBatch(items []batchItem, tr *submitTrace) batchReply {
+	var t0 time.Time
+	if sh.obsReg != nil {
+		t0 = time.Now()
+		if tr != nil {
+			tr.dequeued = t0
+			if !tr.enqueued.IsZero() {
+				sh.obsReg.Observe("serve.mailbox_wait_us", float64(t0.Sub(tr.enqueued).Microseconds()))
+			}
+		}
+	}
+	replies := make([]submitReply, len(items))
+	if sh.wal != nil {
+		sh.wal.beginBatch()
+	}
+	for k, it := range items {
+		replies[k] = sh.processSubmit(it.spec, it.key, nil)
+	}
+	if sh.wal != nil {
+		if err := sh.wal.endBatch(); err != nil {
+			sh.degrade("wal sync", err)
+			for k := range replies {
+				if replies[k].status == 200 {
+					replies[k] = submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
+				}
+			}
+		}
+	}
+	if sh.obsReg != nil {
+		now := time.Now()
+		if tr != nil {
+			tr.committed = now
+		}
+		sh.obsReg.Observe("serve.batch_engine_us", float64(now.Sub(t0).Microseconds()))
+	}
+	return batchReply{replies: replies}
+}
+
 // reqIDOf is the request ID a durable record should carry: the trace's ID
 // when the client supplied it, "" otherwise (server-generated IDs are
 // ephemeral, keeping header-less WAL and replay-log bytes unchanged).
@@ -242,6 +317,91 @@ func reqIDOf(tr *submitTrace) string {
 		return ""
 	}
 	return tr.reqID
+}
+
+// scalarSpec is the scalar-spec cache key: the value fields of a JobSpec
+// with no structured parts. Two equal scalarSpecs synthesize identical DAGs
+// and profit curves, so everything derived from the spec — the built graph,
+// the profit function, and the wire form minus id and release — is shared.
+type scalarSpec struct {
+	W        int64
+	L        int64
+	Deadline int64
+	Profit   float64
+}
+
+// scalarEntry is one cached scalar-spec shape. The DAG is immutable after
+// Build (per-job runtime progress lives in dag.State), and profit.Step is a
+// value, so sharing one graph and function across every job with the same
+// spec is safe on the engine goroutine. tail is filled lazily by
+// marshalJobWire on the first durable admission of the shape.
+type scalarEntry struct {
+	g    *dag.DAG
+	fn   profit.Fn
+	tail []byte // wire form from ,"graph": onward; nil until first marshal
+}
+
+// wireCacheMax bounds the per-shard scalar cache; past it new shapes just
+// rebuild (a high-rate client sends few distinct spec shapes, so the
+// steady state is all hits).
+const wireCacheMax = 4096
+
+// buildSpec is spec.build() with the synthesized graph memoized per scalar
+// spec: a cache hit skips the whole DAG synthesis, which is the single
+// largest per-submission allocation. Structured specs (explicit dag or
+// curve) always build fresh — the client owns those graphs. Build errors
+// are never cached (they are cheap and carry no derived state).
+func (sh *shard) buildSpec(spec JobSpec) (*dag.DAG, profit.Fn, *scalarEntry, error) {
+	if spec.DAG != nil || spec.Curve != nil {
+		g, fn, err := spec.build()
+		return g, fn, nil, err
+	}
+	key := scalarSpec{W: spec.W, L: spec.L, Deadline: spec.Deadline, Profit: spec.Profit}
+	if e, ok := sh.wireCache[key]; ok {
+		return e.g, e.fn, e, nil
+	}
+	g, fn, err := spec.build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	e := &scalarEntry{g: g, fn: fn}
+	if len(sh.wireCache) < wireCacheMax {
+		if sh.wireCache == nil {
+			sh.wireCache = make(map[scalarSpec]*scalarEntry)
+		}
+		sh.wireCache[key] = e
+	}
+	return g, fn, e, nil
+}
+
+// marshalJobWire renders job in the instance wire format, memoizing the
+// graph/profit tail in the job's scalar cache entry. Byte-identical to
+// workload.MarshalJob by construction: the cached tail is MarshalJob's own
+// output for the same spec, and the id/release prefix is rendered with the
+// same integer format (pinned by TestMarshalJobWireMatchesMarshalJob).
+func (sh *shard) marshalJobWire(e *scalarEntry, job *sim.Job) (json.RawMessage, error) {
+	if e == nil {
+		return workload.MarshalJob(job)
+	}
+	if e.tail == nil {
+		wire, err := workload.MarshalJob(job)
+		if err != nil {
+			return nil, err
+		}
+		i := bytes.Index(wire, []byte(`,"graph":`))
+		if i < 0 {
+			return wire, nil // unexpected shape: serve it, skip the memo
+		}
+		e.tail = wire[i:]
+		return wire, nil
+	}
+	b := make([]byte, 0, 24+len(e.tail))
+	b = append(b, `{"id":`...)
+	b = strconv.AppendInt(b, int64(job.ID), 10)
+	b = append(b, `,"release":`...)
+	b = strconv.AppendInt(b, job.Release, 10)
+	b = append(b, e.tail...)
+	return b, nil
 }
 
 // processSubmit resolves idempotent retries, takes the admit/reject decision,
@@ -263,7 +423,7 @@ func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submit
 			return submitReply{status: st.Status, resp: st.Resp}
 		}
 	}
-	g, fn, err := spec.build()
+	g, fn, ce, err := sh.buildSpec(spec)
 	if err != nil {
 		sh.reg.Inc("serve.bad_request", 1)
 		return submitReply{status: 400, err: err.Error()}
@@ -296,7 +456,7 @@ func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submit
 	resp.Commitment = CommitmentNone
 	if sh.wal != nil {
 		resp.Commitment = CommitmentOnAdmission
-		wire, err := workload.MarshalJob(job)
+		wire, err := sh.marshalJobWire(ce, job)
 		if err != nil {
 			sh.reg.Inc("serve.bad_request", 1)
 			return submitReply{status: 400, err: err.Error()}

@@ -144,8 +144,18 @@ type wal struct {
 	policy   FsyncPolicy
 	interval time.Duration
 	dirty    bool
+	batch    bool // inside a group-commit window (beginBatch..endBatch)
 	lastSync time.Time
 	records  int64 // records appended by this process
+
+	// scratch and wbuf are engine-goroutine-owned reuse buffers: scratch
+	// holds one record's payload while it is encoded, wbuf accumulates
+	// framed lines. Outside a group-commit window wbuf is written (one
+	// syscall) per record, exactly the old cadence; inside one it
+	// accumulates the whole group and endBatch writes it with a single
+	// syscall before the group's one fsync.
+	scratch []byte
+	wbuf    []byte
 
 	// obs, when non-nil, receives fsync latency samples
 	// (serve.wal_fsync_us). Owned by the same engine goroutine as the wal;
@@ -164,21 +174,79 @@ func openWAL(dir string, policy FsyncPolicy, interval time.Duration) (*wal, erro
 
 // append marshals v, frames it, writes it, and flushes per the policy. An
 // error means the record may not be durable; the caller must not acknowledge
-// the submission it covers.
+// the submission it covers. Inside a group-commit window the frame is only
+// buffered — durability (and write errors) surface at endBatch, before any
+// record in the window is acknowledged.
 func (w *wal) append(v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return err
+	var payload []byte
+	if wj, isJob := v.(WALJob); isJob {
+		// Accepted submissions are the hot path: render without
+		// encoding/json when the record allows it (byte-identical output,
+		// pinned by TestAppendWALJobMatchesMarshal).
+		if b, ok := appendWALJob(w.scratch[:0], &wj); ok {
+			payload, w.scratch = b, b
+		}
 	}
-	if _, err := w.f.Write(frameRecord(payload)); err != nil {
-		return err
+	if payload == nil {
+		p, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		payload = p
 	}
+	w.wbuf = appendFrame(w.wbuf, payload)
 	w.records++
 	w.dirty = true
+	if w.batch {
+		return nil
+	}
+	if err := w.flushBuf(); err != nil {
+		return err
+	}
 	if w.policy == FsyncAlways {
 		return w.sync()
 	}
 	return nil
+}
+
+// flushBuf writes the accumulated frames with one syscall.
+func (w *wal) flushBuf() error {
+	if len(w.wbuf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.wbuf)
+	w.wbuf = w.wbuf[:0]
+	return err
+}
+
+// beginBatch opens a group-commit window: FsyncAlways's per-record flush is
+// suspended so a batch of appends shares one sync. The caller must not
+// acknowledge any record in the window before endBatch succeeds.
+func (w *wal) beginBatch() { w.batch = true }
+
+// endBatch closes the group-commit window: the buffered frames hit the file
+// with one write syscall and, under FsyncAlways, the whole window becomes
+// durable with one fsync. The interval and off policies keep their usual
+// flush cadence (the window only batches the write).
+func (w *wal) endBatch() error {
+	w.batch = false
+	if err := w.flushBuf(); err != nil {
+		return err
+	}
+	if w.policy != FsyncAlways {
+		return nil
+	}
+	return w.sync()
+}
+
+// syncDeadline is the wall instant maybeSync would next flush — meaningful
+// only under the interval policy with unflushed records. The event-jump
+// engine loop arms its timer with it; the ticker loop just polls maybeSync.
+func (w *wal) syncDeadline() (time.Time, bool) {
+	if w.policy != FsyncInterval || !w.dirty {
+		return time.Time{}, false
+	}
+	return w.lastSync.Add(w.interval), true
 }
 
 // sync flushes outstanding writes to stable storage (a no-op when clean or

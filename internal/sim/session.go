@@ -497,6 +497,55 @@ func (s *Session) step() error {
 	return nil
 }
 
+// EventSafe reports whether this session's (scheduler, policy, faults,
+// probe) combination is event-stationary under the RunAuto routing rules:
+// nothing observable changes between arrivals, expiries, and completions.
+// A serving loop may then replace its fixed per-tick wakeup with a timer
+// armed to NextEventHint — the session's evolution depends only on the
+// sequence of (Arrive, AdvanceTo) operations and their clock values, never
+// on how many AdvanceTo calls delivered them, so bursting deferred ticks at
+// the next event stays bit-identical to ticking every interval.
+func (s *Session) EventSafe() bool {
+	eng, _ := routeEngine(s.cfg, s.sched)
+	return eng == EngineEvented
+}
+
+// NextEventHint returns a lower bound on the next tick whose simulation can
+// change observable state: the earliest pending release, the earliest live
+// expiry (lastUseful+1), or the earliest tick any live job could complete
+// (critical path shrinks by at most the per-tick rate). ok is false when
+// nothing is scheduled — the session is finished, idle, or past its horizon
+// — so an event-driven caller can sleep unarmed. The hint may be early
+// (a job rarely completes at its lower bound; callers re-arm after
+// advancing) but never late: no arrival, expiry, or completion is
+// observable before the clock passes the hint.
+func (s *Session) NextEventHint() (int64, bool) {
+	if s.finished || !s.runnable() {
+		return 0, false
+	}
+	if s.cfg.Horizon > 0 && s.t >= s.cfg.Horizon {
+		return 0, false
+	}
+	next := int64(math.MaxInt64)
+	if s.next < len(s.pending) {
+		next = max(s.pending[s.next].Release, s.t)
+	}
+	for _, lj := range s.e.liveList {
+		if lj.done {
+			continue
+		}
+		next = min(next, lj.lastUseful+1)
+		// Earliest completion: ceil(remaining span / per-tick work) more
+		// ticks, the last of which is tick t+k-1 (completion stamps t+k).
+		k := (lj.state.RemainingSpan() + s.e.perTick - 1) / s.e.perTick
+		if k < 1 {
+			k = 1
+		}
+		next = min(next, s.t+k-1)
+	}
+	return next, true
+}
+
 // Fingerprint returns a deterministic 64-bit digest of the session's
 // simulation state: the clock, the Result accumulators, every finished job's
 // stats, the pending set, and each live job's execution progress (executed

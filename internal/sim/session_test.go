@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dagsched/internal/dag"
+	"dagsched/internal/faults"
 )
 
 // sessionJobs builds a deterministic mixed-shape workload in-package
@@ -274,5 +275,141 @@ func TestSessionFinishIdempotent(t *testing.T) {
 	}
 	if r1.Ticks != 5 || len(r1.Jobs) != 1 || r1.Jobs[0].Completed {
 		t.Fatalf("horizon result = %+v", r1)
+	}
+}
+
+// TestSessionEventSafe checks the session-level marker follows the RunAuto
+// routing rules: safe scheduler → safe session; opted-out scheduler, faults,
+// or probes → unsafe.
+func TestSessionEventSafe(t *testing.T) {
+	safe, err := NewSession(Config{M: 2}, nil, &markedSched{safe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe.EventSafe() {
+		t.Error("event-safe scheduler: session reports unsafe")
+	}
+	unsafe, err := NewSession(Config{M: 2}, nil, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsafe.EventSafe() {
+		t.Error("scheduler without the marker: session reports safe")
+	}
+	faulty, err := NewSession(Config{M: 2, Faults: &faults.Config{Seed: 1}}, nil, &markedSched{safe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.EventSafe() {
+		t.Error("fault injection on: session reports event-safe")
+	}
+}
+
+// TestSessionNextEventHint pins the hint against each event source: pending
+// releases, completion lower bounds, expiries, idleness, and the horizon.
+func TestSessionNextEventHint(t *testing.T) {
+	// Idle session: nothing scheduled.
+	s, err := NewSession(Config{M: 2}, nil, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.NextEventHint(); ok {
+		t.Error("idle session returned a hint")
+	}
+
+	// Scheduled arrival at tick 5: the hint is its release.
+	s, err = NewSession(Config{M: 2}, []*Job{
+		{ID: 1, Graph: dag.Chain(3, 1), Release: 5, Profit: step(t, 4, 10)},
+	}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hint, ok := s.NextEventHint(); !ok || hint != 5 {
+		t.Errorf("pending arrival: hint = %d, %v; want 5, true", hint, ok)
+	}
+
+	// Live chain of span 3 at full speed: the completion lower bound t+2
+	// (its last tick) beats the expiry at lastUseful+1 = 10.
+	if err := s.AdvanceTo(6); err != nil {
+		t.Fatal(err)
+	}
+	if hint, ok := s.NextEventHint(); !ok || hint != 6+2-1 {
+		t.Errorf("live chain: hint = %d, %v; want 7, true", hint, ok)
+	}
+
+	// Run to completion: idle again.
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.NextEventHint(); ok {
+		t.Error("completed session returned a hint")
+	}
+
+	// A long chain with a tight deadline: completion is at least 39 ticks
+	// out, so the expiry tick bounds the hint.
+	s, err = NewSession(Config{M: 1}, []*Job{
+		{ID: 1, Graph: dag.Chain(40, 1), Release: 0, Profit: step(t, 4, 3)},
+	}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if hint, ok := s.NextEventHint(); !ok || hint != 3 {
+		t.Errorf("expiry-bound: hint = %d, %v; want 3 (lastUseful+1), true", hint, ok)
+	}
+
+	// Past the horizon the clock can never move again.
+	s, err = NewSession(Config{M: 1, Horizon: 5}, []*Job{
+		{ID: 1, Graph: dag.Chain(20, 1), Release: 0, Profit: step(t, 5, 100)},
+	}, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.NextEventHint(); ok {
+		t.Error("horizon-stopped session returned a hint")
+	}
+}
+
+// TestSessionHintNeverLate drives a mixed workload tick by tick and checks
+// the hint's contract: between the current clock and the hint, advancing
+// never changes the fingerprint (no event fires before the hint).
+func TestSessionHintNeverLate(t *testing.T) {
+	jobs := sessionJobs(t, 24)
+	s, err := NewSession(Config{M: 4}, jobs, &fifoSched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		hint, ok := s.NextEventHint()
+		if !ok {
+			break
+		}
+		if hint < s.Now() {
+			t.Fatalf("hint %d behind the clock %d", hint, s.Now())
+		}
+		// Advancing to the hint simulates every tick strictly before it;
+		// none of those ticks may complete or expire a job (arrivals and
+		// clock movement are fine — the hint bounds *events*).
+		before := s.res.Completed + s.res.Expired
+		if err := s.AdvanceTo(hint); err != nil {
+			t.Fatal(err)
+		}
+		after := s.res.Completed + s.res.Expired
+		if after != before {
+			t.Fatalf("an event fired before the hint %d (clock %d): %d → %d finished jobs",
+				hint, s.Now(), before, after)
+		}
+		// Step past the hint so the loop terminates.
+		if err := s.AdvanceTo(hint + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Live() != 0 || s.Pending() != 0 {
+		t.Fatalf("loop ended with %d live, %d pending", s.Live(), s.Pending())
 	}
 }
