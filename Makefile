@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet fmt check race bench bench-guard obs-guard wire-guard suite examples fuzz trace-demo api-check api-update chaos
+.PHONY: all build test vet fmt check race bench bench-guard obs-guard wire-guard schema-compat suite examples fuzz trace-demo api-check api-update chaos
 
 all: vet test
 
@@ -21,7 +21,7 @@ fmt:
 # public-API snapshot, and the crash-safety chaos harness. The telemetry
 # package is vetted on its own so a vet regression there is named in the
 # output.
-check: fmt vet build test bench-guard obs-guard wire-guard api-check chaos
+check: fmt vet build test bench-guard obs-guard wire-guard api-check schema-compat chaos
 	go vet ./internal/telemetry/
 
 # Crash-safety harness: SIGKILL the serving daemon under concurrent load at
@@ -30,6 +30,13 @@ check: fmt vet build test bench-guard obs-guard wire-guard api-check chaos
 # collapse, and the recovered state matches a crash-free replay bit for bit.
 chaos:
 	go test -race -run 'TestChaos' -count=1 ./internal/serve/
+
+# Wire/WAL schema compatibility gate: golden v1 fixtures (pre-v2 request
+# bodies, WAL frames, checkpoints) replayed through the current decoder must
+# produce byte-identical durable state and verdicts, and a default-policy
+# daemon fed scalar specs must write byte-identical WAL records.
+schema-compat:
+	go test -run 'TestSchemaCompat' -count=1 ./internal/serve/
 
 # Fails when the package's exported surface drifts from testdata/api.txt.
 # Record a deliberate API change with `make api-update`.

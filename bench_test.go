@@ -89,6 +89,9 @@ func BenchmarkEXP_RT(b *testing.B) { benchExperiment(b, "RT") }
 // BenchmarkEXP_FAULTS regenerates the fault-injection degradation tables.
 func BenchmarkEXP_FAULTS(b *testing.B) { benchExperiment(b, "FAULTS") }
 
+// BenchmarkEXP_CMT regenerates the commitment-price tables.
+func BenchmarkEXP_CMT(b *testing.B) { benchExperiment(b, "CMT") }
+
 // benchSuite runs the entire quick-mode suite at a fixed worker count, the
 // end-to-end number the -parallel flag moves.
 func benchSuite(b *testing.B, workers int) {

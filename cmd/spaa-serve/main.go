@@ -8,6 +8,14 @@
 // fixed ticker (-clock overrides the discipline), so a quiet shard burns no
 // CPU between events.
 //
+// -commitment selects the admission contract: the default on-admission makes
+// verdicts durable but non-binding, while the binding policies (delta,
+// on-arrival) guarantee every admitted job runs to completion — it is never
+// expired or displaced, even past its deadline. Job specs may also carry a
+// per-job "commitment" field overriding the daemon policy, and "profit" may
+// be a structured non-increasing function ({"type":"step"|"linear"|"exp"|
+// "piecewise", ...}) instead of a scalar.
+//
 // Observability: GET /metrics on the serving address exposes the Prometheus
 // text scrape; -debug-addr opens a second listener with /metrics,
 // /debug/requests (recent submissions as a Perfetto trace), and
@@ -65,6 +73,7 @@ func main() {
 		m         = flag.Int("m", 1, "number of identical processors")
 		shards    = flag.Int("shards", 1, "engine shards behind the pressure-aware placer (1 ≤ shards ≤ m)")
 		sched     = flag.String("sched", "s", "scheduler: "+strings.Join(cliflags.SchedulerNames, ", "))
+		commit    = flag.String("commitment", serve.CommitmentOnAdmission, "commitment policy: none, on-admission, on-arrival, or delta (binding policies guarantee admitted jobs finish)")
 		eps       = flag.Float64("eps", 1.0, "epsilon for the paper schedulers")
 		speedStr  = flag.String("speed", "1", "machine speed (int, p/q, or float)")
 		tick      = flag.Duration("tick", serve.DefaultTickInterval, "wall-clock duration of one simulated tick")
@@ -112,6 +121,7 @@ func main() {
 		M:                  *m,
 		Shards:             *shards,
 		Sched:              *sched,
+		Commitment:         *commit,
 		Eps:                *eps,
 		Speed:              speed,
 		TickInterval:       *tick,

@@ -107,6 +107,14 @@ type (
 	// ProfitSpec is the tagged-union wire form of a profit function, shared
 	// by instance files and job submissions.
 	ProfitSpec = workload.ProfitSpec
+	// Commitment is the promise a scheduler attaches to an admitted job:
+	// binding levels (CommitmentDelta, CommitmentOnArrival) guarantee the job
+	// runs to completion, even past its deadline for zero profit. See the
+	// Commitment* constants, ParseCommitment, and NewCommittedS.
+	Commitment = sim.Commitment
+	// Committer is implemented by schedulers honoring binding commitment;
+	// the engine never expires a job its scheduler has committed.
+	Committer = sim.Committer
 )
 
 // Session job lifecycle states.
@@ -116,6 +124,22 @@ const (
 	JobStateLive      = sim.JobStateLive
 	JobStateCompleted = sim.JobStateCompleted
 	JobStateExpired   = sim.JobStateExpired
+)
+
+// Commitment policies, weakest to strongest. A JobView's Commitment field
+// overrides the scheduler-wide policy per job; CommitmentDefault inherits it.
+const (
+	// CommitmentDefault defers to the scheduler-wide policy.
+	CommitmentDefault = sim.CommitmentDefault
+	// CommitmentNone makes no scheduling promise.
+	CommitmentNone = sim.CommitmentNone
+	// CommitmentOnAdmission is durability-only commitment (the wire default).
+	CommitmentOnAdmission = sim.CommitmentOnAdmission
+	// CommitmentDelta commits a job once it is admitted to run (δ-commitment).
+	CommitmentDelta = sim.CommitmentDelta
+	// CommitmentOnArrival makes the arrival verdict final: admitted jobs are
+	// guaranteed to finish, would-be-parked jobs are rejected outright.
+	CommitmentOnArrival = sim.CommitmentOnArrival
 )
 
 // Node-pick policies (environments for the "arbitrary" ready-node choice).
@@ -183,6 +207,28 @@ func NewResilientS(eps float64) (*SchedulerS, error) {
 	}
 	return core.NewSchedulerS(core.Options{Params: p, Resilient: true}), nil
 }
+
+// NewCommittedS returns the paper's throughput scheduler running under the
+// given commitment policy. Binding policies change admission: under
+// CommitmentOnArrival the arrival verdict is final (no parked pool), and
+// under CommitmentDelta a job is committed once admitted to run; in both
+// cases the engine never expires a committed job. CommitmentDefault and
+// CommitmentNone leave the scheduler identical to NewSchedulerS.
+func NewCommittedS(eps float64, c Commitment) (*SchedulerS, error) {
+	p, err := core.NewParams(eps)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Valid() {
+		_, err := sim.ParseCommitment(string(c))
+		return nil, err
+	}
+	return core.NewSchedulerS(core.Options{Params: p, Commitment: c}), nil
+}
+
+// ParseCommitment parses a commitment policy name: "none", "on-admission",
+// "delta", or "on-arrival".
+func ParseCommitment(s string) (Commitment, error) { return sim.ParseCommitment(s) }
 
 // NewResilientWorkConservingS combines NewResilientS and NewWorkConservingS.
 func NewResilientWorkConservingS(eps float64) (*SchedulerS, error) {

@@ -164,3 +164,48 @@ func TestFacadeRejectsBadEps(t *testing.T) {
 		t.Error("NewSchedulerGP(-1) accepted")
 	}
 }
+
+func TestFacadeCommitment(t *testing.T) {
+	if _, err := ParseCommitment("delta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseCommitment("always"); err == nil {
+		t.Error("ParseCommitment accepted an unknown policy")
+	}
+	if _, err := NewCommittedS(1.0, Commitment("always")); err == nil {
+		t.Error("NewCommittedS accepted an unknown policy")
+	}
+
+	// Under commit-to-completion on arrival the verdict is final: a burst
+	// that overflows the running set sees its overflow refused outright
+	// (never parked for a second chance), and exactly the committed subset
+	// completes.
+	step := func(v float64, d int64) ProfitFn {
+		fn, err := StepProfit(v, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fn
+	}
+	var jobs []*Job
+	for i := 1; i <= 6; i++ {
+		jobs = append(jobs, &Job{ID: i, Graph: Block(8, 2), Release: 0, Profit: step(1, 14)})
+	}
+	bound, err := NewCommittedS(1.0, CommitmentOnArrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Committer = bound // the commitment ledger is part of the surface
+	res, err := Run(SimConfig{M: 4}, jobs, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Expired != 6 || res.Completed == 0 || res.Expired == 0 {
+		t.Errorf("on-arrival run: completed=%d expired=%d, want a committed strict subset finishing", res.Completed, res.Expired)
+	}
+	for _, js := range res.Jobs {
+		if js.Completed && js.CompletedAt > 14 {
+			t.Errorf("job %d committed at arrival completed at %d, past its deadline", js.ID, js.CompletedAt)
+		}
+	}
+}

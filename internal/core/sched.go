@@ -71,6 +71,16 @@ type Options struct {
 	// constant-value segment. Exact on any profit family; Θ(horizon²) worst
 	// case on continuously-decaying profits.
 	ExactSearch bool
+	// Commitment is the scheduler-wide commitment policy, overridable per job
+	// through sim.Job.Commitment. Under a binding policy (delta, on-arrival)
+	// an admitted job is promised completion: it is never abandoned past its
+	// commit point, keeps its band weight and allotment until it finishes —
+	// even past its deadline, for zero profit — and, under on-arrival, a job
+	// that cannot be admitted at release is refused outright instead of
+	// parked (the admission verdict is final). The zero value (or
+	// sim.CommitmentNone / sim.CommitmentOnAdmission) keeps the paper's
+	// semantics: admission is best-effort and overdue jobs are abandoned.
+	Commitment sim.Commitment
 	// Resilient makes S react to fault-injection feedback (sim.CapacityAware).
 	// Planning (allotments, admission) stays against the nominal m — crashes
 	// are transient, so a job's lifetime-average capacity is still ≈ m — but
@@ -95,6 +105,11 @@ type jobInfo struct {
 	density float64 // v_i = p_i / (x_i·A_i)
 	profit  float64 // p_i = profit if completed by the deadline
 	good    bool    // δ-good: (1+2δ)·x_i ≤ D_i
+
+	// committed: the scheduler has promised this job completion (set at the
+	// commit point of a binding commitment level); it may no longer be
+	// abandoned, not even past its deadline.
+	committed bool
 }
 
 // SchedulerS is the paper's Section 3 algorithm for jobs with deadlines and
@@ -127,6 +142,9 @@ func NewSchedulerS(opts Options) *SchedulerS {
 	if err := opts.Params.Validate(); err != nil {
 		panic(err)
 	}
+	if !opts.Commitment.Valid() {
+		panic(fmt.Errorf("core: unknown commitment policy %q", opts.Commitment))
+	}
 	if opts.NewBand == nil {
 		opts.NewBand = func() queue.BandIndex { return queue.NewTreapBand(0x5eed) }
 	}
@@ -145,7 +163,38 @@ func (s *SchedulerS) Name() string {
 	if s.opts.Resilient {
 		n += "+res"
 	}
+	if s.opts.Commitment.Binding() {
+		n += "+commit=" + string(s.opts.Commitment)
+	}
 	return n
+}
+
+// SetCommitment replaces the scheduler-wide commitment policy. The serving
+// tier calls it between construction and the first arrival (cliflags
+// factories predate the policy knob); changing it mid-run would re-interpret
+// promises already made, so callers set it before Init-time use.
+func (s *SchedulerS) SetCommitment(c sim.Commitment) error {
+	if !c.Valid() {
+		return fmt.Errorf("core: unknown commitment policy %q", c)
+	}
+	s.opts.Commitment = c
+	return nil
+}
+
+// Commitment returns the scheduler-wide commitment policy.
+func (s *SchedulerS) Commitment() sim.Commitment { return s.opts.Commitment }
+
+// commitmentOf resolves a job's effective commitment level: its own request,
+// or the scheduler-wide policy when the job defers.
+func (s *SchedulerS) commitmentOf(v sim.JobView) sim.Commitment {
+	return v.Commitment.Resolve(s.opts.Commitment)
+}
+
+// Committed implements sim.Committer: whether S has promised the job
+// completion. The engine consults it before expiring an overdue job.
+func (s *SchedulerS) Committed(jobID int) bool {
+	info, ok := s.info[jobID]
+	return ok && info.committed
 }
 
 // EventSafe implements sim.EventSafe: every decision S takes — admission on
@@ -337,8 +386,13 @@ func (s *SchedulerS) bandOK(cand *jobInfo) bool {
 	return ok
 }
 
-// admit moves a job into Q (it is "started").
+// admit moves a job into Q (it is "started"). Admission to Q is the commit
+// point of every binding commitment level: on-arrival jobs are only ever
+// admitted here at release (refusal is final, see OnArrival), and δ-commitment
+// commits when the job starts — whether at arrival or later from P, where
+// δ-freshness guarantees a (1+δ)x window remains.
 func (s *SchedulerS) admit(info *jobInfo) {
+	info.committed = s.commitmentOf(info.view).Binding()
 	it := queue.Item{ID: info.view.ID, Density: info.density, Weight: info.weight}
 	s.q.Insert(it)
 	s.band.Insert(it)
@@ -365,6 +419,19 @@ func (s *SchedulerS) OnArrival(t int64, v sim.JobView) {
 			ev := telemetry.JobEvent(t, telemetry.KindAdmit, v.ID)
 			ev.Procs = info.alloc
 			ev.Value = info.density
+			s.tel.Emit(ev)
+		}
+		return
+	}
+	if s.commitmentOf(v) == sim.CommitmentOnArrival {
+		// On-arrival commitment makes the release-time verdict final: a job
+		// that cannot be admitted now is refused outright, never parked —
+		// P's second chance would turn the refusal into a "maybe later",
+		// which is exactly what this level promises not to say.
+		delete(s.info, v.ID)
+		if s.tel != nil {
+			ev := telemetry.JobEvent(t, telemetry.KindAbandon, v.ID)
+			ev.Why = "commitment-refused"
 			s.tel.Emit(ev)
 		}
 		return
@@ -484,7 +551,7 @@ func (s *SchedulerS) recheckLost(t int64, view sim.AssignView) {
 	dropped := false
 	for _, id := range ids {
 		info, ok := s.info[id]
-		if !ok {
+		if !ok || info.committed {
 			continue
 		}
 		if _, inQ := s.q.Get(id); !inQ {
@@ -525,7 +592,10 @@ func (s *SchedulerS) Assign(t int64, view sim.AssignView, dst []sim.Alloc) []sim
 	expired := s.expiredBuf[:0]
 	s.q.ForEach(func(it queue.Item) bool {
 		info := s.info[it.ID]
-		if info.view.AbsDeadline() <= t {
+		// A committed job is never abandoned at its deadline: it keeps its
+		// allotment (and band weight) past it and runs to a zero-profit
+		// completion — the scheduler-side half of the commitment contract.
+		if info.view.AbsDeadline() <= t && !info.committed {
 			expired = append(expired, it.ID)
 			return true
 		}
@@ -578,7 +648,7 @@ func (s *SchedulerS) topUp(t int64, view sim.AssignView, dst []sim.Alloc, base, 
 			return false
 		}
 		info := s.info[it.ID]
-		if info.view.AbsDeadline() <= t {
+		if info.view.AbsDeadline() <= t && !info.committed {
 			return true
 		}
 		extra := view.ReadyCount(it.ID) - granted[it.ID]
@@ -647,4 +717,5 @@ func (s *SchedulerS) Occupancy() float64 {
 var (
 	_ sim.Scheduler     = (*SchedulerS)(nil)
 	_ sim.CapacityAware = (*SchedulerS)(nil)
+	_ sim.Committer     = (*SchedulerS)(nil)
 )

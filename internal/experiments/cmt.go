@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+
+	"dagsched/internal/core"
+	"dagsched/internal/faults"
+	"dagsched/internal/metrics"
+	"dagsched/internal/rational"
+	"dagsched/internal/runner"
+	"dagsched/internal/sim"
+	"dagsched/internal/workload"
+)
+
+// RunCMT measures the throughput price of commitment: the same scheduler S
+// run under each commitment policy on the same instances.
+//
+//   - none / on-admission make no scheduling promise, so they are the
+//     baseline (on-admission differs only in serving-tier durability and is
+//     bit-identical to none inside the simulator — the table shows the zero
+//     price directly).
+//   - delta commits a job once admitted to run: a committed job whose
+//     deadline slips away is still driven to completion, so its processors
+//     earn nothing past the deadline ("past-due" completions).
+//   - on-arrival makes the arrival verdict final: the parked pool P is gone,
+//     so jobs that would have had a second chance are refused outright.
+//
+// CMT1 reports completed profit against the shared OPT upper bound; CMT2
+// reports what each promise costs — completions per run, past-due (zero
+// profit) completions under delta, and the expired count under on-arrival,
+// which folds in every up-front refusal.
+//
+// Fault-free, δ-commitment prices at exactly zero: S's admission test is the
+// proof that an admitted job finishes on time, so the promise is never
+// called. CMT3 re-runs none vs delta under crash/repair faults, where
+// crashes push committed jobs past their deadlines and the scheduler must
+// burn capacity finishing them for nothing — the measured price of honoring
+// the promise under disturbance.
+func RunCMT(cfg Config) ([]*metrics.Table, error) {
+	loads := []float64{1, 1.5, 2, 4}
+	if cfg.Quick {
+		loads = []float64{1.5}
+	}
+	policies := []sim.Commitment{
+		sim.CommitmentNone,
+		sim.CommitmentOnAdmission,
+		sim.CommitmentDelta,
+		sim.CommitmentOnArrival,
+	}
+	makeS := func(p sim.Commitment) sim.Scheduler {
+		return core.NewSchedulerS(core.Options{Params: core.MustParams(1), Commitment: p})
+	}
+	type cmtSample struct {
+		bound    float64
+		profits  []float64 // profit/UB per policy
+		complete []float64 // completed jobs per policy
+		pastDue  []float64 // completions with zero profit per policy
+		expired  []float64 // expirations (incl. on-arrival refusals) per policy
+
+		// The faulty panel: none vs delta under crash/repair injection.
+		faultProfits [2]float64
+		faultPastDue [2]float64
+	}
+	cells, err := runGrid(cfg, runner.Grid[cmtSample]{
+		Name: "CMT",
+		Axes: []runner.Axis{{Name: "load", Size: len(loads)}, seedAxis(cfg)},
+		Cell: func(_ context.Context, c runner.Cell) (cmtSample, error) {
+			load, seed := loads[c.At(0)], c.At(1)
+			inst, err := workload.Generate(workload.Config{
+				Seed: int64(2300 + seed), N: cfg.jobs(), M: 8,
+				Eps: 1, SlackSpread: 0.5, Load: load, Scale: 2,
+			})
+			if err != nil {
+				return cmtSample{}, err
+			}
+			bound := upperBound(inst)
+			if bound == 0 {
+				return cmtSample{}, nil
+			}
+			smp := cmtSample{bound: bound}
+			for _, p := range policies {
+				res, err := runSim(cfg, sim.Config{M: inst.M, Speed: rational.One()}, inst.Jobs, makeS(p))
+				if err != nil {
+					return cmtSample{}, err
+				}
+				var pastDue int
+				for _, js := range res.Jobs {
+					if js.Completed && js.Profit == 0 {
+						pastDue++
+					}
+				}
+				smp.profits = append(smp.profits, res.TotalProfit/bound)
+				smp.complete = append(smp.complete, float64(res.Completed))
+				smp.pastDue = append(smp.pastDue, float64(pastDue))
+				smp.expired = append(smp.expired, float64(res.Expired))
+			}
+			for i, p := range []sim.Commitment{sim.CommitmentNone, sim.CommitmentDelta} {
+				res, err := runSim(cfg, sim.Config{
+					M: inst.M, Speed: rational.One(),
+					Faults: &faults.Config{Seed: int64(2300 + seed), MTBF: 40, MTTR: 15},
+				}, inst.Jobs, makeS(p))
+				if err != nil {
+					return cmtSample{}, err
+				}
+				var pastDue int
+				for _, js := range res.Jobs {
+					if js.Completed && js.Profit == 0 {
+						pastDue++
+					}
+				}
+				smp.faultProfits[i] = res.TotalProfit / bound
+				smp.faultPastDue[i] = float64(pastDue)
+			}
+			return smp, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	profitTb := metrics.NewTable("CMT1: price of commitment (profit/UB, m=8)",
+		"load", "none", "on-admission", "delta", "on-arrival")
+	costTb := metrics.NewTable("CMT2: what the promise costs (per run, m=8)",
+		"load", "completed none", "completed delta", "past-due delta", "completed on-arr", "expired on-arr")
+	faultTb := metrics.NewTable("CMT3: delta under faults (MTBF 40, MTTR 15, m=8)",
+		"load", "none", "delta", "past-due delta")
+	for li, load := range loads {
+		profits := make([]metrics.Series, len(policies))
+		complete := make([]metrics.Series, len(policies))
+		pastDue := make([]metrics.Series, len(policies))
+		expired := make([]metrics.Series, len(policies))
+		var faultNone, faultDelta, faultDue metrics.Series
+		for seed := 0; seed < cfg.seeds(); seed++ {
+			smp := cells[li*cfg.seeds()+seed]
+			if smp.bound == 0 {
+				continue
+			}
+			for i := range policies {
+				profits[i].Add(smp.profits[i])
+				complete[i].Add(smp.complete[i])
+				pastDue[i].Add(smp.pastDue[i])
+				expired[i].Add(smp.expired[i])
+			}
+			faultNone.Add(smp.faultProfits[0])
+			faultDelta.Add(smp.faultProfits[1])
+			faultDue.Add(smp.faultPastDue[1])
+		}
+		profitRow := []any{load}
+		for i := range policies {
+			profitRow = append(profitRow, profits[i].Mean())
+		}
+		profitTb.AddRow(profitRow...)
+		costTb.AddRow(load,
+			complete[0].Mean(), complete[2].Mean(), pastDue[2].Mean(),
+			complete[3].Mean(), expired[3].Mean())
+		faultTb.AddRow(load, faultNone.Mean(), faultDelta.Mean(), faultDue.Mean())
+	}
+	return []*metrics.Table{profitTb, costTb, faultTb}, nil
+}

@@ -120,6 +120,7 @@ func All() []Experiment {
 		{ID: "MINE", Title: "Adversary miner: hill-climbed competitive ratios per scheduler", Run: RunMINE},
 		{ID: "RT", Title: "Real-time bridge: schedulability tests vs simulated deadlines", Run: RunRT},
 		{ID: "FAULTS", Title: "Fault injection: degradation curves and resilient variants", Run: RunFAULTS},
+		{ID: "CMT", Title: "Commitment: the throughput price of binding admission promises", Run: RunCMT},
 	}
 }
 

@@ -10,8 +10,8 @@ func quickCfg() Config { return Config{Quick: true, Seeds: 2} }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("suite has %d experiments, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("suite has %d experiments, want 21", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -182,6 +182,31 @@ func TestLEMBoundsHold(t *testing.T) {
 		}
 		if minCR < margin {
 			t.Errorf("eps=%s: Lemma 5 violated: ||C||/||R|| = %v < margin %v", f[0], minCR, margin)
+		}
+	}
+}
+
+func TestCMTOnAdmissionIsFree(t *testing.T) {
+	tables, err := RunCMT(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CMT1 columns: load, none, on-admission, delta, on-arrival. On-admission
+	// is durability-only, so inside the simulator it must price at exactly
+	// zero: its profit column equals the none column bit for bit.
+	lines := strings.Split(strings.TrimSpace(tables[0].CSV()), "\n")
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		none, err1 := strconv.ParseFloat(f[1], 64)
+		onAdm, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %q", line)
+		}
+		if none != onAdm {
+			t.Errorf("load %s: on-admission profit %v != none profit %v — a durability-only policy changed the schedule", f[0], onAdm, none)
+		}
+		if none <= 0 {
+			t.Errorf("load %s: none profit ratio %v, want > 0", f[0], none)
 		}
 	}
 }

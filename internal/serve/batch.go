@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,11 +36,13 @@ type BatchItem struct {
 // BatchItemResult is one element of the batch response, in request order.
 // Status mirrors what the single-job endpoint would have returned for the
 // same spec: 200 with the verdict in Response, or an error code with the
-// reason in Error.
+// human-readable message in Error and the machine-readable token in Reason —
+// the same {error, reason} pair every top-level error body carries.
 type BatchItemResult struct {
 	Status   int          `json:"status"`
 	Response *JobResponse `json:"response,omitempty"`
 	Error    string       `json:"error,omitempty"`
+	Reason   string       `json:"reason,omitempty"`
 }
 
 // BatchResponse is the POST /v1/jobs:batch response body.
@@ -119,9 +122,8 @@ func (s *Server) handleBatchPost(w http.ResponseWriter, r *http.Request) {
 	received := time.Now()
 	reqID := r.Header.Get("X-Request-Id")
 	if len(reqID) > maxRequestIDLen {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("request id longer than %d bytes", maxRequestIDLen),
-		})
+		writeError(w, http.StatusBadRequest, reasonBadRequest,
+			fmt.Sprintf("request id longer than %d bytes", maxRequestIDLen))
 		return
 	}
 	if reqID == "" {
@@ -142,31 +144,29 @@ func (s *Server) handleBatchPost(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
-				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-			})
+			writeError(w, http.StatusRequestEntityTooLarge, reasonTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, reasonBadRequest, err.Error())
 		return
 	}
 	elems, err := splitJSONArray(rb.b)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, reasonBadRequest, err.Error())
 		return
 	}
 	if len(elems) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		writeError(w, http.StatusBadRequest, reasonBadRequest, "empty batch")
 		return
 	}
 	if len(elems) > s.cfg.MaxBatchItems {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
-			Error: fmt.Sprintf("batch of %d items exceeds max-batch %d", len(elems), s.cfg.MaxBatchItems),
-		})
+		writeError(w, http.StatusRequestEntityTooLarge, reasonTooLarge,
+			fmt.Sprintf("batch of %d items exceeds max-batch %d", len(elems), s.cfg.MaxBatchItems))
 		return
 	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, reasonDraining, "draining")
 		return
 	}
 
@@ -184,7 +184,7 @@ func (s *Server) handleBatchPost(w http.ResponseWriter, r *http.Request) {
 			dec := json.NewDecoder(bytes.NewReader(e))
 			dec.DisallowUnknownFields()
 			if derr := dec.Decode(&it); derr != nil {
-				results[idx] = BatchItemResult{Status: http.StatusBadRequest, Error: derr.Error()}
+				results[idx] = BatchItemResult{Status: http.StatusBadRequest, Error: derr.Error(), Reason: reasonBadRequest}
 				continue
 			}
 			spec, key = it.JobSpec, it.Key
@@ -193,6 +193,7 @@ func (s *Server) handleBatchPost(w http.ResponseWriter, r *http.Request) {
 			results[idx] = BatchItemResult{
 				Status: http.StatusBadRequest,
 				Error:  fmt.Sprintf("idempotency key longer than %d bytes", maxIdempotencyKeyLen),
+				Reason: reasonBadRequest,
 			}
 			continue
 		}
@@ -230,7 +231,7 @@ func (s *Server) handleBatchPost(w http.ResponseWriter, r *http.Request) {
 		default:
 			// This shard is behind; backpressure its items, not the batch.
 			for _, it := range group {
-				results[it.idx] = BatchItemResult{Status: http.StatusTooManyRequests, Error: "submission queue full"}
+				results[it.idx] = BatchItemResult{Status: http.StatusTooManyRequests, Error: "submission queue full", Reason: reasonQueueFull}
 			}
 		}
 	}
@@ -239,7 +240,7 @@ func (s *Server) handleBatchPost(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			// Enqueued but never dequeued: the engine drained first.
 			for _, it := range d.items {
-				results[it.idx] = BatchItemResult{Status: http.StatusServiceUnavailable, Error: "draining"}
+				results[it.idx] = BatchItemResult{Status: http.StatusServiceUnavailable, Error: "draining", Reason: reasonDraining}
 			}
 			continue
 		}
@@ -249,7 +250,7 @@ func (s *Server) handleBatchPost(w http.ResponseWriter, r *http.Request) {
 				resp := r.resp
 				results[it.idx] = BatchItemResult{Status: http.StatusOK, Response: &resp}
 			} else {
-				results[it.idx] = BatchItemResult{Status: r.status, Error: r.err}
+				results[it.idx] = BatchItemResult{Status: r.status, Error: r.err, Reason: cmp.Or(r.reason, reasonInternal)}
 			}
 		}
 	}
@@ -305,6 +306,15 @@ func writeBatchResponse(w http.ResponseWriter, items []BatchItemResult) {
 			}
 			b = append(b, `,"error":"`...)
 			b = append(b, it.Error...)
+			b = append(b, '"')
+		}
+		if it.Reason != "" {
+			if !jsonPlain(it.Reason) {
+				ok = false
+				break
+			}
+			b = append(b, `,"reason":"`...)
+			b = append(b, it.Reason...)
 			b = append(b, '"')
 		}
 		b = append(b, '}')

@@ -314,7 +314,7 @@ func BenchmarkSubmissionsEngine(b *testing.B) {
 	parkEngines(b, srv)
 
 	sh := srv.shards[0]
-	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 	clock := int64(0)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -340,7 +340,7 @@ func BenchmarkSubmissionsEngine(b *testing.B) {
 func shardedEngineLoop(b *testing.B, srv *Server) {
 	b.Helper()
 	parkEngines(b, srv)
-	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 	clock := int64(0)
 	n := len(srv.shards)
 	b.ReportAllocs()
@@ -397,7 +397,7 @@ func BenchmarkSubmissionsWAL(b *testing.B) {
 			parkEngines(b, srv)
 
 			sh := srv.shards[0]
-			spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+			spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 			clock := int64(0)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -432,7 +432,7 @@ func BenchmarkSubmissionsWALSharded(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer srv.Drain()
-			spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+			spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 			var wg sync.WaitGroup
 			b.ResetTimer()
 			for s, sh := range srv.shards {

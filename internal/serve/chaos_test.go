@@ -31,6 +31,9 @@ import (
 //     no ID;
 //   - duplicate retries collapse: submitting the same key twice yields one
 //     job and one verdict;
+//   - commitment survives the crash: a job acknowledged as committed (the
+//     load mixes per-job "commitment":"delta" specs in) is re-acknowledged
+//     with the same commitment string after recovery — never downgraded;
 //   - the recovered session is bit-identical: draining the restarted daemon
 //     matches an offline replay of the durable directory.
 
@@ -145,15 +148,34 @@ func (c *chaosChild) waitReady(t *testing.T) {
 }
 
 // chaosSpec is the deterministic job body for a key, so a retry re-sends the
-// byte-identical submission.
+// byte-identical submission. The load deliberately mixes the v2 schema in:
+// every third job requests binding δ-commitment per-job, and every fifth
+// carries its profit as a structured step object instead of a scalar, so the
+// crash lands on WAL records of every spec shape.
 func chaosSpec(g, i int) string {
 	w := 4 + (g*7+i)%23
 	l := 1 + (g+i)%4
 	if l > w {
 		l = w
 	}
-	return fmt.Sprintf(`{"w":%d,"l":%d,"deadline":%d,"profit":%d}`, w, l, l+15+(i%13), 1+i%6)
+	deadline, profit := l+15+(i%13), 1+i%6
+	var sb strings.Builder
+	if i%5 == 4 {
+		// Structured profit objects carry the deadline themselves; a
+		// top-level deadline alongside one is a rejected conflict.
+		fmt.Fprintf(&sb, `{"w":%d,"l":%d,"profit":{"type":"step","value":%d,"deadline":%d}`, w, l, profit, deadline)
+	} else {
+		fmt.Fprintf(&sb, `{"w":%d,"l":%d,"deadline":%d,"profit":%d`, w, l, deadline, profit)
+	}
+	if chaosWantsDelta(g, i) {
+		sb.WriteString(`,"commitment":"delta"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
 }
+
+// chaosWantsDelta says whether chaosSpec(g, i) requests per-job δ-commitment.
+func chaosWantsDelta(g, i int) bool { return (g+i)%3 == 0 }
 
 // chaosKeyedItem turns a chaosSpec body into a batch item carrying the key
 // inline, so batch retries are byte-identical re-sends too.
@@ -283,9 +305,10 @@ func runChaos(t *testing.T, seed int64, shards int) {
 
 	const clients, perClient = 4, 40
 	var (
-		mu     sync.Mutex
-		acked  = map[string]JobResponse{} // key → verdict the client saw
-		unseen []string                   // keys whose submission died with the child
+		mu        sync.Mutex
+		acked     = map[string]JobResponse{} // key → verdict the client saw
+		unseen    []string                   // keys whose submission died with the child
+		deltaKeys = map[string]bool{}        // keys whose spec requested δ-commitment
 	)
 	var ackCount atomic.Int64
 	var killed atomic.Bool
@@ -331,8 +354,14 @@ func runChaos(t *testing.T, seed int64, shards int) {
 					keys := make([]string, 0, chaosBatchN)
 					specs := make([]string, 0, chaosBatchN)
 					for j := i; j < i+chaosBatchN && j < perClient; j++ {
-						keys = append(keys, fmt.Sprintf("s%d-c%d-%d", seed, g, j))
+						key := fmt.Sprintf("s%d-c%d-%d", seed, g, j)
+						keys = append(keys, key)
 						specs = append(specs, chaosSpec(g, j))
+						if chaosWantsDelta(g, j) {
+							mu.Lock()
+							deltaKeys[key] = true
+							mu.Unlock()
+						}
 					}
 					got, err := chaosPostBatch(client, child.addr, keys, specs)
 					for key, jr := range got {
@@ -355,6 +384,11 @@ func runChaos(t *testing.T, seed int64, shards int) {
 			}
 			for i := 0; i < perClient; i++ {
 				key := fmt.Sprintf("s%d-c%d-%d", seed, g, i)
+				if chaosWantsDelta(g, i) {
+					mu.Lock()
+					deltaKeys[key] = true
+					mu.Unlock()
+				}
 				jr, err := chaosPost(client, child.addr, key, chaosSpec(g, i))
 				if err != nil {
 					// The child died under us (or the response never arrived —
@@ -430,6 +464,14 @@ func runChaos(t *testing.T, seed int64, shards int) {
 			t.Errorf("retry %s: got ID=%d %q, acked ID=%d %q — commitment broken",
 				key, got.ID, got.Decision, want.ID, want.Decision)
 		}
+		if got.Commitment != want.Commitment {
+			t.Errorf("retry %s: acked commitment %q, replay says %q — commitment changed across the crash",
+				key, want.Commitment, got.Commitment)
+		}
+		if deltaKeys[key] && want.Decision != DecisionRejected && want.Commitment != CommitmentDelta {
+			t.Errorf("key %s requested delta and was not rejected, but was acked with commitment %q",
+				key, want.Commitment)
+		}
 		if want.Decision == DecisionRejected && got.ID != 0 {
 			t.Errorf("retry %s: rejected job resurrected with ID %d", key, got.ID)
 		}
@@ -458,7 +500,8 @@ func runChaos(t *testing.T, seed int64, shards int) {
 		if err != nil {
 			t.Fatalf("in-flight key %s retry: %v", key, err)
 		}
-		if !second.Replayed || second.ID != first.ID || second.Decision != first.Decision {
+		if !second.Replayed || second.ID != first.ID || second.Decision != first.Decision ||
+			second.Commitment != first.Commitment {
 			t.Errorf("in-flight key %s: duplicate did not collapse (%+v then %+v)", key, first, second)
 		}
 		if first.ID > 0 {

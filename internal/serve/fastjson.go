@@ -225,11 +225,12 @@ func parseJobSpecFast(data []byte, allowKey bool) (spec JobSpec, key []byte, ok 
 			}
 			spec.Deadline, i = v, n
 		case string(name) == "profit":
+			// A '{' here is a structured profit object: off the fast path.
 			v, n, vok := parseJSONFloat(data, i)
 			if !vok {
 				return JobSpec{}, nil, false
 			}
-			spec.Profit, i = v, n
+			spec.Profit, i = ScalarProfit(v), n
 		case allowKey && string(name) == "key":
 			s, n, vok := parseJSONString(data, i)
 			if !vok {

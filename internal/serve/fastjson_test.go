@@ -66,9 +66,11 @@ func TestFastParseMatchesEncodingJSON(t *testing.T) {
 		`{"w":9999999999999999999}`,     // 19 digits
 		`{"dag":{"work":[1]}}`,          // structured field
 		`{"curve":{"kind":"step"}}`,     // structured field
-		`{"bogus":1}`,                   // unknown field (json rejects too)
-		`{"key":"k1","w":1,"l":1}`,      // key only allowed in batch items
-		`{"wA":1}`,                      // escaped key
+		`{"profit":{"type":"step","value":3,"deadline":40}}`, // structured profit object
+		`{"w":4,"l":2,"profit":1,"commitment":"delta"}`,      // commitment override
+		`{"bogus":1}`,              // unknown field (json rejects too)
+		`{"key":"k1","w":1,"l":1}`, // key only allowed in batch items
+		`{"wA":1}`,                 // escaped key
 	}
 	for _, body := range fallback {
 		if _, _, ok := parseJobSpecFast([]byte(body), false); ok {
@@ -86,7 +88,7 @@ func TestFastParseBatchKey(t *testing.T) {
 	if string(key) != "user-42/j7" {
 		t.Fatalf("key = %q, want user-42/j7", key)
 	}
-	if spec.W != 4 || spec.L != 2 || spec.Deadline != 10 || spec.Profit != 1 {
+	if spec.W != 4 || spec.L != 2 || spec.Deadline != 10 || spec.Profit.Scalar != 1 {
 		t.Fatalf("spec = %+v", spec)
 	}
 	if _, _, ok := parseJobSpecFast([]byte(`{"key":"a\"b","w":1,"l":1}`), true); ok {
@@ -112,8 +114,8 @@ func TestFastParseFloatExact(t *testing.T) {
 		if err := json.Unmarshal(body, &want); err != nil {
 			t.Fatalf("json.Unmarshal(%s): %v", body, err)
 		}
-		if math.Float64bits(spec.Profit) != math.Float64bits(want.Profit) {
-			t.Errorf("profit %s: fast=%x json=%x", lit, math.Float64bits(spec.Profit), math.Float64bits(want.Profit))
+		if math.Float64bits(spec.Profit.Scalar) != math.Float64bits(want.Profit.Scalar) {
+			t.Errorf("profit %s: fast=%x json=%x", lit, math.Float64bits(spec.Profit.Scalar), math.Float64bits(want.Profit.Scalar))
 		}
 	}
 }
@@ -293,7 +295,7 @@ func TestAppendFrame(t *testing.T) {
 // bypass (nil entry).
 func TestMarshalJobWireMatchesMarshalJob(t *testing.T) {
 	sh := &shard{}
-	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 	for i, id := range []int{1, 9, 1234567} {
 		g, fn, ce, err := sh.buildSpec(spec)
 		if err != nil {
@@ -319,7 +321,7 @@ func TestMarshalJobWireMatchesMarshalJob(t *testing.T) {
 		t.Errorf("wireCache holds %d entries, want 1 (one scalar shape)", len(sh.wireCache))
 	}
 	// A second shape must not collide with the first.
-	spec2 := JobSpec{W: 9, L: 3, Deadline: 12, Profit: 0.5}
+	spec2 := JobSpec{W: 9, L: 3, Deadline: 12, Profit: ScalarProfit(0.5)}
 	g2, fn2, ce2, err := sh.buildSpec(spec2)
 	if err != nil {
 		t.Fatalf("buildSpec(spec2): %v", err)
@@ -349,7 +351,7 @@ func TestMarshalJobWireMatchesMarshalJob(t *testing.T) {
 // are not cached.
 func TestBuildSpecSharesGraph(t *testing.T) {
 	sh := &shard{}
-	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+	spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 	g1, _, _, err := sh.buildSpec(spec)
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,18 +19,31 @@ import (
 	"dagsched/internal/workload"
 )
 
-// JobSpec is the POST /v1/jobs request body. The shape is given either as a
-// full DAG (the instance wire format: {"work":[...],"edges":[[u,v],...]}) or
-// as scalar totals W and L, from which the server synthesizes a DAG with
-// exactly that work and span. The profit curve is either the step shorthand
-// (Deadline ticks after release, worth Profit) or a full ProfitSpec.
+// ProfitValue is the v2 "profit" field: a scalar (the v1 step shorthand) or
+// a structured {"type":...} profit function. See workload.ProfitValue.
+type ProfitValue = workload.ProfitValue
+
+// ScalarProfit wraps a v1 scalar profit (workload.ScalarProfit).
+func ScalarProfit(v float64) ProfitValue { return workload.ScalarProfit(v) }
+
+// JobSpec is the POST /v1/jobs request body (the v2 job schema). The shape
+// is given either as a full DAG (the instance wire format:
+// {"work":[...],"edges":[[u,v],...]}) or as scalar totals W and L, from
+// which the server synthesizes a DAG with exactly that work and span. Profit
+// is either the v1 scalar step shorthand (worth that much until Deadline
+// ticks after release) or a structured {"type":...} non-increasing profit
+// function, which carries its own horizon; Curve is the v1 spelling of the
+// structured form and is kept for compatibility. Commitment optionally
+// overrides the daemon-wide commitment policy for this job ("none",
+// "on-admission", "on-arrival", "delta"; empty inherits).
 type JobSpec struct {
-	W        int64                `json:"w,omitempty"`
-	L        int64                `json:"l,omitempty"`
-	DAG      *dag.DAG             `json:"dag,omitempty"`
-	Deadline int64                `json:"deadline,omitempty"`
-	Profit   float64              `json:"profit,omitempty"`
-	Curve    *workload.ProfitSpec `json:"curve,omitempty"`
+	W          int64                `json:"w,omitempty"`
+	L          int64                `json:"l,omitempty"`
+	DAG        *dag.DAG             `json:"dag,omitempty"`
+	Deadline   int64                `json:"deadline,omitempty"`
+	Profit     ProfitValue          `json:"profit"`
+	Curve      *workload.ProfitSpec `json:"curve,omitempty"`
+	Commitment string               `json:"commitment,omitempty"`
 }
 
 // maxSynthNodes caps the node count of a synthesized DAG so a scalar spec
@@ -58,7 +72,7 @@ func (js JobSpec) build() (*dag.DAG, profit.Fn, error) {
 	var fn profit.Fn
 	switch {
 	case js.Curve != nil:
-		if js.Deadline != 0 || js.Profit != 0 {
+		if js.Deadline != 0 || !js.Profit.IsScalar() || js.Profit.Scalar != 0 {
 			return nil, nil, fmt.Errorf("spec sets both curve and deadline/profit; use one")
 		}
 		var err error
@@ -66,9 +80,18 @@ func (js JobSpec) build() (*dag.DAG, profit.Fn, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+	case !js.Profit.IsScalar():
+		if js.Deadline != 0 {
+			return nil, nil, fmt.Errorf("spec sets both deadline and a structured profit; the profit carries its own horizon")
+		}
+		var err error
+		fn, err = js.Profit.Spec.Decode()
+		if err != nil {
+			return nil, nil, err
+		}
 	default:
 		var err error
-		fn, err = profit.NewStep(js.Profit, js.Deadline)
+		fn, err = profit.NewStep(js.Profit.Scalar, js.Deadline)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -236,9 +259,17 @@ type StatsResponse struct {
 	Shards      []ShardStats      `json:"shards,omitempty"`
 }
 
-// errorResponse is every non-2xx JSON body.
+// errorResponse is every non-2xx JSON body: the unified error envelope. Error
+// is the human-readable message; Reason is the machine-readable class drawn
+// from the reason* constants (obs.go), stable across message-text changes.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+// writeError renders the unified error envelope.
+func writeError(w http.ResponseWriter, status int, reason, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Reason: reason})
 }
 
 // Handler returns the daemon's HTTP routes:
@@ -292,9 +323,8 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	reqID := r.Header.Get("X-Request-Id")
 	persist := reqID != ""
 	if len(reqID) > maxRequestIDLen {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("request id longer than %d bytes", maxRequestIDLen),
-		})
+		writeError(w, http.StatusBadRequest, reasonBadRequest,
+			fmt.Sprintf("request id longer than %d bytes", maxRequestIDLen))
 		return
 	}
 	if reqID == "" {
@@ -342,9 +372,8 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	}
 	key := r.Header.Get("Idempotency-Key")
 	if len(key) > maxIdempotencyKeyLen {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("idempotency key longer than %d bytes", maxIdempotencyKeyLen),
-		})
+		writeError(w, http.StatusBadRequest, reasonBadRequest,
+			fmt.Sprintf("idempotency key longer than %d bytes", maxIdempotencyKeyLen))
 		return
 	}
 	limit := s.cfg.MaxBodyBytes
@@ -358,29 +387,29 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
-				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-			})
+			writeError(w, http.StatusRequestEntityTooLarge, reasonTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, reasonBadRequest, err.Error())
 		return
 	}
 	// Scalar specs take the zero-allocation parser; anything else (dag,
-	// curve, or malformed input) falls back to encoding/json, which keeps
-	// the canonical behavior and error shapes.
+	// curve, structured profit, a commitment override, or malformed input)
+	// falls back to encoding/json, which keeps the canonical behavior and
+	// error shapes.
 	spec, _, fastOK := parseJobSpecFast(rb.b, false)
 	if !fastOK {
 		dec := json.NewDecoder(bytes.NewReader(rb.b))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeError(w, http.StatusBadRequest, reasonBadRequest, err.Error())
 			return
 		}
 	}
 	if s.draining.Load() {
 		finish(http.StatusServiceUnavailable, nil, "", nil, nil)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, reasonDraining, "draining")
 		return
 	}
 	sh, route := s.placer.routeTraced(key)
@@ -391,7 +420,7 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	default:
 		// Mailbox full: the shard is behind. Backpressure, don't block.
 		finish(http.StatusTooManyRequests, sh, route, nil, nil)
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "submission queue full"})
+		writeError(w, http.StatusTooManyRequests, reasonQueueFull, "submission queue full")
 		return
 	}
 	rep, ok := await(sh, msg.reply)
@@ -399,12 +428,12 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 		// Enqueued but never dequeued: the engine drained first, so the job
 		// was not committed.
 		finish(http.StatusServiceUnavailable, sh, route, nil, nil)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, reasonDraining, "draining")
 		return
 	}
 	if rep.status != http.StatusOK {
 		finish(rep.status, sh, route, tr, nil)
-		writeJSON(w, rep.status, errorResponse{Error: rep.err})
+		writeError(w, rep.status, cmp.Or(rep.reason, reasonInternal), rep.err)
 		return
 	}
 	finish(http.StatusOK, sh, route, tr, &rep.resp)
@@ -431,7 +460,7 @@ func writeJobResponse(w http.ResponseWriter, resp *JobResponse) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 1 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job id"})
+		writeError(w, http.StatusBadRequest, reasonBadRequest, "bad job id")
 		return
 	}
 	sh := s.placer.shardFor(id)
@@ -442,14 +471,14 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		// exited, so reading is safe).
 		stat, state := sh.sess.Lookup(id)
 		if state == sim.JobStateUnknown {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+			writeError(w, http.StatusNotFound, reasonNotFound, "unknown job")
 			return
 		}
 		writeJSON(w, http.StatusOK, statusResponse(id, stat, state))
 		return
 	}
 	if !rep.found {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		writeError(w, http.StatusNotFound, reasonNotFound, "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, rep.resp)
@@ -516,11 +545,11 @@ func (s *Server) aggregateStats(replies []shardStatsReply) StatsResponse {
 // or engine failure makes the process unhealthy enough to restart.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if msg := s.Degraded(); msg != "" {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded", "error": msg})
+		writeError(w, http.StatusServiceUnavailable, reasonDegraded, msg)
 		return
 	}
 	if msg := s.engineError(); msg != "" {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded", "error": msg})
+		writeError(w, http.StatusServiceUnavailable, reasonDegraded, msg)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -545,7 +574,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		reason = reasonRecovering
 	}
 	s.metrics.inc("serve.not_ready."+reason, 1)
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason, "reason": reason})
+	writeError(w, http.StatusServiceUnavailable, reason, "not ready")
 }
 
 func (s *Server) handleDrainPost(w http.ResponseWriter, r *http.Request) {

@@ -39,30 +39,35 @@ func TestHTTPSubmitErrorTable(t *testing.T) {
 	_, ts := newTestServer(t, Config{M: 2, MaxBodyBytes: 512})
 
 	cases := []struct {
-		name    string
-		body    string
-		headers map[string]string
-		want    int
-		errHas  string
+		name       string
+		body       string
+		headers    map[string]string
+		want       int
+		wantReason string
+		errHas     string
 	}{
-		{name: "not json", body: `{nope`, want: 400},
-		{name: "unknown field", body: `{"w":1,"l":1,"deadline":3,"profit":1,"bogus":true}`, want: 400},
-		{name: "missing curve", body: `{"w":4,"l":2}`, want: 400},
-		{name: "w below l", body: `{"w":2,"l":4,"deadline":9,"profit":1}`, want: 400},
-		{name: "empty body", body: ``, want: 400},
-		{name: "json array", body: `[1,2,3]`, want: 400},
+		{name: "not json", body: `{nope`, want: 400, wantReason: reasonBadRequest},
+		{name: "unknown field", body: `{"w":1,"l":1,"deadline":3,"profit":1,"bogus":true}`, want: 400, wantReason: reasonBadRequest},
+		{name: "missing curve", body: `{"w":4,"l":2}`, want: 400, wantReason: reasonBadRequest},
+		{name: "w below l", body: `{"w":2,"l":4,"deadline":9,"profit":1}`, want: 400, wantReason: reasonBadRequest},
+		{name: "empty body", body: ``, want: 400, wantReason: reasonBadRequest},
+		{name: "json array", body: `[1,2,3]`, want: 400, wantReason: reasonBadRequest},
+		{name: "bad profit object", body: `{"w":4,"l":2,"profit":{"type":"warp"}}`, want: 400, wantReason: reasonBadRequest},
+		{name: "bad commitment", body: `{"w":4,"l":2,"deadline":9,"profit":1,"commitment":"always"}`, want: 400, wantReason: reasonBadRequest},
 		{
-			name:   "oversized body",
-			body:   `{"w":4,"l":2,"deadline":9,"profit":1,"pad":"` + strings.Repeat("x", 600) + `"}`,
-			want:   413,
-			errHas: "exceeds",
+			name:       "oversized body",
+			body:       `{"w":4,"l":2,"deadline":9,"profit":1,"pad":"` + strings.Repeat("x", 600) + `"}`,
+			want:       413,
+			wantReason: reasonTooLarge,
+			errHas:     "exceeds",
 		},
 		{
-			name:    "idempotency key too long",
-			body:    `{"w":4,"l":2,"deadline":9,"profit":1}`,
-			headers: map[string]string{"Idempotency-Key": strings.Repeat("k", 200)},
-			want:    400,
-			errHas:  "idempotency key",
+			name:       "idempotency key too long",
+			body:       `{"w":4,"l":2,"deadline":9,"profit":1}`,
+			headers:    map[string]string{"Idempotency-Key": strings.Repeat("k", 200)},
+			want:       400,
+			wantReason: reasonBadRequest,
+			errHas:     "idempotency key",
 		},
 	}
 	for _, tc := range cases {
@@ -74,10 +79,86 @@ func TestHTTPSubmitErrorTable(t *testing.T) {
 			if er.Error == "" {
 				t.Fatal("error body is empty")
 			}
+			if er.Reason != tc.wantReason {
+				t.Fatalf("reason = %q, want %q", er.Reason, tc.wantReason)
+			}
 			if tc.errHas != "" && !strings.Contains(er.Error, tc.errHas) {
 				t.Fatalf("error %q does not mention %q", er.Error, tc.errHas)
 			}
 		})
+	}
+}
+
+// TestErrorEnvelopeEverySurface is the wire contract for failures: every
+// 4xx/5xx the daemon can produce — submit, status, batch (top-level and
+// per-item), drain, readiness — answers the same {"error", "reason"} envelope
+// with a machine-readable reason token.
+func TestErrorEnvelopeEverySurface(t *testing.T) {
+	srv, ts := newTestServer(t, Config{M: 2, MaxBodyBytes: 512})
+
+	get := func(path string) (int, errorResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("GET %s body is not an errorResponse: %v", path, err)
+		}
+		return resp.StatusCode, er
+	}
+
+	if code, er := get("/v1/jobs/notanumber"); code != 400 || er.Reason != reasonBadRequest || er.Error == "" {
+		t.Errorf("bad job id: code=%d body=%+v, want 400 %s", code, er, reasonBadRequest)
+	}
+	if code, er := get("/v1/jobs/99999"); code != 404 || er.Reason != reasonNotFound || er.Error == "" {
+		t.Errorf("unknown job: code=%d body=%+v, want 404 %s", code, er, reasonNotFound)
+	}
+
+	// Batch: a top-level failure carries the envelope...
+	resp, err := http.Post(ts.URL+"/v1/jobs:batch", "application/json", strings.NewReader(`{"not":"an array"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 || er.Reason != reasonBadRequest || er.Error == "" {
+		t.Errorf("batch top-level: code=%d body=%+v, want 400 %s", resp.StatusCode, er, reasonBadRequest)
+	}
+
+	// ...and a failed item inside a 200 batch carries the same pair.
+	resp, err = http.Post(ts.URL+"/v1/jobs:batch", "application/json",
+		strings.NewReader(`[{"w":4,"l":2,"deadline":9,"profit":1},{"w":2,"l":4,"deadline":9,"profit":1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(br.Items) != 2 {
+		t.Fatalf("batch: code=%d items=%d", resp.StatusCode, len(br.Items))
+	}
+	if it := br.Items[0]; it.Status != 200 || it.Error != "" || it.Reason != "" {
+		t.Errorf("good item carries error fields: %+v", it)
+	}
+	if it := br.Items[1]; it.Status != 400 || it.Error == "" || it.Reason != reasonBadRequest {
+		t.Errorf("bad item: %+v, want 400 with error and reason %s", it, reasonBadRequest)
+	}
+
+	// Drain: submissions and readiness both report the envelope.
+	srv.Drain()
+	if code, er := postRaw(t, ts, `{"w":4,"l":2,"deadline":9,"profit":1}`, nil); code != 503 || er.Reason != reasonDraining || er.Error == "" {
+		t.Errorf("post-drain submit: code=%d body=%+v, want 503 %s", code, er, reasonDraining)
+	}
+	if code, er := get("/readyz"); code != 503 || er.Reason != reasonDraining || er.Error == "" {
+		t.Errorf("post-drain readyz: code=%d body=%+v, want 503 %s", code, er, reasonDraining)
 	}
 }
 
@@ -95,7 +176,7 @@ func TestHTTPBackpressureBody(t *testing.T) {
 	if code != 429 {
 		t.Fatalf("code = %d, want 429", code)
 	}
-	if er.Error != "submission queue full" {
+	if er.Error != "submission queue full" || er.Reason != reasonQueueFull {
 		t.Fatalf("429 body = %+v", er)
 	}
 }
@@ -125,8 +206,8 @@ func TestHTTPDrainBody(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
 		t.Fatal(err)
 	}
-	if ready["status"] != "draining" {
-		t.Fatalf("readyz body = %+v, want status draining", ready)
+	if ready["reason"] != "draining" {
+		t.Fatalf("readyz body = %+v, want reason draining", ready)
 	}
 }
 
@@ -204,8 +285,8 @@ func (f *failAfterWriter) Write(p []byte) (int, error) {
 	return 0, errDiskGone
 }
 
-var errDiskGone = &writeError{"disk gone"}
+var errDiskGone = &diskError{"disk gone"}
 
-type writeError struct{ msg string }
+type diskError struct{ msg string }
 
-func (e *writeError) Error() string { return e.msg }
+func (e *diskError) Error() string { return e.msg }

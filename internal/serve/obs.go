@@ -99,12 +99,19 @@ var (
 	descRecovUs  = obs.Desc{Name: "serve_recovery_duration_us", Help: "Crash-recovery replay duration at start, in microseconds.", Kind: obs.Histogram}
 )
 
-// Readiness-failure reasons (serve_not_ready_total's reason label and the
-// /readyz body's machine-readable reason field).
+// Machine-readable error reasons: the "reason" field of the unified error
+// envelope every 4xx/5xx body carries (errorResponse, per-item batch
+// statuses, /readyz). The first three double as serve_not_ready_total's
+// reason label.
 const (
 	reasonRecovering = "recovering"
 	reasonDraining   = "draining"
 	reasonDegraded   = "degraded"
+	reasonBadRequest = "bad-request"
+	reasonNotFound   = "not-found"
+	reasonTooLarge   = "too-large"
+	reasonQueueFull  = "queue-full"
+	reasonInternal   = "internal"
 )
 
 func boolGauge(b bool) int64 {

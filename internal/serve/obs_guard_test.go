@@ -22,7 +22,7 @@ func engineCost(b2 *testing.T, instrumented bool) float64 {
 		if !instrumented {
 			sh.obsReg = nil // engine parked: only this goroutine touches it
 		}
-		spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+		spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 		clock := int64(0)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

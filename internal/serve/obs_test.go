@@ -371,8 +371,8 @@ func TestReadyzReasonBodies(t *testing.T) {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if body["reason"] != "draining" || body["status"] != "draining" {
-			t.Errorf("readyz body = %v, want reason/status draining", body)
+		if body["reason"] != "draining" || body["error"] == "" {
+			t.Errorf("readyz body = %v, want the {error, reason} envelope with reason draining", body)
 		}
 		m := scrapeMetrics(t, ts.URL+"/metrics")
 		if got := m[`serve_not_ready_total{reason="draining"}`]; got < 2 {

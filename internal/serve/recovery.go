@@ -113,6 +113,11 @@ func headerOf(cfg Config) ReplayHeader {
 	if cfg.Shards > 1 {
 		h.Shards = cfg.Shards
 	}
+	// Only a binding policy changes admission, so only a binding policy is
+	// pinned in the durable header; the default keeps its historical bytes.
+	if lvl, err := sim.ParseCommitment(cfg.Commitment); err == nil && lvl.Binding() {
+		h.Commitment = cfg.Commitment
+	}
 	return h
 }
 
@@ -136,7 +141,7 @@ func configFromHeader(h ReplayHeader) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
-	return Config{M: h.M, Sched: h.Sched, Eps: h.Eps, Speed: speed, Shards: h.Shards}, nil
+	return Config{M: h.M, Sched: h.Sched, Eps: h.Eps, Speed: speed, Shards: h.Shards, Commitment: h.Commitment}, nil
 }
 
 // checkHeader rejects durable state written under a different serving
@@ -263,7 +268,7 @@ func loadState(dir string, want ReplayHeader, baseID int) (*recoveredState, erro
 // acknowledged one — an admitted job that would no longer be admitted is a
 // broken commitment and aborts recovery — and at the checkpoint boundary the
 // recomputed session fingerprint must equal the stored one bit for bit.
-func (rs *recoveredState) replayInto(sess *sim.Session, adm admitter, reg *telemetry.Registry) error {
+func (rs *recoveredState) replayInto(sess *sim.Session, adm admitter, reg *telemetry.Registry, policy sim.Commitment) error {
 	restoreSummary(reg, rs.summary)
 	for n, wj := range rs.jobs {
 		if n == rs.checkpointJobs && rs.hasCheckpoint {
@@ -278,11 +283,16 @@ func (rs *recoveredState) replayInto(sess *sim.Session, adm admitter, reg *telem
 		if err := sess.AdvanceTo(job.Release); err != nil {
 			return fmt.Errorf("serve: recovery replay: %w", err)
 		}
-		decision, reason, _ := decideAdmission(adm, job)
+		decision, reason, _ := decideAdmission(adm, job, policy)
 		if decision != wj.Resp.Decision {
 			return fmt.Errorf(
 				"serve: recovery: job %d was acknowledged %q but replay decides %q (reason %q) — commitment violated, refusing to start",
 				job.ID, wj.Resp.Decision, decision, reason)
+		}
+		if want := commitmentString(job.Commitment.Resolve(policy), true); wj.Resp.Commitment != want {
+			return fmt.Errorf(
+				"serve: recovery: job %d was acknowledged with commitment %q but replay derives %q — commitment violated, refusing to start",
+				job.ID, wj.Resp.Commitment, want)
 		}
 		if err := sess.Arrive(job); err != nil {
 			return fmt.Errorf("serve: recovery job %d: %w", job.ID, err)
@@ -414,6 +424,9 @@ func replayOneDir(dir string, stride, idx int) (*sim.Result, error) {
 	}
 	sched, err := cliflags.MakeScheduler(hdr.Sched, hdr.Eps, false)
 	if err != nil {
+		return nil, err
+	}
+	if err := applyCommitment(sched, hdr.Commitment); err != nil {
 		return nil, err
 	}
 	return sim.RunAuto(sim.Config{M: hdr.M, Speed: speed}, jobs, sched)

@@ -75,9 +75,9 @@ func TestRecoveryRoundTrip(t *testing.T) {
 	srv, drain := newDurableServer(t, dir, nil)
 
 	specs := []JobSpec{
-		{W: 32, L: 4, Deadline: 40, Profit: 10}, // admitted
-		{W: 100, L: 2, Deadline: 12, Profit: 8}, // rejected (not logged as a job)
-		{W: 8, L: 2, Deadline: 25, Profit: 3},   // admitted
+		{W: 32, L: 4, Deadline: 40, Profit: ScalarProfit(10)}, // admitted
+		{W: 100, L: 2, Deadline: 12, Profit: ScalarProfit(8)}, // rejected (not logged as a job)
+		{W: 8, L: 2, Deadline: 25, Profit: ScalarProfit(3)},   // admitted
 	}
 	var acked []submitReply
 	for i, spec := range specs {
@@ -122,7 +122,7 @@ func TestRecoveryRoundTrip(t *testing.T) {
 		_ = stat
 	}
 	// The next ID continues the pre-crash sequence.
-	rep := submitDirect(t, srv2, JobSpec{W: 4, L: 2, Deadline: 30, Profit: 1}, "")
+	rep := submitDirect(t, srv2, JobSpec{W: 4, L: 2, Deadline: 30, Profit: ScalarProfit(1)}, "")
 	if rep.status != 200 || rep.resp.ID != 3 {
 		t.Fatalf("post-recovery submit: %+v, want ID 3", rep)
 	}
@@ -150,7 +150,7 @@ func TestRecoveryAfterCheckpointTruncatesWAL(t *testing.T) {
 	defer drain()
 
 	for i := 0; i < 5; i++ {
-		if rep := submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: 2}, ""); rep.status != 200 {
+		if rep := submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, ""); rep.status != 200 {
 			t.Fatalf("submit %d: %+v", i, rep)
 		}
 	}
@@ -167,8 +167,8 @@ func TestRecoveryAfterCheckpointTruncatesWAL(t *testing.T) {
 		t.Fatalf("WAL holds %d records after checkpoint, want 1 (header)", len(payloads))
 	}
 	// Two more jobs land in the suffix.
-	submitDirect(t, srv, JobSpec{W: 6, L: 2, Deadline: 30, Profit: 2}, "")
-	submitDirect(t, srv, JobSpec{W: 6, L: 3, Deadline: 30, Profit: 2}, "")
+	submitDirect(t, srv, JobSpec{W: 6, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, "")
+	submitDirect(t, srv, JobSpec{W: 6, L: 3, Deadline: 30, Profit: ScalarProfit(2)}, "")
 
 	snap := snapshotDir(t, dir)
 	srv2, drain2 := newDurableServer(t, snap, nil)
@@ -183,8 +183,8 @@ func TestRecoveryTornTail(t *testing.T) {
 	dir := t.TempDir()
 	srv, drain := newDurableServer(t, dir, nil)
 	defer drain()
-	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: 2}, "")
-	submitDirect(t, srv, JobSpec{W: 12, L: 3, Deadline: 30, Profit: 4}, "")
+	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, "")
+	submitDirect(t, srv, JobSpec{W: 12, L: 3, Deadline: 30, Profit: ScalarProfit(4)}, "")
 
 	snap := snapshotDir(t, dir)
 	// Tear the last record mid-line, as a crash mid-append would.
@@ -208,7 +208,7 @@ func TestRecoveryTornTail(t *testing.T) {
 func TestRecoveryRefusesTamperedVerdict(t *testing.T) {
 	dir := t.TempDir()
 	srv, drain := newDurableServer(t, dir, nil)
-	submitDirect(t, srv, JobSpec{W: 32, L: 4, Deadline: 40, Profit: 10}, "")
+	submitDirect(t, srv, JobSpec{W: 32, L: 4, Deadline: 40, Profit: ScalarProfit(10)}, "")
 	snap := snapshotDir(t, dir)
 	drain()
 
@@ -240,7 +240,7 @@ func TestRecoveryRefusesTamperedVerdict(t *testing.T) {
 func TestRecoveryRefusesConfigDrift(t *testing.T) {
 	dir := t.TempDir()
 	srv, drain := newDurableServer(t, dir, nil)
-	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: 2}, "")
+	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, "")
 	snap := snapshotDir(t, dir)
 	drain()
 
@@ -256,7 +256,7 @@ func TestIdempotentRetry(t *testing.T) {
 	dir := t.TempDir()
 	srv, drain := newDurableServer(t, dir, nil)
 
-	spec := JobSpec{W: 32, L: 4, Deadline: 40, Profit: 10}
+	spec := JobSpec{W: 32, L: 4, Deadline: 40, Profit: ScalarProfit(10)}
 	first := submitDirect(t, srv, spec, "req-1")
 	if first.status != 200 || first.resp.ID != 1 || first.resp.Replayed {
 		t.Fatalf("first submit: %+v", first)
@@ -270,7 +270,7 @@ func TestIdempotentRetry(t *testing.T) {
 		t.Fatalf("retry decision %q != original %q", retry.resp.Decision, first.resp.Decision)
 	}
 	// A keyed reject is durable too.
-	rej := submitDirect(t, srv, JobSpec{W: 100, L: 2, Deadline: 12, Profit: 8}, "req-2")
+	rej := submitDirect(t, srv, JobSpec{W: 100, L: 2, Deadline: 12, Profit: ScalarProfit(8)}, "req-2")
 	if rej.status != 200 || rej.resp.Decision != DecisionRejected {
 		t.Fatalf("reject: %+v", rej)
 	}
@@ -285,7 +285,7 @@ func TestIdempotentRetry(t *testing.T) {
 	if retry.status != 200 || retry.resp.ID != 1 || !retry.resp.Replayed {
 		t.Fatalf("post-crash retry: %+v", retry)
 	}
-	rejRetry := submitDirect(t, srv2, JobSpec{W: 100, L: 2, Deadline: 12, Profit: 8}, "req-2")
+	rejRetry := submitDirect(t, srv2, JobSpec{W: 100, L: 2, Deadline: 12, Profit: ScalarProfit(8)}, "req-2")
 	if rejRetry.status != 200 || rejRetry.resp.Decision != DecisionRejected || !rejRetry.resp.Replayed {
 		t.Fatalf("post-crash reject retry: %+v — rejected job must stay rejected", rejRetry)
 	}
@@ -319,7 +319,7 @@ func TestRecoveryFreshDirIsNotRecovered(t *testing.T) {
 func TestRecoveryOfDrainedDirectory(t *testing.T) {
 	dir := t.TempDir()
 	srv, _ := newDurableServer(t, dir, nil)
-	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: 2}, "")
+	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, "")
 	res := srv.Drain()
 
 	// A restart over the drained directory recovers the completed history.
@@ -340,7 +340,7 @@ func TestRecoveryOfDrainedDirectory(t *testing.T) {
 func TestStatsExposeWALAndRecovery(t *testing.T) {
 	dir := t.TempDir()
 	srv, drain := newDurableServer(t, dir, nil)
-	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: 2}, "k1")
+	submitDirect(t, srv, JobSpec{W: 8, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, "k1")
 	snap := snapshotDir(t, dir)
 	drain()
 
@@ -374,7 +374,7 @@ func TestRecoveredDrainMatchesOfflineReplay(t *testing.T) {
 	dir := t.TempDir()
 	srv, _ := newDurableServer(t, dir, nil)
 	for i := 0; i < 12; i++ {
-		spec := JobSpec{W: int64(4 + i%9), L: int64(1 + i%3), Deadline: int64(20 + i%11), Profit: float64(1 + i%5)}
+		spec := JobSpec{W: int64(4 + i%9), L: int64(1 + i%3), Deadline: int64(20 + i%11), Profit: ScalarProfit(float64(1 + i%5))}
 		if spec.L > spec.W {
 			spec.L = spec.W
 		}

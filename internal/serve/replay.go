@@ -32,6 +32,11 @@ type ReplayHeader struct {
 	Speed  string  `json:"speed"`
 	Shards int     `json:"shards,omitempty"`
 	Shard  int     `json:"shard,omitempty"`
+	// Commitment is the daemon-wide commitment policy, present only when it
+	// is binding (delta or on-arrival). The non-binding policies do not
+	// change admission or the schedule, so they stay off the header and old
+	// logs replay unchanged.
+	Commitment string `json:"commitment,omitempty"`
 }
 
 // routeRecord maps one replay-log job to the shard that committed it. It
@@ -162,6 +167,9 @@ func Replay(r io.Reader) (*sim.Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := applyCommitment(sched, h.Commitment); err != nil {
+			return nil, err
+		}
 		return sim.RunAuto(sim.Config{M: h.M, Speed: speed}, jobs, sched)
 	}
 	byShard := make([][]*sim.Job, h.Shards)
@@ -180,6 +188,9 @@ func Replay(r io.Reader) (*sim.Result, error) {
 	for i, shardJobs := range byShard {
 		sched, err := cliflags.MakeScheduler(h.Sched, h.Eps, false)
 		if err != nil {
+			return nil, err
+		}
+		if err := applyCommitment(sched, h.Commitment); err != nil {
 			return nil, err
 		}
 		results[i], err = sim.RunAuto(sim.Config{M: part[i], Speed: speed}, shardJobs, sched)

@@ -125,6 +125,17 @@ type Config struct {
 	// TraceDepth bounds the in-memory ring of completed request traces
 	// (/debug/requests exports it as Perfetto spans). 0 means 256.
 	TraceDepth int
+	// Commitment selects the daemon-wide commitment policy: "none",
+	// "on-admission" (the default), "on-arrival", or "delta". A job spec may
+	// override it per job via its "commitment" field. Under a binding policy
+	// (on-arrival, delta) an admitted job is promised completion — the
+	// scheduler never abandons it past its commit point, even past its
+	// deadline — and under on-arrival a job that cannot be admitted at
+	// release is rejected outright instead of parked. Binding policies
+	// require a scheduler that supports commitment (Scheduler S); New
+	// refuses other rosters. The policy is part of the durable header: a WAL
+	// directory written under one policy refuses to recover under another.
+	Commitment string
 }
 
 // DefaultTickInterval is the wall-clock duration of one simulated tick.
@@ -145,16 +156,75 @@ const DefaultMaxBatchItems = 1024
 // DefaultTraceDepth is the request-trace ring size (Config.TraceDepth).
 const DefaultTraceDepth = 256
 
-// Commitment values for JobResponse.Commitment: the durability of the
+// Commitment values for Config.Commitment, JobSpec.Commitment, and
+// JobResponse.Commitment: the strength of the promise attached to an
 // admission verdict, in the sense of the commitment models of Eberle, Megow
-// and Schewior ("Speed-Robust Scheduling / Commitment is No Burden").
+// and Schewior ("Commitment is No Burden"). The first two are durability
+// levels; the last two additionally bind the scheduler.
 const (
-	// CommitmentNone: the verdict does not survive a crash of the daemon.
+	// CommitmentNone: the verdict carries no promise — it does not survive a
+	// crash of the daemon and the job may be abandoned at its deadline.
 	CommitmentNone = "none"
 	// CommitmentOnAdmission: the verdict was persisted to the WAL before it
-	// was acknowledged; recovery re-admits the job or refuses to start.
+	// was acknowledged; recovery re-admits the job or refuses to start. No
+	// scheduling promise: an admitted job may still be abandoned.
 	CommitmentOnAdmission = "on-admission"
+	// CommitmentOnArrival: the release-time verdict is final. An admitted
+	// job is guaranteed to finish (never abandoned, even past its deadline);
+	// a job that cannot be admitted at release is rejected outright, never
+	// parked for a second chance.
+	CommitmentOnArrival = "on-arrival"
+	// CommitmentDelta: δ-commitment — the promise attaches when the job is
+	// admitted to run (at arrival, or later from the parked pool while still
+	// δ-fresh). From that point the job is guaranteed to finish.
+	CommitmentDelta = "delta"
 )
+
+// commitmentSetter is the optional scheduler-wide commitment knob
+// (core.SchedulerS). Binding policies require it.
+type commitmentSetter interface {
+	SetCommitment(c sim.Commitment) error
+}
+
+// applyCommitment configures sched for the policy a durable header or serving
+// config names. Empty and non-binding policies need no scheduler support;
+// binding ones require the commitmentSetter knob.
+func applyCommitment(sched sim.Scheduler, policy string) error {
+	if policy == "" {
+		return nil
+	}
+	lvl, err := sim.ParseCommitment(policy)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if !lvl.Binding() {
+		return nil
+	}
+	cs, ok := sched.(commitmentSetter)
+	if !ok {
+		return fmt.Errorf("serve: scheduler %q does not support commitment policy %q", sched.Name(), policy)
+	}
+	return cs.SetCommitment(lvl)
+}
+
+// commitmentString maps a job's effective commitment level to the wire value
+// an accepted verdict carries. Binding levels name their scheduling promise
+// whether or not the daemon is durable; the default on-admission level
+// reports the durability of the verdict itself, so a WAL-less daemon answers
+// "none" exactly as it did before policies existed.
+func commitmentString(lvl sim.Commitment, durable bool) string {
+	switch lvl {
+	case sim.CommitmentOnArrival, sim.CommitmentDelta:
+		return string(lvl)
+	case sim.CommitmentNone:
+		return CommitmentNone
+	default:
+		if durable {
+			return CommitmentOnAdmission
+		}
+		return CommitmentNone
+	}
+}
 
 // admitter is the optional standalone admission query (core.SchedulerS).
 type admitter interface {
@@ -165,6 +235,7 @@ type admitter interface {
 // expose Handler over HTTP, stop with Drain.
 type Server struct {
 	cfg    Config
+	policy sim.Commitment // parsed Config.Commitment
 	shards []*shard
 	placer *placer
 	replay *replayWriter // shared; shards serialize appends on its mutex
@@ -258,8 +329,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceDepth == 0 {
 		cfg.TraceDepth = DefaultTraceDepth
 	}
+	if cfg.Commitment == "" {
+		cfg.Commitment = CommitmentOnAdmission
+	}
+	policy, err := sim.ParseCommitment(cfg.Commitment)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	part := cliflags.PartitionCapacity(cfg.M, cfg.Shards)
-	s := &Server{cfg: cfg, start: time.Now()}
+	s := &Server{cfg: cfg, policy: policy, start: time.Now()}
 	s.log = cfg.Logger
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -270,6 +348,11 @@ func New(cfg Config) (*Server, error) {
 		sched, err := cliflags.MakeScheduler(cfg.Sched, cfg.Eps, false)
 		if err != nil {
 			return nil, err
+		}
+		if policy.Binding() {
+			if err := applyCommitment(sched, cfg.Commitment); err != nil {
+				return nil, err
+			}
 		}
 		simCfg := dagsched.NewConfig(
 			dagsched.WithM(part[i]),
@@ -300,6 +383,7 @@ func New(cfg Config) (*Server, error) {
 			engineDone: make(chan struct{}),
 		}
 		sh.adm, _ = sched.(admitter)
+		_, sh.canCommit = sched.(sim.Committer)
 		s.shards = append(s.shards, sh)
 	}
 	s.placer = newPlacer(s.shards)
@@ -614,6 +698,7 @@ type submitReply struct {
 	status int // HTTP status
 	resp   JobResponse
 	err    string
+	reason string // machine-readable error class for the unified envelope
 }
 
 // batchItem is one spec of a batched submission, carrying its position in
@@ -683,11 +768,14 @@ type finalizeMsg struct {
 // the verdict string, the scheduler's reason, and the virtualization plan.
 // Schedulers without an admission test accept every valid job. Shared by the
 // submission path and crash recovery, which re-derives every logged verdict.
-func decideAdmission(adm admitter, j *sim.Job) (DecisionString, string, *PlanInfo) {
+// policy is the daemon-wide commitment level; under an effective on-arrival
+// commitment a job the scheduler would park is rejected instead — the
+// release-time verdict is final, so there is no "maybe later".
+func decideAdmission(adm admitter, j *sim.Job, policy sim.Commitment) (DecisionString, string, *PlanInfo) {
 	if adm == nil {
 		return DecisionAccepted, "", nil
 	}
-	view := sim.JobView{ID: j.ID, Release: j.Release, W: j.Graph.TotalWork(), L: j.Graph.Span(), Profit: j.Profit}
+	view := sim.JobView{ID: j.ID, Release: j.Release, W: j.Graph.TotalWork(), L: j.Graph.Span(), Profit: j.Profit, Commitment: j.Commitment}
 	d := adm.Admission(view)
 	plan := &PlanInfo{Alloc: d.Plan.Alloc, X: d.Plan.X, Density: d.Plan.Density, Good: d.Plan.Good}
 	switch {
@@ -697,6 +785,10 @@ func decideAdmission(adm admitter, j *sim.Job) (DecisionString, string, *PlanInf
 		// The job can never pass the freshness test either: it is infeasible
 		// for S at any later point, so it is not committed (and not logged —
 		// the WAL and replay log hold accepted arrivals).
+		return DecisionRejected, d.Reason, plan
+	case j.Commitment.Resolve(policy) == sim.CommitmentOnArrival:
+		// Would be parked, but the arrival verdict must be final: reject
+		// without committing the job to the session.
 		return DecisionRejected, d.Reason, plan
 	default:
 		// Parked in P: committed, and eligible for admission when a

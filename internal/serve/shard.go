@@ -52,8 +52,9 @@ type shard struct {
 	stride int  // total shard count; the ID stripe step
 	jump   bool // event-jump clock (resolveClock); false runs the ticker
 
-	sched sim.Scheduler
-	adm   admitter // nil when the scheduler has no admission query
+	sched     sim.Scheduler
+	adm       admitter // nil when the scheduler has no admission query
+	canCommit bool     // scheduler implements sim.Committer (binding levels OK)
 
 	sess   *sim.Session        // engine goroutine only
 	reg    *telemetry.Registry // engine goroutine only
@@ -294,7 +295,7 @@ func (sh *shard) handleBatch(items []batchItem, tr *submitTrace) batchReply {
 			sh.degrade("wal sync", err)
 			for k := range replies {
 				if replies[k].status == 200 {
-					replies[k] = submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
+					replies[k] = submitReply{status: 503, err: "degraded: " + sh.srv.Degraded(), reason: reasonDegraded}
 				}
 			}
 		}
@@ -324,10 +325,11 @@ func reqIDOf(tr *submitTrace) string {
 // and profit curves, so everything derived from the spec — the built graph,
 // the profit function, and the wire form minus id and release — is shared.
 type scalarSpec struct {
-	W        int64
-	L        int64
-	Deadline int64
-	Profit   float64
+	W          int64
+	L          int64
+	Deadline   int64
+	Profit     float64
+	Commitment string // per-job override; part of the wire tail
 }
 
 // scalarEntry is one cached scalar-spec shape. The DAG is immutable after
@@ -352,11 +354,11 @@ const wireCacheMax = 4096
 // curve) always build fresh — the client owns those graphs. Build errors
 // are never cached (they are cheap and carry no derived state).
 func (sh *shard) buildSpec(spec JobSpec) (*dag.DAG, profit.Fn, *scalarEntry, error) {
-	if spec.DAG != nil || spec.Curve != nil {
+	if spec.DAG != nil || spec.Curve != nil || !spec.Profit.IsScalar() {
 		g, fn, err := spec.build()
 		return g, fn, nil, err
 	}
-	key := scalarSpec{W: spec.W, L: spec.L, Deadline: spec.Deadline, Profit: spec.Profit}
+	key := scalarSpec{W: spec.W, L: spec.L, Deadline: spec.Deadline, Profit: spec.Profit.Scalar, Commitment: spec.Commitment}
 	if e, ok := sh.wireCache[key]; ok {
 		return e.g, e.fn, e, nil
 	}
@@ -410,11 +412,11 @@ func (sh *shard) marshalJobWire(e *scalarEntry, job *sim.Job) (json.RawMessage, 
 // arrival to the session and the shared replay log.
 func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submitReply {
 	if sh.srv.draining.Load() || sh.quiesced {
-		return submitReply{status: 503, err: "draining"}
+		return submitReply{status: 503, err: "draining", reason: reasonDraining}
 	}
 	if dp := sh.srv.degraded.Load(); dp != nil {
 		// The daemon cannot make new verdicts durable; stop acknowledging.
-		return submitReply{status: 503, err: "degraded: " + *dp}
+		return submitReply{status: 503, err: "degraded: " + *dp, reason: reasonDegraded}
 	}
 	if key != "" {
 		if st, ok := sh.idem[key]; ok {
@@ -423,16 +425,33 @@ func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submit
 			return submitReply{status: st.Status, resp: st.Resp}
 		}
 	}
+	var override sim.Commitment
+	if spec.Commitment != "" {
+		lvl, err := sim.ParseCommitment(spec.Commitment)
+		if err != nil {
+			sh.reg.Inc("serve.bad_request", 1)
+			return submitReply{status: 400, err: err.Error(), reason: reasonBadRequest}
+		}
+		if lvl.Binding() && !sh.canCommit {
+			sh.reg.Inc("serve.bad_request", 1)
+			return submitReply{
+				status: 400,
+				err:    fmt.Sprintf("scheduler %q does not support commitment %q", sh.sched.Name(), spec.Commitment),
+				reason: reasonBadRequest,
+			}
+		}
+		override = lvl
+	}
 	g, fn, ce, err := sh.buildSpec(spec)
 	if err != nil {
 		sh.reg.Inc("serve.bad_request", 1)
-		return submitReply{status: 400, err: err.Error()}
+		return submitReply{status: 400, err: err.Error(), reason: reasonBadRequest}
 	}
 	release := sh.sess.Now()
 	id := sh.lastID + sh.stride
-	job := &sim.Job{ID: id, Graph: g, Release: release, Profit: fn}
+	job := &sim.Job{ID: id, Graph: g, Release: release, Profit: fn, Commitment: override}
 	resp := JobResponse{ID: id, Release: release}
-	resp.Decision, resp.Reason, resp.Plan = decideAdmission(sh.adm, job)
+	resp.Decision, resp.Reason, resp.Plan = decideAdmission(sh.adm, job, sh.srv.policy)
 
 	if resp.Decision == DecisionRejected {
 		resp.ID = 0
@@ -443,7 +462,7 @@ func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submit
 			if sh.wal != nil {
 				if err := sh.wal.append(WALReject{Type: "reject", Key: key, ReqID: reqIDOf(tr), Resp: resp}); err != nil {
 					sh.degrade("wal append", err)
-					return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
+					return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded(), reason: reasonDegraded}
 				}
 				sh.ckptDirty = true
 			}
@@ -453,13 +472,12 @@ func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submit
 		return submitReply{status: 200, resp: resp}
 	}
 
-	resp.Commitment = CommitmentNone
+	resp.Commitment = commitmentString(job.Commitment.Resolve(sh.srv.policy), sh.wal != nil)
 	if sh.wal != nil {
-		resp.Commitment = CommitmentOnAdmission
 		wire, err := sh.marshalJobWire(ce, job)
 		if err != nil {
 			sh.reg.Inc("serve.bad_request", 1)
-			return submitReply{status: 400, err: err.Error()}
+			return submitReply{status: 400, err: err.Error(), reason: reasonBadRequest}
 		}
 		rec := WALJob{Type: "job", Key: key, ReqID: reqIDOf(tr), Resp: resp, Job: wire}
 		var ta time.Time
@@ -470,7 +488,7 @@ func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submit
 			// Not durable, so not committed and not acknowledged: the
 			// session never sees the job and the client may retry safely.
 			sh.degrade("wal append", err)
-			return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded()}
+			return submitReply{status: 503, err: "degraded: " + sh.srv.Degraded(), reason: reasonDegraded}
 		}
 		if sh.obsReg != nil {
 			sh.obsReg.Observe("serve.wal_append_us", float64(time.Since(ta).Microseconds()))
@@ -489,7 +507,7 @@ func (sh *shard) processSubmit(spec JobSpec, key string, tr *submitTrace) submit
 		if sh.wal != nil {
 			sh.degrade("arrive after wal append", err)
 		}
-		return submitReply{status: 500, err: err.Error()}
+		return submitReply{status: 500, err: err.Error(), reason: reasonInternal}
 	}
 	sh.lastID = id
 	sh.reg.Inc("serve.accepted", 1)
@@ -645,7 +663,7 @@ func (sh *shard) openDurable(dir string) error {
 		return err
 	}
 	if rs != nil {
-		if err := rs.replayInto(sh.sess, sh.adm, sh.reg); err != nil {
+		if err := rs.replayInto(sh.sess, sh.adm, sh.reg, sh.srv.policy); err != nil {
 			return err
 		}
 		sh.hist = rs.jobs

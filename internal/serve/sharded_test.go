@@ -45,7 +45,7 @@ func TestShardedIDStriping(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Drain()
-	spec := JobSpec{W: 8, L: 2, Deadline: 30, Profit: 2}
+	spec := JobSpec{W: 8, L: 2, Deadline: 30, Profit: ScalarProfit(2)}
 	for round := 0; round < 3; round++ {
 		for i, sh := range srv.shards {
 			rep := submitToShard(t, sh, spec, "")
@@ -78,7 +78,7 @@ func TestShardedDrainMatchesReplay(t *testing.T) {
 	for i := 0; i < 24; i++ {
 		w := int64(4 + i%17)
 		l := int64(1 + i%3)
-		spec := JobSpec{W: w, L: l, Deadline: int64(20 + i%9), Profit: float64(1 + i%5)}
+		spec := JobSpec{W: w, L: l, Deadline: int64(20 + i%9), Profit: ScalarProfit(float64(1 + i%5))}
 		sh := srv.shards[i%4]
 		if i%3 == 0 {
 			// Mix in placer-routed traffic so route records, not the stripe
@@ -129,7 +129,7 @@ func TestUnshardedReplayLogBytesUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := submitToShard(t, srv.shards[0], JobSpec{W: 8, L: 2, Deadline: 30, Profit: 2}, ""); rep.status != 200 {
+	if rep := submitToShard(t, srv.shards[0], JobSpec{W: 8, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, ""); rep.status != 200 {
 		t.Fatalf("submit: %+v", rep)
 	}
 	srv.Drain()
@@ -166,7 +166,7 @@ func TestShardedStatsBody(t *testing.T) {
 			srv, ts := newTestServer(t, Config{M: tc.m, Shards: tc.shards})
 			// One admitted job per shard, pushed directly so counts are exact.
 			for _, sh := range srv.shards {
-				if rep := submitToShard(t, sh, JobSpec{W: 4, L: 2, Deadline: 30, Profit: 2}, ""); rep.status != 200 {
+				if rep := submitToShard(t, sh, JobSpec{W: 4, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, ""); rep.status != 200 {
 					t.Fatalf("shard %d submit: %+v", sh.idx, rep)
 				}
 			}
@@ -239,7 +239,7 @@ func TestShardedStatsWALAggregate(t *testing.T) {
 		M: 4, Shards: 2, WALDir: dir, Fsync: FsyncAlways, CheckpointInterval: -1,
 	})
 	for _, sh := range srv.shards {
-		if rep := submitToShard(t, sh, JobSpec{W: 4, L: 2, Deadline: 30, Profit: 2}, ""); rep.status != 200 {
+		if rep := submitToShard(t, sh, JobSpec{W: 4, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, ""); rep.status != 200 {
 			t.Fatalf("shard %d submit: %+v", sh.idx, rep)
 		}
 	}
@@ -279,7 +279,7 @@ func TestShardedQuiesceBlocksLateSubmissions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := submitToShard(t, srv.shards[0], JobSpec{W: 4, L: 2, Deadline: 30, Profit: 2}, ""); rep.status != 200 {
+	if rep := submitToShard(t, srv.shards[0], JobSpec{W: 4, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, ""); rep.status != 200 {
 		t.Fatalf("pre-drain submit: %+v", rep)
 	}
 	walPath := filepath.Join(dir, shardDirName(0), walFileName)
@@ -294,7 +294,7 @@ func TestShardedQuiesceBlocksLateSubmissions(t *testing.T) {
 	q := quiesceMsg{reply: make(chan struct{})}
 	srv.shards[0].reqs <- q
 	<-q.reply
-	rep := submitToShard(t, srv.shards[0], JobSpec{W: 4, L: 2, Deadline: 30, Profit: 2}, "late-key")
+	rep := submitToShard(t, srv.shards[0], JobSpec{W: 4, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, "late-key")
 	if rep.status != 503 || rep.err != "draining" {
 		t.Fatalf("post-quiesce submit = %+v, want 503 draining", rep)
 	}
@@ -341,7 +341,7 @@ func TestShardedRecoveryRoundTrip(t *testing.T) {
 	srv, drain := mk(dir)
 	var acked []submitReply
 	for i := 0; i < 10; i++ {
-		spec := JobSpec{W: int64(4 + i%7), L: int64(1 + i%2), Deadline: int64(25 + i%5), Profit: float64(1 + i%4)}
+		spec := JobSpec{W: int64(4 + i%7), L: int64(1 + i%2), Deadline: int64(25 + i%5), Profit: ScalarProfit(float64(1 + i%4))}
 		rep := submitToShard(t, srv.shards[i%2], spec, fmt.Sprintf("key-%d", i))
 		if rep.status != 200 {
 			t.Fatalf("submit %d: %+v", i, rep)
@@ -400,7 +400,7 @@ func TestShardedLayoutDrift(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		submitToShard(t, srv.shards[0], JobSpec{W: 4, L: 2, Deadline: 30, Profit: 2}, "")
+		submitToShard(t, srv.shards[0], JobSpec{W: 4, L: 2, Deadline: 30, Profit: ScalarProfit(2)}, "")
 		srv.Drain()
 		return dir
 	}
@@ -447,7 +447,7 @@ func TestShardedTamperRefusal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := submitToShard(t, srv.shards[1], JobSpec{W: 16, L: 4, Deadline: 40, Profit: 10}, ""); rep.status != 200 {
+	if rep := submitToShard(t, srv.shards[1], JobSpec{W: 16, L: 4, Deadline: 40, Profit: ScalarProfit(10)}, ""); rep.status != 200 {
 		t.Fatalf("submit: %+v", rep)
 	}
 	snap := snapshotDir(t, dir)

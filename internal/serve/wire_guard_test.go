@@ -55,7 +55,7 @@ func TestWireGuard(t *testing.T) {
 		defer srv.Drain()
 		parkEngines(b, srv)
 		sh := srv.shards[0]
-		spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: 3}
+		spec := JobSpec{W: 16, L: 2, Deadline: 40, Profit: ScalarProfit(3)}
 		clock := int64(0)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

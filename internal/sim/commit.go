@@ -1,0 +1,87 @@
+package sim
+
+import "fmt"
+
+// Commitment is the promise a scheduler attaches to an admitted job, after
+// "Online Throughput Maximization: Commitment is No Burden" (Eberle, Megow,
+// Schewior). The serving tier already distinguishes durability commitment
+// (an acknowledged verdict survives a crash); Commitment adds the scheduling
+// half: past its commit point, a committed job may no longer be aborted —
+// the scheduler keeps allocating until the job completes, even when the
+// deadline has passed and the completion earns nothing.
+//
+// The levels, weakest to strongest:
+//
+//	none          no scheduling promise — an admitted job can still be
+//	              abandoned when its deadline becomes unreachable.
+//	on-admission  durability only: the verdict is crash-safe, the schedule
+//	              is not a promise. The serving default.
+//	delta         δ-commitment: the promise attaches when the job is
+//	              admitted into the running set (on arrival or later from
+//	              the parked pool P, which δ-freshness guarantees happens
+//	              no later than (1+δ)·x_i before the deadline).
+//	on-arrival    commit-to-completion at arrival: the admission verdict is
+//	              final. Admitted means guaranteed to finish; a job that
+//	              would have been parked is rejected instead — the paper's
+//	              second-chance pool is incompatible with deciding at
+//	              arrival.
+type Commitment string
+
+const (
+	// CommitmentDefault defers to the scheduler-wide policy.
+	CommitmentDefault Commitment = ""
+	// CommitmentNone makes no scheduling promise.
+	CommitmentNone Commitment = "none"
+	// CommitmentOnAdmission is durability-only commitment (the wire default).
+	CommitmentOnAdmission Commitment = "on-admission"
+	// CommitmentDelta commits a job when it is admitted to run (δ-commitment).
+	CommitmentDelta Commitment = "delta"
+	// CommitmentOnArrival commits at the arrival verdict: admitted jobs are
+	// guaranteed to finish, everything else is rejected outright.
+	CommitmentOnArrival Commitment = "on-arrival"
+)
+
+// ParseCommitment parses a commitment selector (-commitment flag, per-job
+// spec field). The empty string is not a level — callers resolve their own
+// default first.
+func ParseCommitment(s string) (Commitment, error) {
+	switch c := Commitment(s); c {
+	case CommitmentNone, CommitmentOnAdmission, CommitmentDelta, CommitmentOnArrival:
+		return c, nil
+	}
+	return "", fmt.Errorf("sim: unknown commitment %q (want none, on-admission, delta, or on-arrival)", s)
+}
+
+// Valid reports whether c is the default or a parseable level.
+func (c Commitment) Valid() bool {
+	if c == CommitmentDefault {
+		return true
+	}
+	_, err := ParseCommitment(string(c))
+	return err == nil
+}
+
+// Binding reports whether this level carries a scheduling promise (delta or
+// on-arrival); none and on-admission constrain durability only.
+func (c Commitment) Binding() bool {
+	return c == CommitmentDelta || c == CommitmentOnArrival
+}
+
+// Resolve returns c, or the fallback policy when c is the default.
+func (c Commitment) Resolve(policy Commitment) Commitment {
+	if c == CommitmentDefault {
+		return policy
+	}
+	return c
+}
+
+// Committer is implemented by schedulers that honor binding commitment: the
+// engine consults it before aborting an overdue job, and skips the abort
+// while the scheduler stands by its promise. A scheduler without binding
+// commitment support simply does not implement the interface.
+type Committer interface {
+	// Committed reports whether the scheduler has promised to complete the
+	// job; the engine then never expires it, and the job runs to completion
+	// even if it finishes past its deadline for zero profit.
+	Committed(jobID int) bool
+}

@@ -70,6 +70,11 @@ type engine struct {
 	gen    uint64                // current allocation-validation generation
 	scaled map[*dag.DAG]*dag.DAG // scaleGraph cache (scale is fixed per run)
 
+	// committer is the scheduler's commitment probe (nil when the scheduler
+	// makes no binding promises). The engine consults it only for jobs
+	// already past lastUseful, so the fault-free hot path never pays for it.
+	committer Committer
+
 	// Reused per-tick/per-interval buffers.
 	completedBuf []*liveJob
 	running      []runAlloc   // evented engine: the interval's running set
@@ -140,6 +145,7 @@ func prepareRun(cfg Config, jobs []*Job, sched Scheduler) (*engine, *Result, []*
 		scale:   speed.Den,
 		live:    make(map[int]*liveJob),
 	}
+	e.committer, _ = sched.(Committer)
 	res := &Result{
 		Scheduler: sched.Name(),
 		M:         cfg.M,
@@ -201,11 +207,15 @@ func (e *engine) arrive(t int64, j *Job, rec *telemetry.Recorder, sched Schedule
 
 // expire removes every live job whose completion at t would no longer earn
 // profit, compacting liveList in one pass (arrival order is preserved; the
-// scheduler sees OnExpire in that order, exactly as before).
+// scheduler sees OnExpire in that order, exactly as before). A job the
+// scheduler has committed to is never expired: it stays live past its
+// deadline and runs to a (zero-profit) completion — the engine-side half of
+// the commitment contract.
 func (e *engine) expire(t int64, res *Result, rec *telemetry.Recorder, sched Scheduler) {
 	w := 0
 	for _, lj := range e.liveList {
-		if !lj.done && t > lj.lastUseful {
+		if !lj.done && t > lj.lastUseful &&
+			!(e.committer != nil && e.committer.Committed(lj.job.ID)) {
 			lj.done = true
 			delete(e.live, lj.job.ID)
 			res.Expired++

@@ -97,6 +97,12 @@ func RunEvented(cfg Config, jobs []*Job, sched Scheduler) (*Result, error) {
 			}
 		}
 		for _, lj := range e.liveList {
+			if e.committer != nil && e.committer.Committed(lj.job.ID) {
+				// No expiry event exists for a committed job: it stays live
+				// past lastUseful and leaves only by completing, which bound
+				// (a) already covers.
+				continue
+			}
 			if gap := lj.lastUseful + 1 - t; gap < delta {
 				delta = gap
 			}

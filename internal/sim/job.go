@@ -29,6 +29,9 @@ type Job struct {
 	Graph   *dag.DAG
 	Release int64
 	Profit  profit.Fn
+	// Commitment is this job's requested commitment level; the default
+	// defers to the scheduler-wide policy. See Commitment.
+	Commitment Commitment
 }
 
 // Validate checks the job is well formed.
@@ -44,6 +47,9 @@ func (j *Job) Validate() error {
 	}
 	if j.Profit == nil {
 		return fmt.Errorf("sim: job %d has nil profit function", j.ID)
+	}
+	if !j.Commitment.Valid() {
+		return fmt.Errorf("sim: job %d has unknown commitment %q", j.ID, j.Commitment)
 	}
 	return nil
 }
@@ -66,6 +72,9 @@ type JobView struct {
 	W       int64 // total work
 	L       int64 // span / critical-path length
 	Profit  profit.Fn
+	// Commitment is the job's requested commitment level (default: follow
+	// the scheduler-wide policy).
+	Commitment Commitment
 }
 
 // RelDeadline mirrors Job.RelDeadline.
@@ -77,11 +86,12 @@ func (v JobView) AbsDeadline() int64 { return v.Release + v.RelDeadline() }
 // viewOf derives the scheduler-visible view of j.
 func viewOf(j *Job) JobView {
 	return JobView{
-		ID:      j.ID,
-		Release: j.Release,
-		W:       j.Graph.TotalWork(),
-		L:       j.Graph.Span(),
-		Profit:  j.Profit,
+		ID:         j.ID,
+		Release:    j.Release,
+		W:          j.Graph.TotalWork(),
+		L:          j.Graph.Span(),
+		Profit:     j.Profit,
+		Commitment: j.Commitment,
 	}
 }
 

@@ -534,7 +534,12 @@ func (s *Session) NextEventHint() (int64, bool) {
 		if lj.done {
 			continue
 		}
-		next = min(next, lj.lastUseful+1)
+		if !(s.e.committer != nil && s.e.committer.Committed(lj.job.ID)) {
+			// Committed jobs have no expiry event; only their completion
+			// bound below applies. (An overdue committed job would otherwise
+			// pin the hint in the past and busy-spin an event-jump caller.)
+			next = min(next, lj.lastUseful+1)
+		}
 		// Earliest completion: ceil(remaining span / per-tick work) more
 		// ticks, the last of which is tick t+k-1 (completion stamps t+k).
 		k := (lj.state.RemainingSpan() + s.e.perTick - 1) / s.e.perTick

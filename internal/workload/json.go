@@ -24,6 +24,9 @@ type jobJSON struct {
 	Release int64      `json:"release"`
 	Graph   *dag.DAG   `json:"graph"`
 	Profit  ProfitSpec `json:"profit"`
+	// Commitment is emitted only when the job requests a level of its own;
+	// the common default keeps v1 instance files and WAL frames byte-stable.
+	Commitment sim.Commitment `json:"commitment,omitempty"`
 }
 
 // ProfitSpec is the tagged-union wire form of a profit function, shared by
@@ -88,7 +91,7 @@ func (in *Instance) MarshalJSON() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Jobs = append(out.Jobs, jobJSON{ID: j.ID, Release: j.Release, Graph: j.Graph, Profit: pj})
+		out.Jobs = append(out.Jobs, jobJSON{ID: j.ID, Release: j.Release, Graph: j.Graph, Profit: pj, Commitment: j.Commitment})
 	}
 	return json.Marshal(out)
 }
@@ -105,7 +108,7 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 		if err != nil {
 			return err
 		}
-		out.Jobs = append(out.Jobs, &sim.Job{ID: jj.ID, Release: jj.Release, Graph: jj.Graph, Profit: fn})
+		out.Jobs = append(out.Jobs, &sim.Job{ID: jj.ID, Release: jj.Release, Graph: jj.Graph, Profit: fn, Commitment: jj.Commitment})
 	}
 	if err := out.Validate(); err != nil {
 		return err
@@ -123,7 +126,7 @@ func MarshalJob(j *sim.Job) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(jobJSON{ID: j.ID, Release: j.Release, Graph: j.Graph, Profit: pj})
+	return json.Marshal(jobJSON{ID: j.ID, Release: j.Release, Graph: j.Graph, Profit: pj, Commitment: j.Commitment})
 }
 
 // UnmarshalJob parses and validates one job in the instance wire format.
@@ -136,7 +139,7 @@ func UnmarshalJob(data []byte) (*sim.Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &sim.Job{ID: jj.ID, Release: jj.Release, Graph: jj.Graph, Profit: fn}
+	j := &sim.Job{ID: jj.ID, Release: jj.Release, Graph: jj.Graph, Profit: fn, Commitment: jj.Commitment}
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}

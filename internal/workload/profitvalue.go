@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dagsched/internal/profit"
+)
+
+// ProfitValue is the v2 job-spec profit field: either a plain scalar (the v1
+// form, a step function worth Scalar until the job's deadline) or a
+// structured non-increasing profit function. On the wire it is a JSON number
+// or an object tagged by "type":
+//
+//	"profit": 10
+//	"profit": {"type": "step", "value": 10, "deadline": 40}
+//	"profit": {"type": "linear", "value": 10, "flat": 5, "zeroAt": 40}
+//	"profit": {"type": "exp", "value": 10, "halfLife": 8, "cutoff": 40}
+//	"profit": {"type": "piecewise", "until": [10, 40], "values": [8, 3]}
+//
+// The zero value is the scalar 0. Exactly one of the two representations is
+// active: Spec == nil means scalar.
+type ProfitValue struct {
+	Scalar float64
+	Spec   *ProfitSpec
+}
+
+// ScalarProfit wraps a v1 scalar profit.
+func ScalarProfit(v float64) ProfitValue { return ProfitValue{Scalar: v} }
+
+// StructuredProfit wraps a structured profit spec.
+func StructuredProfit(spec ProfitSpec) ProfitValue { return ProfitValue{Spec: &spec} }
+
+// IsScalar reports whether the value is the plain v1 scalar form.
+func (p ProfitValue) IsScalar() bool { return p.Spec == nil }
+
+// Fn builds the profit function the value describes. A scalar needs the
+// job-spec deadline to become a step function; a structured spec carries its
+// own horizon and ignores the argument.
+func (p ProfitValue) Fn(deadline int64) (profit.Fn, error) {
+	if p.Spec == nil {
+		return profit.NewStep(p.Scalar, deadline)
+	}
+	return p.Spec.Decode()
+}
+
+// profitValueJSON is the object form's shadow: identical to ProfitSpec except
+// the discriminator tag is "type" (the v2 job-spec convention) rather than
+// the instance-file "kind".
+type profitValueJSON struct {
+	Type     string    `json:"type"`
+	Value    float64   `json:"value,omitempty"`
+	Deadline int64     `json:"deadline,omitempty"`
+	Flat     int64     `json:"flat,omitempty"`
+	ZeroAt   int64     `json:"zeroAt,omitempty"`
+	HalfLife int64     `json:"halfLife,omitempty"`
+	Cutoff   int64     `json:"cutoff,omitempty"`
+	Until    []int64   `json:"until,omitempty"`
+	Values   []float64 `json:"values,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p ProfitValue) MarshalJSON() ([]byte, error) {
+	if p.Spec == nil {
+		return json.Marshal(p.Scalar)
+	}
+	s := *p.Spec
+	return json.Marshal(profitValueJSON{
+		Type: s.Kind, Value: s.Value, Deadline: s.Deadline, Flat: s.Flat,
+		ZeroAt: s.ZeroAt, HalfLife: s.HalfLife, Cutoff: s.Cutoff,
+		Until: s.Until, Values: s.Values,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. A leading '{' selects the
+// structured form, decoded strictly (unknown fields rejected, so a typo'd
+// parameter fails loudly instead of silently defaulting); anything else must
+// be a JSON number. Parameter validation happens later, in Fn, where the
+// profit constructors run.
+func (p *ProfitValue) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		var raw profitValueJSON
+		if err := dec.Decode(&raw); err != nil {
+			return fmt.Errorf("workload: structured profit: %w", err)
+		}
+		if raw.Type == "" {
+			return fmt.Errorf("workload: structured profit missing \"type\"")
+		}
+		p.Scalar = 0
+		p.Spec = &ProfitSpec{
+			Kind: raw.Type, Value: raw.Value, Deadline: raw.Deadline,
+			Flat: raw.Flat, ZeroAt: raw.ZeroAt, HalfLife: raw.HalfLife,
+			Cutoff: raw.Cutoff, Until: raw.Until, Values: raw.Values,
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(trimmed, &v); err != nil {
+		return fmt.Errorf("workload: profit must be a number or a {\"type\":...} object: %w", err)
+	}
+	p.Scalar = v
+	p.Spec = nil
+	return nil
+}
